@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Contexts are built once per dataset at paper scale and shared across
+benchmark files. Every benchmark renders the same rows/series the paper
+reports and appends them to ``benchmarks/results/<name>.txt`` so the
+regenerated tables survive pytest's output capturing.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import build_context
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Master seed for all full-scale benchmark runs.
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def contexts():
+    """Paper-scale contexts for all four datasets (built lazily)."""
+    cache = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = build_context(name, seed=BENCH_SEED)
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Writer: persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, content: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(content + "\n")
+        # Also echo for -s runs.
+        print(f"\n{content}\n")
+
+    return write

@@ -1,0 +1,121 @@
+"""Benches for the paper's future-work extensions implemented here.
+
+- **Stable point / budget saving** (Section 6.3: "We will study the
+  estimation of stable point in future"): confidence-based task
+  retirement and the budget it releases at near-equal accuracy.
+- **Correlated concepts** (Section 3: "We will consider the issues of
+  correlation among concepts in the future"): coherence-aware linking
+  vs the independent baseline on domain detection.
+- **Multi-domain metrics** (Section 6.2: "it might be interesting to
+  develop metrics on evaluating how a method can compute a task's
+  multiple domains correctly"): soft-detection quality against the
+  behavioural mixtures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dve import DomainVectorEstimator
+from repro.core.stopping import ConfidenceStoppingRule, savings_report
+from repro.core.truth_inference import TruthInference
+from repro.experiments.multidomain import (
+    evaluate_multidomain,
+    format_multidomain,
+)
+from repro.linking.coherence import CoherentEntityLinker
+
+
+def test_extension_budget_saving(contexts, record_table, benchmark):
+    """The stable-point trade-off curve: stricter confidence thresholds
+    save less budget but concede less accuracy."""
+    thresholds = (0.9, 0.95, 0.99)
+    lines = [
+        "Extension: confidence-based stopping (min 3 answers) — "
+        "budget/accuracy trade-off"
+    ]
+    lines.append(
+        f"{'dataset':>8s}{'thresh':>8s}{'saved %':>9s}"
+        f"{'acc full':>10s}{'acc stop':>10s}"
+    )
+    curves = {}
+    for name in ("item", "4d"):
+        context = contexts(name)
+        curve = []
+        for threshold in thresholds:
+            report = savings_report(
+                context.dataset.tasks,
+                context.answers,
+                ConfidenceStoppingRule(
+                    threshold=threshold, min_answers=3
+                ),
+                TruthInference(),
+            )
+            curve.append(report)
+            lines.append(
+                f"{name:>8s}{threshold:8.2f}"
+                f"{100 * report.saved_fraction:9.1f}"
+                f"{100 * report.accuracy_full:10.1f}"
+                f"{100 * report.accuracy_stopped:10.1f}"
+            )
+        curves[name] = curve
+    record_table("extension_budget_saving", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for curve in curves.values():
+        savings = [r.saved_fraction for r in curve]
+        accuracies = [r.accuracy_stopped for r in curve]
+        # Stricter threshold -> less saving, more accuracy (monotone
+        # trade-off), and every point keeps a real saving.
+        assert savings == sorted(savings, reverse=True)
+        assert accuracies == sorted(accuracies)
+        assert savings[-1] > 0.02
+        # The strictest point concedes little accuracy.
+        assert curve[-1].accuracy_stopped >= (
+            curve[-1].accuracy_full - 0.06
+        )
+
+
+def test_extension_coherent_linking(contexts, record_table, benchmark):
+    """Coherence-aware linking vs independent linking on detection."""
+    rows = ["Extension: coherent vs independent linking (detection %)"]
+    rows.append(f"{'dataset':>8s}{'indep':>8s}{'coherent':>10s}")
+    gains = {}
+    for name in ("4d", "qa"):
+        context = contexts(name)
+        dataset = context.dataset
+        independent = DomainVectorEstimator(
+            context.linker, dataset.taxonomy.size
+        )
+        coherent = DomainVectorEstimator(
+            CoherentEntityLinker(context.linker, coherence_weight=1.5),
+            dataset.taxonomy.size,
+        )
+
+        def accuracy(estimator):
+            hits = 0
+            for task in dataset.tasks:
+                vector = estimator.estimate(task.text)
+                hits += int(np.argmax(vector)) == task.true_domain
+            return 100 * hits / dataset.num_tasks
+
+        acc_ind = accuracy(independent)
+        acc_coh = accuracy(coherent)
+        gains[name] = acc_coh - acc_ind
+        rows.append(f"{name:>8s}{acc_ind:8.1f}{acc_coh:10.1f}")
+    record_table("extension_coherent_linking", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Coherence must not hurt detection anywhere.
+    assert all(gain >= -1.0 for gain in gains.values())
+
+
+def test_extension_multidomain_metrics(contexts, record_table, benchmark):
+    results = []
+    for name in ("item", "4d", "qa", "sfv"):
+        context = contexts(name)
+        results.append(evaluate_multidomain(context.dataset))
+    record_table(
+        "extension_multidomain", format_multidomain(results)
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for result in results:
+        assert result.mean_js < 0.35     # soft detection is close
+        assert result.top2_recall > 0.8  # real domains are found

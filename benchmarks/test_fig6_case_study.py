@@ -1,0 +1,54 @@
+"""Figure 6: worker-quality case study on the Item dataset."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig6 import (
+    calibration_error,
+    format_case_study,
+    run_case_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study(contexts):
+    return run_case_study(contexts("item"), min_answers=20)
+
+
+def test_fig6_report(study, record_table, benchmark):
+    record_table("fig6_case_study", format_case_study(study))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_histogram_covers_all_domains(study):
+    assert set(study.histogram) == {"NBA", "Food", "Auto", "Country"}
+    for bins in study.histogram.values():
+        assert len(bins) == 10
+        assert sum(bins) > 0
+
+
+def test_workers_have_diverse_qualities(study):
+    """Figure 6(a)'s point: worker quality is domain-dependent — the
+    per-domain histograms are not all concentrated in one bin."""
+    spreads = []
+    for bins in study.histogram.values():
+        occupied = [i for i, b in enumerate(bins) if b > 0]
+        spreads.append(max(occupied) - min(occupied))
+    assert max(spreads) >= 3
+
+
+def test_top_workers_calibrated(study):
+    """Figure 6(b): estimated quality tracks true quality (points near
+    Y = X) for the most active workers."""
+    points = [
+        p for pts in study.top_worker_points.values() for p in pts
+    ]
+    assert points
+    assert calibration_error(points) < 0.2
+
+
+def test_first_domain_calibration(study):
+    """Figure 6(c): calibration across all workers with > 20 NBA
+    answers."""
+    assert study.nba_points
+    assert calibration_error(study.nba_points) < 0.25

@@ -1,0 +1,66 @@
+"""Figure 7: golden-task selection — optimality and scalability."""
+
+import numpy as np
+import pytest
+
+from repro.core.golden import select_golden_counts
+from repro.experiments.fig7 import (
+    format_golden_comparison,
+    format_golden_scalability,
+    run_golden_comparison,
+    run_golden_scalability,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_golden_comparison(
+        n_primes=tuple(range(1, 21)), num_domains=10, seed=7
+    )
+
+
+def test_fig7a_report(comparison, record_table, benchmark):
+    record_table(
+        "fig7a_golden_comparison", format_golden_comparison(comparison)
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_greedy_is_near_optimal(comparison):
+    """Paper: average gamma within 0.1%."""
+    mean_gamma = float(np.mean([p.gamma for p in comparison]))
+    assert mean_gamma < 0.01
+
+
+def test_enumeration_grows_fast(comparison):
+    """Enumeration time grows steeply with n'; greedy stays flat."""
+    small = next(p for p in comparison if p.n_prime == 5)
+    large = next(p for p in comparison if p.n_prime == 20)
+    assert large.enumeration_seconds > 20 * max(
+        small.enumeration_seconds, 1e-5
+    )
+    assert large.greedy_seconds < 0.05
+
+
+def test_fig7b_scalability(record_table, benchmark):
+    points = run_golden_scalability(
+        n_primes=(1000, 4000, 7000, 10000),
+        domain_counts=(10, 20, 50),
+        seed=8,
+    )
+    record_table(
+        "fig7b_golden_scalability", format_golden_scalability(points)
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Time is flat in n' for fixed m (paper: independent of n').
+    for m in (10, 20, 50):
+        series = [p.seconds for p in points if p.num_domains == m]
+        assert max(series) < 0.4
+
+
+def test_bench_greedy_selection(benchmark):
+    """Micro-kernel: the greedy Eq. 11 solver at m = 26."""
+    rng = np.random.default_rng(9)
+    tau = rng.dirichlet(np.ones(26))
+    counts = benchmark(select_golden_counts, tau, 20)
+    assert counts.sum() == 20

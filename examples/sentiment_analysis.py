@@ -1,0 +1,115 @@
+"""Sentiment analysis: multi-choice labelling with domain experts.
+
+The paper's other motivating workload (Section 1): label the sentiment
+of short review snippets. Reviews mention KB entities (films, cars,
+restaurants), so a movie buff labels film reviews more reliably than car
+reviews — the domain-aware worker model pays off even though every task
+shares the same three choices (positive / neutral / negative).
+
+This example runs the Figure 5-style comparison (MV / ZC / DS / DOCS) on
+the generated review workload.
+
+Run:  python examples/sentiment_analysis.py
+"""
+
+import numpy as np
+
+from repro.baselines import make_truth_method
+from repro.baselines.base import GoldenContext
+from repro.core.dve import DomainVectorEstimator
+from repro.core.golden import select_golden_tasks
+from repro.core.types import Task
+from repro.crowd import WorkerPool, WorkerPoolConfig, collect_answers
+from repro.datasets.base import behavior_mixture, sample_concepts
+from repro.kb import SyntheticKBConfig, build_synthetic_kb
+from repro.kb.taxonomy import default_taxonomy
+from repro.linking import EntityLinker
+from repro.utils.rng import make_rng
+
+REVIEW_FRAMES = (
+    "The reviewer says {a} was a letdown compared to {b}. Overall tone?",
+    "Glowing write-up of {a}: 'never seen anything like it'. Sentiment?",
+    "Mixed notes on {a}: great start, weak finish. Sentiment?",
+    "'{a} ruined my evening' — classify this review.",
+    "Five stars for {a}, the reviewer plans to return. Sentiment?",
+)
+
+REVIEW_DOMAINS = (
+    "Entertainment & Music",
+    "Cars & Transportation",
+    "Dining Out",
+)
+
+CHOICES = 3  # positive / neutral / negative
+
+
+def main() -> None:
+    rng = make_rng(11)
+    taxonomy = default_taxonomy()
+    kb = build_synthetic_kb(
+        SyntheticKBConfig(
+            concepts_per_domain=40, ambiguity_rate=0.3, seed=3
+        ),
+        taxonomy=taxonomy,
+    )
+    domain_indices = [taxonomy.index_of(d) for d in REVIEW_DOMAINS]
+
+    tasks = []
+    for task_id in range(240):
+        domain = domain_indices[task_id % len(domain_indices)]
+        frame = REVIEW_FRAMES[int(rng.integers(0, len(REVIEW_FRAMES)))]
+        slots = frame.count("{a}") + frame.count("{b}")
+        concepts = sample_concepts(kb, domain, slots, rng)
+        mapping = dict(zip(("a", "b"), (c.name for c in concepts)))
+        tasks.append(
+            Task(
+                task_id=task_id,
+                text=frame.format(**mapping),
+                num_choices=CHOICES,
+                ground_truth=int(rng.integers(1, CHOICES + 1)),
+                true_domain=domain,
+                behavior_domains=behavior_mixture(
+                    concepts, domain, taxonomy.size
+                ),
+            )
+        )
+
+    estimator = DomainVectorEstimator(EntityLinker(kb), taxonomy.size)
+    for task in tasks:
+        task.domain_vector = estimator.estimate(task.text)
+    detected = np.mean(
+        [
+            int(np.argmax(t.domain_vector)) == t.true_domain
+            for t in tasks
+        ]
+    )
+    print(f"Review-domain detection: {detected:.0%}")
+
+    pool = WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=40,
+            num_domains=taxonomy.size,
+            active_domains=tuple(domain_indices),
+            seed=4,
+        )
+    )
+    answers = collect_answers(tasks, pool, answers_per_task=8, seed=5)
+
+    golden_idx = select_golden_tasks(
+        [t.domain_vector for t in tasks], 15
+    )
+    golden_ids = [tasks[i].task_id for i in golden_idx]
+    golden = GoldenContext(
+        golden_ids,
+        {tid: tasks[tid].ground_truth for tid in golden_ids},
+    )
+
+    print("\nSentiment labelling accuracy by method:")
+    for name in ("MV", "ZC", "DS", "DOCS"):
+        method = make_truth_method(name)
+        accuracy = method.accuracy(tasks, answers, golden)
+        print(f"  {name:5s} {accuracy:.1%}")
+
+
+if __name__ == "__main__":
+    main()

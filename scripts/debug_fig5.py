@@ -1,0 +1,47 @@
+"""Dev helper: run the Figure 5 comparison on one dataset quickly."""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import make_truth_method
+from repro.baselines.base import GoldenContext
+from repro.core.dve import DomainVectorEstimator
+from repro.core.golden import select_golden_tasks
+from repro.crowd import WorkerPool, WorkerPoolConfig, collect_answers
+from repro.datasets import make_dataset
+from repro.linking import EntityLinker
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "4d"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    ds = make_dataset(name, seed=seed)
+    est = DomainVectorEstimator(EntityLinker(ds.kb), ds.taxonomy.size)
+    for t in ds.tasks:
+        t.domain_vector = est.estimate(t.text)
+    active = tuple(d.taxonomy_index for d in ds.domains)
+    pool = WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=50,
+            num_domains=ds.taxonomy.size,
+            active_domains=active,
+            seed=seed + 4,
+        )
+    )
+    answers = collect_answers(ds.tasks, pool, answers_per_task=10, seed=seed + 5)
+    gidx = select_golden_tasks([t.domain_vector for t in ds.tasks], 20)
+    gids = [ds.tasks[i].task_id for i in gidx]
+    golden = GoldenContext(
+        gids, {tid: ds.task_by_id(tid).ground_truth for tid in gids}
+    )
+    for method_name in ["MV", "ZC", "DS", "IC", "FC", "DOCS"]:
+        method = make_truth_method(method_name)
+        t0 = time.time()
+        acc = method.accuracy(ds.tasks, answers, golden)
+        print(f"{method_name:5s} acc={acc:.3f} time={time.time()-t0:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — a from-scratch reproduction of DOCS (VLDB 2016).
+
+DOCS is a domain-aware crowdsourcing system with three modules:
+
+- :mod:`repro.core.dve` — Domain Vector Estimation (Algorithm 1),
+- :mod:`repro.core.truth_inference` — iterative Truth Inference,
+- :mod:`repro.core.assignment` — Online Task Assignment (entropy benefit).
+
+Everything the paper depends on is implemented here as well: a synthetic
+knowledge base (:mod:`repro.kb`), an entity linker (:mod:`repro.linking`),
+topic-model substrates for the competitors (:mod:`repro.topics`), the full
+competitor suite (:mod:`repro.baselines`), a simulated crowd and platform
+(:mod:`repro.crowd`, :mod:`repro.platform`), dataset generators mirroring
+the paper's four real datasets (:mod:`repro.datasets`), and the end-to-end
+system facade (:mod:`repro.system`).
+
+Quickstart::
+
+    from repro.system import DocsSystem, DocsConfig
+    from repro.datasets import make_dataset
+
+    dataset = make_dataset("4d", seed=7)
+    system = DocsSystem(DocsConfig(seed=7))
+    result = system.run(dataset)
+    print(result.accuracy())
+"""
+
+from repro.version import __version__, PAPER_REFERENCE
+
+__all__ = ["__version__", "PAPER_REFERENCE"]

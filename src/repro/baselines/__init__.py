@@ -1,0 +1,28 @@
+"""Competitor methods the paper compares against.
+
+Truth inference (Figure 5): MV, ZenCrowd (ZC), Dawid&Skene (DS),
+iCrowd (IC), FaitCrowd (FC). Online task assignment (Figure 8):
+Baseline (random), AskIt!, IC, QASCA, D-Max. Every method is a full
+implementation from its source paper's description at the granularity
+DOCS evaluates it.
+"""
+
+from repro.baselines.majority import MajorityVote
+from repro.baselines.zencrowd import ZenCrowd
+from repro.baselines.dawid_skene import DawidSkene
+from repro.baselines.icrowd import ICrowdTruth
+from repro.baselines.faitcrowd import FaitCrowdTruth
+from repro.baselines.registry import (
+    TRUTH_METHODS,
+    make_truth_method,
+)
+
+__all__ = [
+    "MajorityVote",
+    "ZenCrowd",
+    "DawidSkene",
+    "ICrowdTruth",
+    "FaitCrowdTruth",
+    "TRUTH_METHODS",
+    "make_truth_method",
+]

@@ -1,0 +1,196 @@
+"""Shared interfaces for the competitor implementations.
+
+Two roles appear in the evaluation:
+
+- :class:`TruthMethod` — offline truth inference over a fixed answer set
+  (Figure 5). All methods receive the *same* collected answers and the
+  same golden tasks for initialisation, as Section 6.3 prescribes.
+- Assignment engines (Figure 8) implement the
+  :class:`repro.platform.amt_sim.CrowdEngine` protocol; the common
+  bookkeeping lives in :class:`EngineBase`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.types import Answer, Task
+from repro.datasets.base import CrowdDataset
+from repro.errors import ValidationError
+from repro.platform.storage import AnswerTable
+
+
+class GoldenContext:
+    """Golden-task information shared with every method for fairness.
+
+    Attributes:
+        task_ids: the selected golden tasks.
+        truths: task id -> ground-truth choice for those tasks.
+    """
+
+    def __init__(
+        self, task_ids: Sequence[int], truths: Mapping[int, int]
+    ):
+        missing = [tid for tid in task_ids if tid not in truths]
+        if missing:
+            raise ValidationError(
+                f"golden tasks without truths: {missing[:5]}"
+            )
+        self.task_ids = list(task_ids)
+        self.truths = dict(truths)
+
+    @classmethod
+    def empty(cls) -> "GoldenContext":
+        return cls([], {})
+
+    def __len__(self) -> int:
+        return len(self.task_ids)
+
+
+class TruthMethod(abc.ABC):
+    """Offline truth inference: answers in, truths out."""
+
+    #: Short display name used in experiment tables.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def infer_truths(
+        self,
+        tasks: Sequence[Task],
+        answers: Sequence[Answer],
+        golden: Optional[GoldenContext] = None,
+    ) -> Dict[int, int]:
+        """Infer the (1-based) truth of every answered task."""
+
+    def accuracy(
+        self,
+        tasks: Sequence[Task],
+        answers: Sequence[Answer],
+        golden: Optional[GoldenContext] = None,
+        exclude_golden: bool = False,
+    ) -> float:
+        """Convenience: run inference and score against ground truth."""
+        truths = self.infer_truths(tasks, answers, golden)
+        golden_ids = set(golden.task_ids) if (golden and exclude_golden) else set()
+        correct = 0
+        counted = 0
+        for task in tasks:
+            if task.ground_truth is None or task.task_id in golden_ids:
+                continue
+            if task.task_id not in truths:
+                continue
+            counted += 1
+            if truths[task.task_id] == task.ground_truth:
+                correct += 1
+        if counted == 0:
+            raise ValidationError("nothing to score")
+        return correct / counted
+
+
+class EngineBase(abc.ABC):
+    """Common engine bookkeeping: storage, worker tracking, golden set.
+
+    Subclasses implement ``_prepare``, ``_select`` and ``_finalize``; the
+    base class enforces the shared integrity rules (no repeat answers, no
+    assigning a task to a worker who answered it).
+    """
+
+    name: str = "engine"
+
+    def __init__(self) -> None:
+        self._dataset: Optional[CrowdDataset] = None
+        self._answers = AnswerTable()
+        self._bootstrapped: Set[str] = set()
+        self._golden_ids: List[int] = []
+
+    @property
+    def dataset(self) -> CrowdDataset:
+        if self._dataset is None:
+            raise ValidationError("engine not prepared; call prepare()")
+        return self._dataset
+
+    @property
+    def answers(self) -> AnswerTable:
+        return self._answers
+
+    # -- CrowdEngine protocol -------------------------------------------
+
+    def prepare(self, dataset: CrowdDataset) -> None:
+        self._dataset = dataset
+        self._answers = AnswerTable()
+        self._bootstrapped = set()
+        self._golden_ids = []
+        self._prepare(dataset)
+
+    def golden_task_ids(self) -> List[int]:
+        return list(self._golden_ids)
+
+    def needs_bootstrap(self, worker_id: str) -> bool:
+        return bool(self._golden_ids) and worker_id not in self._bootstrapped
+
+    def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        self._bootstrapped.add(worker_id)
+        self._bootstrap(worker_id, answers)
+
+    def assign(self, worker_id: str, k: int) -> List[int]:
+        if self._dataset is None:
+            raise ValidationError("engine not prepared; call prepare()")
+        if k < 1:
+            raise ValidationError(f"k must be >= 1: {k}")
+        answered = self._answers.tasks_answered_by(worker_id)
+        return self._select(worker_id, k, answered)
+
+    def submit(self, answer: Answer) -> None:
+        self._answers.insert(answer)
+        self._ingest(answer)
+
+    def finalize(self) -> Dict[int, int]:
+        truths = self._finalize()
+        # Tasks that never received an answer still need a verdict; the
+        # uninformed default is the first choice.
+        for task in self.dataset.tasks:
+            truths.setdefault(task.task_id, 1)
+        return truths
+
+    # -- subclass hooks --------------------------------------------------
+
+    @abc.abstractmethod
+    def _prepare(self, dataset: CrowdDataset) -> None:
+        """Engine-specific setup (DVE, topic fitting, state init)."""
+
+    def _bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        """Ingest golden-task answers for a new worker (default: no-op)."""
+
+    @abc.abstractmethod
+    def _select(
+        self, worker_id: str, k: int, answered: Set[int]
+    ) -> List[int]:
+        """Pick up to k tasks the worker has not answered."""
+
+    def _ingest(self, answer: Answer) -> None:
+        """Engine-specific per-answer update (default: no-op)."""
+
+    @abc.abstractmethod
+    def _finalize(self) -> Dict[int, int]:
+        """Produce final truths."""
+
+
+def empirical_vote_distribution(
+    task: Task, answers: Sequence[Answer], prior: float = 1.0
+) -> np.ndarray:
+    """Laplace-smoothed vote share per choice (MV's belief state)."""
+    counts = np.full(task.num_choices, prior, dtype=float)
+    for answer in answers:
+        counts[answer.choice - 1] += 1.0
+    return counts / counts.sum()
+
+
+def majority_choice(task: Task, answers: Sequence[Answer]) -> int:
+    """Plain majority vote with lowest-index tie-breaking (1-based)."""
+    counts = np.zeros(task.num_choices, dtype=int)
+    for answer in answers:
+        counts[answer.choice - 1] += 1
+    return int(np.argmax(counts)) + 1

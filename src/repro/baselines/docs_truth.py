@@ -1,0 +1,86 @@
+"""DOCS's own TI wrapped in the common :class:`TruthMethod` interface.
+
+Used by the Figure 5 comparison harness so that DOCS, MV, ZC, DS, IC and
+FC all run over exactly the same answers and golden tasks. Requires
+tasks' domain vectors to be present (run DVE first); worker qualities are
+initialised from golden-task performance exactly as Section 4.1
+prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import GoldenContext, TruthMethod
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.truth_inference import TruthInference
+from repro.core.types import Answer, Task, group_answers_by_worker
+from repro.errors import ValidationError
+
+
+class DocsTruth(TruthMethod):
+    """The paper's iterative TI behind the comparison interface.
+
+    Args:
+        max_iterations: TI iteration cap (paper: 20).
+        default_quality: cold-start per-domain quality.
+    """
+
+    name = "DOCS"
+
+    def __init__(self, max_iterations: int = 20, default_quality: float = 0.7):
+        self._ti = TruthInference(
+            max_iterations=max_iterations, default_quality=default_quality
+        )
+        self._default_quality = default_quality
+
+    def infer_truths(
+        self,
+        tasks: Sequence[Task],
+        answers: Sequence[Answer],
+        golden: Optional[GoldenContext] = None,
+    ) -> Dict[int, int]:
+        initial = self._golden_qualities(tasks, answers, golden)
+        result = self._ti.infer(tasks, answers, initial_qualities=initial)
+        return result.truths()
+
+    def _golden_qualities(
+        self,
+        tasks: Sequence[Task],
+        answers: Sequence[Answer],
+        golden: Optional[GoldenContext],
+    ) -> Dict[int, np.ndarray]:
+        """Initialise each worker's quality from golden performance."""
+        if golden is None or not golden.task_ids:
+            return {}
+        domain_vectors = {}
+        m = None
+        for task in tasks:
+            if task.domain_vector is None:
+                raise ValidationError(
+                    f"task {task.task_id} has no domain vector; run DVE"
+                )
+            domain_vectors[task.task_id] = task.domain_vector
+            m = task.domain_vector.shape[0]
+        assert m is not None
+        store = WorkerQualityStore(m, default_quality=self._default_quality)
+        golden_ids = set(golden.task_ids)
+        for worker_id, worker_answers in group_answers_by_worker(
+            answers
+        ).items():
+            golden_answers = {
+                a.task_id: a.choice
+                for a in worker_answers
+                if a.task_id in golden_ids
+            }
+            if not golden_answers:
+                continue
+            store.initialize_from_golden(
+                worker_id, golden_answers, golden.truths, domain_vectors
+            )
+        return {
+            worker_id: store.quality_or_default(worker_id)
+            for worker_id in store.known_workers()
+        }

@@ -1,0 +1,414 @@
+"""Assignment engines for the Figure 8 end-to-end comparison.
+
+Each engine couples an assignment policy with the truth-inference method
+its source system uses (Section 6.4):
+
+- :class:`RandomBaselineEngine` ("Baseline"): random k tasks + MV.
+- :class:`AskItEngine` (AskIt! [8]): most-uncertain k tasks (entropy of
+  the empirical vote distribution) + MV.
+- :class:`ICrowdEngine` (IC [18]): k tasks where the worker's
+  domain quality is highest, under the equal-answer-count constraint +
+  iCrowd's weighted vote.
+- :class:`QascaEngine` (QASCA [54]): k tasks with the highest expected
+  accuracy improvement under a DS-style worker model + DS inference.
+- :class:`DMaxEngine` (D-Max): DOCS's TI, but assignment by maximum
+  domain match ``sum_k r_k q^w_k`` — the ablation that ignores how
+  confident each task already is.
+
+DOCS itself lives in :class:`repro.system.DocsSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.baselines.base import (
+    EngineBase,
+    GoldenContext,
+    empirical_vote_distribution,
+    majority_choice,
+)
+from repro.baselines.dawid_skene import DawidSkene
+from repro.baselines.icrowd import ICrowdTruth
+from repro.core.dve import DomainVectorEstimator
+from repro.core.golden import select_golden_tasks
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.truth_inference import TruthInference
+from repro.core.types import Answer, Task
+from repro.datasets.base import CrowdDataset
+from repro.errors import ValidationError
+from repro.linking import EntityLinker
+from repro.utils.math import entropy_unchecked, safe_log
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.topk import top_k_indices
+
+
+class RandomBaselineEngine(EngineBase):
+    """Random assignment + majority vote ("Baseline" in Figure 8)."""
+
+    name = "Baseline"
+
+    def __init__(self, seed: SeedLike = 0):
+        super().__init__()
+        self._rng = make_rng(seed)
+
+    def _prepare(self, dataset: CrowdDataset) -> None:
+        self._task_ids = [t.task_id for t in dataset.tasks]
+
+    def _select(
+        self, worker_id: str, k: int, answered: Set[int]
+    ) -> List[int]:
+        available = [tid for tid in self._task_ids if tid not in answered]
+        if not available:
+            return []
+        take = min(k, len(available))
+        chosen = self._rng.choice(len(available), size=take, replace=False)
+        return [available[int(i)] for i in chosen]
+
+    def _finalize(self) -> Dict[int, int]:
+        return _majority_truths(self.dataset.tasks, self._answers)
+
+
+class AskItEngine(EngineBase):
+    """AskIt! [8]: assign the k most uncertain tasks, infer with MV.
+
+    Uncertainty is the entropy of the Laplace-smoothed empirical vote
+    distribution; unanswered tasks are maximally uncertain and get
+    assigned first. Worker quality plays no role — the gap to QASCA and
+    DOCS in Figure 8(a) measures exactly that omission.
+    """
+
+    name = "AskIt!"
+
+    def _prepare(self, dataset: CrowdDataset) -> None:
+        self._tasks = {t.task_id: t for t in dataset.tasks}
+        self._order = [t.task_id for t in dataset.tasks]
+        self._row = {tid: i for i, tid in enumerate(self._order)}
+        ell_max = max(t.num_choices for t in dataset.tasks)
+        # Laplace-smoothed vote counts; invalid columns stay at 0.
+        self._counts = np.zeros((len(self._order), ell_max))
+        for i, task in enumerate(dataset.tasks):
+            self._counts[i, : task.num_choices] = 1.0
+
+    def _ingest(self, answer: Answer) -> None:
+        self._counts[self._row[answer.task_id], answer.choice - 1] += 1.0
+
+    def _select(
+        self, worker_id: str, k: int, answered: Set[int]
+    ) -> List[int]:
+        dists = self._counts / self._counts.sum(axis=1, keepdims=True)
+        uncertainty = -np.sum(dists * safe_log(dists), axis=1)
+        if answered:
+            rows = [self._row[tid] for tid in answered]
+            uncertainty[rows] = -np.inf
+        available = int(np.sum(uncertainty > -np.inf))
+        if available == 0:
+            return []
+        take = min(k, available)
+        chosen = top_k_indices(uncertainty, take)
+        return [self._order[int(i)] for i in chosen]
+
+    def _finalize(self) -> Dict[int, int]:
+        return _majority_truths(self.dataset.tasks, self._answers)
+
+
+class ICrowdEngine(EngineBase):
+    """iCrowd [18]: assign where the worker is strongest, evenly.
+
+    Workers' per-domain accuracies are tracked against iCrowd's own
+    weighted-vote truth estimates (bootstrapped from golden tasks). The
+    k tasks maximising the worker's quality are chosen **subject to the
+    equal-assignment constraint**: only tasks with the currently minimal
+    answer count are eligible, so every task ends up answered the same
+    number of times — the rigidity the paper criticises (spending answers
+    on already-confident tasks).
+    """
+
+    name = "IC"
+
+    def __init__(self, golden_count: int = 20, default_accuracy: float = 0.7):
+        super().__init__()
+        self._golden_count = golden_count
+        self._default_accuracy = default_accuracy
+
+    def _prepare(self, dataset: CrowdDataset) -> None:
+        self._tasks = {t.task_id: t for t in dataset.tasks}
+        self._domains = {
+            t.task_id: (t.true_domain if t.true_domain is not None else 0)
+            for t in dataset.tasks
+        }
+        #: (worker, domain) -> [correct, total] against golden truth.
+        self._golden_scores: Dict[tuple, List[float]] = {}
+        golden_pool = [
+            t.task_id for t in dataset.tasks if t.ground_truth is not None
+        ]
+        self._golden_ids = golden_pool[: self._golden_count]
+        self._golden_truths = {
+            tid: self._tasks[tid].ground_truth for tid in self._golden_ids
+        }
+
+    def _bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        for answer in answers:
+            key = (worker_id, self._domains[answer.task_id])
+            correct, total = self._golden_scores.get(key, (0.0, 0.0))
+            correct += (
+                1.0
+                if self._golden_truths[answer.task_id] == answer.choice
+                else 0.0
+            )
+            self._golden_scores[key] = [correct, total + 1.0]
+
+    def _quality(self, worker_id: str, domain: int) -> float:
+        correct, total = self._golden_scores.get(
+            (worker_id, domain), (0.0, 0.0)
+        )
+        return (correct + self._default_accuracy) / (total + 1.0)
+
+    def _select(
+        self, worker_id: str, k: int, answered: Set[int]
+    ) -> List[int]:
+        candidates = [tid for tid in self._tasks if tid not in answered]
+        if not candidates:
+            return []
+        # Equal-assignment constraint: restrict to minimum-count tasks;
+        # widen level by level until k tasks are available.
+        counts = {
+            tid: self._answers.count_for_task(tid) for tid in candidates
+        }
+        eligible: List[int] = []
+        for level in sorted(set(counts.values())):
+            eligible.extend(
+                tid for tid in candidates if counts[tid] == level
+            )
+            if len(eligible) >= k:
+                break
+        quality = np.array(
+            [
+                self._quality(worker_id, self._domains[tid])
+                for tid in eligible
+            ]
+        )
+        take = min(k, len(eligible))
+        chosen = top_k_indices(quality, take)
+        return [eligible[int(i)] for i in chosen]
+
+    def _finalize(self) -> Dict[int, int]:
+        method = ICrowdTruth(
+            task_domains=self._domains,
+            default_accuracy=self._default_accuracy,
+        )
+        golden = GoldenContext(self._golden_ids, self._golden_truths)
+        return method.infer_truths(
+            list(self._tasks.values()), self._answers.all(), golden
+        )
+
+
+class QascaEngine(EngineBase):
+    """QASCA [54]: assign by expected accuracy improvement.
+
+    Maintains per-task truth posteriors under a scalar-confusion DS-style
+    worker model (bootstrapped from golden tasks, updated online against
+    current posteriors). For a candidate task, the benefit is the
+    expected increase of ``max_j s_j`` after the worker's answer —
+    QASCA's Accuracy metric. Domain information is absent by design.
+    """
+
+    name = "QASCA"
+
+    def __init__(self, golden_count: int = 20, default_accuracy: float = 0.7):
+        super().__init__()
+        self._golden_count = golden_count
+        self._default_accuracy = default_accuracy
+
+    def _prepare(self, dataset: CrowdDataset) -> None:
+        self._tasks = {t.task_id: t for t in dataset.tasks}
+        self._order = [t.task_id for t in dataset.tasks]
+        self._row = {tid: i for i, tid in enumerate(self._order)}
+        self._ells = np.array(
+            [t.num_choices for t in dataset.tasks], dtype=np.int64
+        )
+        ell_max = int(self._ells.max())
+        # Posterior matrix, invalid columns zeroed.
+        self._post = np.zeros((len(self._order), ell_max))
+        for i, task in enumerate(dataset.tasks):
+            self._post[i, : task.num_choices] = 1.0 / task.num_choices
+        self._valid = (
+            np.arange(ell_max)[None, :] < self._ells[:, None]
+        )
+        self._accuracy: Dict[str, List[float]] = {}
+        golden_pool = [
+            t.task_id for t in dataset.tasks if t.ground_truth is not None
+        ]
+        self._golden_ids = golden_pool[: self._golden_count]
+        self._golden_truths = {
+            tid: self._tasks[tid].ground_truth for tid in self._golden_ids
+        }
+
+    def _bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        scored = [
+            1.0 if self._golden_truths[a.task_id] == a.choice else 0.0
+            for a in answers
+        ]
+        if scored:
+            self._accuracy[worker_id] = [
+                sum(scored) + self._default_accuracy,
+                len(scored) + 1.0,
+            ]
+
+    def _worker_accuracy(self, worker_id: str) -> float:
+        correct, total = self._accuracy.get(
+            worker_id, (self._default_accuracy, 1.0)
+        )
+        return float(np.clip(correct / total, 1e-3, 1.0 - 1e-3))
+
+    def _select(
+        self, worker_id: str, k: int, answered: Set[int]
+    ) -> List[int]:
+        q = self._worker_accuracy(worker_id)
+        S = self._post                                       # (n, L)
+        wrong = (1.0 - q) / (self._ells - 1)                 # (n,)
+        # Expected max posterior after the answer: for hypothetical
+        # answer a, the unnormalised update is q*s_a at column a and
+        # wrong*s_j elsewhere; summing p(a) * max_j telescopes into a
+        # closed form over the top-2 posterior values.
+        top2 = np.sort(S, axis=1)[:, -2:]                    # (n, 2)
+        s_max, s_second = top2[:, 1], top2[:, 0]
+        q_term = q * S                                       # (n, L)
+        # For answer a == argmax: updated max = max(q*s_a, wrong*s_2nd).
+        # For other answers: updated max = max(q*s_a, wrong*s_max).
+        is_max = S >= s_max[:, None] - 1e-15
+        other_best = np.where(
+            is_max, wrong[:, None] * s_second[:, None],
+            wrong[:, None] * s_max[:, None],
+        )
+        per_answer = np.where(
+            self._valid, np.maximum(q_term, other_best), 0.0
+        )
+        expected = per_answer.sum(axis=1)
+        benefits = expected - s_max
+        if answered:
+            rows = [self._row[tid] for tid in answered]
+            benefits[rows] = -np.inf
+        available = int(np.sum(benefits > -np.inf))
+        if available == 0:
+            return []
+        take = min(k, available)
+        chosen = top_k_indices(benefits, take)
+        return [self._order[int(i)] for i in chosen]
+
+    def _ingest(self, answer: Answer) -> None:
+        q = self._worker_accuracy(answer.worker_id)
+        row = self._row[answer.task_id]
+        ell = int(self._ells[row])
+        s = self._post[row, :ell]
+        factor = np.full(ell, (1.0 - q) / (ell - 1))
+        factor[answer.choice - 1] = q
+        updated = s * factor
+        self._post[row, :ell] = updated / updated.sum()
+        # Online re-grade of the worker against the updated posterior.
+        correct, total = self._accuracy.get(
+            answer.worker_id, [self._default_accuracy, 1.0]
+        )
+        self._accuracy[answer.worker_id] = [
+            correct + float(self._post[row, answer.choice - 1]),
+            total + 1.0,
+        ]
+
+    def _finalize(self) -> Dict[int, int]:
+        method = DawidSkene(default_accuracy=self._default_accuracy)
+        golden = GoldenContext(self._golden_ids, self._golden_truths)
+        return method.infer_truths(
+            list(self._tasks.values()), self._answers.all(), golden
+        )
+
+
+class DMaxEngine(EngineBase):
+    """D-Max: DOCS's TI with pure domain-match assignment.
+
+    Selects the k tasks maximising ``sum_k r_ik q^w_k`` — the worker's
+    expected accuracy on the task — with no regard for how confidently
+    the task's truth is already known. The gap to DOCS in Figure 8(a)
+    isolates the value of the benefit (entropy-reduction) criterion.
+    """
+
+    name = "D-Max"
+
+    def __init__(self, golden_count: int = 20, default_quality: float = 0.7):
+        super().__init__()
+        self._golden_count = golden_count
+        self._default_quality = default_quality
+
+    def _prepare(self, dataset: CrowdDataset) -> None:
+        linker = EntityLinker(dataset.kb)
+        estimator = DomainVectorEstimator(linker, dataset.taxonomy.size)
+        self._tasks = {t.task_id: t for t in dataset.tasks}
+        for task in dataset.tasks:
+            if task.domain_vector is None:
+                task.domain_vector = estimator.estimate(task.text)
+        self._r = {t.task_id: t.domain_vector for t in dataset.tasks}
+        self._order = [t.task_id for t in dataset.tasks]
+        self._row = {tid: i for i, tid in enumerate(self._order)}
+        self._R = np.stack([t.domain_vector for t in dataset.tasks])
+        self._store = WorkerQualityStore(
+            dataset.taxonomy.size, default_quality=self._default_quality
+        )
+        golden_idx = select_golden_tasks(
+            [t.domain_vector for t in dataset.tasks], self._golden_count
+        )
+        ids = [dataset.tasks[i].task_id for i in golden_idx]
+        self._golden_ids = [
+            tid for tid in ids if self._tasks[tid].ground_truth is not None
+        ]
+        self._golden_truths = {
+            tid: self._tasks[tid].ground_truth for tid in self._golden_ids
+        }
+
+    def _bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        self._store.initialize_from_golden(
+            worker_id,
+            {a.task_id: a.choice for a in answers},
+            self._golden_truths,
+            self._r,
+        )
+
+    def _select(
+        self, worker_id: str, k: int, answered: Set[int]
+    ) -> List[int]:
+        quality = self._store.quality_or_default(worker_id)
+        scores = self._R @ quality
+        if answered:
+            rows = [self._row[tid] for tid in answered]
+            scores[rows] = -np.inf
+        available = int(np.sum(scores > -np.inf))
+        if available == 0:
+            return []
+        take = min(k, available)
+        chosen = top_k_indices(scores, take)
+        return [self._order[int(i)] for i in chosen]
+
+    def _finalize(self) -> Dict[int, int]:
+        ti = TruthInference(default_quality=self._default_quality)
+        initial = {
+            worker_id: self._store.quality_or_default(worker_id)
+            for worker_id in self._store.known_workers()
+        }
+        result = ti.infer(
+            list(self._tasks.values()),
+            self._answers.all(),
+            initial_qualities=initial,
+        )
+        return result.truths()
+
+
+def _majority_truths(tasks, table) -> Dict[int, int]:
+    """MV over an answer table (helper for MV-backed engines)."""
+    truths: Dict[int, int] = {}
+    for task in tasks:
+        task_answers = table.for_task(task.task_id)
+        if task_answers:
+            truths[task.task_id] = majority_choice(task, task_answers)
+        else:
+            truths[task.task_id] = 1
+    return truths

@@ -1,0 +1,32 @@
+"""Majority Vote (MV) — the no-worker-model baseline.
+
+Every worker counts equally; the truth is the most-voted choice. Fastest
+method in Figure 5(b), weakest in Figure 5(a) precisely because a couple
+of confident novices outvote one domain expert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.base import GoldenContext, TruthMethod, majority_choice
+from repro.core.types import Answer, Task, group_answers_by_task
+
+
+class MajorityVote(TruthMethod):
+    """Plain majority voting with lowest-index tie-breaking."""
+
+    name = "MV"
+
+    def infer_truths(
+        self,
+        tasks: Sequence[Task],
+        answers: Sequence[Answer],
+        golden: Optional[GoldenContext] = None,
+    ) -> Dict[int, int]:
+        by_task = group_answers_by_task(answers)
+        task_index = {task.task_id: task for task in tasks}
+        return {
+            task_id: majority_choice(task_index[task_id], task_answers)
+            for task_id, task_answers in by_task.items()
+        }

@@ -1,0 +1,36 @@
+"""Registries of truth-inference methods and assignment engines."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines.base import TruthMethod
+from repro.baselines.dawid_skene import DawidSkene
+from repro.baselines.docs_truth import DocsTruth
+from repro.baselines.faitcrowd import FaitCrowdTruth
+from repro.baselines.icrowd import ICrowdTruth
+from repro.baselines.majority import MajorityVote
+from repro.baselines.zencrowd import ZenCrowd
+from repro.errors import ValidationError
+
+#: The Figure 5 comparison roster, in the paper's display order.
+TRUTH_METHODS: Dict[str, Callable[[], TruthMethod]] = {
+    "MV": MajorityVote,
+    "ZC": ZenCrowd,
+    "DS": DawidSkene,
+    "IC": ICrowdTruth,
+    "FC": FaitCrowdTruth,
+    "DOCS": DocsTruth,
+}
+
+
+def make_truth_method(name: str) -> TruthMethod:
+    """Instantiate a truth method by its display name."""
+    try:
+        factory = TRUTH_METHODS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown truth method {name!r}; expected one of "
+            f"{sorted(TRUTH_METHODS)}"
+        ) from None
+    return factory()

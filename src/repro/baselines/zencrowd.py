@@ -1,0 +1,126 @@
+"""ZenCrowd (ZC) [16] — scalar worker reliability with EM.
+
+Each worker has a single reliability value q in [0, 1]; a worker answers
+correctly with probability q and otherwise picks a wrong choice uniformly.
+EM alternates a truth posterior (E-step, uniform choice prior) and the
+reliability update (M-step: expected fraction of correct answers). The
+paper's criticism — and the reason ZC trails DOCS in Figure 5(a) — is
+that one scalar cannot express domain-dependent skill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import GoldenContext, TruthMethod
+from repro.core.types import (
+    Answer,
+    Task,
+    group_answers_by_task,
+    group_answers_by_worker,
+)
+from repro.errors import ValidationError
+
+_CLIP_LO = 1e-3
+_CLIP_HI = 1.0 - 1e-3
+
+
+class ZenCrowd(TruthMethod):
+    """EM over scalar worker reliabilities.
+
+    Args:
+        max_iterations: EM iteration cap.
+        tolerance: stop when reliabilities move less than this (L1 mean).
+        default_reliability: initial reliability for workers without
+            golden-task evidence.
+    """
+
+    name = "ZC"
+
+    def __init__(
+        self,
+        max_iterations: int = 20,
+        tolerance: float = 1e-6,
+        default_reliability: float = 0.7,
+    ):
+        if max_iterations < 1:
+            raise ValidationError("max_iterations must be >= 1")
+        if not 0.0 < default_reliability < 1.0:
+            raise ValidationError("default_reliability must be in (0, 1)")
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+        self._default = default_reliability
+
+    def infer_truths(
+        self,
+        tasks: Sequence[Task],
+        answers: Sequence[Answer],
+        golden: Optional[GoldenContext] = None,
+    ) -> Dict[int, int]:
+        by_task = group_answers_by_task(answers)
+        by_worker = group_answers_by_worker(answers)
+        task_index = {task.task_id: task for task in tasks}
+
+        reliability = {
+            worker_id: self._initial_reliability(worker_answers, golden)
+            for worker_id, worker_answers in by_worker.items()
+        }
+
+        truths: Dict[int, np.ndarray] = {}
+        for _ in range(self._max_iterations):
+            # E-step: posterior over choices per task.
+            for task_id, task_answers in by_task.items():
+                ell = task_index[task_id].num_choices
+                log_post = np.zeros(ell)
+                for answer in task_answers:
+                    q = float(
+                        np.clip(reliability[answer.worker_id], _CLIP_LO, _CLIP_HI)
+                    )
+                    contribution = np.full(ell, np.log((1.0 - q) / (ell - 1)))
+                    contribution[answer.choice - 1] = np.log(q)
+                    log_post += contribution
+                log_post -= log_post.max()
+                post = np.exp(log_post)
+                truths[task_id] = post / post.sum()
+
+            # M-step: reliability = expected fraction correct.
+            max_change = 0.0
+            for worker_id, worker_answers in by_worker.items():
+                expected_correct = sum(
+                    truths[a.task_id][a.choice - 1] for a in worker_answers
+                )
+                updated = expected_correct / len(worker_answers)
+                max_change = max(
+                    max_change, abs(updated - reliability[worker_id])
+                )
+                reliability[worker_id] = updated
+            if max_change < self._tolerance:
+                break
+
+        return {
+            task_id: int(np.argmax(post)) + 1
+            for task_id, post in truths.items()
+        }
+
+    def _initial_reliability(
+        self,
+        worker_answers: Sequence[Answer],
+        golden: Optional[GoldenContext],
+    ) -> float:
+        """Golden-task accuracy if available, else the default prior."""
+        if golden is None or not golden.task_ids:
+            return self._default
+        golden_ids = set(golden.task_ids)
+        scored = [
+            1.0 if golden.truths[a.task_id] == a.choice else 0.0
+            for a in worker_answers
+            if a.task_id in golden_ids
+        ]
+        if not scored:
+            return self._default
+        # Shrink toward the prior so a 3-task streak does not pin q at 1.
+        return float(
+            (sum(scored) + self._default) / (len(scored) + 1.0)
+        )

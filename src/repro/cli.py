@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo`` — run a full DOCS campaign on one dataset and print the
+  outcome (the quickstart, parameterised).
+- ``datasets`` — list the built-in dataset generators with their sizes.
+- ``detect`` — run DVE over a dataset and report domain-detection
+  accuracy.
+- ``compare-ti`` — the Figure 5 comparison on one dataset.
+- ``compare-ota`` — the Figure 8 end-to-end comparison on one dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default="4d",
+        choices=("item", "4d", "qa", "sfv"),
+        help="which of the paper's datasets to use",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="master random seed"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of DOCS: Domain-Aware Crowdsourcing System "
+            "(VLDB 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a full DOCS campaign")
+    _add_common(demo)
+    demo.add_argument(
+        "--answers-per-task",
+        type=int,
+        default=10,
+        help="budget in answers per task",
+    )
+    demo.add_argument(
+        "--hit-size", type=int, default=3, help="tasks per HIT (k)"
+    )
+
+    sub.add_parser("datasets", help="list built-in datasets")
+
+    detect = sub.add_parser(
+        "detect", help="DVE domain-detection accuracy on a dataset"
+    )
+    _add_common(detect)
+
+    compare_ti = sub.add_parser(
+        "compare-ti", help="Figure 5 truth-inference comparison"
+    )
+    _add_common(compare_ti)
+
+    compare_ota = sub.add_parser(
+        "compare-ota", help="Figure 8 end-to-end OTA comparison"
+    )
+    _add_common(compare_ota)
+
+    report = sub.add_parser(
+        "report",
+        help="assemble benchmarks/results/*.txt into one markdown report",
+    )
+    report.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory the benchmarks wrote their tables to",
+    )
+    report.add_argument(
+        "--output",
+        default=None,
+        help="write the report here instead of stdout",
+    )
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    from repro.datasets import make_dataset
+    from repro.system import DocsConfig, run_campaign
+
+    dataset = make_dataset(args.dataset, seed=args.seed)
+    print(dataset.summary())
+    result = run_campaign(
+        dataset,
+        config=DocsConfig(seed=args.seed),
+        answers_per_task=args.answers_per_task,
+        hit_size=args.hit_size,
+        seed=args.seed,
+    )
+    report = result.report
+    print(f"answers collected : {report.total_answers}")
+    print(f"HITs issued       : {len(report.hit_log)}")
+    print(f"spend             : ${report.hit_log.total_spend():.2f}")
+    print(f"worst assignment  : {report.max_assign_seconds * 1e3:.2f} ms")
+    print(f"accuracy          : {result.accuracy():.1%}")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.datasets import DATASET_NAMES, make_dataset
+
+    for name in DATASET_NAMES:
+        dataset = make_dataset(name, seed=0)
+        print(dataset.summary())
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from repro.core.dve import DomainVectorEstimator
+    from repro.datasets import make_dataset
+    from repro.linking import EntityLinker
+
+    dataset = make_dataset(args.dataset, seed=args.seed)
+    estimator = DomainVectorEstimator(
+        EntityLinker(dataset.kb), dataset.taxonomy.size
+    )
+    correct = 0
+    for task in dataset.tasks:
+        vector = estimator.estimate(task.text)
+        correct += int(np.argmax(vector)) == task.true_domain
+    print(
+        f"{args.dataset}: domain detection "
+        f"{correct}/{dataset.num_tasks} "
+        f"({correct / dataset.num_tasks:.1%})"
+    )
+    return 0
+
+
+def _cmd_compare_ti(args) -> int:
+    from repro.experiments import build_context
+    from repro.experiments.fig5 import (
+        format_ti_comparison,
+        run_ti_comparison,
+    )
+
+    context = build_context(args.dataset, seed=args.seed)
+    result = run_ti_comparison(context)
+    print(format_ti_comparison([result]))
+    return 0
+
+
+def _cmd_compare_ota(args) -> int:
+    from repro.experiments.fig8 import (
+        format_ota_comparison,
+        run_ota_comparison,
+    )
+
+    result = run_ota_comparison(args.dataset, seed=args.seed)
+    print(format_ota_comparison([result]))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import pathlib
+
+    from repro.experiments.report import build_report
+
+    output = pathlib.Path(args.output) if args.output else None
+    text = build_report(pathlib.Path(args.results_dir), output=output)
+    if output is None:
+        print(text)
+    else:
+        print(f"report written to {output}")
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "datasets": _cmd_datasets,
+    "detect": _cmd_detect,
+    "compare-ti": _cmd_compare_ti,
+    "compare-ota": _cmd_compare_ota,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

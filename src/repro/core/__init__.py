@@ -1,0 +1,40 @@
+"""Core DOCS algorithms: DVE (Algorithm 1), TI (Section 4), OTA (Section 5).
+
+Public surface:
+
+- :func:`repro.core.dve.domain_vector` / :class:`repro.core.dve.DomainVectorEstimator`
+- :class:`repro.core.truth_inference.TruthInference`
+- :class:`repro.core.incremental.IncrementalTruthInference`
+- :class:`repro.core.quality_store.WorkerQualityStore`
+- :class:`repro.core.assignment.TaskAssigner`
+- :func:`repro.core.golden.select_golden_tasks`
+"""
+
+from repro.core.types import Answer, Task, TaskState
+from repro.core.dve import (
+    DomainVectorEstimator,
+    domain_vector,
+    domain_vector_enumeration,
+)
+from repro.core.truth_inference import TruthInference, TruthInferenceResult
+from repro.core.incremental import IncrementalTruthInference
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.assignment import TaskAssigner, task_benefit
+from repro.core.golden import select_golden_tasks, select_golden_counts
+
+__all__ = [
+    "Answer",
+    "Task",
+    "TaskState",
+    "DomainVectorEstimator",
+    "domain_vector",
+    "domain_vector_enumeration",
+    "TruthInference",
+    "TruthInferenceResult",
+    "IncrementalTruthInference",
+    "WorkerQualityStore",
+    "TaskAssigner",
+    "task_benefit",
+    "select_golden_tasks",
+    "select_golden_counts",
+]

@@ -1,0 +1,179 @@
+"""Golden-task selection (Section 5.2).
+
+Given n tasks with domain vectors and a budget of n' golden tasks, choose
+per-domain counts ``n'_k`` minimising the KL divergence between the
+selected distribution ``sigma = n'_k / n'`` and the aggregate task-domain
+distribution ``tau_k = sum_i r_ik / n`` (Eq. 11), then take the top
+``n'_k`` tasks by ``r_ik`` for each domain.
+
+Eq. 11 is an integer program (NP-hard in general); the paper's
+approximation first floors ``n'_k = floor(tau_k * n')`` and then
+distributes the remaining budget greedily, each time incrementing the
+domain that minimises the resulting objective. The enumeration baseline
+(over all compositions of n' into m parts) reproduces Figure 7(a)'s
+optimality/efficiency comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.math import normalize
+
+
+def kl_objective(counts: np.ndarray, tau: np.ndarray, n_prime: int) -> float:
+    """The Eq. 11 objective ``D(sigma || tau)`` for integer counts.
+
+    Zero counts contribute zero; a positive count on a zero-mass domain
+    yields ``inf``.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.sum() <= 0:
+        return 0.0
+    sigma = counts / n_prime
+    mask = sigma > 0
+    if np.any(tau[mask] <= 0):
+        return float("inf")
+    return float(
+        np.sum(sigma[mask] * (np.log(sigma[mask]) - np.log(tau[mask])))
+    )
+
+
+def select_golden_counts(tau: Sequence[float], n_prime: int) -> np.ndarray:
+    """The paper's approximation algorithm for Eq. 11.
+
+    Args:
+        tau: the aggregate domain distribution (length m, sums to 1).
+        n_prime: the golden-task budget.
+
+    Returns:
+        Integer counts ``n'_k`` summing to ``n_prime``.
+    """
+    tau_arr = np.asarray(tau, dtype=float)
+    if n_prime < 0:
+        raise ValidationError(f"n_prime must be non-negative: {n_prime}")
+    if tau_arr.ndim != 1 or tau_arr.size == 0:
+        raise ValidationError("tau must be a non-empty vector")
+    if np.any(tau_arr < -1e-12) or not np.isclose(tau_arr.sum(), 1.0, atol=1e-6):
+        raise ValidationError("tau must be a probability distribution")
+    m = tau_arr.size
+
+    counts = np.floor(tau_arr * n_prime).astype(int)
+    remaining = n_prime - int(counts.sum())
+    # The floor bound guarantees remaining <= m (see the paper's
+    # complexity analysis), so this loop runs at most m times.
+    for _ in range(remaining):
+        best_k = -1
+        best_value = float("inf")
+        for k in range(m):
+            if tau_arr[k] <= 0:
+                continue
+            trial = counts.copy()
+            trial[k] += 1
+            value = kl_objective(trial, tau_arr, n_prime)
+            if value < best_value:
+                best_value = value
+                best_k = k
+        if best_k < 0:
+            # All mass-zero domains: dump the remainder on the largest tau
+            # (only reachable with degenerate tau due to the checks above).
+            best_k = int(np.argmax(tau_arr))
+        counts[best_k] += 1
+    return counts
+
+
+def _compositions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """All compositions of ``total`` into ``parts`` non-negative ints."""
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for rest in _compositions(total - head, parts - 1):
+            yield (head,) + rest
+
+
+def enumerate_golden_counts(
+    tau: Sequence[float], n_prime: int
+) -> Tuple[np.ndarray, float]:
+    """Brute-force optimum of Eq. 11 over all compositions.
+
+    Exponential in practice (``C(n' + m - 1, m - 1)`` cases); used only
+    for the Figure 7(a) comparison and for verifying the approximation
+    ratio gamma on small instances.
+
+    Returns:
+        (optimal counts, optimal objective value).
+    """
+    tau_arr = np.asarray(tau, dtype=float)
+    best_counts: Optional[np.ndarray] = None
+    best_value = float("inf")
+    for composition in _compositions(n_prime, tau_arr.size):
+        counts = np.array(composition, dtype=int)
+        value = kl_objective(counts, tau_arr, n_prime)
+        if value < best_value:
+            best_value = value
+            best_counts = counts
+    assert best_counts is not None
+    return best_counts, best_value
+
+
+def aggregate_domain_distribution(
+    domain_vectors: Sequence[np.ndarray],
+) -> np.ndarray:
+    """``tau_k = sum_i r_ik / n`` — the task pool's domain distribution."""
+    if not domain_vectors:
+        raise ValidationError("no domain vectors given")
+    stacked = np.stack([np.asarray(r, dtype=float) for r in domain_vectors])
+    return normalize(stacked.sum(axis=0))
+
+
+def select_golden_tasks(
+    domain_vectors: Sequence[np.ndarray],
+    n_prime: int,
+) -> List[int]:
+    """Full golden-task selection: counts via Eq. 11, then top tasks.
+
+    For each domain k (descending ``n'_k``), pick the ``n'_k`` not-yet-
+    selected tasks with the highest ``r_ik`` (guideline 1 of Section 5.2);
+    a task is selected at most once even if it tops several domains.
+
+    Args:
+        domain_vectors: one length-m domain vector per task (task index =
+            position).
+        n_prime: number of golden tasks to select (must be <= n).
+
+    Returns:
+        Selected task indices (into ``domain_vectors``).
+    """
+    n = len(domain_vectors)
+    if n_prime > n:
+        raise ValidationError(
+            f"cannot select {n_prime} golden tasks from {n} tasks"
+        )
+    if n_prime == 0:
+        return []
+    tau = aggregate_domain_distribution(domain_vectors)
+    counts = select_golden_counts(tau, n_prime)
+    R = np.stack([np.asarray(r, dtype=float) for r in domain_vectors])
+
+    selected: List[int] = []
+    taken = np.zeros(n, dtype=bool)
+    # Fill high-demand domains first so collisions steal from domains with
+    # spare depth.
+    for k in np.argsort(-counts):
+        need = int(counts[k])
+        if need == 0:
+            continue
+        order = np.argsort(-R[:, k], kind="stable")
+        for task_idx in order:
+            if need == 0:
+                break
+            if taken[task_idx]:
+                continue
+            taken[task_idx] = True
+            selected.append(int(task_idx))
+            need -= 1
+    return selected

@@ -1,0 +1,176 @@
+"""Incremental Truth Inference (Section 4.2, "Accelerating TI").
+
+When a worker submits one answer, only the parameters most related to the
+touched task and workers change:
+
+- **Step 1**: the task's log-numerator matrix ``M-hat`` (the numerator of
+  Eq. 3) gains the new answer's contribution; ``M`` is re-normalised and
+  ``s = r @ M`` recomputed. O(m * l).
+- **Step 2**: the answering worker's quality gains the new task's
+  contribution (``q_k <- (q_k u_k + s_a r_k) / (u_k + r_k)``), and every
+  worker who answered this task before has their old contribution swapped
+  for the new one (``q_k <- (q_k u_k - s~_j r_k + s_j r_k) / u_k``).
+  O(m * |V(i)|).
+
+The incremental pass trades some quality for instant updates; DOCS
+re-runs the full iterative TI every ``z`` submissions (z = 100 in the
+paper) — orchestrated by :class:`repro.system.DocsSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.truth_inference import QUALITY_CEIL, QUALITY_FLOOR
+from repro.core.types import Answer, Task, TaskState
+from repro.errors import UnknownTaskError, ValidationError
+
+
+class IncrementalTruthInference:
+    """Maintains task states and worker qualities answer-by-answer.
+
+    Args:
+        quality_store: the persistent worker model (qualities are read
+            from and written back to it).
+    """
+
+    def __init__(self, quality_store: WorkerQualityStore):
+        self._store = quality_store
+        self._states: Dict[int, TaskState] = {}
+        #: task id -> list of (worker_id, choice) already applied.
+        self._history: Dict[int, List[Tuple[str, int]]] = {}
+
+    @property
+    def quality_store(self) -> WorkerQualityStore:
+        """The backing worker-quality store."""
+        return self._store
+
+    def register_task(self, task: Task) -> TaskState:
+        """Create (or return) the state for a task with a domain vector."""
+        existing = self._states.get(task.task_id)
+        if existing is not None:
+            return existing
+        if task.domain_vector is None:
+            raise ValidationError(
+                f"task {task.task_id} has no domain vector; run DVE first"
+            )
+        state = TaskState.fresh(task, np.asarray(task.domain_vector))
+        self._states[task.task_id] = state
+        self._history[task.task_id] = []
+        return state
+
+    def state(self, task_id: int) -> TaskState:
+        """Current state of a task.
+
+        Raises:
+            UnknownTaskError: if the task was never registered.
+        """
+        state = self._states.get(task_id)
+        if state is None:
+            raise UnknownTaskError(task_id)
+        return state
+
+    def states(self) -> Mapping[int, TaskState]:
+        """All task states (read-only view)."""
+        return self._states
+
+    def answered_workers(self, task_id: int) -> List[Tuple[str, int]]:
+        """(worker, choice) pairs applied to a task so far."""
+        return list(self._history.get(task_id, []))
+
+    def submit(self, answer: Answer) -> TaskState:
+        """Apply one answer with the Section 4.2 update policy.
+
+        Returns:
+            The task's updated state.
+        """
+        state = self.state(answer.task_id)
+        ell = state.num_choices
+        if not 1 <= answer.choice <= ell:
+            raise ValidationError(
+                f"choice {answer.choice} outside [1, {ell}] for task "
+                f"{answer.task_id}"
+            )
+        if any(
+            worker_id == answer.worker_id
+            for worker_id, _ in self._history[answer.task_id]
+        ):
+            raise ValidationError(
+                f"worker {answer.worker_id} already answered task "
+                f"{answer.task_id} (a worker answers a task at most once)"
+            )
+
+        previous_s = state.s.copy()
+        quality = np.clip(
+            self._store.quality_or_default(answer.worker_id),
+            QUALITY_FLOOR,
+            QUALITY_CEIL,
+        )
+
+        # Step 1: fold the answer into the stored log numerators M-hat.
+        log_correct = np.log(quality)
+        log_incorrect = np.log((1.0 - quality) / (ell - 1))
+        contribution = np.tile(log_incorrect[:, None], (1, ell))
+        contribution[:, answer.choice - 1] = log_correct
+        assert state.log_numerators is not None
+        state.log_numerators += contribution
+        shifted = state.log_numerators - state.log_numerators.max(
+            axis=1, keepdims=True
+        )
+        numerator = np.exp(shifted)
+        state.M = numerator / numerator.sum(axis=1, keepdims=True)
+        state.s = state.r @ state.M
+
+        # Step 2a: update the answering worker via Theorem 1's merge with
+        # a single-task batch (q = s_a on this task, u = r).
+        batch_quality = np.full_like(state.r, state.s[answer.choice - 1])
+        self._store.merge(answer.worker_id, batch_quality, state.r)
+
+        # Step 2b: refresh prior answerers' contributions: replace the old
+        # s~_j with the new s_j at their answered choice.
+        for worker_id, choice in self._history[answer.task_id]:
+            stats = self._store.get(worker_id)
+            delta = (state.s[choice - 1] - previous_s[choice - 1]) * state.r
+            mask = stats.weight > 0
+            updated = stats.quality.copy()
+            updated[mask] += delta[mask] / stats.weight[mask]
+            # Numerical guard: Eq. 5 keeps q in [0, 1]; enforce it under
+            # floating-point drift.
+            np.clip(updated, 0.0, 1.0, out=updated)
+            self._store.set(worker_id, updated, stats.weight)
+
+        self._history[answer.task_id].append(
+            (answer.worker_id, answer.choice)
+        )
+        return state
+
+    def resync_from_full_inference(
+        self,
+        probabilistic_truths: Mapping[int, np.ndarray],
+        truth_matrices: Mapping[int, np.ndarray],
+        worker_qualities: Mapping[str, np.ndarray],
+        worker_weights: Mapping[str, np.ndarray],
+    ) -> None:
+        """Overwrite incremental state with a full iterative TI's output.
+
+        DOCS runs full TI every z submissions; afterwards the incremental
+        layer continues from the refreshed parameters. Log numerators are
+        re-derived from the (strictly positive) refreshed M.
+        """
+        for task_id, s in probabilistic_truths.items():
+            state = self._states.get(task_id)
+            if state is None:
+                continue
+            M = np.asarray(truth_matrices[task_id], dtype=float)
+            state.M = M
+            state.s = np.asarray(s, dtype=float)
+            state.log_numerators = np.log(np.clip(M, 1e-300, None))
+        for worker_id, quality in worker_qualities.items():
+            self._store.set(
+                worker_id,
+                np.asarray(quality, dtype=float),
+                np.asarray(worker_weights[worker_id], dtype=float),
+            )

@@ -1,0 +1,221 @@
+"""Worker-quality maintenance across requesters (Section 4.2, Theorem 1).
+
+DOCS persists, per worker and domain, two statistics:
+
+- ``q^w_k`` — the quality estimate, and
+- ``u^w_k`` — its *weight*, the expected number of answered tasks related
+  to domain k (``sum_i r_ik``).
+
+Theorem 1: merging an old estimate ``(q-hat, u-hat)`` with a batch of new
+tasks ``(q, u)`` as a weight-proportional average,
+
+    q <- (q-hat * u-hat + q * u) / (u-hat + u),    u <- u-hat + u,
+
+yields exactly the quality that full recomputation over all tasks would
+give, because Eq. 5 is itself a weighted mean with weights ``r_ik``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import UnknownWorkerError, ValidationError
+
+
+@dataclass
+class WorkerStats:
+    """Persisted per-worker statistics.
+
+    Attributes:
+        quality: length-m quality vector ``q^w``.
+        weight: length-m weight vector ``u^w``.
+    """
+
+    quality: np.ndarray
+    weight: np.ndarray
+
+    def copy(self) -> "WorkerStats":
+        return WorkerStats(self.quality.copy(), self.weight.copy())
+
+
+class WorkerQualityStore:
+    """The database-backed worker model (here: in-memory).
+
+    Args:
+        num_domains: m, the taxonomy size.
+        default_quality: quality reported for domains with zero weight
+            (no evidence yet).
+    """
+
+    def __init__(self, num_domains: int, default_quality: float = 0.7):
+        if num_domains <= 0:
+            raise ValidationError("num_domains must be positive")
+        if not 0.0 < default_quality < 1.0:
+            raise ValidationError("default_quality must be in (0, 1)")
+        self._m = num_domains
+        self._default_quality = default_quality
+        self._stats: Dict[str, WorkerStats] = {}
+
+    @property
+    def num_domains(self) -> int:
+        """Taxonomy size m."""
+        return self._m
+
+    def known_workers(self) -> Iterable[str]:
+        """Ids of workers with stored statistics."""
+        return self._stats.keys()
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._stats
+
+    def get(self, worker_id: str) -> WorkerStats:
+        """Stored stats for a worker.
+
+        Raises:
+            UnknownWorkerError: if the worker has no record.
+        """
+        stats = self._stats.get(worker_id)
+        if stats is None:
+            raise UnknownWorkerError(worker_id)
+        return stats
+
+    def quality_or_default(self, worker_id: str) -> np.ndarray:
+        """The worker's quality vector, defaulting per-domain when the
+        stored weight is zero and globally when the worker is unknown."""
+        stats = self._stats.get(worker_id)
+        if stats is None:
+            return np.full(self._m, self._default_quality)
+        quality = stats.quality.copy()
+        quality[stats.weight <= 0] = self._default_quality
+        return quality
+
+    def blended_quality(
+        self, worker_id: str, pseudo_weight: float = 1.0
+    ) -> np.ndarray:
+        """Weight-shrunk quality: ``(q u + default p) / (u + p)``.
+
+        Domains where the worker has answered almost nothing carry tiny
+        weights ``u_k``; their raw quality values are dominated by one
+        or two noisy incremental updates. Blending toward the default in
+        proportion to the missing evidence keeps low-evidence domains
+        near the prior while leaving well-observed domains untouched —
+        important for OTA, which reads qualities across *all* domains.
+        """
+        if pseudo_weight < 0:
+            raise ValidationError("pseudo_weight must be non-negative")
+        stats = self._stats.get(worker_id)
+        if stats is None:
+            return np.full(self._m, self._default_quality)
+        return (
+            stats.quality * stats.weight
+            + self._default_quality * pseudo_weight
+        ) / (stats.weight + pseudo_weight)
+
+    def set(
+        self, worker_id: str, quality: np.ndarray, weight: np.ndarray
+    ) -> None:
+        """Overwrite a worker's stats (used for golden-task bootstrap)."""
+        quality = np.asarray(quality, dtype=float)
+        weight = np.asarray(weight, dtype=float)
+        if quality.shape != (self._m,) or weight.shape != (self._m,):
+            raise ValidationError(
+                f"quality/weight must have shape ({self._m},)"
+            )
+        if np.any(weight < 0):
+            raise ValidationError("weights must be non-negative")
+        self._stats[worker_id] = WorkerStats(quality.copy(), weight.copy())
+
+    def merge(
+        self, worker_id: str, quality: np.ndarray, weight: np.ndarray
+    ) -> WorkerStats:
+        """Theorem 1 update: merge a new batch estimate into the store.
+
+        Args:
+            worker_id: the worker.
+            quality: batch quality ``q`` over the new tasks.
+            weight: batch weights ``u = sum_i r_ik`` over the new tasks.
+
+        Returns:
+            The merged stats now stored.
+        """
+        quality = np.asarray(quality, dtype=float)
+        weight = np.asarray(weight, dtype=float)
+        if quality.shape != (self._m,) or weight.shape != (self._m,):
+            raise ValidationError(
+                f"quality/weight must have shape ({self._m},)"
+            )
+        if np.any(weight < 0):
+            raise ValidationError("weights must be non-negative")
+        existing = self._stats.get(worker_id)
+        if existing is None:
+            merged = WorkerStats(quality.copy(), weight.copy())
+        else:
+            total = existing.weight + weight
+            merged_quality = existing.quality.copy()
+            mask = total > 0
+            merged_quality[mask] = (
+                existing.quality[mask] * existing.weight[mask]
+                + quality[mask] * weight[mask]
+            ) / total[mask]
+            merged = WorkerStats(merged_quality, total)
+        self._stats[worker_id] = merged
+        return merged
+
+    def initialize_from_golden(
+        self,
+        worker_id: str,
+        golden_answers: Mapping[int, int],
+        golden_truths: Mapping[int, int],
+        domain_vectors: Mapping[int, np.ndarray],
+        shrinkage: float = 1.0,
+    ) -> WorkerStats:
+        """Bootstrap a new worker's quality from golden-task answers.
+
+        For each golden task the worker answered, correctness is known
+        exactly; applying Eq. 5 with ``s_{i,v} = 1{v == truth}`` gives
+
+            q_k = sum_i r_ik * 1{correct_i} / sum_i r_ik,   u_k = sum r_ik.
+
+        A pseudo-observation of weight ``shrinkage`` at the default
+        quality regularises the estimate: a 5-for-5 golden streak should
+        yield a high quality, not a degenerate 1.0 that would make every
+        later answer of that worker irrefutable in Eq. 4's likelihood.
+
+        Args:
+            worker_id: the worker.
+            golden_answers: task id -> worker's choice.
+            golden_truths: task id -> ground-truth choice.
+            domain_vectors: task id -> domain vector.
+            shrinkage: pseudo-count pulling toward the default quality.
+
+        Returns:
+            The stored stats.
+        """
+        if shrinkage < 0:
+            raise ValidationError("shrinkage must be non-negative")
+        numerator = np.zeros(self._m)
+        denominator = np.zeros(self._m)
+        for task_id, choice in golden_answers.items():
+            if task_id not in golden_truths:
+                raise ValidationError(
+                    f"golden task {task_id} has no recorded truth"
+                )
+            r = np.asarray(domain_vectors[task_id], dtype=float)
+            correct = 1.0 if choice == golden_truths[task_id] else 0.0
+            numerator += r * correct
+            denominator += r
+        quality = np.full(self._m, self._default_quality)
+        mask = denominator > 0
+        quality[mask] = (
+            numerator[mask] + shrinkage * self._default_quality
+        ) / (denominator[mask] + shrinkage)
+        stats = WorkerStats(quality, denominator)
+        self._stats[worker_id] = stats
+        return stats
+
+    def snapshot(self) -> Dict[str, WorkerStats]:
+        """A deep copy of all stored stats (for persistence/inspection)."""
+        return {wid: stats.copy() for wid, stats in self._stats.items()}

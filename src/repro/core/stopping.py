@@ -1,0 +1,235 @@
+"""Confidence-based task retirement (the paper's "stable point").
+
+Section 6.3 observes that accuracy "remains stable as >= 8 answers are
+collected" for some datasets and defers "the estimation of stable point"
+to future work. This module implements that extension: a stopping rule
+that *retires* a task — stops assigning it — once its probabilistic
+truth is confident enough, releasing the remaining budget to tasks that
+still need answers.
+
+Two rules are provided:
+
+- :class:`ConfidenceStoppingRule` — retire when ``max_j s_j`` crosses a
+  threshold (with a minimum answer count so a single early answer cannot
+  retire a task);
+- :class:`EntropyStoppingRule` — retire when the truth entropy falls
+  below a threshold (scale-free across different choice counts).
+
+:class:`BudgetSavingAssigner` wraps :class:`repro.core.assignment.TaskAssigner`
+with a rule, exposing the same ``assign`` interface restricted to live
+tasks; :func:`savings_report` quantifies how much budget a rule would
+have saved on a finished campaign.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.assignment import TaskAssigner
+from repro.core.types import TaskState
+from repro.errors import ValidationError
+from repro.utils.math import entropy_unchecked
+
+
+class StoppingRule(abc.ABC):
+    """Decides whether a task needs more answers."""
+
+    @abc.abstractmethod
+    def should_stop(self, state: TaskState, answer_count: int) -> bool:
+        """True if the task can be retired given its current state."""
+
+
+class ConfidenceStoppingRule(StoppingRule):
+    """Retire when the MAP probability is high enough.
+
+    Args:
+        threshold: retire once ``max_j s_j >= threshold``.
+        min_answers: never retire before this many answers (guards
+            against retiring on the confident-looking posterior a single
+            high-quality answer produces).
+    """
+
+    def __init__(self, threshold: float = 0.95, min_answers: int = 3):
+        if not 0.5 < threshold <= 1.0:
+            raise ValidationError(
+                f"threshold must be in (0.5, 1]: {threshold}"
+            )
+        if min_answers < 1:
+            raise ValidationError("min_answers must be >= 1")
+        self.threshold = threshold
+        self.min_answers = min_answers
+
+    def should_stop(self, state: TaskState, answer_count: int) -> bool:
+        if answer_count < self.min_answers:
+            return False
+        return float(state.s.max()) >= self.threshold
+
+
+class EntropyStoppingRule(StoppingRule):
+    """Retire when the truth entropy is low enough.
+
+    Args:
+        max_entropy: retire once ``H(s) <= max_entropy`` (nats).
+        min_answers: minimum answers before retirement.
+    """
+
+    def __init__(self, max_entropy: float = 0.2, min_answers: int = 3):
+        if max_entropy <= 0:
+            raise ValidationError("max_entropy must be positive")
+        if min_answers < 1:
+            raise ValidationError("min_answers must be >= 1")
+        self.max_entropy = max_entropy
+        self.min_answers = min_answers
+
+    def should_stop(self, state: TaskState, answer_count: int) -> bool:
+        if answer_count < self.min_answers:
+            return False
+        return entropy_unchecked(state.s) <= self.max_entropy
+
+
+class BudgetSavingAssigner:
+    """OTA with task retirement.
+
+    Wraps a :class:`TaskAssigner`; before each assignment, tasks the
+    rule retires are removed from the candidate pool. Retirement is
+    monotone (a retired task stays retired) so downstream bookkeeping
+    stays simple even if later full-TI re-runs soften a posterior.
+
+    Args:
+        rule: the stopping rule.
+        assigner: the underlying benefit-based assigner.
+    """
+
+    def __init__(
+        self,
+        rule: StoppingRule,
+        assigner: Optional[TaskAssigner] = None,
+    ):
+        self._rule = rule
+        self._assigner = assigner or TaskAssigner()
+        self._retired: Set[int] = set()
+
+    @property
+    def retired(self) -> Set[int]:
+        """Ids of retired tasks."""
+        return set(self._retired)
+
+    def refresh(
+        self,
+        states: Mapping[int, TaskState],
+        answer_counts: Mapping[int, int],
+    ) -> Set[int]:
+        """Re-evaluate the rule; returns the tasks retired by this call."""
+        newly = set()
+        for task_id, state in states.items():
+            if task_id in self._retired:
+                continue
+            if self._rule.should_stop(
+                state, answer_counts.get(task_id, 0)
+            ):
+                newly.add(task_id)
+        self._retired |= newly
+        return newly
+
+    def assign(
+        self,
+        states: Mapping[int, TaskState],
+        worker_quality: np.ndarray,
+        answer_counts: Mapping[int, int],
+        answered_by_worker: Optional[Set[int]] = None,
+        k: Optional[int] = None,
+    ) -> List[int]:
+        """Assign among live (non-retired) tasks only."""
+        self.refresh(states, answer_counts)
+        live = {tid for tid in states if tid not in self._retired}
+        if not live:
+            return []
+        return self._assigner.assign(
+            states,
+            worker_quality,
+            answered_by_worker=answered_by_worker,
+            k=k,
+            eligible=live,
+        )
+
+
+@dataclass
+class SavingsReport:
+    """Outcome of :func:`savings_report`.
+
+    Attributes:
+        total_answers: answers actually collected.
+        needed_answers: answers the rule would have kept.
+        saved_fraction: fraction of the budget the rule releases.
+        accuracy_full: accuracy using all answers.
+        accuracy_stopped: accuracy using only the kept answers.
+    """
+
+    total_answers: int
+    needed_answers: int
+    saved_fraction: float
+    accuracy_full: float
+    accuracy_stopped: float
+
+
+def savings_report(
+    tasks,
+    answers,
+    rule: StoppingRule,
+    truth_inference,
+) -> SavingsReport:
+    """Replay a campaign under a stopping rule and quantify savings.
+
+    Answers are replayed in arrival order; once the rule retires a task
+    (based on a running single-task posterior under the inferred final
+    worker qualities), its later answers are discarded. Accuracy is then
+    re-inferred from the kept answers only.
+
+    Args:
+        tasks: the task list (with domain vectors and ground truth).
+        answers: the full collected answer stream.
+        rule: the stopping rule to evaluate.
+        truth_inference: a :class:`repro.core.truth_inference.TruthInference`.
+
+    Returns:
+        A :class:`SavingsReport`.
+    """
+    from repro.core.quality_store import WorkerQualityStore
+    from repro.core.incremental import IncrementalTruthInference
+
+    full = truth_inference.infer(tasks, answers)
+    accuracy_full = full.accuracy(tasks)
+
+    m = tasks[0].domain_vector.shape[0]
+    store = WorkerQualityStore(m)
+    for worker_id, quality in full.worker_qualities.items():
+        store.set(worker_id, quality, np.ones(m))
+    engine = IncrementalTruthInference(store)
+    for task in tasks:
+        engine.register_task(task)
+
+    kept = []
+    counts: Dict[int, int] = {}
+    retired: Set[int] = set()
+    for answer in answers:
+        if answer.task_id in retired:
+            continue
+        engine.submit(answer)
+        kept.append(answer)
+        counts[answer.task_id] = counts.get(answer.task_id, 0) + 1
+        state = engine.state(answer.task_id)
+        if rule.should_stop(state, counts[answer.task_id]):
+            retired.add(answer.task_id)
+
+    stopped = truth_inference.infer(tasks, kept)
+    return SavingsReport(
+        total_answers=len(answers),
+        needed_answers=len(kept),
+        saved_fraction=1.0 - len(kept) / max(len(answers), 1),
+        accuracy_full=accuracy_full,
+        accuracy_stopped=stopped.accuracy(tasks),
+    )

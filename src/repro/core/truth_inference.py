@@ -1,0 +1,374 @@
+"""Iterative Truth Inference (Section 4.1).
+
+Alternates two steps until convergence:
+
+- **Step 1 (q -> s)**: for each task, build the conditional truth matrix
+  ``M(i)`` (Eqs. 3-4) from the current worker qualities and the answer set
+  ``V(i)``, then ``s_i = r_ti @ M(i)`` (Eq. 2).
+- **Step 2 (s -> q)**: for each worker and domain,
+  ``q^w_k = sum_i r_ik * s_{i, v^w_i} / sum_i r_ik`` over the worker's
+  answered tasks (Eq. 5).
+
+Numerics: Eq. 3's numerator is a product over answers, so it is computed
+in log space; qualities are clipped into ``[QUALITY_FLOOR, QUALITY_CEIL]``
+inside Eq. 4 only (reported qualities are unclipped) so a momentarily
+perfect worker cannot produce ``log 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.types import (
+    Answer,
+    Task,
+    group_answers_by_task,
+    group_answers_by_worker,
+)
+from repro.errors import ValidationError
+
+#: Clipping bounds applied to qualities inside likelihoods. Wide enough to
+#: preserve strong signals, tight enough to keep logs finite.
+QUALITY_FLOOR = 1e-3
+QUALITY_CEIL = 1.0 - 1e-3
+
+#: Quality assumed for a worker with no golden-task initialisation. The
+#: paper initialises from golden tasks; 0.7 is the standard "better than
+#: random but imperfect" prior used by EM-style inference when cold.
+DEFAULT_INITIAL_QUALITY = 0.7
+
+#: The paper observes convergence within ~10 iterations and terminates
+#: within 20 in practice.
+DEFAULT_MAX_ITERATIONS = 20
+DEFAULT_TOLERANCE = 1e-6
+
+
+def conditional_truth_matrix(
+    task: Task,
+    r: np.ndarray,
+    answers: Sequence[Answer],
+    qualities: Mapping[str, np.ndarray],
+) -> np.ndarray:
+    """Compute ``M(i)`` (Eqs. 3-4) for one task.
+
+    Row k is the posterior distribution over the task's choices given that
+    the true domain is ``d_k``, under independent worker answers and a
+    uniform prior over choices.
+
+    Args:
+        task: the task (supplies ``l``).
+        r: unused except for shape (m); kept for interface symmetry.
+        answers: the answer set ``V(i)``.
+        qualities: worker id -> length-m quality vector.
+
+    Returns:
+        Matrix of shape (m, l); each row sums to 1.
+    """
+    m = r.shape[0]
+    ell = task.num_choices
+    log_numerator = np.zeros((m, ell))
+    for answer in answers:
+        q = np.clip(qualities[answer.worker_id], QUALITY_FLOOR, QUALITY_CEIL)
+        log_correct = np.log(q)
+        log_incorrect = np.log((1.0 - q) / (ell - 1))
+        # For each domain k: the answered choice contributes log q_k to
+        # column (v-1) and log((1-q_k)/(l-1)) to every other column.
+        contribution = np.tile(log_incorrect[:, None], (1, ell))
+        contribution[:, answer.choice - 1] = log_correct
+        log_numerator += contribution
+    # Normalise each row in log space (softmax).
+    log_numerator -= log_numerator.max(axis=1, keepdims=True)
+    numerator = np.exp(log_numerator)
+    return numerator / numerator.sum(axis=1, keepdims=True)
+
+
+@dataclass
+class TruthInferenceResult:
+    """Output of :meth:`TruthInference.infer`.
+
+    Attributes:
+        probabilistic_truths: task id -> probabilistic truth ``s_i``.
+        truth_matrices: task id -> conditional matrix ``M(i)``.
+        worker_qualities: worker id -> quality vector ``q^w``.
+        worker_weights: worker id -> per-domain expected answer counts
+            ``u^w_k = sum_i r_ik`` (the Theorem 1 weights).
+        delta_history: parameter change Delta per iteration (the Fig. 4(a)
+            convergence series).
+        iterations: iterations actually run.
+    """
+
+    probabilistic_truths: Dict[int, np.ndarray]
+    truth_matrices: Dict[int, np.ndarray]
+    worker_qualities: Dict[str, np.ndarray]
+    worker_weights: Dict[str, np.ndarray]
+    delta_history: List[float] = field(default_factory=list)
+    iterations: int = 0
+
+    def truths(self) -> Dict[int, int]:
+        """MAP truth per task: ``v*_i = argmax_j s_{i,j}`` (1-based)."""
+        return {
+            task_id: int(np.argmax(s)) + 1
+            for task_id, s in self.probabilistic_truths.items()
+        }
+
+    def accuracy(self, tasks: Sequence[Task]) -> float:
+        """Fraction of tasks whose inferred truth matches ground truth.
+
+        Tasks without ground truth are skipped.
+        """
+        truths = self.truths()
+        correct = 0
+        counted = 0
+        for task in tasks:
+            if task.ground_truth is None or task.task_id not in truths:
+                continue
+            counted += 1
+            if truths[task.task_id] == task.ground_truth:
+                correct += 1
+        if counted == 0:
+            raise ValidationError("no ground-truth tasks to score")
+        return correct / counted
+
+
+class TruthInference:
+    """The iterative TI algorithm of Section 4.1.
+
+    Args:
+        max_iterations: iteration cap (paper: converges within ~10, capped
+            at 20 in practice).
+        tolerance: stop when the parameter change Delta falls below this.
+        default_quality: per-domain quality assumed for workers with no
+            initial estimate.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        tolerance: float = DEFAULT_TOLERANCE,
+        default_quality: float = DEFAULT_INITIAL_QUALITY,
+    ):
+        if max_iterations < 1:
+            raise ValidationError("max_iterations must be >= 1")
+        if not 0.0 < default_quality < 1.0:
+            raise ValidationError("default_quality must be in (0, 1)")
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+        self._default_quality = default_quality
+
+    def infer(
+        self,
+        tasks: Sequence[Task],
+        answers: Sequence[Answer],
+        initial_qualities: Optional[Mapping[str, np.ndarray]] = None,
+        track_delta: bool = True,
+    ) -> TruthInferenceResult:
+        """Run TI to convergence.
+
+        Args:
+            tasks: tasks with domain vectors set (``task.domain_vector``).
+            answers: all collected answers.
+            initial_qualities: optional worker id -> quality vector map
+                (e.g. from golden tasks / the quality store). Workers not
+                present start at ``default_quality`` across all domains.
+            track_delta: record the Delta series (Fig. 4(a)); small cost.
+
+        Returns:
+            A :class:`TruthInferenceResult`.
+        """
+        task_index: Dict[int, Task] = {}
+        domain_vectors: Dict[int, np.ndarray] = {}
+        m = None
+        for task in tasks:
+            if task.domain_vector is None:
+                raise ValidationError(
+                    f"task {task.task_id} has no domain vector; run DVE "
+                    "first"
+                )
+            task_index[task.task_id] = task
+            domain_vectors[task.task_id] = np.asarray(
+                task.domain_vector, dtype=float
+            )
+            if m is None:
+                m = domain_vectors[task.task_id].shape[0]
+            elif domain_vectors[task.task_id].shape[0] != m:
+                raise ValidationError("inconsistent domain vector sizes")
+        if m is None:
+            raise ValidationError("no tasks given")
+
+        by_task = group_answers_by_task(answers)
+        by_worker = group_answers_by_worker(answers)
+        unknown = set(by_task) - set(task_index)
+        if unknown:
+            raise ValidationError(
+                f"answers reference unknown tasks: {sorted(unknown)[:5]}"
+            )
+
+        # ---- Vectorised layout -----------------------------------------
+        # Only answered tasks participate in the iterations. Columns are
+        # padded to the maximum choice count; invalid columns are masked
+        # with -inf log-numerators so they carry zero probability.
+        answered_ids: List[int] = list(by_task.keys())
+        if not answered_ids:
+            return TruthInferenceResult(
+                probabilistic_truths={},
+                truth_matrices={},
+                worker_qualities={},
+                worker_weights={},
+            )
+        tid_to_row = {tid: row for row, tid in enumerate(answered_ids)}
+        n = len(answered_ids)
+        worker_ids: List[str] = list(by_worker.keys())
+        wid_to_row = {wid: row for row, wid in enumerate(worker_ids)}
+        W = len(worker_ids)
+
+        ells = np.array(
+            [task_index[tid].num_choices for tid in answered_ids],
+            dtype=np.int64,
+        )
+        ell_max = int(ells.max()) if n else 0
+        valid = np.arange(ell_max)[None, :] < ells[:, None]     # (n, L)
+        R = np.stack([domain_vectors[tid] for tid in answered_ids])  # (n, m)
+
+        a_task = np.array(
+            [tid_to_row[a.task_id] for a in answers], dtype=np.int64
+        )
+        a_worker = np.array(
+            [wid_to_row[a.worker_id] for a in answers], dtype=np.int64
+        )
+        a_choice = np.array([a.choice - 1 for a in answers], dtype=np.int64)
+        a_ell = ells[a_task]
+
+        Q = np.full((W, m), self._default_quality)
+        if initial_qualities:
+            for wid, row in wid_to_row.items():
+                if wid in initial_qualities:
+                    q = np.asarray(initial_qualities[wid], dtype=float)
+                    if q.shape != (m,):
+                        raise ValidationError(
+                            f"initial quality for {wid} has shape "
+                            f"{q.shape}, expected ({m},)"
+                        )
+                    Q[row] = q
+
+        S = np.where(valid, 1.0, 0.0)
+        S = S / S.sum(axis=1, keepdims=True)                     # (n, L)
+        M = np.zeros((n, m, ell_max))
+
+        delta_history: List[float] = []
+        iterations_run = 0
+        for _ in range(self._max_iterations):
+            iterations_run += 1
+            S_prev = S.copy()
+            Q_prev = Q.copy()
+
+            # Step 1 (q -> s): accumulate Eq. 3's log numerators.
+            Qc = np.clip(Q, QUALITY_FLOOR, QUALITY_CEIL)
+            log_correct = np.log(Qc)                             # (W, m)
+            # (answers, m): per-answer log-prob of a wrong specific pick.
+            log_incorrect_a = np.log(
+                (1.0 - Qc[a_worker]) / (a_ell - 1)[:, None]
+            )
+            log_correct_a = log_correct[a_worker]
+
+            base = np.zeros((n, m))
+            np.add.at(base, a_task, log_incorrect_a)
+            logM = np.repeat(base[:, :, None], ell_max, axis=2)  # (n, m, L)
+            # Add (log_correct - log_incorrect) at each answered column.
+            delta_a = log_correct_a - log_incorrect_a            # (A, m)
+            # Build flat index (task, column) -> add into (n*L, m) buffer.
+            col_buffer = np.zeros((n * ell_max, m))
+            np.add.at(col_buffer, a_task * ell_max + a_choice, delta_a)
+            logM = logM + col_buffer.reshape(n, ell_max, m).transpose(
+                0, 2, 1
+            )
+            logM = np.where(valid[:, None, :], logM, -np.inf)
+            logM -= logM.max(axis=2, keepdims=True)
+            expM = np.exp(logM)
+            M = expM / expM.sum(axis=2, keepdims=True)
+            S = np.einsum("nm,nml->nl", R, M)
+
+            # Step 2 (s -> q): Eq. 5 as scatter-adds over workers.
+            s_at_choice = S[a_task, a_choice]                    # (A,)
+            numerator = np.zeros((W, m))
+            denominator = np.zeros((W, m))
+            np.add.at(numerator, a_worker, R[a_task] * s_at_choice[:, None])
+            np.add.at(denominator, a_worker, R[a_task])
+            mask = denominator > 0
+            Q = np.where(mask, np.divide(
+                numerator, denominator, out=np.zeros_like(numerator),
+                where=mask,
+            ), Q)
+
+            if track_delta or self._tolerance > 0:
+                truth_change = float(
+                    (np.abs(S - S_prev).sum(axis=1) / ells).mean()
+                ) if n else 0.0
+                quality_change = (
+                    float(np.abs(Q - Q_prev).mean()) if W else 0.0
+                )
+                delta = truth_change + quality_change
+                delta_history.append(delta)
+                if delta < self._tolerance:
+                    break
+
+        truths = {
+            tid: S[row, : ells[row]].copy()
+            for tid, row in tid_to_row.items()
+        }
+        matrices = {
+            tid: M[row, :, : ells[row]].copy()
+            for tid, row in tid_to_row.items()
+        }
+        qualities = {wid: Q[row].copy() for wid, row in wid_to_row.items()}
+
+        return TruthInferenceResult(
+            probabilistic_truths=truths,
+            truth_matrices=matrices,
+            worker_qualities=qualities,
+            worker_weights={
+                worker_id: _worker_weights(worker_answers, domain_vectors)
+                for worker_id, worker_answers in by_worker.items()
+            },
+            delta_history=delta_history,
+            iterations=iterations_run,
+        )
+
+
+def _worker_weights(
+    worker_answers: Sequence[Answer],
+    domain_vectors: Mapping[int, np.ndarray],
+) -> np.ndarray:
+    """``u^w_k = sum_{t_i in T(w)} r_ik`` (Section 4.2)."""
+    first = next(iter(domain_vectors.values()))
+    weights = np.zeros_like(first)
+    for answer in worker_answers:
+        weights += domain_vectors[answer.task_id]
+    return weights
+
+
+def _parameter_change(
+    truths: Mapping[int, np.ndarray],
+    previous_truths: Mapping[int, np.ndarray],
+    qualities: Mapping[str, np.ndarray],
+    previous_qualities: Mapping[str, np.ndarray],
+) -> float:
+    """The paper's Delta: mean absolute change of s plus that of q."""
+    truth_change = 0.0
+    for task_id, s in truths.items():
+        truth_change += float(
+            np.abs(s - previous_truths[task_id]).sum() / s.size
+        )
+    if truths:
+        truth_change /= len(truths)
+
+    quality_change = 0.0
+    for worker_id, q in qualities.items():
+        quality_change += float(
+            np.abs(q - previous_qualities[worker_id]).sum() / q.size
+        )
+    if qualities:
+        quality_change /= len(qualities)
+    return truth_change + quality_change

@@ -1,0 +1,184 @@
+"""Core data types: tasks, answers, and per-task inference state.
+
+Conventions (following the paper):
+
+- Answers are 1-based: ``1 <= v <= l_ti`` (Definition 4).
+- Domain vectors ``r`` are length-m probability distributions
+  (Definition 2).
+- ``M`` is the m x l matrix of Eq. 3: row k is the truth distribution
+  conditioned on the task's true domain being ``d_k``.
+- ``s = r @ M`` is the task's probabilistic truth (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.math import is_distribution
+
+
+@dataclass
+class Task:
+    """A multiple-choice crowdsourcing task (Definition 2).
+
+    Attributes:
+        task_id: unique id within a task set.
+        text: natural-language description shown to workers and consumed
+            by DVE.
+        num_choices: number of possible answers ``l_ti`` (>= 2).
+        domain_vector: the estimated domain distribution ``r_ti`` (set by
+            DVE; may be None before estimation).
+        ground_truth: the true answer ``v*_i`` (1-based) when known —
+            used for evaluation and for golden tasks.
+        true_domain: the task's actual domain index (dataset ground truth,
+            used to evaluate domain detection and to drive the simulated
+            workers' behaviour).
+        distractor: a plausible-but-wrong choice (1-based). When set,
+            simulated wrong answers concentrate on it instead of
+            spreading uniformly — modelling multi-choice tasks whose
+            options come from real QA systems (SFV) where one wrong
+            candidate looks convincing.
+        behavior_domains: the task's *actual* soft domain mixture
+            (length-m distribution) governing simulated worker behaviour.
+            Real tasks are rarely purely one domain (Section 6.2's
+            multi-domain analysis); when set, a worker's effective
+            accuracy on this task mixes her per-domain qualities by this
+            distribution. ``true_domain`` remains the primary label used
+            for detection evaluation and hard-topic baselines.
+    """
+
+    task_id: int
+    text: str
+    num_choices: int
+    domain_vector: Optional[np.ndarray] = None
+    ground_truth: Optional[int] = None
+    true_domain: Optional[int] = None
+    distractor: Optional[int] = None
+    behavior_domains: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.num_choices < 2:
+            raise ValidationError(
+                f"task {self.task_id}: num_choices must be >= 2, "
+                f"got {self.num_choices}"
+            )
+        if self.ground_truth is not None and not (
+            1 <= self.ground_truth <= self.num_choices
+        ):
+            raise ValidationError(
+                f"task {self.task_id}: ground truth {self.ground_truth} "
+                f"outside [1, {self.num_choices}]"
+            )
+        if self.distractor is not None and not (
+            1 <= self.distractor <= self.num_choices
+        ):
+            raise ValidationError(
+                f"task {self.task_id}: distractor {self.distractor} "
+                f"outside [1, {self.num_choices}]"
+            )
+        if self.domain_vector is not None:
+            self.domain_vector = np.asarray(self.domain_vector, dtype=float)
+            if not is_distribution(self.domain_vector):
+                raise ValidationError(
+                    f"task {self.task_id}: domain vector is not a "
+                    "probability distribution"
+                )
+        if self.behavior_domains is not None:
+            self.behavior_domains = np.asarray(
+                self.behavior_domains, dtype=float
+            )
+            if not is_distribution(self.behavior_domains):
+                raise ValidationError(
+                    f"task {self.task_id}: behavior_domains is not a "
+                    "probability distribution"
+                )
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One worker's answer to one task (Definition 4).
+
+    Attributes:
+        worker_id: the answering worker.
+        task_id: the answered task.
+        choice: the selected choice, 1-based.
+    """
+
+    worker_id: str
+    task_id: int
+    choice: int
+
+    def __post_init__(self) -> None:
+        if self.choice < 1:
+            raise ValidationError(
+                f"answer choice must be >= 1, got {self.choice}"
+            )
+
+
+@dataclass
+class TaskState:
+    """Mutable per-task inference state held by TI/OTA.
+
+    Attributes:
+        task: the underlying task.
+        r: domain vector (length m).
+        M: conditional truth matrix of shape (m, l) — Eq. 3.
+        s: probabilistic truth of length l — Eq. 2, ``s = r @ M``.
+        log_numerators: running per-(domain, choice) log numerators of
+            Eq. 3, maintained by the incremental updater (Section 4.2's
+            "M-hat").
+    """
+
+    task: Task
+    r: np.ndarray
+    M: np.ndarray
+    s: np.ndarray
+    log_numerators: Optional[np.ndarray] = None
+
+    @classmethod
+    def fresh(cls, task: Task, r: np.ndarray) -> "TaskState":
+        """Initial state before any answers: uniform M rows and s."""
+        m = r.shape[0]
+        ell = task.num_choices
+        M = np.full((m, ell), 1.0 / ell)
+        s = r @ M
+        return cls(
+            task=task,
+            r=np.asarray(r, dtype=float),
+            M=M,
+            s=s,
+            log_numerators=np.zeros((m, ell)),
+        )
+
+    @property
+    def num_choices(self) -> int:
+        """Number of answer choices ``l``."""
+        return self.task.num_choices
+
+    def inferred_truth(self) -> int:
+        """Current MAP truth ``argmax_j s_j`` (1-based)."""
+        return int(np.argmax(self.s)) + 1
+
+
+def group_answers_by_task(
+    answers: Sequence[Answer],
+) -> "dict[int, list[Answer]]":
+    """Index answers by task id, preserving arrival order (the V(i) sets)."""
+    grouped: dict[int, list[Answer]] = {}
+    for answer in answers:
+        grouped.setdefault(answer.task_id, []).append(answer)
+    return grouped
+
+
+def group_answers_by_worker(
+    answers: Sequence[Answer],
+) -> "dict[str, list[Answer]]":
+    """Index answers by worker id (the T(w) sets)."""
+    grouped: dict[str, list[Answer]] = {}
+    for answer in answers:
+        grouped.setdefault(answer.worker_id, []).append(answer)
+    return grouped

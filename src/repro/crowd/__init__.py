@@ -1,0 +1,23 @@
+"""Simulated crowd: worker profiles, answer behaviour, arrivals.
+
+Substitutes the live AMT workforce. The answer model implements exactly
+the generative assumptions DOCS makes (Eq. 4): a worker answering a task
+whose true domain is ``d_k`` is correct with probability ``q^w_k`` and
+otherwise picks uniformly among the wrong choices. Worker pools are
+*domain specialists* — high quality on a few expertise domains, mediocre
+elsewhere — matching the paper's Figure 6 case study where real workers
+show strongly domain-dependent accuracy.
+"""
+
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig, WorkerProfile
+from repro.crowd.answer_model import sample_answer, collect_answers
+from repro.crowd.arrival import WorkerArrivalProcess
+
+__all__ = [
+    "WorkerPool",
+    "WorkerPoolConfig",
+    "WorkerProfile",
+    "sample_answer",
+    "collect_answers",
+    "WorkerArrivalProcess",
+]

@@ -1,0 +1,113 @@
+"""Worker answer behaviour (the generative model behind Eq. 4).
+
+A worker answering task ``t`` behaves according to the task's *true*
+domain (what the task is actually about — dataset ground truth), not the
+system's estimate: with probability ``q^w_{o}`` she answers correctly,
+otherwise she picks uniformly among the wrong choices. When a task has no
+annotated true domain, one is sampled from its domain vector (matching
+the paper's model where ``Pr(o_i = k) = r_ti_k``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.types import Answer, Task
+from repro.crowd.worker_pool import WorkerPool, WorkerProfile
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike, make_rng
+
+#: Probability that a wrong answer lands on the task's distractor choice
+#: (when one is set) rather than a uniformly random wrong choice.
+DISTRACTOR_PULL = 0.65
+
+
+def sample_answer(
+    task: Task,
+    worker: WorkerProfile,
+    rng: np.random.Generator,
+) -> int:
+    """Sample the worker's (1-based) answer to a task.
+
+    Raises:
+        ValidationError: if the task lacks both ground truth and a domain
+            vector needed to determine behaviour.
+    """
+    if task.ground_truth is None:
+        raise ValidationError(
+            f"task {task.task_id} has no ground truth; cannot simulate"
+        )
+    if task.behavior_domains is not None:
+        domain = int(
+            rng.choice(task.behavior_domains.size, p=task.behavior_domains)
+        )
+    elif task.true_domain is not None:
+        domain = task.true_domain
+    elif task.domain_vector is not None:
+        domain = int(
+            rng.choice(task.domain_vector.size, p=task.domain_vector)
+        )
+    else:
+        raise ValidationError(
+            f"task {task.task_id} has neither behaviour mixture, "
+            "true_domain, nor domain_vector"
+        )
+    accuracy = float(worker.quality[domain])
+    if rng.random() < accuracy:
+        return task.ground_truth
+    wrong = [
+        choice
+        for choice in range(1, task.num_choices + 1)
+        if choice != task.ground_truth
+    ]
+    distractor = task.distractor
+    if (
+        distractor is not None
+        and distractor != task.ground_truth
+        and rng.random() < DISTRACTOR_PULL
+    ):
+        return distractor
+    return int(rng.choice(wrong))
+
+
+def collect_answers(
+    tasks: Sequence[Task],
+    pool: WorkerPool,
+    answers_per_task: int = 10,
+    seed: SeedLike = 0,
+) -> List[Answer]:
+    """Batch-collect the paper's "assign each task to N workers" setting.
+
+    Each task is answered by ``answers_per_task`` distinct workers chosen
+    uniformly from the pool (Section 6.1 collects 10 answers per task).
+
+    Returns:
+        All answers, task-major order.
+    """
+    if answers_per_task < 1:
+        raise ValidationError("answers_per_task must be >= 1")
+    if answers_per_task > len(pool):
+        raise ValidationError(
+            f"need {answers_per_task} distinct workers but pool has "
+            f"{len(pool)}"
+        )
+    rng = make_rng(seed)
+    worker_ids = pool.worker_ids
+    answers: List[Answer] = []
+    for task in tasks:
+        chosen = rng.choice(
+            len(worker_ids), size=answers_per_task, replace=False
+        )
+        for widx in chosen:
+            worker = pool.profile(worker_ids[int(widx)])
+            choice = sample_answer(task, worker, rng)
+            answers.append(
+                Answer(
+                    worker_id=worker.worker_id,
+                    task_id=task.task_id,
+                    choice=choice,
+                )
+            )
+    return answers

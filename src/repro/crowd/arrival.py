@@ -1,0 +1,66 @@
+"""Worker arrival process for online-assignment experiments.
+
+On AMT, workers arrive in an uncontrolled order and request HITs. The
+simulator reproduces that: an arrival process yields worker ids; each
+arrival requests one HIT of k tasks. A per-worker HIT cap bounds how much
+a single worker can dominate (on AMT, prolific workers answer many HITs
+but not all of them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.crowd.worker_pool import WorkerPool
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike, make_rng
+
+
+class WorkerArrivalProcess:
+    """Uniform-random worker arrivals with an optional per-worker cap.
+
+    Args:
+        pool: the worker pool to draw from.
+        max_hits_per_worker: arrivals stop yielding a worker once they
+            have arrived this many times (None = unbounded).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        max_hits_per_worker: Optional[int] = None,
+        seed: SeedLike = 0,
+    ):
+        if max_hits_per_worker is not None and max_hits_per_worker < 1:
+            raise ValidationError("max_hits_per_worker must be >= 1")
+        self._pool = pool
+        self._cap = max_hits_per_worker
+        self._rng = make_rng(seed)
+        self._counts: Dict[str, int] = {}
+
+    def __iter__(self) -> Iterator[str]:
+        return self
+
+    def __next__(self) -> str:
+        """The next arriving worker id.
+
+        Raises:
+            StopIteration: when every worker has exhausted their cap.
+        """
+        candidates = [
+            wid
+            for wid in self._pool.worker_ids
+            if self._cap is None or self._counts.get(wid, 0) < self._cap
+        ]
+        if not candidates:
+            raise StopIteration
+        worker_id = candidates[int(self._rng.integers(0, len(candidates)))]
+        self._counts[worker_id] = self._counts.get(worker_id, 0) + 1
+        return worker_id
+
+    def arrivals_so_far(self) -> Dict[str, int]:
+        """How many times each worker has arrived."""
+        return dict(self._counts)

@@ -1,0 +1,204 @@
+"""Simulated worker profiles with per-domain qualities.
+
+Workers are *domain specialists*: each has a few expertise domains where
+accuracy is high and is mediocre elsewhere. This mirrors the paper's
+Figure 6(a) observation (e.g. many workers are strong on Auto, weak on
+Food) and is precisely the structure that makes domain-aware methods pay
+off — if all workers were uniformly skilled, DOCS would collapse to
+ZenCrowd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """A simulated worker.
+
+    Attributes:
+        worker_id: unique id (AMT-style opaque string).
+        quality: length-m vector; ``quality[k]`` is the true probability
+            of answering a domain-k task correctly.
+    """
+
+    worker_id: str
+    quality: np.ndarray
+
+    def __post_init__(self) -> None:
+        q = np.asarray(self.quality, dtype=float)
+        if q.ndim != 1 or q.size == 0:
+            raise ValidationError("quality must be a non-empty vector")
+        if np.any(q < 0) or np.any(q > 1):
+            raise ValidationError("qualities must lie in [0, 1]")
+        object.__setattr__(self, "quality", q)
+
+
+@dataclass(frozen=True)
+class WorkerPoolConfig:
+    """Parameters of the simulated workforce.
+
+    A worker's quality in domain k is ``base + boost[k]`` (clipped to
+    [0, 1]) where ``base`` is a per-worker competence scalar and the
+    boost applies on her expertise domains. This two-level structure
+    matters for the competitor ordering: the *base* spread is what scalar
+    models (ZC) and confusion matrices (DS) can learn — hence they beat
+    MV — while the *boost* is visible only to domain-aware methods —
+    hence IC/FC/DOCS beat ZC/DS, reproducing Figure 5(a)'s stack. A
+    spammer fraction adds the generally-unreliable workers every real
+    platform has.
+
+    Attributes:
+        num_workers: pool size.
+        num_domains: m (vector length).
+        expertise_domains: (min, max) count of expertise domains per
+            worker, sampled uniformly.
+        base_quality: (low, high) uniform range of per-worker base
+            competence.
+        expertise_boost: (low, high) uniform additive boost on expertise
+            domains.
+        spammer_fraction: fraction of workers whose base is drawn from
+            ``spammer_quality`` and who get no expertise boost.
+        spammer_quality: (low, high) base range for spammers.
+        active_domains: if given, expertise domains are drawn only from
+            these indices (e.g. the 4 domains a dataset actually uses);
+            qualities are still defined for all m domains.
+        seed: RNG seed.
+    """
+
+    num_workers: int = 50
+    num_domains: int = 26
+    expertise_domains: Tuple[int, int] = (1, 2)
+    base_quality: Tuple[float, float] = (0.42, 0.58)
+    expertise_boost: Tuple[float, float] = (0.28, 0.42)
+    spammer_fraction: float = 0.15
+    spammer_quality: Tuple[float, float] = (0.2, 0.4)
+    active_domains: Optional[Tuple[int, ...]] = None
+    seed: SeedLike = 0
+
+    def validate(self) -> None:
+        if self.num_workers <= 0:
+            raise ValidationError("num_workers must be positive")
+        if self.num_domains <= 0:
+            raise ValidationError("num_domains must be positive")
+        lo, hi = self.expertise_domains
+        if not 0 < lo <= hi:
+            raise ValidationError("expertise_domains must satisfy 0 < lo <= hi")
+        for name, (low, high) in (
+            ("base_quality", self.base_quality),
+            ("spammer_quality", self.spammer_quality),
+        ):
+            if not 0 <= low <= high <= 1:
+                raise ValidationError(f"{name} must satisfy 0 <= lo <= hi <= 1")
+        b_lo, b_hi = self.expertise_boost
+        if not 0 <= b_lo <= b_hi:
+            raise ValidationError("expertise_boost must satisfy 0 <= lo <= hi")
+        if not 0.0 <= self.spammer_fraction <= 1.0:
+            raise ValidationError("spammer_fraction must be in [0, 1]")
+        if self.active_domains is not None:
+            if not self.active_domains:
+                raise ValidationError("active_domains must be non-empty")
+            if any(
+                not 0 <= d < self.num_domains for d in self.active_domains
+            ):
+                raise ValidationError("active_domains indices out of range")
+
+
+class WorkerPool:
+    """A fixed set of simulated workers.
+
+    Build with :meth:`generate` for a random specialist pool, or pass
+    explicit profiles for hand-crafted tests.
+    """
+
+    def __init__(self, profiles: Sequence[WorkerProfile]):
+        if not profiles:
+            raise ValidationError("worker pool cannot be empty")
+        sizes = {p.quality.size for p in profiles}
+        if len(sizes) != 1:
+            raise ValidationError("inconsistent quality vector sizes")
+        ids = [p.worker_id for p in profiles]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("duplicate worker ids in pool")
+        self._profiles: Dict[str, WorkerProfile] = {
+            p.worker_id: p for p in profiles
+        }
+        self._order: List[str] = ids
+
+    @classmethod
+    def generate(cls, config: WorkerPoolConfig) -> "WorkerPool":
+        """Sample a specialist pool from the config."""
+        config.validate()
+        rng = make_rng(config.seed)
+        domain_choices = (
+            np.array(config.active_domains)
+            if config.active_domains is not None
+            else np.arange(config.num_domains)
+        )
+        lo, hi = config.expertise_domains
+        profiles = []
+        for idx in range(config.num_workers):
+            is_spammer = rng.random() < config.spammer_fraction
+            if is_spammer:
+                base = rng.uniform(*config.spammer_quality)
+            else:
+                base = rng.uniform(*config.base_quality)
+            # Small per-domain jitter so qualities are not literally flat.
+            quality = np.clip(
+                base + rng.uniform(-0.04, 0.04, size=config.num_domains),
+                0.0,
+                1.0,
+            )
+            if not is_spammer:
+                count = int(rng.integers(lo, hi + 1))
+                count = min(count, domain_choices.size)
+                expert_at = rng.choice(
+                    domain_choices, size=count, replace=False
+                )
+                quality[expert_at] = np.clip(
+                    base + rng.uniform(*config.expertise_boost, size=count),
+                    0.0,
+                    1.0,
+                )
+            profiles.append(
+                WorkerProfile(worker_id=f"W{idx:04d}", quality=quality)
+            )
+        return cls(profiles)
+
+    @property
+    def worker_ids(self) -> List[str]:
+        """Worker ids in creation order."""
+        return list(self._order)
+
+    @property
+    def num_domains(self) -> int:
+        """Quality vector length m."""
+        return self._profiles[self._order[0]].quality.size
+
+    def profile(self, worker_id: str) -> WorkerProfile:
+        """Profile of one worker.
+
+        Raises:
+            ValidationError: if unknown.
+        """
+        profile = self._profiles.get(worker_id)
+        if profile is None:
+            raise ValidationError(f"unknown worker: {worker_id}")
+        return profile
+
+    def true_quality(self, worker_id: str) -> np.ndarray:
+        """The worker's ground-truth quality vector (read-only copy)."""
+        return self.profile(worker_id).quality.copy()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return (self._profiles[wid] for wid in self._order)

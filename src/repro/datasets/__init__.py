@@ -1,0 +1,24 @@
+"""Synthetic reconstructions of the paper's four evaluation datasets.
+
+The real datasets (ItemCompare, 4-Domain, Yahoo QA, SFV) are AMT
+collections that are not redistributable; each generator reproduces the
+*structural* properties the evaluation stresses (task counts, domain
+counts, per-domain text-similarity profile, choice counts) so that every
+experiment exercises the same code paths with the same dynamics:
+
+- :mod:`repro.datasets.item` — Item: 360 tasks, 4 domains, one rigid
+  template per domain (high intra-domain string similarity; the regime
+  where topic models succeed).
+- :mod:`repro.datasets.fourdomain` — 4D: 400 tasks, 4 domains, varied
+  templates including *cross-domain lookalikes* ("compare the height of
+  two players" vs "of two mountains") that defeat surface-text methods.
+- :mod:`repro.datasets.qa` — QA: 1000 heterogeneous search-engine-style
+  questions over 4 dominant domains, entity-rich.
+- :mod:`repro.datasets.sfv` — SFV: 328 person-attribute tasks with 4
+  choices collected from QA systems.
+"""
+
+from repro.datasets.base import CrowdDataset, DatasetDomain
+from repro.datasets.registry import DATASET_NAMES, make_dataset
+
+__all__ = ["CrowdDataset", "DatasetDomain", "DATASET_NAMES", "make_dataset"]

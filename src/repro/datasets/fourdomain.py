@@ -1,0 +1,156 @@
+"""The 4-Domain dataset ("4D").
+
+400 tasks across NBA, Car, Film, Mountain (100 each), two choices. The
+defining property (Section 6.1): *task descriptions within a domain are
+NOT similar* — each domain mixes several question forms, and crucially
+some templates are shared verbatim across domains ("Compare the height of
+{a} and {b}" for both players and mountains). Surface-text topic models
+collapse those lookalikes into one latent domain; KB linking separates
+them by what the entities actually are. This is the dataset where
+Figure 3(b) shows DOCS >= 95% while IC and FC degrade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.types import Task
+from repro.datasets.base import (
+    CrowdDataset,
+    DatasetDomain,
+    assign_ground_truths,
+    behavior_mixture,
+    sample_concepts,
+)
+from repro.kb.freebase_sim import SyntheticKBConfig, build_synthetic_kb
+from repro.kb.taxonomy import default_taxonomy
+from repro.utils.rng import SeedLike, make_rng
+
+#: Templates shared verbatim across two domains — the paper's motivating
+#: failure case for text-similarity methods. Each entry: (template,
+#: domains it is used in). Shared templates deliberately avoid
+#: domain-specific vocabulary.
+_SHARED_TEMPLATES: Tuple[Tuple[str, Tuple[str, str]], ...] = (
+    ("Compare the height of {a} and {b}: which one is taller?",
+     ("NBA", "Mountain")),
+    ("Which one is older: {a} or {b}?", ("Car", "Film")),
+    ("Is {a} better known worldwide than {b}?", ("NBA", "Film")),
+)
+
+#: Domain-specific templates (varied forms within each domain).
+_DOMAIN_TEMPLATES: Dict[str, Tuple[str, ...]] = {
+    "NBA": (
+        "What position does {a} play: guard or forward?",
+        "Has {a} won more championships with the team than {b}?",
+        "Which athlete scored more in the playoff season: {a} or {b}?",
+    ),
+    "Car": (
+        "Does {a} have more horsepower than {b}?",
+        "Which sedan has better mileage and fuel economy: {a} or {b}?",
+        "Is the engine torque of {a} higher than that of {b}?",
+    ),
+    "Film": (
+        "Did {a} win an oscar before {b} did?",
+        "Which movie starred {a}: the drama or the sitcom?",
+        "Was the premiere of {a} earlier than the album of {b}?",
+    ),
+    "Mountain": (
+        "Is the summit altitude of {a} above that of {b}?",
+        "Which peak was measured by the geology expedition first: {a} or {b}?",
+        "Does {a} have more fossil sites than {b}?",
+    ),
+}
+
+_DOMAIN_MAPPING: Dict[str, str] = {
+    "NBA": "Sports",
+    "Car": "Cars & Transportation",
+    "Film": "Entertainment & Music",
+    "Mountain": "Science & Mathematics",
+}
+
+TASKS_PER_DOMAIN = 100
+
+#: Fraction of each domain's tasks drawn from shared (cross-domain)
+#: templates; the rest use domain-specific forms.
+SHARED_FRACTION = 0.4
+
+
+@dataclass(frozen=True)
+class FourDomainConfig:
+    """Generation parameters for the 4D dataset."""
+
+    tasks_per_domain: int = TASKS_PER_DOMAIN
+    shared_fraction: float = SHARED_FRACTION
+    seed: SeedLike = 0
+
+
+def make_fourdomain_dataset(
+    config: FourDomainConfig = FourDomainConfig(),
+) -> CrowdDataset:
+    """Generate the 4D dataset.
+
+    Returns:
+        A :class:`CrowdDataset` of 4 x ``tasks_per_domain`` two-choice
+        tasks with heterogeneous, partially cross-domain templates.
+    """
+    rng = make_rng(config.seed)
+    taxonomy = default_taxonomy()
+    kb = build_synthetic_kb(
+        SyntheticKBConfig(
+            concepts_per_domain=60,
+            ambiguity_rate=0.35,
+            collision_depth=2,
+            seed=rng.integers(0, 2**31),
+        ),
+        taxonomy=taxonomy,
+    )
+
+    domains = [
+        DatasetDomain(
+            label=label,
+            taxonomy_domain=tax_domain,
+            taxonomy_index=taxonomy.index_of(tax_domain),
+        )
+        for label, tax_domain in _DOMAIN_MAPPING.items()
+    ]
+    shared_by_label: Dict[str, List[str]] = {label: [] for label in _DOMAIN_MAPPING}
+    for template, members in _SHARED_TEMPLATES:
+        for label in members:
+            shared_by_label[label].append(template)
+
+    tasks: List[Task] = []
+    labels: List[str] = []
+    task_id = 0
+    for domain in domains:
+        shared_pool = shared_by_label[domain.label]
+        specific_pool = list(_DOMAIN_TEMPLATES[domain.label])
+        shared_count = int(round(config.tasks_per_domain * config.shared_fraction))
+        for idx in range(config.tasks_per_domain):
+            if idx < shared_count and shared_pool:
+                template = shared_pool[idx % len(shared_pool)]
+            else:
+                template = specific_pool[idx % len(specific_pool)]
+            a, b = sample_concepts(kb, domain.taxonomy_index, 2, rng)
+            tasks.append(
+                Task(
+                    task_id=task_id,
+                    text=template.format(a=a.name, b=b.name),
+                    num_choices=2,
+                    true_domain=domain.taxonomy_index,
+                    behavior_domains=behavior_mixture(
+                        [a, b], domain.taxonomy_index, taxonomy.size
+                    ),
+                )
+            )
+            labels.append(domain.label)
+            task_id += 1
+
+    assign_ground_truths(tasks, rng)
+    return CrowdDataset(
+        name="4d",
+        tasks=tasks,
+        kb=kb,
+        domains=domains,
+        task_labels=labels,
+    )

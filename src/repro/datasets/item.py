@@ -1,0 +1,115 @@
+"""The ItemCompare-style dataset ("Item", [18]).
+
+360 tasks across 4 domains (NBA, Food, Auto, Country), 90 tasks each,
+two choices. The defining property (Section 6.1): *task descriptions in
+each domain are highly similar* — every task in a domain instantiates the
+same comparison template. This is the regime where LDA-style domain
+detection works (~100% in Figure 3(a)), making Item the control dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.types import Task
+from repro.datasets.base import (
+    CrowdDataset,
+    DatasetDomain,
+    assign_ground_truths,
+    behavior_mixture,
+    sample_concepts,
+)
+from repro.kb.freebase_sim import SyntheticKBConfig, build_synthetic_kb
+from repro.kb.taxonomy import default_taxonomy
+from repro.utils.rng import SeedLike, make_rng
+
+#: dataset label -> (taxonomy domain, rigid comparison template).
+_DOMAIN_TEMPLATES: Dict[str, Tuple[str, str]] = {
+    "NBA": (
+        "Sports",
+        "Which player wins more championships in a season: {a} or {b}?",
+    ),
+    "Food": (
+        "Food & Drink",
+        "Which food contains more calories per recipe: {a} or {b}?",
+    ),
+    "Auto": (
+        "Cars & Transportation",
+        "Which car engine has more horsepower and torque: {a} or {b}?",
+    ),
+    "Country": (
+        "Travel",
+        "Which destination attracts more cruise visitors: {a} or {b}?",
+    ),
+}
+
+#: Tasks per domain (360 total, matching the paper).
+TASKS_PER_DOMAIN = 90
+
+
+@dataclass(frozen=True)
+class ItemConfig:
+    """Generation parameters for the Item dataset."""
+
+    tasks_per_domain: int = TASKS_PER_DOMAIN
+    seed: SeedLike = 0
+
+
+def make_item_dataset(config: ItemConfig = ItemConfig()) -> CrowdDataset:
+    """Generate the Item dataset.
+
+    Returns:
+        A :class:`CrowdDataset` with 4 x ``tasks_per_domain`` two-choice
+        tasks, rigidly templated per domain.
+    """
+    rng = make_rng(config.seed)
+    taxonomy = default_taxonomy()
+    kb = build_synthetic_kb(
+        SyntheticKBConfig(
+            concepts_per_domain=40,
+            ambiguity_rate=0.3,
+            collision_depth=2,
+            seed=rng.integers(0, 2**31),
+        ),
+        taxonomy=taxonomy,
+    )
+
+    domains = [
+        DatasetDomain(
+            label=label,
+            taxonomy_domain=tax_domain,
+            taxonomy_index=taxonomy.index_of(tax_domain),
+        )
+        for label, (tax_domain, _) in _DOMAIN_TEMPLATES.items()
+    ]
+
+    tasks: List[Task] = []
+    labels: List[str] = []
+    task_id = 0
+    for domain in domains:
+        template = _DOMAIN_TEMPLATES[domain.label][1]
+        for _ in range(config.tasks_per_domain):
+            a, b = sample_concepts(kb, domain.taxonomy_index, 2, rng)
+            tasks.append(
+                Task(
+                    task_id=task_id,
+                    text=template.format(a=a.name, b=b.name),
+                    num_choices=2,
+                    true_domain=domain.taxonomy_index,
+                    behavior_domains=behavior_mixture(
+                        [a, b], domain.taxonomy_index, taxonomy.size
+                    ),
+                )
+            )
+            labels.append(domain.label)
+            task_id += 1
+
+    assign_ground_truths(tasks, rng)
+    return CrowdDataset(
+        name="item",
+        tasks=tasks,
+        kb=kb,
+        domains=domains,
+        task_labels=labels,
+    )

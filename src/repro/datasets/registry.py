@@ -1,0 +1,41 @@
+"""Dataset registry: name -> generator."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datasets.base import CrowdDataset
+from repro.datasets.fourdomain import FourDomainConfig, make_fourdomain_dataset
+from repro.datasets.item import ItemConfig, make_item_dataset
+from repro.datasets.qa import QAConfig, make_qa_dataset
+from repro.datasets.sfv import SFVConfig, make_sfv_dataset
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike
+
+DATASET_NAMES = ("item", "4d", "qa", "sfv")
+
+
+def make_dataset(name: str, seed: SeedLike = 0, **overrides) -> CrowdDataset:
+    """Build one of the paper's four datasets by name.
+
+    Args:
+        name: one of ``item``, ``4d``, ``qa``, ``sfv``.
+        seed: generation seed.
+        **overrides: forwarded to the dataset's config dataclass (e.g.
+            ``num_tasks=100`` for a scaled-down QA).
+
+    Returns:
+        The generated :class:`~repro.datasets.base.CrowdDataset`.
+    """
+    key = name.lower()
+    if key == "item":
+        return make_item_dataset(ItemConfig(seed=seed, **overrides))
+    if key == "4d":
+        return make_fourdomain_dataset(FourDomainConfig(seed=seed, **overrides))
+    if key == "qa":
+        return make_qa_dataset(QAConfig(seed=seed, **overrides))
+    if key == "sfv":
+        return make_sfv_dataset(SFVConfig(seed=seed, **overrides))
+    raise ValidationError(
+        f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+    )

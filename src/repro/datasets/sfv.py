@@ -1,0 +1,165 @@
+"""The SFV-style dataset ([30]).
+
+328 tasks, each asking an attribute of a person (e.g. "the age of Bill
+Gates") with choices harvested from multiple QA systems. Per Section 6.2
+the persons concentrate on Entertain, Business, Sports, Politics, and the
+task's true domain is the person's most renowned domain. Defining
+properties: short texts, one dominant entity per task, generic attribute
+words that carry no domain signal — the worst case for topic models
+(Figure 3(d)), while the entity link resolves the domain directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.types import Task
+from repro.datasets.base import (
+    CrowdDataset,
+    DatasetDomain,
+    assign_ground_truths,
+    behavior_mixture,
+    sample_dominant_concepts,
+)
+from repro.errors import ValidationError
+from repro.kb.freebase_sim import SyntheticKBConfig, build_synthetic_kb
+from repro.kb.taxonomy import default_taxonomy
+from repro.utils.rng import SeedLike, make_rng
+
+_DOMAIN_MAPPING: Dict[str, str] = {
+    "Entertain": "Entertainment & Music",
+    "Business": "Business & Finance",
+    "Sports": "Sports",
+    "Politics": "Politics & Government",
+}
+
+#: Attribute frames. Deliberately domain-neutral wording: the only domain
+#: evidence is the person entity itself.
+_ATTRIBUTE_FRAMES: Tuple[str, ...] = (
+    "What is the age of {a}?",
+    "What is the birthplace of {a}?",
+    "What is the full name of the spouse of {a}?",
+    "In which year was {a} born?",
+    "What is the net worth of {a} according to public records?",
+    "How tall is {a} compared to {b}?",
+    "Where did {a} study before meeting {b}?",
+    "Which city does {a} live in today, near {b} or {c}?",
+    "What is the age gap between {a} and {b}?",
+)
+
+NUM_TASKS = 328
+
+#: Choices per task: SFV aggregates candidate answers from several QA
+#: systems, giving multi-choice tasks (we use 4).
+NUM_CHOICES = 4
+
+#: Fraction of tasks about persons renowned in *two* domains (athletes
+#: who act, moguls in politics); their behaviour genuinely spans domains,
+#: which soft domain vectors model and hard topics cannot.
+MULTI_DOMAIN_FRACTION = 0.2
+
+
+@dataclass(frozen=True)
+class SFVConfig:
+    """Generation parameters for the SFV dataset."""
+
+    num_tasks: int = NUM_TASKS
+    num_choices: int = NUM_CHOICES
+    multi_domain_fraction: float = MULTI_DOMAIN_FRACTION
+    seed: SeedLike = 0
+
+
+def make_sfv_dataset(config: SFVConfig = SFVConfig()) -> CrowdDataset:
+    """Generate the SFV dataset.
+
+    Returns:
+        A :class:`CrowdDataset` of ``num_tasks`` four-choice
+        person-attribute tasks.
+    """
+    rng = make_rng(config.seed)
+    taxonomy = default_taxonomy()
+    kb = build_synthetic_kb(
+        SyntheticKBConfig(
+            concepts_per_domain=70,
+            ambiguity_rate=0.55,
+            collision_depth=10,
+            famous_fraction=0.4,
+            seed=rng.integers(0, 2**31),
+        ),
+        taxonomy=taxonomy,
+    )
+
+    domains = [
+        DatasetDomain(
+            label=label,
+            taxonomy_domain=tax_domain,
+            taxonomy_index=taxonomy.index_of(tax_domain),
+        )
+        for label, tax_domain in _DOMAIN_MAPPING.items()
+    ]
+
+    tasks: List[Task] = []
+    labels: List[str] = []
+    for task_id in range(config.num_tasks):
+        domain = domains[task_id % len(domains)]
+        frame = _ATTRIBUTE_FRAMES[int(rng.integers(0, len(_ATTRIBUTE_FRAMES)))]
+        # SFV asks about renowned persons: the entity's dominant sense
+        # defines the task's true domain, so sample dominant concepts.
+        # The *subject* person may be renowned in two domains; companion
+        # persons mentioned by the frame come from the same domain.
+        slots = sum(
+            frame.count("{" + s + "}") for s in ("a", "b", "c")
+        )
+        multi = rng.random() < config.multi_domain_fraction
+        try:
+            (person,) = sample_dominant_concepts(
+                kb, domain.taxonomy_index, 1, rng, multi_domain=multi
+            )
+        except ValidationError:
+            # Fall back to single-domain persons when the multi pool for
+            # this domain is thin in the generated KB.
+            (person,) = sample_dominant_concepts(
+                kb, domain.taxonomy_index, 1, rng, multi_domain=False
+            )
+        companions = []
+        if slots > 1:
+            companions = [
+                c
+                for c in sample_dominant_concepts(
+                    kb, domain.taxonomy_index, slots, rng
+                )
+                if c.name != person.name
+            ][: slots - 1]
+        mapping = dict(
+            zip(
+                ("a", "b", "c"),
+                [person.name] + [c.name for c in companions],
+            )
+        )
+        tasks.append(
+            Task(
+                task_id=task_id,
+                text=frame.format(**mapping),
+                num_choices=config.num_choices,
+                true_domain=domain.taxonomy_index,
+                behavior_domains=behavior_mixture(
+                    [person] + companions,
+                    domain.taxonomy_index,
+                    taxonomy.size,
+                    primary_weight=0.55,
+                ),
+                # One QA-system candidate is a convincing near-miss.
+                distractor=int(rng.integers(1, config.num_choices + 1)),
+            )
+        )
+        labels.append(domain.label)
+
+    assign_ground_truths(tasks, rng)
+    return CrowdDataset(
+        name="sfv",
+        tasks=tasks,
+        kb=kb,
+        domains=domains,
+        task_labels=labels,
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the DOCS reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration problems from runtime budget exhaustion.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed validation (bad shape, range, or inconsistency)."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with incompatible or missing options."""
+
+
+class BudgetExhaustedError(ReproError):
+    """The assignment budget has been fully consumed."""
+
+
+class WorkBudgetExceeded(ReproError):
+    """A capped computation (e.g. enumeration DVE) exceeded its work budget.
+
+    The paper reports ">1 day" for enumeration at top-20 candidates; we make
+    that behaviour explicit and testable with a deterministic work counter.
+    """
+
+    def __init__(self, operations: int, limit: int):
+        super().__init__(
+            f"work budget exceeded: {operations} elementary operations "
+            f"performed, limit was {limit}"
+        )
+        self.operations = operations
+        self.limit = limit
+
+
+class UnknownWorkerError(ReproError, KeyError):
+    """A worker id was not found in the quality store."""
+
+
+class UnknownTaskError(ReproError, KeyError):
+    """A task id was not found in the task table."""

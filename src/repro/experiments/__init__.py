@@ -1,0 +1,13 @@
+"""Experiment harness: one module per table/figure of the evaluation.
+
+Every module exposes ``run_*`` functions returning plain result rows and
+``format_*`` helpers printing the same rows/series the paper reports.
+``repro.experiments.context`` prepares the shared inputs (dataset, DVE,
+crowd, answers, golden tasks) once per (dataset, seed) so the figures are
+computed over a consistent world, exactly as the paper evaluates all
+methods "on the same collected answers".
+"""
+
+from repro.experiments.context import ExperimentContext, build_context
+
+__all__ = ["ExperimentContext", "build_context"]

@@ -1,0 +1,126 @@
+"""Shared experiment state: dataset + DVE + crowd + answers + golden.
+
+Section 6.1's protocol: publish each dataset, batch k = 20 tasks per HIT,
+collect 10 answers per task, select 20 golden tasks. ``build_context``
+reproduces that setup deterministically from a seed; every figure module
+consumes the same context so comparisons share their inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import GoldenContext
+from repro.core.dve import DomainVectorEstimator
+from repro.core.golden import select_golden_tasks
+from repro.core.types import Answer
+from repro.crowd.answer_model import collect_answers
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.datasets import make_dataset
+from repro.datasets.base import CrowdDataset
+from repro.linking import EntityLinker
+from repro.utils.rng import SeedLike
+
+#: Paper defaults (Section 6.1).
+DEFAULT_ANSWERS_PER_TASK = 10
+DEFAULT_GOLDEN_COUNT = 20
+DEFAULT_POOL_SIZE = 50
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment needs about one dataset instance.
+
+    Attributes:
+        dataset: tasks with ground truth and (after build) domain
+            vectors.
+        linker: the entity linker over the dataset's KB.
+        estimator: the DVE estimator (linker + Algorithm 1).
+        pool: the simulated workforce.
+        answers: 10-answers-per-task collection (Figure 5's shared
+            answer sets).
+        golden: the selected golden tasks with truths.
+        seed: the seed everything derives from.
+    """
+
+    dataset: CrowdDataset
+    linker: EntityLinker
+    estimator: DomainVectorEstimator
+    pool: WorkerPool
+    answers: List[Answer]
+    golden: GoldenContext
+    seed: int
+
+    @property
+    def name(self) -> str:
+        """Dataset name."""
+        return self.dataset.name
+
+
+def build_context(
+    dataset_name: str,
+    seed: int = 0,
+    answers_per_task: int = DEFAULT_ANSWERS_PER_TASK,
+    golden_count: int = DEFAULT_GOLDEN_COUNT,
+    pool_size: int = DEFAULT_POOL_SIZE,
+    dataset_overrides: Optional[dict] = None,
+) -> ExperimentContext:
+    """Prepare one dataset exactly as Section 6.1 prescribes.
+
+    Args:
+        dataset_name: one of ``item``, ``4d``, ``qa``, ``sfv``.
+        seed: master seed; dataset, pool, and answer randomness are
+            derived deterministically from it.
+        answers_per_task: answers collected per task (paper: 10).
+        golden_count: golden tasks selected (paper: 20).
+        pool_size: number of simulated workers.
+        dataset_overrides: forwarded to the dataset config.
+
+    Returns:
+        A fully built :class:`ExperimentContext`.
+    """
+    dataset = make_dataset(dataset_name, seed=seed, **(dataset_overrides or {}))
+    linker = EntityLinker(dataset.kb)
+    estimator = DomainVectorEstimator(linker, dataset.taxonomy.size)
+    for task in dataset.tasks:
+        if task.domain_vector is None:
+            task.domain_vector = estimator.estimate(task.text)
+
+    active = tuple(d.taxonomy_index for d in dataset.domains)
+    pool = WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=pool_size,
+            num_domains=dataset.taxonomy.size,
+            active_domains=active,
+            seed=seed + 1,
+        )
+    )
+    answers = collect_answers(
+        dataset.tasks, pool, answers_per_task=answers_per_task, seed=seed + 2
+    )
+
+    golden_count = min(golden_count, dataset.num_tasks)
+    golden_indices = select_golden_tasks(
+        [t.domain_vector for t in dataset.tasks], golden_count
+    )
+    golden_ids = [dataset.tasks[i].task_id for i in golden_indices]
+    golden = GoldenContext(
+        golden_ids,
+        {
+            tid: dataset.task_by_id(tid).ground_truth
+            for tid in golden_ids
+            if dataset.task_by_id(tid).ground_truth is not None
+        },
+    )
+    return ExperimentContext(
+        dataset=dataset,
+        linker=linker,
+        estimator=estimator,
+        pool=pool,
+        answers=answers,
+        golden=golden,
+        seed=seed,
+    )

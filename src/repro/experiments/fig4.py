@@ -1,0 +1,268 @@
+"""Figure 4: the five TI studies — convergence, golden sweep, answer
+sweep, worker-quality estimation, and scalability.
+
+Each function reproduces one panel:
+
+- 4(a) ``run_convergence`` — parameter change Delta per iteration.
+- 4(b) ``run_golden_sweep`` — accuracy vs number of golden tasks.
+- 4(c) ``run_answer_sweep`` — accuracy vs answers collected per task.
+- 4(d) ``run_quality_estimation`` — mean |q_true - q_est| vs answered
+  tasks per worker.
+- 4(e) ``run_scalability`` — TI wall time vs task count and pool size
+  (simulation; m = 20, 10 answers/task as in the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import GoldenContext
+from repro.baselines.docs_truth import DocsTruth
+from repro.core.golden import select_golden_tasks
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.truth_inference import TruthInference
+from repro.core.types import Answer, Task, group_answers_by_worker
+from repro.crowd.answer_model import collect_answers
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.experiments.context import ExperimentContext
+from repro.utils.rng import make_rng
+
+
+# -- 4(a): convergence ---------------------------------------------------
+
+def run_convergence(
+    context: ExperimentContext, iterations: int = 50
+) -> List[float]:
+    """Delta per iteration (Figure 4(a)'s series for one dataset)."""
+    ti = TruthInference(max_iterations=iterations, tolerance=0.0)
+    initial = _golden_qualities(context, context.golden)
+    result = ti.infer(
+        context.dataset.tasks, context.answers, initial_qualities=initial
+    )
+    return result.delta_history
+
+
+# -- 4(b): golden-task sweep ----------------------------------------------
+
+def run_golden_sweep(
+    context: ExperimentContext,
+    golden_counts: Sequence[int] = (0, 5, 10, 15, 20, 25, 30, 35, 40),
+) -> Dict[int, float]:
+    """Accuracy (%) as a function of the number of golden tasks."""
+    accuracies: Dict[int, float] = {}
+    method = DocsTruth()
+    domain_vectors = [t.domain_vector for t in context.dataset.tasks]
+    for count in golden_counts:
+        if count == 0:
+            golden = GoldenContext.empty()
+        else:
+            indices = select_golden_tasks(domain_vectors, count)
+            ids = [context.dataset.tasks[i].task_id for i in indices]
+            golden = GoldenContext(
+                ids,
+                {
+                    tid: context.dataset.task_by_id(tid).ground_truth
+                    for tid in ids
+                },
+            )
+        accuracies[count] = 100.0 * method.accuracy(
+            context.dataset.tasks, context.answers, golden
+        )
+    return accuracies
+
+
+# -- 4(c): answers-per-task sweep ------------------------------------------
+
+def run_answer_sweep(
+    context: ExperimentContext,
+    answer_counts: Sequence[int] = tuple(range(1, 11)),
+) -> Dict[int, float]:
+    """Accuracy (%) as a function of answers collected per task."""
+    method = DocsTruth()
+    per_task: Dict[int, List[Answer]] = {}
+    for answer in context.answers:
+        per_task.setdefault(answer.task_id, []).append(answer)
+    accuracies: Dict[int, float] = {}
+    for count in answer_counts:
+        subset = [
+            answer
+            for answers in per_task.values()
+            for answer in answers[:count]
+        ]
+        accuracies[count] = 100.0 * method.accuracy(
+            context.dataset.tasks, subset, context.golden
+        )
+    return accuracies
+
+
+# -- 4(d): worker-quality estimation ----------------------------------------
+
+def run_quality_estimation(
+    context: ExperimentContext,
+    answered_counts: Sequence[int] = (1, 5, 10, 20, 40, 60, 80, 100),
+) -> Dict[int, float]:
+    """Mean |q_true - q_est| over (worker, active domain) pairs, as a
+    function of how many answers each worker has contributed.
+
+    True quality is the empirical accuracy of the worker's answers per
+    domain (exactly the paper's definition), computed over the *full*
+    answer set; the estimate comes from TI run on the truncated one.
+    """
+    dataset = context.dataset
+    active = [d.taxonomy_index for d in dataset.domains]
+    task_domain = {
+        t.task_id: t.true_domain for t in dataset.tasks
+    }
+    truth_of = dataset.ground_truths()
+
+    # Empirical true quality per (worker, active domain).
+    true_quality: Dict[str, Dict[int, float]] = {}
+    by_worker = group_answers_by_worker(context.answers)
+    for worker_id, worker_answers in by_worker.items():
+        per_domain: Dict[int, List[float]] = {}
+        for answer in worker_answers:
+            domain = task_domain[answer.task_id]
+            if domain is None:
+                continue
+            per_domain.setdefault(domain, []).append(
+                1.0 if truth_of.get(answer.task_id) == answer.choice else 0.0
+            )
+        true_quality[worker_id] = {
+            domain: float(np.mean(vals))
+            for domain, vals in per_domain.items()
+            if len(vals) >= 3  # need evidence for a stable "true" value
+        }
+
+    ti = TruthInference()
+    initial = _golden_qualities(context, context.golden)
+    deviations: Dict[int, float] = {}
+    for count in answered_counts:
+        truncated: List[Answer] = []
+        seen: Dict[str, int] = {}
+        for answer in context.answers:
+            used = seen.get(answer.worker_id, 0)
+            if used < count:
+                truncated.append(answer)
+                seen[answer.worker_id] = used + 1
+        result = ti.infer(
+            dataset.tasks, truncated, initial_qualities=initial
+        )
+        errors: List[float] = []
+        for worker_id, quality in result.worker_qualities.items():
+            for domain, true_value in true_quality.get(
+                worker_id, {}
+            ).items():
+                errors.append(abs(true_value - float(quality[domain])))
+        deviations[count] = float(np.mean(errors)) if errors else 0.0
+    return deviations
+
+
+# -- 4(e): scalability -------------------------------------------------------
+
+@dataclass
+class TiScalabilityPoint:
+    """One measurement of Figure 4(e).
+
+    Attributes:
+        num_tasks: n.
+        num_workers: |W|.
+        seconds: TI wall time.
+    """
+
+    num_tasks: int
+    num_workers: int
+    seconds: float
+
+
+def run_scalability(
+    task_counts: Sequence[int] = (2000, 4000, 6000, 8000, 10000),
+    worker_counts: Sequence[int] = (10, 100, 500),
+    num_domains: int = 20,
+    answers_per_task: int = 10,
+    seed: int = 0,
+) -> List[TiScalabilityPoint]:
+    """Time TI on synthetic workloads (m = 20, 10 answers per task)."""
+    points: List[TiScalabilityPoint] = []
+    rng = make_rng(seed)
+    for num_workers in worker_counts:
+        pool = WorkerPool.generate(
+            WorkerPoolConfig(
+                num_workers=num_workers,
+                num_domains=num_domains,
+                seed=int(rng.integers(0, 2**31)),
+            )
+        )
+        for num_tasks in task_counts:
+            tasks = _synthetic_tasks(num_tasks, num_domains, rng)
+            answers = collect_answers(
+                tasks,
+                pool,
+                answers_per_task=min(answers_per_task, num_workers),
+                seed=int(rng.integers(0, 2**31)),
+            )
+            ti = TruthInference()
+            started = time.perf_counter()
+            ti.infer(tasks, answers)
+            points.append(
+                TiScalabilityPoint(
+                    num_tasks=num_tasks,
+                    num_workers=num_workers,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+    return points
+
+
+def _synthetic_tasks(
+    count: int, num_domains: int, rng: np.random.Generator
+) -> List[Task]:
+    """Random two-choice tasks with one-hot-ish domain vectors."""
+    tasks = []
+    for task_id in range(count):
+        domain = int(rng.integers(0, num_domains))
+        r = np.full(num_domains, 0.1 / (num_domains - 1))
+        r[domain] = 0.9
+        tasks.append(
+            Task(
+                task_id=task_id,
+                text=f"synthetic task {task_id}",
+                num_choices=2,
+                domain_vector=r,
+                ground_truth=int(rng.integers(1, 3)),
+                true_domain=domain,
+            )
+        )
+    return tasks
+
+
+def _golden_qualities(
+    context: ExperimentContext, golden: GoldenContext
+) -> Dict[str, np.ndarray]:
+    """Initial qualities from golden answers (shared across panels)."""
+    if not golden.task_ids:
+        return {}
+    store = WorkerQualityStore(context.dataset.taxonomy.size)
+    domain_vectors = {
+        t.task_id: t.domain_vector for t in context.dataset.tasks
+    }
+    golden_ids = set(golden.task_ids)
+    for worker_id, worker_answers in group_answers_by_worker(
+        context.answers
+    ).items():
+        relevant = {
+            a.task_id: a.choice
+            for a in worker_answers
+            if a.task_id in golden_ids
+        }
+        if relevant:
+            store.initialize_from_golden(
+                worker_id, relevant, golden.truths, domain_vectors
+            )
+    return {
+        worker_id: store.quality_or_default(worker_id)
+        for worker_id in store.known_workers()
+    }

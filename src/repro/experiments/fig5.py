@@ -1,0 +1,112 @@
+"""Figure 5: truth-inference comparison — MV/ZC/DS/IC/FC/DOCS.
+
+Protocol (Section 6.3): every method runs over the *same* collected
+answers; all are initialised with the same golden tasks; IC and FC are
+handed the ground-truth domain of every task. Reported: accuracy (5(a))
+and execution time (5(b)).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import TRUTH_METHODS, make_truth_method
+from repro.experiments.context import ExperimentContext, build_context
+
+#: Paper display order.
+METHOD_ORDER = ("MV", "ZC", "DS", "IC", "FC", "DOCS")
+
+
+@dataclass
+class TiComparisonResult:
+    """Figure 5 rows for one dataset (possibly seed-averaged).
+
+    Attributes:
+        dataset: dataset name.
+        accuracy: method -> accuracy %.
+        seconds: method -> mean execution time.
+        seeds: the seeds averaged over.
+    """
+
+    dataset: str
+    accuracy: Dict[str, float]
+    seconds: Dict[str, float]
+    seeds: List[int] = field(default_factory=list)
+
+
+def run_ti_comparison(
+    context: ExperimentContext,
+    methods: Sequence[str] = METHOD_ORDER,
+) -> TiComparisonResult:
+    """Run the Figure 5 roster on one prepared context."""
+    accuracy: Dict[str, float] = {}
+    seconds: Dict[str, float] = {}
+    for name in methods:
+        method = make_truth_method(name)
+        started = time.perf_counter()
+        acc = method.accuracy(
+            context.dataset.tasks, context.answers, context.golden
+        )
+        seconds[name] = time.perf_counter() - started
+        accuracy[name] = 100.0 * acc
+    return TiComparisonResult(
+        dataset=context.name,
+        accuracy=accuracy,
+        seconds=seconds,
+        seeds=[context.seed],
+    )
+
+
+def run_ti_comparison_averaged(
+    dataset_name: str,
+    seeds: Sequence[int] = (7, 17, 27),
+    methods: Sequence[str] = METHOD_ORDER,
+) -> TiComparisonResult:
+    """Seed-averaged Figure 5 rows (smooths crowd-sampling noise)."""
+    results = [
+        run_ti_comparison(build_context(dataset_name, seed=s), methods)
+        for s in seeds
+    ]
+    return TiComparisonResult(
+        dataset=dataset_name,
+        accuracy={
+            name: float(np.mean([r.accuracy[name] for r in results]))
+            for name in methods
+        },
+        seconds={
+            name: float(np.mean([r.seconds[name] for r in results]))
+            for name in methods
+        },
+        seeds=list(seeds),
+    )
+
+
+def format_ti_comparison(results: Sequence[TiComparisonResult]) -> str:
+    """Render Figure 5(a)(b) as two ascii tables."""
+    lines = ["Figure 5(a): truth-inference accuracy (%)"]
+    header = f"{'dataset':>8s}" + "".join(
+        f"{m:>8s}" for m in METHOD_ORDER
+    )
+    lines.append(header)
+    for result in results:
+        lines.append(
+            f"{result.dataset:>8s}"
+            + "".join(
+                f"{result.accuracy[m]:8.1f}" for m in METHOD_ORDER
+            )
+        )
+    lines.append("")
+    lines.append("Figure 5(b): truth-inference execution time (s)")
+    lines.append(header)
+    for result in results:
+        lines.append(
+            f"{result.dataset:>8s}"
+            + "".join(
+                f"{result.seconds[m]:8.2f}" for m in METHOD_ORDER
+            )
+        )
+    return "\n".join(lines)

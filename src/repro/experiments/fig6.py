@@ -1,0 +1,160 @@
+"""Figure 6: case study of worker qualities on the Item dataset.
+
+- 6(a) histogram: for each dataset domain, how many workers fall in each
+  of 10 true-quality bins.
+- 6(b) calibration: estimated vs true quality for the three workers who
+  answered the most tasks (4 points each, one per domain).
+- 6(c) calibration in the NBA domain for all workers with > 20 answers.
+
+"True quality" follows the paper: the fraction of the worker's answers
+that match ground truth, per domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.baselines.docs_truth import DocsTruth
+from repro.core.truth_inference import TruthInference
+from repro.core.types import group_answers_by_worker
+from repro.experiments.context import ExperimentContext
+from repro.experiments.fig4 import _golden_qualities
+
+
+@dataclass
+class WorkerCaseStudy:
+    """Figure 6's three panels.
+
+    Attributes:
+        histogram: domain label -> list of 10 bin counts (bin i covers
+            true quality [i/10, (i+1)/10)).
+        top_worker_points: worker id -> list of (true, estimated) pairs,
+            one per dataset domain, for the 3 most active workers.
+        nba_points: (true, estimated) pairs in the first dataset domain
+            for workers with more than ``min_answers`` answers.
+    """
+
+    histogram: Dict[str, List[int]]
+    top_worker_points: Dict[str, List[Tuple[float, float]]]
+    nba_points: List[Tuple[float, float]]
+
+
+def run_case_study(
+    context: ExperimentContext, min_answers: int = 20
+) -> WorkerCaseStudy:
+    """Compute Figure 6's panels for one context (the paper uses Item)."""
+    dataset = context.dataset
+    truth_of = dataset.ground_truths()
+    task_domain = {t.task_id: t.true_domain for t in dataset.tasks}
+    by_worker = group_answers_by_worker(context.answers)
+
+    # True quality per (worker, domain): empirical accuracy.
+    true_quality: Dict[str, Dict[int, float]] = {}
+    answer_counts: Dict[str, int] = {}
+    domain_counts: Dict[str, Dict[int, int]] = {}
+    for worker_id, worker_answers in by_worker.items():
+        answer_counts[worker_id] = len(worker_answers)
+        per_domain: Dict[int, List[float]] = {}
+        for answer in worker_answers:
+            domain = task_domain[answer.task_id]
+            per_domain.setdefault(domain, []).append(
+                1.0 if truth_of.get(answer.task_id) == answer.choice else 0.0
+            )
+        true_quality[worker_id] = {
+            d: float(np.mean(v)) for d, v in per_domain.items()
+        }
+        domain_counts[worker_id] = {d: len(v) for d, v in per_domain.items()}
+
+    # Estimated quality from TI.
+    ti = TruthInference()
+    initial = _golden_qualities(context, context.golden)
+    result = ti.infer(
+        dataset.tasks, context.answers, initial_qualities=initial
+    )
+
+    # 6(a): per-domain histograms of true quality.
+    histogram: Dict[str, List[int]] = {}
+    for domain in dataset.domains:
+        bins = [0] * 10
+        for worker_id, per_domain in true_quality.items():
+            if domain.taxonomy_index not in per_domain:
+                continue
+            value = per_domain[domain.taxonomy_index]
+            bin_index = min(int(value * 10), 9)
+            bins[bin_index] += 1
+        histogram[domain.label] = bins
+
+    # 6(b): the 3 most active workers, one point per dataset domain.
+    most_active = sorted(
+        answer_counts, key=answer_counts.get, reverse=True
+    )[:3]
+    top_points: Dict[str, List[Tuple[float, float]]] = {}
+    for worker_id in most_active:
+        points = []
+        estimated = result.worker_qualities.get(worker_id)
+        if estimated is None:
+            continue
+        for domain in dataset.domains:
+            true_value = true_quality[worker_id].get(domain.taxonomy_index)
+            if true_value is None:
+                continue
+            points.append(
+                (true_value, float(estimated[domain.taxonomy_index]))
+            )
+        top_points[worker_id] = points
+
+    # 6(c): calibration in the first dataset domain (NBA for Item).
+    nba = dataset.domains[0]
+    nba_points: List[Tuple[float, float]] = []
+    for worker_id, counts in domain_counts.items():
+        if counts.get(nba.taxonomy_index, 0) <= min_answers:
+            continue
+        estimated = result.worker_qualities.get(worker_id)
+        true_value = true_quality[worker_id].get(nba.taxonomy_index)
+        if estimated is None or true_value is None:
+            continue
+        nba_points.append(
+            (true_value, float(estimated[nba.taxonomy_index]))
+        )
+    return WorkerCaseStudy(
+        histogram=histogram,
+        top_worker_points=top_points,
+        nba_points=nba_points,
+    )
+
+
+def calibration_error(points: List[Tuple[float, float]]) -> float:
+    """Mean |true - estimated| over calibration points (lower = closer
+    to the Y = X line of Figures 6(b)(c))."""
+    if not points:
+        return 0.0
+    return float(np.mean([abs(t - e) for t, e in points]))
+
+
+def format_case_study(study: WorkerCaseStudy) -> str:
+    """Render Figure 6 as ascii."""
+    lines = ["Figure 6(a): #workers per true-quality bin"]
+    lines.append(
+        f"{'domain':>10s}" + "".join(f"{i/10:>6.1f}" for i in range(10))
+    )
+    for label, bins in study.histogram.items():
+        lines.append(
+            f"{label:>10s}" + "".join(f"{b:>6d}" for b in bins)
+        )
+    lines.append("")
+    lines.append(
+        "Figure 6(b): (true, estimated) per domain for 3 most active "
+        "workers"
+    )
+    for worker_id, points in study.top_worker_points.items():
+        rendered = ", ".join(f"({t:.2f},{e:.2f})" for t, e in points)
+        lines.append(f"  {worker_id}: {rendered}")
+    lines.append(
+        f"Figure 6(c): {len(study.nba_points)} calibration points in "
+        f"first domain, mean |true-est| = "
+        f"{calibration_error(study.nba_points):.3f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Figure 7: golden-task selection — optimality and scalability.
+
+- 7(a): for n' in [0, 20] and m = 10 with random target distributions,
+  compare the paper's greedy approximation against brute-force
+  enumeration over all compositions: execution time of both, and the
+  approximation ratio gamma = |D - D_opt| / D_opt (paper: mean within
+  0.1%).
+- 7(b): greedy execution time for n' in [1K, 10K], m in {10, 20, 50}
+  (flat in n', O(m^2 n) overall — here the task-count term is fixed so
+  the curve is flat, as in the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.golden import (
+    enumerate_golden_counts,
+    kl_objective,
+    select_golden_counts,
+)
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class GoldenComparisonPoint:
+    """One n' measurement of Figure 7(a).
+
+    Attributes:
+        n_prime: golden budget.
+        greedy_seconds: greedy wall time.
+        enumeration_seconds: brute-force wall time.
+        gamma: |D - D_opt| / D_opt (0 when both are optimal; when
+            D_opt == 0 the ratio is defined as 0 iff D == 0).
+    """
+
+    n_prime: int
+    greedy_seconds: float
+    enumeration_seconds: float
+    gamma: float
+
+
+def run_golden_comparison(
+    n_primes: Sequence[int] = tuple(range(1, 21)),
+    num_domains: int = 10,
+    seed: SeedLike = 0,
+) -> List[GoldenComparisonPoint]:
+    """Figure 7(a): greedy vs enumeration on random distributions."""
+    rng = make_rng(seed)
+    points: List[GoldenComparisonPoint] = []
+    for n_prime in n_primes:
+        tau = rng.dirichlet(np.ones(num_domains))
+
+        started = time.perf_counter()
+        greedy_counts = select_golden_counts(tau, n_prime)
+        greedy_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        _, optimal_value = enumerate_golden_counts(tau, n_prime)
+        enumeration_seconds = time.perf_counter() - started
+
+        greedy_value = kl_objective(greedy_counts, tau, n_prime)
+        if optimal_value > 0:
+            gamma = abs(greedy_value - optimal_value) / optimal_value
+        else:
+            gamma = 0.0 if greedy_value <= 1e-12 else float("inf")
+        points.append(
+            GoldenComparisonPoint(
+                n_prime=n_prime,
+                greedy_seconds=greedy_seconds,
+                enumeration_seconds=enumeration_seconds,
+                gamma=gamma,
+            )
+        )
+    return points
+
+
+@dataclass
+class GoldenScalabilityPoint:
+    """One measurement of Figure 7(b).
+
+    Attributes:
+        n_prime: golden budget.
+        num_domains: m.
+        seconds: greedy wall time.
+    """
+
+    n_prime: int
+    num_domains: int
+    seconds: float
+
+
+def run_golden_scalability(
+    n_primes: Sequence[int] = (1000, 4000, 7000, 10000),
+    domain_counts: Sequence[int] = (10, 20, 50),
+    seed: SeedLike = 0,
+) -> List[GoldenScalabilityPoint]:
+    """Figure 7(b): greedy time across budgets and domain counts."""
+    rng = make_rng(seed)
+    points: List[GoldenScalabilityPoint] = []
+    for num_domains in domain_counts:
+        tau = rng.dirichlet(np.ones(num_domains))
+        for n_prime in n_primes:
+            started = time.perf_counter()
+            select_golden_counts(tau, n_prime)
+            points.append(
+                GoldenScalabilityPoint(
+                    n_prime=n_prime,
+                    num_domains=num_domains,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+    return points
+
+
+def format_golden_comparison(
+    points: List[GoldenComparisonPoint],
+) -> str:
+    """Render Figure 7(a)."""
+    lines = ["Figure 7(a): golden selection, greedy vs enumeration"]
+    lines.append(
+        f"{'n_prime':>8s} {'greedy(s)':>12s} {'enum(s)':>12s} "
+        f"{'gamma':>10s}"
+    )
+    for p in points:
+        lines.append(
+            f"{p.n_prime:>8d} {p.greedy_seconds:12.5f} "
+            f"{p.enumeration_seconds:12.3f} {p.gamma:10.5f}"
+        )
+    mean_gamma = float(np.mean([p.gamma for p in points]))
+    lines.append(f"mean gamma = {mean_gamma:.5f} (paper: <= 0.001)")
+    return "\n".join(lines)
+
+
+def format_golden_scalability(
+    points: List[GoldenScalabilityPoint],
+) -> str:
+    """Render Figure 7(b)."""
+    lines = ["Figure 7(b): golden selection scalability (greedy)"]
+    lines.append(f"{'m':>5s} {'n_prime':>9s} {'seconds':>10s}")
+    for p in points:
+        lines.append(
+            f"{p.num_domains:>5d} {p.n_prime:>9d} {p.seconds:10.5f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Figure 8: end-to-end online task assignment comparison.
+
+- 8(a)/(b): Baseline / AskIt! / IC / QASCA / D-Max / DOCS, each driving
+  a full simulated campaign on each dataset (k = 3 per HIT, total budget
+  10 answers per task, as in Section 6.1's parallel-assignment protocol).
+  Reported: final accuracy and the worst-case single-assignment time.
+- 8(c): OTA scalability — assignment time vs task count n for HIT sizes
+  k in {5, 10, 50} on synthetic task states (m = 20).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines.engines import (
+    AskItEngine,
+    DMaxEngine,
+    ICrowdEngine,
+    QascaEngine,
+    RandomBaselineEngine,
+)
+from repro.core.assignment import TaskAssigner
+from repro.core.types import Task, TaskState
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.datasets import make_dataset
+from repro.platform.amt_sim import PlatformSimulator
+from repro.system import DocsConfig, DocsSystem
+from repro.utils.rng import SeedLike, make_rng
+
+#: Paper display order for Figure 8.
+ENGINE_ORDER = ("Baseline", "AskIt!", "IC", "QASCA", "D-Max", "DOCS")
+
+
+def _engine_factories(seed: int) -> Dict[str, Callable[[], object]]:
+    return {
+        "Baseline": lambda: RandomBaselineEngine(seed=seed + 91),
+        "AskIt!": AskItEngine,
+        "IC": ICrowdEngine,
+        "QASCA": QascaEngine,
+        "D-Max": DMaxEngine,
+        "DOCS": lambda: DocsSystem(DocsConfig(seed=seed)),
+    }
+
+
+@dataclass
+class OtaComparisonResult:
+    """Figure 8(a)(b) rows for one dataset.
+
+    Attributes:
+        dataset: dataset name.
+        accuracy: engine -> final accuracy %.
+        max_assign_seconds: engine -> worst-case assignment time.
+        seeds: seeds averaged over.
+    """
+
+    dataset: str
+    accuracy: Dict[str, float]
+    max_assign_seconds: Dict[str, float]
+    seeds: List[int] = field(default_factory=list)
+
+
+def run_ota_comparison(
+    dataset_name: str,
+    seed: int = 0,
+    answers_per_task: int = 10,
+    hit_size: int = 3,
+    pool_size: int = 50,
+    engines: Sequence[str] = ENGINE_ORDER,
+    dataset_overrides: dict = None,
+) -> OtaComparisonResult:
+    """Run every engine through a full campaign on one dataset."""
+    dataset = make_dataset(
+        dataset_name, seed=seed, **(dataset_overrides or {})
+    )
+    active = tuple(d.taxonomy_index for d in dataset.domains)
+    pool = WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=pool_size,
+            num_domains=dataset.taxonomy.size,
+            active_domains=active,
+            seed=seed + 1,
+        )
+    )
+    factories = _engine_factories(seed)
+    accuracy: Dict[str, float] = {}
+    worst: Dict[str, float] = {}
+    for name in engines:
+        engine = factories[name]()
+        # Fresh dataset copy per engine: engines mutate task domain
+        # vectors; regenerating keeps campaigns independent.
+        ds = make_dataset(
+            dataset_name, seed=seed, **(dataset_overrides or {})
+        )
+        simulator = PlatformSimulator(
+            ds,
+            pool,
+            answers_per_task=answers_per_task,
+            hit_size=hit_size,
+            seed=seed + 3,
+        )
+        report = simulator.run(engine)
+        accuracy[name] = 100.0 * report.accuracy
+        worst[name] = report.max_assign_seconds
+    return OtaComparisonResult(
+        dataset=dataset_name,
+        accuracy=accuracy,
+        max_assign_seconds=worst,
+        seeds=[seed],
+    )
+
+
+def run_ota_comparison_averaged(
+    dataset_name: str,
+    seeds: Sequence[int] = (7, 17, 27),
+    **kwargs,
+) -> OtaComparisonResult:
+    """Seed-averaged Figure 8(a)(b) rows."""
+    results = [
+        run_ota_comparison(dataset_name, seed=s, **kwargs) for s in seeds
+    ]
+    engines = list(results[0].accuracy.keys())
+    return OtaComparisonResult(
+        dataset=dataset_name,
+        accuracy={
+            name: float(np.mean([r.accuracy[name] for r in results]))
+            for name in engines
+        },
+        max_assign_seconds={
+            name: float(
+                np.max([r.max_assign_seconds[name] for r in results])
+            )
+            for name in engines
+        },
+        seeds=list(seeds),
+    )
+
+
+@dataclass
+class OtaScalabilityPoint:
+    """One measurement of Figure 8(c).
+
+    Attributes:
+        num_tasks: n.
+        k: HIT size.
+        seconds: one assignment's wall time.
+    """
+
+    num_tasks: int
+    k: int
+    seconds: float
+
+
+def run_ota_scalability(
+    task_counts: Sequence[int] = (2000, 4000, 6000, 8000, 10000),
+    hit_sizes: Sequence[int] = (5, 10, 50),
+    num_domains: int = 20,
+    num_choices: int = 2,
+    seed: SeedLike = 0,
+) -> List[OtaScalabilityPoint]:
+    """Figure 8(c): assignment time on synthetic task states."""
+    rng = make_rng(seed)
+    points: List[OtaScalabilityPoint] = []
+    for num_tasks in task_counts:
+        states = _synthetic_states(num_tasks, num_domains, num_choices, rng)
+        quality = rng.uniform(0.3, 0.95, size=num_domains)
+        for k in hit_sizes:
+            assigner = TaskAssigner(hit_size=k)
+            started = time.perf_counter()
+            assigner.assign(states, quality)
+            points.append(
+                OtaScalabilityPoint(
+                    num_tasks=num_tasks,
+                    k=k,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+    return points
+
+
+def _synthetic_states(
+    count: int,
+    num_domains: int,
+    num_choices: int,
+    rng: np.random.Generator,
+) -> Dict[int, TaskState]:
+    """Random task states (random r, M, s) for scalability timing."""
+    states: Dict[int, TaskState] = {}
+    for task_id in range(count):
+        task = Task(
+            task_id=task_id,
+            text=f"synthetic {task_id}",
+            num_choices=num_choices,
+        )
+        r = rng.dirichlet(np.ones(num_domains))
+        M = rng.dirichlet(np.ones(num_choices), size=num_domains)
+        state = TaskState(task=task, r=r, M=M, s=r @ M)
+        states[task_id] = state
+    return states
+
+
+def format_ota_comparison(results: Sequence[OtaComparisonResult]) -> str:
+    """Render Figure 8(a)(b)."""
+    lines = ["Figure 8(a): end-to-end assignment accuracy (%)"]
+    header = f"{'dataset':>8s}" + "".join(
+        f"{name:>10s}" for name in ENGINE_ORDER
+    )
+    lines.append(header)
+    for result in results:
+        lines.append(
+            f"{result.dataset:>8s}"
+            + "".join(
+                f"{result.accuracy[name]:10.1f}" for name in ENGINE_ORDER
+            )
+        )
+    lines.append("")
+    lines.append("Figure 8(b): worst-case assignment time (ms)")
+    lines.append(header)
+    for result in results:
+        lines.append(
+            f"{result.dataset:>8s}"
+            + "".join(
+                f"{1000 * result.max_assign_seconds[name]:10.2f}"
+                for name in ENGINE_ORDER
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_ota_scalability(points: Sequence[OtaScalabilityPoint]) -> str:
+    """Render Figure 8(c)."""
+    lines = ["Figure 8(c): OTA scalability (one assignment)"]
+    lines.append(f"{'n':>7s} {'k':>5s} {'seconds':>10s}")
+    for p in points:
+        lines.append(f"{p.num_tasks:>7d} {p.k:>5d} {p.seconds:10.4f}")
+    return "\n".join(lines)

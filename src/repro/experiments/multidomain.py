@@ -1,0 +1,149 @@
+"""Multi-domain detection metrics (the paper's proposed future metric).
+
+Section 6.2 notes that real tasks can relate to several domains at once
+("Harlem Globetrotters whistle song" is Entertain *and* Sports) and
+that "it might be interesting to develop metrics on evaluating how a
+method can compute a task's multiple domains correctly". This module
+implements such metrics against the datasets' *behavioural* domain
+mixtures (the ground-truth soft labels the simulation exposes):
+
+- **Jensen-Shannon divergence** between the estimated domain vector and
+  the behavioural mixture (0 = perfect soft detection);
+- **top-2 recall**: of the (up to two) domains carrying real
+  behavioural mass, how many appear among the estimate's top-2;
+- **peak count agreement**: does the estimate have multiple modes
+  exactly when the task does?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import CrowdDataset
+from repro.errors import ValidationError
+from repro.utils.math import safe_log
+
+#: Behavioural mass below this is treated as "not really a domain".
+MASS_THRESHOLD = 0.1
+
+
+def jensen_shannon(p: np.ndarray, q: np.ndarray) -> float:
+    """JS divergence (natural log), symmetric and bounded by ln 2."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValidationError("distribution shapes differ")
+    mid = 0.5 * (p + q)
+
+    def _kl(a, b):
+        mask = a > 0
+        return float(np.sum(a[mask] * (safe_log(a[mask]) - safe_log(b[mask]))))
+
+    return 0.5 * _kl(p, mid) + 0.5 * _kl(q, mid)
+
+
+def significant_domains(
+    mixture: np.ndarray, threshold: float = MASS_THRESHOLD
+) -> List[int]:
+    """Domains carrying real behavioural mass, strongest first."""
+    indices = np.flatnonzero(mixture >= threshold)
+    return sorted(indices, key=lambda k: -mixture[k])
+
+
+@dataclass
+class MultiDomainResult:
+    """Aggregated multi-domain detection metrics for one dataset.
+
+    Attributes:
+        dataset: dataset name.
+        mean_js: mean JS divergence estimate-vs-behaviour.
+        top2_recall: mean fraction of significant domains found in the
+            estimate's top-2.
+        multi_task_fraction: fraction of tasks with >= 2 significant
+            behavioural domains.
+        peak_agreement: fraction of tasks whose estimate is multi-modal
+            exactly when the behaviour is.
+    """
+
+    dataset: str
+    mean_js: float
+    top2_recall: float
+    multi_task_fraction: float
+    peak_agreement: float
+
+
+def evaluate_multidomain(
+    dataset: CrowdDataset,
+    domain_vectors: Optional[Sequence[np.ndarray]] = None,
+    threshold: float = MASS_THRESHOLD,
+) -> MultiDomainResult:
+    """Score a dataset's domain vectors against behavioural mixtures.
+
+    Args:
+        dataset: the dataset (tasks must carry ``behavior_domains``).
+        domain_vectors: vectors to score; defaults to each task's
+            ``domain_vector``.
+        threshold: significance threshold on behavioural mass.
+
+    Returns:
+        A :class:`MultiDomainResult`.
+    """
+    vectors = (
+        list(domain_vectors)
+        if domain_vectors is not None
+        else [t.domain_vector for t in dataset.tasks]
+    )
+    if len(vectors) != dataset.num_tasks:
+        raise ValidationError("domain_vectors misaligned with tasks")
+
+    js_values: List[float] = []
+    recalls: List[float] = []
+    multi_flags: List[bool] = []
+    agreements: List[bool] = []
+    for task, estimate in zip(dataset.tasks, vectors):
+        if task.behavior_domains is None or estimate is None:
+            continue
+        behaviour = task.behavior_domains
+        js_values.append(jensen_shannon(estimate, behaviour))
+
+        significant = significant_domains(behaviour, threshold)
+        top2 = set(np.argsort(-estimate)[:2])
+        if significant:
+            hits = sum(1 for k in significant[:2] if k in top2)
+            recalls.append(hits / min(len(significant), 2))
+        is_multi = len(significant) >= 2
+        multi_flags.append(is_multi)
+        estimate_multi = (
+            len(significant_domains(estimate, threshold)) >= 2
+        )
+        agreements.append(estimate_multi == is_multi)
+
+    if not js_values:
+        raise ValidationError(
+            "dataset has no behavioural mixtures to score against"
+        )
+    return MultiDomainResult(
+        dataset=dataset.name,
+        mean_js=float(np.mean(js_values)),
+        top2_recall=float(np.mean(recalls)) if recalls else 0.0,
+        multi_task_fraction=float(np.mean(multi_flags)),
+        peak_agreement=float(np.mean(agreements)),
+    )
+
+
+def format_multidomain(results: Sequence[MultiDomainResult]) -> str:
+    """Render the multi-domain metric table."""
+    lines = ["Multi-domain detection metrics (vs behavioural mixtures)"]
+    lines.append(
+        f"{'dataset':>8s}{'mean JS':>10s}{'top2 rec':>10s}"
+        f"{'multi %':>9s}{'peak agr':>10s}"
+    )
+    for r in results:
+        lines.append(
+            f"{r.dataset:>8s}{r.mean_js:10.3f}{r.top2_recall:10.3f}"
+            f"{100 * r.multi_task_fraction:9.1f}{r.peak_agreement:10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Knowledge-base substrate.
+
+The paper consults Freebase, with the domain set D fixed to the 26
+top-level Yahoo! Answers categories (Section 3, "The Implementations of
+DVE in DOCS"). Offline, we substitute a synthetic knowledge base exposing
+exactly the interface DVE consumes:
+
+- a :class:`~repro.kb.taxonomy.DomainTaxonomy` of the 26 domains,
+- :class:`~repro.kb.concept.Concept` entries with 0/1 domain indicator
+  vectors (the ``h_{i,j}`` of Section 3),
+- an alias index for candidate generation, including deliberately
+  ambiguous aliases (several concepts sharing one name across domains,
+  mirroring the paper's "Michael Jordan" example).
+"""
+
+from repro.kb.taxonomy import DomainTaxonomy, YAHOO_DOMAINS
+from repro.kb.concept import Concept
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.freebase_sim import SyntheticKBConfig, build_synthetic_kb
+
+__all__ = [
+    "DomainTaxonomy",
+    "YAHOO_DOMAINS",
+    "Concept",
+    "KnowledgeBase",
+    "SyntheticKBConfig",
+    "build_synthetic_kb",
+]

@@ -1,0 +1,66 @@
+"""Concept records — the KB entries entity mentions link to.
+
+A concept corresponds to a Wikipedia page / Freebase topic in the paper
+(e.g. the basketball player "Michael Jordan" vs the computer scientist).
+Each carries a 0/1 *domain indicator vector* ``h`` (Section 3, Table 2):
+``h[k] == 1`` iff the concept is related to domain ``d_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A single knowledge-base concept.
+
+    Attributes:
+        concept_id: unique integer id within one knowledge base.
+        name: canonical surface form (also registered as an alias).
+        domain_indices: indices of domains this concept is related to; the
+            indicator vector is 1 exactly at these positions. May be empty
+            (the paper's "Michael I. Jordan" has ``h = [0, 0, 0]`` w.r.t.
+            the example domain set).
+        description: content tokens describing the concept, used by the
+            linker's context disambiguation.
+        commonness: prior popularity weight used for candidate ranking
+            (mirrors link-frequency features in Wikifier).
+    """
+
+    concept_id: int
+    name: str
+    domain_indices: FrozenSet[int]
+    description: Tuple[str, ...] = field(default=())
+    commonness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.commonness <= 0:
+            raise ValidationError(
+                f"concept commonness must be positive: {self.commonness}"
+            )
+        if any(k < 0 for k in self.domain_indices):
+            raise ValidationError(
+                f"negative domain index in {sorted(self.domain_indices)}"
+            )
+
+    def indicator_vector(self, num_domains: int) -> np.ndarray:
+        """Dense 0/1 indicator vector ``h`` of length ``num_domains``."""
+        if self.domain_indices and max(self.domain_indices) >= num_domains:
+            raise ValidationError(
+                f"concept {self.concept_id} references domain "
+                f">= {num_domains}"
+            )
+        h = np.zeros(num_domains, dtype=float)
+        for k in self.domain_indices:
+            h[k] = 1.0
+        return h
+
+    def related_to(self, domain_index: int) -> bool:
+        """True if the concept's indicator is 1 at ``domain_index``."""
+        return domain_index in self.domain_indices

@@ -1,0 +1,223 @@
+"""Synthetic Freebase-like knowledge-base generator.
+
+The paper's DVE consults Freebase (57M concepts). What DVE actually needs
+from it is small and precise:
+
+1. concepts with names (so mentions can be detected in task text),
+2. per-concept 0/1 domain indicators over the 26-domain taxonomy,
+3. *ambiguity*: one surface name shared by concepts in different domains
+   (the "Michael Jordan the player vs the professor vs the actor" example
+   that motivates Algorithm 1's aggregation over linkings),
+4. textual context per concept (so a linker can disambiguate).
+
+``build_synthetic_kb`` generates a KB with exactly those properties,
+deterministically from a seed. Name collisions across domains are injected
+at a configurable rate, and a fraction of concepts get a secondary domain
+(multi-domain concepts, like Michael Jordan being related to both Sports
+and Entertainment through the film "Space Jam").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kb.concept import Concept
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.lexicon import DOMAIN_VOCABULARY, NAME_SYLLABLES
+from repro.kb.taxonomy import DomainTaxonomy, default_taxonomy
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class SyntheticKBConfig:
+    """Parameters of the synthetic knowledge base.
+
+    Attributes:
+        concepts_per_domain: concepts generated for each taxonomy domain.
+        ambiguity_rate: fraction of concepts whose name is also given to
+            concepts in *different* domains (creates multi-candidate
+            aliases).
+        collision_depth: maximum number of doppelganger concepts created
+            per ambiguous name (the actual count is uniform in
+            [1, collision_depth]). Higher depth means more candidates per
+            entity — the knob behind Table 3's top-c sweep.
+        secondary_domain_rate: fraction of concepts related to a second
+            domain in addition to their primary one.
+        secondary_domain_pool: when given, secondary domains are drawn
+            from these names (minus the primary) instead of all active
+            domains. Dataset generators set this to their own domain set
+            so cross-domain entities (the "Michael Jordan starred in
+            Space Jam" effect) connect domains that actually co-occur in
+            the workload.
+        description_length: tokens per concept description.
+        famous_fraction: fraction of concepts that are *renowned*
+            (commonness boosted by roughly an order of magnitude). Real
+            KB popularity is heavy-tailed; renowned concepts dominate
+            their alias even against several doppelgangers, which is what
+            lets single-entity tasks (SFV) resolve their domain.
+        seed: RNG seed for deterministic generation.
+    """
+
+    concepts_per_domain: int = 60
+    ambiguity_rate: float = 0.35
+    collision_depth: int = 1
+    secondary_domain_rate: float = 0.2
+    secondary_domain_pool: Optional[Tuple[str, ...]] = None
+    description_length: int = 14
+    famous_fraction: float = 0.15
+    seed: SeedLike = 0
+
+    def validate(self) -> None:
+        if self.concepts_per_domain <= 0:
+            raise ValidationError("concepts_per_domain must be positive")
+        if not 0.0 <= self.ambiguity_rate <= 1.0:
+            raise ValidationError("ambiguity_rate must be in [0, 1]")
+        if self.collision_depth < 1:
+            raise ValidationError("collision_depth must be >= 1")
+        if not 0.0 <= self.secondary_domain_rate <= 1.0:
+            raise ValidationError("secondary_domain_rate must be in [0, 1]")
+        if self.description_length <= 0:
+            raise ValidationError("description_length must be positive")
+        if not 0.0 <= self.famous_fraction <= 1.0:
+            raise ValidationError("famous_fraction must be in [0, 1]")
+
+
+def _synthesize_name(rng: np.random.Generator) -> str:
+    """A two-word synthetic personal/entity name from the syllable pool."""
+    first = "".join(rng.choice(NAME_SYLLABLES, size=2))
+    last = "".join(rng.choice(NAME_SYLLABLES, size=2))
+    return f"{first.capitalize()} {last.capitalize()}"
+
+
+def _description_for(
+    domain_name: str,
+    length: int,
+    rng: np.random.Generator,
+) -> Tuple[str, ...]:
+    """Sample a concept description from its domain vocabulary.
+
+    Domains outside the built-in lexicon (custom taxonomies in tests or
+    downstream use) get a deterministic pseudo-vocabulary derived from
+    the domain name, so context disambiguation still has a signal.
+    """
+    vocab = DOMAIN_VOCABULARY.get(domain_name)
+    if vocab is None:
+        slug = "".join(ch for ch in domain_name.lower() if ch.isalnum())
+        vocab = tuple(f"{slug}word{i}" for i in range(12))
+    return tuple(rng.choice(vocab, size=length))
+
+
+def build_synthetic_kb(
+    config: Optional[SyntheticKBConfig] = None,
+    taxonomy: Optional[DomainTaxonomy] = None,
+    domain_subset: Optional[Sequence[str]] = None,
+) -> KnowledgeBase:
+    """Generate a deterministic synthetic knowledge base.
+
+    Args:
+        config: generation parameters (defaults to
+            :class:`SyntheticKBConfig`).
+        taxonomy: taxonomy to build over (defaults to the 26 Yahoo
+            domains).
+        domain_subset: if given, only these domains receive concepts
+            (useful for focused unit tests); the indicator vectors are
+            still sized to the full taxonomy.
+
+    Returns:
+        A populated :class:`KnowledgeBase`.
+    """
+    cfg = config or SyntheticKBConfig()
+    cfg.validate()
+    tax = taxonomy or default_taxonomy()
+    rng = make_rng(cfg.seed)
+
+    active_domains = list(domain_subset) if domain_subset else list(tax.domains)
+    for name in active_domains:
+        tax.index_of(name)  # validate early
+
+    kb = KnowledgeBase(tax)
+    next_id = 0
+    # First pass: generate every concept with a fresh name.
+    generated: List[Tuple[Concept, str]] = []
+    used_names = set()
+    for domain_name in active_domains:
+        primary = tax.index_of(domain_name)
+        for _ in range(cfg.concepts_per_domain):
+            name = _synthesize_name(rng)
+            while name in used_names:
+                name = _synthesize_name(rng)
+            used_names.add(name)
+            domain_indices = {primary}
+            if rng.random() < cfg.secondary_domain_rate:
+                pool = (
+                    list(cfg.secondary_domain_pool)
+                    if cfg.secondary_domain_pool is not None
+                    else active_domains
+                )
+                choices = [d for d in pool if d != domain_name]
+                if choices:
+                    other = rng.choice(choices)
+                    domain_indices.add(tax.index_of(str(other)))
+            commonness = float(rng.uniform(0.5, 5.0))
+            if rng.random() < cfg.famous_fraction:
+                commonness *= float(rng.uniform(6.0, 15.0))
+            concept = Concept(
+                concept_id=next_id,
+                name=name,
+                domain_indices=frozenset(domain_indices),
+                description=_description_for(
+                    domain_name, cfg.description_length, rng
+                ),
+                commonness=commonness,
+            )
+            generated.append((concept, domain_name))
+            next_id += 1
+
+    # Second pass: inject cross-domain name collisions. For each concept
+    # chosen to be "ambiguous", create doppelganger concepts with the same
+    # name whose primary domains differ — the linker then sees a
+    # multi-candidate alias exactly like the paper's Michael Jordan case.
+    # Famous concepts are *always* ambiguous and more deeply so: a famous
+    # name accretes many minor namesakes (Wikipedia lists dozens of
+    # "Michael Jordan"s), each individually weak — this is what fills the
+    # top-c candidate lists that make enumeration DVE explode (Table 3).
+    doppelgangers: List[Tuple[Concept, str]] = []
+    if len(active_domains) > 1:
+        for concept, domain_name in generated:
+            is_famous = concept.commonness > 5.0
+            if not is_famous and rng.random() >= cfg.ambiguity_rate:
+                continue
+            if is_famous:
+                twins = int(
+                    cfg.collision_depth
+                    + rng.integers(0, cfg.collision_depth + 1)
+                )
+                commonness_range = (0.05, 0.6)
+            else:
+                twins = int(rng.integers(1, cfg.collision_depth + 1))
+                commonness_range = (0.2, 2.0)
+            for _ in range(twins):
+                other_domain = str(
+                    rng.choice(
+                        [d for d in active_domains if d != domain_name]
+                    )
+                )
+                twin = Concept(
+                    concept_id=next_id,
+                    name=concept.name,
+                    domain_indices=frozenset({tax.index_of(other_domain)}),
+                    description=_description_for(
+                        other_domain, cfg.description_length, rng
+                    ),
+                    commonness=float(rng.uniform(*commonness_range)),
+                )
+                doppelgangers.append((twin, other_domain))
+                next_id += 1
+
+    for concept, _ in generated + doppelgangers:
+        kb.add_concept(concept)
+    return kb

@@ -1,0 +1,150 @@
+"""In-memory knowledge base with alias-based candidate lookup.
+
+Exposes exactly what the DVE pipeline consumes:
+
+- ``candidates(alias)`` — the concepts an entity mention may link to
+  (the candidate set behind the distribution ``p_i`` of Section 3),
+- ``indicator(concept_id)`` — the 0/1 domain indicator vector ``h_{i,j}``,
+- an alias index supporting longest-match mention detection.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kb.concept import Concept
+from repro.kb.taxonomy import DomainTaxonomy
+
+
+def canonical_alias(text: str) -> str:
+    """Normalise an alias for indexing (lowercase, collapsed whitespace)."""
+    return " ".join(text.lower().split())
+
+
+class KnowledgeBase:
+    """A curated concept store with an alias index.
+
+    Args:
+        taxonomy: the domain taxonomy used to size indicator vectors.
+    """
+
+    def __init__(self, taxonomy: DomainTaxonomy):
+        self._taxonomy = taxonomy
+        self._concepts: Dict[int, Concept] = {}
+        self._alias_index: Dict[str, List[int]] = defaultdict(list)
+        self._indicator_cache: Dict[int, np.ndarray] = {}
+        self._max_alias_tokens = 0
+
+    @property
+    def taxonomy(self) -> DomainTaxonomy:
+        """The domain taxonomy this KB is built over."""
+        return self._taxonomy
+
+    @property
+    def num_domains(self) -> int:
+        """Number of domains ``m``."""
+        return self._taxonomy.size
+
+    @property
+    def num_concepts(self) -> int:
+        """Number of concepts stored."""
+        return len(self._concepts)
+
+    @property
+    def max_alias_tokens(self) -> int:
+        """Longest alias length in tokens — the mention detector's window."""
+        return self._max_alias_tokens
+
+    def add_concept(
+        self, concept: Concept, aliases: Optional[Sequence[str]] = None
+    ) -> None:
+        """Register a concept and index it under its name and aliases.
+
+        Raises:
+            ValidationError: on duplicate concept ids or out-of-range
+                domain indices.
+        """
+        if concept.concept_id in self._concepts:
+            raise ValidationError(
+                f"duplicate concept id: {concept.concept_id}"
+            )
+        # Validates domain indices against m as a side effect.
+        indicator = concept.indicator_vector(self.num_domains)
+        self._concepts[concept.concept_id] = concept
+        self._indicator_cache[concept.concept_id] = indicator
+        for alias in {concept.name, *(aliases or ())}:
+            key = canonical_alias(alias)
+            if not key:
+                raise ValidationError("empty alias")
+            self._alias_index[key].append(concept.concept_id)
+            self._max_alias_tokens = max(
+                self._max_alias_tokens, len(key.split())
+            )
+
+    def concept(self, concept_id: int) -> Concept:
+        """Fetch a concept by id.
+
+        Raises:
+            ValidationError: if unknown.
+        """
+        try:
+            return self._concepts[concept_id]
+        except KeyError:
+            raise ValidationError(
+                f"unknown concept id: {concept_id}"
+            ) from None
+
+    def indicator(self, concept_id: int) -> np.ndarray:
+        """The concept's dense 0/1 domain indicator vector (read-only)."""
+        vec = self._indicator_cache.get(concept_id)
+        if vec is None:
+            raise ValidationError(f"unknown concept id: {concept_id}")
+        return vec
+
+    def candidates(self, alias: str) -> List[Concept]:
+        """All concepts registered under ``alias`` (possibly empty)."""
+        ids = self._alias_index.get(canonical_alias(alias), [])
+        return [self._concepts[cid] for cid in ids]
+
+    def has_alias(self, alias: str) -> bool:
+        """True if any concept is registered under ``alias``."""
+        return canonical_alias(alias) in self._alias_index
+
+    def aliases(self) -> Iterable[str]:
+        """All indexed alias strings."""
+        return self._alias_index.keys()
+
+    def concepts(self) -> Iterable[Concept]:
+        """All stored concepts."""
+        return self._concepts.values()
+
+    def concepts_in_domain(self, domain_index: int) -> List[Concept]:
+        """Concepts whose indicator is 1 at ``domain_index``."""
+        if not 0 <= domain_index < self.num_domains:
+            raise ValidationError(
+                f"domain index {domain_index} out of range"
+            )
+        return [
+            c for c in self._concepts.values() if c.related_to(domain_index)
+        ]
+
+    def ambiguous_aliases(self) -> List[Tuple[str, List[int]]]:
+        """Aliases mapping to more than one concept, with their ids."""
+        return [
+            (alias, list(ids))
+            for alias, ids in self._alias_index.items()
+            if len(ids) > 1
+        ]
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeBase(concepts={len(self._concepts)}, "
+            f"aliases={len(self._alias_index)}, m={self.num_domains})"
+        )

@@ -1,0 +1,183 @@
+"""Per-domain vocabulary for the synthetic knowledge base and datasets.
+
+Each of the 26 domains gets a small controlled vocabulary. These words are
+used in three places, and the *shared usage* is what makes the synthetic
+world behave like the real one:
+
+1. Concept descriptions in the KB are bags of their domain's words — the
+   linker's context disambiguation matches task text against them.
+2. Dataset generators weave the same words into task text, so a task about
+   a sports concept really does read like a sports question.
+3. Topic models (LDA / TwitterLDA) see only these surface tokens; their
+   success depends on how separable the per-domain vocabularies are in the
+   actual task text, reproducing the paper's Figure 3 dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.kb.taxonomy import YAHOO_DOMAINS
+
+#: Domain name -> tuple of characteristic content words.
+DOMAIN_VOCABULARY: Dict[str, Tuple[str, ...]] = {
+    "Arts & Humanities": (
+        "painting", "sculpture", "poetry", "novel", "museum", "gallery",
+        "literature", "canvas", "renaissance", "symphony", "manuscript",
+        "exhibit", "aesthetic", "fresco", "sonnet", "curator",
+    ),
+    "Beauty & Style": (
+        "makeup", "fashion", "lipstick", "hairstyle", "perfume", "designer",
+        "wardrobe", "skincare", "runway", "mascara", "boutique", "stylist",
+        "fragrance", "manicure", "couture", "eyeliner",
+    ),
+    "Business & Finance": (
+        "stock", "revenue", "investor", "merger", "dividend", "portfolio",
+        "startup", "shareholder", "profit", "acquisition", "market",
+        "earnings", "brand", "ipo", "valuation", "owns",
+    ),
+    "Cars & Transportation": (
+        "engine", "sedan", "horsepower", "mileage", "torque", "chassis",
+        "dealership", "transmission", "coupe", "turbo", "fuel", "brake",
+        "motor", "wheelbase", "drivetrain", "roadster",
+    ),
+    "Computers & Internet": (
+        "software", "server", "browser", "algorithm", "bandwidth", "router",
+        "database", "encryption", "compiler", "firewall", "website",
+        "download", "keyboard", "protocol", "cache", "laptop",
+    ),
+    "Consumer Electronics": (
+        "gadget", "smartphone", "headphone", "battery", "charger", "screen",
+        "camera", "speaker", "tablet", "firmware", "pixel", "stereo",
+        "remote", "earbud", "console", "projector",
+    ),
+    "Dining Out": (
+        "restaurant", "waiter", "menu", "bistro", "reservation", "buffet",
+        "diner", "tip", "entree", "appetizer", "cafe", "brunch",
+        "steakhouse", "takeout", "sommelier", "patio",
+    ),
+    "Education & Reference": (
+        "school", "teacher", "curriculum", "exam", "scholarship", "lecture",
+        "textbook", "diploma", "tuition", "homework", "professor",
+        "semester", "thesis", "classroom", "grammar", "dictionary",
+    ),
+    "Entertainment & Music": (
+        "film", "movie", "actor", "album", "concert", "singer", "director",
+        "oscar", "soundtrack", "premiere", "celebrity", "starred",
+        "episode", "guitar", "drama", "sitcom",
+    ),
+    "Environment": (
+        "climate", "pollution", "recycling", "emission", "wildlife",
+        "conservation", "ecosystem", "renewable", "carbon", "deforestation",
+        "habitat", "sustainability", "ozone", "compost", "biodiversity",
+        "wetland",
+    ),
+    "Family & Relationships": (
+        "marriage", "sibling", "friendship", "wedding", "divorce", "cousin",
+        "anniversary", "partner", "trust", "parenting", "household",
+        "relative", "engagement", "in-law", "honeymoon", "bond",
+    ),
+    "Food & Drink": (
+        "recipe", "calories", "chocolate", "flavor", "ingredient", "spice",
+        "baking", "protein", "cuisine", "sauce", "vitamin", "dessert",
+        "honey", "roast", "vegetable", "originate",
+    ),
+    "Games & Recreation": (
+        "puzzle", "chess", "videogame", "dice", "arcade", "quest",
+        "multiplayer", "board", "trivia", "lottery", "joystick", "riddle",
+        "scrabble", "poker", "dungeon", "leaderboard",
+    ),
+    "Health": (
+        "doctor", "symptom", "vaccine", "diagnosis", "therapy", "surgery",
+        "medicine", "patient", "allergy", "nutrition", "cardiology",
+        "immune", "prescription", "clinic", "fitness", "recovery",
+    ),
+    "Home & Garden": (
+        "furniture", "lawn", "plumbing", "renovation", "carpet", "garden",
+        "paint", "mortgage", "backyard", "kitchen", "insulation", "decor",
+        "fence", "hardwood", "greenhouse", "shovel",
+    ),
+    "Local Businesses": (
+        "shop", "storefront", "franchise", "bakery", "barber", "laundromat",
+        "locksmith", "florist", "pharmacy", "hardware", "grocer", "tailor",
+        "stall", "vendor", "kiosk", "mainstreet",
+    ),
+    "News & Events": (
+        "headline", "journalist", "broadcast", "press", "scandal",
+        "coverage", "editorial", "bulletin", "correspondent", "newsroom",
+        "media", "report", "breaking", "anchor", "column", "byline",
+    ),
+    "Pets": (
+        "puppy", "kitten", "veterinarian", "leash", "aquarium", "parrot",
+        "grooming", "kennel", "hamster", "breed", "litter", "terrier",
+        "feline", "canine", "adoption", "whisker",
+    ),
+    "Politics & Government": (
+        "election", "senator", "parliament", "policy", "legislation",
+        "campaign", "congress", "treaty", "ambassador", "ballot",
+        "referendum", "cabinet", "governor", "diplomat", "soviet", "union",
+    ),
+    "Pregnancy & Parenting": (
+        "toddler", "newborn", "midwife", "crib", "stroller", "lullaby",
+        "daycare", "pediatric", "trimester", "diaper", "nursery",
+        "ultrasound", "pacifier", "bedtime", "playground", "babysitter",
+    ),
+    "Science & Mathematics": (
+        "physics", "theorem", "molecule", "gravity", "equation", "quantum",
+        "geology", "telescope", "chemistry", "fossil", "summit", "altitude",
+        "mountain", "peak", "experiment", "hypothesis",
+    ),
+    "Social Science": (
+        "psychology", "sociology", "anthropology", "survey", "cognition",
+        "behavior", "demographic", "ethnography", "bias", "culture",
+        "economics", "linguistics", "identity", "norms", "institution",
+        "census",
+    ),
+    "Society & Culture": (
+        "tradition", "festival", "religion", "etiquette", "mythology",
+        "heritage", "folklore", "ritual", "custom", "holiday", "temple",
+        "ceremony", "dialect", "proverb", "costume", "monument",
+    ),
+    "Sports": (
+        "championship", "player", "team", "coach", "season", "league",
+        "basketball", "tournament", "playoff", "stadium", "height",
+        "score", "wins", "position", "athlete", "soccer",
+    ),
+    "Travel": (
+        "airline", "passport", "itinerary", "hostel", "luggage", "visa",
+        "destination", "cruise", "sightseeing", "layover", "resort",
+        "backpacking", "terminal", "souvenir", "expedition", "voyage",
+    ),
+    "Yahoo Products": (
+        "mailbox", "messenger", "flickr", "homepage", "login", "avatar",
+        "notification", "toolbar", "widget", "account", "settings",
+        "inbox", "profile", "bookmark", "search", "portal",
+    ),
+}
+
+# A syllable pool used to synthesise entity names. Names are not domain
+# specific: ambiguity across domains (the "Michael Jordan" effect) requires
+# that a plausible name could belong to any domain.
+NAME_SYLLABLES: Tuple[str, ...] = (
+    "mar", "len", "cor", "vin", "tas", "rel", "don", "quis", "bel", "nor",
+    "hal", "ser", "pim", "gol", "dar", "win", "fos", "ter", "lan", "dri",
+    "mon", "cal", "ver", "sut", "ran", "kel", "bro", "stan", "mil", "ger",
+)
+
+
+def vocabulary_for(domain: str) -> Tuple[str, ...]:
+    """Characteristic vocabulary for a domain name.
+
+    Raises:
+        KeyError: if the domain is unknown.
+    """
+    return DOMAIN_VOCABULARY[domain]
+
+
+def _check_consistency() -> None:
+    missing = set(YAHOO_DOMAINS) - set(DOMAIN_VOCABULARY)
+    if missing:
+        raise AssertionError(f"lexicon missing domains: {sorted(missing)}")
+
+
+_check_consistency()

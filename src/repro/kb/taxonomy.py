@@ -1,0 +1,112 @@
+"""The domain taxonomy (Definition 1).
+
+DOCS fixes ``D`` to the 26 top-level categories of Yahoo! Answers, each
+manually mapped to Freebase domains. We reproduce that list verbatim; the
+taxonomy object provides stable integer indices for vectorised code and
+name lookup for readable examples and reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+#: The 26 top-level Yahoo! Answers categories used as the explicit domain
+#: set in the paper (Section 3).
+YAHOO_DOMAINS: Tuple[str, ...] = (
+    "Arts & Humanities",
+    "Beauty & Style",
+    "Business & Finance",
+    "Cars & Transportation",
+    "Computers & Internet",
+    "Consumer Electronics",
+    "Dining Out",
+    "Education & Reference",
+    "Entertainment & Music",
+    "Environment",
+    "Family & Relationships",
+    "Food & Drink",
+    "Games & Recreation",
+    "Health",
+    "Home & Garden",
+    "Local Businesses",
+    "News & Events",
+    "Pets",
+    "Politics & Government",
+    "Pregnancy & Parenting",
+    "Science & Mathematics",
+    "Social Science",
+    "Society & Culture",
+    "Sports",
+    "Travel",
+    "Yahoo Products",
+)
+
+
+class DomainTaxonomy:
+    """An ordered, indexable set of domain names.
+
+    Domain vectors throughout the library are dense arrays whose k-th entry
+    corresponds to ``taxonomy.domains[k]``.
+    """
+
+    def __init__(self, domains: Sequence[str] = YAHOO_DOMAINS):
+        if len(domains) == 0:
+            raise ValidationError("taxonomy must contain at least one domain")
+        if len(set(domains)) != len(domains):
+            raise ValidationError("taxonomy domains must be unique")
+        self._domains: Tuple[str, ...] = tuple(domains)
+        self._index: Dict[str, int] = {
+            name: k for k, name in enumerate(self._domains)
+        }
+
+    @property
+    def domains(self) -> Tuple[str, ...]:
+        """Ordered domain names."""
+        return self._domains
+
+    @property
+    def size(self) -> int:
+        """The number of domains ``m = |D|``."""
+        return len(self._domains)
+
+    def index_of(self, name: str) -> int:
+        """Integer index of a domain name.
+
+        Raises:
+            ValidationError: if the domain is not in the taxonomy.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ValidationError(f"unknown domain: {name!r}") from None
+
+    def name_of(self, index: int) -> str:
+        """Domain name at ``index``."""
+        if not 0 <= index < self.size:
+            raise ValidationError(
+                f"domain index {index} out of range [0, {self.size})"
+            )
+        return self._domains[index]
+
+    def subset_indices(self, names: Sequence[str]) -> List[int]:
+        """Indices of several domain names, preserving input order."""
+        return [self.index_of(name) for name in names]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._domains)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __repr__(self) -> str:
+        return f"DomainTaxonomy(m={self.size})"
+
+
+def default_taxonomy() -> DomainTaxonomy:
+    """The 26-domain Yahoo! Answers taxonomy used in the paper."""
+    return DomainTaxonomy(YAHOO_DOMAINS)

@@ -1,0 +1,21 @@
+"""Entity-linking substrate (Wikifier surrogate).
+
+The paper uses the open-source Wikifier [36, 10] to (1) detect entities in
+a task's text, (2) produce, per entity, the top-c candidate concepts with a
+probability distribution ``p_i``, and (3) map each concept to a 0/1 domain
+indicator ``h_{i,j}`` via Freebase. This package reimplements that pipeline
+against :mod:`repro.kb`:
+
+- :mod:`repro.linking.mention` — greedy longest-match mention detection
+  over the KB alias index,
+- :mod:`repro.linking.candidates` — candidate generation with commonness
+  priors,
+- :mod:`repro.linking.disambiguate` — context scoring (bag-of-words cosine
+  between task text and concept descriptions),
+- :mod:`repro.linking.wikifier` — the :class:`EntityLinker` facade
+  producing the exact ``(E_t, p_i, h_{i,j})`` triples Algorithm 1 consumes.
+"""
+
+from repro.linking.wikifier import EntityLinker, LinkedEntity
+
+__all__ = ["EntityLinker", "LinkedEntity"]

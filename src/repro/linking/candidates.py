@@ -1,0 +1,47 @@
+"""Candidate generation: alias -> ranked concept candidates.
+
+For each detected mention, the candidate set is every KB concept indexed
+under that alias; the prior weight of a candidate is its *commonness*
+(mirroring link-frequency features in Wikifier [36]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kb.concept import Concept
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """Candidates for one mention with their prior weights.
+
+    Attributes:
+        concepts: candidate concepts (arbitrary but deterministic order).
+        priors: positive prior weights aligned with ``concepts``
+            (not normalised — the disambiguator combines them with
+            context scores before normalising).
+    """
+
+    concepts: Tuple[Concept, ...]
+    priors: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.concepts)
+
+
+def generate_candidates(surface: str, kb: KnowledgeBase) -> CandidateSet:
+    """Build the candidate set for a mention surface form.
+
+    Returns:
+        A :class:`CandidateSet`; empty if the alias is unknown (callers
+        should have detected mentions through the same KB, so this only
+        happens in direct API use).
+    """
+    concepts = kb.candidates(surface)
+    priors = np.array([c.commonness for c in concepts], dtype=float)
+    return CandidateSet(concepts=tuple(concepts), priors=priors)

@@ -1,0 +1,91 @@
+"""Mention detection: find KB-linkable spans in task text.
+
+Greedy longest-match over the KB alias index: scan tokens left to right,
+at each position try the longest alias window first, and never overlap
+mentions. This mirrors dictionary-based spotters used by practical linkers
+and guarantees that a task mentioning "Michael Jordan" yields one two-token
+mention rather than two one-token ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.utils.text import STOPWORDS, tokenize
+
+
+@dataclass(frozen=True)
+class Mention:
+    """A detected entity mention.
+
+    Attributes:
+        surface: the matched phrase (canonical lowercase form).
+        token_start: index of the first token in the task's token stream.
+        token_length: number of tokens covered.
+    """
+
+    surface: str
+    token_start: int
+    token_length: int
+
+
+def detect_mentions(text: str, kb: KnowledgeBase) -> List[Mention]:
+    """Detect non-overlapping KB mentions in ``text``.
+
+    Single-token matches consisting solely of a stopword are rejected so
+    that e.g. an alias unfortunately colliding with "the" cannot flood the
+    linker.
+
+    Returns:
+        Mentions ordered by position.
+    """
+    tokens = tokenize(text)
+    max_window = max(kb.max_alias_tokens, 1)
+    mentions: List[Mention] = []
+    pos = 0
+    total = len(tokens)
+    while pos < total:
+        matched = False
+        upper = min(max_window, total - pos)
+        for length in range(upper, 0, -1):
+            phrase = " ".join(tokens[pos:pos + length])
+            if length == 1 and phrase in STOPWORDS:
+                continue
+            if kb.has_alias(phrase):
+                mentions.append(
+                    Mention(
+                        surface=phrase,
+                        token_start=pos,
+                        token_length=length,
+                    )
+                )
+                pos += length
+                matched = True
+                break
+        if not matched:
+            pos += 1
+    return mentions
+
+
+def context_tokens(text: str, mentions: List[Mention]) -> List[str]:
+    """Content tokens of ``text`` outside the mention spans.
+
+    These are the disambiguation context: the words around the entities,
+    which carry the domain signal ("championships" vs "machine learning").
+    """
+    tokens = tokenize(text)
+    covered = set()
+    for mention in mentions:
+        covered.update(
+            range(
+                mention.token_start,
+                mention.token_start + mention.token_length,
+            )
+        )
+    return [
+        tok
+        for idx, tok in enumerate(tokens)
+        if idx not in covered and tok not in STOPWORDS
+    ]

@@ -1,0 +1,138 @@
+"""The :class:`EntityLinker` facade — text in, ``(E_t, p_i, h_ij)`` out.
+
+This is the reproduction of the Wikifier-based Step 1 of Section 3:
+detect entities, link each to its top-c candidate concepts with a
+probability distribution, and attach each candidate's domain indicator
+vector. The output type :class:`LinkedEntity` is the direct input to
+:func:`repro.core.dve.domain_vector` (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.linking.candidates import generate_candidates
+from repro.linking.disambiguate import (
+    DEFAULT_SMOOTHING,
+    score_candidates,
+    truncate_top_c,
+)
+from repro.linking.mention import context_tokens, detect_mentions
+from repro.utils.math import normalize
+
+#: The paper extracts the top 20 candidate concepts per entity by default.
+DEFAULT_TOP_C = 20
+
+
+@dataclass(frozen=True)
+class LinkedEntity:
+    """One detected entity with its candidate linking distribution.
+
+    Attributes:
+        surface: the mention's surface form.
+        concept_ids: ids of the kept candidate concepts.
+        probabilities: the linking distribution ``p_i`` (sums to 1),
+            aligned with ``concept_ids``.
+        indicators: matrix of shape ``(len(concept_ids), m)``; row j is the
+            indicator vector ``h_{i,j}`` of the j-th candidate.
+    """
+
+    surface: str
+    concept_ids: Tuple[int, ...]
+    probabilities: np.ndarray
+    indicators: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.concept_ids) != self.probabilities.shape[0]:
+            raise ValidationError(
+                "probabilities misaligned with concept ids"
+            )
+        if self.indicators.shape[0] != len(self.concept_ids):
+            raise ValidationError("indicators misaligned with concept ids")
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of kept candidate concepts ``|p_i|``."""
+        return len(self.concept_ids)
+
+
+class EntityLinker:
+    """Links task text to KB concepts, producing DVE inputs.
+
+    Args:
+        kb: the knowledge base to link against.
+        top_c: candidates kept per entity (paper default 20; the Table 3
+            heuristics use 10 and 3).
+        smoothing: context-score smoothing, see
+            :mod:`repro.linking.disambiguate`.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        top_c: int = DEFAULT_TOP_C,
+        smoothing: float = DEFAULT_SMOOTHING,
+    ):
+        if top_c <= 0:
+            raise ValidationError(f"top_c must be positive: {top_c}")
+        self._kb = kb
+        self._top_c = top_c
+        self._smoothing = smoothing
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        """The underlying knowledge base."""
+        return self._kb
+
+    @property
+    def top_c(self) -> int:
+        """Candidates kept per entity."""
+        return self._top_c
+
+    def link(self, text: str, top_c: Optional[int] = None) -> List[LinkedEntity]:
+        """Run the full linking pipeline on one task's text.
+
+        Args:
+            text: the task description.
+            top_c: optional per-call override of the candidate cutoff.
+
+        Returns:
+            One :class:`LinkedEntity` per detected mention with a non-empty
+            candidate set. Tasks with no linkable entities return ``[]``
+            (the DVE layer then falls back to a uniform domain vector).
+        """
+        cutoff = top_c if top_c is not None else self._top_c
+        if cutoff <= 0:
+            raise ValidationError(f"top_c must be positive: {cutoff}")
+        mentions = detect_mentions(text, self._kb)
+        context = context_tokens(text, mentions)
+        entities: List[LinkedEntity] = []
+        for mention in mentions:
+            candidates = generate_candidates(mention.surface, self._kb)
+            if len(candidates) == 0:
+                continue
+            scores = score_candidates(
+                candidates, context, smoothing=self._smoothing
+            )
+            kept = truncate_top_c(scores, cutoff)
+            probs = normalize(scores[kept])
+            concept_ids = tuple(
+                candidates.concepts[j].concept_id for j in kept
+            )
+            indicators = np.stack(
+                [self._kb.indicator(cid) for cid in concept_ids]
+            )
+            entities.append(
+                LinkedEntity(
+                    surface=mention.surface,
+                    concept_ids=concept_ids,
+                    probabilities=probs,
+                    indicators=indicators,
+                )
+            )
+        return entities

@@ -1,0 +1,28 @@
+"""Crowdsourcing-platform substrate (AMT surrogate).
+
+DOCS is middleware over Amazon Mechanical Turk: AMT passes worker ids in,
+DOCS assigns HITs of k tasks, workers submit answers, DOCS pays per HIT.
+This package simulates that loop:
+
+- :mod:`repro.platform.storage` — the system's database tables (answers,
+  task states, worker statistics) as in Figure 1's DB;
+- :mod:`repro.platform.hit` — HIT batching and payment accounting;
+- :mod:`repro.platform.budget` — requester budget tracking;
+- :mod:`repro.platform.amt_sim` — the end-to-end interaction loop
+  driving any engine that implements the assignment protocol.
+"""
+
+from repro.platform.storage import AnswerTable, SystemDatabase
+from repro.platform.hit import HIT, HITLog
+from repro.platform.budget import Budget
+from repro.platform.amt_sim import PlatformSimulator, SimulationReport
+
+__all__ = [
+    "AnswerTable",
+    "SystemDatabase",
+    "HIT",
+    "HITLog",
+    "Budget",
+    "PlatformSimulator",
+    "SimulationReport",
+]

@@ -1,0 +1,216 @@
+"""The end-to-end platform interaction loop (AMT surrogate).
+
+Drives any *engine* — DOCS or a competitor — through the workflow of
+Section 6.4: workers arrive, new workers first answer the golden tasks
+(the quality pre-test of Section 5.2), then each arrival receives a HIT
+of k tasks chosen by the engine, answers them according to the simulated
+answer model, and the engine ingests the answers. The loop stops when the
+assignment budget (n tasks x answers-per-task) is spent or no further
+assignment is possible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.types import Answer
+from repro.crowd.answer_model import sample_answer
+from repro.crowd.arrival import WorkerArrivalProcess
+from repro.crowd.worker_pool import WorkerPool
+from repro.datasets.base import CrowdDataset
+from repro.errors import ValidationError
+from repro.platform.budget import Budget
+from repro.platform.hit import HITLog
+from repro.utils.rng import SeedLike, make_rng
+
+
+class CrowdEngine(Protocol):
+    """The protocol every assignment engine implements.
+
+    Engines own their inference state; the simulator owns the crowd, the
+    budget, and the clock.
+    """
+
+    name: str
+
+    def prepare(self, dataset: CrowdDataset) -> None:
+        """Ingest the task set (run DVE or its equivalent)."""
+
+    def golden_task_ids(self) -> List[int]:
+        """Golden tasks assigned to each new worker ([] if unused)."""
+
+    def needs_bootstrap(self, worker_id: str) -> bool:
+        """True if this worker has not been quality-tested yet."""
+
+    def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        """Ingest a new worker's golden-task answers."""
+
+    def assign(self, worker_id: str, k: int) -> List[int]:
+        """Select up to k tasks for the arriving worker."""
+
+    def submit(self, answer: Answer) -> None:
+        """Ingest one answer to an assigned task."""
+
+    def finalize(self) -> Dict[int, int]:
+        """Inferred truth (1-based choice) per task id."""
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one simulated campaign.
+
+    Attributes:
+        engine_name: which engine ran.
+        truths: task id -> inferred truth.
+        accuracy: fraction of tasks inferred correctly.
+        total_answers: budget consumed (golden pre-test excluded).
+        golden_answers: answers collected during bootstrap pre-tests.
+        hit_log: every issued HIT.
+        max_assign_seconds: worst-case wall time of one assign() call
+            (Figure 8(b)'s metric).
+        mean_assign_seconds: mean assign() wall time.
+    """
+
+    engine_name: str
+    truths: Dict[int, int]
+    accuracy: float
+    total_answers: int
+    golden_answers: int
+    hit_log: HITLog
+    max_assign_seconds: float
+    mean_assign_seconds: float
+
+
+class PlatformSimulator:
+    """Runs one engine through a full crowdsourcing campaign.
+
+    Args:
+        dataset: tasks + ground truth + KB.
+        pool: the simulated workforce.
+        answers_per_task: budget = n tasks x this (paper: 10).
+        hit_size: tasks per HIT (paper: k = 20 overall, k = 3 per method
+            in the OTA comparison).
+        max_hits_per_worker: arrival cap per worker.
+        seed: RNG seed for arrivals and answers.
+    """
+
+    def __init__(
+        self,
+        dataset: CrowdDataset,
+        pool: WorkerPool,
+        answers_per_task: int = 10,
+        hit_size: int = 3,
+        max_hits_per_worker: Optional[int] = None,
+        seed: SeedLike = 0,
+    ):
+        if answers_per_task < 1:
+            raise ValidationError("answers_per_task must be >= 1")
+        if hit_size < 1:
+            raise ValidationError("hit_size must be >= 1")
+        self._dataset = dataset
+        self._pool = pool
+        self._answers_per_task = answers_per_task
+        self._hit_size = hit_size
+        self._max_hits = max_hits_per_worker
+        self._seed = seed
+
+    def run(self, engine: CrowdEngine) -> SimulationReport:
+        """Simulate a full campaign with ``engine``.
+
+        Returns:
+            A :class:`SimulationReport` with accuracy and timing.
+        """
+        rng = make_rng(self._seed)
+        arrival_rng, answer_rng = rng.spawn(2)
+        engine.prepare(self._dataset)
+
+        tasks_by_id = {t.task_id: t for t in self._dataset.tasks}
+        budget = Budget(self._dataset.num_tasks * self._answers_per_task)
+        arrivals = WorkerArrivalProcess(
+            self._pool,
+            max_hits_per_worker=self._max_hits,
+            seed=arrival_rng,
+        )
+        hit_log = HITLog()
+        assign_times: List[float] = []
+        golden_answer_count = 0
+        consecutive_empty = 0
+
+        for worker_id in arrivals:
+            if budget.exhausted():
+                break
+            profile = self._pool.profile(worker_id)
+
+            if engine.needs_bootstrap(worker_id):
+                golden_answers = []
+                for task_id in engine.golden_task_ids():
+                    task = tasks_by_id[task_id]
+                    choice = sample_answer(task, profile, answer_rng)
+                    golden_answers.append(
+                        Answer(
+                            worker_id=worker_id,
+                            task_id=task_id,
+                            choice=choice,
+                        )
+                    )
+                engine.bootstrap(worker_id, golden_answers)
+                golden_answer_count += len(golden_answers)
+
+            k = min(self._hit_size, budget.remaining)
+            started = time.perf_counter()
+            assigned = engine.assign(worker_id, k)
+            assign_times.append(time.perf_counter() - started)
+
+            if not assigned:
+                consecutive_empty += 1
+                # Every worker has been tried since the last successful
+                # assignment: nothing more can be assigned.
+                if consecutive_empty > 2 * len(self._pool):
+                    break
+                continue
+            consecutive_empty = 0
+
+            hit_log.issue(worker_id, assigned)
+            for task_id in assigned:
+                task = tasks_by_id[task_id]
+                choice = sample_answer(task, profile, answer_rng)
+                engine.submit(
+                    Answer(
+                        worker_id=worker_id,
+                        task_id=task_id,
+                        choice=choice,
+                    )
+                )
+                budget.consume(1)
+
+        truths = engine.finalize()
+        accuracy = self._score(truths)
+        return SimulationReport(
+            engine_name=engine.name,
+            truths=truths,
+            accuracy=accuracy,
+            total_answers=budget.used,
+            golden_answers=golden_answer_count,
+            hit_log=hit_log,
+            max_assign_seconds=max(assign_times) if assign_times else 0.0,
+            mean_assign_seconds=(
+                float(np.mean(assign_times)) if assign_times else 0.0
+            ),
+        )
+
+    def _score(self, truths: Dict[int, int]) -> float:
+        correct = 0
+        counted = 0
+        for task in self._dataset.tasks:
+            if task.ground_truth is None:
+                continue
+            counted += 1
+            if truths.get(task.task_id) == task.ground_truth:
+                correct += 1
+        if counted == 0:
+            raise ValidationError("dataset has no ground truth to score")
+        return correct / counted

@@ -1,0 +1,61 @@
+"""Requester budget accounting.
+
+A requester publishes tasks with a budget; DOCS consumes it through task
+assignments and returns inferred truths once it is spent (Figure 1). The
+budget here is denominated in *assignments* (answer slots), the unit the
+paper's experiments control (e.g. 10 answers per task -> n x 10 total).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BudgetExhaustedError, ValidationError
+
+
+class Budget:
+    """A countdown of assignment slots.
+
+    Args:
+        total_assignments: total answer slots the requester pays for.
+    """
+
+    def __init__(self, total_assignments: int):
+        if total_assignments <= 0:
+            raise ValidationError(
+                f"budget must be positive: {total_assignments}"
+            )
+        self._total = total_assignments
+        self._used = 0
+
+    @property
+    def total(self) -> int:
+        """Total slots purchased."""
+        return self._total
+
+    @property
+    def used(self) -> int:
+        """Slots consumed so far."""
+        return self._used
+
+    @property
+    def remaining(self) -> int:
+        """Slots left."""
+        return self._total - self._used
+
+    def exhausted(self) -> bool:
+        """True when no slots remain."""
+        return self._used >= self._total
+
+    def consume(self, count: int = 1) -> None:
+        """Spend ``count`` slots.
+
+        Raises:
+            BudgetExhaustedError: if fewer than ``count`` remain.
+        """
+        if count < 0:
+            raise ValidationError("cannot consume a negative count")
+        if self._used + count > self._total:
+            raise BudgetExhaustedError(
+                f"requested {count} assignments with only "
+                f"{self.remaining} remaining"
+            )
+        self._used += count

@@ -1,0 +1,84 @@
+"""Human Intelligence Tasks: batching and payment accounting.
+
+AMT groups tasks into HITs; the paper batches k = 20 tasks per HIT and
+pays $0.10 per completed HIT (Section 6.1). The HIT log records every
+issued batch so experiments can audit assignment behaviour (who got what,
+in which order) and compute spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+#: Payment per completed HIT in dollars (Section 6.1).
+DEFAULT_REWARD_PER_HIT = 0.10
+
+
+@dataclass(frozen=True)
+class HIT:
+    """One issued HIT.
+
+    Attributes:
+        hit_id: sequential id.
+        worker_id: the worker it was assigned to.
+        task_ids: the batched tasks, in benefit order.
+        reward: payment on completion (dollars).
+    """
+
+    hit_id: int
+    worker_id: str
+    task_ids: Tuple[int, ...]
+    reward: float = DEFAULT_REWARD_PER_HIT
+
+    def __post_init__(self) -> None:
+        if not self.task_ids:
+            raise ValidationError("a HIT must contain at least one task")
+        if self.reward < 0:
+            raise ValidationError("reward must be non-negative")
+
+
+class HITLog:
+    """Append-only log of issued HITs with per-worker indexes."""
+
+    def __init__(self) -> None:
+        self._hits: List[HIT] = []
+        self._by_worker: Dict[str, List[HIT]] = {}
+
+    def issue(
+        self,
+        worker_id: str,
+        task_ids: Sequence[int],
+        reward: float = DEFAULT_REWARD_PER_HIT,
+    ) -> HIT:
+        """Record a new HIT and return it."""
+        hit = HIT(
+            hit_id=len(self._hits),
+            worker_id=worker_id,
+            task_ids=tuple(task_ids),
+            reward=reward,
+        )
+        self._hits.append(hit)
+        self._by_worker.setdefault(worker_id, []).append(hit)
+        return hit
+
+    def all(self) -> List[HIT]:
+        """Every issued HIT, in order."""
+        return list(self._hits)
+
+    def for_worker(self, worker_id: str) -> List[HIT]:
+        """HITs issued to one worker."""
+        return list(self._by_worker.get(worker_id, []))
+
+    def total_spend(self) -> float:
+        """Dollars paid across all HITs."""
+        return sum(h.reward for h in self._hits)
+
+    def total_assignments(self) -> int:
+        """Total task-assignment count across HITs."""
+        return sum(len(h.task_ids) for h in self._hits)
+
+    def __len__(self) -> int:
+        return len(self._hits)

@@ -1,0 +1,337 @@
+"""SQLite-backed storage: durable tables for answers and worker stats.
+
+Figure 1 shows DOCS persisting answers and worker statistics in a
+database so that worker models survive across requesters and system
+restarts. :mod:`repro.platform.storage` provides the in-memory tables
+used by experiments; this module provides drop-in durable equivalents on
+top of the standard library's ``sqlite3``:
+
+- :class:`SqliteAnswerTable` — same interface as
+  :class:`repro.platform.storage.AnswerTable`;
+- :class:`SqliteWorkerQualityStore` — same interface as
+  :class:`repro.core.quality_store.WorkerQualityStore`, persisting the
+  (quality, weight) vectors of Theorem 1.
+
+Both accept a filesystem path or ``":memory:"``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.quality_store import WorkerStats
+from repro.core.types import Answer
+from repro.errors import UnknownWorkerError, ValidationError
+
+_ANSWER_SCHEMA = """
+CREATE TABLE IF NOT EXISTS answers (
+    worker_id TEXT NOT NULL,
+    task_id   INTEGER NOT NULL,
+    choice    INTEGER NOT NULL,
+    seq       INTEGER PRIMARY KEY AUTOINCREMENT,
+    UNIQUE (worker_id, task_id)
+);
+CREATE INDEX IF NOT EXISTS idx_answers_task ON answers (task_id);
+CREATE INDEX IF NOT EXISTS idx_answers_worker ON answers (worker_id);
+"""
+
+_WORKER_SCHEMA = """
+CREATE TABLE IF NOT EXISTS worker_stats (
+    worker_id TEXT NOT NULL,
+    domain    INTEGER NOT NULL,
+    quality   REAL NOT NULL,
+    weight    REAL NOT NULL,
+    PRIMARY KEY (worker_id, domain)
+);
+"""
+
+
+class SqliteAnswerTable:
+    """Durable answers relation with the AnswerTable interface.
+
+    Args:
+        path: SQLite database path (or ``":memory:"``).
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_ANSWER_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def insert(self, answer: Answer) -> None:
+        """Append one answer.
+
+        Raises:
+            ValidationError: if this (worker, task) pair already exists
+                (the paper's at-most-once constraint, enforced by the
+                UNIQUE index).
+        """
+        try:
+            self._conn.execute(
+                "INSERT INTO answers (worker_id, task_id, choice) "
+                "VALUES (?, ?, ?)",
+                (answer.worker_id, answer.task_id, answer.choice),
+            )
+            self._conn.commit()
+        except sqlite3.IntegrityError:
+            raise ValidationError(
+                f"worker {answer.worker_id} already answered task "
+                f"{answer.task_id}"
+            ) from None
+
+    def all(self) -> List[Answer]:
+        """All answers in arrival order."""
+        rows = self._conn.execute(
+            "SELECT worker_id, task_id, choice FROM answers ORDER BY seq"
+        ).fetchall()
+        return [Answer(w, t, c) for w, t, c in rows]
+
+    def for_task(self, task_id: int) -> List[Answer]:
+        """The answer set V(i) of one task (arrival order)."""
+        rows = self._conn.execute(
+            "SELECT worker_id, task_id, choice FROM answers "
+            "WHERE task_id = ? ORDER BY seq",
+            (task_id,),
+        ).fetchall()
+        return [Answer(w, t, c) for w, t, c in rows]
+
+    def for_worker(self, worker_id: str) -> List[Answer]:
+        """The answered set T(w) of one worker (arrival order)."""
+        rows = self._conn.execute(
+            "SELECT worker_id, task_id, choice FROM answers "
+            "WHERE worker_id = ? ORDER BY seq",
+            (worker_id,),
+        ).fetchall()
+        return [Answer(w, t, c) for w, t, c in rows]
+
+    def tasks_answered_by(self, worker_id: str) -> Set[int]:
+        """Task ids answered by a worker."""
+        rows = self._conn.execute(
+            "SELECT task_id FROM answers WHERE worker_id = ?",
+            (worker_id,),
+        ).fetchall()
+        return {t for (t,) in rows}
+
+    def count_for_task(self, task_id: int) -> int:
+        """|V(i)| for one task."""
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM answers WHERE task_id = ?",
+            (task_id,),
+        ).fetchone()
+        return int(count)
+
+    def has_answered(self, worker_id: str, task_id: int) -> bool:
+        """Integrity-check helper."""
+        row = self._conn.execute(
+            "SELECT 1 FROM answers WHERE worker_id = ? AND task_id = ?",
+            (worker_id, task_id),
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM answers"
+        ).fetchone()
+        return int(count)
+
+
+class SqliteWorkerQualityStore:
+    """Durable worker model with the WorkerQualityStore interface.
+
+    Persists one row per (worker, domain) carrying the Theorem 1
+    statistics; the merge runs as an upsert inside a transaction.
+
+    Args:
+        num_domains: m, the taxonomy size.
+        path: SQLite database path (or ``":memory:"``).
+        default_quality: quality reported for unknown workers/domains.
+    """
+
+    def __init__(
+        self,
+        num_domains: int,
+        path: str = ":memory:",
+        default_quality: float = 0.7,
+    ):
+        if num_domains <= 0:
+            raise ValidationError("num_domains must be positive")
+        if not 0.0 < default_quality < 1.0:
+            raise ValidationError("default_quality must be in (0, 1)")
+        self._m = num_domains
+        self._default_quality = default_quality
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_WORKER_SCHEMA)
+        self._conn.commit()
+
+    @property
+    def num_domains(self) -> int:
+        """Taxonomy size m."""
+        return self._m
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def known_workers(self) -> Iterable[str]:
+        """Ids of workers with stored statistics."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT worker_id FROM worker_stats"
+        ).fetchall()
+        return [w for (w,) in rows]
+
+    def __contains__(self, worker_id: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM worker_stats WHERE worker_id = ? LIMIT 1",
+            (worker_id,),
+        ).fetchone()
+        return row is not None
+
+    def _fetch(self, worker_id: str) -> Optional[WorkerStats]:
+        rows = self._conn.execute(
+            "SELECT domain, quality, weight FROM worker_stats "
+            "WHERE worker_id = ?",
+            (worker_id,),
+        ).fetchall()
+        if not rows:
+            return None
+        quality = np.full(self._m, self._default_quality)
+        weight = np.zeros(self._m)
+        for domain, q, u in rows:
+            if not 0 <= domain < self._m:
+                raise ValidationError(
+                    f"stored domain {domain} out of range for m={self._m}"
+                )
+            quality[domain] = q
+            weight[domain] = u
+        return WorkerStats(quality, weight)
+
+    def get(self, worker_id: str) -> WorkerStats:
+        """Stored stats for a worker.
+
+        Raises:
+            UnknownWorkerError: if the worker has no record.
+        """
+        stats = self._fetch(worker_id)
+        if stats is None:
+            raise UnknownWorkerError(worker_id)
+        return stats
+
+    def quality_or_default(self, worker_id: str) -> np.ndarray:
+        """Quality vector with per-domain defaulting (zero weight)."""
+        stats = self._fetch(worker_id)
+        if stats is None:
+            return np.full(self._m, self._default_quality)
+        quality = stats.quality.copy()
+        quality[stats.weight <= 0] = self._default_quality
+        return quality
+
+    def blended_quality(
+        self, worker_id: str, pseudo_weight: float = 1.0
+    ) -> np.ndarray:
+        """Weight-shrunk quality (see the in-memory store's docstring)."""
+        if pseudo_weight < 0:
+            raise ValidationError("pseudo_weight must be non-negative")
+        stats = self._fetch(worker_id)
+        if stats is None:
+            return np.full(self._m, self._default_quality)
+        return (
+            stats.quality * stats.weight
+            + self._default_quality * pseudo_weight
+        ) / (stats.weight + pseudo_weight)
+
+    def set(
+        self, worker_id: str, quality: np.ndarray, weight: np.ndarray
+    ) -> None:
+        """Overwrite a worker's stats."""
+        quality, weight = self._validated(quality, weight)
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM worker_stats WHERE worker_id = ?",
+                (worker_id,),
+            )
+            self._conn.executemany(
+                "INSERT INTO worker_stats "
+                "(worker_id, domain, quality, weight) VALUES (?, ?, ?, ?)",
+                [
+                    (worker_id, k, float(quality[k]), float(weight[k]))
+                    for k in range(self._m)
+                ],
+            )
+
+    def merge(
+        self, worker_id: str, quality: np.ndarray, weight: np.ndarray
+    ) -> WorkerStats:
+        """Theorem 1 update as a transactional upsert."""
+        quality, weight = self._validated(quality, weight)
+        existing = self._fetch(worker_id)
+        if existing is None:
+            merged = WorkerStats(quality.copy(), weight.copy())
+        else:
+            total = existing.weight + weight
+            merged_quality = existing.quality.copy()
+            mask = total > 0
+            merged_quality[mask] = (
+                existing.quality[mask] * existing.weight[mask]
+                + quality[mask] * weight[mask]
+            ) / total[mask]
+            merged = WorkerStats(merged_quality, total)
+        self.set(worker_id, merged.quality, merged.weight)
+        return merged
+
+    def initialize_from_golden(
+        self,
+        worker_id: str,
+        golden_answers: Mapping[int, int],
+        golden_truths: Mapping[int, int],
+        domain_vectors: Mapping[int, np.ndarray],
+        shrinkage: float = 1.0,
+    ) -> WorkerStats:
+        """Golden bootstrap, identical to the in-memory store's."""
+        if shrinkage < 0:
+            raise ValidationError("shrinkage must be non-negative")
+        numerator = np.zeros(self._m)
+        denominator = np.zeros(self._m)
+        for task_id, choice in golden_answers.items():
+            if task_id not in golden_truths:
+                raise ValidationError(
+                    f"golden task {task_id} has no recorded truth"
+                )
+            r = np.asarray(domain_vectors[task_id], dtype=float)
+            correct = 1.0 if choice == golden_truths[task_id] else 0.0
+            numerator += r * correct
+            denominator += r
+        quality = np.full(self._m, self._default_quality)
+        mask = denominator > 0
+        quality[mask] = (
+            numerator[mask] + shrinkage * self._default_quality
+        ) / (denominator[mask] + shrinkage)
+        stats = WorkerStats(quality, denominator)
+        self.set(worker_id, stats.quality, stats.weight)
+        return stats
+
+    def snapshot(self) -> Dict[str, WorkerStats]:
+        """All stored stats (deep copies)."""
+        return {
+            worker_id: self.get(worker_id)
+            for worker_id in self.known_workers()
+        }
+
+    def _validated(
+        self, quality: np.ndarray, weight: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        quality = np.asarray(quality, dtype=float)
+        weight = np.asarray(weight, dtype=float)
+        if quality.shape != (self._m,) or weight.shape != (self._m,):
+            raise ValidationError(
+                f"quality/weight must have shape ({self._m},)"
+            )
+        if np.any(weight < 0):
+            raise ValidationError("weights must be non-negative")
+        return quality, weight

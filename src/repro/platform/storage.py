@@ -1,0 +1,144 @@
+"""In-memory database tables backing the DOCS middleware.
+
+Figure 1 shows DOCS persisting, in a database: workers' answers, task
+parameters (domain vectors, truth state), and worker statistics (quality
++ weight vectors). These tables reproduce that storage layer with simple
+indexed in-memory structures and the query patterns the modules need
+(answers by task, answers by worker, existence checks).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.types import Answer, Task
+from repro.errors import UnknownTaskError, ValidationError
+
+
+class AnswerTable:
+    """The answers relation: (worker_id, task_id, choice), append-only.
+
+    Maintains secondary indexes by task and by worker, and enforces the
+    paper's "a worker answers a task at most once" integrity constraint.
+    """
+
+    def __init__(self) -> None:
+        self._answers: List[Answer] = []
+        self._by_task: Dict[int, List[Answer]] = defaultdict(list)
+        self._by_worker: Dict[str, List[Answer]] = defaultdict(list)
+        self._pairs: Set[Tuple[str, int]] = set()
+
+    def insert(self, answer: Answer) -> None:
+        """Append one answer.
+
+        Raises:
+            ValidationError: if this (worker, task) pair already exists.
+        """
+        key = (answer.worker_id, answer.task_id)
+        if key in self._pairs:
+            raise ValidationError(
+                f"worker {answer.worker_id} already answered task "
+                f"{answer.task_id}"
+            )
+        self._pairs.add(key)
+        self._answers.append(answer)
+        self._by_task[answer.task_id].append(answer)
+        self._by_worker[answer.worker_id].append(answer)
+
+    def all(self) -> List[Answer]:
+        """All answers in arrival order (copy)."""
+        return list(self._answers)
+
+    def for_task(self, task_id: int) -> List[Answer]:
+        """The answer set V(i) of one task."""
+        return list(self._by_task.get(task_id, []))
+
+    def for_worker(self, worker_id: str) -> List[Answer]:
+        """The answered set T(w) of one worker."""
+        return list(self._by_worker.get(worker_id, []))
+
+    def tasks_answered_by(self, worker_id: str) -> Set[int]:
+        """Task ids answered by a worker."""
+        return {a.task_id for a in self._by_worker.get(worker_id, [])}
+
+    def count_for_task(self, task_id: int) -> int:
+        """|V(i)| for one task."""
+        return len(self._by_task.get(task_id, []))
+
+    def has_answered(self, worker_id: str, task_id: int) -> bool:
+        """Integrity-check helper."""
+        return (worker_id, task_id) in self._pairs
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+
+class SystemDatabase:
+    """All DOCS tables in one unit of storage (Figure 1's DB).
+
+    Holds the task catalogue (with domain vectors), the answer table, and
+    the golden-task registry. Worker statistics live in
+    :class:`repro.core.quality_store.WorkerQualityStore`, which systems
+    keep alongside this object — mirroring the paper's separation between
+    per-requester task state and cross-requester worker state.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: Dict[int, Task] = {}
+        self.answers = AnswerTable()
+        self._golden_ids: List[int] = []
+
+    def insert_task(self, task: Task) -> None:
+        """Register a task.
+
+        Raises:
+            ValidationError: on duplicate ids.
+        """
+        if task.task_id in self._tasks:
+            raise ValidationError(f"duplicate task id {task.task_id}")
+        self._tasks[task.task_id] = task
+
+    def insert_tasks(self, tasks: Iterable[Task]) -> None:
+        """Register many tasks."""
+        for task in tasks:
+            self.insert_task(task)
+
+    def task(self, task_id: int) -> Task:
+        """Fetch a task.
+
+        Raises:
+            UnknownTaskError: if missing.
+        """
+        task = self._tasks.get(task_id)
+        if task is None:
+            raise UnknownTaskError(task_id)
+        return task
+
+    def tasks(self) -> List[Task]:
+        """All tasks, id-ordered."""
+        return [self._tasks[tid] for tid in sorted(self._tasks)]
+
+    def task_ids(self) -> List[int]:
+        """All task ids, ordered."""
+        return sorted(self._tasks)
+
+    def mark_golden(self, task_ids: Sequence[int]) -> None:
+        """Record the golden-task set (tasks with known ground truth)."""
+        for task_id in task_ids:
+            task = self.task(task_id)
+            if task.ground_truth is None:
+                raise ValidationError(
+                    f"golden task {task_id} has no ground truth"
+                )
+        self._golden_ids = list(task_ids)
+
+    @property
+    def golden_ids(self) -> List[int]:
+        """Ids of the golden tasks."""
+        return list(self._golden_ids)
+
+    def __len__(self) -> int:
+        return len(self._tasks)

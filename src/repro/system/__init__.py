@@ -1,0 +1,12 @@
+"""The assembled DOCS system (Figure 1).
+
+:class:`DocsSystem` wires DVE + TI + OTA over the platform substrate and
+implements the same engine protocol as the competitors, so end-to-end
+comparisons run all systems through one simulator.
+"""
+
+from repro.system.config import DocsConfig
+from repro.system.docs_system import DocsSystem
+from repro.system.requester import CampaignResult, run_campaign
+
+__all__ = ["DocsConfig", "DocsSystem", "CampaignResult", "run_campaign"]

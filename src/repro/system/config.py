@@ -1,0 +1,49 @@
+"""Configuration of the assembled DOCS system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class DocsConfig:
+    """Knobs of :class:`repro.system.DocsSystem`.
+
+    Defaults follow the paper: HITs of k = 20 tasks, 20 golden tasks,
+    full TI re-run every z = 100 submissions, top-20 linking candidates.
+
+    Attributes:
+        hit_size: tasks per HIT (k).
+        golden_count: golden tasks selected after DVE (n').
+        rerun_interval: run the full iterative TI every this many
+            submissions (z); the incremental updater covers the gaps.
+        top_c: linking candidates kept per entity in DVE.
+        default_quality: cold-start per-domain worker quality.
+        ti_max_iterations: iteration cap of the full TI.
+        seed: seed for any internal randomness.
+    """
+
+    hit_size: int = 20
+    golden_count: int = 20
+    rerun_interval: int = 100
+    top_c: int = 20
+    default_quality: float = 0.7
+    ti_max_iterations: int = 20
+    seed: SeedLike = 0
+
+    def validate(self) -> None:
+        if self.hit_size < 1:
+            raise ValidationError("hit_size must be >= 1")
+        if self.golden_count < 0:
+            raise ValidationError("golden_count must be >= 0")
+        if self.rerun_interval < 1:
+            raise ValidationError("rerun_interval must be >= 1")
+        if self.top_c < 1:
+            raise ValidationError("top_c must be >= 1")
+        if not 0.0 < self.default_quality < 1.0:
+            raise ValidationError("default_quality must be in (0, 1)")
+        if self.ti_max_iterations < 1:
+            raise ValidationError("ti_max_iterations must be >= 1")

@@ -1,0 +1,214 @@
+"""DocsSystem — the full pipeline of Figure 1 behind one facade.
+
+Lifecycle (mirroring the architecture figure's numbered flows):
+
+1. ``prepare(dataset)`` — DVE: link every task against the KB, compute
+   domain vectors (Algorithm 1), store tasks, select golden tasks.
+2. New worker arrives -> ``bootstrap`` with her golden-task answers
+   (quality pre-test, Section 5.2).
+3. Worker requests tasks -> ``assign`` (OTA: entropy-reduction benefit,
+   Theorems 2-4, linear top-k).
+4. Worker submits -> ``submit`` (incremental TI, Section 4.2), with the
+   full iterative TI re-run every z submissions.
+5. ``finalize`` — final full TI; inferred truths returned to the
+   requester.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.assignment import TaskAssigner
+from repro.core.dve import DomainVectorEstimator
+from repro.core.golden import select_golden_tasks
+from repro.core.incremental import IncrementalTruthInference
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.truth_inference import TruthInference
+from repro.core.types import Answer, Task
+from repro.datasets.base import CrowdDataset
+from repro.errors import ValidationError
+from repro.linking import EntityLinker
+from repro.platform.storage import SystemDatabase
+from repro.system.config import DocsConfig
+
+
+class DocsSystem:
+    """The domain-aware crowdsourcing system.
+
+    Implements the :class:`repro.platform.amt_sim.CrowdEngine` protocol
+    so it can be driven by :class:`repro.platform.PlatformSimulator`
+    alongside the competitor engines.
+
+    Args:
+        config: system configuration (defaults follow the paper).
+    """
+
+    name = "DOCS"
+
+    def __init__(self, config: Optional[DocsConfig] = None):
+        self._config = config or DocsConfig()
+        self._config.validate()
+        self._db: Optional[SystemDatabase] = None
+        self._incremental: Optional[IncrementalTruthInference] = None
+        self._store: Optional[WorkerQualityStore] = None
+        self._assigner = TaskAssigner(hit_size=self._config.hit_size)
+        self._bootstrapped: Set[str] = set()
+        self._golden_truths: Dict[int, int] = {}
+        #: Pristine golden-bootstrap qualities: the full iterative TI is
+        #: (re)initialised from these, never from the incrementally
+        #: drifted store (Section 4.1 initialises from golden tasks).
+        self._golden_qualities: Dict[str, np.ndarray] = {}
+        self._submissions_since_rerun = 0
+
+    @property
+    def config(self) -> DocsConfig:
+        """The active configuration."""
+        return self._config
+
+    @property
+    def database(self) -> SystemDatabase:
+        """The system's storage (tasks, answers, golden registry)."""
+        if self._db is None:
+            raise ValidationError("system not prepared; call prepare()")
+        return self._db
+
+    @property
+    def quality_store(self) -> WorkerQualityStore:
+        """The persistent worker model."""
+        if self._store is None:
+            raise ValidationError("system not prepared; call prepare()")
+        return self._store
+
+    # -- CrowdEngine protocol -------------------------------------------
+
+    def prepare(self, dataset: CrowdDataset) -> None:
+        """Run DVE over the dataset and initialise all modules."""
+        m = dataset.taxonomy.size
+        linker = EntityLinker(dataset.kb, top_c=self._config.top_c)
+        estimator = DomainVectorEstimator(linker, m)
+
+        self._db = SystemDatabase()
+        self._store = WorkerQualityStore(
+            m, default_quality=self._config.default_quality
+        )
+        self._incremental = IncrementalTruthInference(self._store)
+        self._bootstrapped = set()
+        self._golden_qualities = {}
+        self._submissions_since_rerun = 0
+
+        for task in dataset.tasks:
+            if task.domain_vector is None:
+                task.domain_vector = estimator.estimate(task.text)
+            self._db.insert_task(task)
+            self._incremental.register_task(task)
+
+        golden_count = min(self._config.golden_count, len(dataset.tasks))
+        golden_indices = select_golden_tasks(
+            [t.domain_vector for t in dataset.tasks], golden_count
+        )
+        golden_ids = []
+        self._golden_truths = {}
+        for idx in golden_indices:
+            task = dataset.tasks[idx]
+            if task.ground_truth is None:
+                continue
+            golden_ids.append(task.task_id)
+            self._golden_truths[task.task_id] = task.ground_truth
+        self._db.mark_golden(golden_ids)
+
+    def golden_task_ids(self) -> List[int]:
+        """Golden tasks assigned to every new worker."""
+        return self.database.golden_ids
+
+    def needs_bootstrap(self, worker_id: str) -> bool:
+        """New workers are quality-tested before real assignments."""
+        return (
+            bool(self._golden_truths)
+            and worker_id not in self._bootstrapped
+            and worker_id not in self.quality_store
+        )
+
+    def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        """Initialise a new worker's quality from golden-task answers."""
+        self._bootstrapped.add(worker_id)
+        if not answers:
+            return
+        domain_vectors = {
+            task.task_id: task.domain_vector
+            for task in self.database.tasks()
+        }
+        stats = self.quality_store.initialize_from_golden(
+            worker_id,
+            {a.task_id: a.choice for a in answers},
+            self._golden_truths,
+            domain_vectors,
+        )
+        self._golden_qualities[worker_id] = (
+            self.quality_store.quality_or_default(worker_id)
+        )
+
+    def assign(self, worker_id: str, k: Optional[int] = None) -> List[int]:
+        """OTA: the k highest-benefit tasks this worker has not answered."""
+        if self._incremental is None:
+            raise ValidationError("system not prepared; call prepare()")
+        answered = self.database.answers.tasks_answered_by(worker_id)
+        quality = self.quality_store.blended_quality(worker_id)
+        return self._assigner.assign(
+            self._incremental.states(),
+            quality,
+            answered_by_worker=answered,
+            k=k,
+        )
+
+    def submit(self, answer: Answer) -> None:
+        """Ingest an answer: store it, update TI incrementally, and
+        re-run the full iterative TI every z submissions."""
+        if self._incremental is None:
+            raise ValidationError("system not prepared; call prepare()")
+        self.database.answers.insert(answer)
+        self._incremental.submit(answer)
+        self._submissions_since_rerun += 1
+        if self._submissions_since_rerun >= self._config.rerun_interval:
+            self._run_full_inference()
+            self._submissions_since_rerun = 0
+
+    def finalize(self) -> Dict[int, int]:
+        """Final full TI; returns task id -> inferred truth."""
+        result = self._run_full_inference()
+        truths = result.truths() if result is not None else {}
+        complete: Dict[int, int] = {}
+        for task in self.database.tasks():
+            if task.task_id in truths:
+                complete[task.task_id] = truths[task.task_id]
+            else:
+                state = self._incremental.state(task.task_id)
+                complete[task.task_id] = state.inferred_truth()
+        return complete
+
+    # -- internals -------------------------------------------------------
+
+    def _run_full_inference(self):
+        answers = self.database.answers.all()
+        if not answers:
+            return None
+        ti = TruthInference(
+            max_iterations=self._config.ti_max_iterations,
+            default_quality=self._config.default_quality,
+        )
+        # Initialise from the pristine golden-test qualities: warm
+        # starts from the incrementally updated store would anchor EM to
+        # the drift the incremental pass accumulates on low-weight
+        # domains.
+        initial = dict(self._golden_qualities)
+        result = ti.infer(
+            self.database.tasks(), answers, initial_qualities=initial
+        )
+        self._incremental.resync_from_full_inference(
+            result.probabilistic_truths,
+            result.truth_matrices,
+            result.worker_qualities,
+            result.worker_weights,
+        )
+        return result

@@ -1,0 +1,79 @@
+"""Requester-facing convenience: publish tasks, get truths back.
+
+Wraps the platform simulator so that "requester submits tasks + budget,
+DOCS returns inferred truths" (Figure 1) is one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.datasets.base import CrowdDataset
+from repro.platform.amt_sim import PlatformSimulator, SimulationReport
+from repro.system.config import DocsConfig
+from repro.system.docs_system import DocsSystem
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class CampaignResult:
+    """What the requester gets back.
+
+    Attributes:
+        truths: task id -> inferred truth (1-based choice).
+        report: the full simulation report (accuracy, spend, timing).
+    """
+
+    truths: Dict[int, int]
+    report: SimulationReport
+
+    def accuracy(self) -> float:
+        """Fraction of tasks inferred correctly (needs ground truth)."""
+        return self.report.accuracy
+
+
+def run_campaign(
+    dataset: CrowdDataset,
+    pool: Optional[WorkerPool] = None,
+    config: Optional[DocsConfig] = None,
+    answers_per_task: int = 10,
+    hit_size: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> CampaignResult:
+    """Run a full DOCS campaign over a dataset with a simulated crowd.
+
+    Args:
+        dataset: the published tasks (with ground truth for scoring).
+        pool: the workforce; a default specialist pool over the
+            dataset's domains is generated when omitted.
+        config: DOCS configuration.
+        answers_per_task: budget, in answers per task (paper: 10).
+        hit_size: tasks per HIT; defaults to the config's value.
+        seed: simulation seed.
+
+    Returns:
+        A :class:`CampaignResult`.
+    """
+    cfg = config or DocsConfig(seed=seed)
+    if pool is None:
+        active = tuple(d.taxonomy_index for d in dataset.domains)
+        pool = WorkerPool.generate(
+            WorkerPoolConfig(
+                num_workers=50,
+                num_domains=dataset.taxonomy.size,
+                active_domains=active,
+                seed=seed,
+            )
+        )
+    simulator = PlatformSimulator(
+        dataset,
+        pool,
+        answers_per_task=answers_per_task,
+        hit_size=hit_size if hit_size is not None else cfg.hit_size,
+        seed=seed,
+    )
+    system = DocsSystem(cfg)
+    report = simulator.run(system)
+    return CampaignResult(truths=report.truths, report=report)

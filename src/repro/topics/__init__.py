@@ -1,0 +1,25 @@
+"""Topic-model substrates for the competitor methods.
+
+The paper's competitors detect task domains with topic models over the
+task *text only*:
+
+- iCrowd [18] uses LDA [6];
+- FaitCrowd [30] uses TwitterLDA [51], an LDA variant suited to short
+  texts (one topic per document plus a background-word switch).
+
+Both are implemented from scratch with collapsed Gibbs sampling. They are
+full implementations — Figure 3's comparison is only meaningful if the
+competitors' domain detectors are real.
+"""
+
+from repro.topics.vocabulary import Vocabulary
+from repro.topics.lda import LatentDirichletAllocation, LDAResult
+from repro.topics.twitter_lda import TwitterLDA, TwitterLDAResult
+
+__all__ = [
+    "Vocabulary",
+    "LatentDirichletAllocation",
+    "LDAResult",
+    "TwitterLDA",
+    "TwitterLDAResult",
+]

@@ -1,0 +1,201 @@
+"""TwitterLDA — the short-text topic model used by FaitCrowd [30].
+
+Differences from vanilla LDA (following Zhao et al. [51]):
+
+- each *document* has exactly one topic (short texts are topically pure);
+- each token is either a background word or a topic word, governed by a
+  Bernoulli switch with prior ``gamma``.
+
+Collapsed Gibbs alternates sampling the per-document topic (conditioned
+on its topic-word assignments) and the per-token background switches. The
+per-document topic posterior is FaitCrowd's latent-domain signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class TwitterLDAResult:
+    """Fitted TwitterLDA parameters.
+
+    Attributes:
+        document_topics: shape (D, K); posterior topic distribution per
+            document (from the final sweeps' samples).
+        topic_words: shape (K, V) topic-word distributions.
+        background_words: shape (V,) background word distribution.
+    """
+
+    document_topics: np.ndarray
+    topic_words: np.ndarray
+    background_words: np.ndarray
+
+    def dominant_topic(self, doc_index: int) -> int:
+        """The argmax topic of one document."""
+        return int(np.argmax(self.document_topics[doc_index]))
+
+
+class TwitterLDA:
+    """Collapsed-Gibbs TwitterLDA.
+
+    Args:
+        num_topics: K latent domains.
+        alpha: topic prior.
+        beta: word prior (topic and background).
+        gamma: Beta prior of the background/topic switch.
+        iterations: Gibbs sweeps.
+        burn_in: sweeps discarded before accumulating the per-document
+            topic posterior.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        num_topics: int,
+        alpha: float = 0.5,
+        beta: float = 0.1,
+        gamma: float = 1.0,
+        iterations: int = 150,
+        burn_in: int = 50,
+        seed: SeedLike = 0,
+    ):
+        if num_topics < 1:
+            raise ValidationError(f"num_topics must be >= 1: {num_topics}")
+        if min(alpha, beta, gamma) <= 0:
+            raise ValidationError("alpha, beta, gamma must be positive")
+        if iterations < 1 or burn_in < 0 or burn_in >= iterations:
+            raise ValidationError(
+                "need iterations >= 1 and 0 <= burn_in < iterations"
+            )
+        self._K = num_topics
+        self._alpha = alpha
+        self._beta = beta
+        self._gamma = gamma
+        self._iterations = iterations
+        self._burn_in = burn_in
+        self._seed = seed
+
+    def fit(
+        self, texts: Sequence[str], vocabulary: Optional[Vocabulary] = None
+    ) -> TwitterLDAResult:
+        """Fit on a corpus; returns per-document topic posteriors."""
+        rng = make_rng(self._seed)
+        vocab = vocabulary or Vocabulary.from_texts(texts)
+        docs = [vocab.encode(text) for text in texts]
+        D = len(docs)
+        V = max(vocab.size, 1)
+        K = self._K
+
+        doc_topic = rng.integers(0, K, size=D)
+        switches = [rng.random(len(doc)) < 0.5 for doc in docs]
+
+        n_topic_docs = np.zeros(K, dtype=np.int64)       # docs per topic
+        n_tw = np.zeros((K, V), dtype=np.int64)          # topic word counts
+        n_t = np.zeros(K, dtype=np.int64)
+        n_bw = np.zeros(V, dtype=np.int64)               # background counts
+        n_b = 0
+        n_topic_tokens = 0
+
+        for d, doc in enumerate(docs):
+            t = doc_topic[d]
+            n_topic_docs[t] += 1
+            for pos, w in enumerate(doc):
+                if switches[d][pos]:
+                    n_tw[t, w] += 1
+                    n_t[t] += 1
+                    n_topic_tokens += 1
+                else:
+                    n_bw[w] += 1
+                    n_b += 1
+
+        topic_posterior = np.zeros((D, K))
+        samples = 0
+        for sweep in range(self._iterations):
+            for d, doc in enumerate(docs):
+                t_old = doc_topic[d]
+                topic_words = [
+                    w for pos, w in enumerate(doc) if switches[d][pos]
+                ]
+                # Remove the document's topic-word counts and doc count.
+                n_topic_docs[t_old] -= 1
+                for w in topic_words:
+                    n_tw[t_old, w] -= 1
+                    n_t[t_old] -= 1
+                # Sample the document topic: prior x word likelihood, in
+                # log space because documents contribute many factors.
+                log_weights = np.log(n_topic_docs + self._alpha)
+                for w in topic_words:
+                    log_weights += np.log(
+                        (n_tw[:, w] + self._beta) / (n_t + V * self._beta)
+                    )
+                    # Sequential addition approximates the exact
+                    # count-incremented likelihood; exact for distinct
+                    # words, standard practice for repeated ones.
+                log_weights -= log_weights.max()
+                weights = np.exp(log_weights)
+                t_new = int(rng.choice(K, p=weights / weights.sum()))
+                doc_topic[d] = t_new
+                n_topic_docs[t_new] += 1
+                for w in topic_words:
+                    n_tw[t_new, w] += 1
+                    n_t[t_new] += 1
+
+                # Resample background/topic switches for this document.
+                t = t_new
+                for pos, w in enumerate(doc):
+                    if switches[d][pos]:
+                        n_tw[t, w] -= 1
+                        n_t[t] -= 1
+                        n_topic_tokens -= 1
+                    else:
+                        n_bw[w] -= 1
+                        n_b -= 1
+                    p_topic = (
+                        (n_topic_tokens + self._gamma)
+                        * (n_tw[t, w] + self._beta)
+                        / (n_t[t] + V * self._beta)
+                    )
+                    p_background = (
+                        (n_b + self._gamma)
+                        * (n_bw[w] + self._beta)
+                        / (n_b + V * self._beta)
+                    )
+                    total = p_topic + p_background
+                    is_topic = rng.random() < (p_topic / total)
+                    switches[d][pos] = is_topic
+                    if is_topic:
+                        n_tw[t, w] += 1
+                        n_t[t] += 1
+                        n_topic_tokens += 1
+                    else:
+                        n_bw[w] += 1
+                        n_b += 1
+
+            if sweep >= self._burn_in:
+                topic_posterior[np.arange(D), doc_topic] += 1.0
+                samples += 1
+
+        if samples == 0:
+            topic_posterior[np.arange(D), doc_topic] = 1.0
+            samples = 1
+        theta = (topic_posterior + self._alpha) / (
+            samples + K * self._alpha
+        )
+        theta /= theta.sum(axis=1, keepdims=True)
+        phi = (n_tw + self._beta) / (
+            n_tw.sum(axis=1, keepdims=True) + V * self._beta
+        )
+        background = (n_bw + self._beta) / (n_b + V * self._beta)
+        return TwitterLDAResult(
+            document_topics=theta,
+            topic_words=phi,
+            background_words=background,
+        )

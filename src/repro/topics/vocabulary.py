@@ -1,0 +1,72 @@
+"""Token <-> integer-id vocabulary for topic models."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ValidationError
+from repro.utils.text import content_tokens
+
+
+class Vocabulary:
+    """A bidirectional token index built from a corpus.
+
+    Args:
+        min_count: tokens rarer than this across the corpus are dropped
+            (reduces noise from one-off entity fragments).
+    """
+
+    def __init__(self, min_count: int = 1):
+        if min_count < 1:
+            raise ValidationError(f"min_count must be >= 1: {min_count}")
+        self._min_count = min_count
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+
+    @classmethod
+    def from_texts(
+        cls, texts: Sequence[str], min_count: int = 1
+    ) -> "Vocabulary":
+        """Build a vocabulary from raw task texts (stopwords removed)."""
+        counts: Dict[str, int] = {}
+        for text in texts:
+            for token in content_tokens(text):
+                counts[token] = counts.get(token, 0) + 1
+        vocab = cls(min_count=min_count)
+        for token in sorted(counts):
+            if counts[token] >= min_count:
+                vocab._add(token)
+        return vocab
+
+    def _add(self, token: str) -> int:
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    @property
+    def size(self) -> int:
+        """Number of distinct tokens."""
+        return len(self._id_to_token)
+
+    def encode(self, text: str) -> List[int]:
+        """Token ids of the in-vocabulary content tokens of ``text``."""
+        return [
+            self._token_to_id[token]
+            for token in content_tokens(text)
+            if token in self._token_to_id
+        ]
+
+    def token(self, token_id: int) -> str:
+        """Token string for an id."""
+        if not 0 <= token_id < self.size:
+            raise ValidationError(f"token id {token_id} out of range")
+        return self._id_to_token[token_id]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return self.size

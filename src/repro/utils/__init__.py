@@ -1,0 +1,22 @@
+"""Shared numeric, text, and selection utilities."""
+
+from repro.utils.math import (
+    entropy,
+    kl_divergence,
+    normalize,
+    safe_log,
+    uniform_distribution,
+)
+from repro.utils.topk import top_k_indices
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "entropy",
+    "kl_divergence",
+    "normalize",
+    "safe_log",
+    "uniform_distribution",
+    "top_k_indices",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,118 @@
+"""Numeric primitives used across DVE, TI, and OTA.
+
+The paper leans on three pieces of information theory:
+
+- Shannon entropy ``H(s) = -sum_j s_j ln s_j`` measures how ambiguous a
+  task's probabilistic truth is (Section 5.1).
+- KL divergence ``D(sigma, tau)`` scores golden-task allocations
+  (Section 5.2, Eq. 11).
+- Distribution normalisation appears everywhere a vector of non-negative
+  weights must become a probability distribution.
+
+All functions accept array-likes and are safe at the boundaries (zero
+probabilities contribute zero entropy; empty vectors are rejected).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+#: Probabilities below this threshold are treated as exactly zero when
+#: computing ``p * ln p`` terms, avoiding ``-inf`` from rounding noise.
+_EPS = 1e-300
+
+
+def safe_log(x: ArrayLike) -> np.ndarray:
+    """Elementwise natural log that maps zeros to zero-contribution values.
+
+    Returns ``ln(max(x, tiny))`` so that ``x * safe_log(x)`` is exactly zero
+    where ``x == 0``; callers must multiply by ``x`` for that guarantee.
+    """
+    arr = np.asarray(x, dtype=float)
+    return np.log(np.maximum(arr, _EPS))
+
+
+def entropy(distribution: ArrayLike) -> float:
+    """Shannon entropy (natural log) of a probability distribution.
+
+    ``H(s) = -sum_j s_j ln s_j`` with the convention ``0 ln 0 = 0``.
+
+    Raises:
+        ValidationError: if the vector is empty, has negative entries, or
+            does not sum to ~1.
+    """
+    s = np.asarray(distribution, dtype=float)
+    if s.size == 0:
+        raise ValidationError("entropy of an empty distribution is undefined")
+    if np.any(s < -1e-12):
+        raise ValidationError(f"negative probability in distribution: {s}")
+    total = float(s.sum())
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValidationError(f"distribution sums to {total}, expected 1.0")
+    s = np.clip(s, 0.0, 1.0)
+    return float(-np.sum(s * safe_log(s)))
+
+
+def entropy_unchecked(distribution: np.ndarray) -> float:
+    """Entropy without validation, for hot loops that guarantee inputs."""
+    s = distribution
+    return float(-np.sum(s * safe_log(s)))
+
+
+def kl_divergence(sigma: ArrayLike, tau: ArrayLike) -> float:
+    """KL divergence ``D(sigma || tau) = sum_i sigma_i ln(sigma_i / tau_i)``.
+
+    Follows the golden-task objective of Eq. 11: terms with ``sigma_i == 0``
+    contribute zero. A ``tau_i == 0`` with ``sigma_i > 0`` yields ``inf``.
+    """
+    p = np.asarray(sigma, dtype=float)
+    q = np.asarray(tau, dtype=float)
+    if p.shape != q.shape:
+        raise ValidationError(
+            f"distribution shapes differ: {p.shape} vs {q.shape}"
+        )
+    if p.size == 0:
+        raise ValidationError("KL divergence of empty distributions")
+    mask = p > 0
+    if np.any(q[mask] <= 0):
+        return float("inf")
+    return float(np.sum(p[mask] * (np.log(p[mask]) - np.log(q[mask]))))
+
+
+def normalize(weights: ArrayLike) -> np.ndarray:
+    """Scale non-negative weights into a probability distribution.
+
+    Raises:
+        ValidationError: on negative weights or an all-zero vector.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.size == 0:
+        raise ValidationError("cannot normalise an empty vector")
+    if np.any(w < -1e-12):
+        raise ValidationError(f"negative weight in vector: {w}")
+    w = np.clip(w, 0.0, None)
+    total = w.sum()
+    if total <= 0:
+        raise ValidationError("cannot normalise an all-zero vector")
+    return w / total
+
+
+def uniform_distribution(size: int) -> np.ndarray:
+    """The uniform distribution over ``size`` outcomes."""
+    if size <= 0:
+        raise ValidationError(f"distribution size must be positive: {size}")
+    return np.full(size, 1.0 / size)
+
+
+def is_distribution(vector: ArrayLike, atol: float = 1e-6) -> bool:
+    """True if ``vector`` is a valid probability distribution."""
+    v = np.asarray(vector, dtype=float)
+    if v.size == 0:
+        return False
+    return bool(np.all(v >= -atol) and np.isclose(v.sum(), 1.0, atol=atol))

@@ -1,0 +1,38 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (KB generation, dataset synthesis, worker pools,
+answer simulation) takes an explicit seed or ``numpy.random.Generator`` so
+experiments are exactly reproducible. ``spawn_rngs`` derives independent
+child streams from one seed, so e.g. the worker pool and the dataset
+generator never share a stream even when built from the same experiment
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed or pass one through."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = make_rng(seed)
+    return [
+        np.random.default_rng(s)
+        for s in parent.spawn(count)
+    ] if hasattr(parent, "spawn") else [
+        np.random.default_rng(parent.integers(0, 2**63 - 1))
+        for _ in range(count)
+    ]

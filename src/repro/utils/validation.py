@@ -1,0 +1,54 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.math import is_distribution
+
+
+def require_positive(value: int, name: str) -> int:
+    """Return ``value`` if strictly positive, else raise."""
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, else raise."""
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_in_unit_interval(value: float, name: str) -> float:
+    """Return ``value`` if in [0, 1], else raise."""
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def require_distribution(vector: Sequence[float], name: str) -> np.ndarray:
+    """Return ``vector`` as an array if it is a probability distribution."""
+    arr = np.asarray(vector, dtype=float)
+    if not is_distribution(arr):
+        raise ValidationError(
+            f"{name} must be a probability distribution, got {arr!r}"
+        )
+    return arr
+
+
+def require_choice_index(value: int, num_choices: int, name: str) -> int:
+    """Validate a 1-based answer index against the task's choice count.
+
+    The paper indexes answers ``1 <= v <= l_ti``; we keep that convention in
+    public interfaces and convert to 0-based internally.
+    """
+    if not 1 <= value <= num_choices:
+        raise ValidationError(
+            f"{name} must be in [1, {num_choices}], got {value}"
+        )
+    return value

@@ -1,0 +1,9 @@
+"""Version metadata for the DOCS reproduction package."""
+
+__version__ = "1.0.0"
+
+#: Bibliographic reference of the reproduced paper.
+PAPER_REFERENCE = (
+    "Yudian Zheng, Guoliang Li, Reynold Cheng. "
+    "DOCS: Domain-Aware Crowdsourcing System. PVLDB 10(4): 361-372, 2016."
+)

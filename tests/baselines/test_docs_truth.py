@@ -1,0 +1,72 @@
+"""Tests for the DocsTruth adapter (DOCS's TI behind TruthMethod)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import GoldenContext
+from repro.baselines.docs_truth import DocsTruth
+from repro.core.types import Answer, Task
+from repro.errors import ValidationError
+
+
+def small_world(seed=0):
+    rng = np.random.default_rng(seed)
+    tasks, answers = [], []
+    qualities = {
+        "expert": np.array([0.9, 0.9]),
+        "noise": np.array([0.5, 0.5]),
+        "noise2": np.array([0.5, 0.5]),
+    }
+    for tid in range(40):
+        domain = tid % 2
+        r = np.zeros(2)
+        r[domain] = 1.0
+        truth = int(rng.integers(1, 3))
+        tasks.append(
+            Task(
+                task_id=tid,
+                text=f"t{tid}",
+                num_choices=2,
+                domain_vector=r,
+                ground_truth=truth,
+            )
+        )
+        for worker, quality in qualities.items():
+            choice = (
+                truth if rng.random() < quality[domain] else 3 - truth
+            )
+            answers.append(Answer(worker, tid, choice))
+    return tasks, answers
+
+
+class TestDocsTruth:
+    def test_infers_all_tasks(self):
+        tasks, answers = small_world()
+        truths = DocsTruth().infer_truths(tasks, answers)
+        assert set(truths) == {t.task_id for t in tasks}
+
+    def test_golden_initialisation_flows_through(self):
+        tasks, answers = small_world()
+        golden = GoldenContext(
+            [0, 1, 2, 3],
+            {tid: tasks[tid].ground_truth for tid in range(4)},
+        )
+        accuracy = DocsTruth().accuracy(tasks, answers, golden)
+        assert accuracy > 0.6
+
+    def test_no_golden_still_works(self):
+        tasks, answers = small_world()
+        accuracy = DocsTruth().accuracy(tasks, answers, None)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_missing_domain_vectors_rejected_with_golden(self):
+        tasks, answers = small_world()
+        tasks[0].domain_vector = None
+        golden = GoldenContext(
+            [1], {1: tasks[1].ground_truth}
+        )
+        with pytest.raises(ValidationError):
+            DocsTruth().infer_truths(tasks, answers, golden)
+
+    def test_name(self):
+        assert DocsTruth().name == "DOCS"

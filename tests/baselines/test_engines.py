@@ -1,0 +1,144 @@
+"""Tests for the assignment engines (Figure 8 competitors)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.engines import (
+    AskItEngine,
+    DMaxEngine,
+    ICrowdEngine,
+    QascaEngine,
+    RandomBaselineEngine,
+)
+from repro.core.types import Answer
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.datasets import make_dataset
+from repro.errors import ValidationError
+from repro.platform.amt_sim import PlatformSimulator
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return make_dataset("4d", seed=11, tasks_per_domain=10)
+
+
+@pytest.fixture(scope="module")
+def pool(small_dataset):
+    active = tuple(d.taxonomy_index for d in small_dataset.domains)
+    return WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=12,
+            num_domains=small_dataset.taxonomy.size,
+            active_domains=active,
+            seed=12,
+        )
+    )
+
+
+ALL_ENGINES = [
+    RandomBaselineEngine,
+    AskItEngine,
+    ICrowdEngine,
+    QascaEngine,
+    DMaxEngine,
+]
+
+
+class TestEngineProtocol:
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_full_campaign_runs(self, engine_cls, small_dataset, pool):
+        dataset = make_dataset("4d", seed=11, tasks_per_domain=10)
+        simulator = PlatformSimulator(
+            dataset, pool, answers_per_task=3, hit_size=2, seed=13
+        )
+        report = simulator.run(engine_cls())
+        assert report.total_answers == dataset.num_tasks * 3
+        assert set(report.truths) == {t.task_id for t in dataset.tasks}
+        assert 0.0 <= report.accuracy <= 1.0
+
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_never_reassigns_answered_task(
+        self, engine_cls, small_dataset
+    ):
+        engine = engine_cls()
+        engine.prepare(small_dataset)
+        if engine.golden_task_ids():
+            engine.bootstrap("w", [])
+        first = engine.assign("w", 3)
+        for task_id in first:
+            engine.submit(Answer("w", task_id, 1))
+        second = engine.assign("w", 3)
+        assert not set(first) & set(second)
+
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_assign_respects_k(self, engine_cls, small_dataset):
+        engine = engine_cls()
+        engine.prepare(small_dataset)
+        if engine.golden_task_ids():
+            engine.bootstrap("w", [])
+        assert len(engine.assign("w", 5)) == 5
+
+    def test_unprepared_engine_rejected(self):
+        engine = AskItEngine()
+        with pytest.raises(ValidationError):
+            engine.assign("w", 1)
+
+
+class TestAskIt:
+    def test_prefers_uncertain_tasks(self, small_dataset):
+        engine = AskItEngine()
+        engine.prepare(small_dataset)
+        ids = [t.task_id for t in small_dataset.tasks]
+        # Give task ids[0] a decisive answer set: it becomes confident.
+        for worker in ("a", "b", "c", "d"):
+            engine.submit(Answer(worker, ids[0], 1))
+        chosen = engine.assign("fresh", len(ids) - 1)
+        assert ids[0] not in chosen
+
+
+class TestICrowdEngine:
+    def test_equal_assignment_constraint(self, small_dataset, pool):
+        dataset = make_dataset("4d", seed=11, tasks_per_domain=10)
+        simulator = PlatformSimulator(
+            dataset, pool, answers_per_task=4, hit_size=2, seed=14
+        )
+        report = simulator.run(ICrowdEngine())
+        # Every task ends with (nearly) the same answer count.
+        counts = {}
+        for hit in report.hit_log.all():
+            for tid in hit.task_ids:
+                counts[tid] = counts.get(tid, 0) + 1
+        spread = max(counts.values()) - min(counts.values())
+        assert spread <= 1
+
+
+class TestQasca:
+    def test_benefit_prefers_uncertain(self, small_dataset):
+        engine = QascaEngine()
+        engine.prepare(small_dataset)
+        engine.bootstrap("w", [])
+        ids = [t.task_id for t in small_dataset.tasks]
+        # Make ids[0] near-certain via several agreeing answers.
+        for worker in ("a", "b", "c", "d", "e"):
+            engine.submit(Answer(worker, ids[0], 1))
+        chosen = engine.assign("w", 5)
+        assert ids[0] not in chosen
+
+
+class TestDMax:
+    def test_domain_matching(self):
+        dataset = make_dataset("4d", seed=15, tasks_per_domain=8)
+        engine = DMaxEngine(golden_count=8)
+        engine.prepare(dataset)
+        # A worker perfect in Sports only should receive Sports tasks.
+        sports = dataset.domains[0].taxonomy_index
+        quality = np.full(dataset.taxonomy.size, 0.4)
+        quality[sports] = 0.99
+        engine._store.set(
+            "expert",
+            quality,
+            np.full(dataset.taxonomy.size, 10.0),
+        )
+        chosen = engine.assign("expert", 5)
+        labels = {dataset.label_of(tid) for tid in chosen}
+        assert labels == {"NBA"}

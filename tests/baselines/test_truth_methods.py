@@ -1,0 +1,235 @@
+"""Tests for the truth-inference baselines (MV, ZC, DS, IC, FC)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DawidSkene,
+    FaitCrowdTruth,
+    ICrowdTruth,
+    MajorityVote,
+    TRUTH_METHODS,
+    ZenCrowd,
+    make_truth_method,
+)
+from repro.baselines.base import GoldenContext
+from repro.core.types import Answer, Task
+from repro.errors import ValidationError
+
+
+def make_world(
+    num_tasks=120,
+    seed=0,
+    expert_quality=0.92,
+    noise_quality=0.5,
+    num_noise=3,
+    ell=2,
+):
+    """Two experts + noise workers over two domains."""
+    rng = np.random.default_rng(seed)
+    tasks, answers = [], []
+    workers = {"e1": expert_quality, "e2": expert_quality}
+    for i in range(num_noise):
+        workers[f"n{i}"] = noise_quality
+    for tid in range(num_tasks):
+        domain = tid % 2
+        r = np.zeros(2)
+        r[domain] = 1.0
+        truth = int(rng.integers(1, ell + 1))
+        tasks.append(
+            Task(
+                task_id=tid,
+                text=f"t{tid}",
+                num_choices=ell,
+                domain_vector=r,
+                ground_truth=truth,
+                true_domain=domain,
+            )
+        )
+        for worker, quality in workers.items():
+            if rng.random() < quality:
+                choice = truth
+            else:
+                wrong = [c for c in range(1, ell + 1) if c != truth]
+                choice = int(rng.choice(wrong))
+            answers.append(Answer(worker, tid, choice))
+    return tasks, answers
+
+
+def golden_for(tasks, count=20):
+    chosen = tasks[:count]
+    return GoldenContext(
+        [t.task_id for t in chosen],
+        {t.task_id: t.ground_truth for t in chosen},
+    )
+
+
+class TestRegistry:
+    def test_all_methods_constructible(self):
+        for name in TRUTH_METHODS:
+            method = make_truth_method(name)
+            assert method.name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            make_truth_method("nope")
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        tasks = [Task(task_id=0, text="t", num_choices=2)]
+        answers = [
+            Answer("a", 0, 1),
+            Answer("b", 0, 2),
+            Answer("c", 0, 2),
+        ]
+        assert MajorityVote().infer_truths(tasks, answers) == {0: 2}
+
+    def test_tie_breaks_low(self):
+        tasks = [Task(task_id=0, text="t", num_choices=3)]
+        answers = [Answer("a", 0, 3), Answer("b", 0, 2)]
+        assert MajorityVote().infer_truths(tasks, answers) == {0: 2}
+
+
+class TestZenCrowd:
+    def test_recovers_experts(self):
+        tasks, answers = make_world()
+        zc = ZenCrowd()
+        accuracy = zc.accuracy(tasks, answers, golden_for(tasks))
+        mv = MajorityVote().accuracy(tasks, answers)
+        assert accuracy >= mv
+
+    def test_golden_initialisation_used(self):
+        tasks, answers = make_world(seed=1)
+        with_golden = ZenCrowd(max_iterations=1).accuracy(
+            tasks, answers, golden_for(tasks)
+        )
+        # One iteration with cold start differs from golden-informed.
+        cold = ZenCrowd(max_iterations=1).accuracy(tasks, answers)
+        assert with_golden != cold or with_golden > 0.5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            ZenCrowd(max_iterations=0)
+        with pytest.raises(ValidationError):
+            ZenCrowd(default_reliability=1.0)
+
+
+class TestDawidSkene:
+    def test_beats_majority_with_spammers(self):
+        tasks, answers = make_world(noise_quality=0.45, seed=2)
+        ds = DawidSkene()
+        accuracy = ds.accuracy(tasks, answers, golden_for(tasks))
+        mv = MajorityVote().accuracy(tasks, answers)
+        assert accuracy > mv
+
+    def test_heterogeneous_ell_rejected(self):
+        tasks = [
+            Task(task_id=0, text="a", num_choices=2),
+            Task(task_id=1, text="b", num_choices=3),
+        ]
+        with pytest.raises(ValidationError):
+            DawidSkene().infer_truths(tasks, [Answer("w", 0, 1)])
+
+    def test_multiclass(self):
+        tasks, answers = make_world(ell=4, seed=3)
+        accuracy = DawidSkene().accuracy(
+            tasks, answers, golden_for(tasks)
+        )
+        assert accuracy > 0.7
+
+
+class TestICrowd:
+    def test_domain_weights_help(self):
+        tasks, answers = make_world(seed=4)
+        ic = ICrowdTruth()
+        accuracy = ic.accuracy(tasks, answers, golden_for(tasks))
+        assert accuracy > 0.7
+
+    def test_requires_domains(self):
+        tasks = [Task(task_id=0, text="t", num_choices=2)]
+        with pytest.raises(ValidationError):
+            ICrowdTruth().infer_truths(tasks, [Answer("w", 0, 1)])
+
+    def test_explicit_domains_accepted(self):
+        tasks = [Task(task_id=0, text="t", num_choices=2)]
+        answers = [Answer("w", 0, 1)]
+        truths = ICrowdTruth(task_domains={0: 7}).infer_truths(
+            tasks, answers
+        )
+        assert truths == {0: 1}
+
+
+class TestFaitCrowd:
+    def test_topic_conditioned_inference(self):
+        tasks, answers = make_world(seed=5)
+        fc = FaitCrowdTruth()
+        accuracy = fc.accuracy(tasks, answers, golden_for(tasks))
+        assert accuracy > 0.75
+
+    def test_fixed_topics_variant(self):
+        tasks, answers = make_world(seed=6)
+        fc = FaitCrowdTruth(joint_topics=False)
+        accuracy = fc.accuracy(tasks, answers, golden_for(tasks))
+        assert accuracy > 0.75
+
+    def test_topic_drift_possible_with_misleading_text(self):
+        """FaitCrowd's defining weakness: identical task texts across
+        domains let the joint topic step merge them."""
+        rng = np.random.default_rng(7)
+        tasks, answers = [], []
+        for tid in range(60):
+            domain = tid % 2
+            r = np.zeros(2)
+            r[domain] = 1.0
+            truth = int(rng.integers(1, 3))
+            tasks.append(
+                Task(
+                    task_id=tid,
+                    # Same words for both domains: no text signal.
+                    text="compare the height of alpha and beta",
+                    num_choices=2,
+                    domain_vector=r,
+                    ground_truth=truth,
+                    true_domain=domain,
+                )
+            )
+            for worker in ("a", "b", "c"):
+                quality = 0.85 if worker == "a" else 0.55
+                choice = (
+                    truth if rng.random() < quality else 3 - truth
+                )
+                answers.append(Answer(worker, tid, choice))
+        joint = FaitCrowdTruth(joint_topics=True)
+        # Must run without error and still produce sane output; the
+        # topics may legitimately collapse to one.
+        truths = joint.infer_truths(tasks, answers)
+        assert set(truths) == {t.task_id for t in tasks}
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            FaitCrowdTruth(max_iterations=0)
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("name", list(TRUTH_METHODS))
+    def test_all_methods_produce_full_truths(self, name):
+        tasks, answers = make_world(num_tasks=40, seed=8)
+        method = make_truth_method(name)
+        truths = method.infer_truths(tasks, answers, golden_for(tasks, 10))
+        assert set(truths) == {t.task_id for t in tasks}
+        for task in tasks:
+            assert 1 <= truths[task.task_id] <= task.num_choices
+
+    def test_accuracy_excludes_golden_option(self):
+        tasks, answers = make_world(num_tasks=40, seed=9)
+        golden = golden_for(tasks, 10)
+        mv = MajorityVote()
+        with_golden = mv.accuracy(tasks, answers, golden)
+        without_golden = mv.accuracy(
+            tasks, answers, golden, exclude_golden=True
+        )
+        # Both are valid accuracies; the excluded variant scores fewer
+        # tasks.
+        assert 0.0 <= without_golden <= 1.0
+        assert 0.0 <= with_golden <= 1.0

@@ -1,0 +1,116 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer, Task
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.kb.concept import Concept
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.taxonomy import DomainTaxonomy
+
+
+@pytest.fixture
+def small_taxonomy():
+    """A 3-domain taxonomy matching the paper's running examples."""
+    return DomainTaxonomy(("politics", "sports", "films"))
+
+
+@pytest.fixture
+def paper_kb(small_taxonomy):
+    """The knowledge base of Table 2 (Michael Jordan / NBA / Kobe)."""
+    kb = KnowledgeBase(small_taxonomy)
+    kb.add_concept(
+        Concept(
+            concept_id=0,
+            name="Michael Jordan",
+            domain_indices=frozenset({1, 2}),
+            description=("basketball", "championships", "bulls"),
+            commonness=0.7,
+        )
+    )
+    kb.add_concept(
+        Concept(
+            concept_id=1,
+            name="Michael Jordan",
+            domain_indices=frozenset(),
+            description=("machine", "learning", "professor"),
+            commonness=0.2,
+        )
+    )
+    kb.add_concept(
+        Concept(
+            concept_id=2,
+            name="Michael Jordan",
+            domain_indices=frozenset({2}),
+            description=("actor", "film", "creed"),
+            commonness=0.1,
+        )
+    )
+    kb.add_concept(
+        Concept(
+            concept_id=3,
+            name="NBA",
+            domain_indices=frozenset({1}),
+            description=("basketball", "league", "teams"),
+            commonness=0.8,
+        )
+    )
+    kb.add_concept(
+        Concept(
+            concept_id=4,
+            name="NBA",
+            domain_indices=frozenset(),
+            description=("bar", "association", "lawyers"),
+            commonness=0.2,
+        )
+    )
+    kb.add_concept(
+        Concept(
+            concept_id=5,
+            name="Kobe Bryant",
+            domain_indices=frozenset({1}),
+            description=("basketball", "lakers", "championships"),
+            commonness=1.0,
+        )
+    )
+    return kb
+
+
+@pytest.fixture
+def simple_tasks():
+    """Three 2-choice tasks over a 3-domain space with domain vectors."""
+    return [
+        Task(
+            task_id=0,
+            text="task zero",
+            num_choices=2,
+            domain_vector=np.array([0.8, 0.1, 0.1]),
+            ground_truth=1,
+            true_domain=0,
+        ),
+        Task(
+            task_id=1,
+            text="task one",
+            num_choices=2,
+            domain_vector=np.array([0.1, 0.8, 0.1]),
+            ground_truth=2,
+            true_domain=1,
+        ),
+        Task(
+            task_id=2,
+            text="task two",
+            num_choices=2,
+            domain_vector=np.array([0.1, 0.1, 0.8]),
+            ground_truth=1,
+            true_domain=2,
+        ),
+    ]
+
+
+@pytest.fixture
+def small_pool():
+    """A deterministic 8-worker pool over 3 domains."""
+    return WorkerPool.generate(
+        WorkerPoolConfig(num_workers=8, num_domains=3, seed=5)
+    )

@@ -1,0 +1,250 @@
+"""Tests for Online Task Assignment (Theorems 2-4, benefit function)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.assignment import (
+    TaskAssigner,
+    batch_benefits,
+    predict_answer_distribution,
+    task_benefit,
+    updated_truth_matrix,
+)
+from repro.core.types import Task, TaskState
+from repro.errors import ValidationError
+
+
+def make_state(r, M, task_id=0):
+    r = np.asarray(r, dtype=float)
+    M = np.asarray(M, dtype=float)
+    task = Task(task_id=task_id, text="t", num_choices=M.shape[1])
+    return TaskState(task=task, r=r, M=M, s=r @ M)
+
+
+@st.composite
+def random_state(draw, max_domains=4, max_choices=4):
+    m = draw(st.integers(min_value=1, max_value=max_domains))
+    ell = draw(st.integers(min_value=2, max_value=max_choices))
+    r_raw = [
+        draw(st.floats(min_value=0.01, max_value=1.0)) for _ in range(m)
+    ]
+    r = np.array(r_raw) / sum(r_raw)
+    M = np.empty((m, ell))
+    for k in range(m):
+        row = [
+            draw(st.floats(min_value=0.01, max_value=1.0))
+            for _ in range(ell)
+        ]
+        M[k] = np.array(row) / sum(row)
+    quality = np.array(
+        [
+            draw(st.floats(min_value=0.05, max_value=0.95))
+            for _ in range(m)
+        ]
+    )
+    return make_state(r, M), quality
+
+
+class TestTheorem2:
+    def test_prediction_is_distribution(self):
+        state = make_state([0.5, 0.5], [[0.9, 0.1], [0.2, 0.8]])
+        p = predict_answer_distribution(
+            state.r, state.M, np.array([0.8, 0.6])
+        )
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_expert_predicted_to_answer_truth(self):
+        # Truth is almost surely choice 1; a high-quality worker should
+        # be predicted to answer 1.
+        state = make_state([1.0], [[0.99, 0.01]])
+        p = predict_answer_distribution(
+            state.r, state.M, np.array([0.95])
+        )
+        assert p[0] > 0.9
+
+    def test_random_worker_predicted_uniform(self):
+        state = make_state([1.0], [[0.5, 0.5]])
+        p = predict_answer_distribution(
+            state.r, state.M, np.array([0.5])
+        )
+        np.testing.assert_allclose(p, [0.5, 0.5])
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_state())
+    def test_always_distribution(self, state_quality):
+        state, quality = state_quality
+        p = predict_answer_distribution(state.r, state.M, quality)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(p >= -1e-12)
+
+
+class TestTheorem3:
+    def test_confirming_answer_sharpens(self):
+        M = np.array([[0.7, 0.3]])
+        updated = updated_truth_matrix(M, np.array([0.9]), answer=1)
+        assert updated[0, 0] > 0.7
+
+    def test_contradicting_answer_weakens(self):
+        M = np.array([[0.7, 0.3]])
+        updated = updated_truth_matrix(M, np.array([0.9]), answer=2)
+        assert updated[0, 0] < 0.7
+
+    def test_rows_remain_distributions(self):
+        M = np.array([[0.5, 0.3, 0.2], [0.1, 0.1, 0.8]])
+        updated = updated_truth_matrix(
+            M, np.array([0.6, 0.8]), answer=2
+        )
+        np.testing.assert_allclose(updated.sum(axis=1), [1.0, 1.0])
+
+    def test_uninformative_worker_changes_nothing(self):
+        # q = 1/l means correct and wrong picks are equally likely.
+        M = np.array([[0.7, 0.3]])
+        updated = updated_truth_matrix(M, np.array([0.5]), answer=1)
+        np.testing.assert_allclose(updated, M)
+
+    def test_invalid_answer_rejected(self):
+        with pytest.raises(ValidationError):
+            updated_truth_matrix(
+                np.array([[0.5, 0.5]]), np.array([0.7]), answer=3
+            )
+
+
+class TestBenefit:
+    def test_confident_task_has_low_benefit(self):
+        confident = make_state([1.0], [[0.99, 0.01]])
+        uncertain = make_state([1.0], [[0.5, 0.5]])
+        quality = np.array([0.85])
+        assert task_benefit(uncertain, quality) > task_benefit(
+            confident, quality
+        )
+
+    def test_expert_brings_more_benefit_than_novice(self):
+        state = make_state(
+            [0.0, 1.0], [[0.5, 0.5], [0.5, 0.5]]
+        )
+        expert = np.array([0.5, 0.95])
+        novice = np.array([0.5, 0.55])
+        assert task_benefit(state, expert) > task_benefit(state, novice)
+
+    def test_domain_match_matters(self):
+        # Same task; worker A expert in the task's domain, worker B
+        # expert elsewhere.
+        state = make_state(
+            [0.9, 0.1], [[0.5, 0.5], [0.5, 0.5]]
+        )
+        matching = np.array([0.95, 0.5])
+        mismatched = np.array([0.5, 0.95])
+        assert task_benefit(state, matching) > task_benefit(
+            state, mismatched
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_state())
+    def test_benefit_bounded_by_prior_entropy(self, state_quality):
+        """No assignment can remove more ambiguity than exists.
+
+        Note: the paper's update holds r fixed (Theorem 3 conditions M
+        but not the domain distribution), so B(t) is *not* guaranteed
+        non-negative for arbitrary multi-domain states — only the upper
+        bound is an invariant.
+        """
+        state, quality = state_quality
+        from repro.utils.math import entropy_unchecked
+
+        assert task_benefit(state, quality) <= (
+            entropy_unchecked(state.s) + 1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_state(max_domains=1))
+    def test_benefit_non_negative_single_domain(self, state_quality):
+        """With m = 1 the update is exact Bayesian conditioning of s,
+        so the expected entropy reduction is non-negative."""
+        state, quality = state_quality
+        assert task_benefit(state, quality) >= -1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_state())
+    def test_batch_matches_scalar(self, state_quality):
+        state, quality = state_quality
+        np.testing.assert_allclose(
+            batch_benefits([state], quality)[0],
+            task_benefit(state, quality),
+            atol=1e-10,
+        )
+
+    def test_batch_mixed_choice_counts(self):
+        s2 = make_state([1.0], [[0.6, 0.4]], task_id=0)
+        s3 = make_state([1.0], [[0.4, 0.3, 0.3]], task_id=1)
+        quality = np.array([0.8])
+        benefits = batch_benefits([s2, s3], quality)
+        assert benefits[0] == pytest.approx(
+            task_benefit(s2, quality), abs=1e-10
+        )
+        assert benefits[1] == pytest.approx(
+            task_benefit(s3, quality), abs=1e-10
+        )
+
+
+class TestTheorem4AndAssigner:
+    def test_top_k_selection_is_additive_optimum(self):
+        """Theorem 4: the best k-set is the top-k by individual benefit,
+        so the assigner must return exactly those."""
+        states = {}
+        for task_id, confidence in enumerate(
+            [0.5, 0.99, 0.6, 0.95, 0.55]
+        ):
+            states[task_id] = make_state(
+                [1.0],
+                [[confidence, 1.0 - confidence]],
+                task_id=task_id,
+            )
+        assigner = TaskAssigner(hit_size=2)
+        quality = np.array([0.85])
+        chosen = assigner.assign(states, quality)
+        benefits = {
+            tid: task_benefit(state, quality)
+            for tid, state in states.items()
+        }
+        expected = sorted(benefits, key=benefits.get, reverse=True)[:2]
+        assert sorted(chosen) == sorted(expected)
+
+    def test_excludes_answered(self):
+        states = {
+            0: make_state([1.0], [[0.5, 0.5]], task_id=0),
+            1: make_state([1.0], [[0.5, 0.5]], task_id=1),
+        }
+        assigner = TaskAssigner(hit_size=2)
+        chosen = assigner.assign(
+            states, np.array([0.8]), answered_by_worker={0}
+        )
+        assert chosen == [1]
+
+    def test_eligibility_filter(self):
+        states = {
+            0: make_state([1.0], [[0.5, 0.5]], task_id=0),
+            1: make_state([1.0], [[0.5, 0.5]], task_id=1),
+        }
+        assigner = TaskAssigner(hit_size=2)
+        chosen = assigner.assign(
+            states, np.array([0.8]), eligible={1}
+        )
+        assert chosen == [1]
+
+    def test_returns_fewer_when_pool_small(self):
+        states = {0: make_state([1.0], [[0.5, 0.5]], task_id=0)}
+        assigner = TaskAssigner(hit_size=5)
+        assert len(assigner.assign(states, np.array([0.8]))) == 1
+
+    def test_empty_pool(self):
+        assigner = TaskAssigner(hit_size=3)
+        assert assigner.assign({}, np.array([0.8])) == []
+
+    def test_invalid_k(self):
+        assigner = TaskAssigner(hit_size=3)
+        with pytest.raises(ValidationError):
+            assigner.assign({}, np.array([0.8]), k=0)
+        with pytest.raises(ValidationError):
+            TaskAssigner(hit_size=0)

@@ -1,0 +1,206 @@
+"""Tests for Domain Vector Estimation (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dve import (
+    DomainVectorEstimator,
+    EntityLinking,
+    domain_vector,
+    domain_vector_enumeration,
+    enumeration_linking_count,
+)
+from repro.errors import ValidationError, WorkBudgetExceeded
+from repro.linking import EntityLinker
+
+
+def paper_entities():
+    """The exact Table 2 inputs (Michael Jordan / NBA / Kobe Bryant)."""
+    e1 = EntityLinking(
+        probabilities=np.array([0.7, 0.2, 0.1]),
+        indicators=np.array([[0, 1, 1], [0, 0, 0], [0, 0, 1]]),
+    )
+    e2 = EntityLinking(
+        probabilities=np.array([0.8, 0.2]),
+        indicators=np.array([[0, 1, 0], [0, 0, 0]]),
+    )
+    e3 = EntityLinking(
+        probabilities=np.array([1.0]),
+        indicators=np.array([[0, 1, 0]]),
+    )
+    return [e1, e2, e3]
+
+
+class TestPaperExample:
+    def test_paper_table2_example(self):
+        """Section 3's worked example: r_t = [0, 0.78, 0.22]."""
+        r = domain_vector(paper_entities())
+        assert r[0] == pytest.approx(0.0)
+        assert r[1] == pytest.approx(0.78, abs=0.005)
+        assert r[2] == pytest.approx(0.22, abs=0.005)
+
+    def test_figure2_intermediate_value(self):
+        """Figure 2 computes r_t2 = 0.78 explicitly."""
+        r = domain_vector(paper_entities())
+        # 3/4*0.56 + 2/3*0.22 + 2/2*0.16 + 1/1*0.04 + 1/2*0.02
+        expected = (
+            0.75 * 0.56 + (2 / 3) * 0.22 + 1.0 * 0.16 + 1.0 * 0.04
+            + 0.5 * 0.02
+        )
+        assert r[1] == pytest.approx(expected)
+
+    def test_enumeration_agrees_on_paper_example(self):
+        np.testing.assert_allclose(
+            domain_vector(paper_entities()),
+            domain_vector_enumeration(paper_entities()),
+        )
+
+
+def random_entities(draw):
+    """Hypothesis helper: a random small entity list."""
+    num_entities = draw(st.integers(min_value=1, max_value=4))
+    num_domains = draw(st.integers(min_value=1, max_value=4))
+    entities = []
+    for _ in range(num_entities):
+        num_candidates = draw(st.integers(min_value=1, max_value=3))
+        weights = [
+            draw(st.floats(min_value=0.05, max_value=1.0))
+            for _ in range(num_candidates)
+        ]
+        total = sum(weights)
+        probs = np.array([w / total for w in weights])
+        indicators = np.array(
+            [
+                [
+                    draw(st.integers(min_value=0, max_value=1))
+                    for _ in range(num_domains)
+                ]
+                for _ in range(num_candidates)
+            ]
+        )
+        entities.append(
+            EntityLinking(probabilities=probs, indicators=indicators)
+        )
+    return entities
+
+
+class TestAlgorithmEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_algorithm1_equals_enumeration(self, data):
+        """Algorithm 1 computes exactly Eq. 1 — the property the whole
+        DVE module rests on."""
+        entities = random_entities(data.draw)
+        np.testing.assert_allclose(
+            domain_vector(entities),
+            domain_vector_enumeration(entities),
+            atol=1e-10,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_mass_at_most_one(self, data):
+        entities = random_entities(data.draw)
+        r = domain_vector(entities)
+        assert np.all(r >= -1e-12)
+        assert r.sum() <= 1.0 + 1e-9
+
+
+class TestInputValidation:
+    def test_empty_entities_rejected(self):
+        with pytest.raises(ValidationError):
+            domain_vector([])
+
+    def test_unnormalised_probabilities_rejected(self):
+        bad = EntityLinking(
+            probabilities=np.array([0.5, 0.2]),
+            indicators=np.zeros((2, 3)),
+        )
+        with pytest.raises(ValidationError):
+            domain_vector([bad])
+
+    def test_non_binary_indicators_rejected(self):
+        bad = EntityLinking(
+            probabilities=np.array([1.0]),
+            indicators=np.array([[0.5, 0.0]]),
+        )
+        with pytest.raises(ValidationError):
+            domain_vector([bad])
+
+    def test_misaligned_shapes_rejected(self):
+        bad = EntityLinking(
+            probabilities=np.array([1.0]),
+            indicators=np.zeros((2, 3)),
+        )
+        with pytest.raises(ValidationError):
+            domain_vector([bad])
+
+    def test_inconsistent_domain_width_rejected(self):
+        a = EntityLinking(np.array([1.0]), np.zeros((1, 3), dtype=int))
+        b = EntityLinking(np.array([1.0]), np.zeros((1, 4), dtype=int))
+        with pytest.raises(ValidationError):
+            domain_vector([a, b])
+
+
+class TestEnumerationBudget:
+    def test_linking_count(self):
+        assert enumeration_linking_count(paper_entities()) == 6
+
+    def test_budget_enforced(self):
+        with pytest.raises(WorkBudgetExceeded):
+            domain_vector_enumeration(paper_entities(), work_limit=5)
+
+    def test_budget_allows_exact_fit(self):
+        domain_vector_enumeration(paper_entities(), work_limit=6)
+
+    def test_all_zero_linkings_drop_mass(self):
+        entity = EntityLinking(
+            probabilities=np.array([0.5, 0.5]),
+            indicators=np.array([[0, 0], [1, 0]]),
+        )
+        r = domain_vector([entity])
+        # Half the mass links to an all-zero indicator and is dropped.
+        assert r.sum() == pytest.approx(0.5)
+
+
+class TestDomainVectorEstimator:
+    def test_end_to_end_with_linker(self, paper_kb):
+        linker = EntityLinker(paper_kb)
+        estimator = DomainVectorEstimator(linker, paper_kb.num_domains)
+        r = estimator.estimate(
+            "Does Michael Jordan win more NBA championships than "
+            "Kobe Bryant?"
+        )
+        assert r.sum() == pytest.approx(1.0)
+        assert int(np.argmax(r)) == 1  # sports
+
+    def test_no_entities_uniform(self, paper_kb):
+        linker = EntityLinker(paper_kb)
+        estimator = DomainVectorEstimator(linker, 3)
+        np.testing.assert_allclose(
+            estimator.estimate("nothing here"), [1 / 3] * 3
+        )
+
+    def test_all_zero_evidence_uniform(self):
+        entity = EntityLinking(
+            probabilities=np.array([1.0]),
+            indicators=np.zeros((1, 3), dtype=int),
+        )
+        estimator = DomainVectorEstimator(linker=None, num_domains=3)
+        np.testing.assert_allclose(
+            estimator.estimate_from_entities([entity]), [1 / 3] * 3
+        )
+
+    def test_renormalises_dropped_mass(self):
+        entity = EntityLinking(
+            probabilities=np.array([0.5, 0.5]),
+            indicators=np.array([[1, 0, 0], [0, 0, 0]]),
+        )
+        estimator = DomainVectorEstimator(linker=None, num_domains=3)
+        r = estimator.estimate_from_entities([entity])
+        np.testing.assert_allclose(r, [1.0, 0.0, 0.0])
+
+    def test_invalid_num_domains(self):
+        with pytest.raises(ValidationError):
+            DomainVectorEstimator(linker=None, num_domains=0)

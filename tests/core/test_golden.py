@@ -1,0 +1,134 @@
+"""Tests for golden-task selection (Section 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.golden import (
+    aggregate_domain_distribution,
+    enumerate_golden_counts,
+    kl_objective,
+    select_golden_counts,
+    select_golden_tasks,
+)
+from repro.errors import ValidationError
+
+
+class TestKlObjective:
+    def test_proportional_counts_minimal(self):
+        tau = np.array([0.5, 0.25, 0.25])
+        perfect = np.array([4, 2, 2])
+        skewed = np.array([8, 0, 0])
+        assert kl_objective(perfect, tau, 8) < kl_objective(
+            skewed, tau, 8
+        )
+
+    def test_zero_counts_contribute_nothing(self):
+        tau = np.array([0.5, 0.5])
+        assert kl_objective(np.array([0, 0]), tau, 0) == 0.0
+
+    def test_infinite_on_zero_mass_domain(self):
+        tau = np.array([1.0, 0.0])
+        assert kl_objective(np.array([0, 2]), tau, 2) == float("inf")
+
+
+class TestSelectGoldenCounts:
+    def test_counts_sum_to_budget(self):
+        tau = np.array([0.4, 0.35, 0.25])
+        counts = select_golden_counts(tau, 20)
+        assert counts.sum() == 20
+
+    def test_proportionality(self):
+        tau = np.array([0.5, 0.3, 0.2])
+        counts = select_golden_counts(tau, 10)
+        np.testing.assert_array_equal(counts, [5, 3, 2])
+
+    def test_zero_budget(self):
+        counts = select_golden_counts(np.array([0.5, 0.5]), 0)
+        assert counts.sum() == 0
+
+    def test_zero_mass_domain_gets_nothing(self):
+        tau = np.array([0.7, 0.3, 0.0])
+        counts = select_golden_counts(tau, 9)
+        assert counts[2] == 0
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValidationError):
+            select_golden_counts(np.array([0.5, 0.4]), 5)
+        with pytest.raises(ValidationError):
+            select_golden_counts(np.array([]), 5)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            select_golden_counts(np.array([1.0]), -1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_near_optimal(self, n_prime, m, seed):
+        """The paper reports gamma within 0.1% on average; individual
+        instances must stay within a loose factor of the optimum."""
+        rng = np.random.default_rng(seed)
+        tau = rng.dirichlet(np.ones(m))
+        greedy = select_golden_counts(tau, n_prime)
+        optimal, optimal_value = enumerate_golden_counts(tau, n_prime)
+        greedy_value = kl_objective(greedy, tau, n_prime)
+        assert greedy.sum() == optimal.sum() == n_prime
+        assert greedy_value <= optimal_value + 0.05
+
+
+class TestEnumerateGoldenCounts:
+    def test_finds_optimum_small(self):
+        tau = np.array([0.5, 0.5])
+        counts, value = enumerate_golden_counts(tau, 4)
+        np.testing.assert_array_equal(counts, [2, 2])
+        assert value == pytest.approx(0.0)
+
+
+class TestAggregateDistribution:
+    def test_mean_of_vectors(self):
+        vectors = [np.array([1.0, 0.0]), np.array([0.0, 1.0])]
+        np.testing.assert_allclose(
+            aggregate_domain_distribution(vectors), [0.5, 0.5]
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_domain_distribution([])
+
+
+class TestSelectGoldenTasks:
+    def test_selects_representative_tasks(self):
+        # 6 tasks: 4 in domain 0, 2 in domain 1.
+        vectors = (
+            [np.array([0.9, 0.1])] * 4 + [np.array([0.1, 0.9])] * 2
+        )
+        selected = select_golden_tasks(vectors, 3)
+        assert len(selected) == 3
+        domains = [int(np.argmax(vectors[i])) for i in selected]
+        assert domains.count(0) == 2
+        assert domains.count(1) == 1
+
+    def test_guideline1_highest_r_selected(self):
+        vectors = [
+            np.array([0.6, 0.4]),
+            np.array([0.95, 0.05]),  # the strongest domain-0 task
+            np.array([0.1, 0.9]),
+        ]
+        selected = select_golden_tasks(vectors, 1)
+        assert selected == [1]
+
+    def test_no_duplicates(self):
+        vectors = [np.array([0.5, 0.5])] * 4
+        selected = select_golden_tasks(vectors, 4)
+        assert len(set(selected)) == 4
+
+    def test_budget_larger_than_tasks_rejected(self):
+        with pytest.raises(ValidationError):
+            select_golden_tasks([np.array([1.0])], 2)
+
+    def test_zero_budget(self):
+        assert select_golden_tasks([np.array([1.0])], 0) == []

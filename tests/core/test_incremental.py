@@ -1,0 +1,163 @@
+"""Tests for the incremental TI updater (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalTruthInference
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.truth_inference import TruthInference
+from repro.core.types import Answer, Task
+from repro.errors import UnknownTaskError, ValidationError
+
+
+def _make(num_domains=3, default_quality=0.7):
+    store = WorkerQualityStore(num_domains, default_quality=default_quality)
+    return IncrementalTruthInference(store), store
+
+
+def _task(task_id=0, r=(0.1, 0.8, 0.1), ell=2):
+    return Task(
+        task_id=task_id,
+        text=f"t{task_id}",
+        num_choices=ell,
+        domain_vector=np.array(r),
+    )
+
+
+class TestRegistration:
+    def test_register_and_state(self):
+        inc, _ = _make()
+        task = _task()
+        state = inc.register_task(task)
+        np.testing.assert_allclose(state.s, [0.5, 0.5])
+        assert inc.state(0) is state
+
+    def test_register_idempotent(self):
+        inc, _ = _make()
+        task = _task()
+        first = inc.register_task(task)
+        second = inc.register_task(task)
+        assert first is second
+
+    def test_unregistered_task_raises(self):
+        inc, _ = _make()
+        with pytest.raises(UnknownTaskError):
+            inc.state(42)
+
+    def test_missing_domain_vector_rejected(self):
+        inc, _ = _make()
+        with pytest.raises(ValidationError):
+            inc.register_task(Task(task_id=0, text="x", num_choices=2))
+
+
+class TestSubmit:
+    def test_single_answer_moves_truth(self):
+        inc, store = _make()
+        store.set(
+            "w", np.array([0.9, 0.9, 0.9]), np.array([5.0, 5.0, 5.0])
+        )
+        inc.register_task(_task())
+        state = inc.submit(Answer("w", 0, 1))
+        assert state.s[0] > 0.5
+
+    def test_repeat_answer_rejected(self):
+        inc, _ = _make()
+        inc.register_task(_task())
+        inc.submit(Answer("w", 0, 1))
+        with pytest.raises(ValidationError):
+            inc.submit(Answer("w", 0, 2))
+
+    def test_out_of_range_choice_rejected(self):
+        inc, _ = _make()
+        inc.register_task(_task())
+        with pytest.raises(ValidationError):
+            inc.submit(Answer("w", 0, 3))
+
+    def test_worker_quality_updated_via_theorem1(self):
+        inc, store = _make()
+        inc.register_task(_task(r=(0.0, 1.0, 0.0)))
+        inc.submit(Answer("w", 0, 1))
+        stats = store.get("w")
+        # Weight gains exactly r.
+        np.testing.assert_allclose(stats.weight, [0.0, 1.0, 0.0])
+
+    def test_prior_answerers_refreshed(self):
+        inc, store = _make()
+        inc.register_task(_task(r=(0.0, 1.0, 0.0)))
+        inc.submit(Answer("w1", 0, 1))
+        q_before = store.get("w1").quality[1]
+        # A confirming second answer raises s[0], so w1's contribution
+        # (choice 1) should be revised upward.
+        inc.submit(Answer("w2", 0, 1))
+        q_after = store.get("w1").quality[1]
+        assert q_after > q_before
+
+    def test_disagreement_lowers_prior_answerer(self):
+        inc, store = _make()
+        inc.register_task(_task(r=(0.0, 1.0, 0.0)))
+        inc.submit(Answer("w1", 0, 1))
+        q_before = store.get("w1").quality[1]
+        inc.submit(Answer("w2", 0, 2))
+        inc.submit(Answer("w3", 0, 2))
+        q_after = store.get("w1").quality[1]
+        assert q_after < q_before
+
+    def test_history_tracked(self):
+        inc, _ = _make()
+        inc.register_task(_task())
+        inc.submit(Answer("a", 0, 1))
+        inc.submit(Answer("b", 0, 2))
+        assert inc.answered_workers(0) == [("a", 1), ("b", 2)]
+
+
+class TestAgreementWithFullInference:
+    def test_single_task_truth_matches_full_ti(self):
+        """For one task the incremental M-hat accumulates exactly the
+        Eq. 3 numerator, so s must match the full computation (with the
+        same fixed worker qualities)."""
+        inc, store = _make()
+        qualities = {
+            "w1": np.array([0.3, 0.9, 0.6]),
+            "w2": np.array([0.9, 0.6, 0.3]),
+            "w3": np.array([0.6, 0.3, 0.9]),
+        }
+        task = _task(r=(0.0, 0.78, 0.22))
+        answers = [
+            Answer("w1", 0, 1),
+            Answer("w2", 0, 2),
+            Answer("w3", 0, 2),
+        ]
+        # Freeze the store's qualities before each submission so the
+        # likelihood uses the same q as the full TI's first iteration.
+        inc.register_task(task)
+        for answer in answers:
+            store.set(
+                answer.worker_id,
+                qualities[answer.worker_id],
+                np.full(3, 100.0),  # heavy weight: merge barely moves q
+            )
+            inc.submit(answer)
+        full = TruthInference(max_iterations=1).infer(
+            [task], answers, initial_qualities=qualities
+        )
+        np.testing.assert_allclose(
+            inc.state(0).s, full.probabilistic_truths[0], atol=0.02
+        )
+
+    def test_resync_overwrites_state(self):
+        inc, store = _make()
+        task = _task()
+        inc.register_task(task)
+        inc.submit(Answer("w", 0, 1))
+        new_s = np.array([0.2, 0.8])
+        new_M = np.array([[0.2, 0.8]] * 3)
+        inc.resync_from_full_inference(
+            probabilistic_truths={0: new_s},
+            truth_matrices={0: new_M},
+            worker_qualities={"w": np.array([0.5, 0.5, 0.5])},
+            worker_weights={"w": np.array([1.0, 1.0, 1.0])},
+        )
+        np.testing.assert_allclose(inc.state(0).s, new_s)
+        np.testing.assert_allclose(
+            store.get("w").quality, [0.5, 0.5, 0.5]
+        )

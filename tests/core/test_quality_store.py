@@ -1,0 +1,183 @@
+"""Tests for worker-quality maintenance (Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quality_store import WorkerQualityStore
+from repro.errors import UnknownWorkerError, ValidationError
+
+
+class TestBasics:
+    def test_unknown_worker_raises(self):
+        store = WorkerQualityStore(3)
+        with pytest.raises(UnknownWorkerError):
+            store.get("ghost")
+
+    def test_quality_or_default_for_unknown(self):
+        store = WorkerQualityStore(3, default_quality=0.6)
+        np.testing.assert_allclose(
+            store.quality_or_default("ghost"), [0.6] * 3
+        )
+
+    def test_set_and_get(self):
+        store = WorkerQualityStore(2)
+        store.set("w", np.array([0.8, 0.5]), np.array([3.0, 1.0]))
+        stats = store.get("w")
+        np.testing.assert_allclose(stats.quality, [0.8, 0.5])
+        np.testing.assert_allclose(stats.weight, [3.0, 1.0])
+
+    def test_zero_weight_domains_default(self):
+        store = WorkerQualityStore(2, default_quality=0.7)
+        store.set("w", np.array([0.9, 0.2]), np.array([5.0, 0.0]))
+        quality = store.quality_or_default("w")
+        assert quality[0] == pytest.approx(0.9)
+        assert quality[1] == pytest.approx(0.7)
+
+    def test_shape_validation(self):
+        store = WorkerQualityStore(3)
+        with pytest.raises(ValidationError):
+            store.set("w", np.array([0.5]), np.array([1.0]))
+        with pytest.raises(ValidationError):
+            store.merge("w", np.array([0.5]), np.array([1.0]))
+
+    def test_negative_weight_rejected(self):
+        store = WorkerQualityStore(2)
+        with pytest.raises(ValidationError):
+            store.set("w", np.array([0.5, 0.5]), np.array([-1.0, 0.0]))
+
+    def test_contains_and_snapshot(self):
+        store = WorkerQualityStore(2)
+        assert "w" not in store
+        store.set("w", np.array([0.5, 0.5]), np.array([1.0, 1.0]))
+        assert "w" in store
+        snapshot = store.snapshot()
+        snapshot["w"].quality[0] = 0.0
+        # Snapshot is a deep copy.
+        assert store.get("w").quality[0] == pytest.approx(0.5)
+
+
+class TestTheorem1Merge:
+    def test_merge_formula(self):
+        """The exact update of Theorem 1."""
+        store = WorkerQualityStore(1)
+        store.set("w", np.array([0.8]), np.array([4.0]))
+        merged = store.merge("w", np.array([0.6]), np.array([2.0]))
+        # (0.8*4 + 0.6*2) / 6 = 4.4/6
+        assert merged.quality[0] == pytest.approx(4.4 / 6)
+        assert merged.weight[0] == pytest.approx(6.0)
+
+    def test_merge_into_empty(self):
+        store = WorkerQualityStore(2)
+        merged = store.merge(
+            "w", np.array([0.7, 0.5]), np.array([1.0, 2.0])
+        )
+        np.testing.assert_allclose(merged.quality, [0.7, 0.5])
+
+    def test_zero_weight_batch_is_noop_on_quality(self):
+        store = WorkerQualityStore(1)
+        store.set("w", np.array([0.8]), np.array([4.0]))
+        merged = store.merge("w", np.array([0.1]), np.array([0.0]))
+        assert merged.quality[0] == pytest.approx(0.8)
+        assert merged.weight[0] == pytest.approx(4.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),  # batch quality
+                st.floats(min_value=0.0, max_value=10.0),  # batch weight
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_incremental_merge_equals_batch(self, batches):
+        """Theorem 1's correctness property: merging batch-by-batch
+        equals one weighted mean over everything."""
+        store = WorkerQualityStore(1)
+        for quality, weight in batches:
+            store.merge("w", np.array([quality]), np.array([weight]))
+        total_weight = sum(w for _, w in batches)
+        stats = store.get("w")
+        assert stats.weight[0] == pytest.approx(total_weight)
+        if total_weight > 0:
+            expected = (
+                sum(q * w for q, w in batches) / total_weight
+            )
+            assert stats.quality[0] == pytest.approx(expected)
+
+
+class TestGoldenInitialisation:
+    def test_perfect_worker_with_shrinkage(self):
+        store = WorkerQualityStore(2, default_quality=0.7)
+        domain_vectors = {
+            0: np.array([1.0, 0.0]),
+            1: np.array([1.0, 0.0]),
+        }
+        stats = store.initialize_from_golden(
+            "w",
+            golden_answers={0: 1, 1: 1},
+            golden_truths={0: 1, 1: 1},
+            domain_vectors=domain_vectors,
+        )
+        # (2 correct + 0.7) / (2 + 1) with unit shrinkage.
+        assert stats.quality[0] == pytest.approx(2.7 / 3)
+        # Unseen domain stays at the default.
+        assert stats.quality[1] == pytest.approx(0.7)
+
+    def test_all_wrong_worker(self):
+        store = WorkerQualityStore(1, default_quality=0.7)
+        stats = store.initialize_from_golden(
+            "w",
+            golden_answers={0: 2},
+            golden_truths={0: 1},
+            domain_vectors={0: np.array([1.0])},
+        )
+        assert stats.quality[0] == pytest.approx(0.7 / 2)
+
+    def test_zero_shrinkage_exact_fraction(self):
+        store = WorkerQualityStore(1)
+        stats = store.initialize_from_golden(
+            "w",
+            golden_answers={0: 1, 1: 2},
+            golden_truths={0: 1, 1: 1},
+            domain_vectors={
+                0: np.array([1.0]),
+                1: np.array([1.0]),
+            },
+            shrinkage=0.0,
+        )
+        assert stats.quality[0] == pytest.approx(0.5)
+
+    def test_missing_truth_rejected(self):
+        store = WorkerQualityStore(1)
+        with pytest.raises(ValidationError):
+            store.initialize_from_golden(
+                "w",
+                golden_answers={0: 1},
+                golden_truths={},
+                domain_vectors={0: np.array([1.0])},
+            )
+
+    def test_negative_shrinkage_rejected(self):
+        store = WorkerQualityStore(1)
+        with pytest.raises(ValidationError):
+            store.initialize_from_golden(
+                "w", {}, {}, {}, shrinkage=-1.0
+            )
+
+    def test_weights_are_r_sums(self):
+        store = WorkerQualityStore(2)
+        store.initialize_from_golden(
+            "w",
+            golden_answers={0: 1, 1: 1},
+            golden_truths={0: 1, 1: 1},
+            domain_vectors={
+                0: np.array([0.3, 0.7]),
+                1: np.array([0.6, 0.4]),
+            },
+        )
+        np.testing.assert_allclose(
+            store.get("w").weight, [0.9, 1.1]
+        )

@@ -1,0 +1,145 @@
+"""Tests for confidence-based task retirement (the stable-point rule)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stopping import (
+    BudgetSavingAssigner,
+    ConfidenceStoppingRule,
+    EntropyStoppingRule,
+    savings_report,
+)
+from repro.core.truth_inference import TruthInference
+from repro.core.types import Answer, Task, TaskState
+from repro.errors import ValidationError
+
+
+def make_state(s, task_id=0):
+    s = np.asarray(s, dtype=float)
+    task = Task(task_id=task_id, text="t", num_choices=s.size)
+    r = np.array([1.0])
+    return TaskState(task=task, r=r, M=s[None, :], s=s)
+
+
+class TestConfidenceRule:
+    def test_confident_task_retires(self):
+        rule = ConfidenceStoppingRule(threshold=0.9, min_answers=2)
+        assert rule.should_stop(make_state([0.95, 0.05]), 3)
+
+    def test_uncertain_task_stays(self):
+        rule = ConfidenceStoppingRule(threshold=0.9, min_answers=2)
+        assert not rule.should_stop(make_state([0.6, 0.4]), 9)
+
+    def test_min_answers_guards(self):
+        rule = ConfidenceStoppingRule(threshold=0.9, min_answers=3)
+        assert not rule.should_stop(make_state([0.99, 0.01]), 2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            ConfidenceStoppingRule(threshold=0.5)
+        with pytest.raises(ValidationError):
+            ConfidenceStoppingRule(min_answers=0)
+
+
+class TestEntropyRule:
+    def test_low_entropy_retires(self):
+        rule = EntropyStoppingRule(max_entropy=0.2, min_answers=1)
+        assert rule.should_stop(make_state([0.99, 0.01]), 2)
+
+    def test_high_entropy_stays(self):
+        rule = EntropyStoppingRule(max_entropy=0.2, min_answers=1)
+        assert not rule.should_stop(make_state([0.5, 0.5]), 10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            EntropyStoppingRule(max_entropy=0.0)
+
+
+class TestBudgetSavingAssigner:
+    def test_retired_tasks_not_assigned(self):
+        states = {
+            0: make_state([0.99, 0.01], task_id=0),  # confident
+            1: make_state([0.5, 0.5], task_id=1),    # ambiguous
+        }
+        assigner = BudgetSavingAssigner(
+            ConfidenceStoppingRule(threshold=0.9, min_answers=1)
+        )
+        chosen = assigner.assign(
+            states,
+            np.array([0.8]),
+            answer_counts={0: 5, 1: 5},
+            k=2,
+        )
+        assert chosen == [1]
+        assert assigner.retired == {0}
+
+    def test_retirement_is_monotone(self):
+        state = make_state([0.99, 0.01], task_id=0)
+        assigner = BudgetSavingAssigner(
+            ConfidenceStoppingRule(threshold=0.9, min_answers=1)
+        )
+        assigner.refresh({0: state}, {0: 5})
+        assert assigner.retired == {0}
+        # Posterior softens later — the task stays retired.
+        softened = make_state([0.6, 0.4], task_id=0)
+        assigner.refresh({0: softened}, {0: 5})
+        assert assigner.retired == {0}
+
+    def test_all_retired_returns_empty(self):
+        states = {0: make_state([0.99, 0.01], task_id=0)}
+        assigner = BudgetSavingAssigner(
+            ConfidenceStoppingRule(threshold=0.9, min_answers=1)
+        )
+        assert (
+            assigner.assign(
+                states, np.array([0.8]), answer_counts={0: 5}, k=1
+            )
+            == []
+        )
+
+
+class TestSavingsReport:
+    def _world(self, seed=5):
+        rng = np.random.default_rng(seed)
+        tasks, answers = [], []
+        workers = {f"w{i}": 0.85 for i in range(10)}
+        for tid in range(80):
+            r = np.array([1.0])
+            truth = int(rng.integers(1, 3))
+            tasks.append(
+                Task(
+                    task_id=tid,
+                    text=f"t{tid}",
+                    num_choices=2,
+                    domain_vector=r,
+                    ground_truth=truth,
+                )
+            )
+            for worker, quality in workers.items():
+                choice = truth if rng.random() < quality else 3 - truth
+                answers.append(Answer(worker, tid, choice))
+        return tasks, answers
+
+    def test_savings_without_collapse(self):
+        tasks, answers = self._world()
+        report = savings_report(
+            tasks,
+            answers,
+            ConfidenceStoppingRule(threshold=0.97, min_answers=3),
+            TruthInference(),
+        )
+        # A strong crowd means most tasks resolve early: real savings...
+        assert report.saved_fraction > 0.3
+        # ...without giving up much accuracy.
+        assert report.accuracy_stopped >= report.accuracy_full - 0.05
+        assert report.needed_answers < report.total_answers
+
+    def test_strict_rule_saves_nothing(self):
+        tasks, answers = self._world()
+        report = savings_report(
+            tasks,
+            answers,
+            ConfidenceStoppingRule(threshold=0.999999, min_answers=10),
+            TruthInference(),
+        )
+        assert report.saved_fraction == pytest.approx(0.0)

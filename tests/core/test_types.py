@@ -1,0 +1,117 @@
+"""Tests for the core data types."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import (
+    Answer,
+    Task,
+    TaskState,
+    group_answers_by_task,
+    group_answers_by_worker,
+)
+from repro.errors import ValidationError
+
+
+class TestTask:
+    def test_minimal_task(self):
+        task = Task(task_id=0, text="t", num_choices=2)
+        assert task.domain_vector is None
+
+    def test_single_choice_rejected(self):
+        with pytest.raises(ValidationError):
+            Task(task_id=0, text="t", num_choices=1)
+
+    def test_ground_truth_range_checked(self):
+        with pytest.raises(ValidationError):
+            Task(task_id=0, text="t", num_choices=2, ground_truth=3)
+        with pytest.raises(ValidationError):
+            Task(task_id=0, text="t", num_choices=2, ground_truth=0)
+
+    def test_domain_vector_validated(self):
+        with pytest.raises(ValidationError):
+            Task(
+                task_id=0,
+                text="t",
+                num_choices=2,
+                domain_vector=np.array([0.5, 0.2]),
+            )
+
+    def test_behavior_domains_validated(self):
+        with pytest.raises(ValidationError):
+            Task(
+                task_id=0,
+                text="t",
+                num_choices=2,
+                behavior_domains=np.array([2.0, -1.0]),
+            )
+
+    def test_distractor_range_checked(self):
+        with pytest.raises(ValidationError):
+            Task(task_id=0, text="t", num_choices=2, distractor=5)
+
+    def test_vectors_coerced_to_arrays(self):
+        task = Task(
+            task_id=0,
+            text="t",
+            num_choices=2,
+            domain_vector=[0.4, 0.6],
+            behavior_domains=[0.5, 0.5],
+        )
+        assert isinstance(task.domain_vector, np.ndarray)
+        assert isinstance(task.behavior_domains, np.ndarray)
+
+
+class TestAnswer:
+    def test_choice_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            Answer("w", 0, 0)
+
+    def test_frozen(self):
+        answer = Answer("w", 0, 1)
+        with pytest.raises(AttributeError):
+            answer.choice = 2
+
+
+class TestTaskState:
+    def test_fresh_state_uniform(self):
+        task = Task(task_id=3, text="t", num_choices=4)
+        state = TaskState.fresh(task, np.array([0.5, 0.5]))
+        np.testing.assert_allclose(state.s, [0.25] * 4)
+        assert state.M.shape == (2, 4)
+        assert state.log_numerators.shape == (2, 4)
+
+    def test_inferred_truth_one_based(self):
+        task = Task(task_id=0, text="t", num_choices=2)
+        state = TaskState(
+            task=task,
+            r=np.array([1.0]),
+            M=np.array([[0.3, 0.7]]),
+            s=np.array([0.3, 0.7]),
+        )
+        assert state.inferred_truth() == 2
+
+
+class TestGrouping:
+    def test_by_task_preserves_order(self):
+        answers = [
+            Answer("a", 1, 1),
+            Answer("b", 0, 2),
+            Answer("c", 1, 2),
+        ]
+        grouped = group_answers_by_task(answers)
+        assert [a.worker_id for a in grouped[1]] == ["a", "c"]
+
+    def test_by_worker(self):
+        answers = [
+            Answer("a", 1, 1),
+            Answer("a", 2, 1),
+            Answer("b", 1, 2),
+        ]
+        grouped = group_answers_by_worker(answers)
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+
+    def test_empty(self):
+        assert group_answers_by_task([]) == {}
+        assert group_answers_by_worker([]) == {}

@@ -1,0 +1,126 @@
+"""Tests for the simulated answer model."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Task
+from repro.crowd.answer_model import (
+    DISTRACTOR_PULL,
+    collect_answers,
+    sample_answer,
+)
+from repro.crowd.worker_pool import WorkerPool, WorkerProfile
+from repro.errors import ValidationError
+from repro.utils.rng import make_rng
+
+
+def _task(ell=2, truth=1, domain=0, distractor=None, behavior=None):
+    return Task(
+        task_id=0,
+        text="t",
+        num_choices=ell,
+        ground_truth=truth,
+        true_domain=domain,
+        distractor=distractor,
+        behavior_domains=behavior,
+    )
+
+
+class TestSampleAnswer:
+    def test_perfect_worker_always_correct(self):
+        worker = WorkerProfile("w", np.array([1.0, 1.0]))
+        rng = make_rng(0)
+        for _ in range(20):
+            assert sample_answer(_task(), worker, rng) == 1
+
+    def test_hopeless_worker_always_wrong(self):
+        worker = WorkerProfile("w", np.array([0.0, 0.0]))
+        rng = make_rng(0)
+        for _ in range(20):
+            assert sample_answer(_task(), worker, rng) == 2
+
+    def test_accuracy_tracks_domain_quality(self):
+        worker = WorkerProfile("w", np.array([0.9, 0.2]))
+        rng = make_rng(1)
+        hits_domain0 = np.mean(
+            [
+                sample_answer(_task(domain=0), worker, rng) == 1
+                for _ in range(2000)
+            ]
+        )
+        hits_domain1 = np.mean(
+            [
+                sample_answer(_task(domain=1), worker, rng) == 1
+                for _ in range(2000)
+            ]
+        )
+        assert hits_domain0 == pytest.approx(0.9, abs=0.03)
+        assert hits_domain1 == pytest.approx(0.2, abs=0.03)
+
+    def test_behavior_mixture_blends_domains(self):
+        worker = WorkerProfile("w", np.array([1.0, 0.0]))
+        behavior = np.array([0.5, 0.5])
+        rng = make_rng(2)
+        hits = np.mean(
+            [
+                sample_answer(
+                    _task(behavior=behavior), worker, rng
+                )
+                == 1
+                for _ in range(3000)
+            ]
+        )
+        assert hits == pytest.approx(0.5, abs=0.03)
+
+    def test_distractor_attracts_wrong_answers(self):
+        worker = WorkerProfile("w", np.array([0.0]))
+        task = _task(ell=4, truth=1, distractor=3, domain=0)
+        task.behavior_domains = None
+        rng = make_rng(3)
+        wrongs = [sample_answer(task, worker, rng) for _ in range(3000)]
+        share_distractor = np.mean([w == 3 for w in wrongs])
+        expected = DISTRACTOR_PULL + (1 - DISTRACTOR_PULL) / 3
+        assert share_distractor == pytest.approx(expected, abs=0.04)
+
+    def test_missing_ground_truth_rejected(self):
+        worker = WorkerProfile("w", np.array([0.5]))
+        task = Task(task_id=0, text="t", num_choices=2)
+        with pytest.raises(ValidationError):
+            sample_answer(task, worker, make_rng(0))
+
+    def test_domain_vector_fallback(self):
+        worker = WorkerProfile("w", np.array([1.0, 0.0]))
+        task = Task(
+            task_id=0,
+            text="t",
+            num_choices=2,
+            ground_truth=1,
+            domain_vector=np.array([1.0, 0.0]),
+        )
+        assert sample_answer(task, worker, make_rng(0)) == 1
+
+
+class TestCollectAnswers:
+    def test_counts_and_distinct_workers(self, simple_tasks, small_pool):
+        answers = collect_answers(
+            simple_tasks, small_pool, answers_per_task=4, seed=0
+        )
+        assert len(answers) == 3 * 4
+        for task in simple_tasks:
+            workers = [
+                a.worker_id for a in answers if a.task_id == task.task_id
+            ]
+            assert len(set(workers)) == 4
+
+    def test_deterministic(self, simple_tasks, small_pool):
+        a = collect_answers(simple_tasks, small_pool, 3, seed=1)
+        b = collect_answers(simple_tasks, small_pool, 3, seed=1)
+        assert a == b
+
+    def test_pool_too_small_rejected(self, simple_tasks, small_pool):
+        with pytest.raises(ValidationError):
+            collect_answers(simple_tasks, small_pool, 99)
+
+    def test_invalid_count_rejected(self, simple_tasks, small_pool):
+        with pytest.raises(ValidationError):
+            collect_answers(simple_tasks, small_pool, 0)

@@ -1,0 +1,42 @@
+"""Tests for the worker arrival process."""
+
+import pytest
+
+from repro.crowd.arrival import WorkerArrivalProcess
+from repro.errors import ValidationError
+
+
+class TestWorkerArrivalProcess:
+    def test_yields_known_workers(self, small_pool):
+        arrivals = WorkerArrivalProcess(small_pool, seed=0)
+        seen = [next(arrivals) for _ in range(20)]
+        assert set(seen) <= set(small_pool.worker_ids)
+
+    def test_cap_enforced(self, small_pool):
+        arrivals = WorkerArrivalProcess(
+            small_pool, max_hits_per_worker=2, seed=0
+        )
+        drained = list(arrivals)
+        assert len(drained) == 2 * len(small_pool)
+        counts = arrivals.arrivals_so_far()
+        assert all(count == 2 for count in counts.values())
+
+    def test_unbounded_never_stops_early(self, small_pool):
+        arrivals = WorkerArrivalProcess(small_pool, seed=0)
+        for _ in range(5 * len(small_pool)):
+            next(arrivals)
+
+    def test_deterministic(self, small_pool):
+        a = [
+            next(WorkerArrivalProcess(small_pool, seed=3))
+            for _ in range(1)
+        ]
+        b = [
+            next(WorkerArrivalProcess(small_pool, seed=3))
+            for _ in range(1)
+        ]
+        assert a == b
+
+    def test_invalid_cap_rejected(self, small_pool):
+        with pytest.raises(ValidationError):
+            WorkerArrivalProcess(small_pool, max_hits_per_worker=0)

@@ -1,0 +1,133 @@
+"""Tests for the simulated worker pool."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.worker_pool import (
+    WorkerPool,
+    WorkerPoolConfig,
+    WorkerProfile,
+)
+from repro.errors import ValidationError
+
+
+class TestWorkerProfile:
+    def test_quality_coerced_to_array(self):
+        profile = WorkerProfile("w", [0.5, 0.6])
+        assert isinstance(profile.quality, np.ndarray)
+
+    def test_out_of_range_quality_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkerProfile("w", [1.5, 0.5])
+
+    def test_empty_quality_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkerProfile("w", [])
+
+
+class TestWorkerPoolConfig:
+    def test_defaults_valid(self):
+        WorkerPoolConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": 0},
+            {"num_domains": 0},
+            {"expertise_domains": (0, 2)},
+            {"base_quality": (0.8, 0.5)},
+            {"spammer_fraction": 1.5},
+            {"active_domains": ()},
+            {"active_domains": (99,)},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValidationError):
+            WorkerPoolConfig(**kwargs).validate()
+
+
+class TestWorkerPoolGenerate:
+    def test_size_and_ids(self):
+        pool = WorkerPool.generate(
+            WorkerPoolConfig(num_workers=5, num_domains=4, seed=1)
+        )
+        assert len(pool) == 5
+        assert len(set(pool.worker_ids)) == 5
+
+    def test_deterministic(self):
+        cfg = WorkerPoolConfig(num_workers=5, num_domains=4, seed=2)
+        a = WorkerPool.generate(cfg)
+        b = WorkerPool.generate(cfg)
+        for wid in a.worker_ids:
+            np.testing.assert_allclose(
+                a.true_quality(wid), b.true_quality(wid)
+            )
+
+    def test_expertise_restricted_to_active_domains(self):
+        cfg = WorkerPoolConfig(
+            num_workers=40,
+            num_domains=10,
+            active_domains=(2, 5),
+            spammer_fraction=0.0,
+            seed=3,
+        )
+        pool = WorkerPool.generate(cfg)
+        base_hi = cfg.base_quality[1] + 0.05
+        for profile in pool:
+            boosted = np.flatnonzero(profile.quality > base_hi)
+            assert set(boosted) <= {2, 5}
+
+    def test_spammers_have_low_quality_everywhere(self):
+        cfg = WorkerPoolConfig(
+            num_workers=200,
+            num_domains=4,
+            spammer_fraction=1.0,
+            seed=4,
+        )
+        pool = WorkerPool.generate(cfg)
+        for profile in pool:
+            assert profile.quality.max() <= cfg.spammer_quality[1] + 0.05
+
+    def test_experts_exist(self):
+        pool = WorkerPool.generate(
+            WorkerPoolConfig(
+                num_workers=100,
+                num_domains=4,
+                spammer_fraction=0.0,
+                seed=5,
+            )
+        )
+        peak = max(p.quality.max() for p in pool)
+        assert peak > 0.8
+
+    def test_unknown_worker_rejected(self, small_pool):
+        with pytest.raises(ValidationError):
+            small_pool.profile("nope")
+
+    def test_true_quality_returns_copy(self, small_pool):
+        wid = small_pool.worker_ids[0]
+        q = small_pool.true_quality(wid)
+        q[:] = 0.0
+        assert small_pool.true_quality(wid).max() > 0.0
+
+
+class TestWorkerPoolConstruction:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkerPool([])
+
+    def test_duplicate_ids_rejected(self):
+        profiles = [
+            WorkerProfile("w", [0.5]),
+            WorkerProfile("w", [0.6]),
+        ]
+        with pytest.raises(ValidationError):
+            WorkerPool(profiles)
+
+    def test_inconsistent_sizes_rejected(self):
+        profiles = [
+            WorkerProfile("a", [0.5]),
+            WorkerProfile("b", [0.5, 0.6]),
+        ]
+        with pytest.raises(ValidationError):
+            WorkerPool(profiles)

@@ -1,0 +1,112 @@
+"""Tests for the dataset-generation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import (
+    behavior_mixture,
+    sample_concepts,
+    sample_dominant_concepts,
+)
+from repro.errors import ValidationError
+from repro.kb.concept import Concept
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.taxonomy import DomainTaxonomy
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def kb():
+    tax = DomainTaxonomy(("a", "b", "c"))
+    kb = KnowledgeBase(tax)
+    # Domain a: one famous dominant concept and one outmatched sense.
+    kb.add_concept(
+        Concept(0, "Alpha One", frozenset({0}), commonness=10.0)
+    )
+    kb.add_concept(
+        Concept(1, "Alpha One", frozenset({1}), commonness=1.0)
+    )
+    kb.add_concept(
+        Concept(2, "Alpha Two", frozenset({0}), commonness=2.0)
+    )
+    # A multi-domain dominant concept in a.
+    kb.add_concept(
+        Concept(3, "Alpha Three", frozenset({0, 2}), commonness=8.0)
+    )
+    # Domain b.
+    kb.add_concept(
+        Concept(4, "Beta One", frozenset({1}), commonness=3.0)
+    )
+    return kb
+
+
+class TestSampleConcepts:
+    def test_competitive_filter(self, kb):
+        rng = make_rng(0)
+        # Concept 1 (commonness 1 vs rival 10) is not competitive.
+        names = {
+            c.concept_id
+            for _ in range(20)
+            for c in sample_concepts(kb, 1, 1, rng)
+        }
+        assert 1 not in names
+        assert 4 in names
+
+    def test_distinct_names(self, kb):
+        rng = make_rng(0)
+        concepts = sample_concepts(kb, 0, 3, rng)
+        names = [c.name for c in concepts]
+        assert len(set(names)) == 3
+
+    def test_too_many_requested(self, kb):
+        with pytest.raises(ValidationError):
+            sample_concepts(kb, 1, 10, make_rng(0))
+
+
+class TestSampleDominantConcepts:
+    def test_single_domain_dominants(self, kb):
+        rng = make_rng(0)
+        ids = {
+            c.concept_id
+            for _ in range(20)
+            for c in sample_dominant_concepts(kb, 0, 1, rng)
+        }
+        # Concept 0 dominates; concept 3 is multi-domain (excluded);
+        # concept 2 has no rivals so it dominates trivially.
+        assert ids <= {0, 2}
+
+    def test_multi_domain_pool(self, kb):
+        rng = make_rng(0)
+        concepts = sample_dominant_concepts(
+            kb, 0, 1, rng, multi_domain=True
+        )
+        assert concepts[0].concept_id == 3
+
+    def test_insufficient_pool_rejected(self, kb):
+        with pytest.raises(ValidationError):
+            sample_dominant_concepts(kb, 1, 5, make_rng(0))
+
+
+class TestBehaviorMixture:
+    def test_single_domain_concepts_one_hot(self, kb):
+        mix = behavior_mixture([kb.concept(0)], 0, 3)
+        np.testing.assert_allclose(mix, [1.0, 0.0, 0.0])
+
+    def test_multi_domain_concept_spreads(self, kb):
+        mix = behavior_mixture([kb.concept(3)], 0, 3, primary_weight=0.6)
+        # 0.6 one-hot + 0.4 * [0.5, 0, 0.5]
+        np.testing.assert_allclose(mix, [0.8, 0.0, 0.2])
+
+    def test_no_concepts_falls_back_to_one_hot(self):
+        mix = behavior_mixture([], 1, 3)
+        np.testing.assert_allclose(mix, [0.0, 1.0, 0.0])
+
+    def test_invalid_primary_weight(self, kb):
+        with pytest.raises(ValidationError):
+            behavior_mixture([kb.concept(0)], 0, 3, primary_weight=0.0)
+
+    def test_result_is_distribution(self, kb):
+        mix = behavior_mixture(
+            [kb.concept(0), kb.concept(3)], 0, 3, primary_weight=0.7
+        )
+        assert mix.sum() == pytest.approx(1.0)

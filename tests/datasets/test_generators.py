@@ -1,0 +1,139 @@
+"""Tests for the four dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, make_dataset
+from repro.errors import ValidationError
+from repro.utils.text import jaccard_similarity
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    """One small instance of each dataset (scaled for test speed)."""
+    return {
+        "item": make_dataset("item", seed=0, tasks_per_domain=15),
+        "4d": make_dataset("4d", seed=0, tasks_per_domain=15),
+        "qa": make_dataset("qa", seed=0, num_tasks=60),
+        "sfv": make_dataset("sfv", seed=0, num_tasks=60),
+    }
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(DATASET_NAMES) == {"item", "4d", "qa", "sfv"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            make_dataset("nope")
+
+    def test_deterministic(self):
+        a = make_dataset("item", seed=5, tasks_per_domain=5)
+        b = make_dataset("item", seed=5, tasks_per_domain=5)
+        assert [t.text for t in a.tasks] == [t.text for t in b.tasks]
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("name", ["item", "4d", "qa", "sfv"])
+    def test_every_task_annotated(self, datasets, name):
+        ds = datasets[name]
+        for task in ds.tasks:
+            assert task.ground_truth is not None
+            assert 1 <= task.ground_truth <= task.num_choices
+            assert task.true_domain is not None
+            assert task.behavior_domains is not None
+            assert task.behavior_domains.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", ["item", "4d", "qa", "sfv"])
+    def test_labels_align_with_domains(self, datasets, name):
+        ds = datasets[name]
+        mapping = ds.domain_label_indices()
+        for task, label in zip(ds.tasks, ds.task_labels):
+            assert task.true_domain == mapping[label]
+
+    @pytest.mark.parametrize("name", ["item", "4d", "qa", "sfv"])
+    def test_four_domains(self, datasets, name):
+        assert len(datasets[name].domains) == 4
+
+    @pytest.mark.parametrize("name", ["item", "4d", "qa", "sfv"])
+    def test_entities_linkable(self, datasets, name):
+        """Every task must contain at least one KB-linkable mention."""
+        from repro.linking import EntityLinker
+
+        ds = datasets[name]
+        linker = EntityLinker(ds.kb)
+        unlinked = sum(
+            1 for task in ds.tasks if not linker.link(task.text)
+        )
+        assert unlinked == 0
+
+
+class TestDatasetCharacter:
+    def test_paper_default_sizes(self):
+        assert make_dataset("item", seed=1).num_tasks == 360
+        assert make_dataset("4d", seed=1).num_tasks == 400
+
+    def test_item_intra_domain_similarity_high(self, datasets):
+        """Item's defining property: templated per-domain text."""
+        ds = datasets["item"]
+        nba = [
+            t.text
+            for t, lbl in zip(ds.tasks, ds.task_labels)
+            if lbl == "NBA"
+        ]
+        sims = [
+            jaccard_similarity(nba[i], nba[i + 1])
+            for i in range(len(nba) - 1)
+        ]
+        assert np.mean(sims) > 0.5
+
+    def test_4d_has_cross_domain_lookalikes(self, datasets):
+        """4D's defining property: identical templates across domains."""
+        ds = datasets["4d"]
+        by_label = {}
+        for task, label in zip(ds.tasks, ds.task_labels):
+            by_label.setdefault(label, []).append(task.text)
+        best = 0.0
+        for nba_text in by_label["NBA"][:10]:
+            for mountain_text in by_label["Mountain"][:10]:
+                best = max(
+                    best, jaccard_similarity(nba_text, mountain_text)
+                )
+        assert best > 0.4
+
+    def test_sfv_has_distractors(self, datasets):
+        ds = datasets["sfv"]
+        assert all(t.distractor is not None for t in ds.tasks)
+        assert all(t.num_choices == 4 for t in ds.tasks)
+
+    def test_qa_two_choices(self, datasets):
+        assert all(t.num_choices == 2 for t in datasets["qa"].tasks)
+
+    def test_sfv_multi_domain_persons_exist(self):
+        ds = make_dataset("sfv", seed=3)
+        multi = [
+            t
+            for t in ds.tasks
+            if np.count_nonzero(t.behavior_domains > 0.01) > 1
+        ]
+        assert multi  # some renowned-in-two-domains persons
+
+
+class TestDatasetAccessors:
+    def test_task_by_id(self, datasets):
+        ds = datasets["item"]
+        assert ds.task_by_id(0).task_id == 0
+        with pytest.raises(ValidationError):
+            ds.task_by_id(10**6)
+
+    def test_label_of(self, datasets):
+        ds = datasets["item"]
+        assert ds.label_of(0) == ds.task_labels[0]
+
+    def test_ground_truths(self, datasets):
+        ds = datasets["item"]
+        truths = ds.ground_truths()
+        assert len(truths) == ds.num_tasks
+
+    def test_summary_mentions_counts(self, datasets):
+        assert "tasks" in datasets["qa"].summary()

@@ -1,0 +1,48 @@
+"""Tests for the experiment context builder."""
+
+import pytest
+
+from repro.experiments import build_context
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_context(
+        "item",
+        seed=41,
+        answers_per_task=3,
+        golden_count=6,
+        pool_size=10,
+        dataset_overrides={"tasks_per_domain": 6},
+    )
+
+
+class TestBuildContext:
+    def test_domain_vectors_set(self, context):
+        assert all(
+            t.domain_vector is not None for t in context.dataset.tasks
+        )
+
+    def test_answers_collected(self, context):
+        assert len(context.answers) == context.dataset.num_tasks * 3
+
+    def test_golden_selected(self, context):
+        assert len(context.golden) == 6
+        for tid in context.golden.task_ids:
+            assert tid in context.golden.truths
+
+    def test_pool_size(self, context):
+        assert len(context.pool) == 10
+
+    def test_deterministic(self):
+        kwargs = dict(
+            seed=42,
+            answers_per_task=2,
+            golden_count=4,
+            pool_size=6,
+            dataset_overrides={"tasks_per_domain": 4},
+        )
+        a = build_context("item", **kwargs)
+        b = build_context("item", **kwargs)
+        assert a.answers == b.answers
+        assert a.golden.task_ids == b.golden.task_ids

@@ -1,0 +1,192 @@
+"""Tests for the per-figure experiment modules (scaled-down runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_context
+from repro.experiments.fig3 import format_domain_detection, run_domain_detection
+from repro.experiments.fig4 import (
+    run_answer_sweep,
+    run_convergence,
+    run_golden_sweep,
+    run_quality_estimation,
+    run_scalability,
+)
+from repro.experiments.fig5 import (
+    format_ti_comparison,
+    run_ti_comparison,
+)
+from repro.experiments.fig6 import (
+    calibration_error,
+    format_case_study,
+    run_case_study,
+)
+from repro.experiments.fig7 import (
+    format_golden_comparison,
+    format_golden_scalability,
+    run_golden_comparison,
+    run_golden_scalability,
+)
+from repro.experiments.fig8 import (
+    format_ota_comparison,
+    format_ota_scalability,
+    run_ota_comparison,
+    run_ota_scalability,
+)
+from repro.experiments.table3 import (
+    format_dve_efficiency,
+    run_dve_efficiency,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    # Dense enough that the crowd carries signal (a 15-worker pool at 5
+    # answers/task can land at chance-level majority, where no method
+    # can do anything and EM drifts).
+    return build_context(
+        "item",
+        seed=51,
+        answers_per_task=8,
+        golden_count=10,
+        pool_size=30,
+        dataset_overrides={"tasks_per_domain": 15},
+    )
+
+
+class TestFig3:
+    def test_detection_result_shape(self, context):
+        result = run_domain_detection(context, topic_iterations=15)
+        assert set(result.overall) == {
+            "IC(LDA)", "FC(TwitterLDA)", "DOCS",
+        }
+        for method, score in result.overall.items():
+            assert 0.0 <= score <= 100.0
+        assert "DOCS" in format_domain_detection(result)
+
+    def test_docs_detection_strong_on_item(self, context):
+        result = run_domain_detection(context, topic_iterations=15)
+        assert result.overall["DOCS"] > 90.0
+
+
+class TestTable3:
+    def test_rows_per_cutoff(self, context):
+        rows = run_dve_efficiency(context, cutoffs=(3, 2))
+        assert [r.top_c for r in rows] == [3, 2]
+        for row in rows:
+            assert row.algorithm1_seconds > 0
+            assert row.enumeration_linkings > 0
+        assert "Table 3" in format_dve_efficiency(rows)
+
+    def test_budget_marker(self, context):
+        rows = run_dve_efficiency(context, cutoffs=(3,), work_budget=1)
+        assert rows[0].enumeration_seconds is None
+        assert "> budget" in format_dve_efficiency(rows)
+
+
+class TestFig4:
+    def test_convergence_series(self, context):
+        deltas = run_convergence(context, iterations=15)
+        assert len(deltas) == 15
+        assert deltas[0] > deltas[-1]
+
+    def test_golden_sweep(self, context):
+        accs = run_golden_sweep(context, golden_counts=(0, 4, 8))
+        assert set(accs) == {0, 4, 8}
+        assert all(0 <= v <= 100 for v in accs.values())
+
+    def test_answer_sweep_improves(self, context):
+        accs = run_answer_sweep(context, answer_counts=(1, 8))
+        assert accs[8] >= accs[1]
+
+    def test_quality_estimation_shrinks(self, context):
+        deviations = run_quality_estimation(
+            context, answered_counts=(2, 60)
+        )
+        assert deviations[60] <= deviations[2] + 0.05
+
+    def test_scalability_points(self):
+        points = run_scalability(
+            task_counts=(100, 200),
+            worker_counts=(10,),
+            seed=1,
+        )
+        assert len(points) == 2
+        assert all(p.seconds > 0 for p in points)
+
+
+class TestFig5:
+    def test_comparison_rows(self, context):
+        result = run_ti_comparison(context)
+        assert set(result.accuracy) == {
+            "MV", "ZC", "DS", "IC", "FC", "DOCS",
+        }
+        rendered = format_ti_comparison([result])
+        assert "Figure 5(a)" in rendered
+        assert "Figure 5(b)" in rendered
+
+
+class TestFig6:
+    def test_case_study_panels(self, context):
+        study = run_case_study(context, min_answers=5)
+        assert set(study.histogram) == {
+            d.label for d in context.dataset.domains
+        }
+        for bins in study.histogram.values():
+            assert len(bins) == 10
+        assert len(study.top_worker_points) <= 3
+        assert calibration_error([]) == 0.0
+        assert "Figure 6" in format_case_study(study)
+
+    def test_estimates_track_truth(self, context):
+        study = run_case_study(context, min_answers=5)
+        points = [
+            p
+            for pts in study.top_worker_points.values()
+            for p in pts
+        ]
+        if points:
+            assert calibration_error(points) < 0.35
+
+
+class TestFig7:
+    def test_comparison_near_optimal(self):
+        points = run_golden_comparison(
+            n_primes=(2, 4, 6), num_domains=4, seed=2
+        )
+        mean_gamma = np.mean([p.gamma for p in points])
+        assert mean_gamma < 0.05
+        assert "gamma" in format_golden_comparison(points)
+
+    def test_scalability_flat_in_budget(self):
+        points = run_golden_scalability(
+            n_primes=(1000, 10000), domain_counts=(10,), seed=3
+        )
+        assert len(points) == 2
+        assert "Figure 7(b)" in format_golden_scalability(points)
+
+
+class TestFig8:
+    def test_comparison_runs_all_engines(self):
+        result = run_ota_comparison(
+            "item",
+            seed=4,
+            answers_per_task=3,
+            hit_size=2,
+            pool_size=10,
+            dataset_overrides={"tasks_per_domain": 6},
+        )
+        assert set(result.accuracy) == {
+            "Baseline", "AskIt!", "IC", "QASCA", "D-Max", "DOCS",
+        }
+        assert "Figure 8(a)" in format_ota_comparison([result])
+
+    def test_scalability_linear_shape(self):
+        points = run_ota_scalability(
+            task_counts=(500, 1000), hit_sizes=(5,), seed=5
+        )
+        assert len(points) == 2
+        small, large = points[0].seconds, points[1].seconds
+        # Double the tasks should not blow past ~4x the time.
+        assert large < max(small, 1e-4) * 8
+        assert "Figure 8(c)" in format_ota_scalability(points)

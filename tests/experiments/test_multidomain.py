@@ -1,0 +1,81 @@
+"""Tests for the multi-domain detection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.multidomain import (
+    MASS_THRESHOLD,
+    evaluate_multidomain,
+    format_multidomain,
+    jensen_shannon,
+    significant_domains,
+)
+
+
+class TestJensenShannon:
+    def test_identical_zero(self):
+        p = np.array([0.3, 0.7])
+        assert jensen_shannon(p, p) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.2, 0.8])
+        assert jensen_shannon(p, q) == pytest.approx(
+            jensen_shannon(q, p)
+        )
+
+    def test_bounded_by_ln2(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert jensen_shannon(p, q) == pytest.approx(np.log(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            jensen_shannon(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestSignificantDomains:
+    def test_orders_by_mass(self):
+        mixture = np.array([0.2, 0.7, 0.1])
+        assert significant_domains(mixture) == [1, 0, 2]
+
+    def test_threshold_filters(self):
+        mixture = np.array([0.95, 0.05])
+        assert significant_domains(mixture) == [0]
+
+
+class TestEvaluateMultidomain:
+    def test_on_generated_dataset(self):
+        from repro.core.dve import DomainVectorEstimator
+        from repro.datasets import make_dataset
+        from repro.linking import EntityLinker
+
+        dataset = make_dataset("sfv", seed=3, num_tasks=60)
+        estimator = DomainVectorEstimator(
+            EntityLinker(dataset.kb), dataset.taxonomy.size
+        )
+        for task in dataset.tasks:
+            task.domain_vector = estimator.estimate(task.text)
+        result = evaluate_multidomain(dataset)
+        assert 0.0 <= result.mean_js <= np.log(2)
+        assert 0.0 <= result.top2_recall <= 1.0
+        assert 0.0 <= result.multi_task_fraction <= 1.0
+        assert "dataset" in format_multidomain([result])
+
+    def test_perfect_vectors_score_perfectly(self):
+        from repro.datasets import make_dataset
+
+        dataset = make_dataset("4d", seed=4, tasks_per_domain=5)
+        vectors = [t.behavior_domains for t in dataset.tasks]
+        result = evaluate_multidomain(dataset, domain_vectors=vectors)
+        assert result.mean_js == pytest.approx(0.0, abs=1e-9)
+        assert result.top2_recall == pytest.approx(1.0)
+        assert result.peak_agreement == pytest.approx(1.0)
+
+    def test_misaligned_vectors_rejected(self):
+        from repro.datasets import make_dataset
+
+        dataset = make_dataset("4d", seed=4, tasks_per_domain=5)
+        with pytest.raises(ValidationError):
+            evaluate_multidomain(dataset, domain_vectors=[])

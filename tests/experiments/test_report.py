@@ -1,0 +1,67 @@
+"""Tests for the report assembler."""
+
+import pathlib
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.report import (
+    SECTION_ORDER,
+    build_report,
+    load_sections,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "fig5_ti_comparison.txt").write_text(
+        "Figure 5(a): accuracy\nMV 60\n"
+    )
+    (directory / "table3_dve_efficiency.txt").write_text(
+        "Table 3: times\n"
+    )
+    (directory / "custom_extra.txt").write_text("extra table\n")
+    return directory
+
+
+class TestLoadSections:
+    def test_known_sections_ordered(self, results_dir):
+        sections = load_sections(results_dir)
+        keys = [s.key for s in sections]
+        # Table 3 precedes Figure 5 per SECTION_ORDER, extras last.
+        assert keys.index("table3_dve_efficiency") < keys.index(
+            "fig5_ti_comparison"
+        )
+        assert keys[-1] == "custom_extra"
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_sections(tmp_path / "nope")
+
+    def test_section_order_covers_every_benchmark_output(self):
+        # Every bench-produced table has a curated title.
+        curated = {key for key, _ in SECTION_ORDER}
+        expected = {
+            "table3_dve_efficiency",
+            "fig3_domain_detection",
+            "fig5_ti_comparison",
+            "fig8_ota_comparison",
+            "extension_budget_saving",
+            "ablation_incremental",
+        }
+        assert expected <= curated
+
+
+class TestBuildReport:
+    def test_contains_bodies_and_titles(self, results_dir):
+        text = build_report(results_dir)
+        assert "Table 3 — DVE efficiency" in text
+        assert "Figure 5(a): accuracy" in text
+        assert "custom_extra" in text
+
+    def test_writes_output_file(self, results_dir, tmp_path):
+        out = tmp_path / "report.md"
+        text = build_report(results_dir, output=out)
+        assert out.read_text() == text

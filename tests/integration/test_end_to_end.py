@@ -1,0 +1,124 @@
+"""Cross-module integration tests: the paper's claims at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_truth_method
+from repro.baselines.engines import RandomBaselineEngine
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.experiments import build_context
+from repro.experiments.fig5 import run_ti_comparison
+from repro.platform.amt_sim import PlatformSimulator
+from repro.system import DocsConfig, DocsSystem
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    """Scaled-down Item and 4D contexts shared across claims."""
+    return {
+        name: build_context(
+            name,
+            seed=61,
+            answers_per_task=8,
+            golden_count=12,
+            pool_size=25,
+            dataset_overrides={"tasks_per_domain": 25},
+        )
+        for name in ("item", "4d")
+    }
+
+
+class TestHeadlineClaims:
+    def test_docs_ti_beats_majority_vote(self, contexts):
+        """The core Figure 5 ordering at reduced scale."""
+        for context in contexts.values():
+            result = run_ti_comparison(context, methods=("MV", "DOCS"))
+            assert result.accuracy["DOCS"] > result.accuracy["MV"]
+
+    def test_domain_blind_below_docs(self, contexts):
+        # At this reduced scale seed noise can move single methods a few
+        # points; the full-scale benchmark (benchmarks/fig5) checks the
+        # strict ordering. Here: DOCS must be competitive with the
+        # domain-blind EMs within noise.
+        result = run_ti_comparison(
+            contexts["4d"], methods=("ZC", "DS", "DOCS")
+        )
+        assert result.accuracy["DOCS"] >= result.accuracy["ZC"] - 5.0
+        assert result.accuracy["DOCS"] >= result.accuracy["DS"] - 5.0
+
+    def test_dve_detects_domains_on_lookalike_templates(self, contexts):
+        """4D's cross-domain lookalikes must not fool the KB linker."""
+        context = contexts["4d"]
+        correct = sum(
+            int(np.argmax(t.domain_vector)) == t.true_domain
+            for t in context.dataset.tasks
+        )
+        assert correct / context.dataset.num_tasks > 0.85
+
+    def test_end_to_end_docs_above_random(self, contexts):
+        context = contexts["item"]
+        docs_sim = PlatformSimulator(
+            context.dataset,
+            context.pool,
+            answers_per_task=6,
+            hit_size=3,
+            seed=62,
+        )
+        docs = docs_sim.run(
+            DocsSystem(DocsConfig(golden_count=12, rerun_interval=60))
+        )
+        base_sim = PlatformSimulator(
+            context.dataset,
+            context.pool,
+            answers_per_task=6,
+            hit_size=3,
+            seed=62,
+        )
+        baseline = base_sim.run(RandomBaselineEngine(seed=63))
+        assert docs.accuracy >= baseline.accuracy
+
+
+class TestWorkerModelPersistence:
+    def test_quality_survives_between_campaigns(self, contexts):
+        """Section 4.2: workers' qualities are maintained across
+        requesters via Theorem 1 — a second campaign can start from the
+        first campaign's estimates."""
+        context = contexts["item"]
+        system = DocsSystem(DocsConfig(golden_count=12, rerun_interval=60))
+        simulator = PlatformSimulator(
+            context.dataset,
+            context.pool,
+            answers_per_task=4,
+            hit_size=3,
+            seed=64,
+        )
+        simulator.run(system)
+        store = system.quality_store
+        known = list(store.known_workers())
+        assert known
+        # Qualities are in range and weights positive for active workers.
+        for worker_id in known:
+            stats = store.get(worker_id)
+            assert np.all(stats.quality >= 0.0)
+            assert np.all(stats.quality <= 1.0)
+            assert stats.weight.sum() > 0
+
+
+class TestAnswerBookkeeping:
+    def test_no_worker_answers_twice(self, contexts):
+        context = contexts["item"]
+        system = DocsSystem(DocsConfig(golden_count=0, rerun_interval=50))
+        simulator = PlatformSimulator(
+            context.dataset,
+            context.pool,
+            answers_per_task=4,
+            hit_size=3,
+            seed=65,
+        )
+        report = simulator.run(system)
+        seen = set()
+        for answer in system.database.answers.all():
+            key = (answer.worker_id, answer.task_id)
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) == report.total_answers

@@ -1,0 +1,59 @@
+"""Tests for concept records."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kb.concept import Concept
+
+
+class TestConcept:
+    def test_indicator_vector(self):
+        concept = Concept(
+            concept_id=0,
+            name="Michael Jordan",
+            domain_indices=frozenset({1, 2}),
+        )
+        np.testing.assert_array_equal(
+            concept.indicator_vector(3), [0.0, 1.0, 1.0]
+        )
+
+    def test_empty_indicator(self):
+        # The paper's "Michael I. Jordan" relates to no example domain.
+        concept = Concept(
+            concept_id=0, name="x", domain_indices=frozenset()
+        )
+        np.testing.assert_array_equal(
+            concept.indicator_vector(3), [0.0, 0.0, 0.0]
+        )
+
+    def test_out_of_range_indicator_rejected(self):
+        concept = Concept(
+            concept_id=0, name="x", domain_indices=frozenset({5})
+        )
+        with pytest.raises(ValidationError):
+            concept.indicator_vector(3)
+
+    def test_related_to(self):
+        concept = Concept(
+            concept_id=0, name="x", domain_indices=frozenset({1})
+        )
+        assert concept.related_to(1)
+        assert not concept.related_to(0)
+
+    def test_non_positive_commonness_rejected(self):
+        with pytest.raises(ValidationError):
+            Concept(
+                concept_id=0,
+                name="x",
+                domain_indices=frozenset(),
+                commonness=0.0,
+            )
+
+    def test_negative_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            Concept(
+                concept_id=0,
+                name="x",
+                domain_indices=frozenset({-1}),
+            )

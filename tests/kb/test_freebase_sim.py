@@ -1,0 +1,170 @@
+"""Tests for the synthetic knowledge-base generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kb.freebase_sim import SyntheticKBConfig, build_synthetic_kb
+from repro.kb.taxonomy import DomainTaxonomy, default_taxonomy
+
+
+class TestSyntheticKBConfig:
+    def test_defaults_valid(self):
+        SyntheticKBConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("concepts_per_domain", 0),
+            ("ambiguity_rate", 1.5),
+            ("collision_depth", 0),
+            ("secondary_domain_rate", -0.1),
+            ("description_length", 0),
+            ("famous_fraction", 2.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        config = SyntheticKBConfig(**{field: value})
+        with pytest.raises(ValidationError):
+            config.validate()
+
+
+class TestBuildSyntheticKB:
+    def test_deterministic(self):
+        cfg = SyntheticKBConfig(concepts_per_domain=5, seed=3)
+        tax = DomainTaxonomy(("a", "b", "c"))
+        kb1 = build_synthetic_kb(cfg, taxonomy=tax, domain_subset=["a", "b"])
+        kb2 = build_synthetic_kb(cfg, taxonomy=tax, domain_subset=["a", "b"])
+        assert kb1.num_concepts == kb2.num_concepts
+        names1 = sorted(c.name for c in kb1.concepts())
+        names2 = sorted(c.name for c in kb2.concepts())
+        assert names1 == names2
+
+    def test_concepts_cover_domains(self):
+        tax = DomainTaxonomy(("a", "b"))
+        kb = build_synthetic_kb(
+            SyntheticKBConfig(concepts_per_domain=10, seed=1),
+            taxonomy=tax,
+        )
+        assert len(kb.concepts_in_domain(0)) >= 10
+        assert len(kb.concepts_in_domain(1)) >= 10
+
+    def test_ambiguity_creates_multi_candidate_aliases(self):
+        tax = DomainTaxonomy(("a", "b", "c"))
+        kb = build_synthetic_kb(
+            SyntheticKBConfig(
+                concepts_per_domain=30, ambiguity_rate=0.8, seed=2
+            ),
+            taxonomy=tax,
+        )
+        assert len(kb.ambiguous_aliases()) > 0
+
+    def test_zero_ambiguity_means_no_collisions_without_fame(self):
+        # Famous concepts are always ambiguous (minor namesakes), so a
+        # collision-free KB also needs famous_fraction = 0.
+        tax = DomainTaxonomy(("a", "b"))
+        kb = build_synthetic_kb(
+            SyntheticKBConfig(
+                concepts_per_domain=20,
+                ambiguity_rate=0.0,
+                famous_fraction=0.0,
+                seed=2,
+            ),
+            taxonomy=tax,
+        )
+        assert kb.ambiguous_aliases() == []
+
+    def test_famous_names_accrete_namesakes(self):
+        tax = DomainTaxonomy(("a", "b", "c"))
+        kb = build_synthetic_kb(
+            SyntheticKBConfig(
+                concepts_per_domain=20,
+                ambiguity_rate=0.0,
+                famous_fraction=0.5,
+                collision_depth=4,
+                seed=2,
+            ),
+            taxonomy=tax,
+        )
+        depths = [len(ids) for _, ids in kb.ambiguous_aliases()]
+        assert depths and max(depths) >= 5  # famous name + >= 4 twins
+
+    def test_collision_depth_deepens_candidate_sets(self):
+        tax = DomainTaxonomy(tuple("abcdefgh"))
+        shallow = build_synthetic_kb(
+            SyntheticKBConfig(
+                concepts_per_domain=20,
+                ambiguity_rate=0.9,
+                collision_depth=1,
+                seed=4,
+            ),
+            taxonomy=tax,
+        )
+        deep = build_synthetic_kb(
+            SyntheticKBConfig(
+                concepts_per_domain=20,
+                ambiguity_rate=0.9,
+                collision_depth=6,
+                seed=4,
+            ),
+            taxonomy=tax,
+        )
+        max_shallow = max(
+            len(ids) for _, ids in shallow.ambiguous_aliases()
+        )
+        max_deep = max(len(ids) for _, ids in deep.ambiguous_aliases())
+        assert max_deep > max_shallow
+
+    def test_secondary_domains_appear(self):
+        tax = DomainTaxonomy(("a", "b", "c"))
+        kb = build_synthetic_kb(
+            SyntheticKBConfig(
+                concepts_per_domain=40,
+                secondary_domain_rate=0.5,
+                seed=5,
+            ),
+            taxonomy=tax,
+        )
+        multi = [
+            c for c in kb.concepts() if len(c.domain_indices) > 1
+        ]
+        assert multi
+
+    def test_secondary_domain_pool_respected(self):
+        tax = DomainTaxonomy(("a", "b", "c", "d"))
+        kb = build_synthetic_kb(
+            SyntheticKBConfig(
+                concepts_per_domain=40,
+                secondary_domain_rate=0.9,
+                secondary_domain_pool=("a", "b"),
+                seed=6,
+            ),
+            taxonomy=tax,
+        )
+        for concept in kb.concepts():
+            assert concept.domain_indices <= {0, 1, 2, 3}
+            secondaries = set(concept.domain_indices)
+            if len(secondaries) > 1:
+                # At least one index is from the pool {a, b}.
+                assert secondaries & {0, 1}
+
+    def test_famous_fraction_boosts_commonness(self):
+        tax = DomainTaxonomy(("a", "b"))
+        kb = build_synthetic_kb(
+            SyntheticKBConfig(
+                concepts_per_domain=60,
+                famous_fraction=0.5,
+                ambiguity_rate=0.0,
+                seed=7,
+            ),
+            taxonomy=tax,
+        )
+        commonness = np.array([c.commonness for c in kb.concepts()])
+        assert commonness.max() > 6.0  # famous concepts exist
+
+    def test_default_taxonomy_full_build(self):
+        kb = build_synthetic_kb(
+            SyntheticKBConfig(concepts_per_domain=3, seed=8)
+        )
+        assert kb.num_domains == 26
+        assert kb.num_concepts >= 26 * 3

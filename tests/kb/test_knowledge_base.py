@@ -1,0 +1,105 @@
+"""Tests for the knowledge-base store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kb.concept import Concept
+from repro.kb.knowledge_base import KnowledgeBase, canonical_alias
+from repro.kb.taxonomy import DomainTaxonomy
+
+
+@pytest.fixture
+def kb():
+    tax = DomainTaxonomy(("politics", "sports", "films"))
+    return KnowledgeBase(tax)
+
+
+def _concept(cid, name, domains, commonness=1.0):
+    return Concept(
+        concept_id=cid,
+        name=name,
+        domain_indices=frozenset(domains),
+        commonness=commonness,
+    )
+
+
+class TestCanonicalAlias:
+    def test_lowercase_and_whitespace(self):
+        assert canonical_alias("  Michael   Jordan ") == "michael jordan"
+
+
+class TestKnowledgeBase:
+    def test_add_and_fetch(self, kb):
+        kb.add_concept(_concept(0, "Kobe Bryant", {1}))
+        assert kb.concept(0).name == "Kobe Bryant"
+        assert kb.num_concepts == 1
+
+    def test_duplicate_id_rejected(self, kb):
+        kb.add_concept(_concept(0, "A", {0}))
+        with pytest.raises(ValidationError):
+            kb.add_concept(_concept(0, "B", {1}))
+
+    def test_indicator_cached(self, kb):
+        kb.add_concept(_concept(0, "A", {1}))
+        np.testing.assert_array_equal(kb.indicator(0), [0, 1, 0])
+
+    def test_unknown_concept_rejected(self, kb):
+        with pytest.raises(ValidationError):
+            kb.concept(99)
+        with pytest.raises(ValidationError):
+            kb.indicator(99)
+
+    def test_candidates_share_alias(self, kb):
+        kb.add_concept(_concept(0, "Michael Jordan", {1}))
+        kb.add_concept(_concept(1, "Michael Jordan", {2}))
+        assert len(kb.candidates("michael jordan")) == 2
+
+    def test_candidates_case_insensitive(self, kb):
+        kb.add_concept(_concept(0, "NBA", {1}))
+        assert kb.has_alias("nba")
+        assert len(kb.candidates("NbA")) == 1
+
+    def test_extra_aliases(self, kb):
+        kb.add_concept(
+            _concept(0, "National Basketball Association", {1}),
+            aliases=["NBA", "the league"],
+        )
+        assert kb.has_alias("NBA")
+        assert kb.has_alias("the league")
+
+    def test_empty_alias_rejected(self, kb):
+        with pytest.raises(ValidationError):
+            kb.add_concept(_concept(0, "A", {0}), aliases=["  "])
+
+    def test_max_alias_tokens(self, kb):
+        kb.add_concept(_concept(0, "National Basketball Association", {1}))
+        assert kb.max_alias_tokens == 3
+
+    def test_concepts_in_domain(self, kb):
+        kb.add_concept(_concept(0, "A", {1}))
+        kb.add_concept(_concept(1, "B", {2}))
+        kb.add_concept(_concept(2, "C", {1, 2}))
+        sports = kb.concepts_in_domain(1)
+        assert {c.concept_id for c in sports} == {0, 2}
+
+    def test_concepts_in_domain_range_check(self, kb):
+        with pytest.raises(ValidationError):
+            kb.concepts_in_domain(3)
+
+    def test_ambiguous_aliases(self, kb):
+        kb.add_concept(_concept(0, "Jordan", {1}))
+        kb.add_concept(_concept(1, "Jordan", {0}))
+        kb.add_concept(_concept(2, "Kobe", {1}))
+        ambiguous = dict(kb.ambiguous_aliases())
+        assert set(ambiguous) == {"jordan"}
+        assert sorted(ambiguous["jordan"]) == [0, 1]
+
+    def test_out_of_range_domain_rejected_at_add(self, kb):
+        with pytest.raises(ValidationError):
+            kb.add_concept(_concept(0, "A", {7}))
+
+    def test_len(self, kb):
+        assert len(kb) == 0
+        kb.add_concept(_concept(0, "A", {0}))
+        assert len(kb) == 1

@@ -1,0 +1,66 @@
+"""Tests for the domain taxonomy."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.kb.taxonomy import (
+    DomainTaxonomy,
+    YAHOO_DOMAINS,
+    default_taxonomy,
+)
+
+
+class TestYahooDomains:
+    def test_exactly_26_domains(self):
+        # The paper uses the 26 Yahoo! Answers top-level categories.
+        assert len(YAHOO_DOMAINS) == 26
+
+    def test_sports_present(self):
+        assert "Sports" in YAHOO_DOMAINS
+
+    def test_unique(self):
+        assert len(set(YAHOO_DOMAINS)) == 26
+
+
+class TestDomainTaxonomy:
+    def test_default_size(self):
+        assert default_taxonomy().size == 26
+
+    def test_index_roundtrip(self):
+        tax = default_taxonomy()
+        for name in tax.domains:
+            assert tax.name_of(tax.index_of(name)) == name
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            default_taxonomy().index_of("Cryptozoology")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValidationError):
+            default_taxonomy().name_of(26)
+
+    def test_custom_taxonomy(self):
+        tax = DomainTaxonomy(("a", "b"))
+        assert tax.size == 2
+        assert tax.index_of("b") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            DomainTaxonomy(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError):
+            DomainTaxonomy(("a", "a"))
+
+    def test_contains(self):
+        tax = DomainTaxonomy(("a", "b"))
+        assert "a" in tax
+        assert "z" not in tax
+
+    def test_iteration_order(self):
+        tax = DomainTaxonomy(("x", "y", "z"))
+        assert list(tax) == ["x", "y", "z"]
+
+    def test_subset_indices(self):
+        tax = DomainTaxonomy(("x", "y", "z"))
+        assert tax.subset_indices(["z", "x"]) == [2, 0]

@@ -1,0 +1,31 @@
+"""Tests for candidate generation."""
+
+import numpy as np
+
+from repro.linking.candidates import generate_candidates
+
+
+class TestGenerateCandidates:
+    def test_all_senses_returned(self, paper_kb):
+        candidates = generate_candidates("michael jordan", paper_kb)
+        assert len(candidates) == 3
+
+    def test_priors_follow_commonness(self, paper_kb):
+        candidates = generate_candidates("michael jordan", paper_kb)
+        by_id = dict(
+            zip(
+                (c.concept_id for c in candidates.concepts),
+                candidates.priors,
+            )
+        )
+        assert by_id[0] == 0.7
+        assert by_id[1] == 0.2
+        assert by_id[2] == 0.1
+
+    def test_unknown_alias_empty(self, paper_kb):
+        assert len(generate_candidates("unknown thing", paper_kb)) == 0
+
+    def test_unambiguous_alias(self, paper_kb):
+        candidates = generate_candidates("kobe bryant", paper_kb)
+        assert len(candidates) == 1
+        np.testing.assert_array_equal(candidates.priors, [1.0])

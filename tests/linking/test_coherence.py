@@ -1,0 +1,87 @@
+"""Tests for coherence-aware linking (correlated concepts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dve import DomainVectorEstimator
+from repro.errors import ValidationError
+from repro.linking.coherence import CoherentEntityLinker
+from repro.linking.wikifier import EntityLinker
+
+
+@pytest.fixture
+def linkers(paper_kb):
+    base = EntityLinker(paper_kb)
+    return base, CoherentEntityLinker(base, coherence_weight=2.0)
+
+
+class TestCoherentEntityLinker:
+    def test_single_entity_unchanged(self, linkers):
+        base, coherent = linkers
+        a = base.link("Kobe Bryant")
+        b = coherent.link("Kobe Bryant")
+        np.testing.assert_allclose(
+            a[0].probabilities, b[0].probabilities
+        )
+
+    def test_zero_weight_is_identity(self, paper_kb):
+        base = EntityLinker(paper_kb)
+        passthrough = CoherentEntityLinker(base, coherence_weight=0.0)
+        text = "Michael Jordan NBA Kobe Bryant"
+        for a, b in zip(base.link(text), passthrough.link(text)):
+            np.testing.assert_allclose(a.probabilities, b.probabilities)
+
+    def test_coherence_boosts_shared_domain_sense(self, linkers):
+        """In 'Michael Jordan ... NBA ... Kobe Bryant', the basketball
+        sense of Michael Jordan shares the Sports domain with the other
+        entities and must gain probability under coherence."""
+        base, coherent = linkers
+        text = "Michael Jordan NBA Kobe Bryant"
+        independent = base.link(text)
+        joint = coherent.link(text)
+        jordan_before = dict(
+            zip(independent[0].concept_ids, independent[0].probabilities)
+        )
+        jordan_after = dict(
+            zip(joint[0].concept_ids, joint[0].probabilities)
+        )
+        # Concept 0 = the player (sports+films); concept 1 = the
+        # professor (no domains).
+        assert jordan_after[0] > jordan_before[0]
+        assert jordan_after[1] < jordan_before[1]
+
+    def test_distributions_stay_valid(self, linkers):
+        _, coherent = linkers
+        for entity in coherent.link("Michael Jordan NBA Kobe Bryant"):
+            assert entity.probabilities.sum() == pytest.approx(1.0)
+            assert np.all(entity.probabilities >= 0)
+
+    def test_reduces_linking_ambiguity(self, linkers, paper_kb):
+        """Coherence concentrates each mention's linking distribution
+        (entropy drops) for mutually reinforcing entities.
+
+        Note the *domain vector* is not guaranteed to sharpen — the
+        player's indicator spans Sports and Films, so boosting him can
+        legitimately move mass between domains; the invariant is about
+        the linking distributions.
+        """
+        from repro.utils.math import entropy_unchecked
+
+        base, coherent = linkers
+        text = "Michael Jordan NBA Kobe Bryant"
+        for before, after in zip(base.link(text), coherent.link(text)):
+            assert entropy_unchecked(after.probabilities) <= (
+                entropy_unchecked(before.probabilities) + 1e-9
+            )
+
+    def test_invalid_params(self, paper_kb):
+        base = EntityLinker(paper_kb)
+        with pytest.raises(ValidationError):
+            CoherentEntityLinker(base, coherence_weight=-1.0)
+        with pytest.raises(ValidationError):
+            CoherentEntityLinker(base, rounds=0)
+
+    def test_exposes_kb_and_top_c(self, linkers, paper_kb):
+        _, coherent = linkers
+        assert coherent.kb is paper_kb
+        assert coherent.top_c == 20

@@ -1,0 +1,53 @@
+"""Tests for context disambiguation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.linking.candidates import generate_candidates
+from repro.linking.disambiguate import score_candidates, truncate_top_c
+
+
+class TestScoreCandidates:
+    def test_context_boosts_matching_sense(self, paper_kb):
+        candidates = generate_candidates("michael jordan", paper_kb)
+        scores_sport = score_candidates(
+            candidates, ["championships", "basketball"]
+        )
+        scores_ml = score_candidates(
+            candidates, ["machine", "learning"]
+        )
+        ids = [c.concept_id for c in candidates.concepts]
+        player, professor = ids.index(0), ids.index(1)
+        # Sports context raises the player's relative score...
+        assert (
+            scores_sport[player] / scores_sport[professor]
+            > scores_ml[player] / scores_ml[professor]
+        )
+
+    def test_no_context_falls_back_to_priors(self, paper_kb):
+        candidates = generate_candidates("michael jordan", paper_kb)
+        scores = score_candidates(candidates, [])
+        np.testing.assert_allclose(
+            scores / scores.sum(),
+            candidates.priors / candidates.priors.sum(),
+        )
+
+    def test_invalid_smoothing_rejected(self, paper_kb):
+        candidates = generate_candidates("nba", paper_kb)
+        with pytest.raises(ValidationError):
+            score_candidates(candidates, [], smoothing=0.0)
+
+
+class TestTruncateTopC:
+    def test_orders_descending(self):
+        kept = truncate_top_c(np.array([0.1, 0.9, 0.5]), 2)
+        assert kept == [1, 2]
+
+    def test_keeps_all_when_c_large(self):
+        kept = truncate_top_c(np.array([0.3, 0.2]), 10)
+        assert kept == [0, 1]
+
+    def test_rejects_non_positive_c(self):
+        with pytest.raises(ValidationError):
+            truncate_top_c(np.array([1.0]), 0)

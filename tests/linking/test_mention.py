@@ -1,0 +1,54 @@
+"""Tests for mention detection."""
+
+import pytest
+
+from repro.linking.mention import Mention, context_tokens, detect_mentions
+
+
+class TestDetectMentions:
+    def test_detects_known_entities(self, paper_kb):
+        mentions = detect_mentions(
+            "Does Michael Jordan win more NBA championships than "
+            "Kobe Bryant?",
+            paper_kb,
+        )
+        surfaces = [m.surface for m in mentions]
+        assert surfaces == ["michael jordan", "nba", "kobe bryant"]
+
+    def test_longest_match_wins(self, paper_kb):
+        # "Michael Jordan" must match as one mention, not fragments.
+        mentions = detect_mentions("Michael Jordan", paper_kb)
+        assert len(mentions) == 1
+        assert mentions[0].token_length == 2
+
+    def test_no_overlap(self, paper_kb):
+        mentions = detect_mentions(
+            "Michael Jordan Michael Jordan", paper_kb
+        )
+        assert len(mentions) == 2
+        assert mentions[0].token_start == 0
+        assert mentions[1].token_start == 2
+
+    def test_no_entities(self, paper_kb):
+        assert detect_mentions("hello world nothing here", paper_kb) == []
+
+    def test_positions_recorded(self, paper_kb):
+        mentions = detect_mentions("I think NBA rocks", paper_kb)
+        assert mentions[0].token_start == 2
+        assert mentions[0].token_length == 1
+
+
+class TestContextTokens:
+    def test_excludes_mention_spans_and_stopwords(self, paper_kb):
+        text = "Does Michael Jordan win more NBA championships"
+        mentions = detect_mentions(text, paper_kb)
+        context = context_tokens(text, mentions)
+        assert "michael" not in context
+        assert "jordan" not in context
+        assert "nba" not in context
+        assert "does" not in context  # stopword
+        assert "championships" in context
+        assert "win" in context
+
+    def test_empty_text(self, paper_kb):
+        assert context_tokens("", []) == []

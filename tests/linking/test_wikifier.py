@@ -1,0 +1,75 @@
+"""Tests for the entity-linker facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.linking.wikifier import EntityLinker, LinkedEntity
+
+
+class TestEntityLinker:
+    def test_end_to_end_shapes(self, paper_kb):
+        linker = EntityLinker(paper_kb)
+        entities = linker.link(
+            "Does Michael Jordan win more NBA championships than "
+            "Kobe Bryant?"
+        )
+        assert len(entities) == 3
+        for entity in entities:
+            assert entity.probabilities.sum() == pytest.approx(1.0)
+            assert entity.indicators.shape == (
+                entity.num_candidates,
+                paper_kb.num_domains,
+            )
+
+    def test_sports_context_prefers_player(self, paper_kb):
+        linker = EntityLinker(paper_kb)
+        entities = linker.link(
+            "Does Michael Jordan win more NBA championships than "
+            "Kobe Bryant?"
+        )
+        jordan = entities[0]
+        best = jordan.concept_ids[int(np.argmax(jordan.probabilities))]
+        assert best == 0  # the basketball player
+
+    def test_top_c_truncation(self, paper_kb):
+        linker = EntityLinker(paper_kb, top_c=1)
+        entities = linker.link("Michael Jordan")
+        assert entities[0].num_candidates == 1
+        assert entities[0].probabilities[0] == pytest.approx(1.0)
+
+    def test_per_call_top_c_override(self, paper_kb):
+        linker = EntityLinker(paper_kb, top_c=20)
+        entities = linker.link("Michael Jordan", top_c=2)
+        assert entities[0].num_candidates == 2
+
+    def test_no_entities(self, paper_kb):
+        linker = EntityLinker(paper_kb)
+        assert linker.link("nothing to see here") == []
+
+    def test_invalid_top_c(self, paper_kb):
+        with pytest.raises(ValidationError):
+            EntityLinker(paper_kb, top_c=0)
+        linker = EntityLinker(paper_kb)
+        with pytest.raises(ValidationError):
+            linker.link("NBA", top_c=0)
+
+
+class TestLinkedEntity:
+    def test_misaligned_probabilities_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkedEntity(
+                surface="x",
+                concept_ids=(1, 2),
+                probabilities=np.array([1.0]),
+                indicators=np.zeros((2, 3)),
+            )
+
+    def test_misaligned_indicators_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkedEntity(
+                surface="x",
+                concept_ids=(1,),
+                probabilities=np.array([1.0]),
+                indicators=np.zeros((2, 3)),
+            )

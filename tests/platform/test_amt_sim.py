@@ -1,0 +1,85 @@
+"""Tests for the platform simulator."""
+
+import pytest
+
+from repro.baselines.engines import RandomBaselineEngine
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.datasets import make_dataset
+from repro.errors import ValidationError
+from repro.platform.amt_sim import PlatformSimulator
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = make_dataset("item", seed=31, tasks_per_domain=6)
+    active = tuple(d.taxonomy_index for d in dataset.domains)
+    pool = WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=10,
+            num_domains=dataset.taxonomy.size,
+            active_domains=active,
+            seed=32,
+        )
+    )
+    return dataset, pool
+
+
+class TestPlatformSimulator:
+    def test_budget_respected(self, world):
+        dataset, pool = world
+        simulator = PlatformSimulator(
+            dataset, pool, answers_per_task=4, hit_size=3, seed=33
+        )
+        report = simulator.run(RandomBaselineEngine())
+        assert report.total_answers == dataset.num_tasks * 4
+
+    def test_hit_log_consistent(self, world):
+        dataset, pool = world
+        simulator = PlatformSimulator(
+            dataset, pool, answers_per_task=2, hit_size=3, seed=34
+        )
+        report = simulator.run(RandomBaselineEngine())
+        assert report.hit_log.total_assignments() == report.total_answers
+        for hit in report.hit_log.all():
+            assert 1 <= len(hit.task_ids) <= 3
+
+    def test_deterministic(self, world):
+        dataset, pool = world
+        reports = []
+        for _ in range(2):
+            simulator = PlatformSimulator(
+                dataset, pool, answers_per_task=2, hit_size=3, seed=35
+            )
+            reports.append(simulator.run(RandomBaselineEngine(seed=1)))
+        assert reports[0].truths == reports[1].truths
+        assert reports[0].accuracy == reports[1].accuracy
+
+    def test_assignment_timing_recorded(self, world):
+        dataset, pool = world
+        simulator = PlatformSimulator(
+            dataset, pool, answers_per_task=2, hit_size=3, seed=36
+        )
+        report = simulator.run(RandomBaselineEngine())
+        assert report.max_assign_seconds >= report.mean_assign_seconds > 0
+
+    def test_invalid_parameters(self, world):
+        dataset, pool = world
+        with pytest.raises(ValidationError):
+            PlatformSimulator(dataset, pool, answers_per_task=0)
+        with pytest.raises(ValidationError):
+            PlatformSimulator(dataset, pool, hit_size=0)
+
+    def test_terminates_when_pool_exhausted(self, world):
+        """With a tiny per-worker cap the budget cannot be filled; the
+        simulator must stop instead of spinning."""
+        dataset, pool = world
+        simulator = PlatformSimulator(
+            dataset,
+            pool,
+            answers_per_task=9,
+            hit_size=3,
+            max_hits_per_worker=1,
+            seed=37,
+        )
+        report = simulator.run(RandomBaselineEngine())
+        assert report.total_answers <= 10 * 3  # 10 workers x 1 HIT x 3

@@ -1,0 +1,65 @@
+"""Tests for HIT logging and budget accounting."""
+
+import pytest
+
+from repro.errors import BudgetExhaustedError, ValidationError
+from repro.platform.budget import Budget
+from repro.platform.hit import DEFAULT_REWARD_PER_HIT, HIT, HITLog
+
+
+class TestHIT:
+    def test_requires_tasks(self):
+        with pytest.raises(ValidationError):
+            HIT(hit_id=0, worker_id="w", task_ids=())
+
+    def test_negative_reward_rejected(self):
+        with pytest.raises(ValidationError):
+            HIT(hit_id=0, worker_id="w", task_ids=(1,), reward=-0.1)
+
+
+class TestHITLog:
+    def test_issue_and_indexes(self):
+        log = HITLog()
+        log.issue("w1", [1, 2, 3])
+        log.issue("w2", [4])
+        log.issue("w1", [5, 6])
+        assert len(log) == 3
+        assert len(log.for_worker("w1")) == 2
+        assert log.total_assignments() == 6
+
+    def test_sequential_ids(self):
+        log = HITLog()
+        a = log.issue("w", [1])
+        b = log.issue("w", [2])
+        assert (a.hit_id, b.hit_id) == (0, 1)
+
+    def test_spend_accounting(self):
+        """Paper: 360 tasks x 10 answers / 20 per HIT x $0.1 = $18."""
+        log = HITLog()
+        for _ in range(360 * 10 // 20):
+            log.issue("w", list(range(20)))
+        assert log.total_spend() == pytest.approx(18.0)
+        assert DEFAULT_REWARD_PER_HIT == pytest.approx(0.10)
+
+
+class TestBudget:
+    def test_countdown(self):
+        budget = Budget(5)
+        budget.consume(3)
+        assert budget.remaining == 2
+        assert not budget.exhausted()
+        budget.consume(2)
+        assert budget.exhausted()
+
+    def test_overconsumption_rejected(self):
+        budget = Budget(2)
+        with pytest.raises(BudgetExhaustedError):
+            budget.consume(3)
+
+    def test_invalid_initialisation(self):
+        with pytest.raises(ValidationError):
+            Budget(0)
+
+    def test_negative_consume_rejected(self):
+        with pytest.raises(ValidationError):
+            Budget(1).consume(-1)

@@ -1,0 +1,157 @@
+"""Tests for the SQLite-backed storage (durable variant of the tables)."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer
+from repro.errors import UnknownWorkerError, ValidationError
+from repro.platform.sqlite_storage import (
+    SqliteAnswerTable,
+    SqliteWorkerQualityStore,
+)
+
+
+@pytest.fixture
+def table():
+    t = SqliteAnswerTable(":memory:")
+    yield t
+    t.close()
+
+
+@pytest.fixture
+def store():
+    s = SqliteWorkerQualityStore(3, ":memory:")
+    yield s
+    s.close()
+
+
+class TestSqliteAnswerTable:
+    def test_insert_and_indexes(self, table):
+        table.insert(Answer("w1", 0, 1))
+        table.insert(Answer("w2", 0, 2))
+        table.insert(Answer("w1", 1, 1))
+        assert len(table) == 3
+        assert len(table.for_task(0)) == 2
+        assert len(table.for_worker("w1")) == 2
+        assert table.tasks_answered_by("w1") == {0, 1}
+        assert table.count_for_task(0) == 2
+
+    def test_repeat_answer_rejected(self, table):
+        table.insert(Answer("w", 0, 1))
+        with pytest.raises(ValidationError):
+            table.insert(Answer("w", 0, 2))
+
+    def test_arrival_order(self, table):
+        for i in range(5):
+            table.insert(Answer(f"w{i}", 0, 1))
+        workers = [a.worker_id for a in table.for_task(0)]
+        assert workers == [f"w{i}" for i in range(5)]
+
+    def test_has_answered(self, table):
+        table.insert(Answer("w", 3, 1))
+        assert table.has_answered("w", 3)
+        assert not table.has_answered("w", 4)
+
+    def test_all_roundtrips_answer_objects(self, table):
+        answer = Answer("w", 7, 2)
+        table.insert(answer)
+        assert table.all() == [answer]
+
+    def test_durable_across_connections(self, tmp_path):
+        path = str(tmp_path / "answers.db")
+        first = SqliteAnswerTable(path)
+        first.insert(Answer("w", 0, 1))
+        first.close()
+        second = SqliteAnswerTable(path)
+        assert len(second) == 1
+        assert second.has_answered("w", 0)
+        second.close()
+
+
+class TestSqliteWorkerQualityStore:
+    def test_unknown_worker(self, store):
+        with pytest.raises(UnknownWorkerError):
+            store.get("ghost")
+        np.testing.assert_allclose(
+            store.quality_or_default("ghost"), [0.7] * 3
+        )
+
+    def test_set_get_roundtrip(self, store):
+        store.set(
+            "w", np.array([0.9, 0.5, 0.2]), np.array([3.0, 1.0, 0.0])
+        )
+        stats = store.get("w")
+        np.testing.assert_allclose(stats.quality, [0.9, 0.5, 0.2])
+        np.testing.assert_allclose(stats.weight, [3.0, 1.0, 0.0])
+
+    def test_zero_weight_defaults(self, store):
+        store.set(
+            "w", np.array([0.9, 0.5, 0.2]), np.array([3.0, 1.0, 0.0])
+        )
+        quality = store.quality_or_default("w")
+        assert quality[2] == pytest.approx(0.7)
+
+    def test_theorem1_merge_matches_memory_store(self, store):
+        from repro.core.quality_store import WorkerQualityStore
+
+        memory = WorkerQualityStore(3)
+        batches = [
+            (np.array([0.8, 0.6, 0.4]), np.array([2.0, 1.0, 0.5])),
+            (np.array([0.5, 0.9, 0.7]), np.array([1.0, 3.0, 0.0])),
+        ]
+        for quality, weight in batches:
+            store.merge("w", quality, weight)
+            memory.merge("w", quality, weight)
+        np.testing.assert_allclose(
+            store.get("w").quality, memory.get("w").quality
+        )
+        np.testing.assert_allclose(
+            store.get("w").weight, memory.get("w").weight
+        )
+
+    def test_blended_quality(self, store):
+        store.set(
+            "w", np.array([1.0, 0.0, 0.7]), np.array([9.0, 0.0, 1.0])
+        )
+        blended = store.blended_quality("w", pseudo_weight=1.0)
+        assert blended[0] == pytest.approx((9.0 + 0.7) / 10)
+        assert blended[1] == pytest.approx(0.7)
+
+    def test_golden_initialisation(self, store):
+        stats = store.initialize_from_golden(
+            "w",
+            golden_answers={0: 1, 1: 1},
+            golden_truths={0: 1, 1: 2},
+            domain_vectors={
+                0: np.array([1.0, 0.0, 0.0]),
+                1: np.array([1.0, 0.0, 0.0]),
+            },
+        )
+        # 1 of 2 correct with unit shrinkage: (1 + 0.7) / 3.
+        assert stats.quality[0] == pytest.approx(1.7 / 3)
+
+    def test_durable_across_connections(self, tmp_path):
+        path = str(tmp_path / "workers.db")
+        first = SqliteWorkerQualityStore(2, path)
+        first.set("w", np.array([0.9, 0.4]), np.array([5.0, 2.0]))
+        first.close()
+        second = SqliteWorkerQualityStore(2, path)
+        assert "w" in second
+        np.testing.assert_allclose(
+            second.get("w").quality, [0.9, 0.4]
+        )
+        second.close()
+
+    def test_known_workers_and_snapshot(self, store):
+        store.set("a", np.full(3, 0.5), np.ones(3))
+        store.set("b", np.full(3, 0.6), np.ones(3))
+        assert set(store.known_workers()) == {"a", "b"}
+        assert set(store.snapshot()) == {"a", "b"}
+
+    def test_validation(self, store):
+        with pytest.raises(ValidationError):
+            store.set("w", np.array([0.5]), np.array([1.0]))
+        with pytest.raises(ValidationError):
+            store.merge("w", np.full(3, 0.5), np.array([-1.0, 0, 0]))
+        with pytest.raises(ValidationError):
+            SqliteWorkerQualityStore(0)

@@ -1,0 +1,92 @@
+"""Tests for the platform storage tables."""
+
+import pytest
+
+from repro.core.types import Answer, Task
+from repro.errors import UnknownTaskError, ValidationError
+from repro.platform.storage import AnswerTable, SystemDatabase
+
+
+class TestAnswerTable:
+    def test_insert_and_indexes(self):
+        table = AnswerTable()
+        table.insert(Answer("w1", 0, 1))
+        table.insert(Answer("w2", 0, 2))
+        table.insert(Answer("w1", 1, 1))
+        assert len(table) == 3
+        assert len(table.for_task(0)) == 2
+        assert len(table.for_worker("w1")) == 2
+        assert table.tasks_answered_by("w1") == {0, 1}
+        assert table.count_for_task(0) == 2
+
+    def test_repeat_answer_rejected(self):
+        table = AnswerTable()
+        table.insert(Answer("w", 0, 1))
+        with pytest.raises(ValidationError):
+            table.insert(Answer("w", 0, 2))
+
+    def test_has_answered(self):
+        table = AnswerTable()
+        table.insert(Answer("w", 0, 1))
+        assert table.has_answered("w", 0)
+        assert not table.has_answered("w", 1)
+
+    def test_arrival_order_preserved(self):
+        table = AnswerTable()
+        for i in range(5):
+            table.insert(Answer(f"w{i}", 0, 1))
+        workers = [a.worker_id for a in table.for_task(0)]
+        assert workers == [f"w{i}" for i in range(5)]
+
+    def test_empty_lookups(self):
+        table = AnswerTable()
+        assert table.for_task(9) == []
+        assert table.for_worker("x") == []
+        assert table.count_for_task(9) == 0
+
+
+class TestSystemDatabase:
+    def _task(self, task_id, truth=1):
+        return Task(
+            task_id=task_id,
+            text=f"t{task_id}",
+            num_choices=2,
+            ground_truth=truth,
+        )
+
+    def test_insert_and_fetch(self):
+        db = SystemDatabase()
+        db.insert_task(self._task(0))
+        assert db.task(0).task_id == 0
+        assert len(db) == 1
+
+    def test_duplicate_task_rejected(self):
+        db = SystemDatabase()
+        db.insert_task(self._task(0))
+        with pytest.raises(ValidationError):
+            db.insert_task(self._task(0))
+
+    def test_unknown_task_raises(self):
+        db = SystemDatabase()
+        with pytest.raises(UnknownTaskError):
+            db.task(5)
+
+    def test_tasks_ordered_by_id(self):
+        db = SystemDatabase()
+        db.insert_tasks([self._task(3), self._task(1), self._task(2)])
+        assert [t.task_id for t in db.tasks()] == [1, 2, 3]
+        assert db.task_ids() == [1, 2, 3]
+
+    def test_golden_registry(self):
+        db = SystemDatabase()
+        db.insert_tasks([self._task(0), self._task(1)])
+        db.mark_golden([1])
+        assert db.golden_ids == [1]
+
+    def test_golden_without_truth_rejected(self):
+        db = SystemDatabase()
+        db.insert_task(
+            Task(task_id=0, text="t", num_choices=2)
+        )
+        with pytest.raises(ValidationError):
+            db.mark_golden([0])

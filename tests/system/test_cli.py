@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("item", "4d", "qa", "sfv"):
+            assert name in out
+
+    def test_detect_command(self, capsys):
+        assert main(["detect", "--dataset", "item", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "domain detection" in out
+
+    def test_demo_command_small(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--dataset",
+                "item",
+                "--seed",
+                "3",
+                "--answers-per-task",
+                "2",
+                "--hit-size",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig5_ti_comparison.txt").write_text("table body\n")
+        out_file = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--results-dir",
+                str(results),
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert "table body" in out_file.read_text()
+
+    def test_report_missing_dir_raises(self, tmp_path):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["report", "--results-dir", str(tmp_path / "none")])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "--dataset", "bogus"])

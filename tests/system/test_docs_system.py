@@ -1,0 +1,165 @@
+"""Tests for the assembled DOCS system."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.datasets import make_dataset
+from repro.errors import ValidationError
+from repro.platform.amt_sim import PlatformSimulator
+from repro.system import CampaignResult, DocsConfig, DocsSystem, run_campaign
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("4d", seed=21, tasks_per_domain=10)
+
+
+@pytest.fixture(scope="module")
+def module_pool():
+    ds = make_dataset("4d", seed=21, tasks_per_domain=10)
+    active = tuple(d.taxonomy_index for d in ds.domains)
+    return WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=12,
+            num_domains=ds.taxonomy.size,
+            active_domains=active,
+            seed=22,
+        )
+    )
+
+
+class TestDocsConfig:
+    def test_defaults_follow_paper(self):
+        config = DocsConfig()
+        assert config.hit_size == 20
+        assert config.golden_count == 20
+        assert config.rerun_interval == 100
+        assert config.top_c == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hit_size": 0},
+            {"golden_count": -1},
+            {"rerun_interval": 0},
+            {"top_c": 0},
+            {"default_quality": 0.0},
+            {"ti_max_iterations": 0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValidationError):
+            DocsConfig(**kwargs).validate()
+
+
+class TestLifecycle:
+    def test_prepare_computes_domain_vectors_and_golden(self, dataset):
+        system = DocsSystem(DocsConfig(golden_count=8))
+        system.prepare(dataset)
+        assert all(t.domain_vector is not None for t in dataset.tasks)
+        assert len(system.golden_task_ids()) == 8
+
+    def test_unprepared_access_rejected(self):
+        system = DocsSystem()
+        with pytest.raises(ValidationError):
+            system.assign("w", 1)
+        with pytest.raises(ValidationError):
+            system.database
+
+    def test_bootstrap_initialises_quality(self, dataset):
+        system = DocsSystem(DocsConfig(golden_count=8))
+        system.prepare(dataset)
+        assert system.needs_bootstrap("w")
+        golden_answers = [
+            Answer("w", tid, dataset.task_by_id(tid).ground_truth)
+            for tid in system.golden_task_ids()
+        ]
+        system.bootstrap("w", golden_answers)
+        assert not system.needs_bootstrap("w")
+        quality = system.quality_store.quality_or_default("w")
+        # Perfect golden answers push quality above the default in the
+        # covered domains.
+        assert quality.max() > 0.7
+
+    def test_assign_excludes_answered(self, dataset):
+        system = DocsSystem(DocsConfig(golden_count=0))
+        system.prepare(dataset)
+        first = system.assign("w", 4)
+        for tid in first:
+            system.submit(Answer("w", tid, 1))
+        second = system.assign("w", 4)
+        assert not set(first) & set(second)
+
+    def test_submit_updates_truth(self, dataset):
+        system = DocsSystem(DocsConfig(golden_count=0))
+        system.prepare(dataset)
+        tid = dataset.tasks[0].task_id
+        before = system._incremental.state(tid).s.copy()
+        system.submit(Answer("w", tid, 1))
+        after = system._incremental.state(tid).s
+        assert not np.allclose(before, after)
+
+    def test_periodic_full_rerun(self, dataset):
+        system = DocsSystem(
+            DocsConfig(golden_count=0, rerun_interval=5)
+        )
+        system.prepare(dataset)
+        workers = [f"w{i}" for i in range(6)]
+        count = 0
+        for tid in [t.task_id for t in dataset.tasks[:5]]:
+            for worker in workers[:2]:
+                system.submit(Answer(worker, tid, 1))
+                count += 1
+        # 10 submissions with interval 5: the counter must have reset.
+        assert system._submissions_since_rerun < 5
+
+    def test_finalize_covers_all_tasks(self, dataset):
+        system = DocsSystem(DocsConfig(golden_count=0))
+        system.prepare(dataset)
+        system.submit(Answer("w", dataset.tasks[0].task_id, 1))
+        truths = system.finalize()
+        assert set(truths) == {t.task_id for t in dataset.tasks}
+
+
+class TestEndToEnd:
+    def test_full_campaign_beats_random_baseline(
+        self, dataset, module_pool
+    ):
+        from repro.baselines.engines import RandomBaselineEngine
+
+        docs_sim = PlatformSimulator(
+            dataset,
+            module_pool,
+            answers_per_task=5,
+            hit_size=3,
+            seed=23,
+        )
+        docs_report = docs_sim.run(
+            DocsSystem(DocsConfig(golden_count=8, rerun_interval=50))
+        )
+        baseline_ds = make_dataset("4d", seed=21, tasks_per_domain=10)
+        baseline_sim = PlatformSimulator(
+            baseline_ds,
+            module_pool,
+            answers_per_task=5,
+            hit_size=3,
+            seed=23,
+        )
+        baseline_report = baseline_sim.run(RandomBaselineEngine(seed=1))
+        assert docs_report.accuracy > baseline_report.accuracy
+        assert docs_report.total_answers == dataset.num_tasks * 5
+
+    def test_run_campaign_convenience(self):
+        dataset = make_dataset("item", seed=24, tasks_per_domain=5)
+        result = run_campaign(
+            dataset,
+            answers_per_task=3,
+            hit_size=3,
+            config=DocsConfig(golden_count=5, rerun_interval=50),
+            seed=25,
+        )
+        assert isinstance(result, CampaignResult)
+        assert set(result.truths) == {t.task_id for t in dataset.tasks}
+        assert 0.0 <= result.accuracy() <= 1.0

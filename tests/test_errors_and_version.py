@@ -1,0 +1,54 @@
+"""Tests for the error hierarchy and package metadata."""
+
+import pytest
+
+from repro import PAPER_REFERENCE, __version__
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    ReproError,
+    UnknownTaskError,
+    UnknownWorkerError,
+    ValidationError,
+    WorkBudgetExceeded,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ValidationError,
+            ConfigurationError,
+            BudgetExhaustedError,
+            UnknownWorkerError,
+            UnknownTaskError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        # Callers using plain `except ValueError` still catch it.
+        assert issubclass(ValidationError, ValueError)
+
+    def test_unknown_lookups_are_key_errors(self):
+        assert issubclass(UnknownWorkerError, KeyError)
+        assert issubclass(UnknownTaskError, KeyError)
+
+    def test_work_budget_carries_counts(self):
+        error = WorkBudgetExceeded(operations=100, limit=10)
+        assert error.operations == 100
+        assert error.limit == 10
+        assert "100" in str(error)
+
+
+class TestMetadata:
+    def test_version_is_semver_like(self):
+        parts = __version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_paper_reference_names_the_paper(self):
+        assert "DOCS" in PAPER_REFERENCE
+        assert "PVLDB" in PAPER_REFERENCE

@@ -1,0 +1,91 @@
+"""Tests for the collapsed-Gibbs LDA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.topics.lda import LatentDirichletAllocation
+
+
+def two_topic_corpus(docs_per_topic=30, seed=0):
+    """A trivially separable corpus: sports words vs cooking words."""
+    rng = np.random.default_rng(seed)
+    sports = ["championship", "playoff", "coach", "stadium", "league"]
+    cooking = ["recipe", "flavor", "spice", "baking", "sauce"]
+    texts = []
+    labels = []
+    for _ in range(docs_per_topic):
+        texts.append(" ".join(rng.choice(sports, size=6)))
+        labels.append(0)
+        texts.append(" ".join(rng.choice(cooking, size=6)))
+        labels.append(1)
+    return texts, labels
+
+
+class TestLDA:
+    def test_separable_corpus_clusters(self):
+        texts, labels = two_topic_corpus()
+        lda = LatentDirichletAllocation(
+            num_topics=2, iterations=60, seed=1
+        )
+        result = lda.fit(texts)
+        topics = result.document_topics.argmax(axis=1)
+        # Topics are label-permuted; check purity instead of identity.
+        agreement = np.mean(topics == np.array(labels))
+        purity = max(agreement, 1 - agreement)
+        assert purity > 0.9
+
+    def test_theta_rows_are_distributions(self):
+        texts, _ = two_topic_corpus(docs_per_topic=10)
+        result = LatentDirichletAllocation(
+            num_topics=3, iterations=20, seed=2
+        ).fit(texts)
+        np.testing.assert_allclose(
+            result.document_topics.sum(axis=1),
+            np.ones(len(texts)),
+            atol=1e-9,
+        )
+
+    def test_phi_rows_are_distributions(self):
+        texts, _ = two_topic_corpus(docs_per_topic=10)
+        result = LatentDirichletAllocation(
+            num_topics=2, iterations=20, seed=3
+        ).fit(texts)
+        np.testing.assert_allclose(
+            result.topic_words.sum(axis=1), [1.0, 1.0], atol=1e-9
+        )
+
+    def test_log_likelihood_improves(self):
+        texts, _ = two_topic_corpus()
+        result = LatentDirichletAllocation(
+            num_topics=2, iterations=40, seed=4
+        ).fit(texts)
+        trace = result.log_likelihood_trace
+        assert trace[-1] > trace[0]
+
+    def test_deterministic_given_seed(self):
+        texts, _ = two_topic_corpus(docs_per_topic=5)
+        a = LatentDirichletAllocation(
+            num_topics=2, iterations=10, seed=5
+        ).fit(texts)
+        b = LatentDirichletAllocation(
+            num_topics=2, iterations=10, seed=5
+        ).fit(texts)
+        np.testing.assert_allclose(
+            a.document_topics, b.document_topics
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            LatentDirichletAllocation(num_topics=0)
+        with pytest.raises(ValidationError):
+            LatentDirichletAllocation(num_topics=2, alpha=0.0)
+        with pytest.raises(ValidationError):
+            LatentDirichletAllocation(num_topics=2, iterations=0)
+
+    def test_dominant_topic_helper(self):
+        texts, _ = two_topic_corpus(docs_per_topic=5)
+        result = LatentDirichletAllocation(
+            num_topics=2, iterations=10, seed=6
+        ).fit(texts)
+        assert result.dominant_topic(0) in (0, 1)

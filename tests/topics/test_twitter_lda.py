@@ -1,0 +1,57 @@
+"""Tests for TwitterLDA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.topics.twitter_lda import TwitterLDA
+from tests.topics.test_lda import two_topic_corpus
+
+
+class TestTwitterLDA:
+    def test_separable_corpus_clusters(self):
+        texts, labels = two_topic_corpus()
+        model = TwitterLDA(
+            num_topics=2, iterations=40, burn_in=10, seed=1
+        )
+        result = model.fit(texts)
+        topics = result.document_topics.argmax(axis=1)
+        agreement = np.mean(topics == np.array(labels))
+        purity = max(agreement, 1 - agreement)
+        assert purity > 0.9
+
+    def test_document_topics_are_distributions(self):
+        texts, _ = two_topic_corpus(docs_per_topic=8)
+        result = TwitterLDA(
+            num_topics=3, iterations=15, burn_in=5, seed=2
+        ).fit(texts)
+        np.testing.assert_allclose(
+            result.document_topics.sum(axis=1),
+            np.ones(len(texts)),
+            atol=1e-9,
+        )
+
+    def test_background_distribution_valid(self):
+        texts, _ = two_topic_corpus(docs_per_topic=8)
+        result = TwitterLDA(
+            num_topics=2, iterations=15, burn_in=5, seed=3
+        ).fit(texts)
+        assert result.background_words.sum() == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        texts, _ = two_topic_corpus(docs_per_topic=5)
+        a = TwitterLDA(num_topics=2, iterations=10, burn_in=2, seed=4).fit(
+            texts
+        )
+        b = TwitterLDA(num_topics=2, iterations=10, burn_in=2, seed=4).fit(
+            texts
+        )
+        np.testing.assert_allclose(a.document_topics, b.document_topics)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            TwitterLDA(num_topics=0)
+        with pytest.raises(ValidationError):
+            TwitterLDA(num_topics=2, gamma=0.0)
+        with pytest.raises(ValidationError):
+            TwitterLDA(num_topics=2, iterations=5, burn_in=5)

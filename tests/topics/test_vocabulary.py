@@ -1,0 +1,47 @@
+"""Tests for the topic-model vocabulary."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.topics.vocabulary import Vocabulary
+
+
+class TestVocabulary:
+    def test_build_and_encode(self):
+        vocab = Vocabulary.from_texts(
+            ["the engine roars", "the engine stalls"]
+        )
+        assert "engine" in vocab
+        assert "the" not in vocab  # stopword
+        encoded = vocab.encode("engine stalls")
+        assert len(encoded) == 2
+
+    def test_min_count_filters_rare(self):
+        vocab = Vocabulary.from_texts(
+            ["engine engine", "turbo"], min_count=2
+        )
+        assert "engine" in vocab
+        assert "turbo" not in vocab
+
+    def test_encode_skips_oov(self):
+        vocab = Vocabulary.from_texts(["engine"])
+        assert vocab.encode("engine unknown") == [vocab.encode("engine")[0]]
+
+    def test_token_roundtrip(self):
+        vocab = Vocabulary.from_texts(["alpha beta gamma"])
+        for token_id in range(vocab.size):
+            token = vocab.token(token_id)
+            assert vocab.encode(token) == [token_id]
+
+    def test_token_out_of_range(self):
+        vocab = Vocabulary.from_texts(["alpha"])
+        with pytest.raises(ValidationError):
+            vocab.token(5)
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValidationError):
+            Vocabulary(min_count=0)
+
+    def test_len(self):
+        vocab = Vocabulary.from_texts(["alpha beta"])
+        assert len(vocab) == 2

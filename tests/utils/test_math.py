@@ -1,0 +1,164 @@
+"""Tests for repro.utils.math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.math import (
+    entropy,
+    entropy_unchecked,
+    is_distribution,
+    kl_divergence,
+    normalize,
+    safe_log,
+    uniform_distribution,
+)
+
+
+class TestEntropy:
+    def test_uniform_is_maximal(self):
+        assert entropy([0.5, 0.5]) == pytest.approx(np.log(2))
+
+    def test_point_mass_is_zero(self):
+        assert entropy([1.0, 0.0]) == pytest.approx(0.0)
+
+    def test_zero_entries_contribute_nothing(self):
+        assert entropy([0.5, 0.5, 0.0]) == pytest.approx(np.log(2))
+
+    def test_known_value(self):
+        # H([0.25, 0.75]) = -0.25 ln 0.25 - 0.75 ln 0.75
+        expected = -0.25 * np.log(0.25) - 0.75 * np.log(0.75)
+        assert entropy([0.25, 0.75]) == pytest.approx(expected)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            entropy([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            entropy([-0.5, 1.5])
+
+    def test_rejects_non_normalised(self):
+        with pytest.raises(ValidationError):
+            entropy([0.3, 0.3])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_entropy_bounds(self, weights):
+        dist = normalize(weights)
+        h = entropy(dist)
+        assert -1e-9 <= h <= np.log(len(weights)) + 1e-9
+
+    def test_unchecked_matches_checked(self):
+        dist = np.array([0.2, 0.3, 0.5])
+        assert entropy_unchecked(dist) == pytest.approx(entropy(dist))
+
+
+class TestKlDivergence:
+    def test_identical_distributions_zero(self):
+        p = np.array([0.3, 0.7])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        expected = 0.5 * np.log(2) + 0.5 * np.log(0.5 / 0.75)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_zero_sigma_terms_ignored(self):
+        assert kl_divergence([0.0, 1.0], [0.5, 0.5]) == pytest.approx(
+            np.log(2)
+        )
+
+    def test_infinite_when_support_mismatch(self):
+        assert kl_divergence([0.5, 0.5], [1.0, 0.0]) == float("inf")
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            kl_divergence([0.5, 0.5], [1.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=2,
+            max_size=6,
+        ),
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=2,
+            max_size=6,
+        ),
+    )
+    def test_non_negative(self, w1, w2):
+        size = min(len(w1), len(w2))
+        p = normalize(w1[:size])
+        q = normalize(w2[:size])
+        assert kl_divergence(p, q) >= -1e-9
+
+
+class TestNormalize:
+    def test_basic(self):
+        np.testing.assert_allclose(
+            normalize([1.0, 3.0]), [0.25, 0.75]
+        )
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            normalize([0.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            normalize([-1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            normalize([])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=100.0),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_result_is_distribution(self, weights):
+        assert is_distribution(normalize(weights))
+
+
+class TestUniformDistribution:
+    def test_values(self):
+        np.testing.assert_allclose(uniform_distribution(4), [0.25] * 4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            uniform_distribution(0)
+
+
+class TestSafeLog:
+    def test_zero_maps_to_huge_negative(self):
+        assert safe_log(np.array([0.0]))[0] < -600
+
+    def test_positive_matches_log(self):
+        assert safe_log(np.array([2.0]))[0] == pytest.approx(np.log(2))
+
+    def test_x_log_x_at_zero(self):
+        x = np.array([0.0, 0.5])
+        product = x * safe_log(x)
+        assert product[0] == 0.0
+
+
+class TestIsDistribution:
+    def test_accepts_valid(self):
+        assert is_distribution([0.5, 0.5])
+
+    def test_rejects_unnormalised(self):
+        assert not is_distribution([0.5, 0.2])
+
+    def test_rejects_empty(self):
+        assert not is_distribution([])

@@ -1,0 +1,102 @@
+"""Tests for the text utilities."""
+
+import pytest
+
+from repro.utils.text import (
+    STOPWORDS,
+    content_tokens,
+    cosine_similarity,
+    jaccard_similarity,
+    ngrams,
+    term_frequencies,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Stephen Curry") == ["stephen", "curry"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("Is Stephen Curry a PF?") == [
+            "is", "stephen", "curry", "a", "pf",
+        ]
+
+    def test_keeps_apostrophes_and_digits(self):
+        assert tokenize("O'Neal scored 61") == ["o'neal", "scored", "61"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestContentTokens:
+    def test_removes_stopwords(self):
+        tokens = content_tokens("Is the engine of the car fast")
+        assert "the" not in tokens
+        assert "engine" in tokens
+
+    def test_all_stopwords(self):
+        assert content_tokens("is the a an") == []
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity("a b c", "a b c") == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity("a b", "c d") == 0.0
+
+    def test_partial(self):
+        # {compare, height} vs {compare, weight}: 1 shared of 3 total.
+        assert jaccard_similarity(
+            "compare height", "compare weight"
+        ) == pytest.approx(1 / 3)
+
+    def test_paper_motivating_example(self):
+        # High surface similarity, different true domains (Section 1).
+        players = "Compare the height of Stephen Curry and Kobe Bryant."
+        mountains = "Compare the height of Mount Everest and K2."
+        assert jaccard_similarity(players, mountains) > 0.3
+
+    def test_both_empty(self):
+        assert jaccard_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_similarity("a", "") == 0.0
+
+
+class TestCosine:
+    def test_identical_bags(self):
+        assert cosine_similarity(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(["a"], ["b"]) == 0.0
+
+    def test_empty(self):
+        assert cosine_similarity([], ["a"]) == 0.0
+
+    def test_frequency_weighting(self):
+        high = cosine_similarity(["a", "a", "b"], ["a", "a", "c"])
+        low = cosine_similarity(["a", "b", "b"], ["a", "c", "c"])
+        assert high > low
+
+
+class TestNgrams:
+    def test_longest_first_at_each_start(self):
+        grams = list(ngrams(["a", "b", "c"], max_n=2))
+        # At start 0 the bigram precedes the unigram.
+        assert grams[0] == (0, 2, "a b")
+        assert grams[1] == (0, 1, "a")
+
+    def test_respects_bounds(self):
+        grams = list(ngrams(["a", "b"], max_n=5))
+        lengths = {g[1] for g in grams}
+        assert lengths == {1, 2}
+
+
+class TestTermFrequencies:
+    def test_counts(self):
+        assert term_frequencies(["a", "b", "a"]) == {"a": 2, "b": 1}
+
+    def test_empty(self):
+        assert term_frequencies([]) == {}

@@ -1,0 +1,69 @@
+"""Tests for the linear top-k selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.topk import top_k_indices
+
+
+class TestTopKIndices:
+    def test_basic_selection(self):
+        values = [1.0, 5.0, 3.0, 4.0]
+        np.testing.assert_array_equal(
+            top_k_indices(values, 2), [1, 3]
+        )
+
+    def test_full_selection_sorted(self):
+        values = [2.0, 9.0, 4.0]
+        np.testing.assert_array_equal(
+            top_k_indices(values, 3), [1, 2, 0]
+        )
+
+    def test_k_zero(self):
+        assert top_k_indices([1.0, 2.0], 0).size == 0
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValidationError):
+            top_k_indices([1.0], 2)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValidationError):
+            top_k_indices([1.0], -1)
+
+    def test_ties_break_by_index(self):
+        values = [5.0, 5.0, 5.0, 1.0]
+        np.testing.assert_array_equal(
+            top_k_indices(values, 2), [0, 1]
+        )
+
+    def test_single_element(self):
+        np.testing.assert_array_equal(top_k_indices([7.0], 1), [0])
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        st.data(),
+    )
+    def test_matches_argsort(self, values, data):
+        k = data.draw(st.integers(min_value=0, max_value=len(values)))
+        selected = top_k_indices(values, k)
+        arr = np.asarray(values)
+        # The selected values must be the k largest (as a multiset).
+        expected = np.sort(arr)[::-1][:k]
+        np.testing.assert_allclose(
+            np.sort(arr[selected])[::-1], expected
+        )
+        # And reported in non-increasing order.
+        assert all(
+            arr[selected[i]] >= arr[selected[i + 1]] - 1e-12
+            for i in range(len(selected) - 1)
+        )

@@ -1,0 +1,65 @@
+"""Tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    require_choice_index,
+    require_distribution,
+    require_in_unit_interval,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestRequirePositive:
+    def test_accepts(self):
+        assert require_positive(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_positive(0, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequireUnitInterval:
+    def test_accepts_bounds(self):
+        assert require_in_unit_interval(0.0, "x") == 0.0
+        assert require_in_unit_interval(1.0, "x") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            require_in_unit_interval(1.01, "x")
+
+
+class TestRequireDistribution:
+    def test_accepts(self):
+        out = require_distribution([0.5, 0.5], "d")
+        assert isinstance(out, np.ndarray)
+
+    def test_rejects(self):
+        with pytest.raises(ValidationError):
+            require_distribution([0.5, 0.4], "d")
+
+
+class TestRequireChoiceIndex:
+    def test_accepts_one_based(self):
+        assert require_choice_index(1, 2, "v") == 1
+        assert require_choice_index(2, 2, "v") == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_choice_index(0, 2, "v")
+
+    def test_rejects_above(self):
+        with pytest.raises(ValidationError):
+            require_choice_index(3, 2, "v")
