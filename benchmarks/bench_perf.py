@@ -1,0 +1,315 @@
+"""Arena vs pre-arena serving-path benchmark (the PR's ≥5x criterion).
+
+Drives an identical simulated campaign — workers arrive round-robin,
+each gets a benefit-ranked HIT, submits answers, and the full iterative
+TI re-runs every ``z`` submissions — through two implementations:
+
+- **arena**: the structure-of-arrays serving path
+  (:class:`repro.core.incremental.IncrementalTruthInference` over a
+  :class:`repro.core.arena.StateArena`, arena-direct assignment,
+  :meth:`TruthInference.infer_from_log` re-runs);
+- **legacy**: the pre-arena per-object path, snapshotted verbatim in
+  :mod:`repro.core.reference` — per-object incremental updates,
+  candidate-list assignment that stacks task state per arrival and
+  evaluates the old 4-D benefit tensor, and full-TI re-runs that
+  re-index the whole answer list per call.
+
+Both paths make identical HIT selections and draw identical simulated
+answers, so their inferred truths must match exactly — checked on every
+run. Reported per path: mean/worst assign latency, submit throughput,
+mean full-rerun time, and end-to-end wall time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke   # CI gate
+    PYTHONPATH=src python benchmarks/bench_perf.py           # full, writes
+                                                             # BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from collections import defaultdict
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.arena import AnswerLog
+from repro.core.assignment import TaskAssigner
+from repro.core.incremental import IncrementalTruthInference
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.reference import (
+    ReferenceIncrementalTruthInference,
+    reference_assign,
+    reference_infer,
+)
+from repro.core.truth_inference import TruthInference
+from repro.core.types import Answer, Task
+from repro.utils.rng import make_rng
+
+NUM_DOMAINS = 20
+NUM_CHOICES = 2
+NUM_WORKERS = 60
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_perf.json"
+)
+
+
+def _make_tasks(n: int, rng) -> List[Task]:
+    return [
+        Task(
+            task_id=i,
+            text=f"bench task {i}",
+            num_choices=NUM_CHOICES,
+            domain_vector=rng.dirichlet(np.ones(NUM_DOMAINS)),
+            ground_truth=1,
+        )
+        for i in range(n)
+    ]
+
+
+def _seed_store(rng) -> Dict[str, np.ndarray]:
+    return {
+        f"w{j}": rng.uniform(0.4, 0.95, size=NUM_DOMAINS)
+        for j in range(NUM_WORKERS)
+    }
+
+
+def run_campaign(
+    path: str,
+    tasks: List[Task],
+    worker_qualities: Dict[str, np.ndarray],
+    answers_per_task: int,
+    hit_size: int,
+    rerun_every: int,
+    seed: int,
+) -> Dict[str, object]:
+    """One full campaign on the chosen implementation path."""
+    rng = make_rng(seed)
+    store = WorkerQualityStore(NUM_DOMAINS)
+    for worker_id, quality in worker_qualities.items():
+        store.set(worker_id, quality, np.full(NUM_DOMAINS, 2.0))
+    golden_init = {w: q.copy() for w, q in worker_qualities.items()}
+
+    if path == "arena":
+        engine = IncrementalTruthInference(store)
+    else:
+        engine = ReferenceIncrementalTruthInference(store)
+    for task in tasks:
+        engine.register_task(task)
+    log = AnswerLog(engine.arena) if path == "arena" else None
+    answers: List[Answer] = []
+
+    assigner = TaskAssigner(hit_size=hit_size)
+    ti = TruthInference()
+    pool = engine.arena if path == "arena" else engine.states()
+
+    budget = len(tasks) * answers_per_task
+    answered_by = defaultdict(set)
+    assign_times: List[float] = []
+    rerun_times: List[float] = []
+    submit_seconds = 0.0
+    submissions = 0
+    arrival = 0
+    consecutive_empty = 0
+    started_e2e = time.perf_counter()
+
+    while submissions < budget and consecutive_empty <= NUM_WORKERS:
+        worker_id = f"w{arrival % NUM_WORKERS}"
+        arrival += 1
+        quality = store.blended_quality(worker_id)
+        k = min(hit_size, budget - submissions)
+        tic = time.perf_counter()
+        if path == "arena":
+            hit = assigner.assign(
+                pool, quality,
+                answered_by_worker=answered_by[worker_id], k=k,
+            )
+        else:
+            hit = reference_assign(
+                pool, quality,
+                answered_by_worker=answered_by[worker_id], k=k,
+            )
+        assign_times.append(time.perf_counter() - tic)
+        if not hit:
+            consecutive_empty += 1
+            continue
+        consecutive_empty = 0
+        for task_id in hit:
+            choice = int(rng.integers(1, NUM_CHOICES + 1))
+            answer = Answer(worker_id, task_id, choice)
+            tic = time.perf_counter()
+            engine.submit(answer)
+            submit_seconds += time.perf_counter() - tic
+            answered_by[worker_id].add(task_id)
+            if log is not None:
+                log.append(answer)
+            else:
+                answers.append(answer)
+            submissions += 1
+            if submissions % rerun_every == 0:
+                tic = time.perf_counter()
+                if log is not None:
+                    result = ti.infer_from_log(
+                        log, initial_qualities=golden_init
+                    )
+                    engine.resync_from_arena_result(result)
+                else:
+                    result = reference_infer(
+                        tasks, answers, initial_qualities=golden_init
+                    )
+                    engine.resync_from_full_inference(
+                        result.probabilistic_truths,
+                        result.truth_matrices,
+                        result.worker_qualities,
+                        result.worker_weights,
+                    )
+                rerun_times.append(time.perf_counter() - tic)
+
+    e2e_seconds = time.perf_counter() - started_e2e
+    truths = {
+        task_id: state.inferred_truth()
+        for task_id, state in engine.states().items()
+    }
+    return {
+        "path": path,
+        "submissions": submissions,
+        "arrivals": arrival,
+        "reruns": len(rerun_times),
+        "assign_mean_ms": 1e3 * float(np.mean(assign_times)),
+        "assign_max_ms": 1e3 * float(np.max(assign_times)),
+        "submit_per_s": (
+            submissions / submit_seconds if submit_seconds else 0.0
+        ),
+        "rerun_mean_s": (
+            float(np.mean(rerun_times)) if rerun_times else 0.0
+        ),
+        "e2e_s": e2e_seconds,
+        "truths": truths,
+    }
+
+
+def compare_at(
+    n: int,
+    answers_per_task: int,
+    hit_size: int,
+    rerun_every: int,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Run both paths on one workload size; verify identical inference."""
+    rng = make_rng(seed)
+    tasks = _make_tasks(n, rng)
+    worker_qualities = _seed_store(rng)
+    results = {}
+    for path in ("arena", "legacy"):
+        results[path] = run_campaign(
+            path,
+            tasks,
+            worker_qualities,
+            answers_per_task=answers_per_task,
+            hit_size=hit_size,
+            rerun_every=rerun_every,
+            seed=seed + 1,
+        )
+    if results["arena"]["truths"] != results["legacy"]["truths"]:
+        raise AssertionError(
+            f"n={n}: arena and legacy paths disagree on inferred truths"
+        )
+    if results["arena"]["submissions"] != results["legacy"]["submissions"]:
+        raise AssertionError(
+            f"n={n}: campaign shapes diverged between paths"
+        )
+    summary = {
+        "num_tasks": n,
+        "num_domains": NUM_DOMAINS,
+        "num_choices": NUM_CHOICES,
+        "answers_per_task": answers_per_task,
+        "hit_size": hit_size,
+        "rerun_every": rerun_every,
+        "submissions": results["arena"]["submissions"],
+        "speedup_e2e": (
+            results["legacy"]["e2e_s"] / results["arena"]["e2e_s"]
+        ),
+    }
+    for path in ("arena", "legacy"):
+        for key in (
+            "assign_mean_ms",
+            "assign_max_ms",
+            "submit_per_s",
+            "rerun_mean_s",
+            "e2e_s",
+            "reruns",
+        ):
+            summary[f"{key}_{path}"] = results[path][key]
+    return summary
+
+
+def _report(summary: Dict[str, object]) -> None:
+    print(
+        f"n={summary['num_tasks']:>6d}  "
+        f"assign {summary['assign_mean_ms_legacy']:8.2f} -> "
+        f"{summary['assign_mean_ms_arena']:7.2f} ms   "
+        f"submit {summary['submit_per_s_legacy']:9.0f} -> "
+        f"{summary['submit_per_s_arena']:9.0f} /s   "
+        f"rerun {summary['rerun_mean_s_legacy']:7.3f} -> "
+        f"{summary['rerun_mean_s_arena']:7.3f} s   "
+        f"e2e {summary['e2e_s_legacy']:7.2f} -> "
+        f"{summary['e2e_s_arena']:7.2f} s   "
+        f"({summary['speedup_e2e']:.1f}x)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast correctness + sanity run (CI gate); no JSON",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help="full-mode output path (default: repo-root BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        summary = compare_at(
+            300, answers_per_task=2, hit_size=5, rerun_every=150
+        )
+        _report(summary)
+        print("smoke ok: arena and legacy paths agree")
+        return 0
+
+    points = []
+    for n in (1000, 10000):
+        summary = compare_at(
+            n, answers_per_task=2, hit_size=10, rerun_every=max(n // 5, 100)
+        )
+        _report(summary)
+        points.append(summary)
+    payload = {
+        "benchmark": "arena_vs_legacy_serving_path",
+        "workload": "synthetic round-robin campaign (see module docstring)",
+        "points": points,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    at_10k = next(p for p in points if p["num_tasks"] == 10000)
+    if at_10k["speedup_e2e"] < 5.0:
+        print(
+            f"WARNING: 10K e2e speedup {at_10k['speedup_e2e']:.1f}x "
+            "below the 5x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

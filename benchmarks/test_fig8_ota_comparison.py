@@ -99,13 +99,14 @@ def test_fig8c_scalability(record_table, benchmark):
 
 
 def test_bench_one_assignment(benchmark):
-    """Micro-kernel: one k=20 assignment over 10K synthetic tasks."""
-    from repro.experiments.fig8 import _synthetic_states
+    """Micro-kernel: one k=20 assignment over 10K arena tasks."""
+    from repro.experiments.fig8 import _synthetic_arena
     from repro.utils.rng import make_rng
 
     rng = make_rng(12)
-    states = _synthetic_states(10000, 20, 2, rng)
+    arena = _synthetic_arena(10000, 20, 2, rng)
+    arena.refresh_entropies()
     quality = rng.uniform(0.3, 0.95, size=20)
     assigner = TaskAssigner(hit_size=20)
-    chosen = benchmark(assigner.assign, states, quality)
+    chosen = benchmark(assigner.assign, arena, quality)
     assert len(chosen) == 20

@@ -79,8 +79,10 @@ def main() -> None:
                 )
                 if any(w == worker_id for w, _ in history)
             }
+            # Assign straight off the arena's persistent buffers (the
+            # serving path); a task id -> state mapping works too.
             chosen = assigner.assign(
-                inference.states(),
+                inference.arena,
                 store.quality_or_default(worker_id),
                 answered_by_worker=answered,
             )

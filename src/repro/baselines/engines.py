@@ -32,6 +32,7 @@ from repro.baselines.base import (
 )
 from repro.baselines.dawid_skene import DawidSkene
 from repro.baselines.icrowd import ICrowdTruth
+from repro.core.arena import StateArena
 from repro.core.dve import DomainVectorEstimator
 from repro.core.golden import select_golden_tasks
 from repro.core.quality_store import WorkerQualityStore
@@ -348,9 +349,12 @@ class DMaxEngine(EngineBase):
             if task.domain_vector is None:
                 task.domain_vector = estimator.estimate(task.text)
         self._r = {t.task_id: t.domain_vector for t in dataset.tasks}
-        self._order = [t.task_id for t in dataset.tasks]
-        self._row = {tid: i for i, tid in enumerate(self._order)}
-        self._R = np.stack([t.domain_vector for t in dataset.tasks])
+        # Task state lives in an arena; scoring reads the registration-
+        # ordered domain-vector block as a zero-copy view.
+        self._arena = StateArena(dataset.taxonomy.size)
+        for task in dataset.tasks:
+            self._arena.add(task)
+        self._order = self._arena.task_ids()
         self._store = WorkerQualityStore(
             dataset.taxonomy.size, default_quality=self._default_quality
         )
@@ -377,9 +381,9 @@ class DMaxEngine(EngineBase):
         self, worker_id: str, k: int, answered: Set[int]
     ) -> List[int]:
         quality = self._store.quality_or_default(worker_id)
-        scores = self._R @ quality
+        scores = self._arena.domain_matrix() @ quality
         if answered:
-            rows = [self._row[tid] for tid in answered]
+            rows = [self._arena.global_row(tid) for tid in answered]
             scores[rows] = -np.inf
         available = int(np.sum(scores > -np.inf))
         if available == 0:

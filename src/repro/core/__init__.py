@@ -3,6 +3,7 @@
 Public surface:
 
 - :func:`repro.core.dve.domain_vector` / :class:`repro.core.dve.DomainVectorEstimator`
+- :class:`repro.core.arena.StateArena` / :class:`repro.core.arena.AnswerLog`
 - :class:`repro.core.truth_inference.TruthInference`
 - :class:`repro.core.incremental.IncrementalTruthInference`
 - :class:`repro.core.quality_store.WorkerQualityStore`
@@ -11,21 +12,31 @@ Public surface:
 """
 
 from repro.core.types import Answer, Task, TaskState
+from repro.core.arena import AnswerLog, ArenaTaskState, StateArena
 from repro.core.dve import (
     DomainVectorEstimator,
     domain_vector,
     domain_vector_enumeration,
 )
-from repro.core.truth_inference import TruthInference, TruthInferenceResult
+from repro.core.truth_inference import (
+    ArenaInferenceResult,
+    TruthInference,
+    TruthInferenceResult,
+)
 from repro.core.incremental import IncrementalTruthInference
 from repro.core.quality_store import WorkerQualityStore
-from repro.core.assignment import TaskAssigner, task_benefit
+from repro.core.assignment import TaskAssigner, arena_benefits, task_benefit
 from repro.core.golden import select_golden_tasks, select_golden_counts
 
 __all__ = [
     "Answer",
+    "AnswerLog",
+    "ArenaInferenceResult",
+    "ArenaTaskState",
+    "StateArena",
     "Task",
     "TaskState",
+    "arena_benefits",
     "DomainVectorEstimator",
     "domain_vector",
     "domain_vector_enumeration",

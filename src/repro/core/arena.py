@@ -1,0 +1,466 @@
+"""Structure-of-arrays engine arena: the system's hot state.
+
+The serving path of DOCS touches three kinds of state on every request:
+domain vectors ``r`` (Definition 2), conditional truth matrices ``M``
+(Eq. 3) with their running log numerators ("M-hat", Section 4.2), and
+probabilistic truths ``s = r @ M`` (Eq. 2). Holding that state as one
+Python object per task makes every worker arrival O(n) in *object*
+traffic — attribute loads, list builds, ``np.stack`` — before a single
+benefit is computed, which swamps the paper's linear-time OTA bound
+(Theorem 4) long before the arithmetic does.
+
+:class:`StateArena` instead owns the state as contiguous numpy buffers,
+grouped by choice count ``l`` so each group is a dense rectangular block:
+
+- ``R``    — (n_g, m)      domain vectors,
+- ``M``    — (n_g, m, l)   conditional truth matrices,
+- ``S``    — (n_g, l)      probabilistic truths,
+- ``logN`` — (n_g, m, l)   Eq. 3 log numerators,
+- ``H``    — (n_g,)        cached prior entropies ``H(s)`` (Eq. 8's
+  first term, revalidated lazily via the dirty-row protocol).
+
+Alongside the per-group blocks the arena keeps registration-ordered
+global buffers (``R`` and choice counts over all tasks) so full truth
+inference can gather its working set with fancy indexing instead of
+re-stacking Python lists.
+
+**Dirty-row protocol.** Writers (the incremental updater, full-TI
+resyncs) mutate rows in place and mark them dirty; readers that depend
+on derived values (the cached entropies) call
+:meth:`StateArena.refresh_entropies` first, which recomputes exactly the
+dirty rows in one vectorised pass. See ``docs/performance.md``.
+
+:class:`AnswerLog` is the arena's append-only companion: the growing
+``(task_row, worker_row, choice)`` arrays that let the every-z full TI
+re-run (Section 4.2) start from ready-made index arrays instead of
+re-indexing every answer and re-stacking every domain vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import Answer, Task
+from repro.errors import UnknownTaskError, ValidationError
+from repro.utils.math import safe_log
+
+#: Initial per-group row capacity; buffers double when full, so
+#: registration is amortised O(1) regardless of task-set size.
+INITIAL_CAPACITY = 64
+
+
+class ChoiceGroup:
+    """The dense buffers for all tasks sharing one choice count ``l``.
+
+    Rows ``[:count]`` are live; the remainder is growth headroom. All
+    arrays are row-major, so one task's slice of any buffer is a
+    contiguous block.
+
+    Attributes:
+        ell: the group's choice count.
+        count: number of live rows.
+        R: (capacity, m) domain vectors.
+        M: (capacity, m, ell) conditional truth matrices.
+        S: (capacity, ell) probabilistic truths.
+        logN: (capacity, m, ell) Eq. 3 log numerators.
+        H: (capacity,) cached entropies of S rows.
+        dirty: (capacity,) rows whose H is stale.
+        global_rows: (capacity,) each row's arena-wide registration index.
+        task_ids: task id per row (list, row-indexed).
+    """
+
+    def __init__(self, num_domains: int, ell: int):
+        self.ell = ell
+        self.count = 0
+        self._m = num_domains
+        capacity = INITIAL_CAPACITY
+        self.R = np.zeros((capacity, num_domains))
+        self.M = np.zeros((capacity, num_domains, ell))
+        self.S = np.zeros((capacity, ell))
+        self.logN = np.zeros((capacity, num_domains, ell))
+        self.H = np.zeros(capacity)
+        self.dirty = np.zeros(capacity, dtype=bool)
+        self.global_rows = np.zeros(capacity, dtype=np.int64)
+        self.task_ids: List[int] = []
+        self._scratch: Optional[Tuple[np.ndarray, ...]] = None
+
+    @property
+    def capacity(self) -> int:
+        return self.H.shape[0]
+
+    def _grow(self) -> None:
+        new = 2 * self.capacity
+        for name in ("R", "M", "S", "logN", "H", "dirty", "global_rows"):
+            old = getattr(self, name)
+            grown = np.zeros((new,) + old.shape[1:], dtype=old.dtype)
+            grown[: self.count] = old[: self.count]
+            setattr(self, name, grown)
+
+    def append(
+        self,
+        task_id: int,
+        global_row: int,
+        r: np.ndarray,
+        M: Optional[np.ndarray],
+    ) -> int:
+        """Add one task's row; returns the row index."""
+        if self.count == self.capacity:
+            self._grow()
+        row = self.count
+        self.count += 1
+        self.R[row] = r
+        if M is None:
+            # Fresh state: uniform M rows, zero log numerators
+            # (matching :meth:`repro.core.types.TaskState.fresh`).
+            self.M[row] = 1.0 / self.ell
+            self.logN[row] = 0.0
+        else:
+            M = np.asarray(M, dtype=float)
+            if M.shape != (self._m, self.ell):
+                raise ValidationError(
+                    f"M must have shape ({self._m}, {self.ell}), "
+                    f"got {M.shape}"
+                )
+            self.M[row] = M
+            self.logN[row] = np.log(np.clip(M, 1e-300, None))
+        self.S[row] = self.R[row] @ self.M[row]
+        self.dirty[row] = True
+        self.global_rows[row] = global_row
+        self.task_ids.append(task_id)
+        return row
+
+    def refresh_entropies(self) -> None:
+        """Recompute ``H`` for dirty rows only (vectorised)."""
+        stale = np.flatnonzero(self.dirty[: self.count])
+        if stale.size == 0:
+            return
+        S = self.S[stale]
+        self.H[stale] = -np.sum(S * safe_log(S), axis=1)
+        self.dirty[stale] = False
+
+    def benefit_scratch(self) -> Tuple[np.ndarray, ...]:
+        """Three (count, m, l) work buffers, reused across arrivals
+        while the live row count is stable."""
+        if (
+            self._scratch is None
+            or self._scratch[0].shape[0] != self.count
+        ):
+            shape = (self.count, self._m, self.ell)
+            self._scratch = tuple(np.empty(shape) for _ in range(3))
+        return self._scratch
+
+
+class ArenaTaskState:
+    """A lightweight row view over the arena's buffers.
+
+    Duck-type compatible with :class:`repro.core.types.TaskState`:
+    exposes ``task``, ``r``, ``M``, ``s``, ``log_numerators``,
+    ``num_choices`` and ``inferred_truth``. Attribute reads resolve into
+    the arena's current buffers on every access, so views stay valid
+    across buffer growth; writing *through* a returned array (e.g.
+    ``state.M[:] = ...``) mutates the arena — callers doing so must mark
+    the row dirty via :meth:`StateArena.mark_dirty`.
+    """
+
+    __slots__ = ("task", "_group", "_row")
+
+    def __init__(self, task: Task, group: ChoiceGroup, row: int):
+        self.task = task
+        self._group = group
+        self._row = row
+
+    @property
+    def r(self) -> np.ndarray:
+        return self._group.R[self._row]
+
+    @property
+    def M(self) -> np.ndarray:
+        return self._group.M[self._row]
+
+    @property
+    def s(self) -> np.ndarray:
+        return self._group.S[self._row]
+
+    @property
+    def log_numerators(self) -> np.ndarray:
+        return self._group.logN[self._row]
+
+    @property
+    def num_choices(self) -> int:
+        return self._group.ell
+
+    def inferred_truth(self) -> int:
+        """Current MAP truth ``argmax_j s_j`` (1-based)."""
+        return int(np.argmax(self.s)) + 1
+
+
+class _StatesView(Mapping):
+    """Read-only task id -> row view mapping (legacy-path adapter)."""
+
+    def __init__(self, arena: "StateArena"):
+        self._arena = arena
+
+    def __getitem__(self, task_id: int) -> ArenaTaskState:
+        return self._arena.view(task_id)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._arena.task_ids())
+
+    def __len__(self) -> int:
+        return len(self._arena)
+
+
+class StateArena:
+    """Owner of the engine's hot task state (see module docstring).
+
+    Args:
+        num_domains: the taxonomy size m.
+    """
+
+    def __init__(self, num_domains: int):
+        if num_domains <= 0:
+            raise ValidationError("num_domains must be positive")
+        self._m = num_domains
+        self._groups: Dict[int, ChoiceGroup] = {}
+        #: task id -> (group, row).
+        self._loc: Dict[int, Tuple[ChoiceGroup, int]] = {}
+        self._views: Dict[int, ArenaTaskState] = {}
+        self._order: List[int] = []
+        #: Registration-ordered global buffers (grown geometrically).
+        self._R_all = np.zeros((INITIAL_CAPACITY, num_domains))
+        self._ells = np.zeros(INITIAL_CAPACITY, dtype=np.int64)
+        self._group_rows = np.zeros(INITIAL_CAPACITY, dtype=np.int64)
+        self._count = 0
+
+    # -- registration ----------------------------------------------------
+
+    def add(
+        self,
+        task: Task,
+        r: Optional[np.ndarray] = None,
+        M: Optional[np.ndarray] = None,
+    ) -> ArenaTaskState:
+        """Register a task and return its row view.
+
+        Args:
+            task: the task; ``task.num_choices`` selects the group.
+            r: domain vector; defaults to ``task.domain_vector``.
+            M: optional initial conditional truth matrix (m, l); fresh
+                uniform state when omitted.
+
+        Raises:
+            ValidationError: on duplicate ids or missing domain vector.
+        """
+        if task.task_id in self._loc:
+            raise ValidationError(
+                f"task {task.task_id} already registered in arena"
+            )
+        if r is None:
+            r = task.domain_vector
+        if r is None:
+            raise ValidationError(
+                f"task {task.task_id} has no domain vector; run DVE first"
+            )
+        r = np.asarray(r, dtype=float)
+        if r.shape != (self._m,):
+            raise ValidationError(
+                f"domain vector must have shape ({self._m},), got {r.shape}"
+            )
+        group = self._groups.get(task.num_choices)
+        if group is None:
+            group = ChoiceGroup(self._m, task.num_choices)
+            self._groups[task.num_choices] = group
+
+        global_row = self._count
+        if global_row == self._R_all.shape[0]:
+            grown_R = np.zeros((2 * global_row, self._m))
+            grown_R[:global_row] = self._R_all
+            self._R_all = grown_R
+            for name in ("_ells", "_group_rows"):
+                old = getattr(self, name)
+                grown = np.zeros(2 * global_row, dtype=np.int64)
+                grown[:global_row] = old
+                setattr(self, name, grown)
+        self._R_all[global_row] = r
+        self._ells[global_row] = task.num_choices
+        self._count += 1
+        self._order.append(task.task_id)
+
+        row = group.append(task.task_id, global_row, r, M)
+        self._group_rows[global_row] = row
+        self._loc[task.task_id] = (group, row)
+        view = ArenaTaskState(task, group, row)
+        self._views[task.task_id] = view
+        return view
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def num_domains(self) -> int:
+        """Taxonomy size m."""
+        return self._m
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._loc
+
+    def view(self, task_id: int) -> ArenaTaskState:
+        """The (cached) row view of a task.
+
+        Raises:
+            UnknownTaskError: if the task was never registered.
+        """
+        view = self._views.get(task_id)
+        if view is None:
+            raise UnknownTaskError(task_id)
+        return view
+
+    def location(self, task_id: int) -> Tuple[ChoiceGroup, int]:
+        """(group, row) of a task — the writer-side address."""
+        loc = self._loc.get(task_id)
+        if loc is None:
+            raise UnknownTaskError(task_id)
+        return loc
+
+    def task_ids(self) -> List[int]:
+        """Task ids in registration order."""
+        return list(self._order)
+
+    def task_id_at(self, global_row: int) -> int:
+        """The task registered at a global row."""
+        return self._order[global_row]
+
+    def global_row(self, task_id: int) -> int:
+        """A task's registration index (row into the global buffers)."""
+        group, row = self.location(task_id)
+        return int(group.global_rows[row])
+
+    def states(self) -> Mapping[int, ArenaTaskState]:
+        """Task id -> row view mapping (read-only, zero-copy)."""
+        return _StatesView(self)
+
+    def iter_groups(self) -> Iterable[ChoiceGroup]:
+        """The choice-count groups, in first-registration order."""
+        return self._groups.values()
+
+    def domain_matrix(self) -> np.ndarray:
+        """All domain vectors, registration-ordered: shape (n, m).
+
+        A zero-copy view into the global buffer; treat as read-only.
+        """
+        return self._R_all[: self._count]
+
+    def choice_counts(self) -> np.ndarray:
+        """Per-task choice counts, registration-ordered (read-only view)."""
+        return self._ells[: self._count]
+
+    def group_rows_at(self, global_rows: np.ndarray) -> np.ndarray:
+        """In-group row indices for an array of global rows."""
+        return self._group_rows[global_rows]
+
+    # -- dirty-row protocol ----------------------------------------------
+
+    def mark_dirty(self, task_id: int) -> None:
+        """Flag a row's cached entropy as stale after an in-place write."""
+        group, row = self.location(task_id)
+        group.dirty[row] = True
+
+    def mark_all_dirty(self) -> None:
+        """Flag every row (bulk resync from full inference)."""
+        for group in self._groups.values():
+            group.dirty[: group.count] = True
+
+    def refresh_entropies(self) -> None:
+        """Bring every group's cached ``H(s)`` up to date."""
+        for group in self._groups.values():
+            group.refresh_entropies()
+
+
+class AnswerLog:
+    """Append-only answer arrays over an arena (Section 4.2's rerun feed).
+
+    Maintains, in arrival order, the growing index arrays
+
+    - ``task_rows``   — each answer's arena global row,
+    - ``worker_rows`` — each answer's worker row (first-seen order),
+    - ``choices``     — 0-based answered choices,
+
+    plus the first-answer task order. The every-z full TI re-run then
+    gathers its compact working set (only answered tasks) with numpy
+    fancy indexing — no per-answer Python loops, no domain-vector
+    re-stacking. Row orders deliberately match what the legacy path
+    derives from arrival-ordered answer lists, so both paths feed the
+    iterative solver bitwise-identical inputs.
+    """
+
+    def __init__(self, arena: StateArena):
+        self._arena = arena
+        capacity = 1024
+        self._task_rows = np.zeros(capacity, dtype=np.int64)
+        self._worker_rows = np.zeros(capacity, dtype=np.int64)
+        self._choices = np.zeros(capacity, dtype=np.int64)
+        self._count = 0
+        self._worker_row: Dict[str, int] = {}
+        self._worker_ids: List[str] = []
+        #: Global rows of answered tasks, in first-answer order (the
+        #: compact row order the legacy path derives from dict insertion).
+        self._first_order: List[int] = []
+        self._answered: set = set()
+
+    @property
+    def arena(self) -> StateArena:
+        return self._arena
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, answer: Answer) -> None:
+        """Record one answer (the task must be registered)."""
+        global_row = self._arena.global_row(answer.task_id)
+        if self._count == self._task_rows.shape[0]:
+            for name in ("_task_rows", "_worker_rows", "_choices"):
+                old = getattr(self, name)
+                grown = np.zeros(2 * old.shape[0], dtype=np.int64)
+                grown[: self._count] = old
+                setattr(self, name, grown)
+        worker_row = self._worker_row.get(answer.worker_id)
+        if worker_row is None:
+            worker_row = len(self._worker_ids)
+            self._worker_row[answer.worker_id] = worker_row
+            self._worker_ids.append(answer.worker_id)
+        idx = self._count
+        self._task_rows[idx] = global_row
+        self._worker_rows[idx] = worker_row
+        self._choices[idx] = answer.choice - 1
+        self._count += 1
+        if global_row not in self._answered:
+            self._answered.add(global_row)
+            self._first_order.append(global_row)
+
+    @property
+    def task_rows(self) -> np.ndarray:
+        """Per-answer arena global rows (arrival order, live view)."""
+        return self._task_rows[: self._count]
+
+    @property
+    def worker_rows(self) -> np.ndarray:
+        """Per-answer worker rows (arrival order, live view)."""
+        return self._worker_rows[: self._count]
+
+    @property
+    def choices(self) -> np.ndarray:
+        """Per-answer 0-based choices (arrival order, live view)."""
+        return self._choices[: self._count]
+
+    @property
+    def worker_ids(self) -> List[str]:
+        """Worker ids by row (first-submission order)."""
+        return list(self._worker_ids)
+
+    def answered_rows(self) -> np.ndarray:
+        """Global rows of answered tasks, first-answer order."""
+        return np.asarray(self._first_order, dtype=np.int64)

@@ -13,19 +13,28 @@ For a coming worker with quality ``q`` and a candidate task with state
   benefits, so the optimal HIT is the top-k by benefit — selected in
   linear time (:func:`repro.utils.topk.top_k_indices`).
 
-Two implementations are provided: a readable per-task path
-(:func:`task_benefit`) and a fully vectorised batch path used by
-:class:`TaskAssigner` (identical results; the batch path groups tasks by
-choice count so mixed-``l`` task sets are supported).
+Three implementations are provided, all returning identical benefits:
+
+- :func:`task_benefit` — the readable per-task reference path;
+- :func:`batch_benefits` — vectorised over a list of detached
+  :class:`repro.core.types.TaskState` objects (stacks them per call);
+- :func:`arena_benefits` — the serving path: computes straight on a
+  :class:`repro.core.arena.StateArena`'s persistent choice-grouped
+  buffers. No candidate list is built and nothing is stacked — prior
+  entropies come from the arena's dirty-row cache and ineligible tasks
+  are masked with a boolean row mask, which is what keeps a worker
+  arrival O(n) in ndarray work (Fig. 8(c)) instead of O(n) in Python
+  object traffic.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.core.arena import StateArena
 from repro.core.truth_inference import QUALITY_CEIL, QUALITY_FLOOR
 from repro.core.types import TaskState
 from repro.errors import ValidationError
@@ -103,6 +112,64 @@ def task_benefit(
     return entropy_unchecked(state.s) - expected_posterior_entropy
 
 
+def _entropy_benefits(
+    R: np.ndarray,
+    M: np.ndarray,
+    prior_entropy: np.ndarray,
+    q: np.ndarray,
+    ell: int,
+    scratch: Optional[Tuple[np.ndarray, ...]] = None,
+) -> np.ndarray:
+    """Eq. 8 over one choice-count block, in closed form.
+
+    The Theorem 3 row-normaliser telescopes: the unnormalised update
+    ``M[k, j] * factor[k, j, a]`` sums over j to exactly Theorem 2's
+    per-domain answer probability ``pd[k, a] = (q_k - w_k) M[k, a] +
+    w_k`` (``w`` = wrong-pick probability). Substituting,
+
+        s|a[j] = sum_k (r_k w_k / pd[k, a]) M[k, j]
+                 + delta_{j a} * sum_k r_k (q_k - w_k) M[k, a] / pd[k, a]
+
+    which needs only (n, m, l) intermediates — the naive form
+    materialises the full (n, m, l, l) update tensor (see
+    :func:`repro.core.reference.reference_batch_benefits`).
+
+    Args:
+        R: (n, m) domain vectors.
+        M: (n, m, l) conditional truth matrices.
+        prior_entropy: (n,) entropies H(s).
+        q: clipped worker quality (m,).
+        ell: the block's choice count.
+        scratch: optional three preallocated (n, m, l) work buffers
+            (the arena path reuses per-group scratch across arrivals).
+
+    Returns:
+        (n,) benefits.
+    """
+    if scratch is None:
+        scratch = tuple(np.empty_like(M) for _ in range(3))
+    pd, weights, D = scratch
+    wrong = (1.0 - q) / (ell - 1)                          # (m,)
+    gain = q - wrong                                       # (m,)
+    # Theorem 2: pd[n, k, a] = Pr(v = a | domain k) for this worker.
+    np.multiply(M, gain[None, :, None], out=pd)
+    pd += wrong[None, :, None]
+    answer_probs = np.matmul(R[:, None, :], pd)[:, 0, :]   # (n, l)
+    # Off-diagonal part of s|a: weights r_k w_k / pd[k, a]. Batched
+    # matmul beats einsum ~10x on these contraction shapes.
+    np.divide((R * wrong[None, :])[:, :, None], pd, out=weights)
+    s_given_a = np.matmul(M.transpose(0, 2, 1), weights)   # (n, j, a)
+    # Diagonal correction at j == a.
+    np.divide(M, pd, out=D)
+    diagonal = np.matmul((R * gain[None, :])[:, None, :], D)[:, 0, :]
+    idx = np.arange(ell)
+    s_given_a[:, idx, idx] += diagonal
+    posterior_entropy = -np.sum(
+        s_given_a * safe_log(s_given_a), axis=1
+    )                                                      # (n, a)
+    return prior_entropy - np.sum(posterior_entropy * answer_probs, axis=1)
+
+
 def batch_benefits(
     states: Sequence[TaskState], quality: np.ndarray
 ) -> np.ndarray:
@@ -121,37 +188,45 @@ def batch_benefits(
     for idx, state in enumerate(states):
         by_ell[state.num_choices].append(idx)
 
-    q_raw = np.asarray(quality, dtype=float)
+    q = np.clip(
+        np.asarray(quality, dtype=float), QUALITY_FLOOR, QUALITY_CEIL
+    )
     for ell, indices in by_ell.items():
         R = np.stack([states[i].r for i in indices])           # (n, m)
         M = np.stack([states[i].M for i in indices])           # (n, m, l)
         S = np.stack([states[i].s for i in indices])           # (n, l)
-        q = np.clip(q_raw, QUALITY_FLOOR, QUALITY_CEIL)        # (m,)
-        wrong = (1.0 - q) / (ell - 1)                          # (m,)
-
-        # Theorem 2 for all tasks: (n, l).
-        per_domain = q[None, :, None] * M + wrong[None, :, None] * (1.0 - M)
-        answer_probs = np.einsum("nm,nml->nl", R, per_domain)
-
-        # Theorem 3 for all tasks and all hypothetical answers a:
-        # factor[k, j, a] = q_k if j == a else wrong_k -> (m, l, l).
-        factor = np.broadcast_to(
-            wrong[:, None, None], (q.size, ell, ell)
-        ).copy()
-        eye = np.eye(ell, dtype=bool)
-        factor[:, eye] = np.repeat(q[:, None], ell, axis=1)
-        # updated[n, k, j, a] = M[n, k, j] * factor[k, j, a], rows (j)
-        # renormalised per (n, k, a).
-        updated = M[:, :, :, None] * factor[None, :, :, :]
-        updated /= updated.sum(axis=2, keepdims=True)
-        # s|a for each hypothetical a: (n, j, a) then entropy over j.
-        s_given_a = np.einsum("nm,nmja->nja", R, updated)
-        posterior_entropy = -np.sum(
-            s_given_a * safe_log(s_given_a), axis=1
-        )                                                      # (n, a)
-        expected_posterior = np.sum(posterior_entropy * answer_probs, axis=1)
         prior_entropy = -np.sum(S * safe_log(S), axis=1)
-        benefits[indices] = prior_entropy - expected_posterior
+        benefits[indices] = _entropy_benefits(
+            R, M, prior_entropy, q, ell
+        )
+    return benefits
+
+
+def arena_benefits(arena: StateArena, quality: np.ndarray) -> np.ndarray:
+    """Benefits for every arena task, straight off the persistent buffers.
+
+    Per choice-count group, the Theorem 2/3 tensors are evaluated on the
+    group's live buffer slices; the Eq. 8 prior entropies come from the
+    arena's cached ``H`` column (refreshed for dirty rows first).
+
+    Returns:
+        Array of benefits indexed by arena registration order.
+    """
+    arena.refresh_entropies()
+    q = np.clip(np.asarray(quality, dtype=float), QUALITY_FLOOR, QUALITY_CEIL)
+    benefits = np.empty(len(arena), dtype=float)
+    for group in arena.iter_groups():
+        count = group.count
+        if count == 0:
+            continue
+        benefits[group.global_rows[:count]] = _entropy_benefits(
+            group.R[:count],
+            group.M[:count],
+            group.H[:count],
+            q,
+            group.ell,
+            scratch=group.benefit_scratch(),
+        )
     return benefits
 
 
@@ -174,7 +249,7 @@ class TaskAssigner:
 
     def assign(
         self,
-        states: Mapping[int, TaskState],
+        states: Union[StateArena, Mapping[int, TaskState]],
         worker_quality: np.ndarray,
         answered_by_worker: Optional[Set[int]] = None,
         k: Optional[int] = None,
@@ -183,7 +258,10 @@ class TaskAssigner:
         """Select up to k tasks for the coming worker.
 
         Args:
-            states: task id -> current state (the candidate pool T).
+            states: the candidate pool T — either a
+                :class:`repro.core.arena.StateArena` (serving path, no
+                per-call state materialisation) or a task id -> state
+                mapping (reference path).
             worker_quality: the worker's quality vector ``q^w``.
             answered_by_worker: task ids in T(w), excluded from
                 assignment (a worker answers a task at most once).
@@ -198,6 +276,11 @@ class TaskAssigner:
         hit_size = k if k is not None else self._hit_size
         if hit_size < 1:
             raise ValidationError(f"k must be >= 1: {hit_size}")
+        if isinstance(states, StateArena):
+            return self._assign_from_arena(
+                states, worker_quality, answered_by_worker, hit_size,
+                eligible,
+            )
         answered = answered_by_worker or set()
         candidates = [
             state
@@ -211,3 +294,40 @@ class TaskAssigner:
         take = min(hit_size, len(candidates))
         chosen = top_k_indices(benefits, take)
         return [candidates[i].task.task_id for i in chosen]
+
+    def _assign_from_arena(
+        self,
+        arena: StateArena,
+        worker_quality: np.ndarray,
+        answered_by_worker: Optional[Set[int]],
+        hit_size: int,
+        eligible: Optional[Set[int]],
+    ) -> List[int]:
+        """Arena fast path: benefits on persistent buffers + row mask."""
+        n = len(arena)
+        if n == 0:
+            return []
+        mask = np.ones(n, dtype=bool)
+        if answered_by_worker:
+            mask[_arena_rows(arena, answered_by_worker)] = False
+        if eligible is not None:
+            allowed = np.zeros(n, dtype=bool)
+            allowed[_arena_rows(arena, eligible)] = True
+            mask &= allowed
+        available = int(mask.sum())
+        if available == 0:
+            return []
+        benefits = arena_benefits(arena, worker_quality)
+        benefits[~mask] = -np.inf
+        take = min(hit_size, available)
+        chosen = top_k_indices(benefits, take)
+        return [arena.task_id_at(int(row)) for row in chosen]
+
+
+def _arena_rows(arena: StateArena, task_ids: Iterable[int]) -> List[int]:
+    """Global rows of the given task ids (ids not in the arena skipped)."""
+    return [
+        arena.global_row(task_id)
+        for task_id in task_ids
+        if task_id in arena
+    ]

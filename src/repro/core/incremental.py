@@ -12,6 +12,11 @@ touched task and workers change:
   for the new one (``q_k <- (q_k u_k - s~_j r_k + s_j r_k) / u_k``).
   O(m * |V(i)|).
 
+All task state lives in a :class:`repro.core.arena.StateArena`: the
+update writes the task's ``logN`` / ``M`` / ``S`` rows in place and
+marks the row dirty (stale cached entropy) — no per-task arrays are
+allocated on the submit path.
+
 The incremental pass trades some quality for instant updates; DOCS
 re-runs the full iterative TI every ``z`` submissions (z = 100 in the
 paper) — orchestrated by :class:`repro.system.DocsSystem`.
@@ -23,10 +28,15 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.core.arena import ArenaTaskState, StateArena
 from repro.core.quality_store import WorkerQualityStore
-from repro.core.truth_inference import QUALITY_CEIL, QUALITY_FLOOR
-from repro.core.types import Answer, Task, TaskState
-from repro.errors import UnknownTaskError, ValidationError
+from repro.core.truth_inference import (
+    ArenaInferenceResult,
+    QUALITY_CEIL,
+    QUALITY_FLOOR,
+)
+from repro.core.types import Answer, Task
+from repro.errors import ValidationError
 
 
 class IncrementalTruthInference:
@@ -35,60 +45,66 @@ class IncrementalTruthInference:
     Args:
         quality_store: the persistent worker model (qualities are read
             from and written back to it).
+        arena: the state arena to operate on; a fresh one sized to the
+            store's taxonomy is created when omitted.
     """
 
-    def __init__(self, quality_store: WorkerQualityStore):
+    def __init__(
+        self,
+        quality_store: WorkerQualityStore,
+        arena: Optional[StateArena] = None,
+    ):
         self._store = quality_store
-        self._states: Dict[int, TaskState] = {}
-        #: task id -> list of (worker_id, choice) already applied.
-        self._history: Dict[int, List[Tuple[str, int]]] = {}
+        self._arena = arena or StateArena(quality_store.num_domains)
+        #: task id -> list of (worker_id, choice) already applied. Tasks
+        #: already present in a shared arena start with empty histories.
+        self._history: Dict[int, List[Tuple[str, int]]] = {
+            task_id: [] for task_id in self._arena.task_ids()
+        }
 
     @property
     def quality_store(self) -> WorkerQualityStore:
         """The backing worker-quality store."""
         return self._store
 
-    def register_task(self, task: Task) -> TaskState:
-        """Create (or return) the state for a task with a domain vector."""
-        existing = self._states.get(task.task_id)
-        if existing is not None:
-            return existing
-        if task.domain_vector is None:
-            raise ValidationError(
-                f"task {task.task_id} has no domain vector; run DVE first"
-            )
-        state = TaskState.fresh(task, np.asarray(task.domain_vector))
-        self._states[task.task_id] = state
-        self._history[task.task_id] = []
-        return state
+    @property
+    def arena(self) -> StateArena:
+        """The arena holding all task state."""
+        return self._arena
 
-    def state(self, task_id: int) -> TaskState:
-        """Current state of a task.
+    def register_task(self, task: Task) -> ArenaTaskState:
+        """Create (or return) the state for a task with a domain vector."""
+        if task.task_id in self._arena:
+            self._history.setdefault(task.task_id, [])
+            return self._arena.view(task.task_id)
+        view = self._arena.add(task)
+        self._history[task.task_id] = []
+        return view
+
+    def state(self, task_id: int) -> ArenaTaskState:
+        """Current state of a task (a live arena row view).
 
         Raises:
             UnknownTaskError: if the task was never registered.
         """
-        state = self._states.get(task_id)
-        if state is None:
-            raise UnknownTaskError(task_id)
-        return state
+        return self._arena.view(task_id)
 
-    def states(self) -> Mapping[int, TaskState]:
-        """All task states (read-only view)."""
-        return self._states
+    def states(self) -> Mapping[int, ArenaTaskState]:
+        """All task states (read-only mapping of row views)."""
+        return self._arena.states()
 
     def answered_workers(self, task_id: int) -> List[Tuple[str, int]]:
         """(worker, choice) pairs applied to a task so far."""
         return list(self._history.get(task_id, []))
 
-    def submit(self, answer: Answer) -> TaskState:
+    def submit(self, answer: Answer) -> ArenaTaskState:
         """Apply one answer with the Section 4.2 update policy.
 
         Returns:
-            The task's updated state.
+            The task's updated state (arena row view).
         """
-        state = self.state(answer.task_id)
-        ell = state.num_choices
+        group, row = self._arena.location(answer.task_id)
+        ell = group.ell
         if not 1 <= answer.choice <= ell:
             raise ValidationError(
                 f"choice {answer.choice} outside [1, {ell}] for task "
@@ -103,37 +119,42 @@ class IncrementalTruthInference:
                 f"{answer.task_id} (a worker answers a task at most once)"
             )
 
-        previous_s = state.s.copy()
+        r = group.R[row]
+        s = group.S[row]
+        previous_s = s.copy()
         quality = np.clip(
             self._store.quality_or_default(answer.worker_id),
             QUALITY_FLOOR,
             QUALITY_CEIL,
         )
 
-        # Step 1: fold the answer into the stored log numerators M-hat.
+        # Step 1: fold the answer into the stored log numerators M-hat,
+        # writing the arena row in place.
         log_correct = np.log(quality)
         log_incorrect = np.log((1.0 - quality) / (ell - 1))
         contribution = np.tile(log_incorrect[:, None], (1, ell))
         contribution[:, answer.choice - 1] = log_correct
-        assert state.log_numerators is not None
-        state.log_numerators += contribution
-        shifted = state.log_numerators - state.log_numerators.max(
-            axis=1, keepdims=True
-        )
+        logN = group.logN[row]
+        logN += contribution
+        shifted = logN - logN.max(axis=1, keepdims=True)
         numerator = np.exp(shifted)
-        state.M = numerator / numerator.sum(axis=1, keepdims=True)
-        state.s = state.r @ state.M
+        M = group.M[row]
+        np.divide(
+            numerator, numerator.sum(axis=1, keepdims=True), out=M
+        )
+        np.matmul(r, M, out=s)
+        group.dirty[row] = True
 
         # Step 2a: update the answering worker via Theorem 1's merge with
         # a single-task batch (q = s_a on this task, u = r).
-        batch_quality = np.full_like(state.r, state.s[answer.choice - 1])
-        self._store.merge(answer.worker_id, batch_quality, state.r)
+        batch_quality = np.full_like(r, s[answer.choice - 1])
+        self._store.merge(answer.worker_id, batch_quality, r)
 
         # Step 2b: refresh prior answerers' contributions: replace the old
         # s~_j with the new s_j at their answered choice.
         for worker_id, choice in self._history[answer.task_id]:
             stats = self._store.get(worker_id)
-            delta = (state.s[choice - 1] - previous_s[choice - 1]) * state.r
+            delta = (s[choice - 1] - previous_s[choice - 1]) * r
             mask = stats.weight > 0
             updated = stats.quality.copy()
             updated[mask] += delta[mask] / stats.weight[mask]
@@ -145,7 +166,7 @@ class IncrementalTruthInference:
         self._history[answer.task_id].append(
             (answer.worker_id, answer.choice)
         )
-        return state
+        return self._arena.view(answer.task_id)
 
     def resync_from_full_inference(
         self,
@@ -159,18 +180,49 @@ class IncrementalTruthInference:
         DOCS runs full TI every z submissions; afterwards the incremental
         layer continues from the refreshed parameters. Log numerators are
         re-derived from the (strictly positive) refreshed M.
+
+        This is the dict-keyed path; arena-native callers should prefer
+        :meth:`resync_from_arena_result`, which scatters whole buffer
+        blocks instead of looping task by task.
         """
-        for task_id, s in probabilistic_truths.items():
-            state = self._states.get(task_id)
-            if state is None:
+        for task_id, truth in probabilistic_truths.items():
+            if task_id not in self._arena:
                 continue
+            group, row = self._arena.location(task_id)
             M = np.asarray(truth_matrices[task_id], dtype=float)
-            state.M = M
-            state.s = np.asarray(s, dtype=float)
-            state.log_numerators = np.log(np.clip(M, 1e-300, None))
+            group.M[row] = M
+            group.S[row] = np.asarray(truth, dtype=float)
+            group.logN[row] = np.log(np.clip(M, 1e-300, None))
+            group.dirty[row] = True
         for worker_id, quality in worker_qualities.items():
             self._store.set(
                 worker_id,
                 np.asarray(quality, dtype=float),
                 np.asarray(worker_weights[worker_id], dtype=float),
+            )
+
+    def resync_from_arena_result(self, result: ArenaInferenceResult) -> None:
+        """Scatter a full TI's output straight back into arena buffers.
+
+        One fancy-indexed block write per choice-count group — the
+        vectorised counterpart of :meth:`resync_from_full_inference`.
+        """
+        ells_of = self._arena.choice_counts()[result.task_rows]
+        for group in self._arena.iter_groups():
+            compact = np.flatnonzero(ells_of == group.ell)
+            if compact.size == 0:
+                continue
+            group_rows = self._arena.group_rows_at(
+                result.task_rows[compact]
+            )
+            M = result.M[compact][:, :, : group.ell]
+            group.M[group_rows] = M
+            group.S[group_rows] = result.S[compact][:, : group.ell]
+            group.logN[group_rows] = np.log(np.clip(M, 1e-300, None))
+            group.dirty[group_rows] = True
+        for worker_row, worker_id in enumerate(result.worker_ids):
+            self._store.set(
+                worker_id,
+                result.qualities[worker_row],
+                result.weights[worker_row],
             )

@@ -1,0 +1,378 @@
+"""Per-object reference implementation of incremental TI.
+
+The serving path (:class:`repro.core.incremental.IncrementalTruthInference`)
+updates rows of a shared :class:`repro.core.arena.StateArena` in place.
+This module keeps the original one-``TaskState``-per-task formulation of
+the Section 4.2 update — detached numpy arrays, no shared buffers — as an
+executable specification:
+
+- the arena/legacy equivalence suite drives both implementations through
+  identical workloads and asserts identical states, qualities and HIT
+  selections (``tests/core/test_arena_equivalence.py``);
+- ``benchmarks/bench_perf.py`` times it as the pre-arena baseline.
+
+It is intentionally *not* optimised; do not use it on the serving path.
+
+Alongside the incremental updater, this module snapshots the pre-arena
+*kernels* verbatim — :func:`reference_batch_benefits` /
+:func:`reference_assign` (candidate-list + per-arrival stacking, 4-D
+Theorem 3 tensor) and :func:`reference_infer` (per-call answer
+re-indexing, ``np.add.at`` scatter loops) — so the benchmark's "legacy"
+side measures exactly the code path this PR replaced, not a version
+that silently inherits the new optimisations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.truth_inference import (
+    DEFAULT_INITIAL_QUALITY,
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    QUALITY_CEIL,
+    QUALITY_FLOOR,
+    TruthInferenceResult,
+)
+from repro.core.types import (
+    Answer,
+    Task,
+    TaskState,
+    group_answers_by_task,
+    group_answers_by_worker,
+)
+from repro.errors import UnknownTaskError, ValidationError
+from repro.utils.math import safe_log
+from repro.utils.topk import top_k_indices
+
+
+class ReferenceIncrementalTruthInference:
+    """The pre-arena incremental updater: one detached state per task.
+
+    Mirrors :class:`repro.core.incremental.IncrementalTruthInference`'s
+    interface and numerics exactly; state is re-materialised per task as
+    standalone arrays instead of arena rows.
+    """
+
+    def __init__(self, quality_store: WorkerQualityStore):
+        self._store = quality_store
+        self._states: Dict[int, TaskState] = {}
+        self._history: Dict[int, List[Tuple[str, int]]] = {}
+
+    @property
+    def quality_store(self) -> WorkerQualityStore:
+        return self._store
+
+    def register_task(self, task: Task) -> TaskState:
+        existing = self._states.get(task.task_id)
+        if existing is not None:
+            return existing
+        if task.domain_vector is None:
+            raise ValidationError(
+                f"task {task.task_id} has no domain vector; run DVE first"
+            )
+        state = TaskState.fresh(task, np.asarray(task.domain_vector))
+        self._states[task.task_id] = state
+        self._history[task.task_id] = []
+        return state
+
+    def state(self, task_id: int) -> TaskState:
+        state = self._states.get(task_id)
+        if state is None:
+            raise UnknownTaskError(task_id)
+        return state
+
+    def states(self) -> Mapping[int, TaskState]:
+        return self._states
+
+    def answered_workers(self, task_id: int) -> List[Tuple[str, int]]:
+        return list(self._history.get(task_id, []))
+
+    def submit(self, answer: Answer) -> TaskState:
+        """The Section 4.2 update on detached per-task arrays."""
+        state = self.state(answer.task_id)
+        ell = state.num_choices
+        if not 1 <= answer.choice <= ell:
+            raise ValidationError(
+                f"choice {answer.choice} outside [1, {ell}] for task "
+                f"{answer.task_id}"
+            )
+        if any(
+            worker_id == answer.worker_id
+            for worker_id, _ in self._history[answer.task_id]
+        ):
+            raise ValidationError(
+                f"worker {answer.worker_id} already answered task "
+                f"{answer.task_id} (a worker answers a task at most once)"
+            )
+
+        previous_s = state.s.copy()
+        quality = np.clip(
+            self._store.quality_or_default(answer.worker_id),
+            QUALITY_FLOOR,
+            QUALITY_CEIL,
+        )
+
+        # Step 1: fold the answer into the stored log numerators M-hat.
+        log_correct = np.log(quality)
+        log_incorrect = np.log((1.0 - quality) / (ell - 1))
+        contribution = np.tile(log_incorrect[:, None], (1, ell))
+        contribution[:, answer.choice - 1] = log_correct
+        assert state.log_numerators is not None
+        state.log_numerators += contribution
+        shifted = state.log_numerators - state.log_numerators.max(
+            axis=1, keepdims=True
+        )
+        numerator = np.exp(shifted)
+        state.M = numerator / numerator.sum(axis=1, keepdims=True)
+        state.s = state.r @ state.M
+
+        # Step 2a: merge the answering worker's single-task batch.
+        batch_quality = np.full_like(state.r, state.s[answer.choice - 1])
+        self._store.merge(answer.worker_id, batch_quality, state.r)
+
+        # Step 2b: refresh prior answerers' contributions.
+        for worker_id, choice in self._history[answer.task_id]:
+            stats = self._store.get(worker_id)
+            delta = (state.s[choice - 1] - previous_s[choice - 1]) * state.r
+            mask = stats.weight > 0
+            updated = stats.quality.copy()
+            updated[mask] += delta[mask] / stats.weight[mask]
+            np.clip(updated, 0.0, 1.0, out=updated)
+            self._store.set(worker_id, updated, stats.weight)
+
+        self._history[answer.task_id].append(
+            (answer.worker_id, answer.choice)
+        )
+        return state
+
+    def resync_from_full_inference(
+        self,
+        probabilistic_truths: Mapping[int, np.ndarray],
+        truth_matrices: Mapping[int, np.ndarray],
+        worker_qualities: Mapping[str, np.ndarray],
+        worker_weights: Mapping[str, np.ndarray],
+    ) -> None:
+        for task_id, truth in probabilistic_truths.items():
+            state = self._states.get(task_id)
+            if state is None:
+                continue
+            M = np.asarray(truth_matrices[task_id], dtype=float)
+            state.M = M
+            state.s = np.asarray(truth, dtype=float)
+            state.log_numerators = np.log(np.clip(M, 1e-300, None))
+        for worker_id, quality in worker_qualities.items():
+            self._store.set(
+                worker_id,
+                np.asarray(quality, dtype=float),
+                np.asarray(worker_weights[worker_id], dtype=float),
+            )
+
+
+def reference_batch_benefits(
+    states: Sequence[TaskState], quality: np.ndarray
+) -> np.ndarray:
+    """The pre-arena vectorised benefit kernel (4-D update tensor)."""
+    benefits = np.empty(len(states), dtype=float)
+    by_ell: Dict[int, List[int]] = defaultdict(list)
+    for idx, state in enumerate(states):
+        by_ell[state.num_choices].append(idx)
+
+    q_raw = np.asarray(quality, dtype=float)
+    for ell, indices in by_ell.items():
+        R = np.stack([states[i].r for i in indices])           # (n, m)
+        M = np.stack([states[i].M for i in indices])           # (n, m, l)
+        S = np.stack([states[i].s for i in indices])           # (n, l)
+        q = np.clip(q_raw, QUALITY_FLOOR, QUALITY_CEIL)        # (m,)
+        wrong = (1.0 - q) / (ell - 1)                          # (m,)
+
+        per_domain = q[None, :, None] * M + wrong[None, :, None] * (1.0 - M)
+        answer_probs = np.einsum("nm,nml->nl", R, per_domain)
+
+        factor = np.broadcast_to(
+            wrong[:, None, None], (q.size, ell, ell)
+        ).copy()
+        eye = np.eye(ell, dtype=bool)
+        factor[:, eye] = np.repeat(q[:, None], ell, axis=1)
+        updated = M[:, :, :, None] * factor[None, :, :, :]
+        updated /= updated.sum(axis=2, keepdims=True)
+        s_given_a = np.einsum("nm,nmja->nja", R, updated)
+        posterior_entropy = -np.sum(
+            s_given_a * safe_log(s_given_a), axis=1
+        )
+        expected_posterior = np.sum(posterior_entropy * answer_probs, axis=1)
+        prior_entropy = -np.sum(S * safe_log(S), axis=1)
+        benefits[indices] = prior_entropy - expected_posterior
+    return benefits
+
+
+def reference_assign(
+    states: Mapping[int, TaskState],
+    worker_quality: np.ndarray,
+    answered_by_worker: Optional[Set[int]] = None,
+    k: int = 20,
+) -> List[int]:
+    """The pre-arena assignment path: build a candidate list, stack it,
+    evaluate the old kernel, take the top k."""
+    answered = answered_by_worker or set()
+    candidates = [
+        state
+        for task_id, state in states.items()
+        if task_id not in answered
+    ]
+    if not candidates:
+        return []
+    benefits = reference_batch_benefits(candidates, worker_quality)
+    take = min(k, len(candidates))
+    chosen = top_k_indices(benefits, take)
+    return [candidates[i].task.task_id for i in chosen]
+
+
+def reference_infer(
+    tasks: Sequence[Task],
+    answers: Sequence[Answer],
+    initial_qualities: Optional[Mapping[str, np.ndarray]] = None,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    tolerance: float = DEFAULT_TOLERANCE,
+    default_quality: float = DEFAULT_INITIAL_QUALITY,
+    track_delta: bool = True,
+) -> TruthInferenceResult:
+    """The pre-arena full TI, verbatim: rebuilds every index array from
+    the answer list per call and scatters with ``np.add.at``."""
+    task_index: Dict[int, Task] = {}
+    domain_vectors: Dict[int, np.ndarray] = {}
+    m = None
+    for task in tasks:
+        if task.domain_vector is None:
+            raise ValidationError(
+                f"task {task.task_id} has no domain vector; run DVE first"
+            )
+        task_index[task.task_id] = task
+        domain_vectors[task.task_id] = np.asarray(
+            task.domain_vector, dtype=float
+        )
+        if m is None:
+            m = domain_vectors[task.task_id].shape[0]
+    if m is None:
+        raise ValidationError("no tasks given")
+
+    by_task = group_answers_by_task(answers)
+    by_worker = group_answers_by_worker(answers)
+    answered_ids: List[int] = list(by_task.keys())
+    if not answered_ids:
+        return TruthInferenceResult(
+            probabilistic_truths={},
+            truth_matrices={},
+            worker_qualities={},
+            worker_weights={},
+        )
+    tid_to_row = {tid: row for row, tid in enumerate(answered_ids)}
+    n = len(answered_ids)
+    worker_ids: List[str] = list(by_worker.keys())
+    wid_to_row = {wid: row for row, wid in enumerate(worker_ids)}
+    W = len(worker_ids)
+
+    ells = np.array(
+        [task_index[tid].num_choices for tid in answered_ids],
+        dtype=np.int64,
+    )
+    ell_max = int(ells.max())
+    valid = np.arange(ell_max)[None, :] < ells[:, None]
+    R = np.stack([domain_vectors[tid] for tid in answered_ids])
+
+    a_task = np.array(
+        [tid_to_row[a.task_id] for a in answers], dtype=np.int64
+    )
+    a_worker = np.array(
+        [wid_to_row[a.worker_id] for a in answers], dtype=np.int64
+    )
+    a_choice = np.array([a.choice - 1 for a in answers], dtype=np.int64)
+    a_ell = ells[a_task]
+
+    Q = np.full((W, m), default_quality)
+    if initial_qualities:
+        for wid, row in wid_to_row.items():
+            if wid in initial_qualities:
+                Q[row] = np.asarray(initial_qualities[wid], dtype=float)
+
+    S = np.where(valid, 1.0, 0.0)
+    S = S / S.sum(axis=1, keepdims=True)
+    M = np.zeros((n, m, ell_max))
+
+    delta_history: List[float] = []
+    iterations_run = 0
+    for _ in range(max_iterations):
+        iterations_run += 1
+        S_prev = S.copy()
+        Q_prev = Q.copy()
+
+        Qc = np.clip(Q, QUALITY_FLOOR, QUALITY_CEIL)
+        log_correct = np.log(Qc)
+        log_incorrect_a = np.log(
+            (1.0 - Qc[a_worker]) / (a_ell - 1)[:, None]
+        )
+        log_correct_a = log_correct[a_worker]
+
+        base = np.zeros((n, m))
+        np.add.at(base, a_task, log_incorrect_a)
+        logM = np.repeat(base[:, :, None], ell_max, axis=2)
+        delta_a = log_correct_a - log_incorrect_a
+        col_buffer = np.zeros((n * ell_max, m))
+        np.add.at(col_buffer, a_task * ell_max + a_choice, delta_a)
+        logM = logM + col_buffer.reshape(n, ell_max, m).transpose(0, 2, 1)
+        logM = np.where(valid[:, None, :], logM, -np.inf)
+        logM -= logM.max(axis=2, keepdims=True)
+        expM = np.exp(logM)
+        M = expM / expM.sum(axis=2, keepdims=True)
+        S = np.einsum("nm,nml->nl", R, M)
+
+        s_at_choice = S[a_task, a_choice]
+        numerator = np.zeros((W, m))
+        denominator = np.zeros((W, m))
+        np.add.at(numerator, a_worker, R[a_task] * s_at_choice[:, None])
+        np.add.at(denominator, a_worker, R[a_task])
+        mask = denominator > 0
+        Q = np.where(mask, np.divide(
+            numerator, denominator, out=np.zeros_like(numerator),
+            where=mask,
+        ), Q)
+
+        if track_delta or tolerance > 0:
+            truth_change = float(
+                (np.abs(S - S_prev).sum(axis=1) / ells).mean()
+            )
+            quality_change = float(np.abs(Q - Q_prev).mean()) if W else 0.0
+            delta = truth_change + quality_change
+            delta_history.append(delta)
+            if delta < tolerance:
+                break
+
+    def _weights(worker_answers):
+        weights = np.zeros(m)
+        for answer in worker_answers:
+            weights += domain_vectors[answer.task_id]
+        return weights
+
+    return TruthInferenceResult(
+        probabilistic_truths={
+            tid: S[row, : ells[row]].copy()
+            for tid, row in tid_to_row.items()
+        },
+        truth_matrices={
+            tid: M[row, :, : ells[row]].copy()
+            for tid, row in tid_to_row.items()
+        },
+        worker_qualities={
+            wid: Q[row].copy() for wid, row in wid_to_row.items()
+        },
+        worker_weights={
+            worker_id: _weights(worker_answers)
+            for worker_id, worker_answers in by_worker.items()
+        },
+        delta_history=delta_history,
+        iterations=iterations_run,
+    )

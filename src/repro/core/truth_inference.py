@@ -13,15 +13,28 @@ Numerics: Eq. 3's numerator is a product over answers, so it is computed
 in log space; qualities are clipped into ``[QUALITY_FLOOR, QUALITY_CEIL]``
 inside Eq. 4 only (reported qualities are unclipped) so a momentarily
 perfect worker cannot produce ``log 0``.
+
+Two entry points share one solver:
+
+- :meth:`TruthInference.infer` — answer *lists* in, dict-keyed result
+  out. Builds its index arrays from Python objects each call; used by
+  offline experiments and the competitor engines.
+- :meth:`TruthInference.infer_from_log` — an arena-backed
+  :class:`repro.core.arena.AnswerLog` in, :class:`ArenaInferenceResult`
+  out. The log already holds the index arrays append-only, so the every-z
+  serving-path re-run skips the O(answers) Python re-indexing and the
+  domain-vector re-stacking entirely. Both paths feed the solver
+  identically-ordered inputs and therefore return identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.arena import AnswerLog
 from repro.core.types import (
     Answer,
     Task,
@@ -133,6 +146,191 @@ class TruthInferenceResult:
         return correct / counted
 
 
+@dataclass
+class ArenaInferenceResult:
+    """Output of :meth:`TruthInference.infer_from_log`: array layout.
+
+    Rows follow the log's compact (first-answer) task order; workers
+    follow first-submission order. Invalid (padded) choice columns carry
+    zero probability.
+
+    Attributes:
+        task_rows: (n,) arena global rows of the answered tasks.
+        task_ids: the same tasks as ids.
+        ells: (n,) choice counts.
+        S: (n, L) probabilistic truths, L = max choice count.
+        M: (n, m, L) conditional truth matrices.
+        worker_ids: worker id per quality row.
+        qualities: (W, m) worker qualities ``q^w``.
+        weights: (W, m) Theorem 1 weights ``u^w``.
+        delta_history: per-iteration parameter change Delta.
+        iterations: iterations actually run.
+    """
+
+    task_rows: np.ndarray
+    task_ids: List[int]
+    ells: np.ndarray
+    S: np.ndarray
+    M: np.ndarray
+    worker_ids: List[str]
+    qualities: np.ndarray
+    weights: np.ndarray
+    delta_history: List[float] = field(default_factory=list)
+    iterations: int = 0
+
+    def truths(self) -> Dict[int, int]:
+        """MAP truth per answered task (1-based), vectorised."""
+        if len(self.task_ids) == 0:
+            return {}
+        ell_max = self.S.shape[1]
+        valid = np.arange(ell_max)[None, :] < self.ells[:, None]
+        best = np.argmax(np.where(valid, self.S, -1.0), axis=1) + 1
+        return {
+            task_id: int(choice)
+            for task_id, choice in zip(self.task_ids, best)
+        }
+
+    def worker_qualities(self) -> Dict[str, np.ndarray]:
+        """Worker id -> quality vector (copies)."""
+        return {
+            worker_id: self.qualities[row].copy()
+            for row, worker_id in enumerate(self.worker_ids)
+        }
+
+
+def _scatter_rows(
+    idx: np.ndarray, weights: np.ndarray, num_rows: int
+) -> np.ndarray:
+    """Row-indexed scatter-add: ``out[idx[i]] += weights[i]``.
+
+    Column-wise ``np.bincount`` is bit-identical to ``np.add.at`` (both
+    accumulate sequentially in element order) at a fraction of the cost.
+    """
+    out = np.empty((num_rows, weights.shape[1]))
+    for k in range(weights.shape[1]):
+        out[:, k] = np.bincount(
+            idx, weights=weights[:, k], minlength=num_rows
+        )
+    return out
+
+
+def _run_em(
+    R: np.ndarray,
+    ells: np.ndarray,
+    valid: np.ndarray,
+    a_task: np.ndarray,
+    a_worker: np.ndarray,
+    a_choice: np.ndarray,
+    Q: np.ndarray,
+    max_iterations: int,
+    tolerance: float,
+    track_delta: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[float], int]:
+    """The Section 4.1 iteration on prepared index arrays.
+
+    Everything that is constant across iterations — the per-answer
+    domain-vector gather, the Eq. 5 denominator, the flat (task, column)
+    scatter index, the per-choice-count answer partition — is hoisted
+    out of the loop; per-worker log tables replace per-answer logs.
+    Each transformation preserves the operation order on identical
+    values, so results are bit-identical to the original formulation.
+
+    Args:
+        R: (n, m) domain vectors of the answered tasks.
+        ells: (n,) choice counts; ``valid`` is the (n, L) column mask.
+        a_task / a_worker / a_choice: per-answer row indices (choice
+            0-based), arrival-ordered.
+        Q: (W, m) initial qualities (mutated-by-replacement inside).
+
+    Returns:
+        (S, M, Q, delta_history, iterations).
+    """
+    n, ell_max = valid.shape
+    W, m = Q.shape
+    A = a_task.shape[0]
+    a_ell = ells[a_task]
+
+    # ---- Iteration-invariant precomputation --------------------------
+    Ra = R[a_task]                                           # (A, m)
+    flat_cols = a_task * ell_max + a_choice                  # (A,)
+    denominator = _scatter_rows(a_worker, Ra, W)             # (W, m)
+    q_mask = denominator > 0
+    #: Answers partitioned by their task's choice count, so per-answer
+    #: log-likelihood terms can be built from (W, m) per-worker tables.
+    ell_groups = [
+        (int(e), np.flatnonzero(a_ell == e))
+        for e in np.unique(a_ell)
+    ]
+
+    S = np.where(valid, 1.0, 0.0)
+    S = S / S.sum(axis=1, keepdims=True)                     # (n, L)
+    M = np.zeros((n, m, ell_max))
+
+    delta_history: List[float] = []
+    iterations_run = 0
+    for _ in range(max_iterations):
+        iterations_run += 1
+        S_prev = S.copy()
+        Q_prev = Q.copy()
+
+        # Step 1 (q -> s): accumulate Eq. 3's log numerators. The
+        # per-answer log terms are gathered from per-(worker, l) tables.
+        Qc = np.clip(Q, QUALITY_FLOOR, QUALITY_CEIL)
+        log_correct = np.log(Qc)                             # (W, m)
+        if len(ell_groups) == 1:
+            li = np.log((1.0 - Qc) / (ell_groups[0][0] - 1))  # (W, m)
+            log_incorrect_a = li[a_worker]
+            delta_a = (log_correct - li)[a_worker]
+        else:
+            log_incorrect_a = np.empty((A, m))
+            delta_a = np.empty((A, m))
+            for ell_value, sel in ell_groups:
+                li = np.log((1.0 - Qc) / (ell_value - 1))
+                log_incorrect_a[sel] = li[a_worker[sel]]
+                delta_a[sel] = (log_correct - li)[a_worker[sel]]
+
+        base = _scatter_rows(a_task, log_incorrect_a, n)     # (n, m)
+        col_buffer = _scatter_rows(flat_cols, delta_a, n * ell_max)
+        # logM[t, k, j] = base[t, k] + the answered-column deltas.
+        logM = base[:, :, None] + col_buffer.reshape(
+            n, ell_max, m
+        ).transpose(0, 2, 1)
+        logM = np.where(valid[:, None, :], logM, -np.inf)
+        logM -= logM.max(axis=2, keepdims=True)
+        expM = np.exp(logM)
+        M = expM / expM.sum(axis=2, keepdims=True)
+        # The broadcast against the transposed column view above leaves
+        # everything in (n, l, m)-major layout, which is fastest for the
+        # elementwise chain — but einsum's contraction order follows
+        # strides, so normalise the layout before it (values unchanged).
+        M = np.ascontiguousarray(M)
+        S = np.einsum("nm,nml->nl", R, M)
+
+        # Step 2 (s -> q): Eq. 5 as scatter-adds over workers.
+        s_at_choice = S[a_task, a_choice]                    # (A,)
+        numerator = _scatter_rows(
+            a_worker, Ra * s_at_choice[:, None], W
+        )
+        Q = np.where(q_mask, np.divide(
+            numerator, denominator, out=np.zeros_like(numerator),
+            where=q_mask,
+        ), Q)
+
+        if track_delta or tolerance > 0:
+            truth_change = float(
+                (np.abs(S - S_prev).sum(axis=1) / ells).mean()
+            ) if n else 0.0
+            quality_change = (
+                float(np.abs(Q - Q_prev).mean()) if W else 0.0
+            )
+            delta = truth_change + quality_change
+            delta_history.append(delta)
+            if delta < tolerance:
+                break
+
+    return S, M, Q, delta_history, iterations_run
+
+
 class TruthInference:
     """The iterative TI algorithm of Section 4.1.
 
@@ -165,7 +363,7 @@ class TruthInference:
         initial_qualities: Optional[Mapping[str, np.ndarray]] = None,
         track_delta: bool = True,
     ) -> TruthInferenceResult:
-        """Run TI to convergence.
+        """Run TI to convergence over answer lists.
 
         Args:
             tasks: tasks with domain vectors set (``task.domain_vector``).
@@ -239,80 +437,21 @@ class TruthInference:
             [wid_to_row[a.worker_id] for a in answers], dtype=np.int64
         )
         a_choice = np.array([a.choice - 1 for a in answers], dtype=np.int64)
-        a_ell = ells[a_task]
 
-        Q = np.full((W, m), self._default_quality)
-        if initial_qualities:
-            for wid, row in wid_to_row.items():
-                if wid in initial_qualities:
-                    q = np.asarray(initial_qualities[wid], dtype=float)
-                    if q.shape != (m,):
-                        raise ValidationError(
-                            f"initial quality for {wid} has shape "
-                            f"{q.shape}, expected ({m},)"
-                        )
-                    Q[row] = q
+        Q = self._initial_q(W, m, worker_ids, initial_qualities)
 
-        S = np.where(valid, 1.0, 0.0)
-        S = S / S.sum(axis=1, keepdims=True)                     # (n, L)
-        M = np.zeros((n, m, ell_max))
-
-        delta_history: List[float] = []
-        iterations_run = 0
-        for _ in range(self._max_iterations):
-            iterations_run += 1
-            S_prev = S.copy()
-            Q_prev = Q.copy()
-
-            # Step 1 (q -> s): accumulate Eq. 3's log numerators.
-            Qc = np.clip(Q, QUALITY_FLOOR, QUALITY_CEIL)
-            log_correct = np.log(Qc)                             # (W, m)
-            # (answers, m): per-answer log-prob of a wrong specific pick.
-            log_incorrect_a = np.log(
-                (1.0 - Qc[a_worker]) / (a_ell - 1)[:, None]
-            )
-            log_correct_a = log_correct[a_worker]
-
-            base = np.zeros((n, m))
-            np.add.at(base, a_task, log_incorrect_a)
-            logM = np.repeat(base[:, :, None], ell_max, axis=2)  # (n, m, L)
-            # Add (log_correct - log_incorrect) at each answered column.
-            delta_a = log_correct_a - log_incorrect_a            # (A, m)
-            # Build flat index (task, column) -> add into (n*L, m) buffer.
-            col_buffer = np.zeros((n * ell_max, m))
-            np.add.at(col_buffer, a_task * ell_max + a_choice, delta_a)
-            logM = logM + col_buffer.reshape(n, ell_max, m).transpose(
-                0, 2, 1
-            )
-            logM = np.where(valid[:, None, :], logM, -np.inf)
-            logM -= logM.max(axis=2, keepdims=True)
-            expM = np.exp(logM)
-            M = expM / expM.sum(axis=2, keepdims=True)
-            S = np.einsum("nm,nml->nl", R, M)
-
-            # Step 2 (s -> q): Eq. 5 as scatter-adds over workers.
-            s_at_choice = S[a_task, a_choice]                    # (A,)
-            numerator = np.zeros((W, m))
-            denominator = np.zeros((W, m))
-            np.add.at(numerator, a_worker, R[a_task] * s_at_choice[:, None])
-            np.add.at(denominator, a_worker, R[a_task])
-            mask = denominator > 0
-            Q = np.where(mask, np.divide(
-                numerator, denominator, out=np.zeros_like(numerator),
-                where=mask,
-            ), Q)
-
-            if track_delta or self._tolerance > 0:
-                truth_change = float(
-                    (np.abs(S - S_prev).sum(axis=1) / ells).mean()
-                ) if n else 0.0
-                quality_change = (
-                    float(np.abs(Q - Q_prev).mean()) if W else 0.0
-                )
-                delta = truth_change + quality_change
-                delta_history.append(delta)
-                if delta < self._tolerance:
-                    break
+        S, M, Q, delta_history, iterations_run = _run_em(
+            R,
+            ells,
+            valid,
+            a_task,
+            a_worker,
+            a_choice,
+            Q,
+            self._max_iterations,
+            self._tolerance,
+            track_delta,
+        )
 
         truths = {
             tid: S[row, : ells[row]].copy()
@@ -336,6 +475,109 @@ class TruthInference:
             iterations=iterations_run,
         )
 
+    def infer_from_log(
+        self,
+        log: AnswerLog,
+        initial_qualities: Optional[Mapping[str, np.ndarray]] = None,
+        track_delta: bool = True,
+    ) -> ArenaInferenceResult:
+        """Run TI over an arena-backed append-only answer log.
+
+        The log's growing index arrays are consumed directly: the only
+        per-call work before the solver is one fancy-indexed gather of
+        the answered tasks' domain vectors. Produces the same inference
+        as :meth:`infer` on the equivalent answer list.
+
+        Args:
+            log: the :class:`repro.core.arena.AnswerLog` to infer from.
+            initial_qualities: as in :meth:`infer`.
+            track_delta: as in :meth:`infer`.
+
+        Returns:
+            An :class:`ArenaInferenceResult` (empty when no answers).
+        """
+        arena = log.arena
+        m = arena.num_domains
+        task_rows = log.answered_rows()
+        n = task_rows.size
+        if n == 0:
+            return ArenaInferenceResult(
+                task_rows=task_rows,
+                task_ids=[],
+                ells=np.zeros(0, dtype=np.int64),
+                S=np.zeros((0, 0)),
+                M=np.zeros((0, m, 0)),
+                worker_ids=[],
+                qualities=np.zeros((0, m)),
+                weights=np.zeros((0, m)),
+            )
+        # Compact the global rows: answered tasks only, first-answer
+        # order (the same row order `infer` derives from answer lists).
+        inverse = np.empty(len(arena), dtype=np.int64)
+        inverse[task_rows] = np.arange(n)
+        a_task = inverse[log.task_rows]
+        a_worker = log.worker_rows
+        a_choice = log.choices
+
+        R = arena.domain_matrix()[task_rows]                    # (n, m)
+        ells = arena.choice_counts()[task_rows]
+        ell_max = int(ells.max())
+        valid = np.arange(ell_max)[None, :] < ells[:, None]
+
+        worker_ids = log.worker_ids
+        Q = self._initial_q(len(worker_ids), m, worker_ids, initial_qualities)
+
+        S, M, Q, delta_history, iterations_run = _run_em(
+            R,
+            ells,
+            valid,
+            a_task,
+            a_worker,
+            a_choice,
+            Q,
+            self._max_iterations,
+            self._tolerance,
+            track_delta,
+        )
+
+        weights = _scatter_rows(a_worker, R[a_task], len(worker_ids))
+
+        return ArenaInferenceResult(
+            task_rows=task_rows,
+            task_ids=[arena.task_id_at(int(row)) for row in task_rows],
+            ells=ells,
+            S=S,
+            M=M,
+            worker_ids=worker_ids,
+            qualities=Q,
+            weights=weights,
+            delta_history=delta_history,
+            iterations=iterations_run,
+        )
+
+    def _initial_q(
+        self,
+        W: int,
+        m: int,
+        worker_ids: Sequence[str],
+        initial_qualities: Optional[Mapping[str, np.ndarray]],
+    ) -> np.ndarray:
+        """The (W, m) starting qualities, defaulting unseen workers."""
+        Q = np.full((W, m), self._default_quality)
+        if initial_qualities:
+            for row, worker_id in enumerate(worker_ids):
+                if worker_id in initial_qualities:
+                    q = np.asarray(
+                        initial_qualities[worker_id], dtype=float
+                    )
+                    if q.shape != (m,):
+                        raise ValidationError(
+                            f"initial quality for {worker_id} has shape "
+                            f"{q.shape}, expected ({m},)"
+                        )
+                    Q[row] = q
+        return Q
+
 
 def _worker_weights(
     worker_answers: Sequence[Answer],
@@ -347,28 +589,3 @@ def _worker_weights(
     for answer in worker_answers:
         weights += domain_vectors[answer.task_id]
     return weights
-
-
-def _parameter_change(
-    truths: Mapping[int, np.ndarray],
-    previous_truths: Mapping[int, np.ndarray],
-    qualities: Mapping[str, np.ndarray],
-    previous_qualities: Mapping[str, np.ndarray],
-) -> float:
-    """The paper's Delta: mean absolute change of s plus that of q."""
-    truth_change = 0.0
-    for task_id, s in truths.items():
-        truth_change += float(
-            np.abs(s - previous_truths[task_id]).sum() / s.size
-        )
-    if truths:
-        truth_change /= len(truths)
-
-    quality_change = 0.0
-    for worker_id, q in qualities.items():
-        quality_change += float(
-            np.abs(q - previous_qualities[worker_id]).sum() / q.size
-        )
-    if qualities:
-        quality_change /= len(qualities)
-    return truth_change + quality_change

@@ -60,6 +60,13 @@ class SqliteAnswerTable:
         self._conn = sqlite3.connect(path)
         self._conn.executescript(_ANSWER_SCHEMA)
         self._conn.commit()
+        #: Per-worker answered-task sets, mirroring the in-memory
+        #: table's O(1) ``tasks_answered_by``. Populated lazily from the
+        #: database (the file may pre-exist), then kept fresh on insert.
+        #: This assumes the table object is the file's only *writer*
+        #: while open — writes made through another connection are not
+        #: reflected in already-hydrated sets.
+        self._worker_tasks: Dict[str, Set[int]] = {}
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -85,6 +92,9 @@ class SqliteAnswerTable:
                 f"worker {answer.worker_id} already answered task "
                 f"{answer.task_id}"
             ) from None
+        cached = self._worker_tasks.get(answer.worker_id)
+        if cached is not None:
+            cached.add(answer.task_id)
 
     def all(self) -> List[Answer]:
         """All answers in arrival order."""
@@ -112,12 +122,23 @@ class SqliteAnswerTable:
         return [Answer(w, t, c) for w, t, c in rows]
 
     def tasks_answered_by(self, worker_id: str) -> Set[int]:
-        """Task ids answered by a worker."""
-        rows = self._conn.execute(
-            "SELECT task_id FROM answers WHERE worker_id = ?",
-            (worker_id,),
-        ).fetchall()
-        return {t for (t,) in rows}
+        """Task ids answered by a worker.
+
+        Amortised O(1): the first call per worker hydrates a persistent
+        set from the database; later calls return it directly (inserts
+        through *this* object keep it fresh — see the single-writer
+        note on ``_worker_tasks``). The set is live — treat it as
+        read-only.
+        """
+        cached = self._worker_tasks.get(worker_id)
+        if cached is None:
+            rows = self._conn.execute(
+                "SELECT task_id FROM answers WHERE worker_id = ?",
+                (worker_id,),
+            ).fetchall()
+            cached = {t for (t,) in rows}
+            self._worker_tasks[worker_id] = cached
+        return cached
 
     def count_for_task(self, task_id: int) -> int:
         """|V(i)| for one task."""

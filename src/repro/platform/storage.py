@@ -17,6 +17,9 @@ import numpy as np
 from repro.core.types import Answer, Task
 from repro.errors import UnknownTaskError, ValidationError
 
+#: Shared empty result for workers with no answers (never mutated).
+_EMPTY_TASK_SET: Set[int] = frozenset()  # type: ignore[assignment]
+
 
 class AnswerTable:
     """The answers relation: (worker_id, task_id, choice), append-only.
@@ -30,6 +33,9 @@ class AnswerTable:
         self._by_task: Dict[int, List[Answer]] = defaultdict(list)
         self._by_worker: Dict[str, List[Answer]] = defaultdict(list)
         self._pairs: Set[Tuple[str, int]] = set()
+        #: Persistent per-worker answered-task sets, so the assignment
+        #: path's T(w) lookup is O(1) instead of a per-call rebuild.
+        self._worker_tasks: Dict[str, Set[int]] = defaultdict(set)
 
     def insert(self, answer: Answer) -> None:
         """Append one answer.
@@ -47,6 +53,7 @@ class AnswerTable:
         self._answers.append(answer)
         self._by_task[answer.task_id].append(answer)
         self._by_worker[answer.worker_id].append(answer)
+        self._worker_tasks[answer.worker_id].add(answer.task_id)
 
     def all(self) -> List[Answer]:
         """All answers in arrival order (copy)."""
@@ -61,8 +68,12 @@ class AnswerTable:
         return list(self._by_worker.get(worker_id, []))
 
     def tasks_answered_by(self, worker_id: str) -> Set[int]:
-        """Task ids answered by a worker."""
-        return {a.task_id for a in self._by_worker.get(worker_id, [])}
+        """Task ids answered by a worker.
+
+        O(1): returns the maintained set, not a rebuild over the answer
+        list. The set is live — callers must treat it as read-only.
+        """
+        return self._worker_tasks.get(worker_id, _EMPTY_TASK_SET)
 
     def count_for_task(self, task_id: int) -> int:
         """|V(i)| for one task."""

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.core.arena import AnswerLog
 from repro.core.assignment import TaskAssigner
 from repro.core.dve import DomainVectorEstimator
 from repro.core.golden import select_golden_tasks
@@ -52,6 +53,7 @@ class DocsSystem:
         self._config.validate()
         self._db: Optional[SystemDatabase] = None
         self._incremental: Optional[IncrementalTruthInference] = None
+        self._log: Optional[AnswerLog] = None
         self._store: Optional[WorkerQualityStore] = None
         self._assigner = TaskAssigner(hit_size=self._config.hit_size)
         self._bootstrapped: Set[str] = set()
@@ -94,6 +96,7 @@ class DocsSystem:
             m, default_quality=self._config.default_quality
         )
         self._incremental = IncrementalTruthInference(self._store)
+        self._log = AnswerLog(self._incremental.arena)
         self._bootstrapped = set()
         self._golden_qualities = {}
         self._submissions_since_rerun = 0
@@ -150,13 +153,17 @@ class DocsSystem:
         )
 
     def assign(self, worker_id: str, k: Optional[int] = None) -> List[int]:
-        """OTA: the k highest-benefit tasks this worker has not answered."""
+        """OTA: the k highest-benefit tasks this worker has not answered.
+
+        Benefits are computed directly against the arena's persistent
+        buffers; no per-arrival task state is materialised.
+        """
         if self._incremental is None:
             raise ValidationError("system not prepared; call prepare()")
         answered = self.database.answers.tasks_answered_by(worker_id)
         quality = self.quality_store.blended_quality(worker_id)
         return self._assigner.assign(
-            self._incremental.states(),
+            self._incremental.arena,
             quality,
             answered_by_worker=answered,
             k=k,
@@ -167,8 +174,18 @@ class DocsSystem:
         re-run the full iterative TI every z submissions."""
         if self._incremental is None:
             raise ValidationError("system not prepared; call prepare()")
+        # Validate against the task before touching any store, so a bad
+        # answer cannot leave the answer table, the incremental state,
+        # and the answer log disagreeing with each other.
+        ell = self._incremental.state(answer.task_id).num_choices
+        if not 1 <= answer.choice <= ell:
+            raise ValidationError(
+                f"choice {answer.choice} outside [1, {ell}] for task "
+                f"{answer.task_id}"
+            )
         self.database.answers.insert(answer)
         self._incremental.submit(answer)
+        self._log.append(answer)
         self._submissions_since_rerun += 1
         if self._submissions_since_rerun >= self._config.rerun_interval:
             self._run_full_inference()
@@ -190,8 +207,7 @@ class DocsSystem:
     # -- internals -------------------------------------------------------
 
     def _run_full_inference(self):
-        answers = self.database.answers.all()
-        if not answers:
+        if self._log is None or len(self._log) == 0:
             return None
         ti = TruthInference(
             max_iterations=self._config.ti_max_iterations,
@@ -202,13 +218,8 @@ class DocsSystem:
         # the drift the incremental pass accumulates on low-weight
         # domains.
         initial = dict(self._golden_qualities)
-        result = ti.infer(
-            self.database.tasks(), answers, initial_qualities=initial
-        )
-        self._incremental.resync_from_full_inference(
-            result.probabilistic_truths,
-            result.truth_matrices,
-            result.worker_qualities,
-            result.worker_weights,
-        )
+        # The append-only log already holds the solver's index arrays;
+        # no answer re-indexing or domain-vector re-stacking per re-run.
+        result = ti.infer_from_log(self._log, initial_qualities=initial)
+        self._incremental.resync_from_arena_result(result)
         return result

@@ -1,0 +1,298 @@
+"""Tests for the structure-of-arrays state arena."""
+
+import numpy as np
+import pytest
+
+from repro.core.arena import INITIAL_CAPACITY, AnswerLog, StateArena
+from repro.core.assignment import (
+    TaskAssigner,
+    arena_benefits,
+    batch_benefits,
+    task_benefit,
+)
+from repro.core.types import Answer, Task, TaskState
+from repro.errors import UnknownTaskError, ValidationError
+from repro.utils.rng import make_rng
+
+
+def _task(task_id, ell=2, m=3, rng=None):
+    if rng is None:
+        r = np.full(m, 1.0 / m)
+    else:
+        r = rng.dirichlet(np.ones(m))
+    return Task(
+        task_id=task_id,
+        text=f"t{task_id}",
+        num_choices=ell,
+        domain_vector=r,
+    )
+
+
+class TestRegistration:
+    def test_fresh_state_matches_taskstate_fresh(self):
+        arena = StateArena(3)
+        task = _task(0, ell=3)
+        view = arena.add(task)
+        reference = TaskState.fresh(task, task.domain_vector)
+        np.testing.assert_array_equal(view.M, reference.M)
+        np.testing.assert_array_equal(view.s, reference.s)
+        np.testing.assert_array_equal(
+            view.log_numerators, reference.log_numerators
+        )
+        assert view.num_choices == 3
+        assert view.task is task
+
+    def test_duplicate_rejected(self):
+        arena = StateArena(3)
+        arena.add(_task(0))
+        with pytest.raises(ValidationError):
+            arena.add(_task(0))
+
+    def test_missing_domain_vector_rejected(self):
+        arena = StateArena(3)
+        with pytest.raises(ValidationError):
+            arena.add(Task(task_id=0, text="x", num_choices=2))
+
+    def test_wrong_shape_rejected(self):
+        arena = StateArena(3)
+        with pytest.raises(ValidationError):
+            arena.add(_task(0, m=4))
+
+    def test_unknown_task_raises(self):
+        arena = StateArena(3)
+        with pytest.raises(UnknownTaskError):
+            arena.view(42)
+
+    def test_explicit_initial_matrix(self):
+        arena = StateArena(2)
+        M = np.array([[0.9, 0.1], [0.3, 0.7]])
+        task = _task(0, m=2)
+        view = arena.add(task, M=M)
+        np.testing.assert_array_equal(view.M, M)
+        np.testing.assert_allclose(view.s, task.domain_vector @ M)
+
+
+class TestGrowthAndViews:
+    def test_views_survive_buffer_growth(self):
+        """Row views resolve into the *current* buffers, so references
+        taken before a capacity doubling stay live afterwards."""
+        arena = StateArena(2)
+        rng = make_rng(3)
+        first = arena.add(_task(0, rng=rng, m=2))
+        s_before = first.s.copy()
+        for i in range(1, 3 * INITIAL_CAPACITY):
+            arena.add(_task(i, rng=rng, m=2))
+        np.testing.assert_array_equal(first.s, s_before)
+        # Writing through the view hits the arena's live buffer.
+        first.M[:] = np.array([[0.8, 0.2], [0.8, 0.2]])
+        group, row = arena.location(0)
+        np.testing.assert_array_equal(
+            group.M[row], [[0.8, 0.2], [0.8, 0.2]]
+        )
+
+    def test_global_buffers_track_registration_order(self):
+        arena = StateArena(3)
+        rng = make_rng(4)
+        ells = [2, 4, 3, 2, 4]
+        for i, ell in enumerate(ells):
+            arena.add(_task(i, ell=ell, rng=rng))
+        assert arena.task_ids() == [0, 1, 2, 3, 4]
+        np.testing.assert_array_equal(arena.choice_counts(), ells)
+        for i in range(5):
+            assert arena.global_row(i) == i
+            assert arena.task_id_at(i) == i
+        R = arena.domain_matrix()
+        for i in range(5):
+            np.testing.assert_array_equal(
+                R[i], arena.view(i).r
+            )
+
+    def test_states_mapping_view(self):
+        arena = StateArena(3)
+        for i in range(4):
+            arena.add(_task(i))
+        states = arena.states()
+        assert len(states) == 4
+        assert list(states) == [0, 1, 2, 3]
+        assert states[2] is arena.view(2)
+
+
+class TestDirtyProtocol:
+    def test_refresh_recomputes_only_after_marking(self):
+        arena = StateArena(2)
+        view = arena.add(_task(0, m=2))
+        arena.refresh_entropies()
+        group, row = arena.location(0)
+        assert group.H[row] == pytest.approx(np.log(2))
+        # An in-place write without a refresh leaves the cache stale.
+        view.s[:] = [0.99, 0.01]
+        assert group.H[row] == pytest.approx(np.log(2))
+        arena.mark_dirty(0)
+        arena.refresh_entropies()
+        expected = -np.sum(view.s * np.log(view.s))
+        assert group.H[row] == pytest.approx(expected)
+
+    def test_mark_all_dirty(self):
+        arena = StateArena(2)
+        for i in range(3):
+            arena.add(_task(i, m=2))
+        arena.refresh_entropies()
+        for i in range(3):
+            arena.view(i).s[:] = [0.9, 0.1]
+        arena.mark_all_dirty()
+        arena.refresh_entropies()
+        for i in range(3):
+            group, row = arena.location(i)
+            assert group.H[row] == pytest.approx(
+                -np.sum([0.9 * np.log(0.9), 0.1 * np.log(0.1)])
+            )
+
+
+class TestArenaBenefits:
+    def test_matches_per_task_reference(self):
+        rng = make_rng(9)
+        arena = StateArena(4)
+        references = {}
+        for i in range(12):
+            ell = int(rng.integers(2, 5))
+            task = _task(i, ell=ell, m=4, rng=rng)
+            M = rng.dirichlet(np.ones(ell), size=4)
+            arena.add(task, M=M)
+            references[i] = TaskState(
+                task=task, r=task.domain_vector, M=M,
+                s=task.domain_vector @ M,
+            )
+        quality = rng.uniform(0.2, 0.95, size=4)
+        benefits = arena_benefits(arena, quality)
+        for i, state in references.items():
+            assert benefits[arena.global_row(i)] == pytest.approx(
+                task_benefit(state, quality), abs=1e-10
+            )
+        stacked = batch_benefits(
+            [references[i] for i in range(12)], quality
+        )
+        np.testing.assert_allclose(benefits, stacked, atol=1e-12)
+
+    def test_assigner_arena_matches_mapping_path(self):
+        rng = make_rng(10)
+        arena = StateArena(3)
+        states = {}
+        for i in range(20):
+            ell = int(rng.integers(2, 4))
+            task = _task(i, ell=ell, rng=rng)
+            M = rng.dirichlet(np.ones(ell), size=3)
+            arena.add(task, M=M)
+            states[i] = TaskState(
+                task=task, r=task.domain_vector, M=M,
+                s=task.domain_vector @ M,
+            )
+        assigner = TaskAssigner(hit_size=5)
+        quality = rng.uniform(0.3, 0.9, size=3)
+        answered = {1, 4, 7}
+        eligible = set(range(15))
+        assert assigner.assign(
+            arena, quality, answered_by_worker=answered,
+            eligible=eligible,
+        ) == assigner.assign(
+            states, quality, answered_by_worker=answered,
+            eligible=eligible,
+        )
+
+    def test_tie_break_matches_with_mixed_choice_counts(self):
+        """Identical-benefit tasks in interleaved choice-count groups
+        must resolve by registration order on both paths."""
+        arena = StateArena(1)
+        states = {}
+        for i, ell in enumerate([2, 3, 2, 3, 2, 3]):
+            task = Task(
+                task_id=i, text=f"t{i}", num_choices=ell,
+                domain_vector=np.array([1.0]),
+            )
+            arena.add(task)
+            states[i] = TaskState.fresh(task, task.domain_vector)
+        assigner = TaskAssigner(hit_size=3)
+        quality = np.array([0.8])
+        assert assigner.assign(arena, quality) == assigner.assign(
+            states, quality
+        )
+
+    def test_all_answered_returns_empty(self):
+        arena = StateArena(2)
+        for i in range(3):
+            arena.add(_task(i, m=2))
+        assigner = TaskAssigner(hit_size=2)
+        assert assigner.assign(
+            arena, np.array([0.8, 0.8]),
+            answered_by_worker={0, 1, 2},
+        ) == []
+
+    def test_empty_arena(self):
+        assigner = TaskAssigner(hit_size=2)
+        assert assigner.assign(
+            StateArena(2), np.array([0.8, 0.8])
+        ) == []
+
+
+class TestSharedArenaConstruction:
+    def test_incremental_over_prepopulated_arena(self):
+        """An updater attached to an arena that already holds tasks
+        must submit against them without re-registration."""
+        from repro.core.incremental import IncrementalTruthInference
+        from repro.core.quality_store import WorkerQualityStore
+
+        arena = StateArena(3)
+        task = _task(0)
+        arena.add(task)
+        inc = IncrementalTruthInference(
+            WorkerQualityStore(3), arena=arena
+        )
+        state = inc.submit(Answer("w", 0, 1))
+        assert state.s[0] > 0.5
+        assert inc.answered_workers(0) == [("w", 1)]
+        # A task added to the shared arena by another owner after
+        # construction: register_task must backfill its history.
+        arena2 = StateArena(3)
+        inc2 = IncrementalTruthInference(
+            WorkerQualityStore(3), arena=arena2
+        )
+        task2 = _task(1)
+        arena2.add(task2)
+        inc2.register_task(task2)
+        inc2.submit(Answer("w", 1, 2))
+        assert inc2.answered_workers(1) == [("w", 2)]
+
+
+class TestAnswerLog:
+    def test_arrival_and_first_answer_orders(self):
+        arena = StateArena(2)
+        for i in range(3):
+            arena.add(_task(i, m=2))
+        log = AnswerLog(arena)
+        log.append(Answer("w2", 1, 1))
+        log.append(Answer("w1", 0, 2))
+        log.append(Answer("w2", 0, 1))
+        log.append(Answer("w3", 1, 2))
+        assert len(log) == 4
+        np.testing.assert_array_equal(log.task_rows, [1, 0, 0, 1])
+        np.testing.assert_array_equal(log.worker_rows, [0, 1, 0, 2])
+        np.testing.assert_array_equal(log.choices, [0, 1, 0, 1])
+        assert log.worker_ids == ["w2", "w1", "w3"]
+        np.testing.assert_array_equal(log.answered_rows(), [1, 0])
+
+    def test_log_growth(self):
+        arena = StateArena(2)
+        arena.add(_task(0, m=2))
+        log = AnswerLog(arena)
+        for i in range(2500):
+            log.append(Answer(f"w{i}", 0, 1 + i % 2))
+        assert len(log) == 2500
+        assert log.worker_ids[-1] == "w2499"
+        np.testing.assert_array_equal(
+            log.choices[:4], [0, 1, 0, 1]
+        )
+
+    def test_unregistered_task_rejected(self):
+        arena = StateArena(2)
+        log = AnswerLog(arena)
+        with pytest.raises(UnknownTaskError):
+            log.append(Answer("w", 99, 1))

@@ -1,0 +1,232 @@
+"""Arena / per-object equivalence under a randomized serving workload.
+
+The arena serving path (in-place row updates, cached entropies, log-fed
+full TI) must be *indistinguishable* from the per-object reference paths
+(:mod:`repro.core.reference`, :func:`repro.core.assignment.task_benefit`,
+:func:`repro.core.truth_inference.conditional_truth_matrix`,
+:meth:`repro.core.truth_inference.TruthInference.infer`). This suite
+drives both through identical randomized submit / assign / rerun
+workloads and asserts identical truths, qualities, and HIT selections.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.arena import AnswerLog
+from repro.core.assignment import TaskAssigner, arena_benefits, task_benefit
+from repro.core.incremental import IncrementalTruthInference
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.reference import ReferenceIncrementalTruthInference
+from repro.core.truth_inference import (
+    QUALITY_CEIL,
+    QUALITY_FLOOR,
+    TruthInference,
+    conditional_truth_matrix,
+)
+from repro.core.types import Answer, Task
+from repro.utils.rng import make_rng
+
+M_DOMAINS = 4
+NUM_TASKS = 36
+NUM_WORKERS = 7
+HIT_SIZE = 4
+RERUN_EVERY = 25
+
+
+def _make_tasks(rng):
+    tasks = []
+    for i in range(NUM_TASKS):
+        tasks.append(
+            Task(
+                task_id=i,
+                text=f"task {i}",
+                num_choices=int(rng.integers(2, 5)),
+                domain_vector=rng.dirichlet(np.ones(M_DOMAINS)),
+                ground_truth=1,
+            )
+        )
+    return tasks
+
+
+def _seeded_stores(rng):
+    """Two independent but identical stores (one per implementation)."""
+    qualities = {
+        f"w{j}": rng.uniform(0.4, 0.95, size=M_DOMAINS)
+        for j in range(NUM_WORKERS)
+    }
+    stores = []
+    for _ in range(2):
+        store = WorkerQualityStore(M_DOMAINS)
+        for worker_id, quality in qualities.items():
+            store.set(worker_id, quality, np.full(M_DOMAINS, 2.0))
+        stores.append(store)
+    return stores, {w: q.copy() for w, q in qualities.items()}
+
+
+class TestSingleUpdateAgainstEq3:
+    def test_first_submit_reproduces_conditional_truth_matrix(self):
+        """One answer into a fresh arena row is exactly Eq. 3-4 with
+        that worker's (clipped) quality."""
+        rng = make_rng(2)
+        task = Task(
+            task_id=0, text="t", num_choices=3,
+            domain_vector=rng.dirichlet(np.ones(M_DOMAINS)),
+        )
+        store = WorkerQualityStore(M_DOMAINS)
+        quality = rng.uniform(0.3, 0.9, size=M_DOMAINS)
+        store.set("w", quality, np.full(M_DOMAINS, 5.0))
+        inc = IncrementalTruthInference(store)
+        inc.register_task(task)
+        answer = Answer("w", 0, 2)
+        state = inc.submit(answer)
+        expected = conditional_truth_matrix(
+            task,
+            task.domain_vector,
+            [answer],
+            {"w": np.clip(quality, QUALITY_FLOOR, QUALITY_CEIL)},
+        )
+        np.testing.assert_allclose(state.M, expected, atol=1e-12)
+        np.testing.assert_allclose(
+            state.s, task.domain_vector @ expected, atol=1e-12
+        )
+
+
+class TestRandomizedWorkloadEquivalence:
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_submit_assign_rerun_workload(self, seed):
+        rng = make_rng(seed)
+        tasks = _make_tasks(rng)
+        (store_arena, store_ref), golden_init = _seeded_stores(rng)
+
+        arena_inc = IncrementalTruthInference(store_arena)
+        ref_inc = ReferenceIncrementalTruthInference(store_ref)
+        for task in tasks:
+            arena_inc.register_task(task)
+            ref_inc.register_task(task)
+
+        log = AnswerLog(arena_inc.arena)
+        answers = []
+        answered_by = {f"w{j}": set() for j in range(NUM_WORKERS)}
+        assigner = TaskAssigner(hit_size=HIT_SIZE)
+        ti = TruthInference()
+        reruns = 0
+
+        for arrival in range(40):
+            worker_id = f"w{int(rng.integers(NUM_WORKERS))}"
+            q_arena = store_arena.blended_quality(worker_id)
+            q_ref = store_ref.blended_quality(worker_id)
+            np.testing.assert_allclose(q_arena, q_ref, atol=1e-12)
+
+            # Benefits: arena buffers vs the per-task reference path.
+            benefits = arena_benefits(arena_inc.arena, q_arena)
+            probe = [
+                int(rng.integers(NUM_TASKS)) for _ in range(5)
+            ]
+            for tid in probe:
+                assert benefits[
+                    arena_inc.arena.global_row(tid)
+                ] == pytest.approx(
+                    task_benefit(ref_inc.state(tid), q_ref), abs=1e-9
+                )
+
+            hit_arena = assigner.assign(
+                arena_inc.arena,
+                q_arena,
+                answered_by_worker=answered_by[worker_id],
+            )
+            hit_ref = assigner.assign(
+                ref_inc.states(),
+                q_ref,
+                answered_by_worker=answered_by[worker_id],
+            )
+            assert hit_arena == hit_ref
+
+            for tid in hit_arena:
+                choice = int(
+                    rng.integers(1, tasks[tid].num_choices + 1)
+                )
+                answer = Answer(worker_id, tid, choice)
+                state_arena = arena_inc.submit(answer)
+                state_ref = ref_inc.submit(answer)
+                log.append(answer)
+                answers.append(answer)
+                answered_by[worker_id].add(tid)
+                np.testing.assert_allclose(
+                    state_arena.s, state_ref.s, atol=1e-12
+                )
+
+                if len(answers) % RERUN_EVERY == 0:
+                    reruns += 1
+                    legacy = ti.infer(
+                        tasks, answers, initial_qualities=golden_init
+                    )
+                    arena_result = ti.infer_from_log(
+                        log, initial_qualities=golden_init
+                    )
+                    assert arena_result.truths() == legacy.truths()
+                    assert (
+                        arena_result.iterations == legacy.iterations
+                    )
+                    for worker, quality in (
+                        legacy.worker_qualities.items()
+                    ):
+                        np.testing.assert_allclose(
+                            arena_result.worker_qualities()[worker],
+                            quality,
+                            atol=1e-12,
+                        )
+                    ref_inc.resync_from_full_inference(
+                        legacy.probabilistic_truths,
+                        legacy.truth_matrices,
+                        legacy.worker_qualities,
+                        legacy.worker_weights,
+                    )
+                    arena_inc.resync_from_arena_result(arena_result)
+
+        assert reruns >= 2, "workload too small to exercise reruns"
+
+        # Terminal state: every task and worker identical across paths.
+        for task in tasks:
+            arena_state = arena_inc.state(task.task_id)
+            ref_state = ref_inc.state(task.task_id)
+            np.testing.assert_allclose(
+                arena_state.M, ref_state.M, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                arena_state.s, ref_state.s, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                arena_state.log_numerators,
+                ref_state.log_numerators,
+                atol=1e-12,
+            )
+            assert (
+                arena_state.inferred_truth()
+                == ref_state.inferred_truth()
+            )
+        for worker_id in store_ref.known_workers():
+            np.testing.assert_allclose(
+                store_arena.get(worker_id).quality,
+                store_ref.get(worker_id).quality,
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                store_arena.get(worker_id).weight,
+                store_ref.get(worker_id).weight,
+                atol=1e-12,
+            )
+
+        # Final full inference agrees bit-for-bit on MAP truths.
+        final_legacy = ti.infer(
+            tasks, answers, initial_qualities=golden_init
+        )
+        final_arena = ti.infer_from_log(
+            log, initial_qualities=golden_init
+        )
+        assert final_arena.truths() == final_legacy.truths()
+        for tid, s in final_legacy.probabilistic_truths.items():
+            row = final_arena.task_ids.index(tid)
+            ell = int(final_arena.ells[row])
+            np.testing.assert_allclose(
+                final_arena.S[row, :ell], s, atol=1e-12
+            )

@@ -1,0 +1,57 @@
+"""Tests for the persistent per-worker answered-task sets (O(1) T(w))."""
+
+import pytest
+
+from repro.core.types import Answer
+from repro.platform.sqlite_storage import SqliteAnswerTable
+from repro.platform.storage import AnswerTable
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def table(request):
+    if request.param == "memory":
+        yield AnswerTable()
+    else:
+        sqlite_table = SqliteAnswerTable(":memory:")
+        yield sqlite_table
+        sqlite_table.close()
+
+
+class TestAnsweredSets:
+    def test_empty_worker(self, table):
+        assert table.tasks_answered_by("nobody") == set()
+
+    def test_set_is_maintained_across_inserts(self, table):
+        table.insert(Answer("w", 0, 1))
+        assert table.tasks_answered_by("w") == {0}
+        table.insert(Answer("w", 1, 2))
+        table.insert(Answer("other", 5, 1))
+        assert table.tasks_answered_by("w") == {0, 1}
+        assert table.tasks_answered_by("other") == {5}
+
+    def test_repeated_lookups_stay_fresh(self, table):
+        """The cached set must reflect inserts made after the first
+        lookup (the lazy-hydration + live-update contract)."""
+        assert table.tasks_answered_by("w") == set()
+        table.insert(Answer("w", 3, 1))
+        assert table.tasks_answered_by("w") == {3}
+        first = table.tasks_answered_by("w")
+        table.insert(Answer("w", 4, 1))
+        assert table.tasks_answered_by("w") == {3, 4}
+        # Same (live) object on the fast path — no per-call rebuild.
+        assert table.tasks_answered_by("w") is first
+
+
+def test_sqlite_hydrates_preexisting_rows(tmp_path):
+    """A table opened over an existing database must see old answers."""
+    path = str(tmp_path / "answers.db")
+    writer = SqliteAnswerTable(path)
+    writer.insert(Answer("w", 0, 1))
+    writer.insert(Answer("w", 7, 2))
+    writer.close()
+
+    reader = SqliteAnswerTable(path)
+    assert reader.tasks_answered_by("w") == {0, 7}
+    reader.insert(Answer("w", 9, 1))
+    assert reader.tasks_answered_by("w") == {0, 7, 9}
+    reader.close()

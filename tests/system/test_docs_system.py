@@ -122,6 +122,21 @@ class TestLifecycle:
         truths = system.finalize()
         assert set(truths) == {t.task_id for t in dataset.tasks}
 
+    def test_rejected_submit_leaves_no_trace(self, dataset):
+        """A bad answer must not reach any store: answer table, arena
+        state, and answer log stay mutually consistent."""
+        system = DocsSystem(DocsConfig(golden_count=0))
+        system.prepare(dataset)
+        tid = dataset.tasks[0].task_id
+        system.submit(Answer("w", tid, 1))
+        with pytest.raises(ValidationError):
+            system.submit(Answer("w2", tid, 99))
+        with pytest.raises(ValidationError):
+            system.submit(Answer("w", tid, 2))
+        assert len(system.database.answers) == 1
+        assert len(system._log) == 1
+        assert system.database.answers.tasks_answered_by("w2") == set()
+
 
 class TestEndToEnd:
     def test_full_campaign_beats_random_baseline(
