@@ -345,15 +345,16 @@ class DMaxEngine(EngineBase):
         linker = EntityLinker(dataset.kb)
         estimator = DomainVectorEstimator(linker, dataset.taxonomy.size)
         self._tasks = {t.task_id: t for t in dataset.tasks}
-        for task in dataset.tasks:
-            if task.domain_vector is None:
-                task.domain_vector = estimator.estimate(task.text)
+        pending = [t for t in dataset.tasks if t.domain_vector is None]
+        if pending:
+            vectors = estimator.estimate_batch([t.text for t in pending])
+            for task, vector in zip(pending, vectors):
+                task.domain_vector = vector
         self._r = {t.task_id: t.domain_vector for t in dataset.tasks}
         # Task state lives in an arena; scoring reads the registration-
         # ordered domain-vector block as a zero-copy view.
         self._arena = StateArena(dataset.taxonomy.size)
-        for task in dataset.tasks:
-            self._arena.add(task)
+        self._arena.grow(dataset.tasks)
         self._order = self._arena.task_ids()
         self._store = WorkerQualityStore(
             dataset.taxonomy.size, default_quality=self._default_quality

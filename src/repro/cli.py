@@ -128,10 +128,11 @@ def _cmd_detect(args) -> int:
     estimator = DomainVectorEstimator(
         EntityLinker(dataset.kb), dataset.taxonomy.size
     )
-    correct = 0
-    for task in dataset.tasks:
-        vector = estimator.estimate(task.text)
-        correct += int(np.argmax(vector)) == task.true_domain
+    vectors = estimator.estimate_batch([t.text for t in dataset.tasks])
+    correct = sum(
+        int(np.argmax(vector)) == task.true_domain
+        for task, vector in zip(dataset.tasks, vectors)
+    )
     print(
         f"{args.dataset}: domain detection "
         f"{correct}/{dataset.num_tasks} "

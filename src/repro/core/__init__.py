@@ -17,6 +17,7 @@ from repro.core.dve import (
     DomainVectorEstimator,
     domain_vector,
     domain_vector_enumeration,
+    domain_vectors_batch,
 )
 from repro.core.truth_inference import (
     ArenaInferenceResult,
@@ -40,6 +41,7 @@ __all__ = [
     "DomainVectorEstimator",
     "domain_vector",
     "domain_vector_enumeration",
+    "domain_vectors_batch",
     "TruthInference",
     "TruthInferenceResult",
     "IncrementalTruthInference",

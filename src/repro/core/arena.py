@@ -38,7 +38,16 @@ re-indexing every answer and re-stacking every domain vector.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -91,7 +100,15 @@ class ChoiceGroup:
         return self.H.shape[0]
 
     def _grow(self) -> None:
-        new = 2 * self.capacity
+        self._reserve(self.capacity + 1)
+
+    def _reserve(self, needed: int) -> None:
+        """Ensure capacity for ``needed`` rows (geometric doubling)."""
+        if needed <= self.capacity:
+            return
+        new = self.capacity
+        while new < needed:
+            new *= 2
         for name in ("R", "M", "S", "logN", "H", "dirty", "global_rows"):
             old = getattr(self, name)
             grown = np.zeros((new,) + old.shape[1:], dtype=old.dtype)
@@ -130,6 +147,33 @@ class ChoiceGroup:
         self.global_rows[row] = global_row
         self.task_ids.append(task_id)
         return row
+
+    def extend_fresh(
+        self,
+        task_ids: Sequence[int],
+        global_rows: np.ndarray,
+        R_block: np.ndarray,
+    ) -> np.ndarray:
+        """Append many fresh-state rows in one block write.
+
+        The bulk counterpart of :meth:`append` with ``M=None``: uniform
+        conditional truth matrices, zero log numerators, ``S = R @ M``.
+
+        Returns:
+            The new row indices, ``count`` long before the call.
+        """
+        n_new = len(task_ids)
+        self._reserve(self.count + n_new)
+        rows = np.arange(self.count, self.count + n_new)
+        self.count += n_new
+        self.R[rows] = R_block
+        self.M[rows] = 1.0 / self.ell
+        self.logN[rows] = 0.0
+        self.S[rows] = R_block @ np.full((self._m, self.ell), 1.0 / self.ell)
+        self.dirty[rows] = True
+        self.global_rows[rows] = global_rows
+        self.task_ids.extend(task_ids)
+        return rows
 
     def refresh_entropies(self) -> None:
         """Recompute ``H`` for dirty rows only (vectorised)."""
@@ -274,15 +318,7 @@ class StateArena:
             self._groups[task.num_choices] = group
 
         global_row = self._count
-        if global_row == self._R_all.shape[0]:
-            grown_R = np.zeros((2 * global_row, self._m))
-            grown_R[:global_row] = self._R_all
-            self._R_all = grown_R
-            for name in ("_ells", "_group_rows"):
-                old = getattr(self, name)
-                grown = np.zeros(2 * global_row, dtype=np.int64)
-                grown[:global_row] = old
-                setattr(self, name, grown)
+        self._reserve_global(global_row + 1)
         self._R_all[global_row] = r
         self._ells[global_row] = task.num_choices
         self._count += 1
@@ -294,6 +330,112 @@ class StateArena:
         view = ArenaTaskState(task, group, row)
         self._views[task.task_id] = view
         return view
+
+    def _reserve_global(self, needed: int) -> None:
+        """Ensure global-buffer capacity (geometric doubling)."""
+        capacity = self._R_all.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown_R = np.zeros((capacity, self._m))
+        grown_R[: self._count] = self._R_all[: self._count]
+        self._R_all = grown_R
+        for name in ("_ells", "_group_rows"):
+            old = getattr(self, name)
+            grown = np.zeros(capacity, dtype=np.int64)
+            grown[: self._count] = old[: self._count]
+            setattr(self, name, grown)
+
+    def grow(
+        self,
+        tasks: Sequence[Task],
+        R: Optional[np.ndarray] = None,
+    ) -> List[ArenaTaskState]:
+        """Register a batch of fresh tasks with block buffer writes.
+
+        The live-growth entry point (``DocsSystem.add_tasks`` /
+        the ingest pipeline's stage 4): per choice-count group one
+        :meth:`ChoiceGroup.extend_fresh` block write, one global-buffer
+        reservation for the whole batch — no per-task appends. Existing
+        rows, views, and the answer log are untouched, so serving
+        (assignment masks, incremental TI, full-TI reruns) continues
+        seamlessly over the enlarged pool.
+
+        Args:
+            tasks: the new tasks; all ids must be unused.
+            R: optional (len(tasks), m) domain-vector matrix; defaults
+                to each task's ``domain_vector``.
+
+        Returns:
+            The new row views, aligned with ``tasks``.
+
+        Raises:
+            ValidationError: on duplicate ids (within the batch or
+                against registered tasks), missing domain vectors, or a
+                shape mismatch.
+        """
+        if not tasks:
+            return []
+        seen: set = set()
+        for task in tasks:
+            if task.task_id in self._loc:
+                raise ValidationError(
+                    f"task {task.task_id} already registered in arena"
+                )
+            if task.task_id in seen:
+                raise ValidationError(
+                    f"duplicate task id {task.task_id} in growth batch"
+                )
+            seen.add(task.task_id)
+        if R is None:
+            vectors = []
+            for task in tasks:
+                if task.domain_vector is None:
+                    raise ValidationError(
+                        f"task {task.task_id} has no domain vector; "
+                        "run DVE first"
+                    )
+                vectors.append(task.domain_vector)
+            R = np.stack(vectors).astype(float, copy=False)
+        else:
+            R = np.asarray(R, dtype=float)
+        if R.shape != (len(tasks), self._m):
+            raise ValidationError(
+                f"domain matrix must have shape ({len(tasks)}, {self._m}), "
+                f"got {R.shape}"
+            )
+
+        base = self._count
+        self._reserve_global(base + len(tasks))
+        self._R_all[base:base + len(tasks)] = R
+        self._count += len(tasks)
+
+        by_ell: Dict[int, List[int]] = {}
+        for idx, task in enumerate(tasks):
+            global_row = base + idx
+            self._ells[global_row] = task.num_choices
+            self._order.append(task.task_id)
+            by_ell.setdefault(task.num_choices, []).append(idx)
+
+        views: List[Optional[ArenaTaskState]] = [None] * len(tasks)
+        for ell, indices in by_ell.items():
+            group = self._groups.get(ell)
+            if group is None:
+                group = ChoiceGroup(self._m, ell)
+                self._groups[ell] = group
+            global_rows = base + np.asarray(indices, dtype=np.int64)
+            rows = group.extend_fresh(
+                [tasks[i].task_id for i in indices], global_rows, R[indices]
+            )
+            self._group_rows[global_rows] = rows
+            for i, row in zip(indices, rows):
+                task = tasks[i]
+                self._loc[task.task_id] = (group, int(row))
+                view = ArenaTaskState(task, group, int(row))
+                self._views[task.task_id] = view
+                views[i] = view
+        return views  # type: ignore[return-value]
 
     # -- lookups ---------------------------------------------------------
 

@@ -10,15 +10,31 @@ over all entity-to-concept linkings (Eq. 1):
 
 ``|Omega| = prod_i |p_i|`` is exponential. Algorithm 1 computes the same
 value in ``O(c * m^2 * |E_t|^3)`` by dynamic programming over
-(numerator, denominator) pairs: both are small integers (indicators are
-0/1), so the number of distinct pairs after i entities is at most
-``(i + 1) * (m * i + 1)``.
+(numerator, denominator) pairs — retained verbatim as
+:func:`repro.core.reference.reference_domain_vector`, the executable
+specification the vectorised path is tested against.
 
-Linkings whose aggregated indicator is all-zero (denominator 0) carry no
-domain evidence; following the paper (Algorithm 1, line 16) their mass is
-dropped. :func:`domain_vector` therefore may return a sub-distribution;
-:class:`DomainVectorEstimator` renormalises it (conditioning on "at least
-one related concept") and falls back to uniform when no evidence exists.
+The production path here computes the identical expectation without a
+per-pair dictionary DP. Writing ``N_k = sum_i h_{i,pi_i,k}`` and
+``D = sum_i x_{i,pi_i}`` (with ``x_{i,j} = sum_k h_{i,j,k}``),
+
+    r_t[k] = E[N_k / D ; D > 0]
+           = sum_i sum_j p_{i,j} h_{i,j,k} * E[1 / (x_{i,j} + D_{-i})]
+
+by linearity, where ``D_{-i}`` is the leave-one-out denominator sum over
+the other entities. ``D_{-i}`` has a small integer support, so its
+distribution is a product of per-entity pmfs — batched polynomial
+convolutions — and the harmonic expectation is one matmul against a
+``1/(x+d)`` table. Every term with ``h = 1`` forces ``x >= 1``, so the
+``D > 0`` guard of Algorithm 1 (line 16: all-zero linkings drop their
+mass) is automatic. :func:`domain_vectors_batch` evaluates whole task
+batches this way, grouped by entity count; :func:`domain_vector` is the
+single-task wrapper.
+
+:func:`domain_vector` may return a sub-distribution (dropped all-zero
+mass); :class:`DomainVectorEstimator` renormalises it (conditioning on
+"at least one related concept") and falls back to uniform when no
+evidence exists.
 """
 
 from __future__ import annotations
@@ -92,8 +108,81 @@ def _validate_entities(
     return probs, indicator_ints, m
 
 
+def _batch_convolve(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Row-wise polynomial product of two pmf batches.
+
+    Args:
+        A: (T, sa) per-task pmfs over integer support 0..sa-1.
+        B: (T, sb) per-task pmfs over integer support 0..sb-1.
+
+    Returns:
+        (T, sa + sb - 1) per-task pmfs of the independent sums.
+    """
+    sa, sb = A.shape[1], B.shape[1]
+    if sb > sa:
+        A, B, sa, sb = B, A, sb, sa
+    out = np.zeros((A.shape[0], sa + sb - 1))
+    for shift in range(sb):
+        out[:, shift:shift + sa] += A * B[:, shift:shift + 1]
+    return out
+
+
+def _batch_kernel(
+    F: np.ndarray, X: List[np.ndarray], P: List[np.ndarray],
+    H: List[np.ndarray], m: int,
+) -> np.ndarray:
+    """Vectorised Eq. 1 for tasks sharing one entity count.
+
+    Args:
+        F: (T, ne, m + 1) per-entity pmfs of ``x_{i,pi_i}``.
+        X: per-entity (T, J_i) integer indicator sums (ragged in J only).
+        P: per-entity (T, J_i) linking probabilities.
+        H: per-entity (T, J_i, m) indicator matrices.
+        m: taxonomy size.
+
+    Returns:
+        (T, m) raw domain vectors (sub-distributions).
+    """
+    T, ne, _ = F.shape
+    # Prefix/suffix pmf products give each entity's leave-one-out
+    # denominator distribution D_{-i}.
+    delta = np.ones((T, 1))
+    prefix: List[np.ndarray] = [delta]
+    for i in range(ne - 1):
+        prefix.append(_batch_convolve(prefix[-1], F[:, i]))
+    suffix: List[np.ndarray] = [delta]
+    for i in range(ne - 1, 0, -1):
+        suffix.append(_batch_convolve(suffix[-1], F[:, i]))
+    suffix.reverse()
+    support = (ne - 1) * m + 1
+    # Harmonic table: inv[x - 1, d] = 1 / (x + d) for x in 1..m.
+    inv = 1.0 / (
+        np.arange(1, m + 1)[:, None] + np.arange(support)[None, :]
+    )
+    r = np.zeros((T, m))
+    for i in range(ne):
+        loo = _batch_convolve(prefix[i], suffix[i])        # (T, support_i)
+        # W[t, x - 1] = E[1 / (x + D_{-i})] for x in 1..m.
+        W = loo @ inv[:, : loo.shape[1]].T                 # (T, m)
+        x_i = X[i]
+        positive = x_i > 0
+        weights = np.where(
+            positive,
+            P[i] * np.take_along_axis(
+                W, np.maximum(x_i - 1, 0), axis=1
+            ),
+            0.0,
+        )                                                  # (T, J_i)
+        r += np.matmul(weights[:, None, :], H[i])[:, 0, :]
+    return r
+
+
 def domain_vector(entities: Sequence[EntityLike]) -> np.ndarray:
-    """Algorithm 1: polynomial-time exact domain vector computation.
+    """Eq. 1 exactly, in polynomial time (Algorithm 1's guarantee).
+
+    Single-task wrapper over the vectorised kernel (see the module
+    docstring); numerically equivalent to the retained dictionary DP
+    :func:`repro.core.reference.reference_domain_vector`.
 
     Args:
         entities: the task's linked entities (``E_t`` with ``p_i`` and
@@ -105,27 +194,146 @@ def domain_vector(entities: Sequence[EntityLike]) -> np.ndarray:
         all-zero linkings is dropped, per the paper).
     """
     probs, indicators, m = _validate_entities(entities)
-    # Pre-computation (line 1): x_{i,j} = sum_k h_{i,j,k}.
-    x = [h.sum(axis=1) for h in indicators]
+    F = np.zeros((1, len(probs), m + 1))
+    X, P, H = [], [], []
+    for i, (p, h) in enumerate(zip(probs, indicators)):
+        x = h.sum(axis=1)
+        F[0, i] = np.bincount(x, weights=p, minlength=m + 1)
+        X.append(x[None, :])
+        P.append(p[None, :])
+        H.append(h[None, :, :].astype(float))
+    return _batch_kernel(F, X, P, H, m)[0]
 
-    r = np.zeros(m, dtype=float)
-    for k in range(m):
-        # M maps (numerator, denominator) -> aggregated probability.
-        table: Dict[Tuple[int, int], float] = {(0, 0): 1.0}
-        for p_i, h_i, x_i in zip(probs, indicators, x):
-            h_ik = h_i[:, k]
-            new_table: Dict[Tuple[int, int], float] = {}
-            for (nm, dm), value in table.items():
-                for j in range(p_i.size):
-                    key = (nm + int(h_ik[j]), dm + int(x_i[j]))
-                    new_table[key] = new_table.get(key, 0.0) + value * p_i[j]
-            table = new_table
-        total = 0.0
-        for (nm, dm), value in table.items():
-            if dm != 0 and nm != 0:
-                total += (nm / dm) * value
-        r[k] = total
-    return r
+
+def _raise_batch_error(
+    t: int, entities: Sequence[EntityLike], probe: bool = False
+) -> None:
+    """Rerun the strict per-entity validator to name a batch offender.
+
+    With ``probe`` the call is a no-op when the task validates (used to
+    locate which task tripped the batch-level value check).
+    """
+    try:
+        _validate_entities(entities)
+    except ValidationError as exc:
+        raise ValidationError(f"task index {t}: {exc}") from None
+    if not probe:
+        raise ValidationError(f"task index {t}: malformed entity inputs")
+
+
+def domain_vectors_batch(
+    entity_lists: Sequence[Sequence[EntityLike]],
+    num_domains: Optional[int] = None,
+) -> np.ndarray:
+    """Raw domain vectors for many tasks in grouped array ops.
+
+    Tasks are grouped by entity count; each group is evaluated by
+    :func:`_batch_kernel` with no per-linking or per-(num, den) Python
+    work. This is the ingest plane's DVE stage — equivalent to calling
+    :func:`domain_vector` per task (tested against the retained DP in
+    ``tests/core/test_dve_equivalence.py``) but batch-first.
+
+    Args:
+        entity_lists: one entity list per task; empty lists are allowed
+            (their rows come back all-zero — no evidence).
+        num_domains: taxonomy size m; required only when every task's
+            entity list is empty.
+
+    Returns:
+        (len(entity_lists), m) raw domain vectors (sub-distributions,
+        rows may sum to < 1).
+
+    Raises:
+        ValidationError: on malformed entities, inconsistent indicator
+            widths, or an unresolvable m.
+    """
+    m = num_domains
+    per_task: List[Optional[Tuple[List[np.ndarray], List[np.ndarray]]]] = []
+    flat_probs: List[np.ndarray] = []
+    flat_indicators: List[np.ndarray] = []
+    for t, entities in enumerate(entity_lists):
+        if not entities:
+            per_task.append(None)
+            continue
+        probs: List[np.ndarray] = []
+        indicators: List[np.ndarray] = []
+        for entity in entities:
+            p = np.asarray(entity.probabilities, dtype=float)
+            h = np.asarray(entity.indicators)
+            # Structural checks are cheap Python attribute reads; value
+            # checks run once, vectorised, over the whole batch below.
+            if (
+                p.ndim != 1
+                or p.size == 0
+                or h.ndim != 2
+                or h.shape[0] != p.size
+            ):
+                _raise_batch_error(t, entities)
+            if m is None:
+                m = h.shape[1]
+            elif h.shape[1] != m:
+                raise ValidationError(
+                    f"task index {t}: indicator width {h.shape[1]} != {m}"
+                )
+            probs.append(p)
+            indicators.append(h)
+        per_task.append((probs, indicators))
+        flat_probs.extend(probs)
+        flat_indicators.extend(indicators)
+    if m is None:
+        raise ValidationError(
+            "num_domains required when no task has entities"
+        )
+    if flat_probs:
+        # One vectorised value-validation pass for the whole batch; the
+        # per-entity validator reruns only to name the offender.
+        p_all = np.concatenate(flat_probs)
+        sizes = np.array([p.size for p in flat_probs])
+        offsets = np.zeros(sizes.size, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        sums = np.add.reduceat(p_all, offsets)
+        h_all = np.concatenate(flat_indicators, axis=0)
+        if (
+            np.any(p_all < -1e-12)
+            or not np.all(np.isclose(sums, 1.0, atol=1e-6))
+            or not np.all((h_all == 0) | (h_all == 1))
+        ):
+            for t, parsed in enumerate(per_task):
+                if parsed is not None:
+                    _raise_batch_error(t, entity_lists[t], probe=True)
+    R = np.zeros((len(entity_lists), m))
+
+    by_count: Dict[int, List[int]] = {}
+    for t, parsed in enumerate(per_task):
+        if parsed is not None:
+            by_count.setdefault(len(parsed[0]), []).append(t)
+    for ne, task_rows in by_count.items():
+        T = len(task_rows)
+        F = np.zeros((T, ne, m + 1))
+        X: List[np.ndarray] = []
+        P: List[np.ndarray] = []
+        H: List[np.ndarray] = []
+        for i in range(ne):
+            counts = [per_task[t][0][i].size for t in task_rows]
+            J = max(counts)
+            # Right-pad ragged candidate lists with zero-probability
+            # entries: p = 0 contributes nothing to any term.
+            p_block = np.zeros((T, J))
+            x_block = np.zeros((T, J), dtype=np.int64)
+            h_block = np.zeros((T, J, m))
+            for row, t in enumerate(task_rows):
+                p, h = per_task[t][0][i], per_task[t][1][i]
+                p_block[row, : p.size] = p
+                x_block[row, : p.size] = h.sum(axis=1)
+                h_block[row, : p.size] = h
+                F[row, i] = np.bincount(
+                    x_block[row, : p.size], weights=p, minlength=m + 1
+                )
+            X.append(x_block)
+            P.append(p_block)
+            H.append(h_block)
+        R[task_rows] = _batch_kernel(F, X, P, H, m)
+    return R
 
 
 def domain_vector_enumeration(
@@ -224,3 +432,29 @@ class DomainVectorEstimator:
         if total <= 1e-12:
             return uniform_distribution(self._m)
         return raw / total
+
+    def estimate_batch(
+        self, texts: Sequence[str], top_c: Optional[int] = None
+    ) -> np.ndarray:
+        """Domain vectors for many task descriptions in one pass.
+
+        Linking runs through the linker's batch path (shared candidate
+        cache) and the DVE stage through :func:`domain_vectors_batch`.
+
+        Returns:
+            (len(texts), m) matrix; each row a probability distribution.
+        """
+        entity_lists = self._linker.link_batch(texts, top_c=top_c)
+        return self.estimate_from_entities_batch(entity_lists)
+
+    def estimate_from_entities_batch(
+        self, entity_lists: Sequence[Sequence[EntityLike]]
+    ) -> np.ndarray:
+        """Batched :meth:`estimate_from_entities` with the same fallbacks."""
+        R = domain_vectors_batch(entity_lists, num_domains=self._m)
+        totals = R.sum(axis=1)
+        no_evidence = totals <= 1e-12
+        totals[no_evidence] = 1.0
+        R /= totals[:, None]
+        R[no_evidence] = 1.0 / self._m
+        return R

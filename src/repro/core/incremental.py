@@ -24,7 +24,7 @@ paper) — orchestrated by :class:`repro.system.DocsSystem`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,6 +80,30 @@ class IncrementalTruthInference:
         view = self._arena.add(task)
         self._history[task.task_id] = []
         return view
+
+    def register_tasks(
+        self, tasks: Sequence[Task]
+    ) -> List[ArenaTaskState]:
+        """Register a batch of tasks with one arena block write.
+
+        Tasks already registered keep their state (matching
+        :meth:`register_task`'s idempotency); the rest are grown into
+        the arena via :meth:`repro.core.arena.StateArena.grow`. This is
+        the ingest pipeline's row-registration stage and the live-growth
+        path of ``DocsSystem.add_tasks``.
+
+        Returns:
+            Row views aligned with ``tasks``.
+        """
+        fresh = [
+            task for task in tasks if task.task_id not in self._arena
+        ]
+        self._arena.grow(fresh)
+        views: List[ArenaTaskState] = []
+        for task in tasks:
+            self._history.setdefault(task.task_id, [])
+            views.append(self._arena.view(task.task_id))
+        return views
 
     def state(self, task_id: int) -> ArenaTaskState:
         """Current state of a task (a live arena row view).

@@ -20,6 +20,13 @@ Theorem 3 tensor) and :func:`reference_infer` (per-call answer
 re-indexing, ``np.add.at`` scatter loops) — so the benchmark's "legacy"
 side measures exactly the code path this PR replaced, not a version
 that silently inherits the new optimisations.
+
+:func:`reference_domain_vector` is the same kind of snapshot for the
+ingest plane: Algorithm 1's per-task dictionary DP over (numerator,
+denominator) pairs, exactly as the paper states it. The vectorised
+:func:`repro.core.dve.domain_vectors_batch` is tested for equivalence
+against it and ``benchmarks/bench_perf.py`` times it as the pre-pipeline
+``prepare()`` baseline.
 """
 
 from __future__ import annotations
@@ -171,6 +178,40 @@ class ReferenceIncrementalTruthInference:
                 np.asarray(quality, dtype=float),
                 np.asarray(worker_weights[worker_id], dtype=float),
             )
+
+
+def reference_domain_vector(entities) -> np.ndarray:
+    """Algorithm 1 as stated in the paper: the (num, den)-pair DP.
+
+    The executable specification for
+    :func:`repro.core.dve.domain_vector` and
+    :func:`repro.core.dve.domain_vectors_batch`; intentionally kept as
+    per-pair Python dictionary work.
+    """
+    from repro.core.dve import _validate_entities
+
+    probs, indicators, m = _validate_entities(entities)
+    # Pre-computation (line 1): x_{i,j} = sum_k h_{i,j,k}.
+    x = [h.sum(axis=1) for h in indicators]
+
+    r = np.zeros(m, dtype=float)
+    for k in range(m):
+        # M maps (numerator, denominator) -> aggregated probability.
+        table: Dict[Tuple[int, int], float] = {(0, 0): 1.0}
+        for p_i, h_i, x_i in zip(probs, indicators, x):
+            h_ik = h_i[:, k]
+            new_table: Dict[Tuple[int, int], float] = {}
+            for (nm, dm), value in table.items():
+                for j in range(p_i.size):
+                    key = (nm + int(h_ik[j]), dm + int(x_i[j]))
+                    new_table[key] = new_table.get(key, 0.0) + value * p_i[j]
+            table = new_table
+        total = 0.0
+        for (nm, dm), value in table.items():
+            if dm != 0 and nm != 0:
+                total += (nm / dm) * value
+        r[k] = total
+    return r
 
 
 def reference_batch_benefits(

@@ -85,9 +85,12 @@ def build_context(
     dataset = make_dataset(dataset_name, seed=seed, **(dataset_overrides or {}))
     linker = EntityLinker(dataset.kb)
     estimator = DomainVectorEstimator(linker, dataset.taxonomy.size)
-    for task in dataset.tasks:
-        if task.domain_vector is None:
-            task.domain_vector = estimator.estimate(task.text)
+    pending = [t for t in dataset.tasks if t.domain_vector is None]
+    if pending:
+        # Batch path: shared candidate cache + vectorised DVE.
+        vectors = estimator.estimate_batch([t.text for t in pending])
+        for task, vector in zip(pending, vectors):
+            task.domain_vector = vector
 
     active = tuple(d.taxonomy_index for d in dataset.domains)
     pool = WorkerPool.generate(

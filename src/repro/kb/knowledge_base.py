@@ -37,6 +37,7 @@ class KnowledgeBase:
         self._concepts: Dict[int, Concept] = {}
         self._alias_index: Dict[str, List[int]] = defaultdict(list)
         self._indicator_cache: Dict[int, np.ndarray] = {}
+        self._stack_cache: Dict[Tuple[int, ...], np.ndarray] = {}
         self._max_alias_tokens = 0
 
     @property
@@ -104,6 +105,22 @@ class KnowledgeBase:
         if vec is None:
             raise ValidationError(f"unknown concept id: {concept_id}")
         return vec
+
+    def indicator_matrix(self, concept_ids: Tuple[int, ...]) -> np.ndarray:
+        """Stacked indicator rows for a candidate tuple, cached.
+
+        Batch ingestion hits the same candidate tuples over and over
+        (every task mentioning "Michael Jordan" stacks the same rows);
+        the cache hands back one shared ``(len(ids), m)`` matrix per
+        tuple. Treat as read-only.
+        """
+        stacked = self._stack_cache.get(concept_ids)
+        if stacked is None:
+            stacked = np.stack(
+                [self.indicator(cid) for cid in concept_ids]
+            )
+            self._stack_cache[concept_ids] = stacked
+        return stacked
 
     def candidates(self, alias: str) -> List[Concept]:
         """All concepts registered under ``alias`` (possibly empty)."""

@@ -16,13 +16,13 @@ Algorithm 1 worthwhile.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.linking.candidates import CandidateSet
-from repro.utils.text import cosine_similarity
+from repro.utils.text import cosine_from_counts, cosine_similarity
 
 #: Additive smoothing applied to context scores before mixing with priors.
 DEFAULT_SMOOTHING = 0.15
@@ -50,6 +50,36 @@ def score_candidates(
     scores = np.empty(len(candidates), dtype=float)
     for j, concept in enumerate(candidates.concepts):
         context_score = cosine_similarity(list(context), concept.description)
+        scores[j] = candidates.priors[j] * (smoothing + context_score)
+    return scores
+
+
+def score_candidates_from_counts(
+    candidates: CandidateSet,
+    description_counts: Sequence[Dict[str, int]],
+    description_norms: Sequence[float],
+    context_counts: Dict[str, int],
+    context_norm: float,
+    smoothing: float = DEFAULT_SMOOTHING,
+) -> np.ndarray:
+    """:func:`score_candidates` on precomputed term-frequency bags.
+
+    The batch linking path caches each candidate's description bag and
+    norm per surface form and builds the context bag once per task, so
+    repeated mentions across a task batch do not re-tokenise anything.
+    Produces the same scores as :func:`score_candidates` for the same
+    inputs.
+    """
+    if smoothing <= 0:
+        raise ValidationError(f"smoothing must be positive: {smoothing}")
+    scores = np.empty(len(candidates), dtype=float)
+    for j in range(len(candidates)):
+        context_score = cosine_from_counts(
+            context_counts,
+            context_norm,
+            description_counts[j],
+            description_norms[j],
+        )
         scores[j] = candidates.priors[j] * (smoothing + context_score)
     return scores
 

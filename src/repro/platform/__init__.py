@@ -13,6 +13,11 @@ This package simulates that loop:
 """
 
 from repro.platform.storage import AnswerTable, SystemDatabase
+from repro.platform.sqlite_storage import (
+    SqliteAnswerTable,
+    SqliteSystemDatabase,
+    SqliteWorkerQualityStore,
+)
 from repro.platform.hit import HIT, HITLog
 from repro.platform.budget import Budget
 from repro.platform.amt_sim import PlatformSimulator, SimulationReport
@@ -20,6 +25,9 @@ from repro.platform.amt_sim import PlatformSimulator, SimulationReport
 __all__ = [
     "AnswerTable",
     "SystemDatabase",
+    "SqliteAnswerTable",
+    "SqliteSystemDatabase",
+    "SqliteWorkerQualityStore",
     "HIT",
     "HITLog",
     "Budget",

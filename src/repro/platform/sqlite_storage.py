@@ -8,23 +8,37 @@ top of the standard library's ``sqlite3``:
 
 - :class:`SqliteAnswerTable` — same interface as
   :class:`repro.platform.storage.AnswerTable`;
+- :class:`SqliteSystemDatabase` — same interface as
+  :class:`repro.platform.storage.SystemDatabase` (task catalogue +
+  answers + golden registry), with the ingest plane's bulk
+  ``add_tasks`` / ``add_answers`` running as single ``executemany``
+  round-trips;
 - :class:`SqliteWorkerQualityStore` — same interface as
   :class:`repro.core.quality_store.WorkerQualityStore`, persisting the
   (quality, weight) vectors of Theorem 1.
 
-Both accept a filesystem path or ``":memory:"``.
+All accept a filesystem path or ``":memory:"``.
 """
 
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
+from repro.core.types import Answer, Task
 from repro.core.quality_store import WorkerStats
-from repro.core.types import Answer
-from repro.errors import UnknownWorkerError, ValidationError
+from repro.errors import UnknownTaskError, UnknownWorkerError, ValidationError
 
 _ANSWER_SCHEMA = """
 CREATE TABLE IF NOT EXISTS answers (
@@ -36,6 +50,19 @@ CREATE TABLE IF NOT EXISTS answers (
 );
 CREATE INDEX IF NOT EXISTS idx_answers_task ON answers (task_id);
 CREATE INDEX IF NOT EXISTS idx_answers_worker ON answers (worker_id);
+"""
+
+_TASK_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tasks (
+    task_id       INTEGER PRIMARY KEY,
+    text          TEXT NOT NULL,
+    num_choices   INTEGER NOT NULL,
+    domain_vector BLOB,
+    ground_truth  INTEGER,
+    true_domain   INTEGER,
+    distractor    INTEGER,
+    golden_rank   INTEGER
+);
 """
 
 _WORKER_SCHEMA = """
@@ -54,10 +81,17 @@ class SqliteAnswerTable:
 
     Args:
         path: SQLite database path (or ``":memory:"``).
+        conn: an existing connection to attach to instead of opening
+            ``path`` (used by :class:`SqliteSystemDatabase` so tasks and
+            answers share one database file and one transaction scope).
     """
 
-    def __init__(self, path: str = ":memory:"):
-        self._conn = sqlite3.connect(path)
+    def __init__(
+        self,
+        path: str = ":memory:",
+        conn: Optional[sqlite3.Connection] = None,
+    ):
+        self._conn = conn if conn is not None else sqlite3.connect(path)
         self._conn.executescript(_ANSWER_SCHEMA)
         self._conn.commit()
         #: Per-worker answered-task sets, mirroring the in-memory
@@ -95,6 +129,33 @@ class SqliteAnswerTable:
         cached = self._worker_tasks.get(answer.worker_id)
         if cached is not None:
             cached.add(answer.task_id)
+
+    def add_answers(self, answers: Sequence[Answer]) -> None:
+        """Batch-append answers: one ``executemany`` round-trip.
+
+        The enclosing transaction makes the batch atomic — a duplicate
+        (worker, task) pair anywhere in it rolls the whole batch back.
+
+        Raises:
+            ValidationError: if any pair violates the at-most-once
+                constraint.
+        """
+        try:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT INTO answers (worker_id, task_id, choice) "
+                    "VALUES (?, ?, ?)",
+                    [(a.worker_id, a.task_id, a.choice) for a in answers],
+                )
+        except sqlite3.IntegrityError:
+            raise ValidationError(
+                "batch contains a (worker, task) pair that was already "
+                "answered"
+            ) from None
+        for answer in answers:
+            cached = self._worker_tasks.get(answer.worker_id)
+            if cached is not None:
+                cached.add(answer.task_id)
 
     def all(self) -> List[Answer]:
         """All answers in arrival order."""
@@ -159,6 +220,183 @@ class SqliteAnswerTable:
     def __len__(self) -> int:
         (count,) = self._conn.execute(
             "SELECT COUNT(*) FROM answers"
+        ).fetchone()
+        return int(count)
+
+
+def _encode_vector(vector: Optional[np.ndarray]) -> Optional[bytes]:
+    if vector is None:
+        return None
+    return np.asarray(vector, dtype=np.float64).tobytes()
+
+
+def _decode_vector(blob: Optional[bytes]) -> Optional[np.ndarray]:
+    if blob is None:
+        return None
+    return np.frombuffer(blob, dtype=np.float64).copy()
+
+
+class SqliteSystemDatabase:
+    """Durable task catalogue + answers + golden registry.
+
+    A drop-in :class:`repro.platform.storage.SystemDatabase` with all
+    tables in one SQLite file; the ingest plane's bulk ``add_tasks`` /
+    ``add_answers`` each run as a single ``executemany`` round-trip
+    inside one transaction. ``behavior_domains`` (a simulation-only
+    field) is not persisted.
+
+    Args:
+        path: SQLite database path (or ``":memory:"``).
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_TASK_SCHEMA)
+        self._conn.commit()
+        self.answers = SqliteAnswerTable(conn=self._conn)
+
+    def close(self) -> None:
+        """Close the underlying connection (shared with ``answers``)."""
+        self._conn.close()
+
+    @staticmethod
+    def _row_to_task(row: Tuple) -> Task:
+        task_id, text, ell, r_blob, truth, domain, distractor = row
+        return Task(
+            task_id=task_id,
+            text=text,
+            num_choices=ell,
+            domain_vector=_decode_vector(r_blob),
+            ground_truth=truth,
+            true_domain=domain,
+            distractor=distractor,
+        )
+
+    def insert_task(self, task: Task) -> None:
+        """Register a task.
+
+        Raises:
+            ValidationError: on duplicate ids.
+        """
+        self.add_tasks([task])
+
+    def insert_tasks(self, tasks: Iterable[Task]) -> None:
+        """Register many tasks."""
+        self.add_tasks(list(tasks))
+
+    def add_tasks(self, tasks: Sequence[Task]) -> None:
+        """Batch-register tasks: one ``executemany`` round-trip.
+
+        Atomic: a duplicate id anywhere in the batch (against the
+        catalogue or within the batch) rolls the whole batch back.
+
+        Raises:
+            ValidationError: naming the first offending task id.
+        """
+        ids = [task.task_id for task in tasks]
+        seen: Set[int] = set()
+        for task_id in ids:
+            if task_id in seen:
+                raise ValidationError(f"duplicate task id {task_id}")
+            seen.add(task_id)
+        try:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT INTO tasks (task_id, text, num_choices, "
+                    "domain_vector, ground_truth, true_domain, distractor) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            t.task_id,
+                            t.text,
+                            t.num_choices,
+                            _encode_vector(t.domain_vector),
+                            t.ground_truth,
+                            t.true_domain,
+                            t.distractor,
+                        )
+                        for t in tasks
+                    ],
+                )
+        except sqlite3.IntegrityError as exc:
+            existing = {
+                tid for (tid,) in self._conn.execute(
+                    "SELECT task_id FROM tasks"
+                ).fetchall()
+            }
+            offender = next(
+                (tid for tid in ids if tid in existing), None
+            )
+            if offender is not None:
+                raise ValidationError(
+                    f"duplicate task id {offender}"
+                ) from None
+            raise ValidationError(
+                f"task batch violates a storage constraint: {exc}"
+            ) from None
+
+    def add_answers(self, answers: Sequence[Answer]) -> None:
+        """Batch-append answers (see :meth:`SqliteAnswerTable.add_answers`)."""
+        self.answers.add_answers(answers)
+
+    def task(self, task_id: int) -> Task:
+        """Fetch a task.
+
+        Raises:
+            UnknownTaskError: if missing.
+        """
+        row = self._conn.execute(
+            "SELECT task_id, text, num_choices, domain_vector, "
+            "ground_truth, true_domain, distractor FROM tasks "
+            "WHERE task_id = ?",
+            (task_id,),
+        ).fetchone()
+        if row is None:
+            raise UnknownTaskError(task_id)
+        return self._row_to_task(row)
+
+    def tasks(self) -> List[Task]:
+        """All tasks, id-ordered."""
+        rows = self._conn.execute(
+            "SELECT task_id, text, num_choices, domain_vector, "
+            "ground_truth, true_domain, distractor FROM tasks "
+            "ORDER BY task_id"
+        ).fetchall()
+        return [self._row_to_task(row) for row in rows]
+
+    def task_ids(self) -> List[int]:
+        """All task ids, ordered."""
+        rows = self._conn.execute(
+            "SELECT task_id FROM tasks ORDER BY task_id"
+        ).fetchall()
+        return [tid for (tid,) in rows]
+
+    def mark_golden(self, task_ids: Sequence[int]) -> None:
+        """Record the golden-task set (tasks with known ground truth)."""
+        for task_id in task_ids:
+            if self.task(task_id).ground_truth is None:
+                raise ValidationError(
+                    f"golden task {task_id} has no ground truth"
+                )
+        with self._conn:
+            self._conn.execute("UPDATE tasks SET golden_rank = NULL")
+            self._conn.executemany(
+                "UPDATE tasks SET golden_rank = ? WHERE task_id = ?",
+                [(rank, tid) for rank, tid in enumerate(task_ids)],
+            )
+
+    @property
+    def golden_ids(self) -> List[int]:
+        """Ids of the golden tasks (selection order)."""
+        rows = self._conn.execute(
+            "SELECT task_id FROM tasks WHERE golden_rank IS NOT NULL "
+            "ORDER BY golden_rank"
+        ).fetchall()
+        return [tid for (tid,) in rows]
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM tasks"
         ).fetchone()
         return int(count)
 

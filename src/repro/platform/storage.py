@@ -55,6 +55,29 @@ class AnswerTable:
         self._by_worker[answer.worker_id].append(answer)
         self._worker_tasks[answer.worker_id].add(answer.task_id)
 
+    def add_answers(self, answers: Sequence[Answer]) -> None:
+        """Append a batch of answers atomically.
+
+        The whole batch is validated against the at-most-once constraint
+        (within the batch and against stored answers) before any row is
+        written, so a rejected batch leaves the table untouched.
+
+        Raises:
+            ValidationError: naming the first offending (worker, task)
+                pair.
+        """
+        batch_pairs: Set[Tuple[str, int]] = set()
+        for answer in answers:
+            key = (answer.worker_id, answer.task_id)
+            if key in self._pairs or key in batch_pairs:
+                raise ValidationError(
+                    f"worker {answer.worker_id} already answered task "
+                    f"{answer.task_id}"
+                )
+            batch_pairs.add(key)
+        for answer in answers:
+            self.insert(answer)
+
     def all(self) -> List[Answer]:
         """All answers in arrival order (copy)."""
         return list(self._answers)
@@ -116,6 +139,30 @@ class SystemDatabase:
         """Register many tasks."""
         for task in tasks:
             self.insert_task(task)
+
+    def add_tasks(self, tasks: Sequence[Task]) -> None:
+        """Register a batch of tasks atomically (the ingest-plane path).
+
+        The whole batch is validated for duplicate ids — within the
+        batch and against the catalogue — before any task is stored, so
+        a rejected batch leaves the catalogue untouched.
+
+        Raises:
+            ValidationError: naming the first offending task id.
+        """
+        batch_ids: Set[int] = set()
+        for task in tasks:
+            if task.task_id in self._tasks or task.task_id in batch_ids:
+                raise ValidationError(
+                    f"duplicate task id {task.task_id}"
+                )
+            batch_ids.add(task.task_id)
+        for task in tasks:
+            self._tasks[task.task_id] = task
+
+    def add_answers(self, answers: Sequence[Answer]) -> None:
+        """Batch-append answers (see :meth:`AnswerTable.add_answers`)."""
+        self.answers.add_answers(answers)
 
     def task(self, task_id: int) -> Task:
         """Fetch a task.

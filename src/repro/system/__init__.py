@@ -7,6 +7,14 @@ comparisons run all systems through one simulator.
 
 from repro.system.config import DocsConfig
 from repro.system.docs_system import DocsSystem
+from repro.system.ingest import IngestPipeline, IngestReport
 from repro.system.requester import CampaignResult, run_campaign
 
-__all__ = ["DocsConfig", "DocsSystem", "CampaignResult", "run_campaign"]
+__all__ = [
+    "DocsConfig",
+    "DocsSystem",
+    "IngestPipeline",
+    "IngestReport",
+    "CampaignResult",
+    "run_campaign",
+]

@@ -2,15 +2,23 @@
 
 Lifecycle (mirroring the architecture figure's numbered flows):
 
-1. ``prepare(dataset)`` — DVE: link every task against the KB, compute
-   domain vectors (Algorithm 1), store tasks, select golden tasks.
+1. ``prepare(dataset)`` — the ingest plane
+   (:class:`repro.system.ingest.IngestPipeline`): batch-link every task
+   against the KB, compute all domain vectors with the vectorised DVE,
+   bulk-store the tasks, register their arena rows, then select golden
+   tasks. ``prepare`` runs exactly once per system; a second call
+   raises.
 2. New worker arrives -> ``bootstrap`` with her golden-task answers
    (quality pre-test, Section 5.2).
 3. Worker requests tasks -> ``assign`` (OTA: entropy-reduction benefit,
    Theorems 2-4, linear top-k).
 4. Worker submits -> ``submit`` (incremental TI, Section 4.2), with the
    full iterative TI re-run every z submissions.
-5. ``finalize`` — final full TI; inferred truths returned to the
+5. At any point after ``prepare``, ``add_tasks`` ingests *new* tasks
+   mid-campaign through the same pipeline (live task growth — the
+   streaming scenario the paper's fixed task set excludes); they join
+   the assignable pool immediately.
+6. ``finalize`` — final full TI; inferred truths returned to the
    requester.
 """
 
@@ -22,7 +30,6 @@ import numpy as np
 
 from repro.core.arena import AnswerLog
 from repro.core.assignment import TaskAssigner
-from repro.core.dve import DomainVectorEstimator
 from repro.core.golden import select_golden_tasks
 from repro.core.incremental import IncrementalTruthInference
 from repro.core.quality_store import WorkerQualityStore
@@ -33,6 +40,7 @@ from repro.errors import ValidationError
 from repro.linking import EntityLinker
 from repro.platform.storage import SystemDatabase
 from repro.system.config import DocsConfig
+from repro.system.ingest import IngestPipeline, IngestReport
 
 
 class DocsSystem:
@@ -63,6 +71,7 @@ class DocsSystem:
         #: drifted store (Section 4.1 initialises from golden tasks).
         self._golden_qualities: Dict[str, np.ndarray] = {}
         self._submissions_since_rerun = 0
+        self._pipeline: Optional[IngestPipeline] = None
 
     @property
     def config(self) -> DocsConfig:
@@ -86,40 +95,86 @@ class DocsSystem:
     # -- CrowdEngine protocol -------------------------------------------
 
     def prepare(self, dataset: CrowdDataset) -> None:
-        """Run DVE over the dataset and initialise all modules."""
+        """Build the ingest pipeline, run it over the dataset, and
+        select golden tasks.
+
+        ``prepare`` is single-shot by design: the golden selection, the
+        worker-quality store, and the arena all key off the initial
+        batch, so rebuilding them silently would discard campaign state.
+
+        Raises:
+            ValidationError: if the system is already prepared, or the
+                dataset carries duplicate task ids.
+        """
+        if self._db is not None:
+            raise ValidationError(
+                "prepare() already ran for this DocsSystem; use "
+                "add_tasks() to ingest more tasks, or build a new system"
+            )
         m = dataset.taxonomy.size
         linker = EntityLinker(dataset.kb, top_c=self._config.top_c)
-        estimator = DomainVectorEstimator(linker, m)
 
-        self._db = SystemDatabase()
-        self._store = WorkerQualityStore(
+        # Build everything in locals and commit only after the ingest
+        # succeeds: a rejected dataset (e.g. duplicate ids) must leave
+        # the system un-prepared and retryable.
+        db = SystemDatabase()
+        store = WorkerQualityStore(
             m, default_quality=self._config.default_quality
         )
-        self._incremental = IncrementalTruthInference(self._store)
-        self._log = AnswerLog(self._incremental.arena)
-        self._bootstrapped = set()
-        self._golden_qualities = {}
-        self._submissions_since_rerun = 0
-
-        for task in dataset.tasks:
-            if task.domain_vector is None:
-                task.domain_vector = estimator.estimate(task.text)
-            self._db.insert_task(task)
-            self._incremental.register_task(task)
+        incremental = IncrementalTruthInference(store)
+        pipeline = IngestPipeline(db, incremental, linker)
+        pipeline.ingest(dataset.tasks)
 
         golden_count = min(self._config.golden_count, len(dataset.tasks))
         golden_indices = select_golden_tasks(
             [t.domain_vector for t in dataset.tasks], golden_count
         )
         golden_ids = []
-        self._golden_truths = {}
+        golden_truths: Dict[int, int] = {}
         for idx in golden_indices:
             task = dataset.tasks[idx]
             if task.ground_truth is None:
                 continue
             golden_ids.append(task.task_id)
-            self._golden_truths[task.task_id] = task.ground_truth
-        self._db.mark_golden(golden_ids)
+            golden_truths[task.task_id] = task.ground_truth
+        db.mark_golden(golden_ids)
+
+        self._db = db
+        self._store = store
+        self._incremental = incremental
+        self._log = AnswerLog(incremental.arena)
+        self._pipeline = pipeline
+        self._bootstrapped = set()
+        self._golden_qualities = {}
+        self._golden_truths = golden_truths
+        self._submissions_since_rerun = 0
+
+    def add_tasks(self, tasks: Sequence[Task]) -> IngestReport:
+        """Ingest new tasks mid-campaign (live task growth).
+
+        Runs the same staged pipeline as :meth:`prepare` — batch
+        linking, vectorised DVE, bulk store, arena block registration —
+        so the new tasks are immediately eligible for assignment and
+        their answers flow through the same incremental/full TI as the
+        initial batch. Golden tasks and existing worker qualities are
+        unchanged.
+
+        Args:
+            tasks: the new tasks; ids must not collide with anything
+                already ingested.
+
+        Returns:
+            The pipeline's :class:`repro.system.ingest.IngestReport`.
+
+        Raises:
+            ValidationError: if called before :meth:`prepare`, or on
+                duplicate task ids.
+        """
+        if self._pipeline is None:
+            raise ValidationError(
+                "system not prepared; call prepare() before add_tasks()"
+            )
+        return self._pipeline.ingest(tasks)
 
     def golden_task_ids(self) -> List[int]:
         """Golden tasks assigned to every new worker."""

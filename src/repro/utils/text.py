@@ -54,12 +54,27 @@ def jaccard_similarity(left: str, right: str) -> float:
 def cosine_similarity(left: Sequence[str], right: Sequence[str]) -> float:
     """Cosine similarity between two bags of tokens."""
     ca, cb = Counter(left), Counter(right)
+    return cosine_from_counts(ca, bag_norm(ca), cb, bag_norm(cb))
+
+
+def bag_norm(counts: Dict[str, int]) -> float:
+    """Euclidean norm of a term-frequency bag."""
+    return sum(v * v for v in counts.values()) ** 0.5
+
+
+def cosine_from_counts(
+    ca: Dict[str, int], norm_a: float, cb: Dict[str, int], norm_b: float
+) -> float:
+    """Cosine similarity from precomputed bags and norms.
+
+    The batch linking path scores one context against many cached
+    candidate descriptions; callers precompute each side's ``Counter``
+    and :func:`bag_norm` once instead of per pair.
+    """
     if not ca or not cb:
         return 0.0
     common = set(ca) & set(cb)
     dot = sum(ca[t] * cb[t] for t in common)
-    norm_a = sum(v * v for v in ca.values()) ** 0.5
-    norm_b = sum(v * v for v in cb.values()) ** 0.5
     if norm_a == 0 or norm_b == 0:
         return 0.0
     return dot / (norm_a * norm_b)

@@ -117,6 +117,90 @@ class TestGrowthAndViews:
         assert states[2] is arena.view(2)
 
 
+class TestBulkGrow:
+    def test_grow_matches_sequential_add(self):
+        rng = make_rng(3)
+        tasks = [
+            _task(i, ell=2 + (i % 3), m=4, rng=rng) for i in range(150)
+        ]
+        sequential, bulk = StateArena(4), StateArena(4)
+        for task in tasks:
+            sequential.add(task)
+        bulk.grow(tasks[:70])
+        bulk.grow(tasks[70:])
+        assert sequential.task_ids() == bulk.task_ids()
+        np.testing.assert_array_equal(
+            sequential.domain_matrix(), bulk.domain_matrix()
+        )
+        np.testing.assert_array_equal(
+            sequential.choice_counts(), bulk.choice_counts()
+        )
+        for task in tasks:
+            a, b = sequential.view(task.task_id), bulk.view(task.task_id)
+            np.testing.assert_array_equal(a.M, b.M)
+            np.testing.assert_allclose(a.s, b.s, atol=1e-15)
+            assert sequential.global_row(task.task_id) == bulk.global_row(
+                task.task_id
+            )
+
+    def test_grow_past_initial_capacity(self):
+        rng = make_rng(5)
+        tasks = [
+            _task(i, m=3, rng=rng) for i in range(3 * INITIAL_CAPACITY)
+        ]
+        arena = StateArena(3)
+        views = arena.grow(tasks)
+        assert len(arena) == len(tasks)
+        assert len(views) == len(tasks)
+        # Views resolve into the final buffers.
+        np.testing.assert_array_equal(
+            views[-1].r, tasks[-1].domain_vector
+        )
+
+    def test_grow_into_existing_pool(self):
+        arena = StateArena(3)
+        for i in range(5):
+            arena.add(_task(i))
+        views = arena.grow([_task(i) for i in range(5, 12)])
+        assert arena.task_ids() == list(range(12))
+        assert views[0].task.task_id == 5
+        assert arena.global_row(11) == 11
+
+    def test_grow_rejects_duplicates(self):
+        arena = StateArena(3)
+        arena.add(_task(0))
+        with pytest.raises(ValidationError, match="already registered"):
+            arena.grow([_task(0)])
+        with pytest.raises(ValidationError, match="duplicate task id 7"):
+            arena.grow([_task(7), _task(7)])
+        # Rejected batches leave the arena untouched.
+        assert len(arena) == 1
+
+    def test_grow_rejects_missing_vector(self):
+        arena = StateArena(3)
+        bad = Task(task_id=1, text="x", num_choices=2)
+        with pytest.raises(ValidationError, match="no domain vector"):
+            arena.grow([bad])
+
+    def test_grow_explicit_matrix(self):
+        arena = StateArena(3)
+        tasks = [
+            Task(task_id=i, text="x", num_choices=2) for i in range(4)
+        ]
+        R = np.full((4, 3), 1.0 / 3)
+        arena.grow(tasks, R=R)
+        np.testing.assert_array_equal(arena.domain_matrix(), R)
+        with pytest.raises(ValidationError, match="shape"):
+            arena.grow(
+                [Task(task_id=9, text="x", num_choices=2)],
+                R=np.ones((2, 3)),
+            )
+
+    def test_grow_empty_batch(self):
+        arena = StateArena(3)
+        assert arena.grow([]) == []
+
+
 class TestDirtyProtocol:
     def test_refresh_recomputes_only_after_marking(self):
         arena = StateArena(2)

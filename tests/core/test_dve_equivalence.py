@@ -1,0 +1,162 @@
+"""Randomized equivalence: vectorised DVE vs the reference per-task DP.
+
+The production path (:func:`repro.core.dve.domain_vectors_batch` and the
+single-task wrapper :func:`repro.core.dve.domain_vector`) evaluates
+Eq. 1 through the leave-one-out harmonic decomposition; the retained
+:func:`repro.core.reference.reference_domain_vector` is Algorithm 1's
+(numerator, denominator)-pair DP exactly as the paper states it. Both
+compute the same expectation — checked here over randomized entity
+sets, including the degenerate shapes (all-zero indicators, single
+entities, ragged candidate counts) that exercise the padding and
+grouping logic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dve import (
+    EntityLinking,
+    domain_vector,
+    domain_vectors_batch,
+)
+from repro.core.reference import reference_domain_vector
+from repro.errors import ValidationError
+
+
+def _random_entities(rng, num_domains, max_entities=4, max_candidates=6):
+    count = int(rng.integers(1, max_entities + 1))
+    entities = []
+    for _ in range(count):
+        num_candidates = int(rng.integers(1, max_candidates + 1))
+        probs = rng.dirichlet(np.ones(num_candidates))
+        indicators = (
+            rng.random((num_candidates, num_domains)) < rng.uniform(0.1, 0.6)
+        ).astype(int)
+        entities.append(EntityLinking(probs, indicators))
+    return entities
+
+
+class TestSingleTaskEquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_vectorised_matches_dp(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 8))
+        entities = _random_entities(rng, m)
+        np.testing.assert_allclose(
+            domain_vector(entities),
+            reference_domain_vector(entities),
+            atol=1e-12,
+        )
+
+    def test_all_zero_indicators(self):
+        entity = EntityLinking(
+            probabilities=np.array([0.4, 0.6]),
+            indicators=np.zeros((2, 3), dtype=int),
+        )
+        np.testing.assert_allclose(
+            domain_vector([entity]),
+            reference_domain_vector([entity]),
+        )
+        assert domain_vector([entity]).sum() == pytest.approx(0.0)
+
+    def test_partial_zero_mass_dropped(self):
+        entity = EntityLinking(
+            probabilities=np.array([0.5, 0.5]),
+            indicators=np.array([[0, 0], [1, 0]]),
+        )
+        r = domain_vector([entity])
+        np.testing.assert_allclose(r, reference_domain_vector([entity]))
+        assert r.sum() == pytest.approx(0.5)
+
+    def test_full_indicator_rows(self):
+        """Denominator hits its maximum support (x = m everywhere)."""
+        entities = [
+            EntityLinking(np.array([1.0]), np.ones((1, 4), dtype=int)),
+            EntityLinking(
+                np.array([0.3, 0.7]), np.ones((2, 4), dtype=int)
+            ),
+        ]
+        np.testing.assert_allclose(
+            domain_vector(entities),
+            reference_domain_vector(entities),
+            atol=1e-12,
+        )
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_batches_match_dp(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 9))
+        lists = [
+            _random_entities(rng, m) for _ in range(int(rng.integers(5, 40)))
+        ]
+        batch = domain_vectors_batch(lists, num_domains=m)
+        assert batch.shape == (len(lists), m)
+        for row, entities in zip(batch, lists):
+            np.testing.assert_allclose(
+                row, reference_domain_vector(entities), atol=1e-12
+            )
+
+    def test_batch_matches_single_calls(self):
+        rng = np.random.default_rng(7)
+        lists = [_random_entities(rng, 5) for _ in range(25)]
+        batch = domain_vectors_batch(lists)
+        singles = np.stack([domain_vector(es) for es in lists])
+        np.testing.assert_allclose(batch, singles, atol=1e-14)
+
+    def test_empty_lists_yield_zero_rows(self):
+        rng = np.random.default_rng(9)
+        lists = [[], _random_entities(rng, 3), []]
+        batch = domain_vectors_batch(lists, num_domains=3)
+        assert np.all(batch[0] == 0.0)
+        assert np.all(batch[2] == 0.0)
+        assert batch[1].sum() > 0.0
+
+    def test_all_empty_requires_num_domains(self):
+        with pytest.raises(ValidationError):
+            domain_vectors_batch([[], []])
+        batch = domain_vectors_batch([[], []], num_domains=4)
+        assert batch.shape == (2, 4)
+        assert np.all(batch == 0.0)
+
+    def test_inconsistent_width_names_task(self):
+        good = [EntityLinking(np.array([1.0]), np.zeros((1, 3), dtype=int))]
+        bad = [EntityLinking(np.array([1.0]), np.zeros((1, 4), dtype=int))]
+        with pytest.raises(ValidationError, match="task index 1"):
+            domain_vectors_batch([good, bad])
+
+    def test_malformed_entity_names_task(self):
+        bad = [
+            EntityLinking(
+                np.array([0.5, 0.2]), np.zeros((2, 3), dtype=int)
+            )
+        ]
+        with pytest.raises(ValidationError, match="task index 0"):
+            domain_vectors_batch([bad], num_domains=3)
+
+    def test_ragged_candidate_counts_within_group(self):
+        """Tasks sharing an entity count but not candidate counts hit
+        the zero-probability padding path."""
+        a = [
+            EntityLinking(np.array([1.0]), np.array([[1, 0]])),
+            EntityLinking(
+                np.array([0.2, 0.3, 0.5]),
+                np.array([[1, 1], [0, 1], [0, 0]]),
+            ),
+        ]
+        b = [
+            EntityLinking(
+                np.array([0.9, 0.1]), np.array([[0, 1], [1, 1]])
+            ),
+            EntityLinking(np.array([1.0]), np.array([[1, 0]])),
+        ]
+        batch = domain_vectors_batch([a, b])
+        np.testing.assert_allclose(
+            batch[0], reference_domain_vector(a), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            batch[1], reference_domain_vector(b), atol=1e-12
+        )

@@ -86,7 +86,14 @@ class TestTheorem1Merge:
         st.lists(
             st.tuples(
                 st.floats(min_value=0.0, max_value=1.0),  # batch quality
-                st.floats(min_value=0.0, max_value=10.0),  # batch weight
+                # Subnormal weights make the test's own oracle collapse
+                # (q * w underflows to 0 while w survives), so exclude
+                # them — they assert float artefacts, not Theorem 1.
+                st.floats(
+                    min_value=0.0,
+                    max_value=10.0,
+                    allow_subnormal=False,
+                ),
             ),
             min_size=1,
             max_size=6,

@@ -1,0 +1,111 @@
+"""Live task growth vs preparing the union up front.
+
+The acceptance property of the ingest plane: a campaign that prepares
+half the tasks, serves answers mid-run, grows the pool with
+``add_tasks``, and keeps serving must end with inference results
+identical to a system that was prepared with the full union from the
+start and fed the same answer stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer
+from repro.datasets import make_dataset
+from repro.errors import ValidationError
+from repro.system import DocsConfig, DocsSystem
+
+
+def _fresh_halves(seed=41, tasks_per_domain=8):
+    dataset = make_dataset("4d", seed=seed, tasks_per_domain=tasks_per_domain)
+    half = len(dataset.tasks) // 2
+    return dataset, dataset.tasks[:half], dataset.tasks[half:]
+
+
+def _config():
+    return DocsConfig(golden_count=0, rerun_interval=7, hit_size=3)
+
+
+class TestGrowthEquivalence:
+    def test_mid_run_growth_matches_union_prepare(self):
+        # --- grown system: prepare A, serve, add B, serve more.
+        dataset, first, second = _fresh_halves()
+        dataset.tasks = list(first)
+        dataset.task_labels = dataset.task_labels[: len(first)]
+        grown = DocsSystem(_config())
+        grown.prepare(dataset)
+
+        rng = np.random.default_rng(5)
+        answers = []
+
+        def serve(system, workers, rounds):
+            for _ in range(rounds):
+                for worker in workers:
+                    for task_id in system.assign(worker):
+                        ell = system.database.task(task_id).num_choices
+                        answer = Answer(
+                            worker, task_id, int(rng.integers(1, ell + 1))
+                        )
+                        system.submit(answer)
+                        answers.append(answer)
+
+        serve(grown, ("w1", "w2", "w3"), rounds=2)
+        grown.add_tasks(second)
+        serve(grown, ("w4", "w5", "w6"), rounds=2)
+        grown_truths = grown.finalize()
+
+        # --- union system: everything prepared up front, same answers.
+        union_dataset = make_dataset("4d", seed=41, tasks_per_domain=8)
+        union = DocsSystem(_config())
+        union.prepare(union_dataset)
+        for answer in answers:
+            union.submit(answer)
+        union_truths = union.finalize()
+
+        assert grown_truths == union_truths
+        # The probabilistic state agrees too, not just the argmax.
+        for task_id in grown_truths:
+            np.testing.assert_allclose(
+                grown._incremental.state(task_id).s,
+                union._incremental.state(task_id).s,
+                atol=1e-9,
+            )
+        # Worker models converge to the same place.
+        for worker in ("w1", "w4"):
+            np.testing.assert_allclose(
+                grown.quality_store.quality_or_default(worker),
+                union.quality_store.quality_or_default(worker),
+                atol=1e-9,
+            )
+
+    def test_grown_tasks_reach_assignment_immediately(self):
+        dataset, first, second = _fresh_halves(seed=43)
+        dataset.tasks = list(first)
+        dataset.task_labels = dataset.task_labels[: len(first)]
+        system = DocsSystem(_config())
+        system.prepare(dataset)
+        # Exhaust the original pool for one worker.
+        for task in first:
+            system.submit(Answer("w", task.task_id, 1))
+        assert system.assign("w", k=5) == []
+        system.add_tasks(second)
+        hit = system.assign("w", k=5)
+        assert hit
+        assert set(hit) <= {t.task_id for t in second}
+
+    def test_growth_batches_are_atomic(self):
+        dataset, first, second = _fresh_halves(seed=47)
+        dataset.tasks = list(first)
+        dataset.task_labels = dataset.task_labels[: len(first)]
+        system = DocsSystem(_config())
+        system.prepare(dataset)
+        bad_batch = list(second) + [first[0]]
+        with pytest.raises(ValidationError):
+            system.add_tasks(bad_batch)
+        # Nothing from the rejected batch leaked into the pool.
+        assert len(system.database) == len(first)
+        assert system.assign("w", k=100) == [
+            t for t in system.assign("w", k=100)
+        ]
+        pool = {t.task_id for t in first}
+        assert set(system.assign("w", k=100)) <= pool

@@ -1,0 +1,94 @@
+"""Batch linking vs sequential linking: bit-identical outputs.
+
+``link_batch`` and ``link`` share the candidate cache and the scoring
+code path, so per text their outputs — and therefore the domain vectors
+computed from them — must be *bit-identical*, cache hits and misses
+alike. Also covers the cache-disabled baseline used by the prepare
+benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dve import DomainVectorEstimator
+from repro.errors import ValidationError
+from repro.linking import EntityLinker
+
+TEXTS = [
+    "Does Michael Jordan win more NBA championships than Kobe Bryant?",
+    "Michael Jordan published machine learning papers",
+    "Kobe Bryant and Michael Jordan are NBA legends",
+    "nothing linkable in this text",
+    "NBA",
+    # Repeats drive cache hits with different contexts.
+    "Does Michael Jordan win more NBA championships than Kobe Bryant?",
+    "Michael Jordan NBA Michael Jordan",
+]
+
+
+def _assert_entities_identical(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.surface == b.surface
+        assert a.concept_ids == b.concept_ids
+        np.testing.assert_array_equal(a.probabilities, b.probabilities)
+        np.testing.assert_array_equal(a.indicators, b.indicators)
+
+
+class TestLinkBatch:
+    def test_batch_identical_to_sequential(self, paper_kb):
+        batch_linker = EntityLinker(paper_kb)
+        seq_linker = EntityLinker(paper_kb)
+        batched = batch_linker.link_batch(TEXTS)
+        for text, entities in zip(TEXTS, batched):
+            _assert_entities_identical(entities, seq_linker.link(text))
+
+    def test_batch_identical_to_uncached(self, paper_kb):
+        cached = EntityLinker(paper_kb)
+        uncached = EntityLinker(paper_kb, candidate_cache=False)
+        batched = cached.link_batch(TEXTS)
+        for text, entities in zip(TEXTS, batched):
+            _assert_entities_identical(entities, uncached.link(text))
+
+    def test_domain_vectors_bit_identical(self, paper_kb):
+        """The satellite criterion: same domain vectors to the bit."""
+        m = paper_kb.num_domains
+        batch_estimator = DomainVectorEstimator(
+            EntityLinker(paper_kb), m
+        )
+        seq_estimator = DomainVectorEstimator(EntityLinker(paper_kb), m)
+        R = batch_estimator.estimate_batch(TEXTS)
+        for row, text in zip(R, TEXTS):
+            np.testing.assert_array_equal(
+                row, seq_estimator.estimate(text)
+            )
+
+    def test_cache_grows_once_per_surface(self, paper_kb):
+        linker = EntityLinker(paper_kb)
+        assert linker.cached_surfaces == 0
+        linker.link_batch(TEXTS)
+        surfaces = linker.cached_surfaces
+        assert surfaces > 0
+        linker.link_batch(TEXTS)
+        assert linker.cached_surfaces == surfaces
+
+    def test_uncached_linker_reports_zero(self, paper_kb):
+        linker = EntityLinker(paper_kb, candidate_cache=False)
+        linker.link_batch(TEXTS)
+        assert linker.cached_surfaces == 0
+
+    def test_top_c_override(self, paper_kb):
+        linker = EntityLinker(paper_kb, top_c=20)
+        batched = linker.link_batch(["Michael Jordan"], top_c=1)
+        assert batched[0][0].num_candidates == 1
+        with pytest.raises(ValidationError):
+            linker.link_batch(["NBA"], top_c=0)
+
+    def test_empty_batch(self, paper_kb):
+        assert EntityLinker(paper_kb).link_batch([]) == []
+
+    def test_kb_indicator_matrix_is_shared(self, paper_kb):
+        """Identical kept candidate tuples reuse one stacked matrix."""
+        linker = EntityLinker(paper_kb)
+        first, second = linker.link_batch(["NBA games", "NBA finals"])
+        assert first[0].indicators is second[0].indicators

@@ -1,0 +1,155 @@
+"""Tests for the durable system database and batch answer ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer, Task
+from repro.errors import UnknownTaskError, ValidationError
+from repro.platform.sqlite_storage import (
+    SqliteAnswerTable,
+    SqliteSystemDatabase,
+)
+from repro.platform.storage import AnswerTable, SystemDatabase
+
+
+def _task(i, truth=1):
+    return Task(
+        task_id=i,
+        text=f"task {i}",
+        num_choices=3,
+        domain_vector=np.array([0.2, 0.3, 0.5]),
+        ground_truth=truth,
+        true_domain=2,
+        distractor=2,
+    )
+
+
+@pytest.fixture()
+def db():
+    database = SqliteSystemDatabase()
+    yield database
+    database.close()
+
+
+class TestSqliteSystemDatabase:
+    def test_bulk_add_and_roundtrip(self, db):
+        db.add_tasks([_task(i) for i in range(10)])
+        assert len(db) == 10
+        assert db.task_ids() == list(range(10))
+        task = db.task(4)
+        assert task.text == "task 4"
+        assert task.num_choices == 3
+        assert task.ground_truth == 1
+        assert task.true_domain == 2
+        assert task.distractor == 2
+        np.testing.assert_allclose(
+            task.domain_vector, [0.2, 0.3, 0.5]
+        )
+
+    def test_tasks_id_ordered(self, db):
+        db.add_tasks([_task(5), _task(1), _task(3)])
+        assert [t.task_id for t in db.tasks()] == [1, 3, 5]
+
+    def test_duplicate_batch_rolls_back(self, db):
+        db.add_tasks([_task(0), _task(1)])
+        with pytest.raises(ValidationError, match="duplicate task id 1"):
+            db.add_tasks([_task(2), _task(1)])
+        assert len(db) == 2  # nothing from the bad batch persisted
+
+    def test_duplicate_within_batch_named(self, db):
+        with pytest.raises(ValidationError, match="duplicate task id 6"):
+            db.add_tasks([_task(6), _task(6)])
+
+    def test_non_duplicate_constraint_violation_surfaced(self, db):
+        """Integrity errors that are not duplicate ids still raise
+        ValidationError (not a bare StopIteration)."""
+        broken = _task(0)
+        broken.text = None  # violates the NOT NULL column constraint
+        with pytest.raises(ValidationError, match="storage constraint"):
+            db.add_tasks([broken])
+
+    def test_insert_task_compatibility(self, db):
+        db.insert_task(_task(0))
+        db.insert_tasks([_task(1), _task(2)])
+        assert len(db) == 3
+        with pytest.raises(ValidationError):
+            db.insert_task(_task(0))
+
+    def test_unknown_task(self, db):
+        with pytest.raises(UnknownTaskError):
+            db.task(99)
+
+    def test_optional_fields_roundtrip_none(self, db):
+        db.add_tasks(
+            [Task(task_id=0, text="bare", num_choices=2)]
+        )
+        task = db.task(0)
+        assert task.domain_vector is None
+        assert task.ground_truth is None
+        assert task.true_domain is None
+
+    def test_golden_registry(self, db):
+        db.add_tasks([_task(i) for i in range(5)])
+        db.mark_golden([3, 1])
+        assert db.golden_ids == [3, 1]
+        db.mark_golden([2])
+        assert db.golden_ids == [2]
+
+    def test_golden_requires_ground_truth(self, db):
+        db.add_tasks([Task(task_id=0, text="x", num_choices=2)])
+        with pytest.raises(ValidationError, match="no ground truth"):
+            db.mark_golden([0])
+
+    def test_shared_answer_table(self, db):
+        db.add_tasks([_task(0), _task(1)])
+        db.add_answers([Answer("w", 0, 1), Answer("w", 1, 2)])
+        assert len(db.answers) == 2
+        assert db.answers.tasks_answered_by("w") == {0, 1}
+
+    def test_parity_with_in_memory(self, db):
+        """Same ops on both backends -> same observable state."""
+        memory = SystemDatabase()
+        tasks = [_task(i) for i in range(6)]
+        for backend in (db, memory):
+            backend.add_tasks(tasks)
+            backend.mark_golden([4, 0])
+            backend.add_answers(
+                [Answer("w1", 0, 1), Answer("w2", 0, 2), Answer("w1", 3, 3)]
+            )
+        assert db.task_ids() == memory.task_ids()
+        assert db.golden_ids == memory.golden_ids
+        assert len(db.answers) == len(memory.answers)
+        assert db.answers.tasks_answered_by("w1") == (
+            memory.answers.tasks_answered_by("w1")
+        )
+        assert [
+            (a.worker_id, a.task_id, a.choice)
+            for a in db.answers.for_task(0)
+        ] == [
+            (a.worker_id, a.task_id, a.choice)
+            for a in memory.answers.for_task(0)
+        ]
+
+
+class TestBatchAnswers:
+    @pytest.mark.parametrize("table_cls", [AnswerTable, SqliteAnswerTable])
+    def test_batch_insert(self, table_cls):
+        table = table_cls()
+        table.add_answers(
+            [Answer("w1", 0, 1), Answer("w1", 1, 2), Answer("w2", 0, 1)]
+        )
+        assert len(table) == 3
+        assert table.tasks_answered_by("w1") == {0, 1}
+
+    @pytest.mark.parametrize("table_cls", [AnswerTable, SqliteAnswerTable])
+    def test_batch_at_most_once_atomic(self, table_cls):
+        table = table_cls()
+        table.insert(Answer("w1", 0, 1))
+        with pytest.raises(ValidationError):
+            table.add_answers([Answer("w2", 0, 1), Answer("w1", 0, 2)])
+        with pytest.raises(ValidationError):
+            table.add_answers([Answer("w3", 0, 1), Answer("w3", 0, 2)])
+        # Failed batches leave no partial rows behind.
+        assert len(table) == 1
+        assert table.tasks_answered_by("w2") == set()
+        assert table.tasks_answered_by("w3") == set()

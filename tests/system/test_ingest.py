@@ -1,0 +1,184 @@
+"""Tests for the staged ingest pipeline and DocsSystem live growth."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalTruthInference
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.types import Answer, Task
+from repro.datasets import make_dataset
+from repro.errors import ValidationError
+from repro.linking import EntityLinker
+from repro.platform.sqlite_storage import SqliteSystemDatabase
+from repro.platform.storage import SystemDatabase
+from repro.system import DocsConfig, DocsSystem, IngestPipeline
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("4d", seed=31, tasks_per_domain=6)
+
+
+def _pipeline(dataset, database=None):
+    store = WorkerQualityStore(dataset.taxonomy.size)
+    incremental = IncrementalTruthInference(store)
+    return IngestPipeline(
+        database if database is not None else SystemDatabase(),
+        incremental,
+        EntityLinker(dataset.kb),
+    )
+
+
+class TestIngestPipeline:
+    def test_stages_cover_whole_batch(self, dataset):
+        pipeline = _pipeline(dataset)
+        report = pipeline.ingest(dataset.tasks)
+        assert report.tasks == len(dataset.tasks)
+        assert report.linked == len(dataset.tasks)
+        assert report.total_seconds >= 0.0
+        assert all(t.domain_vector is not None for t in dataset.tasks)
+
+    def test_matches_sequential_estimator(self, dataset):
+        """The pipeline's vectors equal the per-task serving-path DVE."""
+        from repro.core.dve import DomainVectorEstimator
+
+        pipeline = _pipeline(dataset)
+        pipeline.ingest(dataset.tasks)
+        sequential = DomainVectorEstimator(
+            EntityLinker(dataset.kb), dataset.taxonomy.size
+        )
+        for task in dataset.tasks:
+            np.testing.assert_array_equal(
+                task.domain_vector, sequential.estimate(task.text)
+            )
+
+    def test_preset_vectors_skip_linking(self, dataset):
+        m = dataset.taxonomy.size
+        preset = np.full(m, 1.0 / m)
+        for task in dataset.tasks:
+            task.domain_vector = preset.copy()
+        pipeline = _pipeline(dataset)
+        report = pipeline.ingest(dataset.tasks)
+        assert report.linked == 0
+        assert report.entities == 0
+
+    def test_duplicate_in_batch_names_id(self, dataset):
+        pipeline = _pipeline(dataset)
+        dup = dataset.tasks[3]
+        with pytest.raises(
+            ValidationError, match=f"duplicate task id {dup.task_id}"
+        ):
+            pipeline.ingest(dataset.tasks + [dup])
+
+    def test_duplicate_against_ingested_names_id(self, dataset):
+        pipeline = _pipeline(dataset)
+        pipeline.ingest(dataset.tasks[:5])
+        offender = dataset.tasks[2]
+        with pytest.raises(
+            ValidationError, match=str(offender.task_id)
+        ):
+            pipeline.ingest(dataset.tasks[2:8])
+
+    def test_rejected_batch_leaves_no_trace(self, dataset):
+        db = SystemDatabase()
+        pipeline = _pipeline(dataset, db)
+        pipeline.ingest(dataset.tasks[:4])
+        with pytest.raises(ValidationError):
+            pipeline.ingest(dataset.tasks[3:6])
+        assert len(db) == 4
+
+    def test_empty_batch_is_noop(self, dataset):
+        pipeline = _pipeline(dataset)
+        report = pipeline.ingest([])
+        assert report.tasks == 0
+
+    def test_sqlite_backend(self, dataset):
+        db = SqliteSystemDatabase()
+        pipeline = _pipeline(dataset, db)
+        pipeline.ingest(dataset.tasks)
+        assert len(db) == len(dataset.tasks)
+        stored = db.task(dataset.tasks[0].task_id)
+        np.testing.assert_allclose(
+            stored.domain_vector, dataset.tasks[0].domain_vector
+        )
+
+
+class TestPrepareIdempotency:
+    def test_second_prepare_rejected(self, dataset):
+        system = DocsSystem(DocsConfig(golden_count=0))
+        system.prepare(dataset)
+        with pytest.raises(ValidationError, match="already ran"):
+            system.prepare(dataset)
+
+    def test_add_tasks_before_prepare_rejected(self, dataset):
+        system = DocsSystem()
+        with pytest.raises(ValidationError, match="not prepared"):
+            system.add_tasks(dataset.tasks)
+
+    def test_failed_prepare_is_retryable(self, dataset):
+        """A rejected dataset leaves the system un-prepared, so a
+        corrected prepare() succeeds instead of hitting the
+        single-shot guard."""
+        bad = make_dataset("4d", seed=31, tasks_per_domain=6)
+        bad.tasks.append(bad.tasks[0])
+        bad.task_labels.append(bad.task_labels[0])
+        system = DocsSystem(DocsConfig(golden_count=0))
+        with pytest.raises(ValidationError, match="duplicate task id"):
+            system.prepare(bad)
+        system.prepare(dataset)
+        assert len(system.database) == len(dataset.tasks)
+
+    def test_duplicate_dataset_ids_rejected_at_boundary(self, dataset):
+        """A dataset carrying a duplicate id fails fast, naming it."""
+        system = DocsSystem(DocsConfig(golden_count=0))
+        dup = dataset.tasks[0]
+        dataset.tasks.append(dup)
+        dataset.task_labels.append(dataset.task_labels[0])
+        with pytest.raises(
+            ValidationError, match=f"duplicate task id {dup.task_id}"
+        ):
+            system.prepare(dataset)
+
+
+class TestDocsSystemAddTasks:
+    def test_growth_extends_pool(self, dataset):
+        system = DocsSystem(DocsConfig(golden_count=0))
+        half = len(dataset.tasks) // 2
+        first, second = dataset.tasks[:half], dataset.tasks[half:]
+        dataset.tasks = first
+        dataset.task_labels = dataset.task_labels[:half]
+        system.prepare(dataset)
+        assert len(system.database) == half
+
+        report = system.add_tasks(second)
+        assert report.tasks == len(second)
+        assert len(system.database) == half + len(second)
+        # New tasks are immediately assignable.
+        hit = system.assign("w", k=half + len(second))
+        assert {t.task_id for t in second} <= set(hit)
+
+    def test_growth_duplicate_rejected(self, dataset):
+        system = DocsSystem(DocsConfig(golden_count=0))
+        system.prepare(dataset)
+        with pytest.raises(
+            ValidationError, match=str(dataset.tasks[0].task_id)
+        ):
+            system.add_tasks([dataset.tasks[0]])
+
+    def test_submissions_against_grown_tasks(self, dataset):
+        system = DocsSystem(DocsConfig(golden_count=0, rerun_interval=4))
+        half = len(dataset.tasks) // 2
+        first, second = dataset.tasks[:half], dataset.tasks[half:]
+        dataset.tasks = first
+        dataset.task_labels = dataset.task_labels[:half]
+        system.prepare(dataset)
+        system.add_tasks(second)
+        # Mixed submissions across original and grown tasks, crossing a
+        # full-TI rerun boundary.
+        for worker in ("w1", "w2"):
+            for task in (first[0], second[0], second[-1]):
+                system.submit(Answer(worker, task.task_id, 1))
+        truths = system.finalize()
+        assert set(truths) == {
+            t.task_id for t in first + second
+        }
