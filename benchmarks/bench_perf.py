@@ -36,6 +36,15 @@ registration — over a synthetic KB-linked task workload through:
 Both must produce numerically identical domain vectors — checked on
 every run.
 
+**Durability plane** (the sqlite-journal PR's <10% criterion at
+n = 10K): runs the identical arena campaign twice, once writing every
+answer to the in-memory :class:`repro.platform.storage.AnswerTable`
+(what ``DocsSystem(storage="memory")`` does on submit) and once through
+the write-behind :class:`repro.platform.journal.AnswerJournal` into a
+real SQLite file (``DocsSystem(storage="sqlite")``), final checkpoint
+included. Both runs must infer identical truths, and the journal must
+pass its integrity check afterwards.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke   # CI gate
@@ -49,9 +58,10 @@ import argparse
 import json
 import pathlib
 import sys
+import tempfile
 import time
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -71,7 +81,8 @@ from repro.kb.concept import Concept
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.taxonomy import DomainTaxonomy
 from repro.linking import EntityLinker
-from repro.platform.storage import SystemDatabase
+from repro.platform.sqlite_storage import SqliteSystemDatabase
+from repro.platform.storage import AnswerTable, SystemDatabase
 from repro.system.ingest import IngestPipeline
 from repro.utils.math import uniform_distribution
 from repro.utils.rng import make_rng
@@ -278,8 +289,15 @@ def run_campaign(
     hit_size: int,
     rerun_every: int,
     seed: int,
+    answer_table_factory: Optional[Callable] = None,
 ) -> Dict[str, object]:
-    """One full campaign on the chosen implementation path."""
+    """One full campaign on the chosen implementation path.
+
+    ``answer_table_factory(arena)`` optionally builds an answer store
+    that every submit also writes to (mirroring ``DocsSystem.submit``'s
+    database insert); its final ``checkpoint()``, if any, is counted in
+    the end-to-end time.
+    """
     rng = make_rng(seed)
     store = WorkerQualityStore(NUM_DOMAINS)
     for worker_id, quality in worker_qualities.items():
@@ -298,6 +316,11 @@ def run_campaign(
     assigner = TaskAssigner(hit_size=hit_size)
     ti = TruthInference()
     pool = engine.arena if path == "arena" else engine.states()
+    answer_table = (
+        answer_table_factory(engine.arena)
+        if answer_table_factory is not None
+        else None
+    )
 
     budget = len(tasks) * answers_per_task
     answered_by = defaultdict(set)
@@ -333,6 +356,8 @@ def run_campaign(
         for task_id in hit:
             choice = int(rng.integers(1, NUM_CHOICES + 1))
             answer = Answer(worker_id, task_id, choice)
+            if answer_table is not None:
+                answer_table.insert(answer)
             tic = time.perf_counter()
             engine.submit(answer)
             submit_seconds += time.perf_counter() - tic
@@ -361,6 +386,8 @@ def run_campaign(
                     )
                 rerun_times.append(time.perf_counter() - tic)
 
+    if answer_table is not None and hasattr(answer_table, "checkpoint"):
+        answer_table.checkpoint()
     e2e_seconds = time.perf_counter() - started_e2e
     truths = {
         task_id: state.inferred_truth()
@@ -439,6 +466,89 @@ def compare_at(
     return summary
 
 
+def compare_durability_at(
+    n: int,
+    answers_per_task: int,
+    hit_size: int,
+    rerun_every: int,
+    seed: int = 7,
+    batch_size: int = 256,
+) -> Dict[str, object]:
+    """Measure the sqlite journal's overhead on the serving path.
+
+    Identical arena campaigns, one writing answers to the in-memory
+    table, one through the write-behind journal into a real file (final
+    checkpoint included). Verifies identical truths and a valid journal.
+    """
+    rng = make_rng(seed)
+    tasks = _make_tasks(n, rng)
+    worker_qualities = _seed_store(rng)
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        db_holder: List[SqliteSystemDatabase] = []
+
+        def memory_factory(arena):
+            return AnswerTable()
+
+        def sqlite_factory(arena):
+            db = SqliteSystemDatabase(
+                str(pathlib.Path(tmp) / "bench.db"),
+                journal_batch_size=batch_size,
+            )
+            db.answers.bind_row_resolver(arena.global_row)
+            db_holder.append(db)
+            return db.answers
+
+        for mode, factory in (
+            ("memory", memory_factory),
+            ("sqlite", sqlite_factory),
+        ):
+            results[mode] = run_campaign(
+                "arena",
+                tasks,
+                worker_qualities,
+                answers_per_task=answers_per_task,
+                hit_size=hit_size,
+                rerun_every=rerun_every,
+                seed=seed + 1,
+                answer_table_factory=factory,
+            )
+        db = db_holder[0]
+        journal_rows = len(db.journal)
+        db.journal.validate()
+        db.close()
+    if results["memory"]["truths"] != results["sqlite"]["truths"]:
+        raise AssertionError(
+            f"n={n}: journaled and in-memory campaigns disagree on truths"
+        )
+    if journal_rows != results["sqlite"]["submissions"]:
+        raise AssertionError(
+            f"n={n}: journal holds {journal_rows} rows for "
+            f"{results['sqlite']['submissions']} submissions"
+        )
+    overhead = (
+        results["sqlite"]["e2e_s"] / results["memory"]["e2e_s"] - 1.0
+    )
+    return {
+        "num_tasks": n,
+        "batch_size": batch_size,
+        "submissions": results["sqlite"]["submissions"],
+        "e2e_s_memory": results["memory"]["e2e_s"],
+        "e2e_s_sqlite": results["sqlite"]["e2e_s"],
+        "overhead_pct": 100.0 * overhead,
+    }
+
+
+def _report_durability(summary: Dict[str, object]) -> None:
+    print(
+        f"journal n={summary['num_tasks']:>6d}  "
+        f"e2e {summary['e2e_s_memory']:7.2f} -> "
+        f"{summary['e2e_s_sqlite']:7.2f} s   "
+        f"(+{summary['overhead_pct']:.1f}%, "
+        f"batch {summary['batch_size']})"
+    )
+
+
 def _report(summary: Dict[str, object]) -> None:
     print(
         f"n={summary['num_tasks']:>6d}  "
@@ -476,9 +586,14 @@ def main(argv=None) -> int:
         _report(summary)
         prepare_summary = compare_prepare_at(300)
         _report_prepare(prepare_summary)
+        durability_summary = compare_durability_at(
+            300, answers_per_task=2, hit_size=5, rerun_every=150
+        )
+        _report_durability(durability_summary)
         print(
             "smoke ok: serving paths agree on truths, prepare paths "
-            "agree on domain vectors"
+            "agree on domain vectors, journaled campaign agrees with "
+            "in-memory"
         )
         return 0
 
@@ -494,6 +609,14 @@ def main(argv=None) -> int:
         prepare_summary = compare_prepare_at(n)
         _report_prepare(prepare_summary)
         prepare_points.append(prepare_summary)
+    durability_points = []
+    for n in (1000, 10000):
+        durability_summary = compare_durability_at(
+            n, answers_per_task=2, hit_size=10,
+            rerun_every=max(n // 5, 100),
+        )
+        _report_durability(durability_summary)
+        durability_points.append(durability_summary)
     payload = {
         "benchmark": "arena_vs_legacy_serving_path",
         "workload": "synthetic round-robin campaign (see module docstring)",
@@ -506,6 +629,15 @@ def main(argv=None) -> int:
                 "(see module docstring)"
             ),
             "points": prepare_points,
+        },
+        "durability": {
+            "benchmark": "sqlite_journal_vs_memory_serving_path",
+            "workload": (
+                "identical arena campaigns; sqlite path spills every "
+                "answer through the write-behind journal to a file "
+                "(final checkpoint included)"
+            ),
+            "points": durability_points,
         },
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -526,6 +658,16 @@ def main(argv=None) -> int:
         print(
             f"WARNING: 10K prepare speedup "
             f"{prepare_10k['speedup_e2e']:.1f}x below the 3x target",
+            file=sys.stderr,
+        )
+        failed = True
+    durability_10k = next(
+        p for p in durability_points if p["num_tasks"] == 10000
+    )
+    if durability_10k["overhead_pct"] > 10.0:
+        print(
+            f"WARNING: 10K journal overhead "
+            f"{durability_10k['overhead_pct']:.1f}% above the 10% target",
             file=sys.stderr,
         )
         failed = True

@@ -1,0 +1,100 @@
+"""Documentation gate: link integrity + runnable README quickstarts.
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+1. every relative markdown link (``[text](target)``) resolves to an
+   existing file (fragments are stripped; http(s)/mailto/anchor links
+   are skipped);
+2. every ``python`` code fence in ``README.md`` runs cleanly as-is
+   with ``PYTHONPATH=src`` — the quickstarts are executable
+   documentation, not prose.
+
+Exit code 0 when everything passes; 1 with a per-finding report
+otherwise. Run from the repository root (CI does)::
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+#: [text](target) — target captured without closing paren or whitespace.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+#: Schemes that are not filesystem links.
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(files: list[pathlib.Path]) -> list[str]:
+    problems = []
+    for doc in files:
+        for target in LINK.findall(doc.read_text()):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_quickstarts(readme: pathlib.Path) -> list[str]:
+    problems = []
+    snippets = FENCE.findall(readme.read_text())
+    if not snippets:
+        return [f"{readme.relative_to(REPO)}: no python quickstart found"]
+    for index, snippet in enumerate(snippets, start=1):
+        with tempfile.TemporaryDirectory() as scratch:
+            result = subprocess.run(
+                [sys.executable, "-c", snippet],
+                cwd=scratch,  # quickstarts must not depend on the cwd
+                env={
+                    "PYTHONPATH": str(REPO / "src"),
+                    "PATH": "/usr/bin:/bin",
+                },
+                capture_output=True,
+                text=True,
+                timeout=600,
+            )
+        if result.returncode != 0:
+            problems.append(
+                f"README quickstart #{index} failed "
+                f"(exit {result.returncode}):\n{result.stderr.strip()}"
+            )
+        else:
+            out = result.stdout.strip()
+            tail = out.splitlines()[-1] if out else "(no output)"
+            print(f"quickstart #{index} ok: {tail}")
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    print(f"checking {len(files)} documentation file(s)")
+    problems = check_links(files)
+    problems += check_quickstarts(REPO / "README.md")
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("docs ok: links resolve, quickstarts run")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

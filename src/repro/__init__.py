@@ -16,13 +16,16 @@ system facade (:mod:`repro.system`).
 
 Quickstart::
 
-    from repro.system import DocsSystem, DocsConfig
     from repro.datasets import make_dataset
+    from repro.system import DocsConfig, run_campaign
 
     dataset = make_dataset("4d", seed=7)
-    system = DocsSystem(DocsConfig(seed=7))
-    result = system.run(dataset)
+    result = run_campaign(dataset, config=DocsConfig(seed=7))
     print(result.accuracy())
+
+See ``README.md`` for install and durable (sqlite) campaigns, and
+``docs/architecture.md`` / ``docs/api.md`` for the system's design and
+public surface.
 """
 
 from repro.version import __version__, PAPER_REFERENCE

@@ -4,6 +4,9 @@ Commands:
 
 - ``demo`` — run a full DOCS campaign on one dataset and print the
   outcome (the quickstart, parameterised).
+- ``run`` — run a campaign with a chosen storage backend
+  (``--store sqlite --db PATH`` persists it), or ``--resume`` a
+  persisted campaign from its database file.
 - ``datasets`` — list the built-in dataset generators with their sizes.
 - ``detect`` — run DVE over a dataset and report domain-detection
   accuracy.
@@ -52,6 +55,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument(
         "--hit-size", type=int, default=3, help="tasks per HIT (k)"
+    )
+
+    run = sub.add_parser(
+        "run",
+        help="run (or resume) a campaign with durable storage",
+    )
+    _add_common(run)
+    run.add_argument(
+        "--answers-per-task",
+        type=int,
+        default=10,
+        help="budget in answers per task",
+    )
+    run.add_argument(
+        "--hit-size", type=int, default=3, help="tasks per HIT (k)"
+    )
+    run.add_argument(
+        "--store",
+        default="memory",
+        choices=("memory", "sqlite"),
+        help="storage backend for the campaign state",
+    )
+    run.add_argument(
+        "--db",
+        default=None,
+        help="SQLite database path (required with --store sqlite)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume the campaign persisted at --db (replays the "
+            "answer journal) and report its current inference"
+        ),
     )
 
     sub.add_parser("datasets", help="list built-in datasets")
@@ -107,6 +144,63 @@ def _cmd_demo(args) -> int:
     print(f"spend             : ${report.hit_log.total_spend():.2f}")
     print(f"worst assignment  : {report.max_assign_seconds * 1e3:.2f} ms")
     print(f"accuracy          : {result.accuracy():.1%}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.datasets import make_dataset
+    from repro.system import DocsConfig, DocsSystem, run_campaign
+
+    if args.store == "sqlite" and not args.db:
+        print("--store sqlite requires --db PATH", file=sys.stderr)
+        return 2
+
+    if args.resume:
+        if not args.db:
+            print("--resume requires --db PATH", file=sys.stderr)
+            return 2
+        system = DocsSystem.resume(args.db)
+        truths = system.finalize()
+        tasks = system.database.tasks()
+        scored = [t for t in tasks if t.ground_truth is not None]
+        print(f"resumed campaign   : {args.db}")
+        print(f"tasks restored     : {len(tasks)}")
+        print(f"answers replayed   : {len(system.database.answers)}")
+        print(
+            "workers known      : "
+            f"{len(list(system.quality_store.known_workers()))}"
+        )
+        if scored:
+            correct = sum(
+                truths[t.task_id] == t.ground_truth for t in scored
+            )
+            print(
+                f"accuracy           : {correct / len(scored):.1%} "
+                f"({correct}/{len(scored)})"
+            )
+        system.close()
+        return 0
+
+    dataset = make_dataset(args.dataset, seed=args.seed)
+    print(dataset.summary())
+    result = run_campaign(
+        dataset,
+        config=DocsConfig(seed=args.seed),
+        answers_per_task=args.answers_per_task,
+        hit_size=args.hit_size,
+        seed=args.seed,
+        storage=args.store,
+        path=args.db,
+    )
+    report = result.report
+    print(f"answers collected : {report.total_answers}")
+    print(f"accuracy          : {result.accuracy():.1%}")
+    if args.store == "sqlite":
+        print(f"campaign persisted: {args.db}")
+        print(
+            "resume with       : python -m repro run --store sqlite "
+            f"--db {args.db} --resume"
+        )
     return 0
 
 
@@ -181,6 +275,7 @@ def _cmd_report(args) -> int:
 
 _COMMANDS = {
     "demo": _cmd_demo,
+    "run": _cmd_run,
     "datasets": _cmd_datasets,
     "detect": _cmd_detect,
     "compare-ti": _cmd_compare_ti,

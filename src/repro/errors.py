@@ -40,6 +40,18 @@ class WorkBudgetExceeded(ReproError):
         self.limit = limit
 
 
+class JournalCorruptionError(ReproError):
+    """The durable answer journal failed its integrity check.
+
+    Raised when :class:`repro.platform.journal.AnswerJournal` finds rows
+    that do not belong to a committed batch (a torn final write), a batch
+    whose recorded row count or checksum disagrees with its rows, or a
+    journal that contradicts the task catalogue. The message names the
+    offending batch and the remediation (restore from backup, or drop
+    the dangling rows to fall back to the last consistent checkpoint).
+    """
+
+
 class UnknownWorkerError(ReproError, KeyError):
     """A worker id was not found in the quality store."""
 

@@ -6,6 +6,10 @@ This package simulates that loop:
 
 - :mod:`repro.platform.storage` — the system's database tables (answers,
   task states, worker statistics) as in Figure 1's DB;
+- :mod:`repro.platform.sqlite_storage` — durable drop-in equivalents on
+  ``sqlite3``;
+- :mod:`repro.platform.journal` — the crash-safe write-behind answer
+  journal DocsSystem campaigns persist and resume through;
 - :mod:`repro.platform.hit` — HIT batching and payment accounting;
 - :mod:`repro.platform.budget` — requester budget tracking;
 - :mod:`repro.platform.amt_sim` — the end-to-end interaction loop
@@ -13,6 +17,11 @@ This package simulates that loop:
 """
 
 from repro.platform.storage import AnswerTable, SystemDatabase
+from repro.platform.journal import (
+    AnswerJournal,
+    JournaledAnswerTable,
+    JournalEntry,
+)
 from repro.platform.sqlite_storage import (
     SqliteAnswerTable,
     SqliteSystemDatabase,
@@ -25,6 +34,9 @@ from repro.platform.amt_sim import PlatformSimulator, SimulationReport
 __all__ = [
     "AnswerTable",
     "SystemDatabase",
+    "AnswerJournal",
+    "JournaledAnswerTable",
+    "JournalEntry",
     "SqliteAnswerTable",
     "SqliteSystemDatabase",
     "SqliteWorkerQualityStore",

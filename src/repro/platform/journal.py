@@ -1,0 +1,454 @@
+"""Crash-safe write-behind journal for campaign events.
+
+The serving plane of DOCS is latency-bound: a per-answer synchronous
+SQLite commit (one fsync each) on the submit path would dwarf the O(m*l)
+incremental-TI update it protects. The journal instead spills the
+:class:`repro.core.arena.AnswerLog` columns — arena task row, worker,
+choice, timestamp — to an ``answers_log`` table *behind* the hot path:
+
+- every campaign event (answer, golden-bootstrap answer, bootstrap
+  completion marker) is appended to an in-memory pending buffer;
+- the buffer is flushed as **one transaction** when it reaches the
+  configured batch size, on :meth:`AnswerJournal.flush` (exposed as
+  ``DocsSystem.checkpoint()``), and on close.
+
+Each flushed batch writes a companion record into ``journal_batches``
+carrying the batch's row span, row count, and a CRC-32 checksum over the
+rows' logical content. Because batch rows and their batch record commit
+atomically, a crash can only lose the *pending* (not yet flushed) tail —
+never tear a batch. Rows without a batch record, or a batch whose count
+or checksum disagrees with its rows, therefore indicate file corruption
+and are rejected at resume time with
+:class:`repro.errors.JournalCorruptionError`.
+
+Replay (:meth:`AnswerJournal.replay`) yields the journal in commit
+order, so ``DocsSystem.resume`` can rebuild the full hot state — arena
+buffers, incremental-TI posteriors, worker qualities, rerun cursors — by
+re-applying every event through the same code paths a live campaign
+uses.
+
+:class:`JournaledAnswerTable` adapts the journal to the
+:class:`repro.platform.storage.AnswerTable` interface: reads and the
+at-most-once constraint are served synchronously from an in-memory
+index, durability rides the journal.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.types import Answer
+from repro.errors import JournalCorruptionError, ValidationError
+from repro.platform.storage import AnswerTable
+
+#: Journal row kinds, in the order a campaign produces them.
+KIND_ANSWER = 0  #: a campaign answer (budget-consuming submit)
+KIND_BOOTSTRAP_ANSWER = 1  #: one golden-task answer of a quality pre-test
+KIND_BOOTSTRAP_DONE = 2  #: marker: a worker's bootstrap completed
+
+_JOURNAL_SCHEMA = """
+CREATE TABLE IF NOT EXISTS answers_log (
+    seq       INTEGER PRIMARY KEY,
+    kind      INTEGER NOT NULL,
+    task_row  INTEGER,
+    task_id   INTEGER,
+    worker_id TEXT NOT NULL,
+    choice    INTEGER,
+    ts        REAL NOT NULL,
+    batch     INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS journal_batches (
+    batch     INTEGER PRIMARY KEY,
+    first_seq INTEGER NOT NULL,
+    last_seq  INTEGER NOT NULL,
+    row_count INTEGER NOT NULL,
+    checksum  INTEGER NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One committed journal row.
+
+    Attributes:
+        seq: global commit order (monotonically increasing).
+        kind: one of :data:`KIND_ANSWER`,
+            :data:`KIND_BOOTSTRAP_ANSWER`, :data:`KIND_BOOTSTRAP_DONE`.
+        task_row: the task's arena global row at write time (``None``
+            for bootstrap markers).
+        task_id: the answered task (``None`` for bootstrap markers).
+        worker_id: the worker the event belongs to.
+        choice: the 1-based answered choice (``None`` for markers).
+        timestamp: wall-clock seconds at append time.
+        batch: the flush batch this row committed with.
+    """
+
+    seq: int
+    kind: int
+    task_row: Optional[int]
+    task_id: Optional[int]
+    worker_id: str
+    choice: Optional[int]
+    timestamp: float
+    batch: int
+
+
+def _row_crc(
+    crc: int,
+    seq: int,
+    kind: int,
+    task_row: Optional[int],
+    task_id: Optional[int],
+    worker_id: str,
+    choice: Optional[int],
+) -> int:
+    """Fold one row's logical content into a running CRC-32."""
+    token = f"{seq}|{kind}|{task_row}|{task_id}|{worker_id}|{choice}"
+    return zlib.crc32(token.encode("utf-8"), crc)
+
+
+class AnswerJournal:
+    """Batched write-behind journal over a SQLite connection.
+
+    Args:
+        conn: the connection to journal into (shared with the rest of
+            the system database, so batch flushes join its file).
+        batch_size: flush automatically once this many events are
+            pending. ``1`` degenerates to write-through.
+        clock: timestamp source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        conn: sqlite3.Connection,
+        batch_size: int = 256,
+        clock: Callable[[], float] = time.time,
+    ):
+        if batch_size < 1:
+            raise ValidationError("journal batch_size must be >= 1")
+        self._conn = conn
+        self._batch_size = batch_size
+        self._clock = clock
+        self._conn.executescript(_JOURNAL_SCHEMA)
+        self._conn.commit()
+        # Take the maxima over BOTH tables: after the documented
+        # corruption remediation (deleting one bad batch from both
+        # tables) either table may be ahead of the other, and a reused
+        # seq/batch id would collide on the next flush.
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), -1), COALESCE(MAX(batch), -1) "
+            "FROM answers_log"
+        ).fetchone()
+        meta = self._conn.execute(
+            "SELECT COALESCE(MAX(last_seq), -1), "
+            "COALESCE(MAX(batch), -1) FROM journal_batches"
+        ).fetchone()
+        self._next_seq = max(int(row[0]), int(meta[0])) + 1
+        self._next_batch = max(int(row[1]), int(meta[1])) + 1
+        #: (kind, task_row, task_id, worker_id, choice, ts) awaiting flush.
+        self._pending: List[Tuple] = []
+
+    @property
+    def batch_size(self) -> int:
+        """The auto-flush threshold."""
+        return self._batch_size
+
+    @property
+    def pending(self) -> int:
+        """Events buffered but not yet durable."""
+        return len(self._pending)
+
+    def __len__(self) -> int:
+        """Committed (durable) journal rows."""
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM answers_log"
+        ).fetchone()
+        return int(count)
+
+    # -- write side ------------------------------------------------------
+
+    def record_answer(self, answer: Answer, task_row: int) -> None:
+        """Buffer one campaign answer; flush if the batch is full."""
+        self._pending.append(
+            (
+                KIND_ANSWER,
+                int(task_row),
+                answer.task_id,
+                answer.worker_id,
+                answer.choice,
+                self._clock(),
+            )
+        )
+        if len(self._pending) >= self._batch_size:
+            self.flush()
+
+    def record_bootstrap(
+        self,
+        worker_id: str,
+        answers: Sequence[Answer],
+        task_rows: Sequence[int],
+    ) -> None:
+        """Buffer a worker's golden bootstrap: its answers plus a
+        completion marker.
+
+        The answers and the marker always enter the same pending buffer
+        together, and :meth:`flush` writes the whole buffer in one
+        transaction — so a committed journal never ends inside a
+        bootstrap.
+        """
+        if len(answers) != len(task_rows):
+            raise ValidationError(
+                "bootstrap answers and task_rows must align"
+            )
+        now = self._clock()
+        for answer, task_row in zip(answers, task_rows):
+            self._pending.append(
+                (
+                    KIND_BOOTSTRAP_ANSWER,
+                    int(task_row),
+                    answer.task_id,
+                    answer.worker_id,
+                    answer.choice,
+                    now,
+                )
+            )
+        self._pending.append(
+            (KIND_BOOTSTRAP_DONE, None, None, worker_id, None, now)
+        )
+        if len(self._pending) >= self._batch_size:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write all pending events as one atomic batch.
+
+        Idempotent: with nothing pending this is a no-op returning 0,
+        so repeated checkpoints are safe and cheap.
+
+        Returns:
+            The number of rows made durable.
+        """
+        if not self._pending:
+            return 0
+        batch = self._next_batch
+        first_seq = self._next_seq
+        crc = 0
+        rows = []
+        for offset, (kind, task_row, task_id, worker_id, choice, ts) in (
+            enumerate(self._pending)
+        ):
+            seq = first_seq + offset
+            crc = _row_crc(
+                crc, seq, kind, task_row, task_id, worker_id, choice
+            )
+            rows.append(
+                (seq, kind, task_row, task_id, worker_id, choice, ts, batch)
+            )
+        last_seq = first_seq + len(rows) - 1
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO answers_log "
+                "(seq, kind, task_row, task_id, worker_id, choice, ts, "
+                "batch) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.execute(
+                "INSERT INTO journal_batches "
+                "(batch, first_seq, last_seq, row_count, checksum) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (batch, first_seq, last_seq, len(rows), crc),
+            )
+        self._next_seq = last_seq + 1
+        self._next_batch = batch + 1
+        self._pending.clear()
+        return len(rows)
+
+    # -- read side -------------------------------------------------------
+
+    def replay(self) -> Iterator[JournalEntry]:
+        """Iterate the committed journal in commit (seq) order."""
+        cursor = self._conn.execute(
+            "SELECT seq, kind, task_row, task_id, worker_id, choice, ts, "
+            "batch FROM answers_log ORDER BY seq"
+        )
+        while True:
+            rows = cursor.fetchmany(1024)
+            if not rows:
+                return
+            for seq, kind, task_row, task_id, worker_id, choice, ts, b in (
+                rows
+            ):
+                yield JournalEntry(
+                    seq=seq,
+                    kind=kind,
+                    task_row=task_row,
+                    task_id=task_id,
+                    worker_id=worker_id,
+                    choice=choice,
+                    timestamp=ts,
+                    batch=b,
+                )
+
+    def validate(self) -> None:
+        """Check the committed journal's integrity.
+
+        Verifies that every row belongs to a recorded batch and that
+        every batch's row count and CRC-32 checksum match its rows.
+
+        Raises:
+            JournalCorruptionError: naming the offending batch and the
+                remediation.
+        """
+        remedy = (
+            "restore the database file from a backup, or drop the "
+            "affected batch from BOTH tables (DELETE FROM answers_log "
+            "WHERE batch = N; DELETE FROM journal_batches WHERE "
+            "batch = N) to fall back to the last consistent checkpoint"
+        )
+        recorded = {
+            batch: (first, last, count, checksum)
+            for batch, first, last, count, checksum in self._conn.execute(
+                "SELECT batch, first_seq, last_seq, row_count, checksum "
+                "FROM journal_batches"
+            )
+        }
+        orphans = [
+            batch
+            for (batch,) in self._conn.execute(
+                "SELECT DISTINCT batch FROM answers_log"
+            )
+            if batch not in recorded
+        ]
+        if orphans:
+            raise JournalCorruptionError(
+                f"journal batch {orphans[0]} has rows but no batch "
+                "record: the final batch is partial (torn write or "
+                f"edited file); {remedy}"
+            )
+        for batch, (first, last, count, checksum) in sorted(
+            recorded.items()
+        ):
+            rows = self._conn.execute(
+                "SELECT seq, kind, task_row, task_id, worker_id, choice "
+                "FROM answers_log WHERE batch = ? ORDER BY seq",
+                (batch,),
+            ).fetchall()
+            if len(rows) != count or (
+                rows
+                and (rows[0][0] != first or rows[-1][0] != last)
+            ):
+                raise JournalCorruptionError(
+                    f"journal batch {batch} is incomplete: its record "
+                    f"promises rows {first}..{last} ({count} rows) but "
+                    f"{len(rows)} were found; {remedy}"
+                )
+            crc = 0
+            for seq, kind, task_row, task_id, worker_id, choice in rows:
+                crc = _row_crc(
+                    crc, seq, kind, task_row, task_id, worker_id, choice
+                )
+            if crc != checksum:
+                raise JournalCorruptionError(
+                    f"journal batch {batch} fails its checksum: the "
+                    f"rows were altered after commit; {remedy}"
+                )
+
+
+class JournaledAnswerTable:
+    """AnswerTable facade: in-memory hot indexes, journal durability.
+
+    Serving-path reads (``tasks_answered_by``, ``for_task``, the
+    at-most-once check) run against an in-memory
+    :class:`repro.platform.storage.AnswerTable`, so they see every
+    answer immediately — including those still pending in the journal
+    buffer. Durability is the journal's batched write-behind; the
+    in-memory index is rebuilt from the journal on resume via
+    :meth:`restore`.
+
+    The journal rows carry the answer's arena global row, so a resolver
+    (``task id -> arena row``) must be bound before the first insert —
+    ``DocsSystem`` binds its arena's ``global_row`` after registration.
+    """
+
+    def __init__(self, journal: AnswerJournal):
+        self._journal = journal
+        self._inner = AnswerTable()
+        self._row_of: Optional[Callable[[int], int]] = None
+
+    @property
+    def journal(self) -> AnswerJournal:
+        """The backing write-behind journal."""
+        return self._journal
+
+    def bind_row_resolver(self, row_of: Callable[[int], int]) -> None:
+        """Attach the ``task id -> arena global row`` mapping."""
+        self._row_of = row_of
+
+    def insert(self, answer: Answer) -> None:
+        """Append one answer: synchronous index update + journal append.
+
+        Raises:
+            ValidationError: if this (worker, task) pair already exists,
+                or no row resolver is bound.
+        """
+        if self._row_of is None:
+            raise ValidationError(
+                "journaled answer table has no task-row resolver bound; "
+                "call bind_row_resolver() before inserting"
+            )
+        task_row = self._row_of(answer.task_id)
+        self._inner.insert(answer)
+        self._journal.record_answer(answer, task_row)
+
+    def add_answers(self, answers: Sequence[Answer]) -> None:
+        """Batch-append answers atomically (index first, then journal)."""
+        if self._row_of is None:
+            raise ValidationError(
+                "journaled answer table has no task-row resolver bound; "
+                "call bind_row_resolver() before inserting"
+            )
+        task_rows = [self._row_of(a.task_id) for a in answers]
+        self._inner.add_answers(answers)
+        for answer, task_row in zip(answers, task_rows):
+            self._journal.record_answer(answer, task_row)
+
+    def restore(self, answer: Answer) -> None:
+        """Re-index an answer that is already durable (replay path)."""
+        self._inner.insert(answer)
+
+    def checkpoint(self) -> int:
+        """Flush the journal; returns rows made durable."""
+        return self._journal.flush()
+
+    # -- reads: served from the in-memory index --------------------------
+
+    def all(self) -> List[Answer]:
+        """All answers in arrival order."""
+        return self._inner.all()
+
+    def for_task(self, task_id: int) -> List[Answer]:
+        """The answer set V(i) of one task."""
+        return self._inner.for_task(task_id)
+
+    def for_worker(self, worker_id: str) -> List[Answer]:
+        """The answered set T(w) of one worker."""
+        return self._inner.for_worker(worker_id)
+
+    def tasks_answered_by(self, worker_id: str) -> Set[int]:
+        """Task ids answered by a worker (O(1) maintained set)."""
+        return self._inner.tasks_answered_by(worker_id)
+
+    def count_for_task(self, task_id: int) -> int:
+        """|V(i)| for one task."""
+        return self._inner.count_for_task(task_id)
+
+    def has_answered(self, worker_id: str, task_id: int) -> bool:
+        """Integrity-check helper."""
+        return self._inner.has_answered(worker_id, task_id)
+
+    def __len__(self) -> int:
+        return len(self._inner)

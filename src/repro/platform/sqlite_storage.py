@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.types import Answer, Task
 from repro.core.quality_store import WorkerStats
 from repro.errors import UnknownTaskError, UnknownWorkerError, ValidationError
+from repro.platform.journal import AnswerJournal, JournaledAnswerTable
 
 _ANSWER_SCHEMA = """
 CREATE TABLE IF NOT EXISTS answers (
@@ -61,7 +62,8 @@ CREATE TABLE IF NOT EXISTS tasks (
     ground_truth  INTEGER,
     true_domain   INTEGER,
     distractor    INTEGER,
-    golden_rank   INTEGER
+    golden_rank   INTEGER,
+    ingest_seq    INTEGER
 );
 """
 
@@ -245,19 +247,103 @@ class SqliteSystemDatabase:
     inside one transaction. ``behavior_domains`` (a simulation-only
     field) is not persisted.
 
+    Two answer-plane modes:
+
+    - ``journal_batch_size=None`` (default): answers go straight to the
+      durable ``answers`` relation (:class:`SqliteAnswerTable`), one
+      commit per insert — the drop-in analytical mode.
+    - ``journal_batch_size=N``: answers ride the crash-safe write-behind
+      :class:`repro.platform.journal.AnswerJournal` (``answers_log``
+      table, flushed every N events / on :meth:`checkpoint` /
+      :meth:`close`), with serving-path reads answered from an in-memory
+      index (:class:`repro.platform.journal.JournaledAnswerTable`).
+      This is the mode ``DocsSystem(storage="sqlite")`` runs campaigns
+      on; ``DocsSystem.resume`` replays the journal.
+
+    Files created before the journal era are migrated in place: the
+    ``ingest_seq`` column (arena registration order, needed for replay)
+    is added when missing and backfilled in task-id order.
+
     Args:
         path: SQLite database path (or ``":memory:"``).
+        journal_batch_size: enable journaled answer mode with this
+            flush threshold; ``None`` keeps the direct-write mode.
     """
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(
+        self,
+        path: str = ":memory:",
+        journal_batch_size: Optional[int] = None,
+    ):
+        self.path = path
         self._conn = sqlite3.connect(path)
         self._conn.executescript(_TASK_SCHEMA)
+        self._migrate()
         self._conn.commit()
-        self.answers = SqliteAnswerTable(conn=self._conn)
+        self._closed = False
+        self.journal: Optional["AnswerJournal"] = None
+        if journal_batch_size is None:
+            self.answers = SqliteAnswerTable(conn=self._conn)
+        else:
+            # Write-behind mode trades per-commit fsyncs for the
+            # checkpoint contract: WAL keeps every batch atomic (a torn
+            # batch is impossible), synchronous=NORMAL defers the fsync
+            # to WAL checkpoints — an OS-level crash can roll the file
+            # back to an earlier *complete* batch, never a partial one,
+            # which is exactly the loss window the journal documents.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self.journal = AnswerJournal(
+                self._conn, batch_size=journal_batch_size
+            )
+            self.answers = JournaledAnswerTable(self.journal)
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing file up to the current schema."""
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(tasks)")
+        }
+        if "ingest_seq" not in columns:
+            self._conn.execute(
+                "ALTER TABLE tasks ADD COLUMN ingest_seq INTEGER"
+            )
+        # Backfill rows that predate the column (or were written by the
+        # plain-storage path) with dense task-id-ordered ranks, so
+        # replay has a deterministic registration order to rebuild.
+        (base,) = self._conn.execute(
+            "SELECT COALESCE(MAX(ingest_seq), -1) FROM tasks"
+        ).fetchone()
+        unranked = self._conn.execute(
+            "SELECT task_id FROM tasks WHERE ingest_seq IS NULL "
+            "ORDER BY task_id"
+        ).fetchall()
+        if unranked:
+            self._conn.executemany(
+                "UPDATE tasks SET ingest_seq = ? WHERE task_id = ?",
+                [
+                    (base + 1 + offset, task_id)
+                    for offset, (task_id,) in enumerate(unranked)
+                ],
+            )
+
+    def checkpoint(self) -> int:
+        """Flush the write-behind journal (no-op in direct mode).
+
+        Returns:
+            Rows made durable by this call.
+        """
+        if self.journal is None:
+            return 0
+        return self.journal.flush()
 
     def close(self) -> None:
-        """Close the underlying connection (shared with ``answers``)."""
+        """Checkpoint, then close the connection (idempotent)."""
+        if self._closed:
+            return
+        self.checkpoint()
         self._conn.close()
+        self._closed = True
 
     @staticmethod
     def _row_to_task(row: Tuple) -> Task:
@@ -297,14 +383,20 @@ class SqliteSystemDatabase:
         seen: Set[int] = set()
         for task_id in ids:
             if task_id in seen:
-                raise ValidationError(f"duplicate task id {task_id}")
+                raise ValidationError(
+                    f"duplicate task id {task_id}; task ids must be "
+                    "unique — deduplicate the batch before storing it"
+                )
             seen.add(task_id)
+        (base,) = self._conn.execute(
+            "SELECT COALESCE(MAX(ingest_seq), -1) FROM tasks"
+        ).fetchone()
         try:
             with self._conn:
                 self._conn.executemany(
                     "INSERT INTO tasks (task_id, text, num_choices, "
-                    "domain_vector, ground_truth, true_domain, distractor) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    "domain_vector, ground_truth, true_domain, distractor, "
+                    "ingest_seq) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                     [
                         (
                             t.task_id,
@@ -314,8 +406,9 @@ class SqliteSystemDatabase:
                             t.ground_truth,
                             t.true_domain,
                             t.distractor,
+                            base + 1 + offset,
                         )
-                        for t in tasks
+                        for offset, t in enumerate(tasks)
                     ],
                 )
         except sqlite3.IntegrityError as exc:
@@ -329,11 +422,23 @@ class SqliteSystemDatabase:
             )
             if offender is not None:
                 raise ValidationError(
-                    f"duplicate task id {offender}"
+                    f"duplicate task id {offender}; it is already in "
+                    "the catalogue — pass only new tasks, or use "
+                    "fresh ids"
                 ) from None
             raise ValidationError(
                 f"task batch violates a storage constraint: {exc}"
             ) from None
+
+    def remove_tasks(self, task_ids: Sequence[int]) -> None:
+        """Drop tasks from the catalogue in one transaction (the ingest
+        plane's rollback hook — see
+        :meth:`repro.platform.storage.SystemDatabase.remove_tasks`)."""
+        with self._conn:
+            self._conn.executemany(
+                "DELETE FROM tasks WHERE task_id = ?",
+                [(task_id,) for task_id in task_ids],
+            )
 
     def add_answers(self, answers: Sequence[Answer]) -> None:
         """Batch-append answers (see :meth:`SqliteAnswerTable.add_answers`)."""
@@ -370,6 +475,19 @@ class SqliteSystemDatabase:
             "SELECT task_id FROM tasks ORDER BY task_id"
         ).fetchall()
         return [tid for (tid,) in rows]
+
+    def tasks_in_ingest_order(self) -> List[Task]:
+        """All tasks in their original arena registration order.
+
+        ``DocsSystem.resume`` re-registers tasks in this order, so the
+        journal's persisted arena rows stay valid across restarts.
+        """
+        rows = self._conn.execute(
+            "SELECT task_id, text, num_choices, domain_vector, "
+            "ground_truth, true_domain, distractor FROM tasks "
+            "ORDER BY ingest_seq, task_id"
+        ).fetchall()
+        return [self._row_to_task(row) for row in rows]
 
     def mark_golden(self, task_ids: Sequence[int]) -> None:
         """Record the golden-task set (tasks with known ground truth)."""

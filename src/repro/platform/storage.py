@@ -132,7 +132,10 @@ class SystemDatabase:
             ValidationError: on duplicate ids.
         """
         if task.task_id in self._tasks:
-            raise ValidationError(f"duplicate task id {task.task_id}")
+            raise ValidationError(
+                f"duplicate task id {task.task_id}; it is already in "
+                "the catalogue — pass only new tasks, or use fresh ids"
+            )
         self._tasks[task.task_id] = task
 
     def insert_tasks(self, tasks: Iterable[Task]) -> None:
@@ -154,11 +157,22 @@ class SystemDatabase:
         for task in tasks:
             if task.task_id in self._tasks or task.task_id in batch_ids:
                 raise ValidationError(
-                    f"duplicate task id {task.task_id}"
+                    f"duplicate task id {task.task_id}; deduplicate the "
+                    "batch and pass only tasks not yet in the catalogue"
                 )
             batch_ids.add(task.task_id)
         for task in tasks:
             self._tasks[task.task_id] = task
+
+    def remove_tasks(self, task_ids: Sequence[int]) -> None:
+        """Drop tasks from the catalogue (the ingest plane's rollback
+        hook: un-store a batch whose arena registration failed).
+
+        Unknown ids are ignored; answers and the golden registry are
+        untouched (rolled-back tasks were never served or selected).
+        """
+        for task_id in task_ids:
+            self._tasks.pop(task_id, None)
 
     def add_answers(self, answers: Sequence[Answer]) -> None:
         """Batch-append answers (see :meth:`AnswerTable.add_answers`)."""

@@ -23,6 +23,10 @@ class DocsConfig:
         top_c: linking candidates kept per entity in DVE.
         default_quality: cold-start per-domain worker quality.
         ti_max_iterations: iteration cap of the full TI.
+        journal_batch_size: with sqlite storage, flush the write-behind
+            answer journal every this many campaign events (a crash can
+            lose at most one unflushed batch; ``checkpoint()`` flushes
+            eagerly). Ignored with in-memory storage.
         seed: seed for any internal randomness.
     """
 
@@ -32,9 +36,15 @@ class DocsConfig:
     top_c: int = 20
     default_quality: float = 0.7
     ti_max_iterations: int = 20
+    journal_batch_size: int = 256
     seed: SeedLike = 0
 
     def validate(self) -> None:
+        """Check every knob's range.
+
+        Raises:
+            ValidationError: naming the first out-of-range field.
+        """
         if self.hit_size < 1:
             raise ValidationError("hit_size must be >= 1")
         if self.golden_count < 0:
@@ -47,3 +57,5 @@ class DocsConfig:
             raise ValidationError("default_quality must be in (0, 1)")
         if self.ti_max_iterations < 1:
             raise ValidationError("ti_max_iterations must be >= 1")
+        if self.journal_batch_size < 1:
+            raise ValidationError("journal_batch_size must be >= 1")

@@ -20,6 +20,19 @@ Lifecycle (mirroring the architecture figure's numbered flows):
    the assignable pool immediately.
 6. ``finalize`` — final full TI; inferred truths returned to the
    requester.
+
+**Durability.** With ``storage="sqlite"`` the campaign runs on
+:class:`repro.platform.sqlite_storage.SqliteSystemDatabase`: the task
+catalogue and golden registry persist at ingest time, and every
+campaign event (submits, golden bootstraps) spills to the durable
+``answers_log`` journal through a batched write-behind buffer
+(:class:`repro.platform.journal.AnswerJournal`) — flushed every
+``config.journal_batch_size`` events, on :meth:`checkpoint`, and on
+:meth:`close`. A crashed campaign is rebuilt by
+:meth:`DocsSystem.resume`, which replays the journal through the same
+ingest and serving code paths a live campaign uses, reproducing the
+arena buffers, incremental-TI posteriors, worker qualities, and rerun
+cursor exactly as they stood at the last flush.
 """
 
 from __future__ import annotations
@@ -36,11 +49,21 @@ from repro.core.quality_store import WorkerQualityStore
 from repro.core.truth_inference import TruthInference
 from repro.core.types import Answer, Task
 from repro.datasets.base import CrowdDataset
-from repro.errors import ValidationError
+from repro.errors import JournalCorruptionError, ValidationError
+from repro.kb.knowledge_base import KnowledgeBase
 from repro.linking import EntityLinker
+from repro.platform.journal import (
+    KIND_ANSWER,
+    KIND_BOOTSTRAP_ANSWER,
+    KIND_BOOTSTRAP_DONE,
+)
+from repro.platform.sqlite_storage import SqliteSystemDatabase
 from repro.platform.storage import SystemDatabase
 from repro.system.config import DocsConfig
 from repro.system.ingest import IngestPipeline, IngestReport
+
+#: Supported storage backends.
+STORAGE_MODES = ("memory", "sqlite")
 
 
 class DocsSystem:
@@ -52,13 +75,39 @@ class DocsSystem:
 
     Args:
         config: system configuration (defaults follow the paper).
+        storage: ``"memory"`` (default; fastest, nothing survives the
+            process) or ``"sqlite"`` (durable: tasks, golden registry,
+            and the answer journal live in one SQLite file, and the
+            campaign can be resumed from it with :meth:`resume`).
+        path: the SQLite database path; required with
+            ``storage="sqlite"`` (pass ``":memory:"`` explicitly for an
+            ephemeral throwaway database).
     """
 
     name = "DOCS"
 
-    def __init__(self, config: Optional[DocsConfig] = None):
+    def __init__(
+        self,
+        config: Optional[DocsConfig] = None,
+        *,
+        storage: str = "memory",
+        path: Optional[str] = None,
+    ):
         self._config = config or DocsConfig()
         self._config.validate()
+        if storage not in STORAGE_MODES:
+            raise ValidationError(
+                f"unknown storage mode {storage!r}; expected one of "
+                f"{STORAGE_MODES}"
+            )
+        if storage == "sqlite" and path is None:
+            raise ValidationError(
+                "storage='sqlite' requires a database path; pass "
+                "path=... (use ':memory:' explicitly for an ephemeral "
+                "database)"
+            )
+        self._storage = storage
+        self._path = path
         self._db: Optional[SystemDatabase] = None
         self._incremental: Optional[IncrementalTruthInference] = None
         self._log: Optional[AnswerLog] = None
@@ -77,6 +126,16 @@ class DocsSystem:
     def config(self) -> DocsConfig:
         """The active configuration."""
         return self._config
+
+    @property
+    def storage(self) -> str:
+        """The storage mode: ``"memory"`` or ``"sqlite"``."""
+        return self._storage
+
+    @property
+    def path(self) -> Optional[str]:
+        """The SQLite database path (``None`` in memory mode)."""
+        return self._path
 
     @property
     def database(self) -> SystemDatabase:
@@ -103,8 +162,10 @@ class DocsSystem:
         batch, so rebuilding them silently would discard campaign state.
 
         Raises:
-            ValidationError: if the system is already prepared, or the
-                dataset carries duplicate task ids.
+            ValidationError: if the system is already prepared (use
+                :meth:`add_tasks` to grow the pool, or build a new
+                system), or the dataset carries duplicate task ids
+                (deduplicate it first).
         """
         if self._db is not None:
             raise ValidationError(
@@ -117,28 +178,37 @@ class DocsSystem:
         # Build everything in locals and commit only after the ingest
         # succeeds: a rejected dataset (e.g. duplicate ids) must leave
         # the system un-prepared and retryable.
-        db = SystemDatabase()
-        store = WorkerQualityStore(
-            m, default_quality=self._config.default_quality
-        )
-        incremental = IncrementalTruthInference(store)
-        pipeline = IngestPipeline(db, incremental, linker)
-        pipeline.ingest(dataset.tasks)
+        db = self._make_database()
+        try:
+            store = WorkerQualityStore(
+                m, default_quality=self._config.default_quality
+            )
+            incremental = IncrementalTruthInference(store)
+            pipeline = IngestPipeline(db, incremental, linker)
+            pipeline.ingest(dataset.tasks)
 
-        golden_count = min(self._config.golden_count, len(dataset.tasks))
-        golden_indices = select_golden_tasks(
-            [t.domain_vector for t in dataset.tasks], golden_count
-        )
-        golden_ids = []
-        golden_truths: Dict[int, int] = {}
-        for idx in golden_indices:
-            task = dataset.tasks[idx]
-            if task.ground_truth is None:
-                continue
-            golden_ids.append(task.task_id)
-            golden_truths[task.task_id] = task.ground_truth
-        db.mark_golden(golden_ids)
+            golden_count = min(
+                self._config.golden_count, len(dataset.tasks)
+            )
+            golden_indices = select_golden_tasks(
+                [t.domain_vector for t in dataset.tasks], golden_count
+            )
+            golden_ids = []
+            golden_truths: Dict[int, int] = {}
+            for idx in golden_indices:
+                task = dataset.tasks[idx]
+                if task.ground_truth is None:
+                    continue
+                golden_ids.append(task.task_id)
+                golden_truths[task.task_id] = task.ground_truth
+            db.mark_golden(golden_ids)
+        except Exception:
+            if hasattr(db, "close"):
+                db.close()
+            raise
 
+        if getattr(db, "journal", None) is not None:
+            db.answers.bind_row_resolver(incremental.arena.global_row)
         self._db = db
         self._store = store
         self._incremental = incremental
@@ -148,6 +218,22 @@ class DocsSystem:
         self._golden_qualities = {}
         self._golden_truths = golden_truths
         self._submissions_since_rerun = 0
+
+    def _make_database(self) -> SystemDatabase:
+        if self._storage == "memory":
+            return SystemDatabase()
+        db = SqliteSystemDatabase(
+            self._path,
+            journal_batch_size=self._config.journal_batch_size,
+        )
+        if len(db) > 0:
+            db.close()
+            raise ValidationError(
+                f"database at {self._path!r} already holds a campaign; "
+                f"continue it with DocsSystem.resume({self._path!r}) or "
+                "choose a fresh path"
+            )
+        return db
 
     def add_tasks(self, tasks: Sequence[Task]) -> IngestReport:
         """Ingest new tasks mid-campaign (live task growth).
@@ -168,7 +254,8 @@ class DocsSystem:
 
         Raises:
             ValidationError: if called before :meth:`prepare`, or on
-                duplicate task ids.
+                duplicate task ids (the message names the offending id;
+                deduplicate the batch or assign fresh ids).
         """
         if self._pipeline is None:
             raise ValidationError(
@@ -190,14 +277,29 @@ class DocsSystem:
 
     def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
         """Initialise a new worker's quality from golden-task answers."""
+        self._restore_bootstrap(worker_id, answers)
+        journal = getattr(self.database, "journal", None)
+        if journal is not None:
+            arena = self._incremental.arena
+            journal.record_bootstrap(
+                worker_id,
+                answers,
+                [arena.global_row(a.task_id) for a in answers],
+            )
+
+    def _restore_bootstrap(
+        self, worker_id: str, answers: Sequence[Answer]
+    ) -> None:
+        """Apply a golden bootstrap without journaling it (shared by
+        the live path and journal replay)."""
         self._bootstrapped.add(worker_id)
         if not answers:
             return
         domain_vectors = {
-            task.task_id: task.domain_vector
-            for task in self.database.tasks()
+            a.task_id: self.database.task(a.task_id).domain_vector
+            for a in answers
         }
-        stats = self.quality_store.initialize_from_golden(
+        self.quality_store.initialize_from_golden(
             worker_id,
             {a.task_id: a.choice for a in answers},
             self._golden_truths,
@@ -239,6 +341,12 @@ class DocsSystem:
                 f"{answer.task_id}"
             )
         self.database.answers.insert(answer)
+        self._apply_answer(answer)
+
+    def _apply_answer(self, answer: Answer) -> None:
+        """Drive one answer through the serving plane: incremental TI,
+        the answer log, and the every-z full re-run (shared by the live
+        submit path and journal replay)."""
         self._incremental.submit(answer)
         self._log.append(answer)
         self._submissions_since_rerun += 1
@@ -258,6 +366,177 @@ class DocsSystem:
                 state = self._incremental.state(task.task_id)
                 complete[task.task_id] = state.inferred_truth()
         return complete
+
+    # -- durability ------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Flush the write-behind answer journal to disk.
+
+        Bounds the crash-loss window to zero as of this call; between
+        checkpoints a crash can lose at most the unflushed tail (under
+        ``config.journal_batch_size`` events). Idempotent; a no-op (0)
+        with in-memory storage.
+
+        Returns:
+            The number of journal rows made durable.
+
+        Raises:
+            ValidationError: if the system is not prepared.
+        """
+        db = self.database
+        if hasattr(db, "checkpoint"):
+            return db.checkpoint()
+        return 0
+
+    def close(self) -> None:
+        """Checkpoint and release the storage backend (idempotent).
+
+        After ``close`` the campaign file holds everything needed by
+        :meth:`resume`. A no-op with in-memory storage or before
+        :meth:`prepare`.
+        """
+        if self._db is not None and hasattr(self._db, "close"):
+            self._db.close()
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        config: Optional[DocsConfig] = None,
+        kb: Optional[KnowledgeBase] = None,
+    ) -> "DocsSystem":
+        """Rebuild a sqlite-backed campaign from its database file.
+
+        Loads the task catalogue in its original arena registration
+        order, re-registers every task through the bulk-ingest plane
+        (linking and DVE are skipped — domain vectors persisted with the
+        tasks), restores the golden registry, then replays the answer
+        journal in commit order through the same bootstrap/submit code
+        paths a live campaign uses. The resumed system's hot state —
+        arena buffers, incremental-TI posteriors, worker qualities,
+        rerun cursor — is identical to the original's at its last
+        flush, and the campaign continues from there: ``assign`` /
+        ``submit`` / ``add_tasks`` / ``finalize`` all work.
+
+        Args:
+            path: the SQLite file a ``DocsSystem(storage="sqlite")``
+                campaign ran on.
+            config: configuration for the resumed system; must match
+                the original run's inference knobs (``rerun_interval``,
+                ``default_quality``, ``ti_max_iterations``) for the
+                replay to reproduce it exactly.
+            kb: optional knowledge base, re-attached to the ingest
+                pipeline so :meth:`add_tasks` can link *new* task texts
+                after the resume. Without it, added tasks must carry
+                precomputed domain vectors.
+
+        Returns:
+            The resumed, ready-to-serve system.
+
+        Raises:
+            ValidationError: if the database holds no campaign.
+            JournalCorruptionError: if the journal fails its integrity
+                check (partial/corrupt final batch).
+        """
+        system = cls(config, storage="sqlite", path=path)
+        cfg = system._config
+        db = SqliteSystemDatabase(
+            path, journal_batch_size=cfg.journal_batch_size
+        )
+        try:
+            tasks = db.tasks_in_ingest_order()
+            if not tasks:
+                raise ValidationError(
+                    f"nothing to resume at {path!r}: the database holds "
+                    "no tasks; run a campaign with "
+                    "DocsSystem(storage='sqlite', path=...) first"
+                )
+            db.journal.validate()
+            missing = [
+                t.task_id for t in tasks if t.domain_vector is None
+            ]
+            if missing:
+                raise ValidationError(
+                    f"task {missing[0]} has no persisted domain vector; "
+                    "the file was not written by a DocsSystem campaign "
+                    "and cannot be resumed"
+                )
+            m = int(tasks[0].domain_vector.shape[0])
+            store = WorkerQualityStore(
+                m, default_quality=cfg.default_quality
+            )
+            incremental = IncrementalTruthInference(store)
+            linker = (
+                EntityLinker(kb, top_c=cfg.top_c)
+                if kb is not None
+                else None
+            )
+            pipeline = IngestPipeline(db, incremental, linker)
+            pipeline.ingest(tasks, store=False)
+            db.answers.bind_row_resolver(incremental.arena.global_row)
+
+            by_id = {t.task_id: t for t in tasks}
+            golden_truths: Dict[int, int] = {}
+            for task_id in db.golden_ids:
+                task = by_id.get(task_id)
+                if task is not None and task.ground_truth is not None:
+                    golden_truths[task_id] = task.ground_truth
+
+            system._db = db
+            system._store = store
+            system._incremental = incremental
+            system._log = AnswerLog(incremental.arena)
+            system._pipeline = pipeline
+            system._golden_truths = golden_truths
+            system._replay_journal()
+        except Exception:
+            db.close()
+            system._db = None
+            raise
+        return system
+
+    def _replay_journal(self) -> None:
+        """Re-apply every committed journal event in commit order."""
+        arena = self._incremental.arena
+        pending_bootstrap: Dict[str, List[Answer]] = {}
+        for entry in self.database.journal.replay():
+            if entry.kind == KIND_BOOTSTRAP_ANSWER:
+                pending_bootstrap.setdefault(entry.worker_id, []).append(
+                    Answer(entry.worker_id, entry.task_id, entry.choice)
+                )
+            elif entry.kind == KIND_BOOTSTRAP_DONE:
+                answers = pending_bootstrap.pop(entry.worker_id, [])
+                self._restore_bootstrap(entry.worker_id, answers)
+            elif entry.kind == KIND_ANSWER:
+                expected_row = arena.global_row(entry.task_id)
+                if entry.task_row != expected_row:
+                    raise JournalCorruptionError(
+                        f"journal entry {entry.seq}: task "
+                        f"{entry.task_id} registers at arena row "
+                        f"{expected_row} but the journal recorded row "
+                        f"{entry.task_row}; the journal and the task "
+                        "catalogue disagree — restore the file from a "
+                        "backup"
+                    )
+                answer = Answer(
+                    entry.worker_id, entry.task_id, entry.choice
+                )
+                self.database.answers.restore(answer)
+                self._apply_answer(answer)
+            else:
+                raise JournalCorruptionError(
+                    f"journal entry {entry.seq} has unknown kind "
+                    f"{entry.kind}; the file is newer than this code "
+                    "or corrupt"
+                )
+        if pending_bootstrap:
+            workers = ", ".join(sorted(pending_bootstrap))
+            raise JournalCorruptionError(
+                "journal ends inside an unfinished bootstrap for "
+                f"worker(s) {workers}: the final batch is partial; "
+                "restore the file from a backup, or delete the dangling "
+                "rows to fall back to the last consistent checkpoint"
+            )
 
     # -- internals -------------------------------------------------------
 

@@ -92,62 +92,90 @@ class IngestPipeline:
         incremental: the serving plane's incremental TI — its arena
             receives the new rows.
         linker: the entity linker (its candidate cache is shared across
-            every batch this pipeline ingests).
+            every batch this pipeline ingests). May be ``None`` for a
+            replay-only pipeline (``DocsSystem.resume`` without a KB),
+            in which case every ingested task must arrive with a
+            precomputed ``domain_vector``.
         estimator: optional DVE estimator; built over ``linker`` and the
-            arena's taxonomy size when omitted.
+            arena's taxonomy size when omitted (and a linker exists).
     """
 
     def __init__(
         self,
         database,
         incremental: IncrementalTruthInference,
-        linker: EntityLinker,
+        linker: Optional[EntityLinker] = None,
         estimator: Optional[DomainVectorEstimator] = None,
     ):
         self._db = database
         self._incremental = incremental
         self._linker = linker
-        self._estimator = estimator or DomainVectorEstimator(
-            linker, incremental.arena.num_domains
-        )
+        self._estimator = estimator
+        if estimator is None and linker is not None:
+            self._estimator = DomainVectorEstimator(
+                linker, incremental.arena.num_domains
+            )
 
     @property
-    def estimator(self) -> DomainVectorEstimator:
-        """The DVE stage's estimator."""
+    def estimator(self) -> Optional[DomainVectorEstimator]:
+        """The DVE stage's estimator (``None`` on a linker-less pipeline)."""
         return self._estimator
 
     @property
-    def linker(self) -> EntityLinker:
-        """The linking stage's entity linker."""
+    def linker(self) -> Optional[EntityLinker]:
+        """The linking stage's entity linker (``None`` if replay-only)."""
         return self._linker
 
     def _validate_batch(self, tasks: Sequence[Task]) -> None:
         seen: set = set()
         arena = self._incremental.arena
+        m = arena.num_domains
         for task in tasks:
             if task.task_id in seen:
                 raise ValidationError(
-                    f"duplicate task id {task.task_id} in ingest batch"
+                    f"duplicate task id {task.task_id} in ingest batch; "
+                    "deduplicate the batch before calling prepare() or "
+                    "add_tasks()"
                 )
             if task.task_id in arena:
                 raise ValidationError(
-                    f"task id {task.task_id} already ingested"
+                    f"task id {task.task_id} already ingested; "
+                    "add_tasks() accepts only new tasks — drop it from "
+                    "the batch or assign a fresh id"
+                )
+            # Reject malformed precomputed vectors here, before any
+            # stage runs: stage 4 (arena registration) must not be able
+            # to fail after stage 3 has durably stored the batch.
+            if task.domain_vector is not None and (
+                task.domain_vector.shape != (m,)
+            ):
+                raise ValidationError(
+                    f"task {task.task_id}: domain_vector must have "
+                    f"shape ({m},), got {task.domain_vector.shape}; "
+                    "fix the vector or omit it to let DVE estimate one"
                 )
             seen.add(task.task_id)
 
-    def ingest(self, tasks: Sequence[Task]) -> IngestReport:
+    def ingest(self, tasks: Sequence[Task], store: bool = True) -> IngestReport:
         """Run the four stages over one task batch.
 
         Tasks gain their ``domain_vector`` in place (stage 2) unless
         they already carry one. The batch is all-or-nothing: validation
         failures raise before any stage touches a store.
 
+        Args:
+            tasks: the batch to ingest.
+            store: run stage 3 (the bulk database insert). Resume passes
+                ``False`` to re-register already-persisted tasks
+                (replaying through stages 1-2-4 only).
+
         Returns:
             An :class:`IngestReport` with per-stage wall times.
 
         Raises:
             ValidationError: on duplicate task ids (within the batch or
-                against previously ingested tasks).
+                against previously ingested tasks), or if tasks need
+                linking but the pipeline has no entity linker.
         """
         tasks = list(tasks)
         self._validate_batch(tasks)
@@ -156,8 +184,19 @@ class IngestPipeline:
 
         # Stage 1: batch entity linking (only tasks without a vector).
         pending = [t for t in tasks if t.domain_vector is None]
+        if pending and self._linker is None:
+            raise ValidationError(
+                f"{len(pending)} task(s) need entity linking but this "
+                "pipeline has no linker (the system was resumed without "
+                "a knowledge base); pass kb= to DocsSystem.resume(), or "
+                "supply tasks with a precomputed domain_vector"
+            )
         tic = time.perf_counter()
-        entity_lists = self._linker.link_batch([t.text for t in pending])
+        entity_lists = (
+            self._linker.link_batch([t.text for t in pending])
+            if pending
+            else []
+        )
         link_seconds = time.perf_counter() - tic
 
         # Stage 2: vectorised DVE over all linked tasks at once.
@@ -170,13 +209,22 @@ class IngestPipeline:
 
         # Stage 3: one bulk round-trip into the task catalogue.
         tic = time.perf_counter()
-        self._db.add_tasks(tasks)
+        if store:
+            self._db.add_tasks(tasks)
         store_seconds = time.perf_counter() - tic
 
         # Stage 4: one arena block write; serving state picks the new
-        # rows up on the next arrival.
+        # rows up on the next arrival. A registration failure must not
+        # strand the batch in the durable catalogue (an orphan task
+        # there would shift arena rows on resume and break replay), so
+        # the stage-3 insert is rolled back before re-raising.
         tic = time.perf_counter()
-        self._incremental.register_tasks(tasks)
+        try:
+            self._incremental.register_tasks(tasks)
+        except Exception:
+            if store:
+                self._db.remove_tasks([t.task_id for t in tasks])
+            raise
         register_seconds = time.perf_counter() - tic
 
         return IngestReport(

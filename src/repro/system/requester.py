@@ -41,6 +41,8 @@ def run_campaign(
     answers_per_task: int = 10,
     hit_size: Optional[int] = None,
     seed: SeedLike = 0,
+    storage: str = "memory",
+    path: Optional[str] = None,
 ) -> CampaignResult:
     """Run a full DOCS campaign over a dataset with a simulated crowd.
 
@@ -52,6 +54,10 @@ def run_campaign(
         answers_per_task: budget, in answers per task (paper: 10).
         hit_size: tasks per HIT; defaults to the config's value.
         seed: simulation seed.
+        storage: DocsSystem storage mode; with ``"sqlite"`` the campaign
+            persists to ``path`` and is closed (journal flushed) before
+            returning, ready for :meth:`repro.system.DocsSystem.resume`.
+        path: SQLite path (required when ``storage="sqlite"``).
 
     Returns:
         A :class:`CampaignResult`.
@@ -74,6 +80,9 @@ def run_campaign(
         hit_size=hit_size if hit_size is not None else cfg.hit_size,
         seed=seed,
     )
-    system = DocsSystem(cfg)
-    report = simulator.run(system)
+    system = DocsSystem(cfg, storage=storage, path=path)
+    try:
+        report = simulator.run(system)
+    finally:
+        system.close()
     return CampaignResult(truths=report.truths, report=report)

@@ -1,0 +1,381 @@
+"""Kill-and-resume: a checkpointed campaign must resume bit-identically.
+
+The acceptance bar for the durable serving plane: a campaign that is
+checkpointed mid-run, "killed" (the process abandons the system without
+closing it), and rebuilt with :meth:`DocsSystem.resume` must produce
+exactly the same inference state, assignments, and final truths as a
+campaign that never stopped.
+"""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer, Task
+from repro.datasets import make_dataset
+from repro.errors import JournalCorruptionError, ValidationError
+from repro.system import DocsConfig, DocsSystem
+
+WORKERS = [f"w{i}" for i in range(6)]
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("4d", seed=31, tasks_per_domain=8)
+
+
+def _config():
+    return DocsConfig(
+        golden_count=6,
+        rerun_interval=20,
+        hit_size=3,
+        journal_batch_size=8,
+    )
+
+
+def _golden_answers(system, dataset, worker):
+    return [
+        Answer(worker, tid, dataset.task_by_id(tid).ground_truth)
+        for tid in system.golden_task_ids()
+    ]
+
+
+def _drive(system, dataset, arrivals, start=0):
+    """A deterministic campaign script: round-robin workers, 2-task
+    HITs, arithmetic answer choices. Identical system state implies
+    identical behaviour, so two runs of the same arrival range agree."""
+    for arrival in range(start, arrivals):
+        worker = WORKERS[arrival % len(WORKERS)]
+        if system.needs_bootstrap(worker):
+            system.bootstrap(
+                worker, _golden_answers(system, dataset, worker)
+            )
+        for task_id in system.assign(worker, 2):
+            ell = dataset.task_by_id(task_id).num_choices
+            choice = 1 + (task_id * 3 + arrival) % ell
+            system.submit(Answer(worker, task_id, choice))
+
+
+def _fingerprint(system):
+    """Every piece of hot state a resume must reproduce."""
+    states = {
+        tid: (
+            system._incremental.state(tid).s.copy(),
+            system._incremental.state(tid).M.copy(),
+        )
+        for tid in system.database.task_ids()
+    }
+    qualities = {
+        w: system.quality_store.get(w)
+        for w in sorted(system.quality_store.known_workers())
+    }
+    return states, qualities
+
+
+def _assert_same_state(left, right):
+    l_states, l_quals = _fingerprint(left)
+    r_states, r_quals = _fingerprint(right)
+    assert set(l_states) == set(r_states)
+    for tid in l_states:
+        assert np.array_equal(l_states[tid][0], r_states[tid][0]), tid
+        assert np.array_equal(l_states[tid][1], r_states[tid][1]), tid
+    assert set(l_quals) == set(r_quals)
+    for w in l_quals:
+        assert np.array_equal(l_quals[w].quality, r_quals[w].quality), w
+        assert np.array_equal(l_quals[w].weight, r_quals[w].weight), w
+    assert len(left._log) == len(right._log)
+    assert left._submissions_since_rerun == right._submissions_since_rerun
+    assert left._bootstrapped == right._bootstrapped
+
+
+class TestKillAndResume:
+    def test_resumed_campaign_identical_to_uninterrupted(
+        self, dataset, tmp_path
+    ):
+        total, kill_at = 36, 17
+
+        straight = DocsSystem(
+            _config(), storage="sqlite", path=str(tmp_path / "a.db")
+        )
+        straight.prepare(dataset)
+        _drive(straight, dataset, total)
+
+        crash_path = str(tmp_path / "b.db")
+        crashed = DocsSystem(
+            _config(), storage="sqlite", path=crash_path
+        )
+        crashed.prepare(dataset)
+        _drive(crashed, dataset, kill_at)
+        crashed.checkpoint()
+        # Simulated kill: the object is abandoned, never closed.
+
+        resumed = DocsSystem.resume(crash_path, config=_config())
+        _drive(resumed, dataset, total, start=kill_at)
+
+        _assert_same_state(straight, resumed)
+        # Identical next assignments for every worker...
+        for worker in WORKERS:
+            assert straight.assign(worker, 3) == resumed.assign(worker, 3)
+        # ...and identical final inference.
+        assert straight.finalize() == resumed.finalize()
+        straight.close()
+        resumed.close()
+
+    def test_unflushed_tail_is_lost_not_torn(self, dataset, tmp_path):
+        """Answers after the last flush are absent after a crash, but
+        the journal stays consistent and resume matches the truncated
+        run exactly."""
+        config = DocsConfig(
+            golden_count=6,
+            rerun_interval=20,
+            hit_size=3,
+            journal_batch_size=500,  # nothing auto-flushes
+        )
+        reference = DocsSystem(
+            config, storage="sqlite", path=str(tmp_path / "ref.db")
+        )
+        reference.prepare(dataset)
+        _drive(reference, dataset, 10)
+        reference.checkpoint()
+
+        crash_path = str(tmp_path / "crash.db")
+        crashed = DocsSystem(config, storage="sqlite", path=crash_path)
+        crashed.prepare(dataset)
+        _drive(crashed, dataset, 10)
+        crashed.checkpoint()
+        _drive(crashed, dataset, 14, start=10)  # unflushed tail
+        assert crashed.database.journal.pending > 0
+        # Abandoned without close: the tail never reaches the file.
+
+        resumed = DocsSystem.resume(crash_path, config=config)
+        _assert_same_state(reference, resumed)
+        reference.close()
+        resumed.close()
+
+    def test_resume_continues_journal(self, dataset, tmp_path):
+        path = str(tmp_path / "cont.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 8)
+        system.close()
+
+        resumed = DocsSystem.resume(path, config=_config())
+        _drive(resumed, dataset, 16, start=8)
+        resumed.close()
+
+        again = DocsSystem.resume(path, config=_config())
+        again.database.journal.validate()
+        assert len(again.database.answers) == len(resumed.database.answers)
+        again.close()
+
+
+class TestResumeEdgeCases:
+    def test_resume_from_empty_journal(self, dataset, tmp_path):
+        """A prepared-but-unanswered campaign resumes to a fresh state."""
+        path = str(tmp_path / "empty.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        system.close()
+
+        fresh = DocsSystem(_config(), storage="memory")
+        fresh.prepare(make_dataset("4d", seed=31, tasks_per_domain=8))
+
+        resumed = DocsSystem.resume(path, config=_config())
+        assert len(resumed.database.answers) == 0
+        assert len(resumed._log) == 0
+        assert resumed.golden_task_ids() == fresh.golden_task_ids()
+        assert resumed.assign("w0", 4) == fresh.assign("w0", 4)
+        resumed.close()
+
+    def test_resume_without_campaign_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="nothing to resume"):
+            DocsSystem.resume(str(tmp_path / "void.db"))
+
+    def test_prepare_on_existing_campaign_names_resume(
+        self, dataset, tmp_path
+    ):
+        path = str(tmp_path / "busy.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        system.close()
+        second = DocsSystem(_config(), storage="sqlite", path=path)
+        with pytest.raises(ValidationError, match="resume"):
+            second.prepare(dataset)
+
+    def test_corrupt_final_batch_rejected(self, dataset, tmp_path):
+        path = str(tmp_path / "corrupt.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 10)
+        system.close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE answers_log SET choice = ((choice) % 2) + 1 "
+            "WHERE seq = (SELECT MAX(seq) FROM answers_log)"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(JournalCorruptionError, match="checksum"):
+            DocsSystem.resume(path, config=_config())
+
+    def test_partial_final_batch_rejected(self, dataset, tmp_path):
+        path = str(tmp_path / "torn.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 10)
+        system.close()
+        conn = sqlite3.connect(path)
+        # Simulate a torn write: drop the final batch's record but keep
+        # (some of) its rows.
+        conn.execute(
+            "DELETE FROM journal_batches WHERE batch = "
+            "(SELECT MAX(batch) FROM journal_batches)"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(JournalCorruptionError, match="partial"):
+            DocsSystem.resume(path, config=_config())
+
+    def test_sqlite_requires_path(self):
+        with pytest.raises(ValidationError, match="path"):
+            DocsSystem(storage="sqlite")
+
+    def test_unknown_storage_mode(self):
+        with pytest.raises(ValidationError, match="storage"):
+            DocsSystem(storage="redis")
+
+
+class TestIngestRollback:
+    def test_rejected_growth_batch_leaves_file_resumable(
+        self, dataset, tmp_path
+    ):
+        """A growth batch rejected at the pipeline boundary (bad
+        precomputed vector) must leave no orphan task in the durable
+        catalogue — an orphan would shift arena rows and break resume."""
+        path = str(tmp_path / "rollback.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 10)
+        tasks_before = len(system.database)
+        bad = Task(
+            task_id=20_000,
+            text="bad vector",
+            num_choices=2,
+            domain_vector=np.array([0.5, 0.5]),  # wrong dimension
+        )
+        with pytest.raises(ValidationError, match="domain_vector"):
+            system.add_tasks([bad])
+        assert len(system.database) == tasks_before
+        assert 20_000 not in system._incremental.arena
+        system.close()
+
+        resumed = DocsSystem.resume(path, config=_config())
+        assert len(resumed.database) == tasks_before
+        resumed.close()
+
+    def test_remove_tasks_rolls_back_catalogue(self, dataset, tmp_path):
+        from repro.platform import SqliteSystemDatabase, SystemDatabase
+
+        for db in (
+            SystemDatabase(),
+            SqliteSystemDatabase(str(tmp_path / "rb.db")),
+        ):
+            db.add_tasks(dataset.tasks[:4])
+            db.remove_tasks([t.task_id for t in dataset.tasks[2:4]])
+            db.remove_tasks([999_999])  # unknown ids are ignored
+            assert db.task_ids() == [
+                t.task_id for t in dataset.tasks[:2]
+            ]
+
+
+class TestCorruptionRemediation:
+    def test_documented_remediation_actually_recovers(
+        self, dataset, tmp_path
+    ):
+        """Following the JournalCorruptionError instructions (drop the
+        bad batch from BOTH journal tables) must yield a journal that
+        validates, resumes, and accepts new flushes without id reuse."""
+        path = str(tmp_path / "remedy.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 12)
+        system.close()
+
+        conn = sqlite3.connect(path)
+        (bad_batch,) = conn.execute(
+            "SELECT MAX(batch) FROM journal_batches"
+        ).fetchone()
+        conn.execute(
+            "UPDATE answers_log SET choice = ((choice) % 2) + 1 "
+            "WHERE batch = ?", (bad_batch,)
+        )
+        conn.commit()
+        with pytest.raises(JournalCorruptionError):
+            DocsSystem.resume(path, config=_config())
+        # The documented remediation: delete the batch from both tables.
+        conn.execute(
+            "DELETE FROM answers_log WHERE batch = ?", (bad_batch,)
+        )
+        conn.execute(
+            "DELETE FROM journal_batches WHERE batch = ?", (bad_batch,)
+        )
+        conn.commit()
+        conn.close()
+
+        resumed = DocsSystem.resume(path, config=_config())
+        _drive(resumed, dataset, 18, start=12)  # continues + re-flushes
+        resumed.close()
+        reopened = DocsSystem.resume(path, config=_config())
+        reopened.database.journal.validate()
+        reopened.close()
+
+
+class TestResumeLiveGrowth:
+    def test_add_tasks_after_resume_with_kb(self, dataset, tmp_path):
+        path = str(tmp_path / "grow.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 8)
+        system.close()
+
+        resumed = DocsSystem.resume(
+            path, config=_config(), kb=dataset.kb
+        )
+        new_task = Task(
+            task_id=10_000,
+            text=dataset.tasks[0].text,
+            num_choices=2,
+        )
+        report = resumed.add_tasks([new_task])
+        assert report.tasks == 1
+        assert new_task.domain_vector is not None
+        assert 10_000 in resumed._incremental.arena
+        resumed.close()
+
+        # The grown task is part of the durable campaign too.
+        regrown = DocsSystem.resume(path, config=_config())
+        assert 10_000 in regrown._incremental.arena
+        regrown.close()
+
+    def test_add_tasks_after_resume_without_kb_needs_vectors(
+        self, dataset, tmp_path
+    ):
+        path = str(tmp_path / "nolinker.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        system.close()
+
+        resumed = DocsSystem.resume(path, config=_config())
+        bare = Task(task_id=10_001, text="unlinked", num_choices=2)
+        with pytest.raises(ValidationError, match="linker"):
+            resumed.add_tasks([bare])
+        m = dataset.taxonomy.size
+        vectored = Task(
+            task_id=10_002,
+            text="vectored",
+            num_choices=2,
+            domain_vector=np.full(m, 1.0 / m),
+        )
+        assert resumed.add_tasks([vectored]).tasks == 1
+        resumed.close()

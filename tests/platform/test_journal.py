@@ -1,0 +1,256 @@
+"""Tests for the write-behind answer journal and its integrity checks."""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer, Task
+from repro.errors import JournalCorruptionError, ValidationError
+from repro.platform.journal import (
+    KIND_ANSWER,
+    KIND_BOOTSTRAP_ANSWER,
+    KIND_BOOTSTRAP_DONE,
+    AnswerJournal,
+    JournaledAnswerTable,
+)
+from repro.platform.sqlite_storage import SqliteSystemDatabase
+
+
+def _task(i):
+    return Task(
+        task_id=i,
+        text=f"task {i}",
+        num_choices=3,
+        domain_vector=np.array([0.2, 0.3, 0.5]),
+        ground_truth=1,
+    )
+
+
+@pytest.fixture()
+def conn():
+    connection = sqlite3.connect(":memory:")
+    yield connection
+    connection.close()
+
+
+class TestAnswerJournal:
+    def test_write_behind_batching(self, conn):
+        journal = AnswerJournal(conn, batch_size=3)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        journal.record_answer(Answer("w", 1, 2), task_row=1)
+        assert journal.pending == 2
+        assert len(journal) == 0  # nothing durable yet
+        journal.record_answer(Answer("w", 2, 3), task_row=2)
+        # Third event crossed the batch size: auto-flush.
+        assert journal.pending == 0
+        assert len(journal) == 3
+
+    def test_flush_idempotent(self, conn):
+        journal = AnswerJournal(conn, batch_size=100)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        assert journal.flush() == 1
+        assert journal.flush() == 0
+        assert journal.flush() == 0
+        assert len(journal) == 1
+        journal.validate()  # repeated flushes leave a valid journal
+
+    def test_replay_preserves_commit_order(self, conn):
+        journal = AnswerJournal(conn, batch_size=2)
+        journal.record_bootstrap(
+            "w1", [Answer("w1", 0, 1)], task_rows=[0]
+        )
+        journal.record_answer(Answer("w1", 1, 2), task_row=1)
+        journal.record_answer(Answer("w2", 1, 3), task_row=1)
+        journal.flush()
+        entries = list(journal.replay())
+        assert [e.kind for e in entries] == [
+            KIND_BOOTSTRAP_ANSWER,
+            KIND_BOOTSTRAP_DONE,
+            KIND_ANSWER,
+            KIND_ANSWER,
+        ]
+        assert [e.seq for e in entries] == [0, 1, 2, 3]
+        assert entries[2].task_row == 1
+        assert entries[2].worker_id == "w1"
+        assert entries[3].choice == 3
+
+    def test_bootstrap_never_split_across_batches(self, conn):
+        # Batch size 2, bootstrap with 4 answers: the whole bootstrap
+        # (answers + marker) must land in one atomic batch.
+        journal = AnswerJournal(conn, batch_size=2)
+        answers = [Answer("w", i, 1) for i in range(4)]
+        journal.record_bootstrap("w", answers, task_rows=range(4))
+        assert journal.pending == 0  # auto-flushed in one go
+        batches = {entry.batch for entry in journal.replay()}
+        assert len(batches) == 1
+
+    def test_journal_survives_reopen(self, conn, tmp_path):
+        path = str(tmp_path / "j.db")
+        first = sqlite3.connect(path)
+        journal = AnswerJournal(first, batch_size=10)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        journal.flush()
+        first.close()
+        second = sqlite3.connect(path)
+        reopened = AnswerJournal(second, batch_size=10)
+        assert len(reopened) == 1
+        reopened.record_answer(Answer("w", 1, 1), task_row=1)
+        reopened.flush()
+        reopened.validate()
+        entries = list(reopened.replay())
+        assert [e.seq for e in entries] == [0, 1]
+        assert entries[0].batch < entries[1].batch
+        second.close()
+
+    def test_validate_rejects_orphan_rows(self, conn):
+        journal = AnswerJournal(conn, batch_size=10)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        journal.flush()
+        # Simulate a torn final write: rows present, batch record gone.
+        conn.execute(
+            "INSERT INTO answers_log "
+            "(seq, kind, task_row, task_id, worker_id, choice, ts, batch) "
+            "VALUES (99, 0, 5, 5, 'w', 1, 0.0, 77)"
+        )
+        conn.commit()
+        with pytest.raises(JournalCorruptionError, match="partial"):
+            journal.validate()
+
+    def test_validate_rejects_missing_rows(self, conn):
+        journal = AnswerJournal(conn, batch_size=10)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        journal.record_answer(Answer("w", 1, 1), task_row=1)
+        journal.flush()
+        conn.execute("DELETE FROM answers_log WHERE seq = 1")
+        conn.commit()
+        with pytest.raises(JournalCorruptionError, match="incomplete"):
+            journal.validate()
+
+    def test_validate_rejects_altered_rows(self, conn):
+        journal = AnswerJournal(conn, batch_size=10)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        journal.flush()
+        conn.execute("UPDATE answers_log SET choice = 2 WHERE seq = 0")
+        conn.commit()
+        with pytest.raises(JournalCorruptionError, match="checksum"):
+            journal.validate()
+
+    def test_error_names_remediation(self, conn):
+        journal = AnswerJournal(conn, batch_size=10)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        journal.flush()
+        conn.execute("UPDATE answers_log SET choice = 2 WHERE seq = 0")
+        conn.commit()
+        with pytest.raises(JournalCorruptionError) as excinfo:
+            journal.validate()
+        message = str(excinfo.value)
+        assert "backup" in message
+        assert "checkpoint" in message
+
+    def test_invalid_batch_size(self, conn):
+        with pytest.raises(ValidationError):
+            AnswerJournal(conn, batch_size=0)
+
+
+class TestJournaledAnswerTable:
+    def _table(self, conn, batch_size=2):
+        journal = AnswerJournal(conn, batch_size=batch_size)
+        table = JournaledAnswerTable(journal)
+        table.bind_row_resolver(lambda task_id: task_id)
+        return table
+
+    def test_reads_see_unflushed_answers(self, conn):
+        table = self._table(conn, batch_size=100)
+        table.insert(Answer("w", 0, 1))
+        # Not yet durable, but the serving path must see it.
+        assert table.journal.pending == 1
+        assert table.tasks_answered_by("w") == {0}
+        assert table.has_answered("w", 0)
+        assert len(table) == 1
+        assert [a.choice for a in table.for_task(0)] == [1]
+
+    def test_at_most_once_enforced_synchronously(self, conn):
+        table = self._table(conn, batch_size=100)
+        table.insert(Answer("w", 0, 1))
+        with pytest.raises(ValidationError):
+            table.insert(Answer("w", 0, 2))
+        # The rejected insert must not reach the journal either.
+        assert table.journal.pending == 1
+
+    def test_requires_row_resolver(self, conn):
+        journal = AnswerJournal(conn, batch_size=2)
+        table = JournaledAnswerTable(journal)
+        with pytest.raises(ValidationError, match="resolver"):
+            table.insert(Answer("w", 0, 1))
+
+    def test_restore_skips_journal(self, conn):
+        table = self._table(conn, batch_size=100)
+        table.restore(Answer("w", 0, 1))
+        assert table.journal.pending == 0
+        assert table.tasks_answered_by("w") == {0}
+
+
+class TestSqliteSystemDatabaseJournalMode:
+    def test_checkpoint_flushes_and_is_idempotent(self, tmp_path):
+        db = SqliteSystemDatabase(
+            str(tmp_path / "c.db"), journal_batch_size=100
+        )
+        db.add_tasks([_task(0), _task(1)])
+        db.answers.bind_row_resolver(lambda task_id: task_id)
+        db.answers.insert(Answer("w", 0, 1))
+        assert db.checkpoint() == 1
+        assert db.checkpoint() == 0
+        db.journal.validate()
+        db.close()
+        db.close()  # idempotent
+
+    def test_close_flushes_pending(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        db = SqliteSystemDatabase(path, journal_batch_size=100)
+        db.add_tasks([_task(0)])
+        db.answers.bind_row_resolver(lambda task_id: task_id)
+        db.answers.insert(Answer("w", 0, 1))
+        db.close()
+        reopened = SqliteSystemDatabase(path, journal_batch_size=100)
+        assert len(reopened.journal) == 1
+        reopened.close()
+
+    def test_tasks_in_ingest_order(self, tmp_path):
+        db = SqliteSystemDatabase(
+            str(tmp_path / "o.db"), journal_batch_size=100
+        )
+        # Ingest order deliberately differs from id order.
+        db.add_tasks([_task(5), _task(1)])
+        db.add_tasks([_task(3)])
+        assert [t.task_id for t in db.tasks_in_ingest_order()] == [5, 1, 3]
+        assert [t.task_id for t in db.tasks()] == [1, 3, 5]  # id-ordered
+        db.close()
+
+    def test_migration_adds_ingest_seq_to_legacy_file(self, tmp_path):
+        path = str(tmp_path / "legacy.db")
+        legacy = sqlite3.connect(path)
+        legacy.executescript(
+            """
+            CREATE TABLE tasks (
+                task_id       INTEGER PRIMARY KEY,
+                text          TEXT NOT NULL,
+                num_choices   INTEGER NOT NULL,
+                domain_vector BLOB,
+                ground_truth  INTEGER,
+                true_domain   INTEGER,
+                distractor    INTEGER,
+                golden_rank   INTEGER
+            );
+            INSERT INTO tasks (task_id, text, num_choices)
+            VALUES (7, 'a', 2), (2, 'b', 2);
+            """
+        )
+        legacy.commit()
+        legacy.close()
+        db = SqliteSystemDatabase(path, journal_batch_size=100)
+        # Backfilled in id order, and new inserts continue the sequence.
+        assert [t.task_id for t in db.tasks_in_ingest_order()] == [2, 7]
+        db.add_tasks([_task(0)])
+        assert [t.task_id for t in db.tasks_in_ingest_order()] == [2, 7, 0]
+        db.close()

@@ -58,6 +58,62 @@ class TestCli:
         with pytest.raises(ValidationError):
             main(["report", "--results-dir", str(tmp_path / "none")])
 
+    def test_run_command_memory(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "item",
+                "--seed",
+                "3",
+                "--answers-per-task",
+                "2",
+                "--hit-size",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_run_command_sqlite_then_resume(self, tmp_path, capsys):
+        db = str(tmp_path / "campaign.db")
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "item",
+                "--seed",
+                "3",
+                "--answers-per-task",
+                "2",
+                "--hit-size",
+                "3",
+                "--store",
+                "sqlite",
+                "--db",
+                db,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign persisted" in out
+        assert "--resume" in out
+
+        code = main(["run", "--store", "sqlite", "--db", db, "--resume"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed campaign" in out
+        assert "answers replayed" in out
+        assert "accuracy" in out
+
+    def test_run_sqlite_requires_db(self, capsys):
+        assert main(["run", "--store", "sqlite"]) == 2
+        assert "--db" in capsys.readouterr().err
+
+    def test_run_resume_requires_db(self, capsys):
+        assert main(["run", "--resume"]) == 2
+        assert "--db" in capsys.readouterr().err
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])

@@ -1,0 +1,68 @@
+"""The public surface listed in docs/api.md must be fully documented."""
+
+import inspect
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.datasets.base import CrowdDataset
+from repro.platform import (
+    AnswerJournal,
+    AnswerTable,
+    JournaledAnswerTable,
+    SqliteAnswerTable,
+    SqliteSystemDatabase,
+    SqliteWorkerQualityStore,
+    SystemDatabase,
+)
+from repro.system import (
+    CampaignResult,
+    DocsConfig,
+    DocsSystem,
+    IngestPipeline,
+    IngestReport,
+    run_campaign,
+)
+
+PUBLIC_CLASSES = [
+    DocsSystem,
+    DocsConfig,
+    CampaignResult,
+    IngestPipeline,
+    IngestReport,
+    SystemDatabase,
+    AnswerTable,
+    SqliteSystemDatabase,
+    SqliteAnswerTable,
+    SqliteWorkerQualityStore,
+    AnswerJournal,
+    JournaledAnswerTable,
+    CrowdDataset,
+]
+
+PUBLIC_FUNCTIONS = [run_campaign, make_dataset]
+
+
+@pytest.mark.parametrize(
+    "cls", PUBLIC_CLASSES, ids=lambda c: c.__name__
+)
+def test_class_and_public_methods_documented(cls):
+    assert inspect.getdoc(cls), f"{cls.__name__} lacks a docstring"
+    undocumented = []
+    for name, member in inspect.getmembers(cls):
+        if name.startswith("_"):
+            continue
+        if callable(member) or isinstance(member, property):
+            target = member.fget if isinstance(member, property) else member
+            if not inspect.getdoc(target):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{cls.__name__} has undocumented public members: {undocumented}"
+    )
+
+
+@pytest.mark.parametrize(
+    "func", PUBLIC_FUNCTIONS, ids=lambda f: f.__name__
+)
+def test_function_documented(func):
+    assert inspect.getdoc(func), f"{func.__name__} lacks a docstring"
