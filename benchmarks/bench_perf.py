@@ -45,6 +45,13 @@ real SQLite file (``DocsSystem(storage="sqlite")``), final checkpoint
 included. Both runs must infer identical truths, and the journal must
 pass its integrity check afterwards.
 
+**Resume plane** (the snapshot PR's ≥5x criterion at n = 10K): runs a
+journaled ``DocsSystem`` campaign to completion (final snapshot written
+on close), then rebuilds it twice with ``DocsSystem.resume``: once from
+the compacted snapshot (load + empty tail), and once by full journal
+replay (the snapshot rows are deleted first). Both rebuilds must hold
+identical hot state — checked on every run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke   # CI gate
@@ -539,6 +546,130 @@ def compare_durability_at(
     }
 
 
+def compare_resume_at(
+    n: int,
+    answers_per_task: int,
+    rerun_every: int,
+    seed: int = 7,
+    batch_size: int = 256,
+) -> Dict[str, object]:
+    """Measure snapshot-load resume vs full journal replay.
+
+    One journaled campaign is written (precomputed domain vectors, no
+    golden pre-test — replay cost is the serving plane: per-answer
+    incremental TI plus the every-z full re-runs), then resumed twice:
+    from its close-time snapshot, and — after deleting the snapshot
+    rows — by replaying every journal event. Both resumed systems must
+    hold identical task states and worker qualities.
+    """
+    import sqlite3
+
+    from repro.datasets.base import CrowdDataset, DatasetDomain
+    from repro.kb.taxonomy import DomainTaxonomy
+    from repro.system import DocsConfig, DocsSystem
+
+    rng = make_rng(seed)
+    tasks = _make_tasks(n, rng)
+    taxonomy = DomainTaxonomy(
+        tuple(f"domain{k}" for k in range(NUM_DOMAINS))
+    )
+    dataset = CrowdDataset(
+        name="bench-resume",
+        tasks=tasks,
+        kb=KnowledgeBase(taxonomy),
+        domains=[DatasetDomain("bench", "domain0", 0)],
+        task_labels=["bench"] * n,
+    )
+    config = DocsConfig(
+        golden_count=0,
+        rerun_interval=rerun_every,
+        journal_batch_size=batch_size,
+        snapshot_every_batches=0,  # one snapshot, written on close
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(pathlib.Path(tmp) / "resume.db")
+        system = DocsSystem(config, storage="sqlite", path=path)
+        system.prepare(dataset)
+        submissions = 0
+        for task in tasks:
+            for j in range(answers_per_task):
+                worker = f"w{(task.task_id + j) % NUM_WORKERS}"
+                choice = 1 + (task.task_id * 3 + j) % NUM_CHOICES
+                system.submit(Answer(worker, task.task_id, choice))
+                submissions += 1
+        system.close()
+
+        tic = time.perf_counter()
+        fast = DocsSystem.resume(path, config=config)
+        snapshot_seconds = time.perf_counter() - tic
+        if fast.resume_info["snapshot_seq"] is None:
+            raise AssertionError(
+                f"n={n}: close() left no usable snapshot to resume from"
+            )
+
+        conn = sqlite3.connect(path)
+        for table in (
+            "snapshot_meta", "snapshot_groups", "snapshot_workers"
+        ):
+            conn.execute(f"DELETE FROM {table}")
+        conn.commit()
+        conn.close()
+        tic = time.perf_counter()
+        slow = DocsSystem.resume(path, config=config)
+        replay_seconds = time.perf_counter() - tic
+        if slow.resume_info["snapshot_seq"] is not None:
+            raise AssertionError(
+                f"n={n}: replay path unexpectedly found a snapshot"
+            )
+
+        for task in tasks:
+            f_state = fast._incremental.state(task.task_id)
+            s_state = slow._incremental.state(task.task_id)
+            if not np.array_equal(f_state.s, s_state.s) or (
+                not np.array_equal(f_state.M, s_state.M)
+            ):
+                raise AssertionError(
+                    f"n={n}: snapshot and replay resume disagree on "
+                    f"task {task.task_id}"
+                )
+        f_workers = sorted(fast.quality_store.known_workers())
+        if f_workers != sorted(slow.quality_store.known_workers()):
+            raise AssertionError(
+                f"n={n}: snapshot and replay resume know different "
+                "workers"
+            )
+        for worker in f_workers:
+            if not np.array_equal(
+                fast.quality_store.get(worker).quality,
+                slow.quality_store.get(worker).quality,
+            ):
+                raise AssertionError(
+                    f"n={n}: snapshot and replay resume disagree on "
+                    f"worker {worker}"
+                )
+        fast.close()
+        slow.close()
+    return {
+        "num_tasks": n,
+        "submissions": submissions,
+        "rerun_every": rerun_every,
+        "batch_size": batch_size,
+        "snapshot_load_s": snapshot_seconds,
+        "full_replay_s": replay_seconds,
+        "speedup_resume": replay_seconds / snapshot_seconds,
+    }
+
+
+def _report_resume(summary: Dict[str, object]) -> None:
+    print(
+        f"resume n={summary['num_tasks']:>6d}  "
+        f"replay {summary['full_replay_s']:7.2f} s -> "
+        f"snapshot {summary['snapshot_load_s']:6.2f} s   "
+        f"({summary['speedup_resume']:.1f}x, "
+        f"{summary['submissions']} answers)"
+    )
+
+
 def _report_durability(summary: Dict[str, object]) -> None:
     print(
         f"journal n={summary['num_tasks']:>6d}  "
@@ -590,10 +721,14 @@ def main(argv=None) -> int:
             300, answers_per_task=2, hit_size=5, rerun_every=150
         )
         _report_durability(durability_summary)
+        resume_summary = compare_resume_at(
+            300, answers_per_task=2, rerun_every=150
+        )
+        _report_resume(resume_summary)
         print(
             "smoke ok: serving paths agree on truths, prepare paths "
             "agree on domain vectors, journaled campaign agrees with "
-            "in-memory"
+            "in-memory, snapshot resume agrees with full replay"
         )
         return 0
 
@@ -617,6 +752,16 @@ def main(argv=None) -> int:
         )
         _report_durability(durability_summary)
         durability_points.append(durability_summary)
+    resume_points = []
+    for n in (1000, 10000):
+        # A long campaign (5 answers/task): replay cost scales with
+        # campaign length, snapshot load with n — the gap the snapshot
+        # exists to open.
+        resume_summary = compare_resume_at(
+            n, answers_per_task=5, rerun_every=max(n // 5, 100)
+        )
+        _report_resume(resume_summary)
+        resume_points.append(resume_summary)
     payload = {
         "benchmark": "arena_vs_legacy_serving_path",
         "workload": "synthetic round-robin campaign (see module docstring)",
@@ -638,6 +783,15 @@ def main(argv=None) -> int:
                 "(final checkpoint included)"
             ),
             "points": durability_points,
+        },
+        "resume": {
+            "benchmark": "snapshot_load_vs_full_journal_replay",
+            "workload": (
+                "journaled DocsSystem campaign (precomputed vectors, "
+                "5 answers/task) resumed from its close-time snapshot "
+                "vs by replaying every journal event"
+            ),
+            "points": resume_points,
         },
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -668,6 +822,16 @@ def main(argv=None) -> int:
         print(
             f"WARNING: 10K journal overhead "
             f"{durability_10k['overhead_pct']:.1f}% above the 10% target",
+            file=sys.stderr,
+        )
+        failed = True
+    resume_10k = next(
+        p for p in resume_points if p["num_tasks"] == 10000
+    )
+    if resume_10k["speedup_resume"] < 5.0:
+        print(
+            f"WARNING: 10K resume speedup "
+            f"{resume_10k['speedup_resume']:.1f}x below the 5x target",
             file=sys.stderr,
         )
         failed = True

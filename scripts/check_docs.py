@@ -7,7 +7,11 @@ Checks, over ``README.md`` and every ``docs/*.md``:
    are skipped);
 2. every ``python`` code fence in ``README.md`` runs cleanly as-is
    with ``PYTHONPATH=src`` — the quickstarts are executable
-   documentation, not prose.
+   documentation, not prose;
+3. load-bearing sections exist where other docs and error messages
+   point readers: the snapshot/compaction lifecycle in
+   ``docs/architecture.md``, the shared ``worker_store`` contract in
+   ``docs/api.md``, and the resume numbers in ``docs/performance.md``.
 
 Exit code 0 when everything passes; 1 with a per-finding report
 otherwise. Run from the repository root (CI does)::
@@ -29,6 +33,41 @@ LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 #: Schemes that are not filesystem links.
 EXTERNAL = ("http://", "https://", "mailto:")
+
+#: Sections other docs / error messages / the CLI point readers at;
+#: their disappearance would orphan those references silently.
+REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
+    "docs/architecture.md": (
+        "## Durability",
+        "### Compacted snapshots",
+    ),
+    "docs/api.md": (
+        "worker_store",
+        "snapshot",
+        "resume",
+    ),
+    "docs/performance.md": (
+        "## Resume",
+        "snapshot",
+    ),
+}
+
+
+def check_required_sections(files: list[pathlib.Path]) -> list[str]:
+    problems = []
+    by_rel = {str(f.relative_to(REPO)): f for f in files}
+    for rel, needles in REQUIRED_SECTIONS.items():
+        doc = by_rel.get(rel)
+        if doc is None:
+            problems.append(f"{rel}: required documentation file missing")
+            continue
+        text = doc.read_text()
+        for needle in needles:
+            if needle not in text:
+                problems.append(
+                    f"{rel}: required section/term {needle!r} not found"
+                )
+    return problems
 
 
 def doc_files() -> list[pathlib.Path]:
@@ -88,11 +127,15 @@ def main() -> int:
     files = doc_files()
     print(f"checking {len(files)} documentation file(s)")
     problems = check_links(files)
+    problems += check_required_sections(files)
     problems += check_quickstarts(REPO / "README.md")
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)
     if not problems:
-        print("docs ok: links resolve, quickstarts run")
+        print(
+            "docs ok: links resolve, required sections present, "
+            "quickstarts run"
+        )
     return 1 if problems else 0
 
 

@@ -86,8 +86,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help=(
-            "resume the campaign persisted at --db (replays the "
-            "answer journal) and report its current inference"
+            "resume the campaign persisted at --db (loads the latest "
+            "snapshot and replays the journal tail; full replay when "
+            "no snapshot is usable) and report its current inference"
+        ),
+    )
+    run.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --store sqlite, write a compacted hot-state snapshot "
+            "every N flushed journal batches (default: config's "
+            "snapshot_every_batches; 0 = only on checkpoint/close)"
+        ),
+    )
+    run.add_argument(
+        "--worker-db",
+        default=None,
+        metavar="PATH",
+        help=(
+            "SQLite file holding the shared cross-campaign worker "
+            "model; known workers skip the golden pre-test and this "
+            "campaign's quality estimates merge back into it"
         ),
     )
 
@@ -149,6 +171,7 @@ def _cmd_demo(args) -> int:
 
 def _cmd_run(args) -> int:
     from repro.datasets import make_dataset
+    from repro.platform.sqlite_storage import SqliteWorkerQualityStore
     from repro.system import DocsConfig, DocsSystem, run_campaign
 
     if args.store == "sqlite" and not args.db:
@@ -159,11 +182,56 @@ def _cmd_run(args) -> int:
         if not args.db:
             print("--resume requires --db PATH", file=sys.stderr)
             return 2
-        system = DocsSystem.resume(args.db)
+        config = DocsConfig(seed=args.seed)
+        if args.snapshot_every is not None:
+            from dataclasses import replace
+
+            config = replace(
+                config, snapshot_every_batches=args.snapshot_every
+            )
+        worker_db = None
+        if args.worker_db:
+            # The store must be attached *during* resume so a
+            # full-replay fallback re-seeds returning workers from it;
+            # its taxonomy size comes from the persisted domain
+            # vectors (float64 blobs).
+            import sqlite3
+
+            conn = sqlite3.connect(args.db)
+            try:
+                row = conn.execute(
+                    "SELECT LENGTH(domain_vector) FROM tasks "
+                    "WHERE domain_vector IS NOT NULL LIMIT 1"
+                ).fetchone()
+            except sqlite3.OperationalError:
+                row = None
+            finally:
+                conn.close()
+            if row is None:
+                print(
+                    f"{args.db} holds no resumable campaign",
+                    file=sys.stderr,
+                )
+                return 2
+            worker_db = SqliteWorkerQualityStore(
+                int(row[0]) // 8, path=args.worker_db
+            )
+        system = DocsSystem.resume(
+            args.db, config=config, worker_store=worker_db
+        )
         truths = system.finalize()
         tasks = system.database.tasks()
         scored = [t for t in tasks if t.ground_truth is not None]
+        info = system.resume_info or {}
+        snapshot_seq = info.get("snapshot_seq")
+        source = (
+            f"snapshot@seq {snapshot_seq} + "
+            f"{info.get('tail_entries', 0)} tail event(s)"
+            if snapshot_seq is not None
+            else f"full replay ({info.get('tail_entries', 0)} event(s))"
+        )
         print(f"resumed campaign   : {args.db}")
+        print(f"rebuilt from       : {source}")
         print(f"tasks restored     : {len(tasks)}")
         print(f"answers replayed   : {len(system.database.answers)}")
         print(
@@ -179,22 +247,44 @@ def _cmd_run(args) -> int:
                 f"({correct}/{len(scored)})"
             )
         system.close()
+        if worker_db is not None:
+            worker_db.close()
         return 0
 
     dataset = make_dataset(args.dataset, seed=args.seed)
     print(dataset.summary())
+    config = DocsConfig(seed=args.seed)
+    if args.snapshot_every is not None:
+        from dataclasses import replace
+
+        config = replace(
+            config, snapshot_every_batches=args.snapshot_every
+        )
+    worker_db = None
+    if args.worker_db:
+        worker_db = SqliteWorkerQualityStore(
+            dataset.taxonomy.size, path=args.worker_db
+        )
     result = run_campaign(
         dataset,
-        config=DocsConfig(seed=args.seed),
+        config=config,
         answers_per_task=args.answers_per_task,
         hit_size=args.hit_size,
         seed=args.seed,
         storage=args.store,
         path=args.db,
+        worker_store=worker_db,
     )
     report = result.report
     print(f"answers collected : {report.total_answers}")
     print(f"accuracy          : {result.accuracy():.1%}")
+    if worker_db is not None:
+        print(
+            "worker model       : "
+            f"{len(list(worker_db.known_workers()))} worker(s) in "
+            f"{args.worker_db}"
+        )
+        worker_db.close()
     if args.store == "sqlite":
         print(f"campaign persisted: {args.db}")
         print(

@@ -38,6 +38,7 @@ re-indexing every answer and re-stacking every domain vector.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (
     Dict,
     Iterable,
@@ -58,6 +59,38 @@ from repro.utils.math import safe_log
 #: Initial per-group row capacity; buffers double when full, so
 #: registration is amortised O(1) regardless of task-set size.
 INITIAL_CAPACITY = 64
+
+
+@dataclass
+class GroupState:
+    """One choice group's live rows, detached from the arena buffers.
+
+    The unit of arena snapshotting (``DocsSystem.snapshot``): all live
+    rows ``[:count]`` of every buffer, deep-copied so the snapshot stays
+    stable while the campaign keeps mutating the arena. ``dirty`` rides
+    along so a restored arena reproduces the entropy cache exactly —
+    including which rows were stale — keeping resumed assignment
+    bit-identical.
+
+    Attributes:
+        ell: the group's choice count.
+        count: number of live rows captured.
+        R: (count, m) domain vectors.
+        M: (count, m, ell) conditional truth matrices.
+        S: (count, ell) probabilistic truths.
+        logN: (count, m, ell) Eq. 3 log numerators.
+        H: (count,) cached entropies.
+        dirty: (count,) stale-entropy flags.
+    """
+
+    ell: int
+    count: int
+    R: np.ndarray
+    M: np.ndarray
+    S: np.ndarray
+    logN: np.ndarray
+    H: np.ndarray
+    dirty: np.ndarray
 
 
 class ChoiceGroup:
@@ -521,6 +554,92 @@ class StateArena:
         for group in self._groups.values():
             group.refresh_entropies()
 
+    # -- hot-state snapshots ---------------------------------------------
+
+    def export_hot_state(self) -> Dict[int, GroupState]:
+        """Deep-copy every group's live rows (the snapshot payload).
+
+        Returns:
+            choice count -> :class:`GroupState` for every non-empty
+            group.
+        """
+        states: Dict[int, GroupState] = {}
+        for ell, group in self._groups.items():
+            count = group.count
+            if count == 0:
+                continue
+            states[ell] = GroupState(
+                ell=ell,
+                count=count,
+                R=group.R[:count].copy(),
+                M=group.M[:count].copy(),
+                S=group.S[:count].copy(),
+                logN=group.logN[:count].copy(),
+                H=group.H[:count].copy(),
+                dirty=group.dirty[:count].copy(),
+            )
+        return states
+
+    def check_hot_state(
+        self, states: Mapping[int, GroupState]
+    ) -> Optional[str]:
+        """Can :meth:`load_hot_state` apply this snapshot to this arena?
+
+        The snapshot's rows must be a prefix of each group's current
+        rows (same registration order — verified via the ``R`` buffer,
+        which registration rebuilds deterministically from the task
+        catalogue). Returns a human-readable problem, or ``None`` when
+        the overlay is safe.
+        """
+        for ell, state in states.items():
+            group = self._groups.get(ell)
+            if group is None:
+                return f"snapshot has a choice group ell={ell} this " \
+                    "arena does not"
+            if state.count > group.count:
+                return (
+                    f"snapshot group ell={ell} holds {state.count} rows "
+                    f"but only {group.count} are registered"
+                )
+            if state.R.shape != (state.count, self._m):
+                return (
+                    f"snapshot group ell={ell} R has shape "
+                    f"{state.R.shape}, expected ({state.count}, {self._m})"
+                )
+            expected = (state.count, self._m, ell)
+            if state.M.shape != expected or state.logN.shape != expected:
+                return f"snapshot group ell={ell} M/logN shape mismatch"
+            if state.S.shape != (state.count, ell) or (
+                state.H.shape != (state.count,)
+                or state.dirty.shape != (state.count,)
+            ):
+                return f"snapshot group ell={ell} S/H/dirty shape mismatch"
+            if not np.array_equal(group.R[: state.count], state.R):
+                return (
+                    f"snapshot group ell={ell} domain vectors disagree "
+                    "with the registered tasks (different registration "
+                    "order or a different campaign)"
+                )
+        return None
+
+    def load_hot_state(self, states: Mapping[int, GroupState]) -> None:
+        """Overlay snapshot rows onto the registered buffers.
+
+        Rows beyond each snapshot's ``count`` (tasks ingested after the
+        snapshot was taken) keep their fresh uniform state. The caller
+        must run :meth:`check_hot_state` first — the expensive R-prefix
+        comparison is not repeated here (at resume scale it is the
+        costliest validation pass, and ``DocsSystem`` already ran it).
+        """
+        for ell, state in states.items():
+            group = self._groups[ell]
+            count = state.count
+            group.M[:count] = state.M
+            group.S[:count] = state.S
+            group.logN[:count] = state.logN
+            group.H[:count] = state.H
+            group.dirty[:count] = state.dirty
+
 
 class AnswerLog:
     """Append-only answer arrays over an arena (Section 4.2's rerun feed).
@@ -582,6 +701,60 @@ class AnswerLog:
         if global_row not in self._answered:
             self._answered.add(global_row)
             self._first_order.append(global_row)
+
+    def extend_restored(
+        self,
+        task_rows: np.ndarray,
+        worker_ids: Sequence[str],
+        choices: np.ndarray,
+    ) -> None:
+        """Bulk-append answers in one block write (resume fast path).
+
+        The caller supplies the answers' arena global rows directly
+        (the journal persisted them) instead of resolving each task id,
+        and the growing arrays are written as slices. Must receive the
+        answers in their original arrival order — worker rows and the
+        first-answer task order are derived from it.
+
+        Args:
+            task_rows: (n,) arena global rows, arrival order.
+            worker_ids: per-answer worker ids, aligned.
+            choices: (n,) 1-based answered choices, aligned.
+        """
+        n = len(worker_ids)
+        if n == 0:
+            return
+        task_rows = np.asarray(task_rows, dtype=np.int64)
+        needed = self._count + n
+        capacity = self._task_rows.shape[0]
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            for name in ("_task_rows", "_worker_rows", "_choices"):
+                old = getattr(self, name)
+                grown = np.zeros(capacity, dtype=np.int64)
+                grown[: self._count] = old[: self._count]
+                setattr(self, name, grown)
+        worker_rows = np.empty(n, dtype=np.int64)
+        lookup = self._worker_row
+        for idx, worker_id in enumerate(worker_ids):
+            row = lookup.get(worker_id)
+            if row is None:
+                row = len(self._worker_ids)
+                lookup[worker_id] = row
+                self._worker_ids.append(worker_id)
+            worker_rows[idx] = row
+        block = slice(self._count, needed)
+        self._task_rows[block] = task_rows
+        self._worker_rows[block] = worker_rows
+        self._choices[block] = np.asarray(choices, dtype=np.int64) - 1
+        self._count = needed
+        unique_rows, first_at = np.unique(task_rows, return_index=True)
+        for row in unique_rows[np.argsort(first_at)]:
+            global_row = int(row)
+            if global_row not in self._answered:
+                self._answered.add(global_row)
+                self._first_order.append(global_row)
 
     @property
     def task_rows(self) -> np.ndarray:

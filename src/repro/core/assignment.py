@@ -29,6 +29,7 @@ Three implementations are provided, all returning identical benefits:
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
@@ -40,6 +41,8 @@ from repro.core.types import TaskState
 from repro.errors import ValidationError
 from repro.utils.math import entropy_unchecked, safe_log
 from repro.utils.topk import top_k_indices
+
+logger = logging.getLogger(__name__)
 
 #: The paper batches k = 20 tasks per HIT on AMT (Section 5), and k = 3
 #: per method in the parallel-comparison experiments (Section 6.1).
@@ -235,17 +238,31 @@ class TaskAssigner:
 
     Args:
         hit_size: default number of tasks per HIT (k).
+        strict_ids: how to treat ``eligible`` / ``answered_by_worker``
+            ids that are not registered in the arena. After ``add_tasks``
+            live growth an unknown id usually means the caller built its
+            sets against a stale task pool; ``False`` (default) logs a
+            warning and skips them, ``True`` raises ``ValidationError``
+            naming the ids.
     """
 
-    def __init__(self, hit_size: int = DEFAULT_HIT_SIZE):
+    def __init__(
+        self, hit_size: int = DEFAULT_HIT_SIZE, strict_ids: bool = False
+    ):
         if hit_size < 1:
             raise ValidationError(f"hit_size must be >= 1: {hit_size}")
         self._hit_size = hit_size
+        self._strict_ids = strict_ids
 
     @property
     def hit_size(self) -> int:
         """Default HIT size k."""
         return self._hit_size
+
+    @property
+    def strict_ids(self) -> bool:
+        """Whether unknown candidate ids raise instead of being skipped."""
+        return self._strict_ids
 
     def assign(
         self,
@@ -309,10 +326,24 @@ class TaskAssigner:
             return []
         mask = np.ones(n, dtype=bool)
         if answered_by_worker:
-            mask[_arena_rows(arena, answered_by_worker)] = False
+            mask[
+                _arena_rows(
+                    arena,
+                    answered_by_worker,
+                    strict=self._strict_ids,
+                    label="answered_by_worker",
+                )
+            ] = False
         if eligible is not None:
             allowed = np.zeros(n, dtype=bool)
-            allowed[_arena_rows(arena, eligible)] = True
+            allowed[
+                _arena_rows(
+                    arena,
+                    eligible,
+                    strict=self._strict_ids,
+                    label="eligible",
+                )
+            ] = True
             mask &= allowed
         available = int(mask.sum())
         if available == 0:
@@ -324,10 +355,38 @@ class TaskAssigner:
         return [arena.task_id_at(int(row)) for row in chosen]
 
 
-def _arena_rows(arena: StateArena, task_ids: Iterable[int]) -> List[int]:
-    """Global rows of the given task ids (ids not in the arena skipped)."""
-    return [
-        arena.global_row(task_id)
-        for task_id in task_ids
-        if task_id in arena
-    ]
+def _arena_rows(
+    arena: StateArena,
+    task_ids: Iterable[int],
+    *,
+    strict: bool = False,
+    label: str = "task",
+) -> List[int]:
+    """Global rows of the given task ids.
+
+    Ids not registered in the arena are a caller bug (typically a
+    candidate set built against a stale pool after ``add_tasks`` live
+    growth): with ``strict`` they raise, otherwise they are skipped with
+    a warning naming the set and the offending ids — never silently.
+
+    Raises:
+        ValidationError: if ``strict`` and any id is unknown.
+    """
+    rows: List[int] = []
+    unknown: List[int] = []
+    for task_id in task_ids:
+        if task_id in arena:
+            rows.append(arena.global_row(task_id))
+        else:
+            unknown.append(task_id)
+    if unknown:
+        shown = sorted(unknown)[:10]
+        message = (
+            f"{len(unknown)} id(s) in {label} are not registered in the "
+            f"arena (first: {shown}); the candidate set was likely built "
+            "against a stale task pool — rebuild it after add_tasks()"
+        )
+        if strict:
+            raise ValidationError(message)
+        logger.warning("%s; skipping them", message)
+    return rows

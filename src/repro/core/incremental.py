@@ -121,6 +121,23 @@ class IncrementalTruthInference:
         """(worker, choice) pairs applied to a task so far."""
         return list(self._history.get(task_id, []))
 
+    def restore_answers(self, answers: Sequence[Answer]) -> None:
+        """Re-index answers whose numeric effect is already present.
+
+        The snapshot-resume fast path: arena rows and worker qualities
+        come from the snapshot, so pre-snapshot answers must rebuild
+        only the per-task answer history (which Step 2b consults on
+        later submits) — re-running :meth:`submit` for them would apply
+        every update twice. Answers must arrive in their original
+        arrival order.
+        """
+        history = self._history
+        for answer in answers:
+            entries = history.get(answer.task_id)
+            if entries is None:
+                history[answer.task_id] = entries = []
+            entries.append((answer.worker_id, answer.choice))
+
     def submit(self, answer: Answer) -> ArenaTaskState:
         """Apply one answer with the Section 4.2 update policy.
 

@@ -25,6 +25,58 @@ import numpy as np
 from repro.errors import UnknownWorkerError, ValidationError
 
 
+def _fold_batch_delta(
+    existing: Optional["WorkerStats"],
+    delta_mass: np.ndarray,
+    delta_weight: np.ndarray,
+    default_quality: float,
+) -> "WorkerStats":
+    """The mass-form Theorem-1 fold shared by both store backends.
+
+    ``quality = (q·u + Δmass) / (u + Δu)`` per domain, defaulting where
+    the resulting weight is zero. The result is clamped into [0, 1] as
+    a final guard: with baselines maintained correctly the fold never
+    leaves the range (every exported prefix is a convex mix of in-range
+    campaign estimates), so the clamp only bites on malformed deltas —
+    e.g. a revision delta sent against a store that never received the
+    worker's base mass.
+    """
+    if existing is None:
+        mass = delta_mass
+        weight = delta_weight.copy()
+    else:
+        mass = existing.quality * existing.weight + delta_mass
+        weight = existing.weight + delta_weight
+    quality = np.full(weight.shape, default_quality)
+    positive = weight > 0
+    quality[positive] = mass[positive] / weight[positive]
+    np.clip(quality, 0.0, 1.0, out=quality)
+    return WorkerStats(quality, weight)
+
+
+def _blend(
+    quality: np.ndarray,
+    weight: np.ndarray,
+    pseudo_weight: float,
+    default_quality: float,
+) -> np.ndarray:
+    """Weight-shrunk quality ``(q u + default p) / (u + p)``.
+
+    Zero-total domains (``u_k + p == 0``) fall back to the default
+    quality instead of dividing 0/0 into NaN — shared by the in-memory
+    and SQLite stores.
+    """
+    denominator = weight + pseudo_weight
+    blended = np.full(quality.shape, default_quality)
+    np.divide(
+        quality * weight + default_quality * pseudo_weight,
+        denominator,
+        out=blended,
+        where=denominator > 0,
+    )
+    return blended
+
+
 @dataclass
 class WorkerStats:
     """Persisted per-worker statistics.
@@ -103,16 +155,20 @@ class WorkerQualityStore:
         proportion to the missing evidence keeps low-evidence domains
         near the prior while leaving well-observed domains untouched —
         important for OTA, which reads qualities across *all* domains.
+
+        Domains with no evidence at all (``u_k + p == 0``, which happens
+        with ``pseudo_weight=0`` on a never-answered domain) report the
+        default quality rather than the 0/0 the blend formula would
+        produce.
         """
         if pseudo_weight < 0:
             raise ValidationError("pseudo_weight must be non-negative")
         stats = self._stats.get(worker_id)
         if stats is None:
             return np.full(self._m, self._default_quality)
-        return (
-            stats.quality * stats.weight
-            + self._default_quality * pseudo_weight
-        ) / (stats.weight + pseudo_weight)
+        return _blend(
+            stats.quality, stats.weight, pseudo_weight, self._default_quality
+        )
 
     def set(
         self, worker_id: str, quality: np.ndarray, weight: np.ndarray
@@ -161,6 +217,48 @@ class WorkerQualityStore:
                 + quality[mask] * weight[mask]
             ) / total[mask]
             merged = WorkerStats(merged_quality, total)
+        self._stats[worker_id] = merged
+        return merged
+
+    def apply_batch_delta(
+        self, worker_id: str, delta_mass: np.ndarray,
+        delta_weight: np.ndarray,
+    ) -> WorkerStats:
+        """Theorem 1 update in *mass form*: fold ``Δ(q·u)`` and ``Δu``.
+
+        Equivalent to :meth:`merge` for a genuinely new batch
+        (``delta_mass = q·u``), but also expresses *revisions*: a full
+        iterative TI re-run re-estimates a worker's quality on old
+        evidence, so between two re-runs a domain's mass ``q_k u_k``
+        can change while its weight ``u_k`` does not — a delta no
+        non-negative-weight batch can carry. Folding mass and weight
+        separately keeps repeated exports exactly equal to one export
+        of the final campaign estimate (the weighted mean telescopes).
+
+        Args:
+            worker_id: the worker.
+            delta_mass: per-domain change of ``q_k u_k``.
+            delta_weight: per-domain change of ``u_k`` (non-negative).
+
+        Returns:
+            The updated stats now stored.
+        """
+        delta_mass = np.asarray(delta_mass, dtype=float)
+        delta_weight = np.asarray(delta_weight, dtype=float)
+        if delta_mass.shape != (self._m,) or (
+            delta_weight.shape != (self._m,)
+        ):
+            raise ValidationError(
+                f"delta_mass/delta_weight must have shape ({self._m},)"
+            )
+        if np.any(delta_weight < 0):
+            raise ValidationError("delta weights must be non-negative")
+        merged = _fold_batch_delta(
+            self._stats.get(worker_id),
+            delta_mass,
+            delta_weight,
+            self._default_quality,
+        )
         self._stats[worker_id] = merged
         return merged
 

@@ -60,6 +60,39 @@ class Task:
     distractor: Optional[int] = None
     behavior_domains: Optional[np.ndarray] = None
 
+    @classmethod
+    def rehydrate(
+        cls,
+        task_id: int,
+        text: str,
+        num_choices: int,
+        domain_vector: Optional[np.ndarray] = None,
+        ground_truth: Optional[int] = None,
+        true_domain: Optional[int] = None,
+        distractor: Optional[int] = None,
+    ) -> "Task":
+        """Reconstruct a task from previously persisted values.
+
+        Skips ``__post_init__``'s per-field numpy validation — the
+        values already passed it when the task was first built, and
+        re-checking one task at a time dominates bulk catalogue loads
+        (the resume path decodes the whole catalogue). Callers are
+        expected to batch-validate decoded domain vectors instead (see
+        ``repro.platform.sqlite_storage``). ``behavior_domains`` is a
+        simulation-only field that is never persisted, so it is always
+        ``None`` here.
+        """
+        task = cls.__new__(cls)
+        task.task_id = task_id
+        task.text = text
+        task.num_choices = num_choices
+        task.domain_vector = domain_vector
+        task.ground_truth = ground_truth
+        task.true_domain = true_domain
+        task.distractor = distractor
+        task.behavior_domains = None
+        return task
+
     def __post_init__(self) -> None:
         if self.num_choices < 2:
             raise ValidationError(

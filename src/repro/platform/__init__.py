@@ -23,6 +23,7 @@ from repro.platform.journal import (
     JournalEntry,
 )
 from repro.platform.sqlite_storage import (
+    CampaignSnapshot,
     SqliteAnswerTable,
     SqliteSystemDatabase,
     SqliteWorkerQualityStore,
@@ -37,6 +38,7 @@ __all__ = [
     "AnswerJournal",
     "JournaledAnswerTable",
     "JournalEntry",
+    "CampaignSnapshot",
     "SqliteAnswerTable",
     "SqliteSystemDatabase",
     "SqliteWorkerQualityStore",

@@ -163,6 +163,16 @@ class AnswerJournal:
         """Events buffered but not yet durable."""
         return len(self._pending)
 
+    @property
+    def flushed_batches(self) -> int:
+        """Batches committed so far (the auto-snapshot trigger's clock)."""
+        return self._next_batch
+
+    @property
+    def last_committed_seq(self) -> int:
+        """Seq of the newest durable row (-1 on an empty journal)."""
+        return self._next_seq - 1
+
     def __len__(self) -> int:
         """Committed (durable) journal rows."""
         (count,) = self._conn.execute(
@@ -234,6 +244,48 @@ class AnswerJournal:
         """
         if not self._pending:
             return 0
+        state = self.cursor_state()
+        try:
+            with self._conn:
+                return self.flush_in_transaction()
+        except Exception:
+            # The commit failed: put the cursors and the pending
+            # buffer back in step with the file so the events are
+            # retried on the next flush instead of silently dropped.
+            self.restore_cursor_state(state)
+            raise
+
+    def cursor_state(self) -> Tuple[int, int, List[Tuple]]:
+        """The write-behind cursors and pending buffer, for rollback.
+
+        A caller embedding :meth:`flush_in_transaction` in a larger
+        transaction captures this first; if that transaction rolls
+        back, :meth:`restore_cursor_state` puts the journal back in
+        step with the file so the pending events are not lost.
+        """
+        return self._next_seq, self._next_batch, list(self._pending)
+
+    def restore_cursor_state(
+        self, state: Tuple[int, int, List[Tuple]]
+    ) -> None:
+        """Undo the in-memory effect of a rolled-back embedded flush."""
+        self._next_seq, self._next_batch, pending = state
+        self._pending = list(pending)
+
+    def flush_in_transaction(self) -> int:
+        """Write pending events inside the caller's open transaction.
+
+        The snapshot writer uses this to commit a journal batch and the
+        snapshot that covers it atomically (one transaction on the
+        shared connection). The caller owns commit/rollback; capture
+        :meth:`cursor_state` first and restore it if the transaction
+        rolls back, or the cursors run ahead of the file.
+
+        Returns:
+            Rows handed to the transaction (0 when nothing is pending).
+        """
+        if not self._pending:
+            return 0
         batch = self._next_batch
         first_seq = self._next_seq
         crc = 0
@@ -249,19 +301,18 @@ class AnswerJournal:
                 (seq, kind, task_row, task_id, worker_id, choice, ts, batch)
             )
         last_seq = first_seq + len(rows) - 1
-        with self._conn:
-            self._conn.executemany(
-                "INSERT INTO answers_log "
-                "(seq, kind, task_row, task_id, worker_id, choice, ts, "
-                "batch) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                rows,
-            )
-            self._conn.execute(
-                "INSERT INTO journal_batches "
-                "(batch, first_seq, last_seq, row_count, checksum) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (batch, first_seq, last_seq, len(rows), crc),
-            )
+        self._conn.executemany(
+            "INSERT INTO answers_log "
+            "(seq, kind, task_row, task_id, worker_id, choice, ts, "
+            "batch) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.execute(
+            "INSERT INTO journal_batches "
+            "(batch, first_seq, last_seq, row_count, checksum) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (batch, first_seq, last_seq, len(rows), crc),
+        )
         self._next_seq = last_seq + 1
         self._next_batch = batch + 1
         self._pending.clear()
@@ -269,11 +320,34 @@ class AnswerJournal:
 
     # -- read side -------------------------------------------------------
 
-    def replay(self) -> Iterator[JournalEntry]:
-        """Iterate the committed journal in commit (seq) order."""
+    def committed_answers_through(
+        self, last_seq: int
+    ) -> List[Tuple[int, int, int, str, int]]:
+        """Bulk-fetch committed :data:`KIND_ANSWER` rows up to a seq.
+
+        The snapshot-resume fast path: pre-watermark answers only
+        rebuild in-memory indexes, so they are fetched as raw
+        ``(seq, task_row, task_id, worker_id, choice)`` column tuples —
+        no per-row :class:`JournalEntry` objects.
+        """
+        return self._conn.execute(
+            "SELECT seq, task_row, task_id, worker_id, choice "
+            "FROM answers_log WHERE seq <= ? AND kind = ? ORDER BY seq",
+            (last_seq, KIND_ANSWER),
+        ).fetchall()
+
+    def replay(self, after_seq: int = -1) -> Iterator[JournalEntry]:
+        """Iterate the committed journal in commit (seq) order.
+
+        Args:
+            after_seq: yield only rows with ``seq > after_seq`` (the
+                default replays everything). Resume passes a snapshot's
+                watermark to walk just the tail.
+        """
         cursor = self._conn.execute(
             "SELECT seq, kind, task_row, task_id, worker_id, choice, ts, "
-            "batch FROM answers_log ORDER BY seq"
+            "batch FROM answers_log WHERE seq > ? ORDER BY seq",
+            (after_seq,),
         )
         while True:
             rows = cursor.fetchmany(1024)
@@ -419,6 +493,10 @@ class JournaledAnswerTable:
     def restore(self, answer: Answer) -> None:
         """Re-index an answer that is already durable (replay path)."""
         self._inner.insert(answer)
+
+    def restore_batch(self, answers: Sequence[Answer]) -> None:
+        """Bulk re-index durable answers (snapshot-resume fast path)."""
+        self._inner.restore_batch(answers)
 
     def checkpoint(self) -> int:
         """Flush the journal; returns rows made durable."""

@@ -22,7 +22,11 @@ All accept a filesystem path or ``":memory:"``.
 
 from __future__ import annotations
 
+import logging
 import sqlite3
+import time
+import zlib
+from dataclasses import dataclass, field
 from typing import (
     Dict,
     Iterable,
@@ -36,10 +40,13 @@ from typing import (
 
 import numpy as np
 
+from repro.core.arena import GroupState
 from repro.core.types import Answer, Task
-from repro.core.quality_store import WorkerStats
+from repro.core.quality_store import WorkerStats, _blend
 from repro.errors import UnknownTaskError, UnknownWorkerError, ValidationError
 from repro.platform.journal import AnswerJournal, JournaledAnswerTable
+
+logger = logging.getLogger(__name__)
 
 _ANSWER_SCHEMA = """
 CREATE TABLE IF NOT EXISTS answers (
@@ -76,6 +83,102 @@ CREATE TABLE IF NOT EXISTS worker_stats (
     PRIMARY KEY (worker_id, domain)
 );
 """
+
+_SNAPSHOT_SCHEMA = """
+CREATE TABLE IF NOT EXISTS snapshot_meta (
+    snap_id      INTEGER PRIMARY KEY,
+    journal_seq  INTEGER NOT NULL,
+    num_domains  INTEGER NOT NULL,
+    rerun_cursor INTEGER NOT NULL,
+    created_ts   REAL NOT NULL,
+    checksum     INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS snapshot_groups (
+    snap_id   INTEGER NOT NULL,
+    ell       INTEGER NOT NULL,
+    row_count INTEGER NOT NULL,
+    R    BLOB NOT NULL,
+    M    BLOB NOT NULL,
+    S    BLOB NOT NULL,
+    logN BLOB NOT NULL,
+    H    BLOB NOT NULL,
+    dirty BLOB NOT NULL,
+    PRIMARY KEY (snap_id, ell)
+);
+CREATE TABLE IF NOT EXISTS snapshot_workers (
+    snap_id      INTEGER NOT NULL,
+    worker_id    TEXT NOT NULL,
+    quality      BLOB,
+    weight       BLOB,
+    golden_quality BLOB,
+    bootstrapped INTEGER NOT NULL,
+    exported_quality BLOB,
+    exported_weight  BLOB,
+    PRIMARY KEY (snap_id, worker_id)
+);
+"""
+
+
+@dataclass
+class CampaignSnapshot:
+    """One serialised image of a campaign's hot state.
+
+    Everything ``DocsSystem.resume`` would otherwise reconstruct by
+    replaying the whole journal through the serving plane: the arena's
+    choice-group buffers, the campaign worker model, the pristine
+    golden-bootstrap qualities the full TI initialises from, the
+    bootstrapped-worker set, the shared-store export baselines, and the
+    rerun cursor. ``journal_seq`` is the watermark: every journal row
+    with ``seq <= journal_seq`` is already baked into this state, so
+    resume replays only the tail beyond it.
+
+    Attributes:
+        num_domains: taxonomy size m the buffers are shaped to.
+        rerun_cursor: submissions since the last full-TI re-run.
+        groups: choice count -> captured arena rows.
+        workers: campaign worker-model stats by worker id.
+        golden_qualities: worker id -> pristine golden-test quality.
+        bootstrapped: workers that completed (or skipped) the pre-test.
+        exported: worker id -> (quality, weight) last exported to a
+            shared cross-campaign store (Theorem-1 delta baseline).
+        journal_seq: watermark; filled in by
+            :meth:`SqliteSystemDatabase.write_snapshot`.
+    """
+
+    num_domains: int
+    rerun_cursor: int
+    groups: Dict[int, GroupState]
+    workers: Dict[str, WorkerStats]
+    golden_qualities: Dict[str, np.ndarray]
+    bootstrapped: Set[str]
+    exported: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+    journal_seq: int = -1
+
+
+def _snapshot_crc(
+    meta: Tuple[int, int, int],
+    group_rows: Sequence[Tuple],
+    worker_rows: Sequence[Tuple],
+) -> int:
+    """CRC-32 over a snapshot's logical content (order-normalised)."""
+    crc = zlib.crc32(repr(meta).encode("utf-8"))
+    for row in group_rows:
+        for part in row:
+            if isinstance(part, (bytes, memoryview)):
+                crc = zlib.crc32(bytes(part), crc)
+            else:
+                crc = zlib.crc32(repr(part).encode("utf-8"), crc)
+    for row in worker_rows:
+        for part in row:
+            if isinstance(part, (bytes, memoryview)):
+                crc = zlib.crc32(bytes(part), crc)
+            elif part is None:
+                crc = zlib.crc32(b"\x00none", crc)
+            else:
+                crc = zlib.crc32(repr(part).encode("utf-8"), crc)
+    return crc
 
 
 class SqliteAnswerTable:
@@ -238,6 +341,11 @@ def _decode_vector(blob: Optional[bytes]) -> Optional[np.ndarray]:
     return np.frombuffer(blob, dtype=np.float64).copy()
 
 
+def _decode_matrix(blob: bytes, shape: Tuple[int, ...]) -> np.ndarray:
+    """Decode a float64 blob into the given shape (raises on mismatch)."""
+    return np.frombuffer(blob, dtype=np.float64).reshape(shape).copy()
+
+
 class SqliteSystemDatabase:
     """Durable task catalogue + answers + golden registry.
 
@@ -278,6 +386,7 @@ class SqliteSystemDatabase:
         self.path = path
         self._conn = sqlite3.connect(path)
         self._conn.executescript(_TASK_SCHEMA)
+        self._conn.executescript(_SNAPSHOT_SCHEMA)
         self._migrate()
         self._conn.commit()
         self._closed = False
@@ -337,6 +446,226 @@ class SqliteSystemDatabase:
             return 0
         return self.journal.flush()
 
+    # -- compacted snapshots ---------------------------------------------
+
+    def write_snapshot(self, snapshot: CampaignSnapshot) -> int:
+        """Persist a hot-state snapshot atomically with a journal flush.
+
+        One transaction writes the pending journal tail and the
+        snapshot covering it, then drops every older snapshot (only the
+        newest is kept — the compaction policy). A crash can therefore
+        never leave a snapshot that claims events the journal does not
+        hold, and the file never accumulates stale images.
+
+        Args:
+            snapshot: the payload; its ``journal_seq`` is set to the
+                newest durable seq as of this transaction.
+
+        Returns:
+            Journal rows made durable by the embedded flush.
+
+        Raises:
+            ValidationError: if the database is not in journaled mode.
+        """
+        if self.journal is None:
+            raise ValidationError(
+                "snapshots require the journaled answer mode; open the "
+                "database with journal_batch_size=N"
+            )
+        # Serialise everything BEFORE the transaction so only sqlite
+        # statements run inside it, and capture the journal cursors so
+        # a rollback cannot strand the write-behind buffer ahead of
+        # the file (the pending events would be silently lost).
+        cursor_state = self.journal.cursor_state()
+        # The watermark after the embedded flush: every pending event
+        # gets a seq and commits with this snapshot.
+        snapshot.journal_seq = (
+            self.journal.last_committed_seq + self.journal.pending
+        )
+        group_rows = [
+            (
+                ell,
+                state.count,
+                state.R.astype(np.float64, copy=False).tobytes(),
+                state.M.astype(np.float64, copy=False).tobytes(),
+                state.S.astype(np.float64, copy=False).tobytes(),
+                state.logN.astype(np.float64, copy=False).tobytes(),
+                state.H.astype(np.float64, copy=False).tobytes(),
+                state.dirty.astype(np.uint8).tobytes(),
+            )
+            for ell, state in sorted(snapshot.groups.items())
+        ]
+        worker_ids = sorted(
+            set(snapshot.workers)
+            | set(snapshot.golden_qualities)
+            | set(snapshot.bootstrapped)
+            | set(snapshot.exported)
+        )
+        worker_rows = []
+        for worker_id in worker_ids:
+            stats = snapshot.workers.get(worker_id)
+            golden = snapshot.golden_qualities.get(worker_id)
+            exported = snapshot.exported.get(worker_id)
+            worker_rows.append(
+                (
+                    worker_id,
+                    _encode_vector(stats.quality if stats else None),
+                    _encode_vector(stats.weight if stats else None),
+                    _encode_vector(golden),
+                    int(worker_id in snapshot.bootstrapped),
+                    _encode_vector(exported[0] if exported else None),
+                    _encode_vector(exported[1] if exported else None),
+                )
+            )
+        checksum = _snapshot_crc(
+            (
+                snapshot.journal_seq,
+                snapshot.num_domains,
+                snapshot.rerun_cursor,
+            ),
+            group_rows,
+            worker_rows,
+        )
+        try:
+            with self._conn:
+                flushed = self.journal.flush_in_transaction()
+                (prev,) = self._conn.execute(
+                    "SELECT COALESCE(MAX(snap_id), 0) FROM snapshot_meta"
+                ).fetchone()
+                snap_id = int(prev) + 1
+                for table in (
+                    "snapshot_meta", "snapshot_groups",
+                    "snapshot_workers",
+                ):
+                    self._conn.execute(f"DELETE FROM {table}")
+                self._conn.execute(
+                    "INSERT INTO snapshot_meta (snap_id, journal_seq, "
+                    "num_domains, rerun_cursor, created_ts, checksum) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        snap_id,
+                        snapshot.journal_seq,
+                        snapshot.num_domains,
+                        snapshot.rerun_cursor,
+                        time.time(),
+                        checksum,
+                    ),
+                )
+                self._conn.executemany(
+                    "INSERT INTO snapshot_groups (snap_id, ell, "
+                    "row_count, R, M, S, logN, H, dirty) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [(snap_id,) + row for row in group_rows],
+                )
+                self._conn.executemany(
+                    "INSERT INTO snapshot_workers (snap_id, worker_id, "
+                    "quality, weight, golden_quality, bootstrapped, "
+                    "exported_quality, exported_weight) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    [(snap_id,) + row for row in worker_rows],
+                )
+        except Exception:
+            self.journal.restore_cursor_state(cursor_state)
+            raise
+        return flushed
+
+    def load_snapshot(self) -> Optional[CampaignSnapshot]:
+        """Load the newest snapshot, or ``None`` when unusable.
+
+        A snapshot is an optimisation, never a requirement: a missing,
+        truncated, or checksum-failing snapshot logs a warning and
+        returns ``None`` so the caller falls back to full journal
+        replay (the journal itself is validated separately).
+        """
+        meta = self._conn.execute(
+            "SELECT snap_id, journal_seq, num_domains, rerun_cursor, "
+            "checksum FROM snapshot_meta "
+            "ORDER BY snap_id DESC LIMIT 1"
+        ).fetchone()
+        if meta is None:
+            return None
+        snap_id, journal_seq, m, rerun_cursor, checksum = meta
+        try:
+            group_rows = self._conn.execute(
+                "SELECT ell, row_count, R, M, S, logN, H, dirty "
+                "FROM snapshot_groups WHERE snap_id = ? ORDER BY ell",
+                (snap_id,),
+            ).fetchall()
+            worker_rows = self._conn.execute(
+                "SELECT worker_id, quality, weight, golden_quality, "
+                "bootstrapped, exported_quality, exported_weight "
+                "FROM snapshot_workers WHERE snap_id = ? "
+                "ORDER BY worker_id",
+                (snap_id,),
+            ).fetchall()
+            expected = _snapshot_crc(
+                (journal_seq, m, rerun_cursor), group_rows, worker_rows
+            )
+            if expected != checksum:
+                raise ValidationError(
+                    f"snapshot {snap_id} fails its checksum"
+                )
+            groups: Dict[int, GroupState] = {}
+            for ell, count, R, M, S, logN, H, dirty in group_rows:
+                groups[ell] = GroupState(
+                    ell=ell,
+                    count=count,
+                    R=_decode_matrix(R, (count, m)),
+                    M=_decode_matrix(M, (count, m, ell)),
+                    S=_decode_matrix(S, (count, ell)),
+                    logN=_decode_matrix(logN, (count, m, ell)),
+                    H=_decode_matrix(H, (count,)),
+                    dirty=np.frombuffer(
+                        dirty, dtype=np.uint8
+                    ).astype(bool).reshape((count,)),
+                )
+            workers: Dict[str, WorkerStats] = {}
+            golden: Dict[str, np.ndarray] = {}
+            bootstrapped: Set[str] = set()
+            exported: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+            for (
+                worker_id, quality, weight, golden_quality,
+                was_bootstrapped, exported_q, exported_u,
+            ) in worker_rows:
+                if quality is not None:
+                    workers[worker_id] = WorkerStats(
+                        _decode_matrix(quality, (m,)),
+                        _decode_matrix(weight, (m,)),
+                    )
+                if golden_quality is not None:
+                    golden[worker_id] = _decode_matrix(
+                        golden_quality, (m,)
+                    )
+                if was_bootstrapped:
+                    bootstrapped.add(worker_id)
+                if exported_q is not None:
+                    exported[worker_id] = (
+                        _decode_matrix(exported_q, (m,)),
+                        _decode_matrix(exported_u, (m,)),
+                    )
+        except Exception as exc:  # corrupt blob shapes, checksum, ...
+            logger.warning(
+                "snapshot %s at %r is unusable (%s); falling back to "
+                "full journal replay",
+                snap_id, self.path, exc,
+            )
+            return None
+        return CampaignSnapshot(
+            num_domains=m,
+            rerun_cursor=rerun_cursor,
+            groups=groups,
+            workers=workers,
+            golden_qualities=golden,
+            bootstrapped=bootstrapped,
+            exported=exported,
+            journal_seq=journal_seq,
+        )
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has already run."""
+        return self._closed
+
     def close(self) -> None:
         """Checkpoint, then close the connection (idempotent)."""
         if self._closed:
@@ -346,17 +675,63 @@ class SqliteSystemDatabase:
         self._closed = True
 
     @staticmethod
-    def _row_to_task(row: Tuple) -> Task:
-        task_id, text, ell, r_blob, truth, domain, distractor = row
-        return Task(
-            task_id=task_id,
-            text=text,
-            num_choices=ell,
-            domain_vector=_decode_vector(r_blob),
-            ground_truth=truth,
-            true_domain=domain,
-            distractor=distractor,
-        )
+    def _rows_to_tasks(rows: Sequence[Tuple]) -> List[Task]:
+        """Decode catalogue rows in bulk.
+
+        Values re-entering from the catalogue already passed the
+        ``Task`` constructor's validation when they were stored, so the
+        per-task numpy checks are replaced by one vectorised
+        Definition-2 check per vector length — at resume scale (the
+        whole catalogue in one call) the per-task path dominated the
+        load time.
+        """
+        tasks: List[Task] = []
+        by_length: Dict[int, List[int]] = {}
+        for row in rows:
+            task_id, text, ell, r_blob, truth, domain, distractor = row
+            # Scalar sanity stays per-row (cheap int compares); only
+            # the numpy distribution check is batched below.
+            if ell < 2 or (
+                truth is not None and not 1 <= truth <= ell
+            ) or (
+                distractor is not None and not 1 <= distractor <= ell
+            ):
+                raise ValidationError(
+                    f"task {task_id}: stored row is malformed "
+                    f"(num_choices={ell}, ground_truth={truth}, "
+                    f"distractor={distractor}); the file was modified "
+                    "outside the system"
+                )
+            vector = _decode_vector(r_blob)
+            if vector is not None:
+                by_length.setdefault(vector.shape[0], []).append(
+                    len(tasks)
+                )
+            tasks.append(
+                Task.rehydrate(
+                    task_id, text, ell, vector, truth, domain, distractor
+                )
+            )
+        for indices in by_length.values():
+            stacked = np.stack(
+                [tasks[idx].domain_vector for idx in indices]
+            )
+            bad = ~(
+                (stacked >= -1e-6).all(axis=1)
+                & np.isclose(stacked.sum(axis=1), 1.0, atol=1e-6)
+            )
+            if bad.any():
+                offender = tasks[indices[int(np.flatnonzero(bad)[0])]]
+                raise ValidationError(
+                    f"task {offender.task_id}: stored domain vector is "
+                    "not a probability distribution; the file was "
+                    "modified outside the system"
+                )
+        return tasks
+
+    @classmethod
+    def _row_to_task(cls, row: Tuple) -> Task:
+        return cls._rows_to_tasks([row])[0]
 
     def insert_task(self, task: Task) -> None:
         """Register a task.
@@ -467,7 +842,7 @@ class SqliteSystemDatabase:
             "ground_truth, true_domain, distractor FROM tasks "
             "ORDER BY task_id"
         ).fetchall()
-        return [self._row_to_task(row) for row in rows]
+        return self._rows_to_tasks(rows)
 
     def task_ids(self) -> List[int]:
         """All task ids, ordered."""
@@ -487,7 +862,7 @@ class SqliteSystemDatabase:
             "ground_truth, true_domain, distractor FROM tasks "
             "ORDER BY ingest_seq, task_id"
         ).fetchall()
-        return [self._row_to_task(row) for row in rows]
+        return self._rows_to_tasks(rows)
 
     def mark_golden(self, task_ids: Sequence[int]) -> None:
         """Record the golden-task set (tasks with known ground truth)."""
@@ -612,16 +987,16 @@ class SqliteWorkerQualityStore:
     def blended_quality(
         self, worker_id: str, pseudo_weight: float = 1.0
     ) -> np.ndarray:
-        """Weight-shrunk quality (see the in-memory store's docstring)."""
+        """Weight-shrunk quality (see the in-memory store's docstring);
+        zero-total domains report the default quality."""
         if pseudo_weight < 0:
             raise ValidationError("pseudo_weight must be non-negative")
         stats = self._fetch(worker_id)
         if stats is None:
             return np.full(self._m, self._default_quality)
-        return (
-            stats.quality * stats.weight
-            + self._default_quality * pseudo_weight
-        ) / (stats.weight + pseudo_weight)
+        return _blend(
+            stats.quality, stats.weight, pseudo_weight, self._default_quality
+        )
 
     def set(
         self, worker_id: str, quality: np.ndarray, weight: np.ndarray
@@ -661,6 +1036,65 @@ class SqliteWorkerQualityStore:
             merged = WorkerStats(merged_quality, total)
         self.set(worker_id, merged.quality, merged.weight)
         return merged
+
+    def apply_batch_delta(
+        self, worker_id: str, delta_mass: np.ndarray,
+        delta_weight: np.ndarray,
+    ) -> WorkerStats:
+        """Mass-form Theorem 1 update, folded atomically *in SQL*.
+
+        Many campaigns may export into one shared file concurrently, so
+        the fold must not be a fetch-compute-set round trip (two
+        connections would read the same base and the second write would
+        erase the first). Instead each domain's
+        ``(q·u + Δmass) / (u + Δu)`` runs inside a single UPDATE whose
+        right-hand side reads the committed row under the write lock —
+        SQLite serialises writers, so concurrent exports interleave
+        without losing updates. The result is clamped into [0, 1] like
+        the in-memory fold.
+        """
+        delta_mass = np.asarray(delta_mass, dtype=float)
+        delta_weight = np.asarray(delta_weight, dtype=float)
+        if delta_mass.shape != (self._m,) or (
+            delta_weight.shape != (self._m,)
+        ):
+            raise ValidationError(
+                f"delta_mass/delta_weight must have shape ({self._m},)"
+            )
+        if np.any(delta_weight < 0):
+            raise ValidationError("delta weights must be non-negative")
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO worker_stats "
+                "(worker_id, domain, quality, weight) "
+                "VALUES (?, ?, ?, 0.0)",
+                [
+                    (worker_id, domain, self._default_quality)
+                    for domain in range(self._m)
+                ],
+            )
+            self._conn.executemany(
+                "UPDATE worker_stats SET "
+                "quality = MAX(0.0, MIN(1.0, "
+                "  CASE WHEN weight + ? > 0 "
+                "  THEN (quality * weight + ?) / (weight + ?) "
+                "  ELSE ? END)), "
+                "weight = weight + ? "
+                "WHERE worker_id = ? AND domain = ?",
+                [
+                    (
+                        float(delta_weight[domain]),
+                        float(delta_mass[domain]),
+                        float(delta_weight[domain]),
+                        self._default_quality,
+                        float(delta_weight[domain]),
+                        worker_id,
+                        domain,
+                    )
+                    for domain in range(self._m)
+                ],
+            )
+        return self.get(worker_id)
 
     def initialize_from_golden(
         self,

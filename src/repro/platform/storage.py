@@ -78,6 +78,17 @@ class AnswerTable:
         for answer in answers:
             self.insert(answer)
 
+    def restore_batch(self, answers: Sequence[Answer]) -> None:
+        """Bulk re-index answers that already satisfied the at-most-once
+        constraint when first written (the resume path re-indexing the
+        journal; the constraint was enforced at live insert time)."""
+        for answer in answers:
+            self._pairs.add((answer.worker_id, answer.task_id))
+            self._answers.append(answer)
+            self._by_task[answer.task_id].append(answer)
+            self._by_worker[answer.worker_id].append(answer)
+            self._worker_tasks[answer.worker_id].add(answer.task_id)
+
     def all(self) -> List[Answer]:
         """All answers in arrival order (copy)."""
         return list(self._answers)

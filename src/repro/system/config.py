@@ -27,6 +27,12 @@ class DocsConfig:
             answer journal every this many campaign events (a crash can
             lose at most one unflushed batch; ``checkpoint()`` flushes
             eagerly). Ignored with in-memory storage.
+        snapshot_every_batches: with sqlite storage, write a compacted
+            hot-state snapshot every this many flushed journal batches
+            (``0`` disables the automatic trigger; ``checkpoint()`` and
+            ``close()`` always snapshot). Snapshots turn resume's
+            O(campaign) journal replay into an O(n) load plus a short
+            tail replay. Ignored with in-memory storage.
         seed: seed for any internal randomness.
     """
 
@@ -37,6 +43,7 @@ class DocsConfig:
     default_quality: float = 0.7
     ti_max_iterations: int = 20
     journal_batch_size: int = 256
+    snapshot_every_batches: int = 16
     seed: SeedLike = 0
 
     def validate(self) -> None:
@@ -59,3 +66,8 @@ class DocsConfig:
             raise ValidationError("ti_max_iterations must be >= 1")
         if self.journal_batch_size < 1:
             raise ValidationError("journal_batch_size must be >= 1")
+        if self.snapshot_every_batches < 0:
+            raise ValidationError(
+                "snapshot_every_batches must be >= 0 (0 disables the "
+                "automatic trigger)"
+            )

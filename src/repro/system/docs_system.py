@@ -33,11 +33,34 @@ campaign event (submits, golden bootstraps) spills to the durable
 ingest and serving code paths a live campaign uses, reproducing the
 arena buffers, incremental-TI posteriors, worker qualities, and rerun
 cursor exactly as they stood at the last flush.
+
+**Compacted snapshots.** Full replay is O(campaign length). Every
+``config.snapshot_every_batches`` flushed journal batches — and on
+every :meth:`checkpoint` / :meth:`close` — the system also serialises
+its hot state (arena buffers, campaign worker model, golden
+qualities, rerun cursor) into ``snapshot_*`` tables, atomically with a
+journal flush and compacted to the single newest image.
+:meth:`resume` then loads the snapshot and replays only the journal
+tail beyond its watermark — O(n + tail) instead of O(campaign). A
+missing or corrupt snapshot is never fatal: resume falls back to full
+replay.
+
+**Cross-requester worker model.** The paper's Section 4.2 maintains
+worker quality *in the database across requesters*. Passing
+``worker_store=`` (typically a durable
+:class:`repro.platform.sqlite_storage.SqliteWorkerQualityStore` shared
+by many campaigns) turns that on: workers already known to the shared
+store skip the golden pre-test and enter the campaign seeded with
+their stored (quality, weight) statistics, and the campaign merges its
+own batch estimates back into the shared store — Theorem-1 deltas at
+every full-TI re-run boundary, plus each worker's golden-test estimate
+at bootstrap time.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+import logging
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -57,10 +80,15 @@ from repro.platform.journal import (
     KIND_BOOTSTRAP_ANSWER,
     KIND_BOOTSTRAP_DONE,
 )
-from repro.platform.sqlite_storage import SqliteSystemDatabase
+from repro.platform.sqlite_storage import (
+    CampaignSnapshot,
+    SqliteSystemDatabase,
+)
 from repro.platform.storage import SystemDatabase
 from repro.system.config import DocsConfig
 from repro.system.ingest import IngestPipeline, IngestReport
+
+logger = logging.getLogger(__name__)
 
 #: Supported storage backends.
 STORAGE_MODES = ("memory", "sqlite")
@@ -77,11 +105,21 @@ class DocsSystem:
         config: system configuration (defaults follow the paper).
         storage: ``"memory"`` (default; fastest, nothing survives the
             process) or ``"sqlite"`` (durable: tasks, golden registry,
-            and the answer journal live in one SQLite file, and the
-            campaign can be resumed from it with :meth:`resume`).
+            the answer journal, and compacted hot-state snapshots live
+            in one SQLite file, and the campaign can be resumed from it
+            with :meth:`resume`).
         path: the SQLite database path; required with
             ``storage="sqlite"`` (pass ``":memory:"`` explicitly for an
             ephemeral throwaway database).
+        worker_store: an optional *shared, cross-campaign* worker model
+            (any object with the
+            :class:`repro.core.quality_store.WorkerQualityStore`
+            interface, typically a durable
+            :class:`repro.platform.sqlite_storage.SqliteWorkerQualityStore`
+            shared by many campaigns). Workers it knows skip the golden
+            pre-test and are seeded from it; the campaign merges its
+            Theorem-1 batch estimates back at re-run boundaries. The
+            campaign does not own the store and never closes it.
     """
 
     name = "DOCS"
@@ -92,6 +130,7 @@ class DocsSystem:
         *,
         storage: str = "memory",
         path: Optional[str] = None,
+        worker_store: Optional[WorkerQualityStore] = None,
     ):
         self._config = config or DocsConfig()
         self._config.validate()
@@ -121,6 +160,28 @@ class DocsSystem:
         self._golden_qualities: Dict[str, np.ndarray] = {}
         self._submissions_since_rerun = 0
         self._pipeline: Optional[IngestPipeline] = None
+        #: The shared cross-campaign worker model (None = campaign-local
+        #: qualities only, the pre-PR-4 behaviour).
+        self._shared_store = worker_store
+        #: Workers whose campaign stats were seeded from the shared store.
+        self._seeded: Set[str] = set()
+        #: Per-worker (quality, weight) last derived from a full-TI
+        #: re-run — the Theorem-1 baseline for shared-store delta
+        #: exports. Maintained even without a shared store so one can be
+        #: attached mid-campaign.
+        self._exported_log: Dict[
+            str, Tuple[np.ndarray, np.ndarray]
+        ] = {}
+        #: journal.flushed_batches as of the last snapshot (the
+        #: auto-snapshot trigger's baseline).
+        self._last_snapshot_batch = 0
+        #: True while resume() replays the journal: suppresses
+        #: shared-store exports (the original run already made them)
+        #: and snapshot writes.
+        self._replaying = False
+        #: Filled by resume(): {"snapshot_seq": int | None,
+        #: "tail_entries": int}.
+        self._resume_info: Optional[Dict[str, object]] = None
 
     @property
     def config(self) -> DocsConfig:
@@ -146,10 +207,55 @@ class DocsSystem:
 
     @property
     def quality_store(self) -> WorkerQualityStore:
-        """The persistent worker model."""
+        """The campaign-local worker model."""
         if self._store is None:
             raise ValidationError("system not prepared; call prepare()")
         return self._store
+
+    @property
+    def shared_worker_store(self) -> Optional[WorkerQualityStore]:
+        """The shared cross-campaign worker model, if attached."""
+        return self._shared_store
+
+    @property
+    def resume_info(self) -> Optional[Dict[str, object]]:
+        """How the system was rebuilt, on a resumed system.
+
+        ``{"snapshot_seq": watermark or None, "tail_entries": n}`` —
+        ``snapshot_seq`` is ``None`` when resume fell back to full
+        journal replay. ``None`` on systems that were never resumed.
+        """
+        return self._resume_info
+
+    def attach_worker_store(self, worker_store: WorkerQualityStore) -> None:
+        """Attach a shared cross-campaign worker model mid-campaign.
+
+        Useful after :meth:`resume`, which needs the task catalogue to
+        know the taxonomy size a store must match. Export semantics on
+        first contact: a worker the store does not know receives the
+        campaign's *full current estimate* (a bare post-attachment
+        delta could encode an out-of-range revision against a store
+        with no base mass); a worker the store already knows receives
+        deltas from the attachment-time baseline onward.
+
+        Raises:
+            ValidationError: if a store is already attached, or the
+                store's taxonomy size disagrees with the campaign's.
+        """
+        if self._shared_store is not None:
+            raise ValidationError(
+                "a shared worker store is already attached"
+            )
+        if self._incremental is not None and (
+            worker_store.num_domains
+            != self._incremental.arena.num_domains
+        ):
+            raise ValidationError(
+                f"shared worker store covers "
+                f"{worker_store.num_domains} domains but the campaign "
+                f"taxonomy has {self._incremental.arena.num_domains}"
+            )
+        self._shared_store = worker_store
 
     # -- CrowdEngine protocol -------------------------------------------
 
@@ -173,6 +279,14 @@ class DocsSystem:
                 "add_tasks() to ingest more tasks, or build a new system"
             )
         m = dataset.taxonomy.size
+        if self._shared_store is not None and (
+            self._shared_store.num_domains != m
+        ):
+            raise ValidationError(
+                f"shared worker store covers "
+                f"{self._shared_store.num_domains} domains but the "
+                f"dataset taxonomy has {m}"
+            )
         linker = EntityLinker(dataset.kb, top_c=self._config.top_c)
 
         # Build everything in locals and commit only after the ingest
@@ -268,12 +382,51 @@ class DocsSystem:
         return self.database.golden_ids
 
     def needs_bootstrap(self, worker_id: str) -> bool:
-        """New workers are quality-tested before real assignments."""
+        """New workers are quality-tested before real assignments.
+
+        Workers already known to the shared cross-campaign store are
+        *not* new: they skip the golden pre-test and enter this
+        campaign seeded with their stored statistics (Section 4.2's
+        worker model maintained across requesters).
+        """
+        if self._seed_from_shared(worker_id):
+            return False
         return (
             bool(self._golden_truths)
             and worker_id not in self._bootstrapped
             and worker_id not in self.quality_store
         )
+
+    def _seed_from_shared(self, worker_id: str) -> bool:
+        """Seed a shared-store worker into the campaign model (once).
+
+        Returns:
+            True if the worker is covered by the shared store (seeded
+            now or earlier); False if there is nothing to seed from.
+        """
+        if self._shared_store is None or self._store is None:
+            return False
+        if worker_id in self._seeded:
+            return True
+        if (
+            worker_id in self._bootstrapped
+            or worker_id in self._store
+        ):
+            # The campaign already has its own evidence for this
+            # worker; never clobber it with the shared prior.
+            return False
+        if worker_id not in self._shared_store:
+            return False
+        stats = self._shared_store.get(worker_id)
+        self._store.set(worker_id, stats.quality, stats.weight)
+        # The shared prior plays the golden-test role for full-TI
+        # (re)initialisation, exactly like a pre-test quality would.
+        self._golden_qualities[worker_id] = (
+            self._shared_store.quality_or_default(worker_id)
+        )
+        self._bootstrapped.add(worker_id)
+        self._seeded.add(worker_id)
+        return True
 
     def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
         """Initialise a new worker's quality from golden-task answers."""
@@ -286,6 +439,22 @@ class DocsSystem:
                 answers,
                 [arena.global_row(a.task_id) for a in answers],
             )
+        if self._shared_store is not None and answers:
+            # The golden pre-test is campaign evidence the shared store
+            # would otherwise never see (full-TI re-runs cover only the
+            # answer log). Durable-first: flush the just-recorded
+            # bootstrap before merging, so a crash cannot leave golden
+            # evidence in the store for a bootstrap the campaign file
+            # never recorded. The merge itself goes through the atomic
+            # delta primitive — other campaigns may be exporting to
+            # the same file concurrently.
+            if journal is not None:
+                journal.flush()
+            stats = self.quality_store.get(worker_id)
+            self._shared_store.apply_batch_delta(
+                worker_id, stats.quality * stats.weight, stats.weight
+            )
+        self._maybe_auto_snapshot()
 
     def _restore_bootstrap(
         self, worker_id: str, answers: Sequence[Answer]
@@ -317,6 +486,7 @@ class DocsSystem:
         """
         if self._incremental is None:
             raise ValidationError("system not prepared; call prepare()")
+        self._seed_from_shared(worker_id)
         answered = self.database.answers.tasks_answered_by(worker_id)
         quality = self.quality_store.blended_quality(worker_id)
         return self._assigner.assign(
@@ -340,8 +510,10 @@ class DocsSystem:
                 f"choice {answer.choice} outside [1, {ell}] for task "
                 f"{answer.task_id}"
             )
+        self._seed_from_shared(answer.worker_id)
         self.database.answers.insert(answer)
         self._apply_answer(answer)
+        self._maybe_auto_snapshot()
 
     def _apply_answer(self, answer: Answer) -> None:
         """Drive one answer through the serving plane: incremental TI,
@@ -370,12 +542,15 @@ class DocsSystem:
     # -- durability ------------------------------------------------------
 
     def checkpoint(self) -> int:
-        """Flush the write-behind answer journal to disk.
+        """Flush the write-behind answer journal and snapshot hot state.
 
         Bounds the crash-loss window to zero as of this call; between
         checkpoints a crash can lose at most the unflushed tail (under
-        ``config.journal_batch_size`` events). Idempotent; a no-op (0)
-        with in-memory storage.
+        ``config.journal_batch_size`` events). With journaled sqlite
+        storage the flush and a compacted hot-state snapshot commit in
+        one transaction, so a later :meth:`resume` loads the snapshot
+        and replays nothing. Idempotent; a no-op (0) with in-memory
+        storage.
 
         Returns:
             The number of journal rows made durable.
@@ -384,19 +559,89 @@ class DocsSystem:
             ValidationError: if the system is not prepared.
         """
         db = self.database
+        if getattr(db, "journal", None) is not None:
+            return self.snapshot()
         if hasattr(db, "checkpoint"):
             return db.checkpoint()
         return 0
 
+    def snapshot(self) -> int:
+        """Write a compacted hot-state snapshot (journaled sqlite only).
+
+        Serialises the arena's choice-group buffers, the campaign
+        worker model, the pristine golden qualities, the
+        bootstrapped-worker set, the shared-store export baselines, and
+        the rerun cursor into the campaign file's ``snapshot_*`` tables
+        — in the same transaction as a journal flush, replacing any
+        older snapshot. :meth:`resume` then loads this image and
+        replays only the journal tail written after it.
+
+        Returns:
+            Journal rows made durable by the embedded flush.
+
+        Raises:
+            ValidationError: if the system is not prepared, or storage
+                is not journaled sqlite (in-memory campaigns have
+                nothing durable to snapshot into).
+        """
+        db = self.database
+        if getattr(db, "journal", None) is None:
+            raise ValidationError(
+                "snapshots require storage='sqlite'; in-memory "
+                "campaigns have no durable file to snapshot into"
+            )
+        store = self.quality_store
+        payload = CampaignSnapshot(
+            num_domains=self._incremental.arena.num_domains,
+            rerun_cursor=self._submissions_since_rerun,
+            groups=self._incremental.arena.export_hot_state(),
+            workers={
+                worker_id: store.get(worker_id)
+                for worker_id in store.known_workers()
+            },
+            golden_qualities={
+                worker_id: quality.copy()
+                for worker_id, quality in self._golden_qualities.items()
+            },
+            bootstrapped=set(self._bootstrapped),
+            exported={
+                worker_id: (quality.copy(), weight.copy())
+                for worker_id, (quality, weight) in (
+                    self._exported_log.items()
+                )
+            },
+        )
+        flushed = db.write_snapshot(payload)
+        self._last_snapshot_batch = db.journal.flushed_batches
+        return flushed
+
+    def _maybe_auto_snapshot(self) -> None:
+        """Snapshot when enough journal batches accrued since the last."""
+        every = self._config.snapshot_every_batches
+        if every <= 0 or self._replaying:
+            return
+        journal = getattr(self._db, "journal", None)
+        if journal is None:
+            return
+        if journal.flushed_batches - self._last_snapshot_batch >= every:
+            self.snapshot()
+
     def close(self) -> None:
-        """Checkpoint and release the storage backend (idempotent).
+        """Checkpoint (flush + snapshot) and release the storage
+        backend (idempotent).
 
         After ``close`` the campaign file holds everything needed by
-        :meth:`resume`. A no-op with in-memory storage or before
-        :meth:`prepare`.
+        :meth:`resume`, including a snapshot of the final hot state. A
+        no-op with in-memory storage or before :meth:`prepare`.
         """
-        if self._db is not None and hasattr(self._db, "close"):
-            self._db.close()
+        if self._db is None or not hasattr(self._db, "close"):
+            return
+        if (
+            getattr(self._db, "journal", None) is not None
+            and not getattr(self._db, "closed", False)
+        ):
+            self.snapshot()
+        self._db.close()
 
     @classmethod
     def resume(
@@ -404,19 +649,31 @@ class DocsSystem:
         path: str,
         config: Optional[DocsConfig] = None,
         kb: Optional[KnowledgeBase] = None,
+        worker_store: Optional[WorkerQualityStore] = None,
     ) -> "DocsSystem":
         """Rebuild a sqlite-backed campaign from its database file.
 
         Loads the task catalogue in its original arena registration
         order, re-registers every task through the bulk-ingest plane
         (linking and DVE are skipped — domain vectors persisted with the
-        tasks), restores the golden registry, then replays the answer
-        journal in commit order through the same bootstrap/submit code
-        paths a live campaign uses. The resumed system's hot state —
-        arena buffers, incremental-TI posteriors, worker qualities,
-        rerun cursor — is identical to the original's at its last
-        flush, and the campaign continues from there: ``assign`` /
-        ``submit`` / ``add_tasks`` / ``finalize`` all work.
+        tasks), restores the golden registry, then rebuilds the hot
+        state: if the file holds a valid snapshot, its image is loaded
+        and only the journal tail beyond its watermark is replayed —
+        O(n + tail) instead of O(campaign); otherwise (no snapshot, or
+        one that fails its checksum / shape / watermark checks, logged
+        as a warning) the whole journal replays through the same
+        bootstrap/submit code paths a live campaign uses. Either way
+        the resumed system's hot state — arena buffers, incremental-TI
+        posteriors, worker qualities, rerun cursor — is identical to
+        the original's at its last flush, and the campaign continues
+        from there: ``assign`` / ``submit`` / ``add_tasks`` /
+        ``finalize`` all work. :attr:`resume_info` records which path
+        ran. One caveat scopes the identical-state guarantee: with a
+        shared ``worker_store``, the *full-replay fallback* re-seeds
+        returning workers from the store's **current** values (seeding
+        is not a journal event), so if the store moved on since the
+        original seed the rebuilt campaign tracks the newer prior; the
+        snapshot path restores the exact seeded values.
 
         Args:
             path: the SQLite file a ``DocsSystem(storage="sqlite")``
@@ -429,6 +686,9 @@ class DocsSystem:
                 pipeline so :meth:`add_tasks` can link *new* task texts
                 after the resume. Without it, added tasks must carry
                 precomputed domain vectors.
+            worker_store: optional shared cross-campaign worker model
+                (see the constructor). Exports made before the crash
+                are not repeated during replay.
 
         Returns:
             The resumed, ready-to-serve system.
@@ -438,7 +698,10 @@ class DocsSystem:
             JournalCorruptionError: if the journal fails its integrity
                 check (partial/corrupt final batch).
         """
-        system = cls(config, storage="sqlite", path=path)
+        system = cls(
+            config, storage="sqlite", path=path,
+            worker_store=worker_store,
+        )
         cfg = system._config
         db = SqliteSystemDatabase(
             path, journal_batch_size=cfg.journal_batch_size
@@ -462,6 +725,14 @@ class DocsSystem:
                     "and cannot be resumed"
                 )
             m = int(tasks[0].domain_vector.shape[0])
+            if worker_store is not None and (
+                worker_store.num_domains != m
+            ):
+                raise ValidationError(
+                    f"shared worker store covers "
+                    f"{worker_store.num_domains} domains but the "
+                    f"campaign taxonomy has {m}"
+                )
             store = WorkerQualityStore(
                 m, default_quality=cfg.default_quality
             )
@@ -488,47 +759,198 @@ class DocsSystem:
             system._log = AnswerLog(incremental.arena)
             system._pipeline = pipeline
             system._golden_truths = golden_truths
-            system._replay_journal()
+
+            snapshot = db.load_snapshot()
+            if snapshot is not None:
+                problem = system._check_snapshot(snapshot)
+                if problem is not None:
+                    logger.warning(
+                        "snapshot at %r rejected (%s); falling back to "
+                        "full journal replay", path, problem,
+                    )
+                    snapshot = None
+            if snapshot is not None:
+                system._install_snapshot(snapshot)
+            tail = system._replay_journal(
+                from_seq=(
+                    snapshot.journal_seq if snapshot is not None else -1
+                )
+            )
+            system._resume_info = {
+                "snapshot_seq": (
+                    snapshot.journal_seq
+                    if snapshot is not None
+                    else None
+                ),
+                "tail_entries": tail,
+            }
+            system._last_snapshot_batch = db.journal.flushed_batches
         except Exception:
             db.close()
             system._db = None
             raise
         return system
 
-    def _replay_journal(self) -> None:
-        """Re-apply every committed journal event in commit order."""
+    def _check_snapshot(self, snapshot: CampaignSnapshot) -> Optional[str]:
+        """Is this snapshot consistent with the catalogue and journal?
+
+        Returns a human-readable problem (the caller logs it and falls
+        back to full replay), or ``None`` when the snapshot is usable.
+        """
+        arena = self._incremental.arena
+        if snapshot.num_domains != arena.num_domains:
+            return (
+                f"snapshot taxonomy size {snapshot.num_domains} != "
+                f"catalogue taxonomy size {arena.num_domains}"
+            )
+        last = self.database.journal.last_committed_seq
+        if snapshot.journal_seq > last:
+            return (
+                f"snapshot watermark seq {snapshot.journal_seq} is "
+                f"beyond the journal's last committed seq {last} "
+                "(journal rows were deleted after the snapshot)"
+            )
+        if snapshot.rerun_cursor < 0:
+            return f"negative rerun cursor {snapshot.rerun_cursor}"
+        for worker_id, stats in snapshot.workers.items():
+            if stats.quality.shape != (arena.num_domains,):
+                return f"worker {worker_id} stats have a wrong shape"
+        return arena.check_hot_state(snapshot.groups)
+
+    def _install_snapshot(self, snapshot: CampaignSnapshot) -> None:
+        """Overlay a validated snapshot onto the freshly registered
+        system (arena rows, worker model, bootstrap + export state)."""
+        self._incremental.arena.load_hot_state(snapshot.groups)
+        for worker_id, stats in snapshot.workers.items():
+            self._store.set(worker_id, stats.quality, stats.weight)
+        self._golden_qualities = {
+            worker_id: quality.copy()
+            for worker_id, quality in snapshot.golden_qualities.items()
+        }
+        self._bootstrapped = set(snapshot.bootstrapped)
+        self._exported_log = {
+            worker_id: (quality.copy(), weight.copy())
+            for worker_id, (quality, weight) in snapshot.exported.items()
+        }
+        self._submissions_since_rerun = snapshot.rerun_cursor
+
+    def _restore_compacted(self, through_seq: int) -> None:
+        """Rebuild the indexes the snapshot cannot carry, in bulk.
+
+        Answers at or before the watermark are already applied to the
+        snapshot's numeric state; what replay cannot skip is the
+        in-memory answer table, the append-only answer log, and the
+        per-task answer histories. They are rebuilt from one columnar
+        journal read with no per-answer inference arithmetic and no
+        full-TI re-runs — the O(tail-free) part of snapshot resume.
+        Pre-watermark bootstrap events need nothing at all: their whole
+        effect lives in the snapshot's worker tables.
+        """
+        rows = self.database.journal.committed_answers_through(
+            through_seq
+        )
+        if not rows:
+            return
+        arena = self._incremental.arena
+        order = np.asarray(arena.task_ids(), dtype=np.int64)
+        task_rows = np.fromiter(
+            (row[1] for row in rows), dtype=np.int64, count=len(rows)
+        )
+        task_ids = np.fromiter(
+            (row[2] for row in rows), dtype=np.int64, count=len(rows)
+        )
+        out_of_range = (task_rows < 0) | (task_rows >= order.shape[0])
+        mismatch = out_of_range.copy()
+        valid = ~out_of_range
+        mismatch[valid] = order[task_rows[valid]] != task_ids[valid]
+        if mismatch.any():
+            first = int(np.flatnonzero(mismatch)[0])
+            raise JournalCorruptionError(
+                f"journal entry {rows[first][0]}: task "
+                f"{int(task_ids[first])} does not register at the "
+                f"recorded arena row {int(task_rows[first])}; the "
+                "journal and the task catalogue disagree — restore the "
+                "file from a backup"
+            )
+        choices = np.fromiter(
+            (row[4] for row in rows), dtype=np.int64, count=len(rows)
+        )
+        worker_ids = [row[3] for row in rows]
+        answers = [
+            Answer(worker_id, int(task_id), int(choice))
+            for worker_id, task_id, choice in zip(
+                worker_ids, task_ids, choices
+            )
+        ]
+        self.database.answers.restore_batch(answers)
+        self._log.extend_restored(task_rows, worker_ids, choices)
+        self._incremental.restore_answers(answers)
+
+    def _replay_journal(self, from_seq: int = -1) -> int:
+        """Re-apply committed journal events in commit order.
+
+        Entries with ``seq <= from_seq`` are already baked into the
+        installed snapshot's numeric state and only rebuild indexes
+        (see :meth:`_restore_compacted`); entries beyond the watermark
+        replay through the same bootstrap/submit code paths a live
+        campaign uses.
+
+        Returns:
+            The number of tail entries fully re-applied.
+        """
         arena = self._incremental.arena
         pending_bootstrap: Dict[str, List[Answer]] = {}
-        for entry in self.database.journal.replay():
-            if entry.kind == KIND_BOOTSTRAP_ANSWER:
-                pending_bootstrap.setdefault(entry.worker_id, []).append(
-                    Answer(entry.worker_id, entry.task_id, entry.choice)
-                )
-            elif entry.kind == KIND_BOOTSTRAP_DONE:
-                answers = pending_bootstrap.pop(entry.worker_id, [])
-                self._restore_bootstrap(entry.worker_id, answers)
-            elif entry.kind == KIND_ANSWER:
-                expected_row = arena.global_row(entry.task_id)
-                if entry.task_row != expected_row:
-                    raise JournalCorruptionError(
-                        f"journal entry {entry.seq}: task "
-                        f"{entry.task_id} registers at arena row "
-                        f"{expected_row} but the journal recorded row "
-                        f"{entry.task_row}; the journal and the task "
-                        "catalogue disagree — restore the file from a "
-                        "backup"
+        tail_entries = 0
+        self._replaying = True
+        try:
+            if from_seq >= 0:
+                self._restore_compacted(from_seq)
+            for entry in self.database.journal.replay(
+                after_seq=from_seq
+            ):
+                tail_entries += 1
+                if entry.kind == KIND_BOOTSTRAP_ANSWER:
+                    pending_bootstrap.setdefault(
+                        entry.worker_id, []
+                    ).append(
+                        Answer(
+                            entry.worker_id, entry.task_id, entry.choice
+                        )
                     )
-                answer = Answer(
-                    entry.worker_id, entry.task_id, entry.choice
-                )
-                self.database.answers.restore(answer)
-                self._apply_answer(answer)
-            else:
-                raise JournalCorruptionError(
-                    f"journal entry {entry.seq} has unknown kind "
-                    f"{entry.kind}; the file is newer than this code "
-                    "or corrupt"
-                )
+                elif entry.kind == KIND_BOOTSTRAP_DONE:
+                    answers = pending_bootstrap.pop(entry.worker_id, [])
+                    self._restore_bootstrap(entry.worker_id, answers)
+                elif entry.kind == KIND_ANSWER:
+                    expected_row = arena.global_row(entry.task_id)
+                    if entry.task_row != expected_row:
+                        raise JournalCorruptionError(
+                            f"journal entry {entry.seq}: task "
+                            f"{entry.task_id} registers at arena row "
+                            f"{expected_row} but the journal recorded "
+                            f"row {entry.task_row}; the journal and the "
+                            "task catalogue disagree — restore the file "
+                            "from a backup"
+                        )
+                    answer = Answer(
+                        entry.worker_id, entry.task_id, entry.choice
+                    )
+                    # A shared-store worker's seeding is not a journal
+                    # event (the shared store is durable on its own);
+                    # re-seed here so her replayed answers use the
+                    # stored prior, as the live run did. Note the store
+                    # may have moved on since the original seed — the
+                    # snapshot path restores the exact seeded values.
+                    self._seed_from_shared(entry.worker_id)
+                    self.database.answers.restore(answer)
+                    self._apply_answer(answer)
+                else:
+                    raise JournalCorruptionError(
+                        f"journal entry {entry.seq} has unknown kind "
+                        f"{entry.kind}; the file is newer than this "
+                        "code or corrupt"
+                    )
+        finally:
+            self._replaying = False
         if pending_bootstrap:
             workers = ", ".join(sorted(pending_bootstrap))
             raise JournalCorruptionError(
@@ -537,6 +959,7 @@ class DocsSystem:
                 "restore the file from a backup, or delete the dangling "
                 "rows to fall back to the last consistent checkpoint"
             )
+        return tail_entries
 
     # -- internals -------------------------------------------------------
 
@@ -556,4 +979,73 @@ class DocsSystem:
         # no answer re-indexing or domain-vector re-stacking per re-run.
         result = ti.infer_from_log(self._log, initial_qualities=initial)
         self._incremental.resync_from_arena_result(result)
+        self._export_to_shared(result)
         return result
+
+    def _export_to_shared(self, result) -> None:
+        """Merge campaign evidence into the shared store (Theorem 1).
+
+        A full-TI re-run's per-worker (quality, weight) is the exact
+        batch estimate over this campaign's answer log. Exporting the
+        *delta* since the previous re-run — in mass form, via
+        :meth:`~repro.core.quality_store.WorkerQualityStore.apply_batch_delta`
+        — makes repeated exports telescope to exactly one export of the
+        final campaign estimate, so re-run boundaries can sync as often
+        as they like without double counting. Baselines are maintained
+        even without a shared store (and during journal replay, when
+        the original run's exports must not repeat) so a store attached
+        later starts from the right boundary.
+
+        Two crash-boundary rules keep the store sane:
+
+        - a worker the store does not know receives the campaign's
+          *full cumulative* estimate, not the delta since the baseline
+          — a delta against a store that never got the base mass can
+          encode a pure revision and land out of [0, 1];
+        - the journal is flushed before the first merge, so the
+          evidence being exported is durable in the campaign file
+          first. A crash right after the flush loses at most one
+          un-merged delta (bounded under-count); re-run-boundary
+          exports are never double-merged, because replay re-derives
+          their baselines without exporting. One bounded exception
+          remains: a ``finalize()`` export past the last re-run
+          boundary is not a journal event, so if the final snapshot is
+          lost (full-replay fallback) and the resumed campaign is
+          finalized again, that one tail delta can repeat.
+        """
+        exporting = (
+            self._shared_store is not None and not self._replaying
+        )
+        if exporting:
+            journal = getattr(self._db, "journal", None)
+            if journal is not None:
+                journal.flush()
+        for worker_row, worker_id in enumerate(result.worker_ids):
+            quality = np.asarray(
+                result.qualities[worker_row], dtype=float
+            )
+            weight = np.asarray(result.weights[worker_row], dtype=float)
+            previous = self._exported_log.get(worker_id)
+            if previous is None or (
+                exporting and worker_id not in self._shared_store
+            ):
+                # First export for this worker, or a baseline advanced
+                # before any store saw this worker (a store attached
+                # mid-campaign): ship the whole campaign estimate.
+                delta_mass = quality * weight
+                delta_u = weight.copy()
+            else:
+                prev_q, prev_u = previous
+                delta_mass = quality * weight - prev_q * prev_u
+                # Weights only grow (u_k = sum of r_k over answered
+                # tasks); clip guards floating-point drift.
+                delta_u = np.clip(weight - prev_u, 0.0, None)
+            self._exported_log[worker_id] = (
+                quality.copy(), weight.copy()
+            )
+            if exporting and (
+                np.any(delta_u > 0) or np.any(delta_mass != 0)
+            ):
+                self._shared_store.apply_batch_delta(
+                    worker_id, delta_mass, delta_u
+                )

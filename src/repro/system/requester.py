@@ -43,6 +43,7 @@ def run_campaign(
     seed: SeedLike = 0,
     storage: str = "memory",
     path: Optional[str] = None,
+    worker_store=None,
 ) -> CampaignResult:
     """Run a full DOCS campaign over a dataset with a simulated crowd.
 
@@ -55,9 +56,14 @@ def run_campaign(
         hit_size: tasks per HIT; defaults to the config's value.
         seed: simulation seed.
         storage: DocsSystem storage mode; with ``"sqlite"`` the campaign
-            persists to ``path`` and is closed (journal flushed) before
-            returning, ready for :meth:`repro.system.DocsSystem.resume`.
+            persists to ``path`` and is closed (journal flushed plus a
+            final hot-state snapshot) before returning, ready for
+            :meth:`repro.system.DocsSystem.resume`.
         path: SQLite path (required when ``storage="sqlite"``).
+        worker_store: optional shared cross-campaign worker model (see
+            :class:`repro.system.DocsSystem`); known workers skip the
+            golden pre-test and the campaign's quality estimates merge
+            back into it. Not closed by this function.
 
     Returns:
         A :class:`CampaignResult`.
@@ -80,7 +86,9 @@ def run_campaign(
         hit_size=hit_size if hit_size is not None else cfg.hit_size,
         seed=seed,
     )
-    system = DocsSystem(cfg, storage=storage, path=path)
+    system = DocsSystem(
+        cfg, storage=storage, path=path, worker_store=worker_store
+    )
     try:
         report = simulator.run(system)
     finally:

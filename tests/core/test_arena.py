@@ -380,3 +380,54 @@ class TestAnswerLog:
         log = AnswerLog(arena)
         with pytest.raises(UnknownTaskError):
             log.append(Answer("w", 99, 1))
+
+
+class TestScratchAfterGrow:
+    """`benefit_scratch()` buffers are shaped to the live row count; a
+    block grow() that changes a group's count must invalidate them so
+    arena_benefits never writes into stale-shaped scratch."""
+
+    def test_scratch_resized_after_grow(self):
+        rng = make_rng(3)
+        arena = StateArena(4)
+        for i in range(5):
+            arena.add(_task(i, ell=3, m=4, rng=rng))
+        group = arena.location(0)[0]
+        before = group.benefit_scratch()
+        assert before[0].shape == (5, 4, 3)
+
+        grown = [_task(100 + i, ell=3, m=4, rng=rng) for i in range(7)]
+        arena.grow(grown)
+        after = group.benefit_scratch()
+        assert after[0].shape == (12, 4, 3)
+        assert after[0] is not before[0]
+
+    def test_benefits_correct_after_capacity_changing_grow(self):
+        """Grow past the group's capacity (forces a buffer reallocation)
+        and check arena_benefits against the per-task reference on every
+        row, old and new."""
+        rng = make_rng(4)
+        arena = StateArena(3)
+        tasks = [_task(i, ell=2, m=3, rng=rng) for i in range(4)]
+        for task in tasks:
+            arena.add(task)
+        quality = rng.uniform(0.3, 0.9, size=3)
+        arena_benefits(arena, quality)  # materialise scratch at count=4
+
+        grown = [
+            _task(200 + i, ell=2, m=3, rng=rng)
+            for i in range(INITIAL_CAPACITY + 10)
+        ]
+        arena.grow(grown)
+        benefits = arena_benefits(arena, quality)
+        assert benefits.shape == (4 + len(grown),)
+        for task in tasks + grown:
+            state = TaskState(
+                task=task,
+                r=task.domain_vector,
+                M=np.full((3, 2), 0.5),
+                s=task.domain_vector @ np.full((3, 2), 0.5),
+            )
+            assert benefits[arena.global_row(task.task_id)] == (
+                pytest.approx(task_benefit(state, quality), abs=1e-10)
+            )

@@ -248,3 +248,84 @@ class TestTheorem4AndAssigner:
             assigner.assign({}, np.array([0.8]), k=0)
         with pytest.raises(ValidationError):
             TaskAssigner(hit_size=0)
+
+
+class TestUnknownIdHandling:
+    """`eligible` / `answered_by_worker` ids missing from the arena are
+    a caller bug (stale candidate sets after live growth) — surfaced via
+    a warning by default, or a raise with strict_ids."""
+
+    def _arena(self, n=6, m=3):
+        from repro.core.arena import StateArena
+
+        arena = StateArena(m)
+        for i in range(n):
+            arena.add(
+                Task(
+                    task_id=i,
+                    text=f"t{i}",
+                    num_choices=2,
+                    domain_vector=np.full(m, 1.0 / m),
+                )
+            )
+        return arena
+
+    def test_unknown_answered_id_logs_warning(self, caplog):
+        arena = self._arena()
+        assigner = TaskAssigner(hit_size=2)
+        with caplog.at_level("WARNING", logger="repro.core.assignment"):
+            hit = assigner.assign(
+                arena, np.full(3, 0.8), answered_by_worker={0, 999}
+            )
+        assert hit  # the known ids still assign
+        assert 0 not in hit
+        assert any("999" in r.message for r in caplog.records)
+        assert any("answered_by_worker" in r.message for r in caplog.records)
+
+    def test_unknown_eligible_id_strict_raises(self):
+        arena = self._arena()
+        assigner = TaskAssigner(hit_size=2, strict_ids=True)
+        with pytest.raises(ValidationError, match="eligible"):
+            assigner.assign(
+                arena, np.full(3, 0.8), eligible={1, 2, 777}
+            )
+
+    def test_known_ids_never_warn(self, caplog):
+        arena = self._arena()
+        assigner = TaskAssigner(hit_size=2, strict_ids=True)
+        with caplog.at_level("WARNING", logger="repro.core.assignment"):
+            hit = assigner.assign(
+                arena,
+                np.full(3, 0.8),
+                answered_by_worker={0},
+                eligible={1, 2, 3},
+            )
+        assert set(hit) <= {1, 2, 3}
+        assert not caplog.records
+
+    def test_stale_set_after_live_growth(self, caplog):
+        """The documented trap: a candidate set naming a task that only
+        joins the arena via a later grow() must warn before the grow and
+        pass silently after it."""
+        from repro.core.arena import StateArena
+
+        arena = self._arena(n=4)
+        assigner = TaskAssigner(hit_size=2)
+        late = Task(
+            task_id=100,
+            text="late",
+            num_choices=2,
+            domain_vector=np.full(3, 1.0 / 3),
+        )
+        with caplog.at_level("WARNING", logger="repro.core.assignment"):
+            assigner.assign(arena, np.full(3, 0.8), eligible={100})
+        assert any("stale" in r.message for r in caplog.records)
+        caplog.clear()
+
+        arena.grow([late])
+        with caplog.at_level("WARNING", logger="repro.core.assignment"):
+            hit = assigner.assign(
+                arena, np.full(3, 0.8), eligible={100}
+            )
+        assert hit == [100]
+        assert not caplog.records

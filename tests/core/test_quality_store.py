@@ -6,6 +6,71 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.quality_store import WorkerQualityStore
 from repro.errors import UnknownWorkerError, ValidationError
+from repro.platform.sqlite_storage import SqliteWorkerQualityStore
+
+
+def _both_stores(num_domains, default_quality=0.7):
+    return [
+        WorkerQualityStore(num_domains, default_quality=default_quality),
+        SqliteWorkerQualityStore(
+            num_domains, default_quality=default_quality
+        ),
+    ]
+
+
+class TestBlendedQualityFinite:
+    """Regression: pseudo_weight=0 on zero-weight domains divided 0/0
+    into NaN (plus a RuntimeWarning), poisoning OTA benefits."""
+
+    @pytest.mark.parametrize("pseudo_weight", [0.0, 0.5, 1.0, 3.0])
+    def test_finite_for_every_store_and_weight_profile(
+        self, pseudo_weight, recwarn
+    ):
+        quality = np.array([0.9, 0.8, 0.3, 0.55])
+        weights = [
+            np.zeros(4),
+            np.array([2.0, 0.0, 0.0, 5.0]),
+            np.full(4, 1e-12),
+            np.full(4, 3.0),
+        ]
+        for store in _both_stores(4, default_quality=0.6):
+            for i, weight in enumerate(weights):
+                store.set(f"w{i}", quality, weight)
+            for i in range(len(weights)):
+                blended = store.blended_quality(
+                    f"w{i}", pseudo_weight=pseudo_weight
+                )
+                assert np.all(np.isfinite(blended)), (
+                    type(store).__name__, i, pseudo_weight, blended
+                )
+        assert not [
+            w for w in recwarn.list if w.category is RuntimeWarning
+        ]
+
+    def test_zero_total_domains_fall_back_to_default(self):
+        for store in _both_stores(3, default_quality=0.6):
+            store.set(
+                "w", np.array([0.9, 0.8, 0.7]), np.array([2.0, 0.0, 0.0])
+            )
+            blended = store.blended_quality("w", pseudo_weight=0.0)
+            np.testing.assert_allclose(blended, [0.9, 0.6, 0.6])
+
+    def test_unknown_worker_still_defaults(self):
+        for store in _both_stores(3, default_quality=0.6):
+            np.testing.assert_allclose(
+                store.blended_quality("ghost", pseudo_weight=0.0),
+                [0.6] * 3,
+            )
+
+    def test_positive_weights_unchanged_by_fix(self):
+        quality = np.array([0.9, 0.2])
+        weight = np.array([4.0, 1.0])
+        for store in _both_stores(2, default_quality=0.7):
+            store.set("w", quality, weight)
+            expected = (quality * weight + 0.7 * 1.0) / (weight + 1.0)
+            np.testing.assert_allclose(
+                store.blended_quality("w"), expected
+            )
 
 
 class TestBasics:
@@ -188,3 +253,59 @@ class TestGoldenInitialisation:
         np.testing.assert_allclose(
             store.get("w").weight, [0.9, 1.1]
         )
+
+
+class TestApplyBatchDelta:
+    """Mass-form Theorem 1: new batches match merge(); revision deltas
+    (weight unchanged, mass changed) update quality exactly."""
+
+    def test_new_batch_matches_merge(self):
+        quality = np.array([0.9, 0.4, 0.7])
+        weight = np.array([2.0, 1.0, 0.0])
+        for store in _both_stores(3):
+            store.apply_batch_delta("w", quality * weight, weight)
+            reference = WorkerQualityStore(3)
+            reference.merge("w", quality, weight)
+            np.testing.assert_allclose(
+                store.get("w").quality, reference.get("w").quality
+            )
+            np.testing.assert_allclose(
+                store.get("w").weight, reference.get("w").weight
+            )
+
+    def test_revision_delta_moves_quality_not_weight(self):
+        for store in _both_stores(2):
+            store.set("w", np.array([0.8, 0.5]), np.array([4.0, 2.0]))
+            # Revise domain 0's mass from 3.2 to 3.6 with no new weight.
+            store.apply_batch_delta(
+                "w", np.array([0.4, 0.0]), np.zeros(2)
+            )
+            stats = store.get("w")
+            np.testing.assert_allclose(stats.quality, [0.9, 0.5])
+            np.testing.assert_allclose(stats.weight, [4.0, 2.0])
+
+    def test_deltas_telescope(self):
+        rng = np.random.default_rng(5)
+        cumulative = []
+        q, u = np.zeros(3), np.zeros(3)
+        for _ in range(4):
+            u = u + rng.uniform(0.0, 2.0, size=3)
+            q = rng.uniform(0.1, 0.9, size=3)
+            cumulative.append((q.copy(), u.copy()))
+        for store in _both_stores(3):
+            prev_q, prev_u = np.zeros(3), np.zeros(3)
+            for q_i, u_i in cumulative:
+                store.apply_batch_delta(
+                    "w", q_i * u_i - prev_q * prev_u, u_i - prev_u
+                )
+                prev_q, prev_u = q_i, u_i
+            stats = store.get("w")
+            np.testing.assert_allclose(stats.quality, cumulative[-1][0])
+            np.testing.assert_allclose(stats.weight, cumulative[-1][1])
+
+    def test_negative_delta_weight_rejected(self):
+        for store in _both_stores(2):
+            with pytest.raises(ValidationError):
+                store.apply_batch_delta(
+                    "w", np.zeros(2), np.array([-0.1, 0.0])
+                )

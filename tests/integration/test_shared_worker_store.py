@@ -1,0 +1,272 @@
+"""The cross-campaign worker model (Section 4.2, Theorem 1).
+
+DOCS maintains worker quality in the database *across requesters*: a
+campaign handed a shared worker store merges its batch estimates into
+it, and a later campaign recognises returning workers — they skip the
+golden pre-test and are assigned with qualities seeded from the store
+instead of the global default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.types import Answer
+from repro.datasets import make_dataset
+from repro.errors import ValidationError
+from repro.platform.sqlite_storage import SqliteWorkerQualityStore
+from repro.system import DocsConfig, DocsSystem
+
+WORKERS = [f"w{i}" for i in range(4)]
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("4d", seed=31, tasks_per_domain=8)
+
+
+@pytest.fixture()
+def second_dataset():
+    return make_dataset("4d", seed=77, tasks_per_domain=8)
+
+
+def _config():
+    return DocsConfig(golden_count=6, rerun_interval=15, hit_size=3)
+
+
+def _drive(system, dataset, arrivals, start=0):
+    for arrival in range(start, arrivals):
+        worker = WORKERS[arrival % len(WORKERS)]
+        if system.needs_bootstrap(worker):
+            system.bootstrap(
+                worker,
+                [
+                    Answer(
+                        worker, tid, dataset.task_by_id(tid).ground_truth
+                    )
+                    for tid in system.golden_task_ids()
+                ],
+            )
+        for task_id in system.assign(worker, 2):
+            ell = dataset.task_by_id(task_id).num_choices
+            choice = 1 + (task_id * 3 + arrival) % ell
+            system.submit(Answer(worker, task_id, choice))
+
+
+def _store_factory(kind, m, tmp_path):
+    if kind == "memory":
+        return WorkerQualityStore(m)
+    return SqliteWorkerQualityStore(m, path=str(tmp_path / "workers.db"))
+
+
+class TestCrossCampaignSharing:
+    @pytest.mark.parametrize("kind", ["memory", "sqlite"])
+    def test_second_campaign_assigns_with_merged_qualities(
+        self, dataset, second_dataset, tmp_path, kind
+    ):
+        """The acceptance-criteria scenario: campaign 1 populates the
+        shared store; campaign 2 recognises its workers, skips their
+        pre-test, and assigns using the merged qualities."""
+        shared = _store_factory(kind, dataset.taxonomy.size, tmp_path)
+
+        first = DocsSystem(_config(), worker_store=shared)
+        first.prepare(dataset)
+        _drive(first, dataset, 20)
+        first.finalize()
+
+        known = set(shared.known_workers())
+        assert set(WORKERS) <= known
+        for worker in WORKERS:
+            stats = shared.get(worker)
+            assert np.all(np.isfinite(stats.quality))
+            assert np.all(stats.weight >= 0)
+            assert np.any(stats.weight > 0)
+
+        second = DocsSystem(_config(), worker_store=shared)
+        second.prepare(second_dataset)
+        returning = WORKERS[0]
+        # Known workers skip the golden pre-test...
+        assert not second.needs_bootstrap(returning)
+        expected = shared.get(returning)
+        hit = second.assign(returning, 3)
+        assert hit
+        # ...and enter the campaign seeded with the shared statistics,
+        # so assignment ran on the merged qualities, not the default.
+        seeded = second.quality_store.get(returning)
+        np.testing.assert_array_equal(seeded.quality, expected.quality)
+        np.testing.assert_array_equal(seeded.weight, expected.weight)
+        assert not np.allclose(
+            second.quality_store.blended_quality(returning),
+            np.full(dataset.taxonomy.size, _config().default_quality),
+        )
+        # A genuinely new worker still takes the pre-test.
+        assert second.needs_bootstrap("stranger")
+
+    def test_exports_telescope_to_one_batch(self, dataset):
+        """Theorem 1: merging per-rerun deltas must equal merging the
+        campaign's final estimate once — golden evidence plus the final
+        full-TI batch."""
+        shared = WorkerQualityStore(dataset.taxonomy.size)
+        system = DocsSystem(_config(), worker_store=shared)
+        system.prepare(dataset)
+
+        worker = WORKERS[0]
+        golden_answers = [
+            Answer(worker, tid, dataset.task_by_id(tid).ground_truth)
+            for tid in system.golden_task_ids()
+        ]
+        system.bootstrap(worker, golden_answers)
+        golden = system.quality_store.get(worker)
+        golden_q, golden_u = golden.quality.copy(), golden.weight.copy()
+
+        _drive(system, dataset, 24)  # crosses several rerun boundaries
+        system.finalize()
+
+        # After finalize the campaign store holds exactly the final
+        # full-TI (log-only) batch estimate for this worker.
+        log_stats = system.quality_store.get(worker)
+        log_q, log_u = log_stats.quality, log_stats.weight
+
+        total_u = golden_u + log_u
+        expected_q = np.full_like(total_u, np.nan)
+        mask = total_u > 0
+        expected_q[mask] = (
+            golden_q[mask] * golden_u[mask] + log_q[mask] * log_u[mask]
+        ) / total_u[mask]
+
+        merged = shared.get(worker)
+        np.testing.assert_allclose(merged.weight, total_u, atol=1e-9)
+        np.testing.assert_allclose(
+            merged.quality[mask], expected_q[mask], atol=1e-9
+        )
+
+    def test_resume_does_not_re_export(self, dataset, tmp_path):
+        """Replaying a journaled campaign must not merge the same
+        evidence into the shared store a second time."""
+        shared = WorkerQualityStore(dataset.taxonomy.size)
+        path = str(tmp_path / "campaign.db")
+        system = DocsSystem(
+            _config(), storage="sqlite", path=path, worker_store=shared
+        )
+        system.prepare(dataset)
+        _drive(system, dataset, 20)
+        system.close()
+        before = {
+            worker: shared.get(worker) for worker in shared.known_workers()
+        }
+
+        resumed = DocsSystem.resume(
+            path, config=_config(), worker_store=shared
+        )
+        for worker, stats in before.items():
+            after = shared.get(worker)
+            np.testing.assert_array_equal(after.quality, stats.quality)
+            np.testing.assert_array_equal(after.weight, stats.weight)
+        # New evidence after the resume still exports.
+        _drive(resumed, dataset, 40, start=20)
+        resumed.finalize()
+        grown = any(
+            np.any(
+                shared.get(worker).weight > before[worker].weight + 1e-12
+            )
+            for worker in before
+        )
+        assert grown
+        resumed.close()
+
+    def test_mismatched_taxonomy_rejected(self, dataset):
+        shared = WorkerQualityStore(dataset.taxonomy.size + 3)
+        system = DocsSystem(_config(), worker_store=shared)
+        with pytest.raises(ValidationError, match="domains"):
+            system.prepare(dataset)
+        # The failed prepare leaves the system retryable without a store
+        # mismatch.
+        retry = DocsSystem(_config())
+        retry.prepare(dataset)
+
+    def test_attach_worker_store_after_resume(self, dataset, tmp_path):
+        path = str(tmp_path / "attach.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 12)
+        system.close()
+
+        shared = WorkerQualityStore(dataset.taxonomy.size)
+        resumed = DocsSystem.resume(path, config=_config())
+        resumed.attach_worker_store(shared)
+        with pytest.raises(ValidationError, match="already attached"):
+            resumed.attach_worker_store(shared)
+        _drive(resumed, dataset, 30, start=12)
+        resumed.finalize()
+        assert list(shared.known_workers())
+        resumed.close()
+
+        bad = WorkerQualityStore(dataset.taxonomy.size + 1)
+        fresh = DocsSystem.resume(path, config=_config())
+        with pytest.raises(ValidationError, match="domains"):
+            fresh.attach_worker_store(bad)
+        fresh.close()
+
+
+class TestExportGuards:
+    def test_attach_fresh_store_never_stores_out_of_range_quality(
+        self, dataset, tmp_path
+    ):
+        """Regression: baselines advance at every re-run even without a
+        store; attaching a fresh store afterwards used to export a
+        revision-only delta whose mass/weight ratio landed outside
+        [0, 1] (e.g. quality -1.5). The first export for a worker the
+        store does not know must ship the full cumulative estimate."""
+        path = str(tmp_path / "attach_guard.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 20)  # crosses re-run boundaries
+        assert system._exported_log  # baselines advanced, no store yet
+
+        shared = WorkerQualityStore(dataset.taxonomy.size)
+        system.attach_worker_store(shared)
+        _drive(system, dataset, 32, start=20)
+        system.finalize()
+        system.close()
+
+        assert list(shared.known_workers())
+        for worker in shared.known_workers():
+            stats = shared.get(worker)
+            assert np.all(stats.quality >= 0.0), (worker, stats.quality)
+            assert np.all(stats.quality <= 1.0), (worker, stats.quality)
+            assert np.all(stats.weight >= 0.0)
+            assert np.all(np.isfinite(stats.quality))
+
+    @pytest.mark.parametrize("kind", ["memory", "sqlite"])
+    def test_folded_quality_clamped(self, tmp_path, kind):
+        """A malformed revision delta (no base mass in the store) may
+        imply an out-of-range quality; the fold clamps it."""
+        store = _store_factory(kind, 2, tmp_path)
+        store.apply_batch_delta(
+            "w", np.array([-3.0, 5.0]), np.array([2.0, 2.0])
+        )
+        stats = store.get("w")
+        np.testing.assert_allclose(stats.quality, [0.0, 1.0])
+        np.testing.assert_allclose(stats.weight, [2.0, 2.0])
+
+    def test_concurrent_sqlite_exports_do_not_lose_updates(
+        self, tmp_path
+    ):
+        """Two connections to one shared file interleave exports; the
+        in-SQL fold must accumulate both (a fetch-compute-set round
+        trip would lose the first write)."""
+        path = str(tmp_path / "workers.db")
+        first = SqliteWorkerQualityStore(2, path=path)
+        second = SqliteWorkerQualityStore(2, path=path)
+        for _ in range(5):
+            first.apply_batch_delta(
+                "w", np.array([0.8, 0.0]), np.array([1.0, 0.0])
+            )
+            second.apply_batch_delta(
+                "w", np.array([0.4, 0.0]), np.array([1.0, 0.0])
+            )
+        stats = first.get("w")
+        assert stats.weight[0] == pytest.approx(10.0)
+        assert stats.quality[0] == pytest.approx(0.6)
+        first.close()
+        second.close()

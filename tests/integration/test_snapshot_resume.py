@@ -1,0 +1,273 @@
+"""Compacted snapshots: resume loads an image, replays only the tail.
+
+The acceptance bar for the snapshot plane: kill-and-resume from a
+snapshot plus a journal tail must reproduce the hot state bit-for-bit
+(exactly like full replay does), corrupt or stale snapshots must fall
+back to full replay rather than fail, and only the newest snapshot is
+ever kept in the file (compaction).
+"""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer
+from repro.datasets import make_dataset
+from repro.system import DocsConfig, DocsSystem
+
+WORKERS = [f"w{i}" for i in range(6)]
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("4d", seed=31, tasks_per_domain=8)
+
+
+def _config(**overrides):
+    base = dict(
+        golden_count=6,
+        rerun_interval=20,
+        hit_size=3,
+        journal_batch_size=8,
+        snapshot_every_batches=0,  # manual snapshots unless overridden
+    )
+    base.update(overrides)
+    return DocsConfig(**base)
+
+
+def _drive(system, dataset, arrivals, start=0):
+    for arrival in range(start, arrivals):
+        worker = WORKERS[arrival % len(WORKERS)]
+        if system.needs_bootstrap(worker):
+            system.bootstrap(
+                worker,
+                [
+                    Answer(
+                        worker, tid, dataset.task_by_id(tid).ground_truth
+                    )
+                    for tid in system.golden_task_ids()
+                ],
+            )
+        for task_id in system.assign(worker, 2):
+            ell = dataset.task_by_id(task_id).num_choices
+            choice = 1 + (task_id * 3 + arrival) % ell
+            system.submit(Answer(worker, task_id, choice))
+
+
+def _assert_same_state(left, right):
+    for tid in left.database.task_ids():
+        l_state = left._incremental.state(tid)
+        r_state = right._incremental.state(tid)
+        assert np.array_equal(l_state.s, r_state.s), tid
+        assert np.array_equal(l_state.M, r_state.M), tid
+        assert np.array_equal(
+            l_state.log_numerators, r_state.log_numerators
+        ), tid
+    l_workers = sorted(left.quality_store.known_workers())
+    assert l_workers == sorted(right.quality_store.known_workers())
+    for worker in l_workers:
+        l_stats = left.quality_store.get(worker)
+        r_stats = right.quality_store.get(worker)
+        assert np.array_equal(l_stats.quality, r_stats.quality), worker
+        assert np.array_equal(l_stats.weight, r_stats.weight), worker
+    assert len(left._log) == len(right._log)
+    assert left._submissions_since_rerun == right._submissions_since_rerun
+    assert left._bootstrapped == right._bootstrapped
+
+
+def _snapshot_counts(path):
+    conn = sqlite3.connect(path)
+    counts = tuple(
+        conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+        for table in ("snapshot_meta", "snapshot_groups",
+                      "snapshot_workers")
+    )
+    conn.close()
+    return counts
+
+
+class TestSnapshotResume:
+    def test_snapshot_plus_tail_is_bit_identical(self, dataset, tmp_path):
+        """Snapshot mid-campaign, keep going, flush the tail without a
+        newer snapshot, kill — resume must equal the straight-through
+        run exactly and report the snapshot + tail split."""
+        total, snap_at = 36, 17
+        straight = DocsSystem(
+            _config(), storage="sqlite", path=str(tmp_path / "a.db")
+        )
+        straight.prepare(dataset)
+        _drive(straight, dataset, total)
+
+        crash_path = str(tmp_path / "b.db")
+        crashed = DocsSystem(_config(), storage="sqlite", path=crash_path)
+        crashed.prepare(dataset)
+        _drive(crashed, dataset, snap_at)
+        crashed.snapshot()
+        _drive(crashed, dataset, total, start=snap_at)
+        # Make the tail durable WITHOUT a newer snapshot, then "kill".
+        crashed.database.journal.flush()
+
+        resumed = DocsSystem.resume(crash_path, config=_config())
+        assert resumed.resume_info["snapshot_seq"] is not None
+        assert resumed.resume_info["tail_entries"] > 0
+
+        _assert_same_state(straight, resumed)
+        for worker in WORKERS:
+            assert straight.assign(worker, 3) == resumed.assign(worker, 3)
+        assert straight.finalize() == resumed.finalize()
+        straight.close()
+        resumed.close()
+
+    def test_snapshot_resume_matches_full_replay(self, dataset, tmp_path):
+        """The same file resumed with and without its snapshot must
+        produce identical hot state — the snapshot is purely a
+        shortcut."""
+        path = str(tmp_path / "both.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 24)
+        system.close()
+
+        fast = DocsSystem.resume(path, config=_config())
+        assert fast.resume_info["snapshot_seq"] is not None
+        assert fast.resume_info["tail_entries"] == 0
+        fast.close()
+
+        conn = sqlite3.connect(path)
+        conn.execute("DELETE FROM snapshot_meta")
+        conn.commit()
+        conn.close()
+        slow = DocsSystem.resume(path, config=_config())
+        assert slow.resume_info["snapshot_seq"] is None
+        assert slow.resume_info["tail_entries"] > 0
+
+        fast = DocsSystem.resume(path, config=_config())
+        _assert_same_state(slow, fast)
+        for worker in WORKERS:
+            assert slow.assign(worker, 3) == fast.assign(worker, 3)
+        slow.close()
+        fast.close()
+
+    def test_auto_snapshot_triggers_every_n_batches(
+        self, dataset, tmp_path
+    ):
+        path = str(tmp_path / "auto.db")
+        system = DocsSystem(
+            _config(snapshot_every_batches=2),
+            storage="sqlite",
+            path=path,
+        )
+        system.prepare(dataset)
+        assert _snapshot_counts(path)[0] == 0
+        _drive(system, dataset, 20)  # many 8-event batches flush
+        assert system.database.journal.flushed_batches >= 2
+        meta, groups, workers = _snapshot_counts(path)
+        assert meta == 1  # compaction: only the newest image survives
+        assert groups >= 1 and workers >= 1
+        # The campaign keeps running after auto-snapshots.
+        _drive(system, dataset, 24, start=20)
+        system.close()
+        resumed = DocsSystem.resume(
+            path, config=_config(snapshot_every_batches=2)
+        )
+        assert resumed.resume_info["snapshot_seq"] is not None
+        resumed.close()
+
+    def test_live_growth_after_snapshot_resumes(self, dataset, tmp_path):
+        """Tasks added after the snapshot keep fresh state on resume;
+        their post-snapshot answers replay through the tail."""
+        from repro.core.types import Task
+
+        path = str(tmp_path / "grow.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 12)
+        system.snapshot()
+        m = dataset.taxonomy.size
+        new_task = Task(
+            task_id=10_000,
+            text="post-snapshot growth",
+            num_choices=2,
+            domain_vector=np.full(m, 1.0 / m),
+        )
+        system.add_tasks([new_task])
+        system.submit(Answer("w0", 10_000, 1))
+        system.database.journal.flush()
+
+        resumed = DocsSystem.resume(path, config=_config())
+        assert resumed.resume_info["snapshot_seq"] is not None
+        assert 10_000 in resumed._incremental.arena
+        _assert_same_state(system, resumed)
+        system.close()
+        resumed.close()
+
+
+class TestSnapshotFallback:
+    def _campaign(self, dataset, path, arrivals=24):
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, arrivals)
+        system.close()
+
+    def test_corrupt_snapshot_blob_falls_back(self, dataset, tmp_path):
+        path = str(tmp_path / "corrupt.db")
+        self._campaign(dataset, path)
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE snapshot_groups SET S = zeroblob(16)"
+        )
+        conn.commit()
+        conn.close()
+
+        reference = DocsSystem.resume(
+            str(tmp_path / "corrupt.db"), config=_config()
+        )
+        assert reference.resume_info["snapshot_seq"] is None
+        assert reference.resume_info["tail_entries"] > 0
+        # Full replay still reproduces a serving-ready system.
+        assert reference.assign("w0", 3)
+        reference.close()
+
+    def test_corrupt_snapshot_checksum_falls_back(
+        self, dataset, tmp_path
+    ):
+        path = str(tmp_path / "sum.db")
+        self._campaign(dataset, path)
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE snapshot_meta SET rerun_cursor = 999")
+        conn.commit()
+        conn.close()
+        resumed = DocsSystem.resume(path, config=_config())
+        assert resumed.resume_info["snapshot_seq"] is None
+        resumed.close()
+
+    def test_stale_watermark_falls_back(self, dataset, tmp_path):
+        """A snapshot claiming journal rows that were deleted (the
+        documented batch-drop remediation) must be rejected, not
+        trusted."""
+        path = str(tmp_path / "stale.db")
+        self._campaign(dataset, path)
+        conn = sqlite3.connect(path)
+        (bad_batch,) = conn.execute(
+            "SELECT MAX(batch) FROM journal_batches"
+        ).fetchone()
+        conn.execute(
+            "DELETE FROM answers_log WHERE batch = ?", (bad_batch,)
+        )
+        conn.execute(
+            "DELETE FROM journal_batches WHERE batch = ?", (bad_batch,)
+        )
+        conn.commit()
+        conn.close()
+        resumed = DocsSystem.resume(path, config=_config())
+        assert resumed.resume_info["snapshot_seq"] is None
+        resumed.close()
+
+    def test_snapshot_requires_sqlite(self, dataset):
+        from repro.errors import ValidationError
+
+        system = DocsSystem(_config())
+        system.prepare(dataset)
+        with pytest.raises(ValidationError, match="sqlite"):
+            system.snapshot()
