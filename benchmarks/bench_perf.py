@@ -52,6 +52,17 @@ the compacted snapshot (load + empty tail), and once by full journal
 replay (the snapshot rows are deleted first). Both rebuilds must hold
 identical hot state — checked on every run.
 
+**Serve plane** (the AssignmentIndex PR's criteria: ≥5x per-arrival
+assign at n = 100K with a warm index, never slower at n = 10K): builds
+a campaign-warm arena at n, then measures per-arrival assign latency
+for a stable-quality worker while a trickle of answers from other
+workers dirties a handful of rows between arrivals — the steady-state
+read-heavy serving shape. Each arrival runs through both the
+brute-force path (full-pool `arena_benefits` + mask) and the warm
+:class:`repro.core.serving.AssignmentIndex` (cached benefit column
+repaired on only the dirty rows, lazy top-k frontier); the picks must
+be identical on every arrival.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke   # CI gate
@@ -82,6 +93,7 @@ from repro.core.reference import (
     reference_domain_vector,
     reference_infer,
 )
+from repro.core.serving import AssignmentIndex
 from repro.core.truth_inference import TruthInference
 from repro.core.types import Answer, Task
 from repro.kb.concept import Concept
@@ -660,6 +672,132 @@ def compare_resume_at(
     }
 
 
+def compare_serve_at(
+    n: int,
+    seed: int = 7,
+    pre_answers: Optional[int] = None,
+    arrivals: int = 30,
+    answers_per_arrival: int = 10,
+    hit_size: int = 20,
+) -> Dict[str, object]:
+    """Per-arrival assign latency: warm AssignmentIndex vs brute force.
+
+    The workload isolates the steady serving state: a large answered
+    pool, one worker with a stable quality vector requesting HITs, and
+    a small stream of answers from *other* workers between arrivals
+    (each dirties one arena row). The warm index re-evaluates only the
+    dirty rows and selects from its frontier; the brute path evaluates
+    the whole pool. Every arrival's picks are compared — a mismatch is
+    a hard failure, the speedup is only reported for identical picks.
+    """
+    rng = make_rng(seed)
+    tasks = _make_tasks(n, rng)
+    store = WorkerQualityStore(NUM_DOMAINS)
+    for worker_id, quality in _seed_store(rng).items():
+        store.set(worker_id, quality, np.full(NUM_DOMAINS, 2.0))
+    engine = IncrementalTruthInference(store)
+    engine.register_tasks(tasks)
+
+    # Warm the pool: scattered answers so states and benefits vary.
+    # Worker j answers tasks j, j+W, j+2W, ... (no duplicate pairs);
+    # capped at half the pool so the measured arrivals still have
+    # unanswered (worker, task) pairs to dirty rows with.
+    counters = [0] * NUM_WORKERS
+    if pre_answers is None:
+        pre_answers = min(n // 2, 3000)
+    for i in range(pre_answers):
+        j = i % NUM_WORKERS
+        task_id = counters[j] * NUM_WORKERS + j
+        if task_id >= n:
+            break
+        counters[j] += 1
+        engine.submit(
+            Answer(
+                f"w{j}",
+                task_id,
+                int(rng.integers(1, NUM_CHOICES + 1)),
+            )
+        )
+
+    reader_quality = rng.uniform(0.4, 0.95, size=NUM_DOMAINS)
+    brute = TaskAssigner(hit_size=hit_size, masked_fraction=0.0)
+    served = TaskAssigner(hit_size=hit_size)
+    index = AssignmentIndex(engine.arena)
+    served.attach_index(index)
+
+    tic = time.perf_counter()
+    served.assign(engine.arena, reader_quality)  # cold column build
+    cold_seconds = time.perf_counter() - tic
+
+    brute_times: List[float] = []
+    index_times: List[float] = []
+    for arrival in range(arrivals):
+        for i in range(answers_per_arrival):
+            j = (arrival * answers_per_arrival + i) % NUM_WORKERS
+            task_id = counters[j] * NUM_WORKERS + j
+            if task_id >= n:
+                continue
+            counters[j] += 1
+            engine.submit(
+                Answer(
+                    f"w{j}",
+                    task_id,
+                    int(rng.integers(1, NUM_CHOICES + 1)),
+                )
+            )
+        # Level the shared cache state: whichever path runs first would
+        # otherwise absorb the dirty-row entropy refresh for both.
+        engine.arena.refresh_entropies()
+        tic = time.perf_counter()
+        expect = brute.assign(engine.arena, reader_quality)
+        brute_times.append(time.perf_counter() - tic)
+        tic = time.perf_counter()
+        got = served.assign(engine.arena, reader_quality)
+        index_times.append(time.perf_counter() - tic)
+        if got != expect:
+            raise AssertionError(
+                f"n={n}: warm-index picks diverged from brute force at "
+                f"arrival {arrival}"
+            )
+    stats = index.stats()
+    if stats["warm_hits"] != arrivals:
+        raise AssertionError(
+            f"n={n}: expected {arrivals} warm index hits, saw "
+            f"{stats['warm_hits']} — the scenario did not measure the "
+            "warm path"
+        )
+    brute_mean = float(np.mean(brute_times))
+    index_mean = float(np.mean(index_times))
+    return {
+        "num_tasks": n,
+        "num_domains": NUM_DOMAINS,
+        "hit_size": hit_size,
+        "arrivals": arrivals,
+        "answers_per_arrival": answers_per_arrival,
+        "pre_answers": pre_answers,
+        "assign_mean_ms_brute": 1e3 * brute_mean,
+        "assign_mean_ms_index": 1e3 * index_mean,
+        "assign_max_ms_brute": 1e3 * float(np.max(brute_times)),
+        "assign_max_ms_index": 1e3 * float(np.max(index_times)),
+        "cold_build_ms": 1e3 * cold_seconds,
+        "rows_repaired": stats["rows_repaired"],
+        "frontier_selections": stats["frontier_selections"],
+        "full_selections": stats["full_selections"],
+        "speedup_assign": brute_mean / index_mean,
+    }
+
+
+def _report_serve(summary: Dict[str, object]) -> None:
+    print(
+        f"serve  n={summary['num_tasks']:>6d}  "
+        f"assign {summary['assign_mean_ms_brute']:8.2f} -> "
+        f"{summary['assign_mean_ms_index']:7.3f} ms   "
+        f"cold {summary['cold_build_ms']:7.2f} ms   "
+        f"repaired {summary['rows_repaired']:>5d} rows   "
+        f"({summary['speedup_assign']:.1f}x)"
+    )
+
+
 def _report_resume(summary: Dict[str, object]) -> None:
     print(
         f"resume n={summary['num_tasks']:>6d}  "
@@ -725,10 +863,24 @@ def main(argv=None) -> int:
             300, answers_per_task=2, rerun_every=150
         )
         _report_resume(resume_summary)
+        # The serve regression bar runs at full 10K even in smoke: the
+        # warm index must never be slower than brute force there.
+        serve_summary = compare_serve_at(10000, arrivals=10)
+        _report_serve(serve_summary)
+        if serve_summary["speedup_assign"] < 1.0:
+            print(
+                f"FAIL: warm-index assign at n=10K is "
+                f"{serve_summary['speedup_assign']:.2f}x brute force — "
+                "slower than the path it replaces",
+                file=sys.stderr,
+            )
+            return 1
         print(
             "smoke ok: serving paths agree on truths, prepare paths "
             "agree on domain vectors, journaled campaign agrees with "
-            "in-memory, snapshot resume agrees with full replay"
+            "in-memory, snapshot resume agrees with full replay, "
+            "warm-index assign beats brute force at n=10K with "
+            "identical picks"
         )
         return 0
 
@@ -762,6 +914,11 @@ def main(argv=None) -> int:
         )
         _report_resume(resume_summary)
         resume_points.append(resume_summary)
+    serve_points = []
+    for n in (1000, 10000, 100000):
+        serve_summary = compare_serve_at(n)
+        _report_serve(serve_summary)
+        serve_points.append(serve_summary)
     payload = {
         "benchmark": "arena_vs_legacy_serving_path",
         "workload": "synthetic round-robin campaign (see module docstring)",
@@ -792,6 +949,16 @@ def main(argv=None) -> int:
                 "vs by replaying every journal event"
             ),
             "points": resume_points,
+        },
+        "serve": {
+            "benchmark": "assignment_index_vs_brute_force_assign",
+            "workload": (
+                "campaign-warm arena; per-arrival assign for a "
+                "stable-quality worker with 10 answers from other "
+                "workers dirtying rows between arrivals; picks "
+                "verified identical on every arrival"
+            ),
+            "points": serve_points,
         },
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -832,6 +999,26 @@ def main(argv=None) -> int:
         print(
             f"WARNING: 10K resume speedup "
             f"{resume_10k['speedup_resume']:.1f}x below the 5x target",
+            file=sys.stderr,
+        )
+        failed = True
+    serve_100k = next(
+        p for p in serve_points if p["num_tasks"] == 100000
+    )
+    if serve_100k["speedup_assign"] < 5.0:
+        print(
+            f"WARNING: 100K warm-index assign speedup "
+            f"{serve_100k['speedup_assign']:.1f}x below the 5x target",
+            file=sys.stderr,
+        )
+        failed = True
+    serve_10k = next(
+        p for p in serve_points if p["num_tasks"] == 10000
+    )
+    if serve_10k["speedup_assign"] < 1.0:
+        print(
+            f"WARNING: warm-index assign at n=10K is slower than "
+            f"brute force ({serve_10k['speedup_assign']:.2f}x)",
             file=sys.stderr,
         )
         failed = True

@@ -40,15 +40,21 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
     "docs/architecture.md": (
         "## Durability",
         "### Compacted snapshots",
+        "### Journal truncation",
+        "## Serving plane",
+        "AssignmentIndex",
     ),
     "docs/api.md": (
         "worker_store",
         "snapshot",
         "resume",
+        "serve_index",
     ),
     "docs/performance.md": (
         "## Resume",
         "snapshot",
+        "## Serve plane",
+        "AssignmentIndex",
     ),
 }
 

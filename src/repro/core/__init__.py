@@ -8,6 +8,7 @@ Public surface:
 - :class:`repro.core.incremental.IncrementalTruthInference`
 - :class:`repro.core.quality_store.WorkerQualityStore`
 - :class:`repro.core.assignment.TaskAssigner`
+- :class:`repro.core.serving.AssignmentIndex`
 - :func:`repro.core.golden.select_golden_tasks`
 """
 
@@ -26,7 +27,14 @@ from repro.core.truth_inference import (
 )
 from repro.core.incremental import IncrementalTruthInference
 from repro.core.quality_store import WorkerQualityStore
-from repro.core.assignment import TaskAssigner, arena_benefits, task_benefit
+from repro.core.assignment import (
+    TaskAssigner,
+    arena_benefits,
+    arena_benefits_rows,
+    kernel_rows_evaluated,
+    task_benefit,
+)
+from repro.core.serving import AssignmentIndex
 from repro.core.golden import select_golden_tasks, select_golden_counts
 
 __all__ = [
@@ -38,6 +46,9 @@ __all__ = [
     "Task",
     "TaskState",
     "arena_benefits",
+    "arena_benefits_rows",
+    "AssignmentIndex",
+    "kernel_rows_evaluated",
     "DomainVectorEstimator",
     "domain_vector",
     "domain_vector_enumeration",

@@ -30,6 +30,18 @@ on derived values (the cached entropies) call
 :meth:`StateArena.refresh_entropies` first, which recomputes exactly the
 dirty rows in one vectorised pass. See ``docs/performance.md``.
 
+**Write epochs.** The dirty flags are consumed by the first entropy
+refresh, so consumers that maintain *their own* derived state (the
+serving plane's :class:`repro.core.serving.AssignmentIndex` caches
+per-worker benefit columns) instead watch the arena's per-row write
+epochs: every in-place row write — an incremental-TI submit, a full-TI
+resync, a growth block, a snapshot overlay — advances a monotone write
+clock and stamps the touched rows with it
+(:meth:`StateArena.note_write` / :meth:`StateArena.note_writes`).
+A consumer that remembers the epoch at which it last derived a row's
+value can find exactly the rows that changed since with one vectorised
+comparison against :meth:`StateArena.row_epochs`.
+
 :class:`AnswerLog` is the arena's append-only companion: the growing
 ``(task_row, worker_row, choice)`` arrays that let the every-z full TI
 re-run (Section 4.2) start from ready-made index arrays instead of
@@ -310,6 +322,9 @@ class StateArena:
         self._ells = np.zeros(INITIAL_CAPACITY, dtype=np.int64)
         self._group_rows = np.zeros(INITIAL_CAPACITY, dtype=np.int64)
         self._count = 0
+        #: Per-row write epochs (global-row indexed) + the write clock.
+        self._epochs = np.zeros(INITIAL_CAPACITY, dtype=np.int64)
+        self._clock = 0
 
     # -- registration ----------------------------------------------------
 
@@ -354,6 +369,8 @@ class StateArena:
         self._reserve_global(global_row + 1)
         self._R_all[global_row] = r
         self._ells[global_row] = task.num_choices
+        self._clock += 1
+        self._epochs[global_row] = self._clock
         self._count += 1
         self._order.append(task.task_id)
 
@@ -374,7 +391,7 @@ class StateArena:
         grown_R = np.zeros((capacity, self._m))
         grown_R[: self._count] = self._R_all[: self._count]
         self._R_all = grown_R
-        for name in ("_ells", "_group_rows"):
+        for name in ("_ells", "_group_rows", "_epochs"):
             old = getattr(self, name)
             grown = np.zeros(capacity, dtype=np.int64)
             grown[: self._count] = old[: self._count]
@@ -442,6 +459,8 @@ class StateArena:
         base = self._count
         self._reserve_global(base + len(tasks))
         self._R_all[base:base + len(tasks)] = R
+        self._clock += 1
+        self._epochs[base:base + len(tasks)] = self._clock
         self._count += len(tasks)
 
         by_ell: Dict[int, List[int]] = {}
@@ -542,12 +561,51 @@ class StateArena:
     def mark_dirty(self, task_id: int) -> None:
         """Flag a row's cached entropy as stale after an in-place write."""
         group, row = self.location(task_id)
-        group.dirty[row] = True
+        self.note_write(group, row)
 
     def mark_all_dirty(self) -> None:
         """Flag every row (bulk resync from full inference)."""
+        self._clock += 1
+        self._epochs[: self._count] = self._clock
         for group in self._groups.values():
             group.dirty[: group.count] = True
+
+    def note_write(self, group: ChoiceGroup, row: int) -> None:
+        """Record one in-place row write at a known (group, row) address.
+
+        The writer-side hot-path hook: flags the row's cached entropy
+        stale and stamps its write epoch. Writers that already hold the
+        row address (the incremental updater) call this instead of
+        :meth:`mark_dirty` to skip the id lookup.
+        """
+        group.dirty[row] = True
+        self._clock += 1
+        self._epochs[group.global_rows[row]] = self._clock
+
+    def note_writes(self, global_rows: np.ndarray) -> None:
+        """Stamp a block of rows with one new write epoch.
+
+        The bulk counterpart of :meth:`note_write` for block writers
+        (full-TI resyncs); entropy dirty flags are the caller's business
+        — group-level writers already set them per block.
+        """
+        self._clock += 1
+        self._epochs[global_rows] = self._clock
+
+    def row_epochs(self) -> np.ndarray:
+        """Per-row write epochs, registration-ordered (read-only view).
+
+        A row's epoch changes (strictly increases) whenever its state
+        buffers are written in place or registered; consumers caching
+        row-derived values compare remembered stamps against this view
+        to find exactly the rows that changed.
+        """
+        return self._epochs[: self._count]
+
+    @property
+    def write_clock(self) -> int:
+        """The arena-wide monotone write clock (0 before any write)."""
+        return self._clock
 
     def refresh_entropies(self) -> None:
         """Bring every group's cached ``H(s)`` up to date."""
@@ -639,6 +697,7 @@ class StateArena:
             group.logN[:count] = state.logN
             group.H[:count] = state.H
             group.dirty[:count] = state.dirty
+            self.note_writes(group.global_rows[:count])
 
 
 class AnswerLog:

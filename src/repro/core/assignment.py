@@ -13,18 +13,35 @@ For a coming worker with quality ``q`` and a candidate task with state
   benefits, so the optimal HIT is the top-k by benefit — selected in
   linear time (:func:`repro.utils.topk.top_k_indices`).
 
-Three implementations are provided, all returning identical benefits:
+Four implementations are provided, all returning identical benefits:
 
 - :func:`task_benefit` — the readable per-task reference path;
 - :func:`batch_benefits` — vectorised over a list of detached
   :class:`repro.core.types.TaskState` objects (stacks them per call);
-- :func:`arena_benefits` — the serving path: computes straight on a
+- :func:`arena_benefits` — the full-pool path: computes straight on a
   :class:`repro.core.arena.StateArena`'s persistent choice-grouped
   buffers. No candidate list is built and nothing is stacked — prior
   entropies come from the arena's dirty-row cache and ineligible tasks
   are masked with a boolean row mask, which is what keeps a worker
   arrival O(n) in ndarray work (Fig. 8(c)) instead of O(n) in Python
-  object traffic.
+  object traffic;
+- :func:`arena_benefits_rows` — the same kernel over an explicit row
+  subset (gathered per choice group). Row-for-row bit-identical to
+  :func:`arena_benefits` — the kernel is elementwise/per-slice, so a
+  row's result does not depend on which other rows share the batch —
+  which is what lets the serving plane evaluate only dirty or
+  budget-eligible rows and still make brute-force-identical picks.
+
+:class:`TaskAssigner` picks the serving strategy per arrival: a small
+eligible set (a budget-capped campaign tail) gets the row-subset
+kernel, an attached :class:`repro.core.serving.AssignmentIndex` serves
+warm workers from cached benefit columns, and the full-pool evaluation
+remains both the fallback and the equivalence oracle.
+
+Every kernel invocation adds the rows it evaluated to a module-level
+counter (:func:`kernel_rows_evaluated`), so tests can assert that a
+serving strategy did sub-O(n) work rather than merely returning the
+right answer quickly.
 """
 
 from __future__ import annotations
@@ -47,6 +64,27 @@ logger = logging.getLogger(__name__)
 #: The paper batches k = 20 tasks per HIT on AMT (Section 5), and k = 3
 #: per method in the parallel-comparison experiments (Section 6.1).
 DEFAULT_HIT_SIZE = 20
+
+#: Eligible sets smaller than this fraction of the pool are served by
+#: the row-subset kernel instead of a full-pool evaluation plus mask.
+DEFAULT_MASKED_FRACTION = 0.25
+
+#: Running count of task rows pushed through the Eq. 8 kernel — the
+#: serving plane's work meter (see :func:`kernel_rows_evaluated`).
+_kernel_rows_evaluated = 0
+
+
+def kernel_rows_evaluated() -> int:
+    """Total task rows evaluated by the benefit kernel so far.
+
+    Every (n, m, l) kernel block adds its n to this process-wide
+    counter, whichever caller ran it (full-pool, row-subset, or the
+    AssignmentIndex). Regression tests snapshot it before and after an
+    operation to assert *how much* kernel work was done — e.g. that a
+    budget-capped assignment over 10 eligible tasks evaluated ~10 rows,
+    not the whole pool.
+    """
+    return _kernel_rows_evaluated
 
 
 def predict_answer_distribution(
@@ -149,6 +187,8 @@ def _entropy_benefits(
     Returns:
         (n,) benefits.
     """
+    global _kernel_rows_evaluated
+    _kernel_rows_evaluated += M.shape[0]
     if scratch is None:
         scratch = tuple(np.empty_like(M) for _ in range(3))
     pd, weights, D = scratch
@@ -233,6 +273,50 @@ def arena_benefits(arena: StateArena, quality: np.ndarray) -> np.ndarray:
     return benefits
 
 
+def arena_benefits_rows(
+    arena: StateArena, quality: np.ndarray, global_rows: np.ndarray
+) -> np.ndarray:
+    """Benefits for an explicit subset of arena rows.
+
+    Gathers each choice group's ``R`` / ``M`` / ``H`` slices for only
+    the requested rows and runs the same closed-form kernel, so the
+    cost is O(|rows| * m * l) regardless of pool size. The kernel is
+    elementwise and per-slice, so every returned value is bit-identical
+    to the corresponding entry of :func:`arena_benefits` — the serving
+    plane relies on this to mix cached full-pool columns with
+    per-arrival subset evaluations.
+
+    Args:
+        arena: the state arena.
+        quality: the coming worker's quality vector (clipped
+            internally).
+        global_rows: (d,) arena registration indices to evaluate.
+
+    Returns:
+        (d,) benefits aligned with ``global_rows``.
+    """
+    arena.refresh_entropies()
+    q = np.clip(np.asarray(quality, dtype=float), QUALITY_FLOOR, QUALITY_CEIL)
+    global_rows = np.asarray(global_rows, dtype=np.int64)
+    benefits = np.empty(global_rows.shape[0], dtype=float)
+    if global_rows.shape[0] == 0:
+        return benefits
+    ells = arena.choice_counts()[global_rows]
+    for group in arena.iter_groups():
+        compact = np.flatnonzero(ells == group.ell)
+        if compact.size == 0:
+            continue
+        rows = arena.group_rows_at(global_rows[compact])
+        benefits[compact] = _entropy_benefits(
+            group.R[rows],
+            group.M[rows],
+            group.H[rows],
+            q,
+            group.ell,
+        )
+    return benefits
+
+
 class TaskAssigner:
     """The OTA module: pick the k highest-benefit unanswered tasks.
 
@@ -244,15 +328,29 @@ class TaskAssigner:
             sets against a stale task pool; ``False`` (default) logs a
             warning and skips them, ``True`` raises ``ValidationError``
             naming the ids.
+        masked_fraction: eligible sets at or below this fraction of the
+            pool are served by the row-subset kernel
+            (:func:`arena_benefits_rows`) instead of a full-pool
+            evaluation plus mask — the budget-capped-tail fast path.
+            ``0`` disables it (always evaluate the whole pool).
     """
 
     def __init__(
-        self, hit_size: int = DEFAULT_HIT_SIZE, strict_ids: bool = False
+        self,
+        hit_size: int = DEFAULT_HIT_SIZE,
+        strict_ids: bool = False,
+        masked_fraction: float = DEFAULT_MASKED_FRACTION,
     ):
         if hit_size < 1:
             raise ValidationError(f"hit_size must be >= 1: {hit_size}")
+        if not 0.0 <= masked_fraction <= 1.0:
+            raise ValidationError(
+                f"masked_fraction must be in [0, 1]: {masked_fraction}"
+            )
         self._hit_size = hit_size
         self._strict_ids = strict_ids
+        self._masked_fraction = masked_fraction
+        self._index = None
 
     @property
     def hit_size(self) -> int:
@@ -263,6 +361,21 @@ class TaskAssigner:
     def strict_ids(self) -> bool:
         """Whether unknown candidate ids raise instead of being skipped."""
         return self._strict_ids
+
+    @property
+    def index(self):
+        """The attached serving-plane index, if any."""
+        return self._index
+
+    def attach_index(self, index) -> None:
+        """Serve arena assignments through an
+        :class:`repro.core.serving.AssignmentIndex`.
+
+        The index must be built over the same arena the assigner is
+        queried with; arenas it does not cover fall back to the
+        brute-force path. Pass ``None`` to detach.
+        """
+        self._index = index
 
     def assign(
         self,
@@ -320,39 +433,117 @@ class TaskAssigner:
         hit_size: int,
         eligible: Optional[Set[int]],
     ) -> List[int]:
-        """Arena fast path: benefits on persistent buffers + row mask."""
+        """Arena path: pick a serving strategy, all brute-identical.
+
+        1. a small ``eligible`` set (budget-capped tail) → row-subset
+           kernel over only the candidates;
+        2. an attached :class:`repro.core.serving.AssignmentIndex`
+           covering this arena → cached benefit columns patched on
+           dirty rows only;
+        3. otherwise → the brute-force oracle: full-pool kernel plus
+           row mask.
+        """
         n = len(arena)
         if n == 0:
             return []
-        mask = np.ones(n, dtype=bool)
+        excluded: Set[int] = set()
         if answered_by_worker:
-            mask[
+            excluded = set(
                 _arena_rows(
                     arena,
                     answered_by_worker,
                     strict=self._strict_ids,
                     label="answered_by_worker",
                 )
-            ] = False
+            )
+        eligible_rows: Optional[Set[int]] = None
         if eligible is not None:
-            allowed = np.zeros(n, dtype=bool)
-            allowed[
+            eligible_rows = set(
                 _arena_rows(
                     arena,
                     eligible,
                     strict=self._strict_ids,
                     label="eligible",
                 )
-            ] = True
-            mask &= allowed
-        available = int(mask.sum())
+            )
+        if eligible_rows is not None:
+            candidates = eligible_rows - excluded
+            available = len(candidates)
+        else:
+            candidates = None
+            available = n - len(excluded)
         if available == 0:
             return []
-        benefits = arena_benefits(arena, worker_quality)
-        benefits[~mask] = -np.inf
         take = min(hit_size, available)
-        chosen = top_k_indices(benefits, take)
+
+        if (
+            candidates is not None
+            and available <= self._masked_fraction * n
+        ):
+            # Budget-capped tail: evaluate the kernel for only the
+            # candidate rows. Ascending row order keeps tie-breaking
+            # identical to the full-pool path (ascending global row).
+            rows = np.fromiter(
+                sorted(candidates), dtype=np.int64, count=available
+            )
+            benefits = arena_benefits_rows(arena, worker_quality, rows)
+            chosen = rows[top_k_indices(benefits, take)]
+            return [arena.task_id_at(int(row)) for row in chosen]
+
+        index = self._index
+        if index is not None and index.arena is arena:
+            chosen = index.select(
+                worker_quality, take, excluded, eligible_rows, available
+            )
+            return [arena.task_id_at(int(row)) for row in chosen]
+
+        return self._assign_brute(
+            arena, worker_quality, excluded, eligible_rows, take
+        )
+
+    def _assign_brute(
+        self,
+        arena: StateArena,
+        worker_quality: np.ndarray,
+        excluded: Set[int],
+        eligible_rows: Optional[Set[int]],
+        take: int,
+    ) -> List[int]:
+        """The equivalence oracle: full-pool benefits + row mask."""
+        benefits = arena_benefits(arena, worker_quality)
+        chosen = masked_top_k(benefits, take, excluded, eligible_rows)
         return [arena.task_id_at(int(row)) for row in chosen]
+
+
+def masked_top_k(
+    benefits: np.ndarray,
+    take: int,
+    excluded_rows: Set[int],
+    eligible_rows: Optional[Set[int]],
+) -> np.ndarray:
+    """-inf-mask a benefit array and pick its top ``take`` rows.
+
+    The one shared selection tail of the brute-force oracle and the
+    index's full-column fallback — kept single so the two paths cannot
+    drift apart on masking or tie-breaking semantics (the exactness
+    contract depends on them being identical). ``benefits`` is masked
+    **in place**; pass a copy to keep the original.
+    """
+    if excluded_rows:
+        benefits[
+            np.fromiter(
+                excluded_rows, dtype=np.int64, count=len(excluded_rows)
+            )
+        ] = -np.inf
+    if eligible_rows is not None:
+        allowed = np.zeros(benefits.shape[0], dtype=bool)
+        allowed[
+            np.fromiter(
+                eligible_rows, dtype=np.int64, count=len(eligible_rows)
+            )
+        ] = True
+        benefits[~allowed] = -np.inf
+    return top_k_indices(benefits, take)
 
 
 def _arena_rows(

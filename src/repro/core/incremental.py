@@ -14,8 +14,14 @@ touched task and workers change:
 
 All task state lives in a :class:`repro.core.arena.StateArena`: the
 update writes the task's ``logN`` / ``M`` / ``S`` rows in place and
-marks the row dirty (stale cached entropy) — no per-task arrays are
-allocated on the submit path.
+publishes the write through the arena's dirty-row machinery
+(:meth:`repro.core.arena.StateArena.note_write` — stale cached entropy
+*and* a fresh write epoch) — no per-task arrays are allocated on the
+submit path. The per-answer touched-row delta is deliberately tiny:
+Step 1 dirties exactly one arena row (Step 2 moves worker qualities,
+not task state), which is what lets the serving plane's
+:class:`repro.core.serving.AssignmentIndex` refresh cached benefit
+columns row-wise instead of rescanning the pool.
 
 The incremental pass trades some quality for instant updates; DOCS
 re-runs the full iterative TI every ``z`` submissions (z = 100 in the
@@ -184,7 +190,7 @@ class IncrementalTruthInference:
             numerator, numerator.sum(axis=1, keepdims=True), out=M
         )
         np.matmul(r, M, out=s)
-        group.dirty[row] = True
+        self._arena.note_write(group, row)
 
         # Step 2a: update the answering worker via Theorem 1's merge with
         # a single-task batch (q = s_a on this task, u = r).
@@ -234,7 +240,7 @@ class IncrementalTruthInference:
             group.M[row] = M
             group.S[row] = np.asarray(truth, dtype=float)
             group.logN[row] = np.log(np.clip(M, 1e-300, None))
-            group.dirty[row] = True
+            self._arena.note_write(group, row)
         for worker_id, quality in worker_qualities.items():
             self._store.set(
                 worker_id,
@@ -261,6 +267,9 @@ class IncrementalTruthInference:
             group.S[group_rows] = result.S[compact][:, : group.ell]
             group.logN[group_rows] = np.log(np.clip(M, 1e-300, None))
             group.dirty[group_rows] = True
+        # One block-write epoch for the whole resync: consumers caching
+        # row-derived values (the AssignmentIndex) see every touched row.
+        self._arena.note_writes(result.task_rows)
         for worker_row, worker_id in enumerate(result.worker_ids):
             self._store.set(
                 worker_id,

@@ -1,0 +1,371 @@
+"""Sub-O(n) serving plane: incremental benefit maintenance.
+
+Every worker arrival in DOCS ranks tasks by the Eq. 8 expected entropy
+reduction (Theorems 2–4). The arena made that ranking O(n) in *ndarray*
+work; this module removes the n itself from the steady state. The
+observation (the same one behind incremental view maintenance in HTAP
+designs such as Polynesia): one answer moves exactly one task's
+``(M, s)`` row, so of the n benefit values a worker saw on her last
+arrival, all but a handful are still exact. :class:`AssignmentIndex`
+therefore keeps, per worker-quality bucket, a **maintained benefit
+column** over the arena and repairs it instead of recomputing it:
+
+- **benefit columns** — a full-pool benefit array computed once per
+  distinct quality vector, stamped row-by-row with the arena's write
+  epochs (:meth:`repro.core.arena.StateArena.row_epochs`). On the next
+  arrival a vectorised stamp comparison yields exactly the dirty rows,
+  and only those go through the Eq. 8 kernel
+  (:func:`repro.core.assignment.arena_benefits_rows`).
+- **quality buckets** — columns are keyed by the worker's quality
+  vector *quantised* to a configurable granularity, which bounds the
+  number of live columns (similar workers share one slot; an LRU cap
+  bounds the total). Exactness is never traded: a column is reused
+  only when the incoming quality is bit-identical to the one it was
+  computed with — a quantisation-mate with a different exact quality
+  evicts and recomputes the slot.
+- **lazy top-k frontier** — per column, the rows of the top-F benefits
+  plus a threshold ``tau`` with the invariant *every row outside the
+  frontier has benefit <= tau*. Dirty rows whose fresh benefit exceeds
+  ``tau`` join the frontier; selection then argpartitions only the
+  frontier instead of the pool, and falls back to a full-column
+  selection (zero kernel work — the column is already repaired)
+  whenever the frontier cannot *prove* the pick is exact: fewer
+  eligible frontier rows than requested, or a k-th benefit that does
+  not strictly beat ``tau`` (a tie at ``tau`` could hide a lower-index
+  row outside the frontier). Every fallback doubles as a frontier
+  rebuild, so a drifting benefit landscape re-tightens ``tau``.
+
+Invalidation is entirely epoch-driven, so the index never needs to be
+told what happened: an incremental-TI submit dirties one row, a
+full-TI resync dirties the rows it rewrote, ``StateArena.grow`` stamps
+the new block, and a snapshot overlay stamps everything it restored.
+When most of the pool is dirty (right after a full-TI re-run) the
+repair degenerates to one full-pool evaluation — exactly the
+brute-force cost, never more than a constant factor of it.
+
+**Exactness contract.** For identical arena state, quality, exclusion
+sets, and k, :meth:`AssignmentIndex.select` returns bit-identical
+picks, in the same order, as the brute-force
+``arena_benefits`` + mask + ``top_k_indices`` path — including
+tie-breaking (ascending global row). The property suite
+(``tests/core/test_serving_equivalence.py``) drives both paths through
+random answer streams, live growth, quality drift, and snapshot resume
+to hold that line.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.core.arena import StateArena
+from repro.core.assignment import (
+    arena_benefits,
+    arena_benefits_rows,
+    masked_top_k,
+)
+from repro.core.truth_inference import QUALITY_CEIL, QUALITY_FLOOR
+from repro.errors import ValidationError
+from repro.utils.topk import top_k_indices
+
+#: Default quantisation step for quality-bucket keys.
+DEFAULT_BUCKET_GRANULARITY = 0.05
+#: Default frontier size F (rows kept per cached column).
+DEFAULT_FRONTIER_SIZE = 64
+#: Default cap on live cached columns (LRU beyond it).
+DEFAULT_MAX_BUCKETS = 16
+
+
+class _BenefitColumn:
+    """One cached full-pool benefit column for one exact quality.
+
+    Attributes:
+        quality: the exact (clipped) quality vector the column was
+            computed with.
+        quality_bytes: its byte image — the reuse guard.
+        benefits: (capacity,) cached benefits, valid for rows whose
+            ``stamps`` entry matches the arena's current epoch.
+        stamps: (capacity,) arena write epochs at computation time.
+        in_frontier: (capacity,) membership mask of the lazy top-k
+            frontier.
+        frontier_count: live frontier rows.
+        tau: upper bound on every non-frontier row's benefit
+            (``-inf`` when the frontier covers the whole pool).
+    """
+
+    __slots__ = (
+        "quality",
+        "quality_bytes",
+        "benefits",
+        "stamps",
+        "in_frontier",
+        "frontier_count",
+        "tau",
+    )
+
+    def __init__(self, quality: np.ndarray, capacity: int):
+        self.quality = quality
+        self.quality_bytes = quality.tobytes()
+        self.benefits = np.zeros(capacity, dtype=float)
+        self.stamps = np.zeros(capacity, dtype=np.int64)
+        self.in_frontier = np.zeros(capacity, dtype=bool)
+        self.frontier_count = 0
+        self.tau = -np.inf
+
+    def reserve(self, needed: int) -> None:
+        """Grow the per-row arrays (zero-stamped, so new rows read as
+        dirty — arena epochs start at 1)."""
+        capacity = self.benefits.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("benefits", "stamps", "in_frontier"):
+            old = getattr(self, name)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            grown[: old.shape[0]] = old
+            setattr(self, name, grown)
+
+
+class AssignmentIndex:
+    """Maintained benefit columns + lazy top-k over a state arena.
+
+    Args:
+        arena: the arena whose rows are indexed; the index reads the
+            arena's buffers and write epochs but never writes them.
+        bucket_granularity: quality quantisation step for bucket keys.
+            Smaller keeps more distinct columns alive (more reuse,
+            more memory); larger makes similar workers share one slot.
+        frontier_size: F, the rows cached in each column's top-k
+            frontier. Must comfortably exceed the typical HIT size k —
+            a too-small frontier stays exact but falls back to
+            full-column selection more often.
+        max_buckets: live column cap; least-recently-used columns are
+            evicted beyond it.
+    """
+
+    def __init__(
+        self,
+        arena: StateArena,
+        *,
+        bucket_granularity: float = DEFAULT_BUCKET_GRANULARITY,
+        frontier_size: int = DEFAULT_FRONTIER_SIZE,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ):
+        if bucket_granularity <= 0:
+            raise ValidationError("bucket_granularity must be positive")
+        if frontier_size < 1:
+            raise ValidationError("frontier_size must be >= 1")
+        if max_buckets < 1:
+            raise ValidationError("max_buckets must be >= 1")
+        self._arena = arena
+        self._granularity = bucket_granularity
+        self._frontier_size = frontier_size
+        #: Fallbacks rebuild the frontier, so growth past this only
+        #: happens between fallbacks; cap it to bound candidate scans.
+        self._frontier_limit = 2 * frontier_size
+        self._max_buckets = max_buckets
+        self._columns: "OrderedDict[bytes, _BenefitColumn]" = OrderedDict()
+        #: Telemetry, surfaced via :meth:`stats`.
+        self._cold_builds = 0
+        self._warm_hits = 0
+        self._rows_repaired = 0
+        self._full_selections = 0
+        self._frontier_selections = 0
+
+    @property
+    def arena(self) -> StateArena:
+        """The indexed arena."""
+        return self._arena
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for observability and tests.
+
+        ``cold_builds`` (full-column computations), ``warm_hits``
+        (arrivals served from a cached column), ``rows_repaired``
+        (dirty rows re-evaluated on warm hits), ``frontier_selections``
+        vs ``full_selections`` (which top-k path picked), and
+        ``buckets`` (live cached columns).
+        """
+        return {
+            "cold_builds": self._cold_builds,
+            "warm_hits": self._warm_hits,
+            "rows_repaired": self._rows_repaired,
+            "frontier_selections": self._frontier_selections,
+            "full_selections": self._full_selections,
+            "buckets": len(self._columns),
+        }
+
+    # -- column maintenance ----------------------------------------------
+
+    def _bucket_key(self, quality: np.ndarray) -> bytes:
+        return np.floor(quality / self._granularity).astype(
+            np.int64
+        ).tobytes()
+
+    def _build_frontier(self, column: _BenefitColumn, n: int) -> None:
+        """(Re)compute the exact top-F frontier and its ``tau``."""
+        column.in_frontier[:] = False
+        if n <= self._frontier_size:
+            column.in_frontier[:n] = True
+            column.frontier_count = n
+            column.tau = -np.inf
+            return
+        benefits = column.benefits[:n]
+        top = np.argpartition(benefits, n - self._frontier_size)[
+            n - self._frontier_size:
+        ]
+        column.in_frontier[top] = True
+        column.frontier_count = top.shape[0]
+        column.tau = float(benefits[top].min())
+
+    def _column_for(self, quality: np.ndarray) -> _BenefitColumn:
+        """Return a fully repaired column for this exact quality."""
+        arena = self._arena
+        n = len(arena)
+        q = np.clip(
+            np.asarray(quality, dtype=float), QUALITY_FLOOR, QUALITY_CEIL
+        )
+        key = self._bucket_key(q)
+        column = self._columns.get(key)
+        epochs = arena.row_epochs()
+        if column is not None and (
+            column.quality_bytes == q.tobytes()
+        ):
+            self._columns.move_to_end(key)
+            column.reserve(n)
+            dirty = np.flatnonzero(column.stamps[:n] != epochs)
+            if dirty.size:
+                self._repair(column, dirty, epochs, n)
+            self._warm_hits += 1
+            return column
+        # Cold: compute the whole column for this exact quality (also
+        # the path for a quantisation-mate with a different quality —
+        # it takes over the bucket slot).
+        column = _BenefitColumn(q, max(n, 1))
+        column.benefits[:n] = arena_benefits(arena, q)
+        column.stamps[:n] = epochs
+        self._build_frontier(column, n)
+        self._columns[key] = column
+        self._columns.move_to_end(key)
+        while len(self._columns) > self._max_buckets:
+            self._columns.popitem(last=False)
+        self._cold_builds += 1
+        return column
+
+    def _repair(
+        self,
+        column: _BenefitColumn,
+        dirty: np.ndarray,
+        epochs: np.ndarray,
+        n: int,
+    ) -> None:
+        """Re-evaluate only the dirty rows and patch the frontier."""
+        arena = self._arena
+        if dirty.size >= n // 2:
+            # Most of the pool moved (a full-TI resync): one full-pool
+            # pass beats many gathers, and the frontier is stale anyway.
+            column.benefits[:n] = arena_benefits(arena, column.quality)
+            column.stamps[:n] = epochs
+            self._build_frontier(column, n)
+            self._rows_repaired += n
+            return
+        fresh = arena_benefits_rows(arena, column.quality, dirty)
+        column.benefits[dirty] = fresh
+        column.stamps[dirty] = epochs[dirty]
+        self._rows_repaired += int(dirty.size)
+        # Frontier upkeep: a repaired row whose benefit now exceeds tau
+        # must join (the invariant covers only non-frontier rows <= tau;
+        # rows already inside stay — values may drop, membership may
+        # not, or the invariant would silently break for them).
+        if column.tau == -np.inf and column.frontier_count >= n:
+            return
+        rising = dirty[fresh > column.tau]
+        if rising.size:
+            newcomers = rising[~column.in_frontier[rising]]
+            if newcomers.size:
+                column.in_frontier[newcomers] = True
+                column.frontier_count += int(newcomers.size)
+
+    # -- selection --------------------------------------------------------
+
+    def select(
+        self,
+        quality: np.ndarray,
+        take: int,
+        excluded_rows: Set[int],
+        eligible_rows: Optional[Set[int]],
+        available: int,
+    ) -> List[int]:
+        """Top-``take`` arena rows by benefit, brute-force identical.
+
+        Args:
+            quality: the arriving worker's quality vector.
+            take: rows to return (the caller already clamped it to the
+                available candidate count).
+            excluded_rows: arena rows the worker may not receive
+                (already-answered tasks).
+            eligible_rows: if given, restrict candidates to these rows.
+            available: |candidates| as the caller computed it — used to
+                prove the frontier saw every candidate.
+
+        Returns:
+            Global rows sorted by descending benefit (ties: ascending
+            row), exactly as the brute-force path would order them.
+        """
+        if take <= 0:
+            return []
+        column = self._column_for(quality)
+        n = len(self._arena)
+        if column.frontier_count > self._frontier_limit:
+            return self._select_full(
+                column, take, excluded_rows, eligible_rows, n
+            )
+        cand = np.flatnonzero(column.in_frontier[:n])
+        if excluded_rows or eligible_rows is not None:
+            keep = [
+                int(row)
+                for row in cand
+                if row not in excluded_rows
+                and (eligible_rows is None or row in eligible_rows)
+            ]
+            cand = np.asarray(keep, dtype=np.int64)
+        if cand.shape[0] < take:
+            return self._select_full(
+                column, take, excluded_rows, eligible_rows, n
+            )
+        values = column.benefits[cand]
+        order = top_k_indices(values, take)
+        kth = float(values[order[-1]])
+        # Exact unless a non-frontier row could tie or beat the k-th
+        # pick: impossible when the frontier covers every candidate, or
+        # when the k-th benefit strictly beats the frontier bound.
+        proven = (
+            column.tau == -np.inf
+            or cand.shape[0] == available
+            or kth > column.tau
+        )
+        if not proven:
+            return self._select_full(
+                column, take, excluded_rows, eligible_rows, n
+            )
+        self._frontier_selections += 1
+        return [int(cand[i]) for i in order]
+
+    def _select_full(
+        self,
+        column: _BenefitColumn,
+        take: int,
+        excluded_rows: Set[int],
+        eligible_rows: Optional[Set[int]],
+        n: int,
+    ) -> List[int]:
+        """Full-column selection (no kernel work) + frontier rebuild."""
+        self._full_selections += 1
+        self._build_frontier(column, n)
+        chosen = masked_top_k(
+            column.benefits[:n].copy(), take, excluded_rows, eligible_rows
+        )
+        return [int(row) for row in chosen]

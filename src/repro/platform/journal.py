@@ -27,6 +27,20 @@ buffers, incremental-TI posteriors, worker qualities, rerun cursors — by
 re-applying every event through the same code paths a live campaign
 uses.
 
+**Truncation.** Once a compacted snapshot covers a prefix of the
+journal, the CRC-checked batch machinery is pure overhead for those
+rows: their serving-plane effect lives in the snapshot, and only the
+answer-index rebuild still reads them. :meth:`AnswerJournal.
+truncate_through` therefore moves whole batches at or below the
+snapshot watermark into a compact ``answers_archive`` table (answer
+rows only — bootstrap events need nothing once snapshotted) and
+deletes them from ``answers_log``/``journal_batches``, keeping
+:meth:`validate` and tail replay O(tail) on long campaigns.
+:meth:`committed_answers_through` reads archive and live rows
+together, so the snapshot-resume index rebuild is unchanged; a *full*
+replay of a truncated journal is impossible by construction and is
+refused loudly.
+
 :class:`JournaledAnswerTable` adapts the journal to the
 :class:`repro.platform.storage.AnswerTable` interface: reads and the
 at-most-once constraint are served synchronously from an in-memory
@@ -67,6 +81,13 @@ CREATE TABLE IF NOT EXISTS journal_batches (
     last_seq  INTEGER NOT NULL,
     row_count INTEGER NOT NULL,
     checksum  INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS answers_archive (
+    seq       INTEGER PRIMARY KEY,
+    task_row  INTEGER NOT NULL,
+    task_id   INTEGER NOT NULL,
+    worker_id TEXT NOT NULL,
+    choice    INTEGER NOT NULL
 );
 """
 
@@ -148,7 +169,12 @@ class AnswerJournal:
             "SELECT COALESCE(MAX(last_seq), -1), "
             "COALESCE(MAX(batch), -1) FROM journal_batches"
         ).fetchone()
-        self._next_seq = max(int(row[0]), int(meta[0])) + 1
+        # The archive holds truncated seqs; a fully truncated journal
+        # must not restart the seq space on top of them.
+        (archived,) = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), -1) FROM answers_archive"
+        ).fetchone()
+        self._next_seq = max(int(row[0]), int(meta[0]), int(archived)) + 1
         self._next_batch = max(int(row[1]), int(meta[1])) + 1
         #: (kind, task_row, task_id, worker_id, choice, ts) awaiting flush.
         self._pending: List[Tuple] = []
@@ -318,6 +344,68 @@ class AnswerJournal:
         self._pending.clear()
         return len(rows)
 
+    # -- truncation ------------------------------------------------------
+
+    @property
+    def archived_through(self) -> int:
+        """Highest seq moved to the archive (-1 when never truncated).
+
+        Journal rows at or below this seq no longer exist in
+        ``answers_log``; their snapshot carries their effect and the
+        archive carries their answer columns.
+        """
+        (seq,) = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), -1) FROM answers_archive"
+        ).fetchone()
+        return int(seq)
+
+    def truncate_through(self, watermark: int) -> int:
+        """Archive and drop whole batches at or below a seq watermark.
+
+        Called after a snapshot with that watermark commits: answer
+        rows move into ``answers_archive`` (bootstrap rows and markers
+        are dropped — their whole effect lives in the snapshot's worker
+        tables), and the covered batch records go with them, so
+        :meth:`validate` and :meth:`replay` walk only the surviving
+        tail. Only batches whose ``last_seq`` is at or below the
+        watermark are touched — a batch is the CRC unit and is never
+        torn. One transaction; idempotent (a second call with the same
+        watermark finds nothing left to move).
+
+        Args:
+            watermark: a snapshot's ``journal_seq`` — every row at or
+                below it must already be covered by a durable snapshot,
+                or the campaign's truncated prefix becomes
+                unrecoverable.
+
+        Returns:
+            Journal rows removed from ``answers_log``.
+        """
+        if watermark < 0:
+            return 0
+        with self._conn:
+            (cut,) = self._conn.execute(
+                "SELECT COALESCE(MAX(last_seq), -1) FROM journal_batches "
+                "WHERE last_seq <= ?",
+                (watermark,),
+            ).fetchone()
+            if cut < 0:
+                return 0
+            self._conn.execute(
+                "INSERT INTO answers_archive "
+                "(seq, task_row, task_id, worker_id, choice) "
+                "SELECT seq, task_row, task_id, worker_id, choice "
+                "FROM answers_log WHERE seq <= ? AND kind = ?",
+                (cut, KIND_ANSWER),
+            )
+            removed = self._conn.execute(
+                "DELETE FROM answers_log WHERE seq <= ?", (cut,)
+            ).rowcount
+            self._conn.execute(
+                "DELETE FROM journal_batches WHERE last_seq <= ?", (cut,)
+            )
+        return int(removed)
+
     # -- read side -------------------------------------------------------
 
     def committed_answers_through(
@@ -328,12 +416,17 @@ class AnswerJournal:
         The snapshot-resume fast path: pre-watermark answers only
         rebuild in-memory indexes, so they are fetched as raw
         ``(seq, task_row, task_id, worker_id, choice)`` column tuples —
-        no per-row :class:`JournalEntry` objects.
+        no per-row :class:`JournalEntry` objects. Rows moved to the
+        archive by :meth:`truncate_through` are included, so the index
+        rebuild sees the same answers either way.
         """
         return self._conn.execute(
             "SELECT seq, task_row, task_id, worker_id, choice "
+            "FROM answers_archive WHERE seq <= ? "
+            "UNION ALL "
+            "SELECT seq, task_row, task_id, worker_id, choice "
             "FROM answers_log WHERE seq <= ? AND kind = ? ORDER BY seq",
-            (last_seq, KIND_ANSWER),
+            (last_seq, last_seq, KIND_ANSWER),
         ).fetchall()
 
     def replay(self, after_seq: int = -1) -> Iterator[JournalEntry]:
@@ -343,7 +436,21 @@ class AnswerJournal:
             after_seq: yield only rows with ``seq > after_seq`` (the
                 default replays everything). Resume passes a snapshot's
                 watermark to walk just the tail.
+
+        Raises:
+            JournalCorruptionError: if ``after_seq`` reaches into the
+                archived (truncated) prefix — those rows can no longer
+                be replayed event-by-event; resume must go through the
+                snapshot that covered them.
         """
+        archived = self.archived_through
+        if after_seq < archived:
+            raise JournalCorruptionError(
+                f"cannot replay from seq {after_seq}: the journal was "
+                f"truncated through seq {archived} after a snapshot; "
+                "resume from the snapshot (or restore the file from a "
+                "backup)"
+            )
         cursor = self._conn.execute(
             "SELECT seq, kind, task_row, task_id, worker_id, choice, ts, "
             "batch FROM answers_log WHERE seq > ? ORDER BY seq",

@@ -1046,12 +1046,14 @@ class SqliteWorkerQualityStore:
         Many campaigns may export into one shared file concurrently, so
         the fold must not be a fetch-compute-set round trip (two
         connections would read the same base and the second write would
-        erase the first). Instead each domain's
-        ``(q·u + Δmass) / (u + Δu)`` runs inside a single UPDATE whose
-        right-hand side reads the committed row under the write lock —
-        SQLite serialises writers, so concurrent exports interleave
-        without losing updates. The result is clamped into [0, 1] like
-        the in-memory fold.
+        erase the first). Each domain runs as **one**
+        ``INSERT ... ON CONFLICT DO UPDATE`` whose update arm computes
+        ``(q·u + Δmass) / (u + Δu)`` from the committed row under the
+        write lock — SQLite serialises writers, so interleaved exports
+        from concurrent campaigns fold without losing updates and
+        without the insert-then-update double round-trip per domain.
+        The result is clamped into [0, 1] like the in-memory fold; a
+        zero-weight fold reports the default quality.
         """
         delta_mass = np.asarray(delta_mass, dtype=float)
         delta_weight = np.asarray(delta_weight, dtype=float)
@@ -1064,32 +1066,28 @@ class SqliteWorkerQualityStore:
         if np.any(delta_weight < 0):
             raise ValidationError("delta weights must be non-negative")
         with self._conn:
+            # ?3 = Δmass, ?4 = Δu, ?5 = default quality. The insert arm
+            # is the fold against an implicit (default, 0) base; the
+            # conflict arm folds against the committed row.
             self._conn.executemany(
-                "INSERT OR IGNORE INTO worker_stats "
-                "(worker_id, domain, quality, weight) "
-                "VALUES (?, ?, ?, 0.0)",
-                [
-                    (worker_id, domain, self._default_quality)
-                    for domain in range(self._m)
-                ],
-            )
-            self._conn.executemany(
-                "UPDATE worker_stats SET "
+                "INSERT INTO worker_stats "
+                "(worker_id, domain, quality, weight) VALUES "
+                "(?1, ?2, MAX(0.0, MIN(1.0, "
+                "  CASE WHEN ?4 > 0 THEN ?3 / ?4 ELSE ?5 END)), ?4) "
+                "ON CONFLICT (worker_id, domain) DO UPDATE SET "
                 "quality = MAX(0.0, MIN(1.0, "
-                "  CASE WHEN weight + ? > 0 "
-                "  THEN (quality * weight + ?) / (weight + ?) "
-                "  ELSE ? END)), "
-                "weight = weight + ? "
-                "WHERE worker_id = ? AND domain = ?",
+                "  CASE WHEN worker_stats.weight + ?4 > 0 "
+                "  THEN (worker_stats.quality * worker_stats.weight + ?3)"
+                "       / (worker_stats.weight + ?4) "
+                "  ELSE ?5 END)), "
+                "weight = worker_stats.weight + ?4",
                 [
                     (
-                        float(delta_weight[domain]),
+                        worker_id,
+                        domain,
                         float(delta_mass[domain]),
                         float(delta_weight[domain]),
                         self._default_quality,
-                        float(delta_weight[domain]),
-                        worker_id,
-                        domain,
                     )
                     for domain in range(self._m)
                 ],

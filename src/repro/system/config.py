@@ -33,6 +33,28 @@ class DocsConfig:
             ``close()`` always snapshot). Snapshots turn resume's
             O(campaign) journal replay into an O(n) load plus a short
             tail replay. Ignored with in-memory storage.
+        truncate_journal: with sqlite storage, archive journal rows at
+            or below each snapshot's watermark after the snapshot
+            commits (``AnswerJournal.truncate_through``): pre-watermark
+            answers move to a compact archive table, so resume-time CRC
+            validation and replay walk only the tail. Once truncated,
+            a campaign can only be resumed through a snapshot — the
+            full-replay fallback needs the journal rows the truncation
+            removed — so this trades the fallback for O(tail) resume.
+        serve_index: maintain an
+            :class:`repro.core.serving.AssignmentIndex` over the arena
+            and serve ``assign`` through it (cached per-quality benefit
+            columns repaired on dirty rows only; picks stay
+            bit-identical to the brute-force path). Disable to always
+            evaluate the full pool per arrival.
+        serve_bucket_granularity: quality quantisation step for the
+            index's bucket keys (bounds how many distinct cached
+            columns stay live; reuse still requires an exact quality
+            match).
+        serve_frontier_size: rows kept in each cached column's lazy
+            top-k frontier; must comfortably exceed ``hit_size``.
+        serve_max_buckets: cached benefit columns kept alive (LRU
+            eviction beyond it).
         seed: seed for any internal randomness.
     """
 
@@ -44,6 +66,11 @@ class DocsConfig:
     ti_max_iterations: int = 20
     journal_batch_size: int = 256
     snapshot_every_batches: int = 16
+    truncate_journal: bool = False
+    serve_index: bool = True
+    serve_bucket_granularity: float = 0.05
+    serve_frontier_size: int = 64
+    serve_max_buckets: int = 16
     seed: SeedLike = 0
 
     def validate(self) -> None:
@@ -71,3 +98,11 @@ class DocsConfig:
                 "snapshot_every_batches must be >= 0 (0 disables the "
                 "automatic trigger)"
             )
+        if self.serve_bucket_granularity <= 0:
+            raise ValidationError(
+                "serve_bucket_granularity must be positive"
+            )
+        if self.serve_frontier_size < 1:
+            raise ValidationError("serve_frontier_size must be >= 1")
+        if self.serve_max_buckets < 1:
+            raise ValidationError("serve_max_buckets must be >= 1")

@@ -69,6 +69,7 @@ from repro.core.assignment import TaskAssigner
 from repro.core.golden import select_golden_tasks
 from repro.core.incremental import IncrementalTruthInference
 from repro.core.quality_store import WorkerQualityStore
+from repro.core.serving import AssignmentIndex
 from repro.core.truth_inference import TruthInference
 from repro.core.types import Answer, Task
 from repro.datasets.base import CrowdDataset
@@ -152,6 +153,11 @@ class DocsSystem:
         self._log: Optional[AnswerLog] = None
         self._store: Optional[WorkerQualityStore] = None
         self._assigner = TaskAssigner(hit_size=self._config.hit_size)
+        #: The serving-plane index (built on prepare/resume when
+        #: ``config.serve_index``); row-wise invalidation rides the
+        #: arena's write epochs, so add_tasks/submit/re-runs need no
+        #: explicit hooks here.
+        self._serving_index: Optional[AssignmentIndex] = None
         self._bootstrapped: Set[str] = set()
         self._golden_truths: Dict[int, int] = {}
         #: Pristine golden-bootstrap qualities: the full iterative TI is
@@ -216,6 +222,12 @@ class DocsSystem:
     def shared_worker_store(self) -> Optional[WorkerQualityStore]:
         """The shared cross-campaign worker model, if attached."""
         return self._shared_store
+
+    @property
+    def serving_index(self) -> Optional[AssignmentIndex]:
+        """The serving-plane benefit index (``None`` before
+        :meth:`prepare`, or when ``config.serve_index`` is off)."""
+        return self._serving_index
 
     @property
     def resume_info(self) -> Optional[Dict[str, object]]:
@@ -332,6 +344,26 @@ class DocsSystem:
         self._golden_qualities = {}
         self._golden_truths = golden_truths
         self._submissions_since_rerun = 0
+        self._build_serving_index()
+
+    def _build_serving_index(self) -> None:
+        """Stand up the AssignmentIndex over the freshly built arena.
+
+        Lifecycle note: this runs once per prepare/resume. Later state
+        changes — ``add_tasks`` growth blocks, per-answer incremental
+        updates, full-TI resyncs, snapshot overlays — invalidate the
+        index row-wise through the arena's write epochs, so nothing
+        else needs to call back in here.
+        """
+        if not self._config.serve_index:
+            return
+        self._serving_index = AssignmentIndex(
+            self._incremental.arena,
+            bucket_granularity=self._config.serve_bucket_granularity,
+            frontier_size=self._config.serve_frontier_size,
+            max_buckets=self._config.serve_max_buckets,
+        )
+        self._assigner.attach_index(self._serving_index)
 
     def _make_database(self) -> SystemDatabase:
         if self._storage == "memory":
@@ -482,7 +514,12 @@ class DocsSystem:
         """OTA: the k highest-benefit tasks this worker has not answered.
 
         Benefits are computed directly against the arena's persistent
-        buffers; no per-arrival task state is materialised.
+        buffers; no per-arrival task state is materialised. With
+        ``config.serve_index`` (the default) the arrival is served from
+        the :class:`repro.core.serving.AssignmentIndex`'s cached
+        benefit columns — only rows dirtied since the worker's last
+        identical-quality arrival are re-evaluated, and the picks are
+        bit-identical to a full-pool evaluation.
         """
         if self._incremental is None:
             raise ValidationError("system not prepared; call prepare()")
@@ -613,6 +650,11 @@ class DocsSystem:
         )
         flushed = db.write_snapshot(payload)
         self._last_snapshot_batch = db.journal.flushed_batches
+        if self._config.truncate_journal:
+            # The snapshot just committed covers every row at or below
+            # its watermark; archive them so later resumes validate and
+            # replay only the tail.
+            db.journal.truncate_through(payload.journal_seq)
         return flushed
 
     def _maybe_auto_snapshot(self) -> None:
@@ -769,6 +811,17 @@ class DocsSystem:
                         "full journal replay", path, problem,
                     )
                     snapshot = None
+            if snapshot is None and db.journal.archived_through >= 0:
+                # config.truncate_journal moved the pre-watermark rows
+                # into the archive; without a usable snapshot their
+                # serving-plane effect cannot be reproduced.
+                raise JournalCorruptionError(
+                    f"the journal at {path!r} was truncated through seq "
+                    f"{db.journal.archived_through} after a snapshot, "
+                    "but no usable snapshot remains — full replay "
+                    "cannot rebuild the truncated prefix; restore the "
+                    "file from a backup"
+                )
             if snapshot is not None:
                 system._install_snapshot(snapshot)
             tail = system._replay_journal(
@@ -785,6 +838,7 @@ class DocsSystem:
                 "tail_entries": tail,
             }
             system._last_snapshot_batch = db.journal.flushed_batches
+            system._build_serving_index()
         except Exception:
             db.close()
             system._db = None

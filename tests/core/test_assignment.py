@@ -329,3 +329,82 @@ class TestUnknownIdHandling:
             )
         assert hit == [100]
         assert not caplog.records
+
+
+class TestMaskedEligibleFastPath:
+    """Budget-capped tails (small `eligible` sets) must be served by the
+    row-subset kernel — same picks as the full-pool path, kernel work
+    proportional to the candidate count, not the pool."""
+
+    def _arena(self, n=200, m=3, seed=5):
+        from repro.core.arena import StateArena
+        from repro.utils.rng import make_rng
+
+        rng = make_rng(seed)
+        arena = StateArena(m)
+        for i in range(n):
+            arena.add(
+                Task(
+                    task_id=i,
+                    text=f"t{i}",
+                    num_choices=int(rng.integers(2, 4)),
+                    domain_vector=rng.dirichlet(np.ones(m)),
+                )
+            )
+        return arena
+
+    def test_small_eligible_set_evaluates_only_candidates(self):
+        from repro.core.assignment import kernel_rows_evaluated
+
+        arena = self._arena()
+        assigner = TaskAssigner(hit_size=5)
+        eligible = {3, 17, 42, 99, 150, 151, 152, 180}
+        before = kernel_rows_evaluated()
+        hit = assigner.assign(arena, np.full(3, 0.8), eligible=eligible)
+        spent = kernel_rows_evaluated() - before
+        assert spent == len(eligible), (
+            f"evaluated {spent} kernel rows for {len(eligible)} "
+            "candidates — the masked fast path did O(n) work"
+        )
+        assert len(hit) == 5 and set(hit) <= eligible
+
+    def test_masked_picks_match_full_pool_path(self):
+        arena = self._arena()
+        fast = TaskAssigner(hit_size=6)
+        brute = TaskAssigner(hit_size=6, masked_fraction=0.0)
+        quality = np.array([0.55, 0.8, 0.7])
+        for eligible, answered in (
+            ({1, 2, 3, 4, 5, 6, 7, 8}, None),
+            ({10, 20, 30, 40}, {20, 30}),
+            (set(range(0, 40)), {5}),
+        ):
+            assert fast.assign(
+                arena, quality,
+                answered_by_worker=answered, eligible=eligible,
+            ) == brute.assign(
+                arena, quality,
+                answered_by_worker=answered, eligible=eligible,
+            )
+
+    def test_masked_ties_break_like_full_pool(self):
+        """Identical fresh tasks tie on benefit; both paths must break
+        ties by ascending arena row."""
+        from repro.core.arena import StateArena
+
+        arena = StateArena(3)
+        for i in range(30):
+            arena.add(
+                Task(
+                    task_id=i,
+                    text=f"t{i}",
+                    num_choices=2,
+                    domain_vector=np.full(3, 1.0 / 3),
+                )
+            )
+        fast = TaskAssigner(hit_size=4)
+        brute = TaskAssigner(hit_size=4, masked_fraction=0.0)
+        eligible = {25, 3, 17, 9, 28, 11}
+        quality = np.full(3, 0.75)
+        expect = brute.assign(arena, quality, eligible=eligible)
+        assert fast.assign(arena, quality, eligible=eligible) == expect
+        assert expect == [3, 9, 11, 17]  # ascending-row tie-break

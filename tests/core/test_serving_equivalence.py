@@ -1,0 +1,388 @@
+"""Serving-plane equivalence: AssignmentIndex vs the brute-force oracle.
+
+The exactness contract of ``core/serving.py``: for identical arena
+state, worker quality, exclusion sets, and k, the index's picks must be
+**bit-identical** (same ids, same order) to the brute-force
+``arena_benefits`` + mask + ``top_k_indices`` path — across random
+answer streams, ``add_tasks`` live growth, worker-quality drift,
+full-TI resyncs, and snapshot resume. This suite is seeded
+property-style: each seed drives a fresh randomized campaign through
+both paths and compares every single arrival.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.arena import AnswerLog
+from repro.core.assignment import (
+    TaskAssigner,
+    arena_benefits,
+    arena_benefits_rows,
+    kernel_rows_evaluated,
+)
+from repro.core.incremental import IncrementalTruthInference
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.serving import AssignmentIndex
+from repro.core.truth_inference import TruthInference
+from repro.core.types import Answer, Task
+from repro.utils.rng import make_rng
+
+M_DOMAINS = 5
+NUM_WORKERS = 6
+HIT_SIZE = 4
+
+
+def _make_tasks(rng, count, base_id=0):
+    return [
+        Task(
+            task_id=base_id + i,
+            text=f"task {base_id + i}",
+            num_choices=int(rng.integers(2, 5)),
+            domain_vector=rng.dirichlet(np.ones(M_DOMAINS)),
+            ground_truth=1,
+        )
+        for i in range(count)
+    ]
+
+
+def _make_engine(rng, count):
+    store = WorkerQualityStore(M_DOMAINS)
+    for j in range(NUM_WORKERS):
+        store.set(
+            f"w{j}",
+            rng.uniform(0.4, 0.95, size=M_DOMAINS),
+            np.full(M_DOMAINS, 2.0),
+        )
+    engine = IncrementalTruthInference(store)
+    tasks = _make_tasks(rng, count)
+    engine.register_tasks(tasks)
+    return engine, store, {t.task_id: t for t in tasks}
+
+
+def _paired_assigners(arena, **index_kwargs):
+    """(brute oracle, index-served) assigner pair over one arena.
+
+    The oracle gets ``masked_fraction=0`` so it always evaluates the
+    full pool; the index assigner keeps it at 0 too, so every arrival
+    — including small eligible sets — flows through the index under
+    test rather than the row-subset fast path.
+    """
+    brute = TaskAssigner(hit_size=HIT_SIZE, masked_fraction=0.0)
+    served = TaskAssigner(hit_size=HIT_SIZE, masked_fraction=0.0)
+    index = AssignmentIndex(arena, **index_kwargs)
+    served.attach_index(index)
+    return brute, served, index
+
+
+class TestRandomizedStreamEquivalence:
+    @pytest.mark.parametrize("seed", [3, 17, 29, 61])
+    def test_picks_identical_across_answer_stream(self, seed):
+        """Every arrival of a randomized campaign — drifting worker
+        qualities, random k, random eligible/answered sets — picks the
+        same tasks in the same order on both paths."""
+        rng = make_rng(seed)
+        engine, store, tasks = _make_engine(rng, count=80)
+        brute, served, index = _paired_assigners(
+            engine.arena, frontier_size=12
+        )
+        answered = {f"w{j}": set() for j in range(NUM_WORKERS)}
+
+        for step in range(150):
+            worker = f"w{int(rng.integers(NUM_WORKERS))}"
+            quality = store.blended_quality(worker)
+            k = int(rng.integers(1, 8))
+            eligible = None
+            if rng.random() < 0.3:
+                eligible = {
+                    int(t)
+                    for t in rng.choice(
+                        sorted(tasks),
+                        size=int(rng.integers(2, len(tasks))),
+                        replace=False,
+                    )
+                }
+            expect = brute.assign(
+                engine.arena,
+                quality,
+                answered_by_worker=answered[worker],
+                k=k,
+                eligible=eligible,
+            )
+            got = served.assign(
+                engine.arena,
+                quality,
+                answered_by_worker=answered[worker],
+                k=k,
+                eligible=eligible,
+            )
+            assert got == expect, f"seed {seed} arrival {step}"
+
+            remaining = [
+                t for t in tasks if t not in answered[worker]
+            ]
+            if remaining:
+                tid = int(rng.choice(remaining))
+                ell = tasks[tid].num_choices
+                engine.submit(
+                    Answer(worker, tid, int(rng.integers(1, ell + 1)))
+                )
+                answered[worker].add(tid)
+        assert index.stats()["warm_hits"] + index.stats()[
+            "cold_builds"
+        ] > 0
+
+    @pytest.mark.parametrize("seed", [5, 41])
+    def test_live_growth_mid_stream(self, seed):
+        """``register_tasks`` growth blocks mid-campaign invalidate the
+        cached columns row-wise; picks stay identical and grown tasks
+        become assignable on both paths."""
+        rng = make_rng(seed)
+        engine, store, tasks = _make_engine(rng, count=40)
+        brute, served, index = _paired_assigners(engine.arena)
+        quality = rng.uniform(0.4, 0.95, size=M_DOMAINS)
+        next_id = len(tasks)
+
+        seen_growth_pick = False
+        for step in range(60):
+            if step % 15 == 7:
+                batch = _make_tasks(rng, 10, base_id=next_id)
+                engine.register_tasks(batch)
+                tasks.update({t.task_id: t for t in batch})
+                next_id += 10
+            expect = brute.assign(engine.arena, quality, k=6)
+            got = served.assign(engine.arena, quality, k=6)
+            assert got == expect, f"seed {seed} arrival {step}"
+            seen_growth_pick = seen_growth_pick or any(
+                tid >= 40 for tid in got
+            )
+            tid = int(rng.choice(sorted(tasks)))
+            worker = f"w{step % NUM_WORKERS}"
+            if worker not in {
+                w for w, _ in engine.answered_workers(tid)
+            }:
+                engine.submit(
+                    Answer(
+                        worker,
+                        tid,
+                        int(
+                            rng.integers(
+                                1, tasks[tid].num_choices + 1
+                            )
+                        ),
+                    )
+                )
+        assert len(engine.arena) == next_id
+
+    @pytest.mark.parametrize("seed", [13])
+    def test_full_ti_resync_invalidates_block_wise(self, seed):
+        """A full-TI rerun rewrites every answered row; the next
+        arrival repairs the cached column and still matches brute."""
+        rng = make_rng(seed)
+        engine, store, tasks = _make_engine(rng, count=50)
+        brute, served, index = _paired_assigners(engine.arena)
+        log = AnswerLog(engine.arena)
+        quality = rng.uniform(0.4, 0.95, size=M_DOMAINS)
+        golden = {
+            w: store.get(w).quality.copy()
+            for w in store.known_workers()
+        }
+
+        counters = [0] * NUM_WORKERS
+        for round_no in range(4):
+            for _ in range(30):
+                j = int(rng.integers(NUM_WORKERS))
+                tid = (counters[j] * NUM_WORKERS + j) % len(tasks)
+                counters[j] += 1
+                if any(
+                    w == f"w{j}"
+                    for w, _ in engine.answered_workers(tid)
+                ):
+                    continue
+                answer = Answer(
+                    f"w{j}",
+                    tid,
+                    int(
+                        rng.integers(1, tasks[tid].num_choices + 1)
+                    ),
+                )
+                engine.submit(answer)
+                log.append(answer)
+            result = TruthInference().infer_from_log(
+                log, initial_qualities=golden
+            )
+            engine.resync_from_arena_result(result)
+            expect = brute.assign(engine.arena, quality, k=5)
+            got = served.assign(engine.arena, quality, k=5)
+            assert got == expect, f"seed {seed} round {round_no}"
+
+    def test_quality_drift_never_reuses_stale_column(self):
+        """Two workers in the same quantisation bucket with different
+        exact qualities must not share benefit values: the second
+        lookup rebuilds the slot and both match brute."""
+        rng = make_rng(7)
+        engine, store, tasks = _make_engine(rng, count=30)
+        brute, served, index = _paired_assigners(
+            engine.arena, bucket_granularity=1.0
+        )
+        q_a = np.full(M_DOMAINS, 0.61)
+        q_b = np.full(M_DOMAINS, 0.64)  # same bucket at granularity 1.0
+        for quality in (q_a, q_b, q_a, q_b):
+            assert served.assign(engine.arena, quality) == brute.assign(
+                engine.arena, quality
+            )
+        # Same bucket key throughout, yet each quality switch rebuilt.
+        assert index.stats()["buckets"] == 1
+        assert index.stats()["cold_builds"] == 4
+
+
+class TestWarmPathDoesSubLinearWork:
+    def test_warm_arrival_repairs_only_dirty_rows(self):
+        """A stable-quality reader pays kernel work proportional to the
+        rows dirtied since their last arrival, not to the pool."""
+        rng = make_rng(19)
+        engine, store, tasks = _make_engine(rng, count=400)
+        brute, served, index = _paired_assigners(engine.arena)
+        reader_q = rng.uniform(0.4, 0.95, size=M_DOMAINS)
+
+        served.assign(engine.arena, reader_q)  # cold build: 400 rows
+        counters = [0] * NUM_WORKERS
+        for step in range(20):
+            for i in range(5):  # five answers dirty <= 5 rows
+                j = (step * 5 + i) % NUM_WORKERS
+                tid = counters[j] * NUM_WORKERS + j
+                counters[j] += 1
+                engine.submit(
+                    Answer(
+                        f"w{j}",
+                        tid,
+                        int(
+                            rng.integers(
+                                1, tasks[tid].num_choices + 1
+                            )
+                        ),
+                    )
+                )
+            before = kernel_rows_evaluated()
+            got = served.assign(engine.arena, reader_q)
+            spent = kernel_rows_evaluated() - before
+            assert spent <= 5, f"arrival {step} evaluated {spent} rows"
+            assert got == brute.assign(engine.arena, reader_q)
+        stats = index.stats()
+        assert stats["warm_hits"] == 20
+        assert stats["rows_repaired"] <= 100
+
+    def test_tiny_frontier_stays_exact_via_fallback(self):
+        """A frontier far smaller than k can never prove a pick; the
+        index must fall back to full-column selection and still match
+        the oracle exactly."""
+        rng = make_rng(23)
+        engine, store, tasks = _make_engine(rng, count=60)
+        brute, served, index = _paired_assigners(
+            engine.arena, frontier_size=2
+        )
+        quality = rng.uniform(0.4, 0.95, size=M_DOMAINS)
+        for step in range(10):
+            assert served.assign(
+                engine.arena, quality, k=8
+            ) == brute.assign(engine.arena, quality, k=8)
+            tid = step
+            engine.submit(
+                Answer(
+                    "w0",
+                    tid,
+                    int(rng.integers(1, tasks[tid].num_choices + 1)),
+                )
+            )
+        assert index.stats()["full_selections"] >= 1
+
+
+class TestRowSubsetKernelIsBitIdentical:
+    @pytest.mark.parametrize("seed", [2, 9, 31])
+    def test_subset_matches_full_pool_bitwise(self, seed):
+        """``arena_benefits_rows`` must reproduce ``arena_benefits``
+        exactly (not approximately) on arbitrary row subsets — the
+        foundation of every serving strategy's exactness."""
+        rng = make_rng(seed)
+        engine, store, tasks = _make_engine(rng, count=70)
+        for step in range(40):  # answered state, multiple groups
+            tid = step % len(tasks)
+            engine.submit(
+                Answer(
+                    f"w{step % NUM_WORKERS}",
+                    tid,
+                    int(rng.integers(1, tasks[tid].num_choices + 1)),
+                )
+            )
+        quality = rng.uniform(0.4, 0.95, size=M_DOMAINS)
+        full = arena_benefits(engine.arena, quality)
+        for _ in range(5):
+            rows = rng.choice(
+                len(tasks),
+                size=int(rng.integers(1, len(tasks))),
+                replace=False,
+            ).astype(np.int64)
+            subset = arena_benefits_rows(engine.arena, quality, rows)
+            assert np.array_equal(subset, full[rows])
+
+
+class TestSnapshotResumeEquivalence:
+    def test_resumed_system_serves_identically(self, tmp_path):
+        """A resumed campaign's index-served assigns must equal both a
+        brute-force evaluation of the resumed arena and the original
+        system's picks."""
+        from repro.datasets import make_dataset
+        from repro.system import DocsConfig, DocsSystem
+
+        dataset = make_dataset("4d", seed=11, tasks_per_domain=6)
+        config = DocsConfig(
+            golden_count=4,
+            rerun_interval=25,
+            hit_size=3,
+            journal_batch_size=8,
+            snapshot_every_batches=2,
+        )
+        path = str(tmp_path / "serve.db")
+        system = DocsSystem(config, storage="sqlite", path=path)
+        system.prepare(dataset)
+        workers = [f"w{i}" for i in range(5)]
+        for arrival in range(30):
+            worker = workers[arrival % len(workers)]
+            if system.needs_bootstrap(worker):
+                system.bootstrap(
+                    worker,
+                    [
+                        Answer(
+                            worker,
+                            tid,
+                            dataset.task_by_id(tid).ground_truth,
+                        )
+                        for tid in system.golden_task_ids()
+                    ],
+                )
+            for task_id in system.assign(worker, 2):
+                ell = dataset.task_by_id(task_id).num_choices
+                system.submit(
+                    Answer(
+                        worker, task_id, 1 + (task_id + arrival) % ell
+                    )
+                )
+        system.database.journal.flush()
+
+        resumed = DocsSystem.resume(path, config=config)
+        assert resumed.serving_index is not None
+        oracle = TaskAssigner(hit_size=3, masked_fraction=0.0)
+        for worker in workers:
+            quality = resumed.quality_store.blended_quality(worker)
+            answered = resumed.database.answers.tasks_answered_by(
+                worker
+            )
+            expect = oracle.assign(
+                resumed._incremental.arena,
+                quality,
+                answered_by_worker=answered,
+                k=3,
+            )
+            assert resumed.assign(worker, 3) == expect
+            assert system.assign(worker, 3) == expect
+        system.close()
+        resumed.close()

@@ -270,3 +270,93 @@ class TestExportGuards:
         assert stats.quality[0] == pytest.approx(0.6)
         first.close()
         second.close()
+
+
+class TestUpsertContention:
+    """The single-statement UPSERT export path under contention: two
+    live campaigns interleave exports into one shared file through
+    separate connections, and every fold must land exactly."""
+
+    @staticmethod
+    def _drive_named(system, dataset, workers, arrivals, boot_stats,
+                     start=0):
+        """_drive with a custom worker set, capturing each worker's
+        campaign stats right after the golden bootstrap (the mass the
+        bootstrap exports into the shared store)."""
+        for arrival in range(start, arrivals):
+            worker = workers[arrival % len(workers)]
+            if system.needs_bootstrap(worker):
+                system.bootstrap(
+                    worker,
+                    [
+                        Answer(
+                            worker, tid,
+                            dataset.task_by_id(tid).ground_truth,
+                        )
+                        for tid in system.golden_task_ids()
+                    ],
+                )
+                stats = system.quality_store.get(worker)
+                boot_stats[worker] = (
+                    stats.quality.copy(), stats.weight.copy()
+                )
+            for task_id in system.assign(worker, 2):
+                ell = dataset.task_by_id(task_id).num_choices
+                choice = 1 + (task_id * 3 + arrival) % ell
+                system.submit(Answer(worker, task_id, choice))
+
+    def test_two_interleaved_campaigns_fold_exactly(
+        self, dataset, second_dataset, tmp_path
+    ):
+        """Disjoint worker sets make the expectation exact — each
+        worker's shared-store row must equal their bootstrap export
+        plus their campaign's final full-TI estimate (the Theorem-1
+        deltas telescope) — while the two campaigns' interleaved
+        transactions contend on the same SQLite file."""
+        path = str(tmp_path / "contended.db")
+        m = dataset.taxonomy.size
+        store_a = SqliteWorkerQualityStore(m, path=path)
+        store_b = SqliteWorkerQualityStore(m, path=path)
+        sys_a = DocsSystem(_config(), worker_store=store_a)
+        sys_b = DocsSystem(_config(), worker_store=store_b)
+        sys_a.prepare(dataset)
+        sys_b.prepare(second_dataset)
+        workers_a = [f"a{i}" for i in range(3)]
+        workers_b = [f"b{i}" for i in range(3)]
+        boot_stats = {}
+        # Interleave arrival-by-arrival: rerun-boundary exports from
+        # both campaigns hit the shared file in alternation.
+        for arrival in range(30):
+            self._drive_named(
+                sys_a, dataset, workers_a, arrival + 1, boot_stats,
+                start=arrival,
+            )
+            self._drive_named(
+                sys_b, second_dataset, workers_b, arrival + 1,
+                boot_stats, start=arrival,
+            )
+        assert sys_a.finalize() and sys_b.finalize()
+
+        for system, workers in (
+            (sys_a, workers_a), (sys_b, workers_b),
+        ):
+            for worker in workers:
+                boot_q, boot_u = boot_stats[worker]
+                final_q, final_u = system._exported_log[worker]
+                expected_mass = boot_q * boot_u + final_q * final_u
+                expected_u = boot_u + final_u
+                merged = store_a.get(worker)
+                np.testing.assert_allclose(
+                    merged.weight, expected_u, atol=1e-9
+                )
+                positive = expected_u > 0
+                np.testing.assert_allclose(
+                    merged.quality[positive],
+                    np.clip(
+                        expected_mass[positive] / expected_u[positive],
+                        0.0, 1.0,
+                    ),
+                    atol=1e-9,
+                )
+        store_a.close()
+        store_b.close()

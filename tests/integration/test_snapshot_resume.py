@@ -271,3 +271,76 @@ class TestSnapshotFallback:
         system.prepare(dataset)
         with pytest.raises(ValidationError, match="sqlite"):
             system.snapshot()
+
+
+class TestJournalTruncation:
+    """config.truncate_journal: pre-watermark journal rows move to the
+    archive after each snapshot; resume stays bit-identical through the
+    snapshot path, and the (now impossible) full-replay fallback is
+    refused with a clear error rather than silently rebuilding a
+    partial campaign."""
+
+    def test_truncated_resume_is_bit_identical(self, dataset, tmp_path):
+        plain_path = str(tmp_path / "plain.db")
+        plain = DocsSystem(
+            _config(), storage="sqlite", path=plain_path
+        )
+        plain.prepare(dataset)
+        _drive(plain, dataset, 28)
+        plain.database.journal.flush()
+
+        trunc_path = str(tmp_path / "trunc.db")
+        truncating = DocsSystem(
+            _config(truncate_journal=True, snapshot_every_batches=2),
+            storage="sqlite",
+            path=trunc_path,
+        )
+        truncating.prepare(dataset)
+        _drive(truncating, dataset, 28)
+        truncating.close()
+        # Truncation actually happened: the live journal is shorter
+        # than the campaign, and an archive exists.
+        conn = sqlite3.connect(trunc_path)
+        (archived,) = conn.execute(
+            "SELECT COUNT(*) FROM answers_archive"
+        ).fetchone()
+        conn.close()
+        assert archived > 0
+
+        resumed = DocsSystem.resume(
+            trunc_path,
+            config=_config(truncate_journal=True,
+                           snapshot_every_batches=2),
+        )
+        assert resumed.resume_info["snapshot_seq"] is not None
+        _assert_same_state(plain, resumed)
+        for worker in WORKERS:
+            assert plain.assign(worker, 3) == resumed.assign(worker, 3)
+        plain.close()
+        resumed.close()
+
+    def test_truncated_file_without_snapshot_refuses_resume(
+        self, dataset, tmp_path
+    ):
+        from repro.errors import JournalCorruptionError
+
+        path = str(tmp_path / "no-snap.db")
+        system = DocsSystem(
+            _config(truncate_journal=True),
+            storage="sqlite",
+            path=path,
+        )
+        system.prepare(dataset)
+        _drive(system, dataset, 20)
+        system.close()
+        conn = sqlite3.connect(path)
+        for table in (
+            "snapshot_meta", "snapshot_groups", "snapshot_workers"
+        ):
+            conn.execute(f"DELETE FROM {table}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(JournalCorruptionError, match="truncated"):
+            DocsSystem.resume(
+                path, config=_config(truncate_journal=True)
+            )

@@ -254,3 +254,92 @@ class TestSqliteSystemDatabaseJournalMode:
         db.add_tasks([_task(0)])
         assert [t.task_id for t in db.tasks_in_ingest_order()] == [2, 7, 0]
         db.close()
+
+
+class TestTruncation:
+    """`truncate_through`: whole covered batches move to the archive,
+    the surviving tail still validates and replays, and the archived
+    prefix stays visible to the snapshot-resume index rebuild."""
+
+    def _journal_with_batches(self, conn, batch_size=3, answers=10):
+        journal = AnswerJournal(conn, batch_size=batch_size)
+        for i in range(answers):
+            journal.record_answer(Answer(f"w{i % 2}", i, 1), task_row=i)
+        journal.flush()
+        return journal
+
+    def test_truncate_archives_and_drops_whole_batches(self, conn):
+        journal = self._journal_with_batches(conn)
+        total = len(journal)
+        watermark = 5  # covers batches [0..2] and [3..5]
+        removed = journal.truncate_through(watermark)
+        assert removed == 6
+        assert len(journal) == total - 6
+        assert journal.archived_through == 5
+        journal.validate()  # surviving batches still self-consistent
+        # Cursors untouched: the next flush continues the seq space.
+        journal.record_answer(Answer("w9", 99, 1), task_row=99)
+        journal.flush()
+        journal.validate()
+
+    def test_truncate_never_tears_a_batch(self, conn):
+        journal = self._journal_with_batches(conn, batch_size=4)
+        # Watermark inside the second batch: only the first may go.
+        removed = journal.truncate_through(5)
+        assert removed == 4
+        assert journal.archived_through == 3
+        journal.validate()
+
+    def test_truncate_idempotent_and_negative_noop(self, conn):
+        journal = self._journal_with_batches(conn)
+        assert journal.truncate_through(-1) == 0
+        first = journal.truncate_through(5)
+        assert first > 0
+        assert journal.truncate_through(5) == 0
+
+    def test_committed_answers_span_archive_and_tail(self, conn):
+        journal = self._journal_with_batches(conn)
+        before = journal.committed_answers_through(8)
+        journal.truncate_through(5)
+        after = journal.committed_answers_through(8)
+        assert after == before  # the rebuild feed is unchanged
+
+    def test_replay_tail_works_archived_prefix_refused(self, conn):
+        journal = self._journal_with_batches(conn)
+        journal.truncate_through(5)
+        tail = [entry.seq for entry in journal.replay(after_seq=5)]
+        assert tail == [6, 7, 8, 9]
+        with pytest.raises(JournalCorruptionError, match="truncated"):
+            list(journal.replay(after_seq=-1))
+
+    def test_archive_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "trunc.db")
+        connection = sqlite3.connect(path)
+        journal = self._journal_with_batches(connection)
+        journal.truncate_through(5)
+        connection.close()
+        reopened = sqlite3.connect(path)
+        journal2 = AnswerJournal(reopened, batch_size=3)
+        assert journal2.archived_through == 5
+        assert len(journal2.committed_answers_through(9)) == 10
+        journal2.validate()
+        reopened.close()
+
+    def test_fully_truncated_journal_keeps_seq_space_on_reopen(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "full-trunc.db")
+        connection = sqlite3.connect(path)
+        journal = self._journal_with_batches(connection)
+        journal.truncate_through(journal.last_committed_seq)
+        assert len(journal) == 0
+        connection.close()
+        reopened = sqlite3.connect(path)
+        journal2 = AnswerJournal(reopened, batch_size=3)
+        journal2.record_answer(Answer("w", 50, 1), task_row=50)
+        journal2.flush()
+        # The new row's seq continues past the archive, never over it.
+        rows = journal2.committed_answers_through(10_000)
+        assert len(rows) == 11
+        assert rows[-1][0] == 10
+        reopened.close()
