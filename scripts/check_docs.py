@@ -41,6 +41,9 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "## Durability",
         "### Compacted snapshots",
         "### Journal truncation",
+        "## Failure model & recovery",
+        "### Graceful degradation",
+        "FaultInjector",
         "## Serving plane",
         "AssignmentIndex",
     ),
@@ -49,6 +52,10 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "snapshot",
         "resume",
         "serve_index",
+        "durability_status",
+        "check-db",
+        "RetryPolicy",
+        "SchemaVersionError",
     ),
     "docs/performance.md": (
         "## Resume",

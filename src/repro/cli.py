@@ -12,6 +12,9 @@ Commands:
   accuracy.
 - ``compare-ti`` — the Figure 5 comparison on one dataset.
 - ``compare-ota`` — the Figure 8 end-to-end comparison on one dataset.
+- ``check-db`` — integrity-check a campaign database: journal CRC
+  validation, snapshot checksum, and a salvage dry-run (``--salvage``
+  actually truncates a torn tail to the last consistent batch).
 """
 
 from __future__ import annotations
@@ -129,6 +132,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare-ota", help="Figure 8 end-to-end OTA comparison"
     )
     _add_common(compare_ota)
+
+    check = sub.add_parser(
+        "check-db",
+        help=(
+            "integrity-check a campaign database (journal CRC, "
+            "snapshot checksum, salvage dry-run)"
+        ),
+    )
+    check.add_argument(
+        "path", help="SQLite campaign database file to check"
+    )
+    check.add_argument(
+        "--salvage",
+        action="store_true",
+        help=(
+            "truncate a torn journal tail back to the last consistent "
+            "batch (IRREVERSIBLE: drops the rows the dry-run reports; "
+            "committed consistent batches are never touched)"
+        ),
+    )
 
     report = sub.add_parser(
         "report",
@@ -349,6 +372,91 @@ def _cmd_compare_ota(args) -> int:
     return 0
 
 
+def _cmd_check_db(args) -> int:
+    import os
+
+    from repro.errors import JournalCorruptionError, SchemaVersionError
+    from repro.platform.sqlite_storage import (
+        SCHEMA_VERSION,
+        SqliteSystemDatabase,
+    )
+
+    if not os.path.exists(args.path):
+        print(f"no such file: {args.path}", file=sys.stderr)
+        return 2
+    try:
+        db = SqliteSystemDatabase(args.path, journal_batch_size=256)
+    except SchemaVersionError as exc:
+        print(f"schema version     : REFUSED — {exc}", file=sys.stderr)
+        return 2
+    try:
+        journal = db.journal
+        print(f"database           : {args.path}")
+        print(
+            "schema version     : supported "
+            f"(this build reads <= {SCHEMA_VERSION})"
+        )
+        print(f"tasks              : {len(db)}")
+        archived = journal.archived_through
+        archive_note = (
+            f", archived through seq {archived}" if archived >= 0 else ""
+        )
+        print(
+            f"journal            : {len(journal)} committed row(s) in "
+            f"{journal.flushed_batches} batch(es){archive_note}"
+        )
+
+        report = journal.salvage(dry_run=True)
+        if report.clean:
+            print("journal integrity  : OK")
+            print("salvage (dry run)  : nothing to drop")
+        else:
+            print(f"journal integrity  : CORRUPT — {report.problem}")
+            print(
+                "salvage (dry run)  : would drop "
+                f"{report.dropped_rows} row(s) "
+                f"({report.dropped_answers} answer(s)) across "
+                f"{report.dropped_batches} batch record(s), keeping "
+                f"seq <= {report.valid_through_seq}"
+            )
+            if args.salvage:
+                applied = journal.salvage()
+                print(
+                    "salvage            : dropped "
+                    f"{applied.dropped_rows} row(s); journal truncated "
+                    f"to seq {applied.valid_through_seq}"
+                )
+                journal.validate()
+                print("journal integrity  : OK after salvage")
+
+        snapshot = db.load_snapshot()
+        if snapshot is not None:
+            print(
+                "snapshot           : OK, covers journal through seq "
+                f"{snapshot.journal_seq}"
+            )
+        else:
+            print(
+                "snapshot           : none usable (resume falls back "
+                "to full journal replay)"
+            )
+
+        if not report.clean and not args.salvage:
+            print(
+                "\nthe journal tail is torn; re-run with --salvage to "
+                "truncate it, or resume with "
+                "DocsSystem.resume(path, repair=True)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    except JournalCorruptionError as exc:
+        print(f"journal integrity  : CORRUPT — {exc}", file=sys.stderr)
+        return 1
+    finally:
+        db.close()
+
+
 def _cmd_report(args) -> int:
     import pathlib
 
@@ -370,6 +478,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "compare-ti": _cmd_compare_ti,
     "compare-ota": _cmd_compare_ota,
+    "check-db": _cmd_check_db,
     "report": _cmd_report,
 }
 

@@ -52,6 +52,31 @@ class JournalCorruptionError(ReproError):
     """
 
 
+class SchemaVersionError(ReproError):
+    """A durable file was written by a newer schema than this build.
+
+    Raised when a campaign database or shared worker store carries a
+    ``repro_meta`` schema version above what this code supports:
+    decoding newer layouts blind would crash (or worse, silently
+    misread) — the error names both versions so the operator knows to
+    upgrade the code, not to repair the file.
+
+    Attributes:
+        found: the schema version stored in the file.
+        supported: the highest version this build reads.
+    """
+
+    def __init__(self, path: str, found: int, supported: int):
+        super().__init__(
+            f"database at {path!r} was written by schema version "
+            f"{found}, but this build supports versions up to "
+            f"{supported}; upgrade the code to open it (the file is "
+            "intact — do not edit it)"
+        )
+        self.found = found
+        self.supported = supported
+
+
 class UnknownWorkerError(ReproError, KeyError):
     """A worker id was not found in the quality store."""
 

@@ -10,6 +10,11 @@ This package simulates that loop:
   ``sqlite3``;
 - :mod:`repro.platform.journal` — the crash-safe write-behind answer
   journal DocsSystem campaigns persist and resume through;
+- :mod:`repro.platform.faults` — the fault-injection harness the
+  crash-safety matrix drives the durable paths with (inert in
+  production);
+- :mod:`repro.platform.retry` — bounded exponential-backoff retries
+  for transient SQLite lock contention;
 - :mod:`repro.platform.hit` — HIT batching and payment accounting;
 - :mod:`repro.platform.budget` — requester budget tracking;
 - :mod:`repro.platform.amt_sim` — the end-to-end interaction loop
@@ -17,11 +22,14 @@ This package simulates that loop:
 """
 
 from repro.platform.storage import AnswerTable, SystemDatabase
+from repro.platform.faults import CrashPoint, FaultInjector
 from repro.platform.journal import (
     AnswerJournal,
     JournaledAnswerTable,
     JournalEntry,
+    SalvageReport,
 )
+from repro.platform.retry import RetryPolicy
 from repro.platform.sqlite_storage import (
     CampaignSnapshot,
     SqliteAnswerTable,
@@ -35,9 +43,13 @@ from repro.platform.amt_sim import PlatformSimulator, SimulationReport
 __all__ = [
     "AnswerTable",
     "SystemDatabase",
+    "CrashPoint",
+    "FaultInjector",
     "AnswerJournal",
     "JournaledAnswerTable",
     "JournalEntry",
+    "SalvageReport",
+    "RetryPolicy",
     "CampaignSnapshot",
     "SqliteAnswerTable",
     "SqliteSystemDatabase",

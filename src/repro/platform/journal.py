@@ -41,6 +41,14 @@ together, so the snapshot-resume index rebuild is unchanged; a *full*
 replay of a truncated journal is impossible by construction and is
 refused loudly.
 
+**Salvage.** Corruption detection is strict by default: resume refuses
+a journal whose tail is torn or altered. When the operator prefers
+losing the torn tail to losing the campaign,
+:meth:`AnswerJournal.salvage` truncates back to the longest replayable
+prefix — dropping every row from the first inconsistency onward — and
+reports exactly what was dropped (``DocsSystem.resume(repair=True)``
+and ``repro check-db`` drive it).
+
 :class:`JournaledAnswerTable` adapts the journal to the
 :class:`repro.platform.storage.AnswerTable` interface: reads and the
 at-most-once constraint are served synchronously from an in-memory
@@ -49,6 +57,7 @@ index, durability rides the journal.
 
 from __future__ import annotations
 
+import logging
 import sqlite3
 import time
 import zlib
@@ -57,7 +66,11 @@ from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.types import Answer
 from repro.errors import JournalCorruptionError, ValidationError
+from repro.platform import faults
+from repro.platform.retry import DEFAULT_POLICY, RetryPolicy
 from repro.platform.storage import AnswerTable
+
+logger = logging.getLogger(__name__)
 
 #: Journal row kinds, in the order a campaign produces them.
 KIND_ANSWER = 0  #: a campaign answer (budget-consuming submit)
@@ -142,6 +155,9 @@ class AnswerJournal:
         batch_size: flush automatically once this many events are
             pending. ``1`` degenerates to write-through.
         clock: timestamp source (injectable for tests).
+        retry: backoff policy for flush commits that hit lock
+            contention (``database is locked``); defaults to
+            :data:`repro.platform.retry.DEFAULT_POLICY`.
     """
 
     def __init__(
@@ -149,18 +165,30 @@ class AnswerJournal:
         conn: sqlite3.Connection,
         batch_size: int = 256,
         clock: Callable[[], float] = time.time,
+        retry: Optional[RetryPolicy] = None,
     ):
         if batch_size < 1:
             raise ValidationError("journal batch_size must be >= 1")
         self._conn = conn
         self._batch_size = batch_size
         self._clock = clock
+        self._retry = retry if retry is not None else DEFAULT_POLICY
         self._conn.executescript(_JOURNAL_SCHEMA)
         self._conn.commit()
-        # Take the maxima over BOTH tables: after the documented
-        # corruption remediation (deleting one bad batch from both
-        # tables) either table may be ahead of the other, and a reused
-        # seq/batch id would collide on the next flush.
+        self._load_cursors()
+        #: (kind, task_row, task_id, worker_id, choice, ts) awaiting flush.
+        self._pending: List[Tuple] = []
+
+    def _load_cursors(self) -> None:
+        """(Re)derive the seq/batch cursors from the file.
+
+        Takes the maxima over BOTH journal tables: after the documented
+        corruption remediation (deleting one bad batch from both
+        tables) — or a :meth:`salvage` — either table may be ahead of
+        the other, and a reused seq/batch id would collide on the next
+        flush. The archive holds truncated seqs; a fully truncated
+        journal must not restart the seq space on top of them.
+        """
         row = self._conn.execute(
             "SELECT COALESCE(MAX(seq), -1), COALESCE(MAX(batch), -1) "
             "FROM answers_log"
@@ -169,15 +197,11 @@ class AnswerJournal:
             "SELECT COALESCE(MAX(last_seq), -1), "
             "COALESCE(MAX(batch), -1) FROM journal_batches"
         ).fetchone()
-        # The archive holds truncated seqs; a fully truncated journal
-        # must not restart the seq space on top of them.
         (archived,) = self._conn.execute(
             "SELECT COALESCE(MAX(seq), -1) FROM answers_archive"
         ).fetchone()
         self._next_seq = max(int(row[0]), int(meta[0]), int(archived)) + 1
         self._next_batch = max(int(row[1]), int(meta[1])) + 1
-        #: (kind, task_row, task_id, worker_id, choice, ts) awaiting flush.
-        self._pending: List[Tuple] = []
 
     @property
     def batch_size(self) -> int:
@@ -265,21 +289,41 @@ class AnswerJournal:
         Idempotent: with nothing pending this is a no-op returning 0,
         so repeated checkpoints are safe and cheap.
 
+        Atomic against mid-flush failure: any exception — a rolled-back
+        commit, lock contention, an injected crash — restores the
+        cursors *and the pending buffer*, so the events are re-flushed
+        by the next :meth:`flush` / checkpoint instead of silently
+        dropped. Lock contention (``database is locked``) is retried
+        under the journal's :class:`~repro.platform.retry.RetryPolicy`
+        before surfacing.
+
+        Fault points: ``journal.flush.pre-commit`` fires inside the
+        transaction after the row statements, ``journal.flush.post-
+        commit`` immediately after the commit.
+
         Returns:
             The number of rows made durable.
         """
         if not self._pending:
             return 0
-        state = self.cursor_state()
-        try:
-            with self._conn:
-                return self.flush_in_transaction()
-        except Exception:
-            # The commit failed: put the cursors and the pending
-            # buffer back in step with the file so the events are
-            # retried on the next flush instead of silently dropped.
-            self.restore_cursor_state(state)
-            raise
+
+        def attempt() -> int:
+            state = self.cursor_state()
+            try:
+                with self._conn:
+                    rows = self.flush_in_transaction()
+                    faults.fire("journal.flush.pre-commit")
+                    return rows
+            except BaseException:
+                # The commit failed (or a fault fired): put the cursors
+                # and the pending buffer back in step with the file so
+                # the events are retried instead of silently dropped.
+                self.restore_cursor_state(state)
+                raise
+
+        flushed = self._retry.run(attempt, description="journal flush")
+        faults.fire("journal.flush.post-commit")
+        return flushed
 
     def cursor_state(self) -> Tuple[int, int, List[Tuple]]:
         """The write-behind cursors and pending buffer, for rollback.
@@ -537,6 +581,160 @@ class AnswerJournal:
                     f"journal batch {batch} fails its checksum: the "
                     f"rows were altered after commit; {remedy}"
                 )
+
+    # -- salvage ---------------------------------------------------------
+
+    def salvage(self, dry_run: bool = False) -> "SalvageReport":
+        """Truncate a torn tail back to the last consistent prefix.
+
+        Finds the lowest seq at which the journal stops being
+        self-consistent — rows without a batch record (a torn final
+        write), or a batch whose row count, span, or CRC disagrees with
+        its record — and drops **everything from that seq onward**
+        (rows and batch records both). Replay is strictly prefix-
+        ordered, so a valid batch *behind* a corrupt one cannot be
+        kept: the salvaged journal is the longest replayable prefix.
+
+        The operation is explicit and lossy by design: the report says
+        exactly what was (or, with ``dry_run``, would be) dropped, and
+        the caller — :meth:`DocsSystem.resume(repair=True)
+        <repro.system.docs_system.DocsSystem.resume>` or the
+        ``repro check-db`` CLI — surfaces it to the operator. The
+        archived (truncated) prefix is never touched: it carries no
+        CRC and is covered by its snapshot.
+
+        Args:
+            dry_run: only diagnose; leave the file unmodified.
+
+        Returns:
+            A :class:`SalvageReport`; ``report.clean`` means the
+            journal already validated and nothing was dropped.
+        """
+        recorded = self._conn.execute(
+            "SELECT batch, first_seq, last_seq, row_count, checksum "
+            "FROM journal_batches ORDER BY first_seq"
+        ).fetchall()
+        cut: Optional[int] = None
+        problem: Optional[str] = None
+        (orphan_min,) = self._conn.execute(
+            "SELECT MIN(seq) FROM answers_log WHERE batch NOT IN "
+            "(SELECT batch FROM journal_batches)"
+        ).fetchone()
+        if orphan_min is not None:
+            cut = int(orphan_min)
+            problem = (
+                "rows without a batch record (torn final write) from "
+                f"seq {cut}"
+            )
+        for batch, first, last, count, checksum in recorded:
+            if cut is not None and first >= cut:
+                break
+            rows = self._conn.execute(
+                "SELECT seq, kind, task_row, task_id, worker_id, choice "
+                "FROM answers_log WHERE batch = ? ORDER BY seq",
+                (batch,),
+            ).fetchall()
+            crc = 0
+            for seq, kind, task_row, task_id, worker_id, choice in rows:
+                crc = _row_crc(
+                    crc, seq, kind, task_row, task_id, worker_id, choice
+                )
+            intact = (
+                len(rows) == count
+                and rows
+                and rows[0][0] == first
+                and rows[-1][0] == last
+                and crc == checksum
+            )
+            if not intact:
+                start = min(first, rows[0][0]) if rows else first
+                if cut is None or start < cut:
+                    cut = int(start)
+                    problem = (
+                        f"batch {batch} (seq {first}..{last}) fails "
+                        "its row-count/span/CRC check"
+                    )
+                break
+        if cut is None:
+            return SalvageReport(
+                valid_through_seq=self.last_committed_seq,
+                dropped_rows=0,
+                dropped_answers=0,
+                dropped_batches=0,
+                dry_run=dry_run,
+                problem=None,
+            )
+        (dropped_rows,) = self._conn.execute(
+            "SELECT COUNT(*) FROM answers_log WHERE seq >= ?", (cut,)
+        ).fetchone()
+        (dropped_answers,) = self._conn.execute(
+            "SELECT COUNT(*) FROM answers_log WHERE seq >= ? "
+            "AND kind = ?",
+            (cut, KIND_ANSWER),
+        ).fetchone()
+        (dropped_batches,) = self._conn.execute(
+            "SELECT COUNT(*) FROM journal_batches WHERE last_seq >= ?",
+            (cut,),
+        ).fetchone()
+        (valid_through,) = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), ?) FROM answers_log "
+            "WHERE seq < ?",
+            (self.archived_through, cut),
+        ).fetchone()
+        report = SalvageReport(
+            valid_through_seq=int(valid_through),
+            dropped_rows=int(dropped_rows),
+            dropped_answers=int(dropped_answers),
+            dropped_batches=int(dropped_batches),
+            dry_run=dry_run,
+            problem=problem,
+        )
+        if dry_run:
+            return report
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM answers_log WHERE seq >= ?", (cut,)
+            )
+            self._conn.execute(
+                "DELETE FROM journal_batches WHERE last_seq >= ?", (cut,)
+            )
+        self._load_cursors()
+        logger.warning(
+            "journal salvage dropped %d row(s) (%d answer(s)) across "
+            "%d batch(es) after seq %d: %s",
+            report.dropped_rows, report.dropped_answers,
+            report.dropped_batches, report.valid_through_seq,
+            report.problem,
+        )
+        return report
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """What :meth:`AnswerJournal.salvage` dropped (or would drop).
+
+    Attributes:
+        valid_through_seq: last seq of the surviving consistent prefix
+            (the archive watermark when nothing survives beyond it).
+        dropped_rows: journal rows removed (all kinds).
+        dropped_answers: :data:`KIND_ANSWER` rows among them — the
+            campaign events actually lost.
+        dropped_batches: batch records removed with them.
+        dry_run: True when nothing was actually deleted.
+        problem: why the cut happened (``None`` on a clean journal).
+    """
+
+    valid_through_seq: int
+    dropped_rows: int
+    dropped_answers: int
+    dropped_batches: int
+    dry_run: bool
+    problem: Optional[str]
+
+    @property
+    def clean(self) -> bool:
+        """True when the journal needed no repair."""
+        return self.dropped_rows == 0 and self.dropped_batches == 0
 
 
 class JournaledAnswerTable:

@@ -1,0 +1,168 @@
+"""Bounded retry with exponential backoff for transient SQLite errors.
+
+SQLite serialises writers per file: when several campaigns export into
+one shared worker store, or a journal flush races an external reader
+holding the write lock, the losing connection sees
+``sqlite3.OperationalError: database is locked`` (or ``... busy``).
+That is contention, not corruption — the correct response is to back
+off and retry, not to kill the campaign.
+
+Two layers of defence are wired by the storage plane:
+
+1. ``PRAGMA busy_timeout`` (per connection, from
+   ``DocsConfig.busy_timeout_ms``) makes SQLite itself spin-wait below
+   the statement, absorbing short lock windows with no Python
+   involvement;
+2. :class:`RetryPolicy` wraps the *whole transaction* and re-runs it on
+   a transient error with bounded exponential backoff plus jitter —
+   covering the windows the busy handler cannot (a deadlock-avoiding
+   immediate abort, a writer that outlives the timeout).
+
+Only errors recognised by :func:`is_transient` are retried; everything
+else — integrity errors, corruption, an injected
+:class:`repro.platform.faults.CrashPoint` — propagates on the first
+throw.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, TypeVar
+
+from repro.errors import ValidationError
+
+logger = logging.getLogger(__name__)
+
+T = TypeVar("T")
+
+#: Message fragments marking a transient (retryable) SQLite error.
+_TRANSIENT_MARKERS = ("database is locked", "database is busy")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Is this exception a retryable lock-contention signal?
+
+    Only ``sqlite3.OperationalError`` whose message names the lock
+    (``database is locked`` / ``database is busy``) qualifies; other
+    operational errors (disk I/O, malformed file) are real failures.
+    """
+    return isinstance(exc, sqlite3.OperationalError) and any(
+        marker in str(exc) for marker in _TRANSIENT_MARKERS
+    )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter.
+
+    Attempt ``k`` (0-based) sleeps ``min(base_delay * 2**k, max_delay)``
+    scaled by a uniform jitter in ``[1 - jitter, 1 + jitter]`` before
+    retrying; after ``attempts`` tries the last error propagates.
+
+    Args:
+        attempts: total tries, including the first (>= 1).
+        base_delay: first backoff in seconds (>= 0; 0 = immediate
+            retries, the deterministic test configuration).
+        max_delay: backoff ceiling in seconds.
+        jitter: fractional randomisation of each delay, in [0, 1) —
+            de-synchronises campaigns that collided once from colliding
+            on every retry after.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValidationError("retry attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ValidationError("retry base_delay must be >= 0")
+        if self.max_delay < self.base_delay:
+            raise ValidationError(
+                "retry max_delay must be >= base_delay"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValidationError("retry jitter must be in [0, 1)")
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """The backoff sequence (``attempts - 1`` sleeps), jittered."""
+        rng = rng if rng is not None else random
+        delay = self.base_delay
+        for _ in range(self.attempts - 1):
+            scale = 1.0
+            if self.jitter > 0:
+                scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield delay * scale
+            delay = min(delay * 2.0, self.max_delay)
+
+    def run(
+        self,
+        operation: Callable[[], T],
+        *,
+        description: str = "sqlite transaction",
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> T:
+        """Run ``operation`` until it succeeds or the budget is spent.
+
+        ``operation`` must be safe to re-run from scratch — the storage
+        plane passes whole transactions (roll back + restore in-memory
+        cursors on failure) so a retry replays the identical work.
+
+        Args:
+            operation: the transaction body.
+            description: named in the retry log lines.
+            sleep: injectable for tests (defaults to ``time.sleep``).
+            rng: injectable jitter source.
+
+        Returns:
+            ``operation()``'s result.
+
+        Raises:
+            BaseException: the first non-transient error immediately,
+                or the last transient error once attempts are spent.
+        """
+        backoffs = self.delays(rng)
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                if not is_transient(exc) or attempt >= self.attempts:
+                    raise
+                delay = next(backoffs)
+                logger.warning(
+                    "%s hit lock contention (attempt %d/%d): %s; "
+                    "retrying in %.3fs",
+                    description, attempt, self.attempts, exc, delay,
+                )
+                if delay > 0:
+                    sleep(delay)
+        raise AssertionError("unreachable: retry loop always returns")
+
+
+#: Policy used when a caller passes none: a handful of attempts, sub-
+#: second total budget — enough for checkpoint-length lock windows.
+DEFAULT_POLICY = RetryPolicy()
+
+
+def apply_busy_timeout(
+    conn: sqlite3.Connection, busy_timeout_ms: int
+) -> None:
+    """Wire ``PRAGMA busy_timeout`` onto a connection.
+
+    Args:
+        conn: the connection.
+        busy_timeout_ms: milliseconds SQLite spin-waits on a lock below
+            the statement before surfacing ``database is locked`` (0
+            surfaces contention immediately — the configuration the
+            retry-policy tests use to exercise the Python-level loop).
+    """
+    if busy_timeout_ms < 0:
+        raise ValidationError("busy_timeout_ms must be >= 0")
+    conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")

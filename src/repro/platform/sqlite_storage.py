@@ -43,10 +43,58 @@ import numpy as np
 from repro.core.arena import GroupState
 from repro.core.types import Answer, Task
 from repro.core.quality_store import WorkerStats, _blend
-from repro.errors import UnknownTaskError, UnknownWorkerError, ValidationError
+from repro.errors import (
+    SchemaVersionError,
+    UnknownTaskError,
+    UnknownWorkerError,
+    ValidationError,
+)
+from repro.platform import faults
 from repro.platform.journal import AnswerJournal, JournaledAnswerTable
+from repro.platform.retry import (
+    DEFAULT_POLICY,
+    RetryPolicy,
+    apply_busy_timeout,
+)
 
 logger = logging.getLogger(__name__)
+
+#: Layout version stamped into every durable file this module creates
+#: (``repro_meta`` table). Bump it when the on-disk layout changes in a
+#: way older readers would misdecode; opening a file stamped with a
+#: NEWER version raises :class:`repro.errors.SchemaVersionError`
+#: instead of crashing mid-decode. Files from before the stamp existed
+#: are adopted as the current version in place.
+SCHEMA_VERSION = 1
+
+_META_SCHEMA = """
+CREATE TABLE IF NOT EXISTS repro_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def _check_schema_version(conn: sqlite3.Connection, path: str) -> None:
+    """Stamp a new file / adopt a legacy one / refuse a newer one."""
+    conn.executescript(_META_SCHEMA)
+    row = conn.execute(
+        "SELECT value FROM repro_meta WHERE key = 'schema_version'"
+    ).fetchone()
+    if row is None:
+        conn.execute(
+            "INSERT INTO repro_meta (key, value) VALUES "
+            "('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        conn.commit()
+        return
+    try:
+        found = int(row[0])
+    except (TypeError, ValueError):
+        raise SchemaVersionError(path, -1, SCHEMA_VERSION) from None
+    if found > SCHEMA_VERSION:
+        raise SchemaVersionError(path, found, SCHEMA_VERSION)
 
 _ANSWER_SCHEMA = """
 CREATE TABLE IF NOT EXISTS answers (
@@ -376,15 +424,37 @@ class SqliteSystemDatabase:
         path: SQLite database path (or ``":memory:"``).
         journal_batch_size: enable journaled answer mode with this
             flush threshold; ``None`` keeps the direct-write mode.
+        busy_timeout_ms: ``PRAGMA busy_timeout`` for the connection —
+            SQLite spin-waits this long on a held lock before
+            surfacing ``database is locked`` to the retry layer.
+        retry: backoff policy applied to journal flush commits under
+            lock contention; defaults to
+            :data:`repro.platform.retry.DEFAULT_POLICY`.
+
+    Raises:
+        SchemaVersionError: if the file was written by a newer schema
+            version than this build supports.
     """
 
     def __init__(
         self,
         path: str = ":memory:",
         journal_batch_size: Optional[int] = None,
+        busy_timeout_ms: int = 5000,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.path = path
-        self._conn = sqlite3.connect(path)
+        self._retry = retry if retry is not None else DEFAULT_POLICY
+        faults.fire("db.connect")
+        self._conn = sqlite3.connect(
+            path, timeout=busy_timeout_ms / 1000.0
+        )
+        apply_busy_timeout(self._conn, busy_timeout_ms)
+        try:
+            _check_schema_version(self._conn, path)
+        except SchemaVersionError:
+            self._conn.close()
+            raise
         self._conn.executescript(_TASK_SCHEMA)
         self._conn.executescript(_SNAPSHOT_SCHEMA)
         self._migrate()
@@ -403,7 +473,9 @@ class SqliteSystemDatabase:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self.journal = AnswerJournal(
-                self._conn, batch_size=journal_batch_size
+                self._conn,
+                batch_size=journal_batch_size,
+                retry=retry,
             )
             self.answers = JournaledAnswerTable(self.journal)
 
@@ -526,47 +598,61 @@ class SqliteSystemDatabase:
             group_rows,
             worker_rows,
         )
-        try:
-            with self._conn:
-                flushed = self.journal.flush_in_transaction()
-                (prev,) = self._conn.execute(
-                    "SELECT COALESCE(MAX(snap_id), 0) FROM snapshot_meta"
-                ).fetchone()
-                snap_id = int(prev) + 1
-                for table in (
-                    "snapshot_meta", "snapshot_groups",
-                    "snapshot_workers",
-                ):
-                    self._conn.execute(f"DELETE FROM {table}")
-                self._conn.execute(
-                    "INSERT INTO snapshot_meta (snap_id, journal_seq, "
-                    "num_domains, rerun_cursor, created_ts, checksum) "
-                    "VALUES (?, ?, ?, ?, ?, ?)",
-                    (
-                        snap_id,
-                        snapshot.journal_seq,
-                        snapshot.num_domains,
-                        snapshot.rerun_cursor,
-                        time.time(),
-                        checksum,
-                    ),
-                )
-                self._conn.executemany(
-                    "INSERT INTO snapshot_groups (snap_id, ell, "
-                    "row_count, R, M, S, logN, H, dirty) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    [(snap_id,) + row for row in group_rows],
-                )
-                self._conn.executemany(
-                    "INSERT INTO snapshot_workers (snap_id, worker_id, "
-                    "quality, weight, golden_quality, bootstrapped, "
-                    "exported_quality, exported_weight) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                    [(snap_id,) + row for row in worker_rows],
-                )
-        except Exception:
-            self.journal.restore_cursor_state(cursor_state)
-            raise
+        def attempt() -> int:
+            try:
+                faults.fire("snapshot.write.post-crc")
+                with self._conn:
+                    flushed = self.journal.flush_in_transaction()
+                    (prev,) = self._conn.execute(
+                        "SELECT COALESCE(MAX(snap_id), 0) "
+                        "FROM snapshot_meta"
+                    ).fetchone()
+                    snap_id = int(prev) + 1
+                    for table in (
+                        "snapshot_meta", "snapshot_groups",
+                        "snapshot_workers",
+                    ):
+                        self._conn.execute(f"DELETE FROM {table}")
+                    self._conn.execute(
+                        "INSERT INTO snapshot_meta (snap_id, "
+                        "journal_seq, num_domains, rerun_cursor, "
+                        "created_ts, checksum) VALUES (?, ?, ?, ?, ?, ?)",
+                        (
+                            snap_id,
+                            snapshot.journal_seq,
+                            snapshot.num_domains,
+                            snapshot.rerun_cursor,
+                            time.time(),
+                            checksum,
+                        ),
+                    )
+                    faults.fire("snapshot.write.mid-transaction")
+                    self._conn.executemany(
+                        "INSERT INTO snapshot_groups (snap_id, ell, "
+                        "row_count, R, M, S, logN, H, dirty) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        [(snap_id,) + row for row in group_rows],
+                    )
+                    self._conn.executemany(
+                        "INSERT INTO snapshot_workers (snap_id, "
+                        "worker_id, quality, weight, golden_quality, "
+                        "bootstrapped, exported_quality, "
+                        "exported_weight) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                        [(snap_id,) + row for row in worker_rows],
+                    )
+                    return flushed
+            except BaseException:
+                # Roll the write-behind cursors back in step with the
+                # file whatever unwound the transaction — a sqlite
+                # error, lock contention, or an injected crash
+                # mid-transaction — so a retry (or a later flush)
+                # replays the identical pending events.
+                self.journal.restore_cursor_state(cursor_state)
+                raise
+
+        flushed = self._retry.run(attempt, description="snapshot write")
+        faults.fire("snapshot.write.post-commit")
         return flushed
 
     def load_snapshot(self) -> Optional[CampaignSnapshot]:
@@ -643,11 +729,17 @@ class SqliteSystemDatabase:
                         _decode_matrix(exported_q, (m,)),
                         _decode_matrix(exported_u, (m,)),
                     )
-        except Exception as exc:  # corrupt blob shapes, checksum, ...
+        except (ValidationError, ValueError) as exc:
+            # Exactly the decode failure modes a corrupt snapshot can
+            # produce: the local checksum ValidationError above, and
+            # numpy's ValueError on a blob whose size disagrees with
+            # its recorded shape. Anything else is a real bug and must
+            # propagate — a broad guard here once swallowed the cause.
             logger.warning(
-                "snapshot %s at %r is unusable (%s); falling back to "
-                "full journal replay",
-                snap_id, self.path, exc,
+                "snapshot %s at %r is unusable (%s: %s); falling back "
+                "to full journal replay",
+                snap_id, self.path, type(exc).__name__, exc,
+                exc_info=True,
             )
             return None
         return CampaignSnapshot(
@@ -904,6 +996,16 @@ class SqliteWorkerQualityStore:
         num_domains: m, the taxonomy size.
         path: SQLite database path (or ``":memory:"``).
         default_quality: quality reported for unknown workers/domains.
+        busy_timeout_ms: ``PRAGMA busy_timeout`` for the connection —
+            the store is the cross-campaign contention hot spot, so
+            short lock windows are absorbed below the statement.
+        retry: backoff policy for :meth:`apply_batch_delta` under lock
+            contention; defaults to
+            :data:`repro.platform.retry.DEFAULT_POLICY`.
+
+    Raises:
+        SchemaVersionError: if the file was written by a newer schema
+            version than this build supports.
     """
 
     def __init__(
@@ -911,6 +1013,8 @@ class SqliteWorkerQualityStore:
         num_domains: int,
         path: str = ":memory:",
         default_quality: float = 0.7,
+        busy_timeout_ms: int = 5000,
+        retry: Optional[RetryPolicy] = None,
     ):
         if num_domains <= 0:
             raise ValidationError("num_domains must be positive")
@@ -918,7 +1022,17 @@ class SqliteWorkerQualityStore:
             raise ValidationError("default_quality must be in (0, 1)")
         self._m = num_domains
         self._default_quality = default_quality
-        self._conn = sqlite3.connect(path)
+        self._retry = retry if retry is not None else DEFAULT_POLICY
+        faults.fire("db.connect")
+        self._conn = sqlite3.connect(
+            path, timeout=busy_timeout_ms / 1000.0
+        )
+        apply_busy_timeout(self._conn, busy_timeout_ms)
+        try:
+            _check_schema_version(self._conn, path)
+        except SchemaVersionError:
+            self._conn.close()
+            raise
         self._conn.executescript(_WORKER_SCHEMA)
         self._conn.commit()
 
@@ -1054,6 +1168,13 @@ class SqliteWorkerQualityStore:
         without the insert-then-update double round-trip per domain.
         The result is clamped into [0, 1] like the in-memory fold; a
         zero-weight fold reports the default quality.
+
+        The transaction runs under the store's retry policy: a
+        ``database is locked`` from a concurrently exporting campaign
+        (or an armed ``worker_store.apply_delta`` fault) is backed off
+        and the whole fold re-run — the SQL fold is idempotent per
+        transaction, so a retry replays identical work against the
+        committed state.
         """
         delta_mass = np.asarray(delta_mass, dtype=float)
         delta_weight = np.asarray(delta_weight, dtype=float)
@@ -1065,34 +1186,45 @@ class SqliteWorkerQualityStore:
             )
         if np.any(delta_weight < 0):
             raise ValidationError("delta weights must be non-negative")
-        with self._conn:
-            # ?3 = Δmass, ?4 = Δu, ?5 = default quality. The insert arm
-            # is the fold against an implicit (default, 0) base; the
-            # conflict arm folds against the committed row.
-            self._conn.executemany(
-                "INSERT INTO worker_stats "
-                "(worker_id, domain, quality, weight) VALUES "
-                "(?1, ?2, MAX(0.0, MIN(1.0, "
-                "  CASE WHEN ?4 > 0 THEN ?3 / ?4 ELSE ?5 END)), ?4) "
-                "ON CONFLICT (worker_id, domain) DO UPDATE SET "
-                "quality = MAX(0.0, MIN(1.0, "
-                "  CASE WHEN worker_stats.weight + ?4 > 0 "
-                "  THEN (worker_stats.quality * worker_stats.weight + ?3)"
-                "       / (worker_stats.weight + ?4) "
-                "  ELSE ?5 END)), "
-                "weight = worker_stats.weight + ?4",
-                [
-                    (
-                        worker_id,
-                        domain,
-                        float(delta_mass[domain]),
-                        float(delta_weight[domain]),
-                        self._default_quality,
-                    )
-                    for domain in range(self._m)
-                ],
-            )
+
+        def attempt() -> None:
+            with self._conn:
+                faults.fire("worker_store.apply_delta")
+                self._run_fold(worker_id, delta_mass, delta_weight)
+
+        self._retry.run(attempt, description="worker store delta")
         return self.get(worker_id)
+
+    def _run_fold(
+        self, worker_id: str, delta_mass: np.ndarray,
+        delta_weight: np.ndarray,
+    ) -> None:
+        # ?3 = Δmass, ?4 = Δu, ?5 = default quality. The insert arm
+        # is the fold against an implicit (default, 0) base; the
+        # conflict arm folds against the committed row.
+        self._conn.executemany(
+            "INSERT INTO worker_stats "
+            "(worker_id, domain, quality, weight) VALUES "
+            "(?1, ?2, MAX(0.0, MIN(1.0, "
+            "  CASE WHEN ?4 > 0 THEN ?3 / ?4 ELSE ?5 END)), ?4) "
+            "ON CONFLICT (worker_id, domain) DO UPDATE SET "
+            "quality = MAX(0.0, MIN(1.0, "
+            "  CASE WHEN worker_stats.weight + ?4 > 0 "
+            "  THEN (worker_stats.quality * worker_stats.weight + ?3)"
+            "       / (worker_stats.weight + ?4) "
+            "  ELSE ?5 END)), "
+            "weight = worker_stats.weight + ?4",
+            [
+                (
+                    worker_id,
+                    domain,
+                    float(delta_mass[domain]),
+                    float(delta_weight[domain]),
+                    self._default_quality,
+                )
+                for domain in range(self._m)
+            ],
+        )
 
     def initialize_from_golden(
         self,

@@ -41,6 +41,21 @@ class DocsConfig:
             a campaign can only be resumed through a snapshot — the
             full-replay fallback needs the journal rows the truncation
             removed — so this trades the fallback for O(tail) resume.
+        busy_timeout_ms: with sqlite storage, ``PRAGMA busy_timeout``
+            (and the connection-open timeout) in milliseconds — SQLite
+            spin-waits this long on a held write lock below the
+            statement before surfacing ``database is locked``. ``0``
+            surfaces contention immediately (the configuration the
+            retry tests use to exercise the Python-level backoff).
+        commit_retry_attempts: total tries (including the first) the
+            journal-flush / snapshot / shared-store-export retry policy
+            makes against a transient ``database is locked`` before the
+            error propagates (and, on serving paths, the campaign drops
+            to degraded mode).
+        commit_retry_base_delay: first backoff delay in seconds of the
+            commit retry policy (doubles per attempt, jittered).
+        commit_retry_max_delay: backoff ceiling in seconds of the
+            commit retry policy.
         serve_index: maintain an
             :class:`repro.core.serving.AssignmentIndex` over the arena
             and serve ``assign`` through it (cached per-quality benefit
@@ -67,6 +82,10 @@ class DocsConfig:
     journal_batch_size: int = 256
     snapshot_every_batches: int = 16
     truncate_journal: bool = False
+    busy_timeout_ms: int = 5000
+    commit_retry_attempts: int = 5
+    commit_retry_base_delay: float = 0.05
+    commit_retry_max_delay: float = 1.0
     serve_index: bool = True
     serve_bucket_granularity: float = 0.05
     serve_frontier_size: int = 64
@@ -97,6 +116,18 @@ class DocsConfig:
             raise ValidationError(
                 "snapshot_every_batches must be >= 0 (0 disables the "
                 "automatic trigger)"
+            )
+        if self.busy_timeout_ms < 0:
+            raise ValidationError("busy_timeout_ms must be >= 0")
+        if self.commit_retry_attempts < 1:
+            raise ValidationError("commit_retry_attempts must be >= 1")
+        if self.commit_retry_base_delay < 0:
+            raise ValidationError(
+                "commit_retry_base_delay must be >= 0"
+            )
+        if self.commit_retry_max_delay < self.commit_retry_base_delay:
+            raise ValidationError(
+                "commit_retry_max_delay must be >= commit_retry_base_delay"
             )
         if self.serve_bucket_granularity <= 0:
             raise ValidationError(

@@ -45,6 +45,19 @@ tail beyond its watermark — O(n + tail) instead of O(campaign). A
 missing or corrupt snapshot is never fatal: resume falls back to full
 replay.
 
+**Graceful degradation.** Durability failures on serving paths —
+exhausted lock-contention retries on a journal flush, a snapshot or
+shared-store export hitting ``sqlite3.Error`` — do not take the
+campaign down. The system drops to an explicit **degraded** mode
+(:meth:`durability_status`): accepted answers keep serving from the
+in-memory indexes and stay buffered in the journal's pending queue,
+shared-store export deltas queue in a backlog, and every entry into
+degraded mode is logged loudly. :meth:`checkpoint` retries the durable
+write; on success it drains the backlog and restores ``durable`` mode
+with zero accepted answers lost. Only ``sqlite3.Error`` degrades —
+anything else (validation errors, an injected
+:class:`~repro.platform.faults.CrashPoint`) propagates unchanged.
+
 **Cross-requester worker model.** The paper's Section 4.2 maintains
 worker quality *in the database across requesters*. Passing
 ``worker_store=`` (typically a durable
@@ -60,6 +73,7 @@ at bootstrap time.
 from __future__ import annotations
 
 import logging
+import sqlite3
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -81,6 +95,7 @@ from repro.platform.journal import (
     KIND_BOOTSTRAP_ANSWER,
     KIND_BOOTSTRAP_DONE,
 )
+from repro.platform.retry import RetryPolicy
 from repro.platform.sqlite_storage import (
     CampaignSnapshot,
     SqliteSystemDatabase,
@@ -186,8 +201,19 @@ class DocsSystem:
         #: and snapshot writes.
         self._replaying = False
         #: Filled by resume(): {"snapshot_seq": int | None,
-        #: "tail_entries": int}.
+        #: "tail_entries": int} (plus "salvage" under repair=True).
         self._resume_info: Optional[Dict[str, object]] = None
+        #: True while durable writes are failing: answers buffer in
+        #: memory (journal pending), exports queue in
+        #: ``_pending_shared_exports``, serving continues.
+        self._degraded = False
+        #: Why the campaign degraded (first failure's description).
+        self._degraded_reason: Optional[str] = None
+        #: Shared-store deltas (worker_id, Δmass, Δu) that could not be
+        #: merged while degraded; drained by :meth:`checkpoint`.
+        self._pending_shared_exports: List[
+            Tuple[str, np.ndarray, np.ndarray]
+        ] = []
 
     @property
     def config(self) -> DocsConfig:
@@ -365,12 +391,22 @@ class DocsSystem:
         )
         self._assigner.attach_index(self._serving_index)
 
+    def _commit_retry_policy(self) -> RetryPolicy:
+        """The config-derived backoff policy for durable commits."""
+        return RetryPolicy(
+            attempts=self._config.commit_retry_attempts,
+            base_delay=self._config.commit_retry_base_delay,
+            max_delay=self._config.commit_retry_max_delay,
+        )
+
     def _make_database(self) -> SystemDatabase:
         if self._storage == "memory":
             return SystemDatabase()
         db = SqliteSystemDatabase(
             self._path,
             journal_batch_size=self._config.journal_batch_size,
+            busy_timeout_ms=self._config.busy_timeout_ms,
+            retry=self._commit_retry_policy(),
         )
         if len(db) > 0:
             db.close()
@@ -461,31 +497,64 @@ class DocsSystem:
         return True
 
     def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
-        """Initialise a new worker's quality from golden-task answers."""
+        """Initialise a new worker's quality from golden-task answers.
+
+        Durability failures (``sqlite3.Error`` on the journal flush or
+        the shared-store merge) degrade the campaign instead of failing
+        the bootstrap: the worker's quality is live in memory, the
+        journal retains the bootstrap events in its pending buffer, and
+        the shared-store delta queues for :meth:`checkpoint` to drain.
+        """
         self._restore_bootstrap(worker_id, answers)
         journal = getattr(self.database, "journal", None)
         if journal is not None:
             arena = self._incremental.arena
-            journal.record_bootstrap(
-                worker_id,
-                answers,
-                [arena.global_row(a.task_id) for a in answers],
-            )
+            rows = [arena.global_row(a.task_id) for a in answers]
+            try:
+                journal.record_bootstrap(worker_id, answers, rows)
+            except sqlite3.Error as exc:
+                # The bootstrap events are retained in the pending
+                # buffer; only the batch-full flush failed.
+                self._enter_degraded("journal flush during bootstrap", exc)
         if self._shared_store is not None and answers:
             # The golden pre-test is campaign evidence the shared store
             # would otherwise never see (full-TI re-runs cover only the
             # answer log). Durable-first: flush the just-recorded
             # bootstrap before merging, so a crash cannot leave golden
             # evidence in the store for a bootstrap the campaign file
-            # never recorded. The merge itself goes through the atomic
-            # delta primitive — other campaigns may be exporting to
-            # the same file concurrently.
+            # never recorded. While the flush is failing the merge is
+            # queued, not applied — same rule, degraded spelling. The
+            # merge itself goes through the atomic delta primitive —
+            # other campaigns may be exporting to the same file
+            # concurrently.
+            durable = True
             if journal is not None:
-                journal.flush()
+                try:
+                    journal.flush()
+                except sqlite3.Error as exc:
+                    self._enter_degraded(
+                        "journal flush during bootstrap", exc
+                    )
+                    durable = False
             stats = self.quality_store.get(worker_id)
-            self._shared_store.apply_batch_delta(
-                worker_id, stats.quality * stats.weight, stats.weight
-            )
+            delta_mass = stats.quality * stats.weight
+            delta_u = stats.weight.copy()
+            if durable:
+                try:
+                    self._shared_store.apply_batch_delta(
+                        worker_id, delta_mass, delta_u
+                    )
+                except sqlite3.Error as exc:
+                    self._enter_degraded(
+                        "shared-store bootstrap export", exc
+                    )
+                    self._pending_shared_exports.append(
+                        (worker_id, delta_mass, delta_u)
+                    )
+            else:
+                self._pending_shared_exports.append(
+                    (worker_id, delta_mass, delta_u)
+                )
         self._maybe_auto_snapshot()
 
     def _restore_bootstrap(
@@ -548,7 +617,14 @@ class DocsSystem:
                 f"{answer.task_id}"
             )
         self._seed_from_shared(answer.worker_id)
-        self.database.answers.insert(answer)
+        try:
+            self.database.answers.insert(answer)
+        except sqlite3.Error as exc:
+            # The in-memory index accepted the answer and the journal
+            # retained it in the pending buffer before the batch-full
+            # flush failed — nothing is dropped, the event is just not
+            # durable yet. Serve on, degraded.
+            self._enter_degraded("journal flush during submit", exc)
         self._apply_answer(answer)
         self._maybe_auto_snapshot()
 
@@ -589,18 +665,130 @@ class DocsSystem:
         and replays nothing. Idempotent; a no-op (0) with in-memory
         storage.
 
+        This is also the **degraded-mode recovery path**: a campaign
+        that dropped to degraded mode (see :meth:`durability_status`)
+        retries the durable write here — on success every buffered
+        event commits, the queued shared-store deltas drain, and the
+        campaign returns to ``durable`` with zero accepted answers
+        lost. On continued failure the error propagates (the campaign
+        stays degraded and keeps serving).
+
         Returns:
             The number of journal rows made durable.
 
         Raises:
             ValidationError: if the system is not prepared.
+            sqlite3.Error: if the durable write is still failing.
         """
         db = self.database
         if getattr(db, "journal", None) is not None:
-            return self.snapshot()
+            try:
+                flushed = self.snapshot()
+            except sqlite3.Error as exc:
+                self._enter_degraded("checkpoint", exc)
+                raise
+            self._drain_shared_backlog()
+            self._exit_degraded()
+            return flushed
         if hasattr(db, "checkpoint"):
             return db.checkpoint()
         return 0
+
+    def durability_status(self) -> Dict[str, object]:
+        """Where this campaign's durability stands, as a plain dict.
+
+        Keys:
+
+        - ``mode`` — ``"memory"`` (nothing durable by design),
+          ``"durable"`` (journaled sqlite, healthy), or ``"degraded"``
+          (durable writes failing; serving continues from memory).
+        - ``degraded`` — convenience boolean for ``mode ==
+          "degraded"``.
+        - ``reason`` — the first failure that degraded the campaign
+          (``None`` when healthy).
+        - ``buffered_events`` — journal events accepted but not yet
+          durable (the crash-loss window; bounded by
+          ``config.journal_batch_size`` when healthy, unbounded while
+          degraded).
+        - ``queued_exports`` — shared-store deltas waiting for
+          :meth:`checkpoint` to drain.
+        """
+        journal = (
+            getattr(self._db, "journal", None)
+            if self._db is not None
+            else None
+        )
+        if journal is None:
+            mode = "memory"
+        elif self._degraded:
+            mode = "degraded"
+        else:
+            mode = "durable"
+        return {
+            "mode": mode,
+            "degraded": self._degraded,
+            "reason": self._degraded_reason,
+            "buffered_events": (
+                journal.pending if journal is not None else 0
+            ),
+            "queued_exports": len(self._pending_shared_exports),
+        }
+
+    def _enter_degraded(
+        self, description: str, exc: BaseException
+    ) -> None:
+        """Flip to degraded mode (idempotent), loudly on first entry."""
+        if not self._degraded:
+            self._degraded = True
+            self._degraded_reason = f"{description}: {exc}"
+            logger.error(
+                "durable write failed (%s: %s); campaign at %r is now "
+                "DEGRADED — serving continues from memory, accepted "
+                "answers stay buffered, shared-store exports queue; "
+                "call checkpoint() to retry the durable write",
+                description, exc, self._path, exc_info=True,
+            )
+        else:
+            logger.warning(
+                "durable write failed again while degraded (%s: %s)",
+                description, exc,
+            )
+
+    def _exit_degraded(self) -> None:
+        """Return to durable mode after a successful checkpoint."""
+        if not self._degraded:
+            return
+        self._degraded = False
+        reason, self._degraded_reason = self._degraded_reason, None
+        logger.warning(
+            "campaign at %r recovered from degraded mode (was: %s); "
+            "buffered events are durable and queued exports drained",
+            self._path, reason,
+        )
+
+    def _drain_shared_backlog(self) -> None:
+        """Merge queued shared-store deltas, oldest first.
+
+        A delta is popped only after its merge commits, so a failure
+        mid-drain keeps the remainder queued (and the campaign
+        degraded) — Theorem 1's fold is order-insensitive but losing a
+        queued delta would permanently under-count the campaign's
+        evidence.
+        """
+        while self._pending_shared_exports:
+            if self._shared_store is None:
+                return
+            worker_id, delta_mass, delta_u = (
+                self._pending_shared_exports[0]
+            )
+            try:
+                self._shared_store.apply_batch_delta(
+                    worker_id, delta_mass, delta_u
+                )
+            except sqlite3.Error as exc:
+                self._enter_degraded("shared-store backlog drain", exc)
+                raise
+            self._pending_shared_exports.pop(0)
 
     def snapshot(self) -> int:
         """Write a compacted hot-state snapshot (journaled sqlite only).
@@ -666,7 +854,13 @@ class DocsSystem:
         if journal is None:
             return
         if journal.flushed_batches - self._last_snapshot_batch >= every:
-            self.snapshot()
+            try:
+                self.snapshot()
+            except sqlite3.Error as exc:
+                # The snapshot transaction rolled back and the journal's
+                # cursors/pending buffer were restored; the campaign
+                # serves on degraded until a checkpoint succeeds.
+                self._enter_degraded("auto-snapshot", exc)
 
     def close(self) -> None:
         """Checkpoint (flush + snapshot) and release the storage
@@ -675,6 +869,10 @@ class DocsSystem:
         After ``close`` the campaign file holds everything needed by
         :meth:`resume`, including a snapshot of the final hot state. A
         no-op with in-memory storage or before :meth:`prepare`.
+
+        A degraded campaign whose final snapshot still fails raises
+        instead of closing: silently releasing the connection would
+        drop the buffered (accepted but not yet durable) events.
         """
         if self._db is None or not hasattr(self._db, "close"):
             return
@@ -692,6 +890,7 @@ class DocsSystem:
         config: Optional[DocsConfig] = None,
         kb: Optional[KnowledgeBase] = None,
         worker_store: Optional[WorkerQualityStore] = None,
+        repair: bool = False,
     ) -> "DocsSystem":
         """Rebuild a sqlite-backed campaign from its database file.
 
@@ -731,6 +930,16 @@ class DocsSystem:
             worker_store: optional shared cross-campaign worker model
                 (see the constructor). Exports made before the crash
                 are not repeated during replay.
+            repair: salvage a torn journal tail before validating —
+                :meth:`repro.platform.journal.AnswerJournal.salvage`
+                truncates back to the last CRC-consistent batch
+                boundary, so a file whose final write was cut mid-batch
+                resumes at the longest replayable prefix instead of
+                raising :class:`~repro.errors.JournalCorruptionError`.
+                The salvage report (what was dropped, and why) lands in
+                :attr:`resume_info` under ``"salvage"``. Committed
+                batches are never touched; default off, because
+                truncation is irreversible.
 
         Returns:
             The resumed, ready-to-serve system.
@@ -738,7 +947,8 @@ class DocsSystem:
         Raises:
             ValidationError: if the database holds no campaign.
             JournalCorruptionError: if the journal fails its integrity
-                check (partial/corrupt final batch).
+                check (partial/corrupt final batch) and ``repair`` is
+                off — or fails it even after a salvage.
         """
         system = cls(
             config, storage="sqlite", path=path,
@@ -746,7 +956,10 @@ class DocsSystem:
         )
         cfg = system._config
         db = SqliteSystemDatabase(
-            path, journal_batch_size=cfg.journal_batch_size
+            path,
+            journal_batch_size=cfg.journal_batch_size,
+            busy_timeout_ms=cfg.busy_timeout_ms,
+            retry=system._commit_retry_policy(),
         )
         try:
             tasks = db.tasks_in_ingest_order()
@@ -756,6 +969,9 @@ class DocsSystem:
                     "no tasks; run a campaign with "
                     "DocsSystem(storage='sqlite', path=...) first"
                 )
+            salvage_report = None
+            if repair:
+                salvage_report = db.journal.salvage()
             db.journal.validate()
             missing = [
                 t.task_id for t in tasks if t.domain_vector is None
@@ -837,6 +1053,8 @@ class DocsSystem:
                 ),
                 "tail_entries": tail,
             }
+            if repair:
+                system._resume_info["salvage"] = salvage_report
             system._last_snapshot_batch = db.journal.flushed_batches
             system._build_serving_index()
         except Exception:
@@ -1070,10 +1288,20 @@ class DocsSystem:
         exporting = (
             self._shared_store is not None and not self._replaying
         )
+        durable = True
         if exporting:
             journal = getattr(self._db, "journal", None)
             if journal is not None:
-                journal.flush()
+                try:
+                    journal.flush()
+                except sqlite3.Error as exc:
+                    # Durable-first still holds under degradation: the
+                    # deltas queue instead of merging, so the store
+                    # never sees evidence the campaign file lost.
+                    self._enter_degraded(
+                        "journal flush before shared export", exc
+                    )
+                    durable = False
         for worker_row, worker_id in enumerate(result.worker_ids):
             quality = np.asarray(
                 result.qualities[worker_row], dtype=float
@@ -1100,6 +1328,20 @@ class DocsSystem:
             if exporting and (
                 np.any(delta_u > 0) or np.any(delta_mass != 0)
             ):
-                self._shared_store.apply_batch_delta(
-                    worker_id, delta_mass, delta_u
-                )
+                if durable:
+                    try:
+                        self._shared_store.apply_batch_delta(
+                            worker_id, delta_mass, delta_u
+                        )
+                    except sqlite3.Error as exc:
+                        self._enter_degraded("shared-store export", exc)
+                        self._pending_shared_exports.append(
+                            (worker_id, delta_mass, delta_u)
+                        )
+                        # Queue the remaining workers too, preserving
+                        # export order against the same stuck store.
+                        durable = False
+                else:
+                    self._pending_shared_exports.append(
+                        (worker_id, delta_mass, delta_u)
+                    )

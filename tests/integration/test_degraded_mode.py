@@ -1,0 +1,245 @@
+"""Graceful degradation: durable-write outages must not take down
+serving, and recovery must lose zero accepted answers.
+
+The outage is simulated by arming ``journal.flush.pre-commit`` (or the
+shared store's ``worker_store.apply_delta``) with a *persistent*
+``database is locked`` — the transient error the retry policy
+recognises, fired on every attempt until disarmed, i.e. an outage that
+outlives the backoff budget. The campaign must:
+
+- drop to an explicit ``degraded`` mode (``durability_status()``),
+- keep serving assignments and accepting submits from memory,
+- buffer every accepted answer in the journal's pending queue and
+  every shared-store delta in the export backlog,
+- drain everything on the first successful ``checkpoint()`` — verified
+  end-to-end by killing and resuming the campaign afterwards.
+"""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer
+from repro.datasets import make_dataset
+from repro.platform import faults
+from repro.platform.sqlite_storage import SqliteWorkerQualityStore
+from repro.system import DocsConfig, DocsSystem
+
+WORKERS = [f"w{i}" for i in range(4)]
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("4d", seed=31, tasks_per_domain=8)
+
+
+def _config(**overrides):
+    base = dict(
+        golden_count=6,
+        rerun_interval=50,
+        hit_size=3,
+        journal_batch_size=4,
+        snapshot_every_batches=0,
+        commit_retry_attempts=3,
+        commit_retry_base_delay=0.0,
+    )
+    base.update(overrides)
+    return DocsConfig(**base)
+
+
+def _golden_answers(system, dataset, worker):
+    return [
+        Answer(worker, tid, dataset.task_by_id(tid).ground_truth)
+        for tid in system.golden_task_ids()
+    ]
+
+
+def _drive(system, dataset, arrivals, start=0):
+    accepted = 0
+    for arrival in range(start, arrivals):
+        worker = WORKERS[arrival % len(WORKERS)]
+        if system.needs_bootstrap(worker):
+            system.bootstrap(
+                worker, _golden_answers(system, dataset, worker)
+            )
+        for task_id in system.assign(worker, 2):
+            ell = dataset.task_by_id(task_id).num_choices
+            choice = 1 + (task_id * 3 + arrival) % ell
+            system.submit(Answer(worker, task_id, choice))
+            accepted += 1
+    return accepted
+
+
+class TestDegradedServing:
+    def test_outage_degrades_and_serving_continues(
+        self, dataset, tmp_path
+    ):
+        path = str(tmp_path / "campaign.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 4)
+        system.checkpoint()
+        assert system.durability_status()["mode"] == "durable"
+
+        with faults.injected() as injector:
+            # A real outage hits every durable write: the journal's
+            # batch flushes AND checkpoint's snapshot transaction
+            # (which embeds its flush and has its own fault point).
+            injector.arm(
+                "journal.flush.pre-commit", "locked", times=-1
+            )
+            injector.arm(
+                "snapshot.write.post-crc", "locked", times=-1
+            )
+            # Keep driving through the outage: every flush attempt
+            # fails after its retry budget, yet serving never stops.
+            _drive(system, dataset, 10, start=4)
+            status = system.durability_status()
+            assert status["mode"] == "degraded"
+            assert status["degraded"]
+            assert "locked" in status["reason"]
+            assert status["buffered_events"] > 0
+            # Reads and assignment still serve from memory.
+            assert system.assign(WORKERS[0], 2)
+
+            # checkpoint() during the outage surfaces the failure and
+            # stays degraded.
+            with pytest.raises(sqlite3.OperationalError):
+                system.checkpoint()
+            assert system.durability_status()["mode"] == "degraded"
+
+        # Outage over: one checkpoint drains the backlog.
+        system.checkpoint()
+        status = system.durability_status()
+        assert status["mode"] == "durable"
+        assert status["reason"] is None
+        assert status["buffered_events"] == 0
+
+    def test_zero_accepted_answers_lost_after_recovery(
+        self, dataset, tmp_path
+    ):
+        path = str(tmp_path / "campaign.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        with faults.injected() as injector:
+            injector.arm(
+                "journal.flush.pre-commit", "locked", times=-1
+            )
+            _drive(system, dataset, 12)
+        accepted = len(system.database.answers.all())
+        assert system.durability_status()["mode"] == "degraded"
+
+        system.checkpoint()  # outage over: everything commits
+        # Simulated kill + resume: every accepted answer survived.
+        resumed = DocsSystem.resume(path, config=_config())
+        assert len(resumed.database.answers.all()) == accepted
+        assert resumed._bootstrapped == system._bootstrapped
+        resumed.close()
+
+    def test_degraded_mode_buffers_are_the_crash_window(
+        self, dataset, tmp_path
+    ):
+        """Without a successful checkpoint the buffered events ARE
+        lost on a kill — degradation defers durability, it does not
+        fake it. The resumed prefix is exactly the pre-outage state."""
+        path = str(tmp_path / "campaign.db")
+        system = DocsSystem(_config(), storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 4)
+        system.checkpoint()
+        durable_count = len(system.database.answers.all())
+
+        with faults.injected() as injector:
+            injector.arm(
+                "journal.flush.pre-commit", "locked", times=-1
+            )
+            _drive(system, dataset, 10, start=4)
+            assert system.durability_status()["mode"] == "degraded"
+            # Killed mid-outage: no checkpoint ever succeeded.
+
+        resumed = DocsSystem.resume(path, config=_config())
+        assert len(resumed.database.answers.all()) == durable_count
+        resumed.close()
+
+
+class TestSharedStoreBacklog:
+    def test_export_backlog_drains_on_checkpoint(
+        self, dataset, tmp_path
+    ):
+        m = dataset.taxonomy.size
+        store = SqliteWorkerQualityStore(
+            m, path=str(tmp_path / "store.db")
+        )
+        system = DocsSystem(
+            _config(), storage="sqlite",
+            path=str(tmp_path / "campaign.db"), worker_store=store,
+        )
+        system.prepare(dataset)
+        worker = WORKERS[0]
+        golden = _golden_answers(system, dataset, worker)
+
+        with faults.injected() as injector:
+            injector.arm("worker_store.apply_delta", "locked", times=-1)
+            system.bootstrap(worker, golden)
+            status = system.durability_status()
+            assert status["mode"] == "degraded"
+            assert status["queued_exports"] == 1
+            assert worker not in store  # nothing half-merged
+
+        system.checkpoint()
+        status = system.durability_status()
+        assert status["mode"] == "durable"
+        assert status["queued_exports"] == 0
+
+        # The drained delta matches a fault-free control campaign's
+        # export exactly.
+        control_store = SqliteWorkerQualityStore(
+            m, path=str(tmp_path / "control-store.db")
+        )
+        control = DocsSystem(
+            _config(), storage="sqlite", path=":memory:",
+            worker_store=control_store,
+        )
+        control.prepare(dataset)
+        control.bootstrap(worker, golden)
+        got, want = store.get(worker), control_store.get(worker)
+        assert np.allclose(got.quality, want.quality)
+        assert np.allclose(got.weight, want.weight)
+        control.close()
+        system.close()
+        store.close()
+        control_store.close()
+
+    def test_flush_outage_queues_exports_durable_first(
+        self, dataset, tmp_path
+    ):
+        """While the campaign journal cannot flush, bootstrap evidence
+        must NOT reach the shared store (durable-first): it queues."""
+        m = dataset.taxonomy.size
+        store = SqliteWorkerQualityStore(
+            m, path=str(tmp_path / "store.db")
+        )
+        system = DocsSystem(
+            _config(journal_batch_size=64), storage="sqlite",
+            path=str(tmp_path / "campaign.db"), worker_store=store,
+        )
+        system.prepare(dataset)
+        worker = WORKERS[0]
+
+        with faults.injected() as injector:
+            injector.arm(
+                "journal.flush.pre-commit", "locked", times=-1
+            )
+            system.bootstrap(
+                worker, _golden_answers(system, dataset, worker)
+            )
+            status = system.durability_status()
+            assert status["mode"] == "degraded"
+            assert status["queued_exports"] == 1
+            assert worker not in store
+
+        system.checkpoint()
+        assert worker in store
+        system.close()
+        store.close()

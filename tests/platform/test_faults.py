@@ -1,0 +1,146 @@
+"""Unit tests for the fault-injection harness itself.
+
+The crash matrix leans on the injector's arming semantics (skip, times,
+scoped install/restore); these tests pin those semantics down so a
+matrix failure means the durability plane broke, not the harness.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.platform import faults
+from repro.platform.faults import (
+    FAULT_POINTS,
+    CrashPoint,
+    FaultInjector,
+)
+
+
+class TestFaultInjector:
+    def test_unarmed_fire_only_counts(self):
+        injector = FaultInjector()
+        injector.fire("journal.flush.pre-commit")
+        injector.fire("journal.flush.pre-commit")
+        assert injector.hit_count("journal.flush.pre-commit") == 2
+        assert injector.triggered("journal.flush.pre-commit") == 0
+
+    def test_crash_mode_raises_crash_point(self):
+        injector = FaultInjector()
+        injector.arm("journal.flush.pre-commit", "crash")
+        with pytest.raises(CrashPoint) as err:
+            injector.fire("journal.flush.pre-commit")
+        assert err.value.point == "journal.flush.pre-commit"
+
+    def test_crash_point_is_not_swallowable(self):
+        """CrashPoint must bypass production error handling: it is
+        neither a ReproError nor a sqlite3.Error."""
+        from repro.errors import ReproError
+
+        exc = CrashPoint("db.connect")
+        assert not isinstance(exc, ReproError)
+        assert not isinstance(exc, sqlite3.Error)
+
+    def test_locked_mode_raises_transient_operational_error(self):
+        from repro.platform.retry import is_transient
+
+        injector = FaultInjector()
+        injector.arm("worker_store.apply_delta", "locked")
+        with pytest.raises(sqlite3.OperationalError) as err:
+            injector.fire("worker_store.apply_delta")
+        assert is_transient(err.value)
+
+    def test_exception_instance_raised_as_is(self):
+        boom = RuntimeError("disk on fire")
+        injector = FaultInjector()
+        injector.arm("db.connect", boom)
+        with pytest.raises(RuntimeError) as err:
+            injector.fire("db.connect")
+        assert err.value is boom
+
+    def test_skip_lets_early_hits_pass(self):
+        injector = FaultInjector()
+        injector.arm("journal.flush.post-commit", "crash", skip=2)
+        injector.fire("journal.flush.post-commit")
+        injector.fire("journal.flush.post-commit")
+        with pytest.raises(CrashPoint):
+            injector.fire("journal.flush.post-commit")
+        assert injector.triggered("journal.flush.post-commit") == 1
+
+    def test_times_bounds_the_firings(self):
+        injector = FaultInjector()
+        injector.arm("snapshot.write.post-crc", "crash", times=2)
+        for _ in range(2):
+            with pytest.raises(CrashPoint):
+                injector.fire("snapshot.write.post-crc")
+        injector.fire("snapshot.write.post-crc")  # inert again
+        assert injector.triggered("snapshot.write.post-crc") == 2
+
+    def test_negative_times_fires_forever(self):
+        injector = FaultInjector()
+        injector.arm("worker_store.apply_delta", "locked", times=-1)
+        for _ in range(10):
+            with pytest.raises(sqlite3.OperationalError):
+                injector.fire("worker_store.apply_delta")
+
+    def test_disarm_one_and_all(self):
+        injector = FaultInjector()
+        injector.arm("db.connect", "crash")
+        injector.arm("journal.flush.pre-commit", "crash")
+        injector.disarm("db.connect")
+        injector.fire("db.connect")  # no raise
+        with pytest.raises(CrashPoint):
+            injector.fire("journal.flush.pre-commit")
+        injector.arm("journal.flush.pre-commit", "crash")
+        injector.disarm()
+        injector.fire("journal.flush.pre-commit")
+
+    def test_unknown_point_rejected_everywhere(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="unknown fault point"):
+            injector.arm("journal.flush.typo")
+        with pytest.raises(ValueError, match="unknown fault point"):
+            injector.fire("journal.flush.typo")
+        with pytest.raises(ValueError, match="unknown fault point"):
+            injector.hit_count("journal.flush.typo")
+
+    def test_unknown_failure_mode_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="unknown failure mode"):
+            injector.arm("db.connect", "explode")
+
+    def test_zero_times_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="times"):
+            injector.arm("db.connect", "crash", times=0)
+
+
+class TestModuleLevelInjection:
+    def test_default_injector_is_inert(self):
+        for point in FAULT_POINTS:
+            faults.fire(point)  # must never raise
+
+    def test_injected_scopes_the_active_injector(self):
+        before = faults.active()
+        with faults.injected() as injector:
+            assert faults.active() is injector
+            injector.arm("db.connect", "crash")
+            with pytest.raises(CrashPoint):
+                faults.fire("db.connect")
+        assert faults.active() is before
+        faults.fire("db.connect")  # armed fault did not leak out
+
+    def test_injected_restores_on_exception(self):
+        before = faults.active()
+        with pytest.raises(RuntimeError):
+            with faults.injected() as injector:
+                injector.arm("db.connect", "crash")
+                raise RuntimeError("test body blew up")
+        assert faults.active() is before
+
+    def test_injected_accepts_prearmed_injector(self):
+        injector = FaultInjector()
+        injector.arm("journal.flush.pre-commit", "crash")
+        with faults.injected(injector):
+            with pytest.raises(CrashPoint):
+                faults.fire("journal.flush.pre-commit")

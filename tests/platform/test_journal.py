@@ -343,3 +343,78 @@ class TestTruncation:
         assert len(rows) == 11
         assert rows[-1][0] == 10
         reopened.close()
+
+
+class TestFlushAtomicity:
+    """A mid-flush failure must retain the pending buffer — the
+    regression suite for the fault-injected flush path."""
+
+    def test_injected_crash_retains_pending_buffer(self, conn):
+        from repro.platform import faults
+        from repro.platform.faults import CrashPoint
+
+        journal = AnswerJournal(conn, batch_size=100)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        journal.record_answer(Answer("w", 1, 2), task_row=1)
+        with faults.injected() as injector:
+            injector.arm("journal.flush.pre-commit", "crash")
+            with pytest.raises(CrashPoint):
+                journal.flush()
+        # The transaction rolled back and the events are still pending:
+        # nothing durable, nothing dropped.
+        assert journal.pending == 2
+        assert len(journal) == 0
+        assert journal.flush() == 2
+        journal.validate()
+        assert [e.worker_id for e in journal.replay()] == ["w", "w"]
+
+    def test_exhausted_lock_retries_retain_pending_buffer(self, conn):
+        from repro.platform import faults
+        from repro.platform.retry import RetryPolicy
+
+        retry = RetryPolicy(attempts=2, base_delay=0.0, jitter=0.0)
+        journal = AnswerJournal(conn, batch_size=100, retry=retry)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        with faults.injected() as injector:
+            injector.arm("journal.flush.pre-commit", "locked", times=-1)
+            with pytest.raises(sqlite3.OperationalError):
+                journal.flush()
+            assert journal.pending == 1
+        # Outage over: the same buffer flushes cleanly.
+        assert journal.flush() == 1
+        journal.validate()
+
+    def test_transient_lock_is_retried_to_success(self, conn):
+        from repro.platform import faults
+        from repro.platform.retry import RetryPolicy
+
+        retry = RetryPolicy(attempts=3, base_delay=0.0, jitter=0.0)
+        journal = AnswerJournal(conn, batch_size=100, retry=retry)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        with faults.injected() as injector:
+            injector.arm("journal.flush.pre-commit", "locked", times=1)
+            assert journal.flush() == 1  # first try fails, second lands
+            assert injector.triggered("journal.flush.pre-commit") == 1
+        assert journal.pending == 0
+        journal.validate()
+
+    def test_sequences_stay_dense_across_failed_flushes(self, conn):
+        from repro.platform import faults
+        from repro.platform.faults import CrashPoint
+
+        journal = AnswerJournal(conn, batch_size=100)
+        journal.record_answer(Answer("w", 0, 1), task_row=0)
+        journal.flush()
+        journal.record_answer(Answer("w", 1, 2), task_row=1)
+        with faults.injected() as injector:
+            injector.arm("journal.flush.pre-commit", "crash", times=2)
+            for _ in range(2):
+                with pytest.raises(CrashPoint):
+                    journal.flush()
+        journal.flush()
+        # Failed attempts must not burn seq numbers or batch ids.
+        seqs = [e.seq for e in journal.replay()]
+        batches = [e.batch for e in journal.replay()]
+        assert seqs == [0, 1]
+        assert batches == [0, 1]
+        journal.validate()

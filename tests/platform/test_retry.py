@@ -1,0 +1,164 @@
+"""Unit tests for the bounded-backoff retry policy.
+
+Everything runs with an injected ``sleep`` so the suite spends zero
+wall-clock time in backoff.
+"""
+
+import random
+import sqlite3
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.platform.retry import (
+    DEFAULT_POLICY,
+    RetryPolicy,
+    apply_busy_timeout,
+    is_transient,
+)
+
+
+class TestIsTransient:
+    def test_locked_and_busy_are_transient(self):
+        assert is_transient(
+            sqlite3.OperationalError("database is locked")
+        )
+        assert is_transient(
+            sqlite3.OperationalError("database is busy")
+        )
+
+    def test_other_operational_errors_are_not(self):
+        assert not is_transient(
+            sqlite3.OperationalError("disk I/O error")
+        )
+
+    def test_non_operational_errors_are_not(self):
+        assert not is_transient(sqlite3.IntegrityError(
+            "UNIQUE constraint failed"
+        ))
+        assert not is_transient(RuntimeError("database is locked"))
+
+
+def _flaky(failures, exc=None):
+    """An operation that fails ``failures`` times, then succeeds."""
+    exc = exc or sqlite3.OperationalError("database is locked")
+    calls = {"n": 0}
+
+    def operation():
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise exc
+        return calls["n"]
+
+    return operation, calls
+
+
+class TestRetryPolicy:
+    def test_success_on_first_try_never_sleeps(self):
+        slept = []
+        operation, calls = _flaky(0)
+        policy = RetryPolicy(attempts=3)
+        assert policy.run(operation, sleep=slept.append) == 1
+        assert slept == []
+
+    def test_transient_errors_are_retried_until_success(self):
+        slept = []
+        operation, calls = _flaky(3)
+        policy = RetryPolicy(attempts=5, jitter=0.0)
+        assert policy.run(operation, sleep=slept.append) == 4
+        assert calls["n"] == 4
+        assert len(slept) == 3
+
+    def test_budget_exhaustion_raises_the_last_error(self):
+        operation, calls = _flaky(10)
+        policy = RetryPolicy(
+            attempts=3, base_delay=0.0, jitter=0.0
+        )
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            policy.run(operation, sleep=lambda _: None)
+        assert calls["n"] == 3
+
+    def test_non_transient_error_propagates_immediately(self):
+        operation, calls = _flaky(
+            10, exc=sqlite3.OperationalError("disk I/O error")
+        )
+        policy = RetryPolicy(attempts=5)
+        with pytest.raises(sqlite3.OperationalError, match="I/O"):
+            policy.run(operation, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_non_sqlite_error_propagates_immediately(self):
+        operation, calls = _flaky(10, exc=RuntimeError("boom"))
+        policy = RetryPolicy(attempts=5)
+        with pytest.raises(RuntimeError):
+            policy.run(operation, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_delays_double_and_cap(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.1, max_delay=0.4, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx(
+            [0.1, 0.2, 0.4, 0.4, 0.4]
+        )
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(
+            attempts=50, base_delay=1.0, max_delay=1.0, jitter=0.25
+        )
+        rng = random.Random(7)
+        for delay in policy.delays(rng):
+            assert 0.75 <= delay <= 1.25
+
+    def test_attempt_one_means_no_retry(self):
+        operation, calls = _flaky(1)
+        policy = RetryPolicy(attempts=1)
+        with pytest.raises(sqlite3.OperationalError):
+            policy.run(operation, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_delay": -0.1},
+            {"base_delay": 2.0, "max_delay": 1.0},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+    def test_default_policy_is_valid_and_bounded(self):
+        assert DEFAULT_POLICY.attempts >= 2
+        # Total worst-case backoff stays comfortably sub-5s so a stuck
+        # lock cannot stall a serving path for long.
+        assert sum(
+            RetryPolicy(
+                attempts=DEFAULT_POLICY.attempts,
+                base_delay=DEFAULT_POLICY.base_delay,
+                max_delay=DEFAULT_POLICY.max_delay,
+                jitter=0.0,
+            ).delays()
+        ) < 5.0
+
+
+class TestApplyBusyTimeout:
+    def test_sets_the_pragma(self):
+        conn = sqlite3.connect(":memory:")
+        apply_busy_timeout(conn, 1234)
+        (value,) = conn.execute("PRAGMA busy_timeout").fetchone()
+        assert value == 1234
+
+    def test_zero_disables_the_spin_wait(self):
+        conn = sqlite3.connect(":memory:")
+        apply_busy_timeout(conn, 0)
+        (value,) = conn.execute("PRAGMA busy_timeout").fetchone()
+        assert value == 0
+
+    def test_negative_rejected(self):
+        conn = sqlite3.connect(":memory:")
+        with pytest.raises(ValidationError):
+            apply_busy_timeout(conn, -1)

@@ -1,0 +1,170 @@
+"""Tests for journal salvage: truncating a torn tail to the last
+CRC-consistent batch boundary.
+
+Corruption is staged the way a real crash (or file editor) would leave
+it: orphan rows with no batch record, a batch whose rows were altered
+after commit, a batch with missing rows. Salvage must always cut back
+to the longest *replayable prefix* — never keep a valid batch stranded
+behind a corrupt one — and never touch intact committed batches.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.core.types import Answer
+from repro.errors import JournalCorruptionError
+from repro.platform.journal import (
+    KIND_ANSWER,
+    AnswerJournal,
+    SalvageReport,
+)
+
+
+@pytest.fixture()
+def conn():
+    connection = sqlite3.connect(":memory:")
+    yield connection
+    connection.close()
+
+
+def _filled_journal(conn, batches=3, rows_per_batch=4):
+    """A journal holding ``batches`` committed batches of answers."""
+    journal = AnswerJournal(conn, batch_size=rows_per_batch)
+    task = 0
+    for _ in range(batches * rows_per_batch):
+        journal.record_answer(Answer("w", task, 1), task_row=task)
+        task += 1
+    assert journal.pending == 0
+    return journal
+
+
+def _tear_tail(conn, rows=2, batch=99):
+    """Append rows with no batch record, as a torn final write would."""
+    (next_seq,) = conn.execute(
+        "SELECT COALESCE(MAX(seq), -1) + 1 FROM answers_log"
+    ).fetchone()
+    for offset in range(rows):
+        conn.execute(
+            "INSERT INTO answers_log "
+            "(seq, kind, task_row, task_id, worker_id, choice, ts, "
+            "batch) VALUES (?, ?, ?, ?, ?, ?, 0.0, ?)",
+            (next_seq + offset, KIND_ANSWER, 0, 0, "w", 1, batch),
+        )
+    conn.commit()
+    return next_seq
+
+
+class TestSalvageClean:
+    def test_clean_journal_reports_clean(self, conn):
+        journal = _filled_journal(conn)
+        report = journal.salvage()
+        assert report.clean
+        assert report.problem is None
+        assert report.dropped_rows == 0
+        assert report.valid_through_seq == journal.last_committed_seq
+        journal.validate()
+
+    def test_empty_journal_is_clean(self, conn):
+        journal = AnswerJournal(conn, batch_size=4)
+        report = journal.salvage()
+        assert report.clean
+        assert report.valid_through_seq == -1
+
+
+class TestSalvageTornTail:
+    def test_orphan_rows_are_dropped(self, conn):
+        journal = _filled_journal(conn, batches=3, rows_per_batch=4)
+        torn_at = _tear_tail(conn, rows=2)
+        with pytest.raises(JournalCorruptionError):
+            journal.validate()
+
+        report = journal.salvage()
+        assert not report.clean
+        assert report.dropped_rows == 2
+        assert report.dropped_answers == 2
+        assert report.dropped_batches == 0
+        assert report.valid_through_seq == torn_at - 1
+        assert "torn final write" in report.problem
+        journal.validate()  # the salvaged journal is consistent
+        assert len(journal) == 12  # all committed rows survived
+
+    def test_dry_run_diagnoses_without_deleting(self, conn):
+        journal = _filled_journal(conn)
+        _tear_tail(conn, rows=2)
+        report = journal.salvage(dry_run=True)
+        assert report.dry_run
+        assert report.dropped_rows == 2
+        # Nothing was removed: validation still fails.
+        with pytest.raises(JournalCorruptionError):
+            journal.validate()
+
+    def test_salvaged_journal_accepts_new_flushes(self, conn):
+        """Seq/batch cursors re-derive after the cut: new writes must
+        not collide with surviving rows."""
+        journal = _filled_journal(conn, batches=2, rows_per_batch=3)
+        _tear_tail(conn, rows=1)
+        journal.salvage()
+        journal.record_answer(Answer("w2", 50, 2), task_row=50)
+        journal.flush()
+        journal.validate()
+        entries = list(journal.replay())
+        assert entries[-1].worker_id == "w2"
+        seqs = [e.seq for e in entries]
+        assert seqs == sorted(set(seqs))  # no seq reuse
+
+
+class TestSalvageCorruptBatch:
+    def test_altered_rows_cut_from_that_batch(self, conn):
+        journal = _filled_journal(conn, batches=3, rows_per_batch=4)
+        # Flip one choice inside the middle batch: its CRC now lies.
+        conn.execute(
+            "UPDATE answers_log SET choice = 3 WHERE seq = 5"
+        )
+        conn.commit()
+        report = journal.salvage()
+        assert not report.clean
+        assert "CRC" in report.problem
+        # The cut removes the corrupt batch AND the valid batch behind
+        # it — replay is prefix-ordered.
+        assert report.dropped_rows == 8
+        assert report.dropped_batches == 2
+        assert report.valid_through_seq == 3
+        journal.validate()
+        assert len(journal) == 4
+
+    def test_missing_rows_cut_from_that_batch(self, conn):
+        journal = _filled_journal(conn, batches=2, rows_per_batch=4)
+        conn.execute("DELETE FROM answers_log WHERE seq = 6")
+        conn.commit()
+        report = journal.salvage()
+        assert not report.clean
+        assert report.valid_through_seq == 3
+        journal.validate()
+
+    def test_orphans_and_corrupt_batch_cut_at_the_earlier(self, conn):
+        journal = _filled_journal(conn, batches=3, rows_per_batch=4)
+        conn.execute(
+            "UPDATE answers_log SET choice = 3 WHERE seq = 5"
+        )
+        conn.commit()
+        _tear_tail(conn, rows=2)
+        report = journal.salvage()
+        # The corrupt middle batch (first bad seq 4) wins over the torn
+        # tail (seq 12): everything from 4 on goes.
+        assert report.valid_through_seq == 3
+        journal.validate()
+
+
+class TestSalvageReport:
+    def test_report_is_frozen(self):
+        report = SalvageReport(
+            valid_through_seq=3,
+            dropped_rows=1,
+            dropped_answers=1,
+            dropped_batches=0,
+            dry_run=False,
+            problem="x",
+        )
+        with pytest.raises(Exception):
+            report.dropped_rows = 2

@@ -1,0 +1,110 @@
+"""Version-skew guard: files written by a newer schema are refused.
+
+A database written by a future build must raise a clear
+:class:`~repro.errors.SchemaVersionError` naming both versions — not
+crash deep in a decode, and never silently misread the file. Older
+(pre-versioning) files are adopted in place.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.errors import SchemaVersionError
+from repro.platform.sqlite_storage import (
+    SCHEMA_VERSION,
+    SqliteSystemDatabase,
+    SqliteWorkerQualityStore,
+)
+from repro.system import DocsConfig, DocsSystem
+
+
+def _bump_version(path, version):
+    conn = sqlite3.connect(path)
+    conn.execute(
+        "UPDATE repro_meta SET value = ? WHERE key = 'schema_version'",
+        (str(version),),
+    )
+    conn.commit()
+    conn.close()
+
+
+class TestCampaignDatabaseSkew:
+    def test_newer_file_refused_naming_both_versions(self, tmp_path):
+        path = str(tmp_path / "campaign.db")
+        SqliteSystemDatabase(path, journal_batch_size=8).close()
+        _bump_version(path, SCHEMA_VERSION + 1)
+
+        with pytest.raises(SchemaVersionError) as err:
+            SqliteSystemDatabase(path, journal_batch_size=8)
+        message = str(err.value)
+        assert str(SCHEMA_VERSION + 1) in message
+        assert str(SCHEMA_VERSION) in message
+        assert "upgrade the code" in message
+        assert err.value.found == SCHEMA_VERSION + 1
+        assert err.value.supported == SCHEMA_VERSION
+
+    def test_resume_surfaces_the_skew(self, tmp_path):
+        dataset = make_dataset("4d", seed=31, tasks_per_domain=4)
+        path = str(tmp_path / "campaign.db")
+        config = DocsConfig(golden_count=4, journal_batch_size=8)
+        system = DocsSystem(config, storage="sqlite", path=path)
+        system.prepare(dataset)
+        system.close()
+        _bump_version(path, SCHEMA_VERSION + 3)
+
+        with pytest.raises(SchemaVersionError) as err:
+            DocsSystem.resume(path, config=config)
+        assert err.value.found == SCHEMA_VERSION + 3
+
+    def test_current_version_roundtrips(self, tmp_path):
+        path = str(tmp_path / "campaign.db")
+        SqliteSystemDatabase(path, journal_batch_size=8).close()
+        db = SqliteSystemDatabase(path, journal_batch_size=8)
+        db.close()
+
+    def test_legacy_file_without_meta_is_adopted(self, tmp_path):
+        path = str(tmp_path / "campaign.db")
+        SqliteSystemDatabase(path, journal_batch_size=8).close()
+        conn = sqlite3.connect(path)
+        conn.execute("DROP TABLE repro_meta")
+        conn.commit()
+        conn.close()
+        db = SqliteSystemDatabase(path, journal_batch_size=8)
+        db.close()
+        # Adoption stamped the current version into the file.
+        conn = sqlite3.connect(path)
+        (value,) = conn.execute(
+            "SELECT value FROM repro_meta WHERE key = 'schema_version'"
+        ).fetchone()
+        conn.close()
+        assert int(value) == SCHEMA_VERSION
+
+    def test_garbage_version_is_refused_not_crashed(self, tmp_path):
+        path = str(tmp_path / "campaign.db")
+        SqliteSystemDatabase(path, journal_batch_size=8).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE repro_meta SET value = 'not-a-number' "
+            "WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(SchemaVersionError):
+            SqliteSystemDatabase(path, journal_batch_size=8)
+
+
+class TestWorkerStoreSkew:
+    def test_newer_store_refused(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        SqliteWorkerQualityStore(4, path=path).close()
+        _bump_version(path, SCHEMA_VERSION + 2)
+        with pytest.raises(SchemaVersionError) as err:
+            SqliteWorkerQualityStore(4, path=path)
+        assert err.value.found == SCHEMA_VERSION + 2
+
+    def test_current_store_roundtrips(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        SqliteWorkerQualityStore(4, path=path).close()
+        SqliteWorkerQualityStore(4, path=path).close()

@@ -121,3 +121,115 @@ class TestCli:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["detect", "--dataset", "bogus"])
+
+
+def _write_campaign(path):
+    """Run a tiny sqlite campaign and return its committed journal size."""
+    import sqlite3
+
+    from repro.core.types import Answer
+    from repro.datasets import make_dataset
+    from repro.system import DocsConfig, DocsSystem
+
+    dataset = make_dataset("4d", seed=31, tasks_per_domain=8)
+    config = DocsConfig(golden_count=6, journal_batch_size=4, hit_size=3)
+    system = DocsSystem(config, storage="sqlite", path=path)
+    system.prepare(dataset)
+    worker = "w0"
+    system.bootstrap(
+        worker,
+        [
+            Answer(worker, tid, dataset.task_by_id(tid).ground_truth)
+            for tid in system.golden_task_ids()
+        ],
+    )
+    for task_id in system.assign(worker, 2):
+        ell = dataset.task_by_id(task_id).num_choices
+        system.submit(Answer(worker, task_id, 1 + task_id % ell))
+    system.close()
+    conn = sqlite3.connect(path)
+    (rows,) = conn.execute("SELECT COUNT(*) FROM answers_log").fetchone()
+    conn.close()
+    return rows
+
+
+def _tear_tail(path, orphan_rows=3):
+    """Append journal rows with no batch record — a torn final write."""
+    import sqlite3
+
+    conn = sqlite3.connect(path)
+    (max_seq,) = conn.execute("SELECT MAX(seq) FROM answers_log").fetchone()
+    for i in range(1, orphan_rows + 1):
+        conn.execute(
+            "INSERT INTO answers_log "
+            "(seq, kind, task_row, task_id, worker_id, choice, ts, batch) "
+            "SELECT ?, kind, task_row, task_id, worker_id, choice, ts, 999 "
+            "FROM answers_log WHERE seq = ?",
+            (max_seq + i, max_seq),
+        )
+    conn.commit()
+    conn.close()
+
+
+class TestCheckDbCommand:
+    def test_healthy_database_passes(self, tmp_path, capsys):
+        path = str(tmp_path / "campaign.db")
+        _write_campaign(path)
+        assert main(["check-db", path]) == 0
+        out = capsys.readouterr().out
+        assert "journal integrity  : OK" in out
+        assert "schema version     : supported" in out
+        assert "snapshot           : OK" in out
+
+    def test_torn_tail_reported_without_mutation(self, tmp_path, capsys):
+        path = str(tmp_path / "campaign.db")
+        committed = _write_campaign(path)
+        _tear_tail(path)
+        assert main(["check-db", path]) == 1
+        captured = capsys.readouterr()
+        assert "CORRUPT" in captured.out
+        assert "would drop 3 row(s)" in captured.out
+        assert "--salvage" in captured.err
+        # The dry run must not have repaired anything.
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        (rows,) = conn.execute(
+            "SELECT COUNT(*) FROM answers_log"
+        ).fetchone()
+        conn.close()
+        assert rows == committed + 3
+
+    def test_salvage_repairs_then_passes(self, tmp_path, capsys):
+        path = str(tmp_path / "campaign.db")
+        committed = _write_campaign(path)
+        _tear_tail(path)
+        assert main(["check-db", path, "--salvage"]) == 0
+        out = capsys.readouterr().out
+        assert "OK after salvage" in out
+        # A follow-up check sees a clean journal of the committed rows.
+        assert main(["check-db", path]) == 0
+        assert f"{committed} committed row(s)" in capsys.readouterr().out
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        assert main(["check-db", str(tmp_path / "none.db")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_version_skew_is_exit_2(self, tmp_path, capsys):
+        import sqlite3
+
+        from repro.platform.sqlite_storage import SCHEMA_VERSION
+
+        path = str(tmp_path / "campaign.db")
+        _write_campaign(path)
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE repro_meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 7),),
+        )
+        conn.commit()
+        conn.close()
+        assert main(["check-db", path]) == 2
+        err = capsys.readouterr().err
+        assert "REFUSED" in err
+        assert str(SCHEMA_VERSION + 7) in err
