@@ -46,6 +46,9 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "FaultInjector",
         "## Serving plane",
         "AssignmentIndex",
+        "## Parallel serving plane",
+        "SharedStateArena",
+        "ServingPool",
     ),
     "docs/api.md": (
         "worker_store",
@@ -62,6 +65,8 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "snapshot",
         "## Serve plane",
         "AssignmentIndex",
+        "## Parallel serving plane",
+        "ServingPool",
     ),
 }
 

@@ -59,6 +59,17 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--hit-size", type=int, default=3, help="tasks per HIT (k)"
     )
+    demo.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "serve from N forked worker processes over a shared-memory "
+            "arena (0 = single-process; >= 2 also shards the full-TI "
+            "reruns and ingest linking N ways; requires fork)"
+        ),
+    )
 
     run = sub.add_parser(
         "run",
@@ -73,6 +84,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--hit-size", type=int, default=3, help="tasks per HIT (k)"
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "serve from N forked worker processes over a shared-memory "
+            "arena (0 = single-process; >= 2 also shards the full-TI "
+            "reruns and ingest linking N ways; requires fork)"
+        ),
     )
     run.add_argument(
         "--store",
@@ -178,7 +200,7 @@ def _cmd_demo(args) -> int:
     print(dataset.summary())
     result = run_campaign(
         dataset,
-        config=DocsConfig(seed=args.seed),
+        config=DocsConfig(seed=args.seed, workers=args.workers),
         answers_per_task=args.answers_per_task,
         hit_size=args.hit_size,
         seed=args.seed,
@@ -205,7 +227,7 @@ def _cmd_run(args) -> int:
         if not args.db:
             print("--resume requires --db PATH", file=sys.stderr)
             return 2
-        config = DocsConfig(seed=args.seed)
+        config = DocsConfig(seed=args.seed, workers=args.workers)
         if args.snapshot_every is not None:
             from dataclasses import replace
 
@@ -276,7 +298,7 @@ def _cmd_run(args) -> int:
 
     dataset = make_dataset(args.dataset, seed=args.seed)
     print(dataset.summary())
-    config = DocsConfig(seed=args.seed)
+    config = DocsConfig(seed=args.seed, workers=args.workers)
     if args.snapshot_every is not None:
         from dataclasses import replace
 

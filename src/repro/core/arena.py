@@ -326,6 +326,16 @@ class StateArena:
         self._epochs = np.zeros(INITIAL_CAPACITY, dtype=np.int64)
         self._clock = 0
 
+    def _make_group(self, ell: int) -> ChoiceGroup:
+        """Build the buffers for a new choice group.
+
+        The allocation hook subclasses override to place group buffers
+        somewhere other than the process heap (the shared-memory arena
+        maps them into OS shared memory so sibling processes can serve
+        from them).
+        """
+        return ChoiceGroup(self._m, ell)
+
     # -- registration ----------------------------------------------------
 
     def add(
@@ -362,7 +372,7 @@ class StateArena:
             )
         group = self._groups.get(task.num_choices)
         if group is None:
-            group = ChoiceGroup(self._m, task.num_choices)
+            group = self._make_group(task.num_choices)
             self._groups[task.num_choices] = group
 
         global_row = self._count
@@ -474,7 +484,7 @@ class StateArena:
         for ell, indices in by_ell.items():
             group = self._groups.get(ell)
             if group is None:
-                group = ChoiceGroup(self._m, ell)
+                group = self._make_group(ell)
                 self._groups[ell] = group
             global_rows = base + np.asarray(indices, dtype=np.int64)
             rows = group.extend_fresh(

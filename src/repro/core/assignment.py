@@ -55,7 +55,7 @@ import numpy as np
 from repro.core.arena import StateArena
 from repro.core.truth_inference import QUALITY_CEIL, QUALITY_FLOOR
 from repro.core.types import TaskState
-from repro.errors import ValidationError
+from repro.errors import ServingPoolError, ValidationError
 from repro.utils.math import entropy_unchecked, safe_log
 from repro.utils.topk import top_k_indices
 
@@ -351,6 +351,7 @@ class TaskAssigner:
         self._strict_ids = strict_ids
         self._masked_fraction = masked_fraction
         self._index = None
+        self._pool = None
 
     @property
     def hit_size(self) -> int:
@@ -376,6 +377,23 @@ class TaskAssigner:
         brute-force path. Pass ``None`` to detach.
         """
         self._index = index
+
+    @property
+    def pool(self):
+        """The attached multi-process serving pool, if any."""
+        return self._pool
+
+    def attach_pool(self, pool) -> None:
+        """Serve arena assignments through a
+        :class:`repro.system.parallel.ServingPool`.
+
+        The pool outranks an attached single-process index for
+        full-pool selections (picks are bit-identical either way). A
+        pool that breaks mid-request — a worker died — is detached on
+        the spot and serving degrades to the local index / brute path.
+        Pass ``None`` to detach.
+        """
+        self._pool = pool
 
     def assign(
         self,
@@ -425,6 +443,69 @@ class TaskAssigner:
         chosen = top_k_indices(benefits, take)
         return [candidates[i].task.task_id for i in chosen]
 
+    def assign_many(
+        self,
+        arena: StateArena,
+        arrivals: Sequence[
+            Tuple[np.ndarray, Optional[Set[int]]]
+        ],
+        k: Optional[int] = None,
+    ) -> List[List[int]]:
+        """Serve a batch of arrivals, fanned across the serving pool.
+
+        Each arrival is a ``(worker_quality, answered_by_worker)``
+        pair. With an attached
+        :class:`repro.system.parallel.ServingPool` the full-pool
+        selects dispatch as one :meth:`~ServingPool.select_many` batch
+        — N arrivals evaluate concurrently on N worker processes —
+        while short-circuiting arrivals (empty pool, nothing
+        available) resolve inline. Without a pool the arrivals are
+        served one by one through the usual strategy ladder. Either
+        way every pick list is bit-identical to calling
+        :meth:`assign` per arrival in order.
+
+        Args:
+            arena: the candidate pool.
+            arrivals: per-worker (quality vector, answered task ids).
+            k: HIT size override, applied to every arrival.
+
+        Returns:
+            One task-id list per arrival, order preserved.
+        """
+        hit_size = k if k is not None else self._hit_size
+        if hit_size < 1:
+            raise ValidationError(f"k must be >= 1: {hit_size}")
+        picks: List[Optional[List[int]]] = [None] * len(arrivals)
+        selects: List[Tuple[int, tuple]] = []
+        for position, (quality, answered) in enumerate(arrivals):
+            kind, payload = self._translate_arrival(
+                arena, quality, answered, hit_size, None
+            )
+            if kind == "picks":
+                picks[position] = payload
+            else:
+                selects.append((position, payload))
+        pool = self._pool
+        if selects and pool is not None and pool.arena is arena:
+            try:
+                batches = pool.select_many(
+                    [request for _, request in selects]
+                )
+            except ServingPoolError as exc:
+                logger.warning(
+                    "serving pool degraded to single-process: %s", exc
+                )
+                self._pool = None
+            else:
+                for (position, _), rows in zip(selects, batches):
+                    picks[position] = [
+                        arena.task_id_at(int(row)) for row in rows
+                    ]
+                return picks  # type: ignore[return-value]
+        for position, request in selects:
+            picks[position] = self._serve_select(arena, request)
+        return picks  # type: ignore[return-value]
+
     def _assign_from_arena(
         self,
         arena: StateArena,
@@ -437,15 +518,42 @@ class TaskAssigner:
 
         1. a small ``eligible`` set (budget-capped tail) → row-subset
            kernel over only the candidates;
-        2. an attached :class:`repro.core.serving.AssignmentIndex`
+        2. an attached :class:`repro.system.parallel.ServingPool`
+           covering this arena → a pool worker's index serves it;
+        3. an attached :class:`repro.core.serving.AssignmentIndex`
            covering this arena → cached benefit columns patched on
            dirty rows only;
-        3. otherwise → the brute-force oracle: full-pool kernel plus
+        4. otherwise → the brute-force oracle: full-pool kernel plus
            row mask.
+        """
+        kind, payload = self._translate_arrival(
+            arena, worker_quality, answered_by_worker, hit_size,
+            eligible,
+        )
+        if kind == "picks":
+            return payload
+        return self._serve_select(arena, payload)
+
+    def _translate_arrival(
+        self,
+        arena: StateArena,
+        worker_quality: np.ndarray,
+        answered_by_worker: Optional[Set[int]],
+        hit_size: int,
+        eligible: Optional[Set[int]],
+    ):
+        """Translate an id-level arrival into a row-level select.
+
+        Returns ``("picks", task_ids)`` when the arrival resolves
+        inline — empty pool, nothing assignable, or the small-eligible
+        row-subset fast path — else ``("select", request)`` where
+        ``request`` is the ``(quality, take, excluded_rows,
+        eligible_rows, available)`` tuple every select-level server
+        (pool worker, local index, brute oracle) understands.
         """
         n = len(arena)
         if n == 0:
-            return []
+            return "picks", []
         excluded: Set[int] = set()
         if answered_by_worker:
             excluded = set(
@@ -473,7 +581,7 @@ class TaskAssigner:
             candidates = None
             available = n - len(excluded)
         if available == 0:
-            return []
+            return "picks", []
         take = min(hit_size, available)
 
         if (
@@ -488,7 +596,34 @@ class TaskAssigner:
             )
             benefits = arena_benefits_rows(arena, worker_quality, rows)
             chosen = rows[top_k_indices(benefits, take)]
-            return [arena.task_id_at(int(row)) for row in chosen]
+            return "picks", [
+                arena.task_id_at(int(row)) for row in chosen
+            ]
+        return "select", (
+            worker_quality, take, excluded, eligible_rows, available
+        )
+
+    def _serve_select(self, arena: StateArena, request) -> List[int]:
+        """Serve one row-level select: pool, then index, then brute."""
+        worker_quality, take, excluded, eligible_rows, available = (
+            request
+        )
+        pool = self._pool
+        if pool is not None and pool.arena is arena:
+            try:
+                chosen = pool.select(
+                    worker_quality, take, excluded, eligible_rows,
+                    available,
+                )
+                return [arena.task_id_at(int(row)) for row in chosen]
+            except ServingPoolError as exc:
+                # A worker died (or the pool closed under us): detach
+                # and keep serving single-process — same picks, fewer
+                # cores (mirrors the storage plane's degraded mode).
+                logger.warning(
+                    "serving pool degraded to single-process: %s", exc
+                )
+                self._pool = None
 
         index = self._index
         if index is not None and index.arena is arena:

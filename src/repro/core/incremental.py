@@ -61,7 +61,13 @@ class IncrementalTruthInference:
         arena: Optional[StateArena] = None,
     ):
         self._store = quality_store
-        self._arena = arena or StateArena(quality_store.num_domains)
+        # `arena or ...` would discard an *empty* arena (len 0 is
+        # falsy) — exactly the state a shared arena is injected in.
+        self._arena = (
+            arena
+            if arena is not None
+            else StateArena(quality_store.num_domains)
+        )
         #: task id -> list of (worker_id, choice) already applied. Tasks
         #: already present in a shared arena start with empty histories.
         self._history: Dict[int, List[Tuple[str, int]]] = {
@@ -248,13 +254,40 @@ class IncrementalTruthInference:
                 np.asarray(worker_weights[worker_id], dtype=float),
             )
 
-    def resync_from_arena_result(self, result: ArenaInferenceResult) -> None:
+    def resync_from_arena_result(
+        self,
+        result: ArenaInferenceResult,
+        *,
+        precision: float = 0.0,
+    ) -> None:
         """Scatter a full TI's output straight back into arena buffers.
 
         One fancy-indexed block write per choice-count group — the
         vectorised counterpart of :meth:`resync_from_full_inference`.
+
+        The write epoch is **delta-aware**: before overwriting, the
+        per-row max-abs change of ``(M, S)`` against the incremental
+        state is measured, and only rows that moved by more than
+        ``precision`` are stamped dirty. The Eq. 8 benefit kernel reads
+        exactly ``R``, ``M``, and ``H(S)`` — so at the default
+        ``precision=0.0`` a skipped row's benefit is *bit-identical*
+        and the downstream :class:`~repro.core.serving.AssignmentIndex`
+        repair provably does no wasted kernel work on it. ``logN`` is
+        still rewritten for every row (the full TI re-derives it as
+        ``log(clip(M))``, which differs from the incremental running
+        sum and feeds future submits), but that never affects served
+        benefits. A positive ``precision`` trades serve-side exactness
+        for fewer repairs, bounded by the given benefit drift.
+
+        Args:
+            result: the full-TI output to install.
+            precision: max-abs ``(M, S)`` movement below which a row's
+                epoch stamp (and benefit repair) is skipped.
         """
+        if precision < 0:
+            raise ValidationError("precision must be >= 0")
         ells_of = self._arena.choice_counts()[result.task_rows]
+        moved_global: List[np.ndarray] = []
         for group in self._arena.iter_groups():
             compact = np.flatnonzero(ells_of == group.ell)
             if compact.size == 0:
@@ -263,13 +296,22 @@ class IncrementalTruthInference:
                 result.task_rows[compact]
             )
             M = result.M[compact][:, :, : group.ell]
+            S = result.S[compact][:, : group.ell]
+            delta_M = np.abs(group.M[group_rows] - M).max(axis=(1, 2))
+            delta_S = np.abs(group.S[group_rows] - S).max(axis=1)
+            moved = np.maximum(delta_M, delta_S) > precision
             group.M[group_rows] = M
-            group.S[group_rows] = result.S[compact][:, : group.ell]
+            group.S[group_rows] = S
             group.logN[group_rows] = np.log(np.clip(M, 1e-300, None))
-            group.dirty[group_rows] = True
-        # One block-write epoch for the whole resync: consumers caching
-        # row-derived values (the AssignmentIndex) see every touched row.
-        self._arena.note_writes(result.task_rows)
+            group.dirty[group_rows[moved]] = True
+            moved_global.append(result.task_rows[compact[moved]])
+        # One block-write epoch for the rows that actually moved:
+        # consumers caching row-derived values (the AssignmentIndex)
+        # re-kernel exactly those, instead of every resynced row.
+        if moved_global:
+            stamped = np.concatenate(moved_global)
+            if stamped.size:
+                self._arena.note_writes(stamped)
         for worker_row, worker_id in enumerate(result.worker_ids):
             self._store.set(
                 worker_id,

@@ -55,8 +55,11 @@ to hold that line.
 
 from __future__ import annotations
 
+import os
+import secrets
 from collections import OrderedDict
-from typing import Dict, List, Optional, Set
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -76,6 +79,119 @@ DEFAULT_BUCKET_GRANULARITY = 0.05
 DEFAULT_FRONTIER_SIZE = 64
 #: Default cap on live cached columns (LRU beyond it).
 DEFAULT_MAX_BUCKETS = 16
+
+
+#: Bytes per row in a benefit-column slot: float64 benefits +
+#: int64 stamps + bool frontier membership.
+_COLUMN_ROW_BYTES = 8 + 8 + 1
+
+
+class SharedMemoryColumnAllocator:
+    """Fixed-slot shared-memory backing for benefit columns.
+
+    The serving pool's workers keep their :class:`AssignmentIndex`
+    columns in one pre-created shared-memory segment instead of the
+    process heap: the parent creates the segment *before* forking (so
+    workers never create — and can therefore never leak — segments of
+    their own), the worker carves per-column slots out of it, and the
+    parent unlinks it at pool shutdown regardless of how the worker
+    died. Columns that outgrow a slot, or arrive when every slot is
+    taken, silently fall back to heap arrays — the allocator is an
+    placement optimisation, never a capacity limit.
+
+    Args:
+        slot_rows: row capacity of one slot (columns up to this many
+            arena rows fit; bigger columns go to the heap).
+        num_slots: slots in the segment; sized to the index's
+            ``max_buckets`` so steady-state serving never falls back.
+        base_name: segment name; defaults to a unique token.
+    """
+
+    def __init__(
+        self,
+        slot_rows: int,
+        num_slots: int,
+        *,
+        base_name: Optional[str] = None,
+    ):
+        if slot_rows < 1 or num_slots < 1:
+            raise ValidationError(
+                "slot_rows and num_slots must be positive"
+            )
+        self.slot_rows = slot_rows
+        self.num_slots = num_slots
+        self.name = base_name or (
+            f"docscols-{os.getpid()}-{secrets.token_hex(4)}"
+        )
+        self._slot_bytes = slot_rows * _COLUMN_ROW_BYTES
+        self._shm: Optional[shared_memory.SharedMemory] = (
+            shared_memory.SharedMemory(
+                name=self.name,
+                create=True,
+                size=self._slot_bytes * num_slots,
+            )
+        )
+        self._free = list(range(num_slots - 1, -1, -1))
+        self.heap_fallbacks = 0
+
+    def allocate(
+        self, capacity: int
+    ) -> Optional[Tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+        """Carve a zeroed (benefits, stamps, in_frontier) slot.
+
+        Returns ``None`` — caller goes to the heap — when the request
+        exceeds the slot size or no slot is free. Zeroing matters:
+        a recycled slot's stale stamps must read as dirty.
+        """
+        if self._shm is None or capacity > self.slot_rows or not self._free:
+            self.heap_fallbacks += 1
+            return None
+        slot = self._free.pop()
+        base = slot * self._slot_bytes
+        rows = self.slot_rows
+        benefits = np.ndarray(
+            (rows,), dtype=np.float64, buffer=self._shm.buf, offset=base
+        )
+        stamps = np.ndarray(
+            (rows,),
+            dtype=np.int64,
+            buffer=self._shm.buf,
+            offset=base + rows * 8,
+        )
+        in_frontier = np.ndarray(
+            (rows,),
+            dtype=np.bool_,
+            buffer=self._shm.buf,
+            offset=base + rows * 16,
+        )
+        benefits[:] = 0.0
+        stamps[:] = 0
+        in_frontier[:] = False
+        return slot, benefits, stamps, in_frontier
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list (evicted / outgrown column)."""
+        if self._shm is not None:
+            self._free.append(slot)
+
+    def close(self, *, unlink: bool = True) -> None:
+        """Drop the mapping; ``unlink`` removes the segment (owner)."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        self._free = []
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        try:
+            shm.close()
+        except BufferError:
+            # A live column still views the mapping; the name is gone,
+            # the memory goes when the column does.
+            pass
 
 
 class _BenefitColumn:
@@ -103,20 +219,34 @@ class _BenefitColumn:
         "in_frontier",
         "frontier_count",
         "tau",
+        "_allocator",
+        "_slot",
     )
 
-    def __init__(self, quality: np.ndarray, capacity: int):
+    def __init__(
+        self,
+        quality: np.ndarray,
+        capacity: int,
+        allocator: Optional[SharedMemoryColumnAllocator] = None,
+    ):
         self.quality = quality
         self.quality_bytes = quality.tobytes()
-        self.benefits = np.zeros(capacity, dtype=float)
-        self.stamps = np.zeros(capacity, dtype=np.int64)
-        self.in_frontier = np.zeros(capacity, dtype=bool)
+        self._allocator = allocator
+        self._slot: Optional[int] = None
+        block = allocator.allocate(capacity) if allocator else None
+        if block is not None:
+            self._slot, self.benefits, self.stamps, self.in_frontier = block
+        else:
+            self.benefits = np.zeros(capacity, dtype=float)
+            self.stamps = np.zeros(capacity, dtype=np.int64)
+            self.in_frontier = np.zeros(capacity, dtype=bool)
         self.frontier_count = 0
         self.tau = -np.inf
 
     def reserve(self, needed: int) -> None:
         """Grow the per-row arrays (zero-stamped, so new rows read as
-        dirty — arena epochs start at 1)."""
+        dirty — arena epochs start at 1). A column outgrowing its
+        shared-memory slot migrates to the heap and frees the slot."""
         capacity = self.benefits.shape[0]
         if needed <= capacity:
             return
@@ -127,6 +257,13 @@ class _BenefitColumn:
             grown = np.zeros(capacity, dtype=old.dtype)
             grown[: old.shape[0]] = old
             setattr(self, name, grown)
+        self.release()
+
+    def release(self) -> None:
+        """Return the shared-memory slot, if any, to its allocator."""
+        if self._slot is not None and self._allocator is not None:
+            self._allocator.release(self._slot)
+            self._slot = None
 
 
 class AssignmentIndex:
@@ -144,6 +281,11 @@ class AssignmentIndex:
             full-column selection more often.
         max_buckets: live column cap; least-recently-used columns are
             evicted beyond it.
+        allocator: optional :class:`SharedMemoryColumnAllocator`;
+            columns draw their per-row arrays from its shared-memory
+            slots (heap fallback when a column outgrows a slot or the
+            slots run out). Used by the serving pool so worker columns
+            live in parent-owned segments.
     """
 
     def __init__(
@@ -153,6 +295,7 @@ class AssignmentIndex:
         bucket_granularity: float = DEFAULT_BUCKET_GRANULARITY,
         frontier_size: int = DEFAULT_FRONTIER_SIZE,
         max_buckets: int = DEFAULT_MAX_BUCKETS,
+        allocator: Optional[SharedMemoryColumnAllocator] = None,
     ):
         if bucket_granularity <= 0:
             raise ValidationError("bucket_granularity must be positive")
@@ -167,6 +310,7 @@ class AssignmentIndex:
         #: happens between fallbacks; cap it to bound candidate scans.
         self._frontier_limit = 2 * frontier_size
         self._max_buckets = max_buckets
+        self._allocator = allocator
         self._columns: "OrderedDict[bytes, _BenefitColumn]" = OrderedDict()
         #: Telemetry, surfaced via :meth:`stats`.
         self._cold_builds = 0
@@ -197,6 +341,16 @@ class AssignmentIndex:
             "full_selections": self._full_selections,
             "buckets": len(self._columns),
         }
+
+    def close(self) -> None:
+        """Drop every cached column, returning shared-memory slots.
+
+        The allocator itself is owned by whoever constructed it (the
+        serving pool) and is not closed here.
+        """
+        while self._columns:
+            _, column = self._columns.popitem(last=False)
+            column.release()
 
     # -- column maintenance ----------------------------------------------
 
@@ -244,14 +398,17 @@ class AssignmentIndex:
         # Cold: compute the whole column for this exact quality (also
         # the path for a quantisation-mate with a different quality —
         # it takes over the bucket slot).
-        column = _BenefitColumn(q, max(n, 1))
+        if column is not None:
+            column.release()
+        column = _BenefitColumn(q, max(n, 1), self._allocator)
         column.benefits[:n] = arena_benefits(arena, q)
         column.stamps[:n] = epochs
         self._build_frontier(column, n)
         self._columns[key] = column
         self._columns.move_to_end(key)
         while len(self._columns) > self._max_buckets:
-            self._columns.popitem(last=False)
+            _, evicted = self._columns.popitem(last=False)
+            evicted.release()
         self._cold_builds += 1
         return column
 

@@ -1,0 +1,541 @@
+"""Shared-memory state arena: the hot state, mapped for N processes.
+
+:class:`repro.core.arena.StateArena` made the serving path O(n) in
+ndarray work; this module makes the *n* shareable. A
+:class:`SharedStateArena` is a drop-in ``StateArena`` whose buffers —
+the per-group ``R`` / ``M`` / ``S`` / ``logN`` / ``H`` / ``dirty`` /
+``global_rows`` blocks plus the registration-ordered global buffers and
+per-row write epochs — are numpy views over
+``multiprocessing.shared_memory`` segments instead of process-heap
+allocations. Sibling processes (the
+:class:`repro.system.parallel.ServingPool` workers) map the same
+segments and compute Eq. 8 benefits on the owner's live state with zero
+copies and zero serialisation: every ndarray op runs on the same bytes
+the owner writes, so the numeric results are bit-identical to a
+single-process :class:`~repro.core.arena.StateArena` fed the same
+operations.
+
+**Ownership.** Exactly one process — the one that constructed the arena
+— owns the segments: it creates them, grows them, and unlinks them
+(:meth:`SharedStateArena.close`). Everyone else *attaches*: either
+implicitly by ``fork`` (the serving pool's workers inherit the owner's
+mappings and call :meth:`SharedStateArena.become_worker`) or explicitly
+by name (:meth:`SharedStateArena.attach`). Attached arenas are
+read-only by convention: the coherence protocol (below) has no story
+for multi-writer races, and nothing in the serving plane needs one —
+workers *read* state and keep their derived caches private.
+
+**Growth = re-map + generation bump.** Buffers still grow by geometric
+doubling, but a shared segment cannot be resized in place under other
+processes' mappings. Growth therefore allocates a *new* segment,
+copies the live rows, swaps the owner's views, unlinks the old name
+(the memory itself lives until every process drops its mapping, so
+stale views held across growth stay readable — the same semantics a
+heap arena gives), and bumps a **generation counter** in the control
+block. Readers call :meth:`SharedStateArena.refresh_attachment` before
+each use: a generation match is one shared-memory load; a mismatch
+re-opens exactly the segments whose per-group generation advanced.
+Segment names are derived deterministically from the arena's base name,
+the group's choice count, and the generation, so re-attachment needs no
+side channel.
+
+**Coherence.** The arena's per-row write epochs (PR 5) live in the
+shared global segment, so a worker's
+:class:`~repro.core.serving.AssignmentIndex` sees exactly the rows the
+owner dirtied and repairs only those. Epochs order *values*, not
+*bytes*: a reader racing a writer mid-row could still see a torn row,
+which is why the serving pool quiesces workers (drains in-flight
+requests) before the owner writes — see
+:mod:`repro.system.parallel` for the SERVING/QUIESCING/WRITING state
+machine. Within that discipline the epoch protocol is the whole
+invalidation story, exactly as in-process.
+
+**Leak safety.** Segments are named, so an unclean exit could orphan
+files under ``/dev/shm``. Three lines of defence, exercised by the
+fault suite: the owner unlinks every live and superseded segment in
+:meth:`close` (superseded segments are already unlinked at growth
+time); workers never create segments, so a killed worker has nothing
+to leak; and a killed *owner* is covered by the stdlib
+``resource_tracker`` — creation registers every segment with the
+tracker process, which unlinks anything still registered when the
+owning process dies. ``close`` unlinks first (which unregisters), so a
+clean shutdown leaves the tracker nothing to warn about.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.arena import INITIAL_CAPACITY, ChoiceGroup, StateArena
+from repro.errors import ValidationError
+
+#: Control-block magic: attaching to a segment that was not written by
+#: a SharedStateArena owner fails fast instead of mis-reading garbage.
+_MAGIC = 0xD0C5A7E4A
+
+#: Control-block slot indices (int64 words).
+_C_MAGIC = 0
+_C_NUM_DOMAINS = 1
+_C_GEN = 2          #: structural generation (any re-map / new group)
+_C_CLOCK = 3        #: the arena-wide monotone write clock
+_C_COUNT = 4        #: global live-row count
+_C_GLOBAL_GEN = 5   #: generation of the global-buffer segment
+_C_GLOBAL_CAP = 6   #: capacity of the global-buffer segment
+_C_NUM_GROUPS = 7   #: live choice-group slots
+_C_SLOT0 = 8        #: first group slot
+_SLOT_STRIDE = 4    #: int64 words per group slot
+_S_ELL = 0
+_S_GEN = 1
+_S_CAP = 2
+_S_COUNT = 3
+
+#: Choice-group slots reserved in the control block. Choice counts are
+#: tiny in practice (the paper's datasets use one or two distinct l);
+#: 62 slots keep the control block at one 2 KiB segment.
+MAX_GROUPS = 62
+_CTRL_WORDS = _C_SLOT0 + MAX_GROUPS * _SLOT_STRIDE
+
+#: The buffers every choice group maps, in segment-layout order
+#: (8-byte dtypes first so only the 1-byte dirty column is unaligned,
+#: which bool loads tolerate).
+_GROUP_BUFFERS = ("R", "M", "S", "logN", "H", "global_rows", "dirty")
+
+
+def _group_layout(
+    capacity: int, m: int, ell: int
+) -> Tuple[Dict[str, Tuple[Tuple[int, ...], np.dtype, int]], int]:
+    """Per-buffer (shape, dtype, byte offset) for one group segment."""
+    specs = {
+        "R": ((capacity, m), np.dtype(np.float64)),
+        "M": ((capacity, m, ell), np.dtype(np.float64)),
+        "S": ((capacity, ell), np.dtype(np.float64)),
+        "logN": ((capacity, m, ell), np.dtype(np.float64)),
+        "H": ((capacity,), np.dtype(np.float64)),
+        "global_rows": ((capacity,), np.dtype(np.int64)),
+        "dirty": ((capacity,), np.dtype(np.bool_)),
+    }
+    layout: Dict[str, Tuple[Tuple[int, ...], np.dtype, int]] = {}
+    offset = 0
+    for name in _GROUP_BUFFERS:
+        shape, dtype = specs[name]
+        layout[name] = (shape, dtype, offset)
+        offset += int(np.prod(shape)) * dtype.itemsize
+    return layout, offset
+
+
+def _global_layout(
+    capacity: int, m: int
+) -> Tuple[Dict[str, Tuple[Tuple[int, ...], np.dtype, int]], int]:
+    """(shape, dtype, offset) for the registration-ordered buffers."""
+    layout: Dict[str, Tuple[Tuple[int, ...], np.dtype, int]] = {}
+    offset = 0
+    for name, shape, dtype in (
+        ("_R_all", (capacity, m), np.dtype(np.float64)),
+        ("_ells", (capacity,), np.dtype(np.int64)),
+        ("_group_rows", (capacity,), np.dtype(np.int64)),
+        ("_epochs", (capacity,), np.dtype(np.int64)),
+    ):
+        layout[name] = (shape, dtype, offset)
+        offset += int(np.prod(shape)) * dtype.itemsize
+    return layout, offset
+
+
+def _view(
+    shm: shared_memory.SharedMemory,
+    shape: Tuple[int, ...],
+    dtype: np.dtype,
+    offset: int,
+) -> np.ndarray:
+    return np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+
+
+class _SharedChoiceGroup(ChoiceGroup):
+    """A :class:`ChoiceGroup` whose buffers live in one shared segment.
+
+    The live-row ``count`` is promoted into the arena's control block so
+    attached processes observe appends; everything else — ``append``,
+    ``extend_fresh``, ``refresh_entropies``, the scratch buffers — is
+    inherited unchanged and therefore operation-for-operation identical
+    to the heap group.
+    """
+
+    def __init__(
+        self,
+        arena: "SharedStateArena",
+        num_domains: int,
+        ell: int,
+        slot: int,
+    ):
+        # The control-block back-references must exist before
+        # ChoiceGroup.__init__ assigns ``count`` through the property.
+        self._arena = arena
+        self._slot = slot
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._gen = -1
+        ctrl = arena._ctrl
+        ctrl[slot + _S_ELL] = ell
+        ctrl[slot + _S_GEN] = 0
+        ctrl[slot + _S_COUNT] = 0
+        super().__init__(num_domains, ell)
+        # Re-home the freshly allocated (empty) buffers into a segment.
+        self._map(create=True, capacity=INITIAL_CAPACITY, generation=0)
+        ctrl[slot + _S_CAP] = INITIAL_CAPACITY
+
+    @classmethod
+    def _attach(
+        cls,
+        arena: "SharedStateArena",
+        num_domains: int,
+        ell: int,
+        slot: int,
+        capacity: int,
+        generation: int,
+    ) -> "_SharedChoiceGroup":
+        """Map an existing group segment from a non-owner process."""
+        group = cls.__new__(cls)
+        group._arena = arena
+        group._slot = slot
+        group._shm = None
+        group._gen = -1
+        group.ell = ell
+        group._m = num_domains
+        group.task_ids = []
+        group._scratch = None
+        group._map(create=False, capacity=capacity, generation=generation)
+        return group
+
+    @property
+    def count(self) -> int:  # type: ignore[override]
+        return int(self._arena._ctrl[self._slot + _S_COUNT])
+
+    @count.setter
+    def count(self, value: int) -> None:
+        self._arena._ctrl[self._slot + _S_COUNT] = value
+
+    def _segment_name(self, generation: int) -> str:
+        return f"{self._arena.base_name}-e{self.ell}g{generation}"
+
+    def _map(self, create: bool, capacity: int, generation: int) -> None:
+        layout, nbytes = _group_layout(capacity, self._m, self.ell)
+        shm = self._arena._open_segment(
+            self._segment_name(generation), nbytes, create
+        )
+        for name in _GROUP_BUFFERS:
+            shape, dtype, offset = layout[name]
+            setattr(self, name, _view(shm, shape, dtype, offset))
+        self._shm = shm
+        self._gen = generation
+
+    def _reserve(self, needed: int) -> None:
+        """Grow via segment re-map: new segment, copy, generation bump."""
+        if needed <= self.capacity:
+            return
+        new = self.capacity
+        while new < needed:
+            new *= 2
+        old_shm = self._shm
+        old = {name: getattr(self, name) for name in _GROUP_BUFFERS}
+        count = self.count
+        self._map(create=True, capacity=new, generation=self._gen + 1)
+        for name in _GROUP_BUFFERS:
+            getattr(self, name)[:count] = old[name][:count]
+        ctrl = self._arena._ctrl
+        ctrl[self._slot + _S_CAP] = new
+        ctrl[self._slot + _S_GEN] = self._gen
+        self._arena._retire_segment(old_shm)
+        self._arena._bump_generation()
+
+    def _remap_attached(self, capacity: int, generation: int) -> None:
+        """Follow an owner-side re-map from an attached process."""
+        old_shm = self._shm
+        self._map(create=False, capacity=capacity, generation=generation)
+        self._arena._retire_segment(old_shm)
+
+
+class SharedStateArena(StateArena):
+    """A :class:`StateArena` whose buffers live in OS shared memory.
+
+    Same API, same numerics (every inherited method runs the same
+    ndarray operations on views instead of heap arrays); see the module
+    docstring for the ownership, growth, and coherence protocol.
+
+    Args:
+        num_domains: the taxonomy size m.
+        base_name: segment-name prefix; defaults to a unique
+            pid-plus-token name. Segments appear under ``/dev/shm`` as
+            ``<base_name>-ctrl``, ``<base_name>-gl<gen>``, and
+            ``<base_name>-e<ell>g<gen>``.
+    """
+
+    def __init__(self, num_domains: int, *, base_name: Optional[str] = None):
+        if num_domains <= 0:
+            raise ValidationError("num_domains must be positive")
+        self._base = base_name or (
+            f"docsarena-{os.getpid()}-{secrets.token_hex(4)}"
+        )
+        self._owner = True
+        self._closed = False
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        #: Superseded segments: unlinked (owner) but kept mapped so
+        #: views handed out before a growth re-map stay readable —
+        #: matching the heap arena's stale-view semantics.
+        self._graveyard: List[shared_memory.SharedMemory] = []
+        ctrl_shm = self._open_segment(
+            f"{self._base}-ctrl", _CTRL_WORDS * 8, create=True
+        )
+        self._ctrl = _view(ctrl_shm, (_CTRL_WORDS,), np.dtype(np.int64), 0)
+        self._ctrl[_C_MAGIC] = _MAGIC
+        self._ctrl[_C_NUM_DOMAINS] = num_domains
+        self._global_shm: Optional[shared_memory.SharedMemory] = None
+        self._global_gen = -1
+        self._attached_gen = 0
+        super().__init__(num_domains)
+        # Re-home the heap global buffers (still empty) into a segment.
+        self._map_global(create=True, capacity=INITIAL_CAPACITY, generation=0)
+        self._ctrl[_C_GLOBAL_CAP] = INITIAL_CAPACITY
+        self._ctrl[_C_GLOBAL_GEN] = 0
+
+    # -- shared-state plumbing -------------------------------------------
+
+    @property
+    def base_name(self) -> str:
+        """The segment-name prefix (what :meth:`attach` needs)."""
+        return self._base
+
+    @property
+    def is_owner(self) -> bool:
+        """Whether this process owns (created, will unlink) the segments."""
+        return self._owner
+
+    @property
+    def generation(self) -> int:
+        """The structural generation counter (bumped on every re-map)."""
+        return int(self._ctrl[_C_GEN])
+
+    def segment_names(self) -> List[str]:
+        """Names of the live segments (the leak suite audits these)."""
+        return sorted(self._segments)
+
+    # ``_count`` and ``_clock`` are promoted into the control block so
+    # attached processes observe registrations and write epochs; the
+    # base class reads and writes them as plain attributes.
+
+    @property
+    def _count(self) -> int:  # type: ignore[override]
+        return int(self._ctrl[_C_COUNT])
+
+    @_count.setter
+    def _count(self, value: int) -> None:
+        self._ctrl[_C_COUNT] = value
+
+    @property
+    def _clock(self) -> int:  # type: ignore[override]
+        return int(self._ctrl[_C_CLOCK])
+
+    @_clock.setter
+    def _clock(self, value: int) -> None:
+        self._ctrl[_C_CLOCK] = value
+
+    def _open_segment(
+        self, name: str, nbytes: int, create: bool
+    ) -> shared_memory.SharedMemory:
+        if self._closed:
+            raise ValidationError(
+                f"shared arena {self._base!r} is closed"
+            )
+        shm = shared_memory.SharedMemory(
+            name=name, create=create, size=nbytes if create else 0
+        )
+        self._segments[name] = shm
+        return shm
+
+    def _retire_segment(
+        self, shm: Optional[shared_memory.SharedMemory]
+    ) -> None:
+        """Unlink (owner) a superseded segment but keep it mapped."""
+        if shm is None:
+            return
+        self._segments.pop(shm.name, None)
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._graveyard.append(shm)
+
+    def _bump_generation(self) -> None:
+        self._ctrl[_C_GEN] += 1
+
+    def _map_global(
+        self, create: bool, capacity: int, generation: int
+    ) -> None:
+        layout, nbytes = _global_layout(capacity, self._m)
+        shm = self._open_segment(
+            f"{self._base}-gl{generation}", nbytes, create
+        )
+        for name, (shape, dtype, offset) in layout.items():
+            setattr(self, name, _view(shm, shape, dtype, offset))
+        self._global_shm = shm
+        self._global_gen = generation
+
+    def _reserve_global(self, needed: int) -> None:
+        capacity = self._R_all.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        old_shm = self._global_shm
+        old = (self._R_all, self._ells, self._group_rows, self._epochs)
+        count = self._count
+        self._map_global(
+            create=True, capacity=capacity, generation=self._global_gen + 1
+        )
+        for view, previous in zip(
+            (self._R_all, self._ells, self._group_rows, self._epochs), old
+        ):
+            view[:count] = previous[:count]
+        self._ctrl[_C_GLOBAL_CAP] = capacity
+        self._ctrl[_C_GLOBAL_GEN] = self._global_gen
+        self._retire_segment(old_shm)
+        self._bump_generation()
+
+    def _make_group(self, ell: int) -> ChoiceGroup:
+        num = int(self._ctrl[_C_NUM_GROUPS])
+        if num >= MAX_GROUPS:
+            raise ValidationError(
+                f"shared arena supports at most {MAX_GROUPS} distinct "
+                f"choice counts; got a {num + 1}th (ell={ell})"
+            )
+        slot = _C_SLOT0 + num * _SLOT_STRIDE
+        group = _SharedChoiceGroup(self, self._m, ell, slot)
+        self._ctrl[_C_NUM_GROUPS] = num + 1
+        self._bump_generation()
+        return group
+
+    # -- attach / refresh -------------------------------------------------
+
+    @classmethod
+    def attach(cls, base_name: str) -> "SharedStateArena":
+        """Map an existing owner's segments from another process.
+
+        The attached arena serves the numeric read paths (group
+        iteration, benefits, epochs, entropies); the id-keyed
+        registration maps are owner-side Python state and stay empty —
+        the serving pool routes ids on the owner and rows to workers.
+
+        Raises:
+            ValidationError: if the control segment was not written by
+                a :class:`SharedStateArena` owner.
+        """
+        arena = cls.__new__(cls)
+        arena._base = base_name
+        arena._owner = False
+        arena._closed = False
+        arena._segments = {}
+        arena._graveyard = []
+        ctrl_shm = arena._open_segment(f"{base_name}-ctrl", 0, create=False)
+        arena._ctrl = _view(
+            ctrl_shm, (_CTRL_WORDS,), np.dtype(np.int64), 0
+        )
+        if int(arena._ctrl[_C_MAGIC]) != _MAGIC:
+            raise ValidationError(
+                f"segment {base_name!r}-ctrl is not a shared-arena "
+                "control block"
+            )
+        arena._m = int(arena._ctrl[_C_NUM_DOMAINS])
+        arena._groups = {}
+        arena._loc = {}
+        arena._views = {}
+        arena._order = []
+        arena._global_shm = None
+        arena._global_gen = -1
+        arena._attached_gen = -1
+        arena.refresh_attachment()
+        return arena
+
+    def become_worker(self) -> None:
+        """Demote a fork-inherited copy of the owner to an attachment.
+
+        Serving-pool workers inherit the owner object (mappings and
+        all) through ``fork``; this flips ownership off so the worker
+        can never unlink segments it does not own, and arms
+        :meth:`refresh_attachment` at the fork-time generation.
+        """
+        self._owner = False
+        self._attached_gen = int(self._ctrl[_C_GEN])
+
+    def refresh_attachment(self) -> None:
+        """Follow owner-side re-maps; no-op for the owner.
+
+        One shared-memory load when nothing changed; on a generation
+        mismatch, re-opens exactly the segments whose recorded
+        generation moved (deterministic names — no side channel) and
+        retires the superseded mappings.
+        """
+        if self._owner:
+            return
+        generation = int(self._ctrl[_C_GEN])
+        if generation == self._attached_gen:
+            return
+        global_gen = int(self._ctrl[_C_GLOBAL_GEN])
+        if self._global_shm is None or self._global_gen != global_gen:
+            old = self._global_shm
+            self._map_global(
+                create=False,
+                capacity=int(self._ctrl[_C_GLOBAL_CAP]),
+                generation=global_gen,
+            )
+            self._retire_segment(old)
+        for index in range(int(self._ctrl[_C_NUM_GROUPS])):
+            slot = _C_SLOT0 + index * _SLOT_STRIDE
+            ell = int(self._ctrl[slot + _S_ELL])
+            slot_gen = int(self._ctrl[slot + _S_GEN])
+            slot_cap = int(self._ctrl[slot + _S_CAP])
+            group = self._groups.get(ell)
+            if group is None:
+                self._groups[ell] = _SharedChoiceGroup._attach(
+                    self, self._m, ell, slot, slot_cap, slot_gen
+                )
+            elif group._gen != slot_gen:
+                group._remap_attached(slot_cap, slot_gen)
+        self._attached_gen = generation
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every mapping; the owner also unlinks the segments.
+
+        Idempotent. Unlink runs first — it is what removes the
+        ``/dev/shm`` entries and unregisters the segments from the
+        stdlib resource tracker — so even a mapping that cannot close
+        yet (live numpy views exported from it) cannot leak a file.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        everything = list(self._segments.values()) + self._graveyard
+        self._segments.clear()
+        self._graveyard.clear()
+        for shm in everything:
+            if self._owner:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+            try:
+                shm.close()
+            except BufferError:
+                # Live views still reference the mapping; the name is
+                # already gone, the memory goes when the views do.
+                pass
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -29,6 +29,8 @@ Two entry points share one solver:
 
 from __future__ import annotations
 
+import multiprocessing
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -331,6 +333,217 @@ def _run_em(
     return S, M, Q, delta_history, iterations_run
 
 
+class _ShardFailure(Exception):
+    """A rerun shard process died; the caller falls back in-process."""
+
+
+def _em_shard_worker(
+    conn,
+    R: np.ndarray,
+    ells: np.ndarray,
+    valid: np.ndarray,
+    a_task: np.ndarray,
+    a_worker: np.ndarray,
+    a_choice: np.ndarray,
+    W: int,
+) -> None:
+    """One rerun shard: Step 1 over a contiguous task slice.
+
+    Protocol (parent drives): receive ``Q`` -> run Step 1 on the
+    shard's tasks -> reply ``(partial Step-2 numerator, partial truth
+    delta)``; receive ``None`` -> reply the final ``(S, M)`` blocks and
+    exit. Step 1 is task-local given ``Q``, so the shard math is the
+    exact :func:`_run_em` Step 1 on the slice.
+    """
+    from repro.platform import faults
+
+    try:
+        faults.fire("parallel.rerun.shard")
+        n, ell_max = valid.shape
+        A = a_task.shape[0]
+        m = R.shape[1]
+        a_ell = ells[a_task]
+        Ra = R[a_task]
+        flat_cols = a_task * ell_max + a_choice
+        ell_groups = [
+            (int(e), np.flatnonzero(a_ell == e))
+            for e in np.unique(a_ell)
+        ]
+        S = np.where(valid, 1.0, 0.0)
+        if n:
+            S = S / S.sum(axis=1, keepdims=True)
+        M = np.zeros((n, m, ell_max))
+        while True:
+            Q = conn.recv()
+            if Q is None:
+                conn.send((S, M))
+                conn.close()
+                return
+            S_prev = S.copy()
+            Qc = np.clip(Q, QUALITY_FLOOR, QUALITY_CEIL)
+            log_correct = np.log(Qc)
+            if len(ell_groups) == 1:
+                li = np.log((1.0 - Qc) / (ell_groups[0][0] - 1))
+                log_incorrect_a = li[a_worker]
+                delta_a = (log_correct - li)[a_worker]
+            else:
+                log_incorrect_a = np.empty((A, m))
+                delta_a = np.empty((A, m))
+                for ell_value, sel in ell_groups:
+                    li = np.log((1.0 - Qc) / (ell_value - 1))
+                    log_incorrect_a[sel] = li[a_worker[sel]]
+                    delta_a[sel] = (log_correct - li)[a_worker[sel]]
+            base = _scatter_rows(a_task, log_incorrect_a, n)
+            col_buffer = _scatter_rows(flat_cols, delta_a, n * ell_max)
+            logM = base[:, :, None] + col_buffer.reshape(
+                n, ell_max, m
+            ).transpose(0, 2, 1)
+            logM = np.where(valid[:, None, :], logM, -np.inf)
+            logM -= logM.max(axis=2, keepdims=True)
+            expM = np.exp(logM)
+            M = expM / expM.sum(axis=2, keepdims=True)
+            M = np.ascontiguousarray(M)
+            S = np.einsum("nm,nml->nl", R, M)
+            s_at_choice = S[a_task, a_choice]
+            numerator = _scatter_rows(
+                a_worker, Ra * s_at_choice[:, None], W
+            )
+            truth_partial = (
+                float((np.abs(S - S_prev).sum(axis=1) / ells).sum())
+                if n
+                else 0.0
+            )
+            conn.send((numerator, truth_partial))
+    except Exception:
+        # Injected crashes and real shard failures look the same to the
+        # parent: a dead pipe. Exit quietly; the parent falls back.
+        try:
+            conn.close()
+        finally:
+            sys.exit(1)
+
+
+def _run_em_sharded(
+    R: np.ndarray,
+    ells: np.ndarray,
+    valid: np.ndarray,
+    a_task: np.ndarray,
+    a_worker: np.ndarray,
+    a_choice: np.ndarray,
+    Q: np.ndarray,
+    max_iterations: int,
+    tolerance: float,
+    track_delta: bool,
+    shards: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[float], int]:
+    """:func:`_run_em` fanned across a process pool by task slice.
+
+    Tasks are partitioned into ``shards`` contiguous slices; each shard
+    process owns Step 1 (task-local) for its slice and returns the
+    Step-2 scatter *partials*, which the parent merges in shard order
+    against the globally precomputed Eq. 5 denominator. Shard processes
+    are forked, so the (read-only) index arrays are inherited without
+    copies; per-iteration traffic is one (W, m) quality broadcast down
+    and one (W, m) partial numerator up per shard.
+
+    Numerics: each Step 1 runs the exact single-process operations on
+    its slice, but the Step-2 numerator is a sum of per-shard partial
+    scatters whose floating-point accumulation order differs from the
+    flat scatter. Qualities — and through the Q feedback, ``S``/``M``
+    on later iterations — therefore match the in-process solver to
+    accumulation-order rounding (the caveat any parallel reduction
+    carries), not bit-for-bit.
+
+    Raises:
+        _ShardFailure: a shard process died (crash fault, OOM-kill);
+            the caller retries in-process.
+    """
+    n, ell_max = valid.shape
+    W, m = Q.shape
+    ctx = multiprocessing.get_context("fork")
+    bounds = np.linspace(0, n, shards + 1).astype(np.int64)
+    children: List[Tuple[object, object]] = []
+    try:
+        for index in range(shards):
+            lo, hi = int(bounds[index]), int(bounds[index + 1])
+            sel = np.flatnonzero((a_task >= lo) & (a_task < hi))
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_em_shard_worker,
+                args=(
+                    child_conn,
+                    R[lo:hi],
+                    ells[lo:hi],
+                    valid[lo:hi],
+                    a_task[sel] - lo,
+                    a_worker[sel],
+                    a_choice[sel],
+                    W,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            children.append((process, parent_conn))
+
+        denominator = _scatter_rows(a_worker, R[a_task], W)
+        q_mask = denominator > 0
+        delta_history: List[float] = []
+        iterations_run = 0
+        try:
+            for _ in range(max_iterations):
+                iterations_run += 1
+                Q_prev = Q.copy()
+                for _, conn in children:
+                    conn.send(Q)
+                numerator = np.zeros((W, m))
+                truth_sum = 0.0
+                for _, conn in children:
+                    partial, truth_partial = conn.recv()
+                    numerator = numerator + partial
+                    truth_sum += truth_partial
+                Q = np.where(q_mask, np.divide(
+                    numerator, denominator, out=np.zeros_like(numerator),
+                    where=q_mask,
+                ), Q)
+                if track_delta or tolerance > 0:
+                    truth_change = truth_sum / n if n else 0.0
+                    quality_change = (
+                        float(np.abs(Q - Q_prev).mean()) if W else 0.0
+                    )
+                    delta = truth_change + quality_change
+                    delta_history.append(delta)
+                    if delta < tolerance:
+                        break
+            S_parts: List[np.ndarray] = []
+            M_parts: List[np.ndarray] = []
+            for _, conn in children:
+                conn.send(None)
+            for _, conn in children:
+                S_shard, M_shard = conn.recv()
+                S_parts.append(S_shard)
+                M_parts.append(M_shard)
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise _ShardFailure(str(exc)) from exc
+        S = np.concatenate(S_parts) if S_parts else np.zeros((0, ell_max))
+        M = (
+            np.concatenate(M_parts)
+            if M_parts
+            else np.zeros((0, m, ell_max))
+        )
+        return S, M, Q, delta_history, iterations_run
+    finally:
+        for process, conn in children:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hang guard
+                process.terminate()
+                process.join(timeout=5.0)
+
+
 class TruthInference:
     """The iterative TI algorithm of Section 4.1.
 
@@ -480,6 +693,7 @@ class TruthInference:
         log: AnswerLog,
         initial_qualities: Optional[Mapping[str, np.ndarray]] = None,
         track_delta: bool = True,
+        shards: int = 0,
     ) -> ArenaInferenceResult:
         """Run TI over an arena-backed append-only answer log.
 
@@ -492,6 +706,13 @@ class TruthInference:
             log: the :class:`repro.core.arena.AnswerLog` to infer from.
             initial_qualities: as in :meth:`infer`.
             track_delta: as in :meth:`infer`.
+            shards: fan the solver across this many forked shard
+                processes (:func:`_run_em_sharded`); ``0``/``1`` — or a
+                pool too small to split, a platform without ``fork``,
+                or a mid-run shard death — run (or fall back)
+                in-process. Results match the in-process solver to
+                parallel-reduction rounding (see
+                :func:`_run_em_sharded`).
 
         Returns:
             An :class:`ArenaInferenceResult` (empty when no answers).
@@ -527,7 +748,7 @@ class TruthInference:
         worker_ids = log.worker_ids
         Q = self._initial_q(len(worker_ids), m, worker_ids, initial_qualities)
 
-        S, M, Q, delta_history, iterations_run = _run_em(
+        em_args = (
             R,
             ells,
             valid,
@@ -539,6 +760,23 @@ class TruthInference:
             self._tolerance,
             track_delta,
         )
+        use_shards = (
+            shards > 1
+            and n >= 2 * shards
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if use_shards:
+            try:
+                S, M, Q, delta_history, iterations_run = _run_em_sharded(
+                    *em_args, shards
+                )
+            except _ShardFailure:
+                # A shard died mid-rerun (injected crash, kill). The
+                # rerun is a pure function of the log — degrade to the
+                # in-process solver rather than surfacing a fault.
+                S, M, Q, delta_history, iterations_run = _run_em(*em_args)
+        else:
+            S, M, Q, delta_history, iterations_run = _run_em(*em_args)
 
         weights = _scatter_rows(a_worker, R[a_task], len(worker_ids))
 

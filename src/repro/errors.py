@@ -77,6 +77,17 @@ class SchemaVersionError(ReproError):
         self.supported = supported
 
 
+class ServingPoolError(ReproError):
+    """The multi-process serving pool can no longer serve requests.
+
+    Raised by :class:`repro.system.parallel.ServingPool` when a worker
+    process died (crash, kill) or the pool was closed under a caller.
+    The assignment path treats it as a degradation signal: it detaches
+    the pool and keeps serving single-process — picks are identical
+    either way, only the parallelism is lost.
+    """
+
+
 class UnknownWorkerError(ReproError, KeyError):
     """A worker id was not found in the quality store."""
 

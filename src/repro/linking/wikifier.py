@@ -23,6 +23,9 @@ their outputs are bit-identical.
 
 from __future__ import annotations
 
+import multiprocessing
+import sys
+import zlib
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -43,6 +46,17 @@ from repro.utils.text import bag_norm
 
 #: The paper extracts the top 20 candidate concepts per entity by default.
 DEFAULT_TOP_C = 20
+
+#: Candidate-cache shards. Sharding by surface hash keeps each shard's
+#: dict small and — more importantly — gives parallel batch linking a
+#: stable partition to merge worker-discovered entries back into.
+DEFAULT_CACHE_SHARDS = 16
+
+
+def _cache_shard(key: str, num_shards: int) -> int:
+    """Stable surface-hash shard (crc32 — ``hash(str)`` is per-process
+    randomised and would re-shard every run)."""
+    return zlib.crc32(key.encode("utf-8")) % num_shards
 
 
 @dataclass(frozen=True)
@@ -120,9 +134,16 @@ class EntityLinker:
         self._kb = kb
         self._top_c = top_c
         self._smoothing = smoothing
-        self._cache: Optional[Dict[str, _SurfaceEntry]] = (
-            {} if candidate_cache else None
+        self._num_shards = DEFAULT_CACHE_SHARDS
+        self._cache: Optional[List[Dict[str, _SurfaceEntry]]] = (
+            [{} for _ in range(self._num_shards)]
+            if candidate_cache
+            else None
         )
+        #: When set (parallel link workers), entries computed on a
+        #: cache miss are also recorded here so the parent can merge
+        #: them into its shards after the fork-isolated child exits.
+        self._capture: Optional[Dict[str, _SurfaceEntry]] = None
 
     @property
     def kb(self) -> KnowledgeBase:
@@ -137,17 +158,37 @@ class EntityLinker:
     @property
     def cached_surfaces(self) -> int:
         """Number of surface forms in the shared candidate cache."""
-        return len(self._cache) if self._cache is not None else 0
+        if self._cache is None:
+            return 0
+        return sum(len(shard) for shard in self._cache)
 
     def _surface_entry(self, surface: str) -> _SurfaceEntry:
         if self._cache is None:
             return _SurfaceEntry(generate_candidates(surface, self._kb))
         key = canonical_alias(surface)
-        entry = self._cache.get(key)
+        shard = self._cache[_cache_shard(key, self._num_shards)]
+        entry = shard.get(key)
         if entry is None:
             entry = _SurfaceEntry(generate_candidates(surface, self._kb))
-            self._cache[key] = entry
+            shard[key] = entry
+            if self._capture is not None:
+                self._capture[key] = entry
         return entry
+
+    def _merge_entries(
+        self, entries: Dict[str, _SurfaceEntry]
+    ) -> None:
+        """Fold worker-captured surface entries into the shard dicts.
+
+        First writer wins: entries are pure functions of the surface,
+        so two workers resolving the same surface produced equal state
+        and either copy serves future batches.
+        """
+        if self._cache is None:
+            return
+        for key, entry in entries.items():
+            shard = self._cache[_cache_shard(key, self._num_shards)]
+            shard.setdefault(key, entry)
 
     def _link_one(self, text: str, cutoff: int) -> List[LinkedEntity]:
         mentions = detect_mentions(text, self._kb)
@@ -212,7 +253,10 @@ class EntityLinker:
         return self._link_one(text, self._resolve_cutoff(top_c))
 
     def link_batch(
-        self, texts: Sequence[str], top_c: Optional[int] = None
+        self,
+        texts: Sequence[str],
+        top_c: Optional[int] = None,
+        workers: int = 0,
     ) -> List[List[LinkedEntity]]:
         """Link many task texts in one pass over the shared cache.
 
@@ -221,12 +265,90 @@ class EntityLinker:
         batch. Per text the output is identical to :meth:`link` — the
         ingest pipeline's stage 1.
 
+        With ``workers`` > 1 the batch is split into contiguous chunks
+        linked by forked child processes. Children inherit the parent's
+        cache shards copy-on-write, record the entries they had to
+        compute, and ship them back with their chunk's entities; the
+        parent merges the captures into its shards so the *next* batch
+        starts warm. Entity results are a pure function of the text, so
+        parallel output is identical to sequential output per text, and
+        a dead child (injected crash at ``parallel.link.worker``,
+        OOM-kill) degrades the whole batch to the sequential path with
+        no behaviour change.
+
         Args:
             texts: the task descriptions.
             top_c: optional candidate-cutoff override for the batch.
+            workers: fork this many link workers (0/1 = in-process).
 
         Returns:
             One entity list per input text, order preserved.
         """
         cutoff = self._resolve_cutoff(top_c)
+        use_workers = (
+            workers > 1
+            and len(texts) >= 2 * workers
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if use_workers:
+            parallel = self._link_batch_parallel(texts, cutoff, workers)
+            if parallel is not None:
+                return parallel
         return [self._link_one(text, cutoff) for text in texts]
+
+    def _link_batch_parallel(
+        self, texts: Sequence[str], cutoff: int, workers: int
+    ) -> Optional[List[List[LinkedEntity]]]:
+        """Fork link workers over contiguous chunks; ``None`` on any
+        child failure (the caller reruns sequentially)."""
+        context = multiprocessing.get_context("fork")
+        bounds = np.linspace(0, len(texts), workers + 1).astype(int)
+        children = []
+        for index in range(workers):
+            lo, hi = int(bounds[index]), int(bounds[index + 1])
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_link_worker,
+                args=(child_conn, self, list(texts[lo:hi]), cutoff),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            children.append((process, parent_conn))
+        results: List[List[LinkedEntity]] = []
+        failed = False
+        for process, conn in children:
+            try:
+                chunk_entities, captured = conn.recv()
+            except (EOFError, OSError):
+                failed = True
+                break
+            results.extend(chunk_entities)
+            self._merge_entries(captured)
+        for process, conn in children:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hang guard
+                process.terminate()
+                process.join(timeout=5.0)
+        return None if failed else results
+
+
+def _link_worker(conn, linker: EntityLinker, texts, cutoff: int) -> None:
+    """One forked link worker: link a chunk, ship entities + captures."""
+    from repro.platform import faults
+
+    try:
+        faults.fire("parallel.link.worker")
+        linker._capture = {}
+        entities = [linker._link_one(text, cutoff) for text in texts]
+        conn.send((entities, linker._capture))
+        conn.close()
+    except Exception:
+        try:
+            conn.close()
+        finally:
+            sys.exit(1)

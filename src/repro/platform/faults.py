@@ -77,6 +77,13 @@ FAULT_POINTS = frozenset(
         "snapshot.write.mid-transaction",
         "snapshot.write.post-commit",
         "worker_store.apply_delta",
+        # Parallel serving plane (PR 7). Armed pre-fork, these fire in
+        # the child process (the injector state is fork-inherited) and
+        # surface to the parent as a dead worker/shard — exercising the
+        # degradation paths, not exception plumbing.
+        "parallel.worker.serve",
+        "parallel.rerun.shard",
+        "parallel.link.worker",
     }
 )
 

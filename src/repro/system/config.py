@@ -70,6 +70,21 @@ class DocsConfig:
             top-k frontier; must comfortably exceed ``hit_size``.
         serve_max_buckets: cached benefit columns kept alive (LRU
             eviction beyond it).
+        workers: multi-process scale-out degree. ``0`` (default) keeps
+            everything single-process. ``>= 1`` moves the hot state
+            into a :class:`repro.core.shared_arena.SharedStateArena`
+            and serves arrivals from a
+            :class:`repro.system.parallel.ServingPool` of this many
+            worker processes (picks bit-identical at every count);
+            ``>= 2`` additionally fans the every-z full-TI rerun across
+            this many shard processes and stage-1 ingest linking across
+            this many link workers. Requires the ``fork`` start method
+            (Linux/macOS); needs ``serve_index``.
+        serve_resync_precision: full-TI resyncs skip re-stamping arena
+            rows whose ``(M, S)`` moved by at most this much (so the
+            serving index skips repairing them). ``0.0`` skips only
+            bit-unchanged rows — exact; positive values trade bounded
+            benefit staleness for fewer post-rerun repairs.
         seed: seed for any internal randomness.
     """
 
@@ -90,6 +105,8 @@ class DocsConfig:
     serve_bucket_granularity: float = 0.05
     serve_frontier_size: int = 64
     serve_max_buckets: int = 16
+    workers: int = 0
+    serve_resync_precision: float = 0.0
     seed: SeedLike = 0
 
     def validate(self) -> None:
@@ -137,3 +154,14 @@ class DocsConfig:
             raise ValidationError("serve_frontier_size must be >= 1")
         if self.serve_max_buckets < 1:
             raise ValidationError("serve_max_buckets must be >= 1")
+        if self.workers < 0:
+            raise ValidationError("workers must be >= 0")
+        if self.workers and not self.serve_index:
+            raise ValidationError(
+                "workers requires serve_index (the pool's workers each "
+                "hold an AssignmentIndex)"
+            )
+        if self.serve_resync_precision < 0:
+            raise ValidationError(
+                "serve_resync_precision must be >= 0"
+            )

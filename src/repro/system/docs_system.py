@@ -73,8 +73,10 @@ at bootstrap time.
 from __future__ import annotations
 
 import logging
+import multiprocessing
 import sqlite3
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -84,10 +86,15 @@ from repro.core.golden import select_golden_tasks
 from repro.core.incremental import IncrementalTruthInference
 from repro.core.quality_store import WorkerQualityStore
 from repro.core.serving import AssignmentIndex
+from repro.core.shared_arena import SharedStateArena
 from repro.core.truth_inference import TruthInference
 from repro.core.types import Answer, Task
 from repro.datasets.base import CrowdDataset
-from repro.errors import JournalCorruptionError, ValidationError
+from repro.errors import (
+    JournalCorruptionError,
+    ServingPoolError,
+    ValidationError,
+)
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.linking import EntityLinker
 from repro.platform.journal import (
@@ -103,6 +110,7 @@ from repro.platform.sqlite_storage import (
 from repro.platform.storage import SystemDatabase
 from repro.system.config import DocsConfig
 from repro.system.ingest import IngestPipeline, IngestReport
+from repro.system.parallel import ServingPool
 
 logger = logging.getLogger(__name__)
 
@@ -173,6 +181,10 @@ class DocsSystem:
         #: arena's write epochs, so add_tasks/submit/re-runs need no
         #: explicit hooks here.
         self._serving_index: Optional[AssignmentIndex] = None
+        #: The multi-process serving pool (built on prepare/resume when
+        #: ``config.workers`` >= 1 over a shared-memory arena); arena
+        #: mutations quiesce it through :meth:`_arena_write`.
+        self._pool: Optional[ServingPool] = None
         self._bootstrapped: Set[str] = set()
         self._golden_truths: Dict[int, int] = {}
         #: Pristine golden-bootstrap qualities: the full iterative TI is
@@ -256,6 +268,13 @@ class DocsSystem:
         return self._serving_index
 
     @property
+    def serving_pool(self) -> Optional[ServingPool]:
+        """The multi-process serving pool (``None`` before
+        :meth:`prepare`, with ``config.workers == 0``, or after the
+        pool degraded/closed)."""
+        return self._pool
+
+    @property
     def resume_info(self) -> Optional[Dict[str, object]]:
         """How the system was rebuilt, on a resumed system.
 
@@ -331,12 +350,18 @@ class DocsSystem:
         # succeeds: a rejected dataset (e.g. duplicate ids) must leave
         # the system un-prepared and retryable.
         db = self._make_database()
+        shared_arena = self._make_arena(m)
         try:
             store = WorkerQualityStore(
                 m, default_quality=self._config.default_quality
             )
-            incremental = IncrementalTruthInference(store)
-            pipeline = IngestPipeline(db, incremental, linker)
+            incremental = IncrementalTruthInference(
+                store, arena=shared_arena
+            )
+            pipeline = IngestPipeline(
+                db, incremental, linker,
+                link_workers=self._link_workers(),
+            )
             pipeline.ingest(dataset.tasks)
 
             golden_count = min(
@@ -357,6 +382,8 @@ class DocsSystem:
         except Exception:
             if hasattr(db, "close"):
                 db.close()
+            if shared_arena is not None:
+                shared_arena.close()
             raise
 
         if getattr(db, "journal", None) is not None:
@@ -380,16 +407,124 @@ class DocsSystem:
         updates, full-TI resyncs, snapshot overlays — invalidate the
         index row-wise through the arena's write epochs, so nothing
         else needs to call back in here.
+
+        With ``config.workers`` >= 1 (and the arena in shared memory —
+        see :meth:`_make_arena`) this also forks the
+        :class:`repro.system.parallel.ServingPool`. The owner-side
+        index stays attached as the degradation fallback: a pool whose
+        worker dies is detached on the spot and arrivals keep being
+        served single-process with identical picks.
         """
         if not self._config.serve_index:
             return
+        arena = self._incremental.arena
         self._serving_index = AssignmentIndex(
-            self._incremental.arena,
+            arena,
             bucket_granularity=self._config.serve_bucket_granularity,
             frontier_size=self._config.serve_frontier_size,
             max_buckets=self._config.serve_max_buckets,
         )
         self._assigner.attach_index(self._serving_index)
+        if self._config.workers >= 1 and isinstance(
+            arena, SharedStateArena
+        ):
+            self._pool = ServingPool(
+                arena,
+                self._config.workers,
+                bucket_granularity=(
+                    self._config.serve_bucket_granularity
+                ),
+                frontier_size=self._config.serve_frontier_size,
+                max_buckets=self._config.serve_max_buckets,
+            )
+            self._assigner.attach_pool(self._pool)
+
+    def _make_arena(self, num_domains: int) -> Optional[SharedStateArena]:
+        """A shared-memory arena when ``config.workers`` asks for one.
+
+        Returns ``None`` — let the incremental engine build its
+        ordinary heap arena — when workers are off or the platform
+        lacks the ``fork`` start method the pool needs (logged; the
+        campaign serves single-process rather than failing).
+        """
+        if self._config.workers < 1:
+            return None
+        if "fork" not in multiprocessing.get_all_start_methods():
+            logger.warning(
+                "config.workers=%d needs the 'fork' start method, "
+                "which this platform lacks; serving single-process",
+                self._config.workers,
+            )
+            return None
+        return SharedStateArena(num_domains)
+
+    def _link_workers(self) -> int:
+        """Stage-1 ingest linking fan-out (``0`` below two workers —
+        one forked child would only add fork overhead)."""
+        workers = self._config.workers
+        return workers if workers >= 2 else 0
+
+    def _rerun_shards(self) -> int:
+        """Full-TI rerun shard count (``0`` below two workers)."""
+        workers = self._config.workers
+        return workers if workers >= 2 else 0
+
+    @contextmanager
+    def _arena_write(self) -> Iterator[None]:
+        """Run an arena mutation under the pool's writer barrier.
+
+        Without a pool — or nested inside an outer write section (a
+        full-TI resync triggered by a submit already inside one) —
+        this is a plain pass-through. A pool that cannot quiesce (a
+        worker died) is detached and closed, and the mutation proceeds
+        single-process: the write itself must happen regardless of
+        pool health.
+        """
+        pool = self._pool
+        if pool is None or pool.state != "serving":
+            yield
+            return
+        try:
+            section = pool.write_section()
+            section.__enter__()
+        except ServingPoolError as exc:
+            logger.warning(
+                "serving pool failed to quiesce (%s); detaching and "
+                "continuing single-process", exc,
+            )
+            self._detach_pool()
+            yield
+            return
+        try:
+            yield
+        finally:
+            section.__exit__(None, None, None)
+
+    def _detach_pool(self) -> None:
+        """Drop and close the serving pool (idempotent, ``None``-safe)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self._assigner.attach_pool(None)
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - shutdown best effort
+            logger.exception("serving pool close failed")
+
+    def _shutdown_parallel(self) -> None:
+        """Stop the pool and unlink the shared arena. Idempotent.
+
+        Ordering matters: workers detach before the owner unlinks, so
+        no select can race the teardown. After this the system no
+        longer serves (its arena views are gone) — callers reach here
+        only through :meth:`close`.
+        """
+        self._detach_pool()
+        incremental = self._incremental
+        if incremental is not None and isinstance(
+            incremental.arena, SharedStateArena
+        ):
+            incremental.arena.close()
 
     def _commit_retry_policy(self) -> RetryPolicy:
         """The config-derived backoff policy for durable commits."""
@@ -443,7 +578,11 @@ class DocsSystem:
             raise ValidationError(
                 "system not prepared; call prepare() before add_tasks()"
             )
-        return self._pipeline.ingest(tasks)
+        # Growth re-maps arena segments; serving workers must be parked
+        # at their queues while it happens (they follow the new
+        # generation on their next request).
+        with self._arena_write():
+            return self._pipeline.ingest(tasks)
 
     def golden_task_ids(self) -> List[int]:
         """Golden tasks assigned to every new worker."""
@@ -602,6 +741,39 @@ class DocsSystem:
             k=k,
         )
 
+    def assign_many(
+        self, worker_ids: Sequence[str], k: Optional[int] = None
+    ) -> List[List[int]]:
+        """One HIT per arriving worker, served as a single batch.
+
+        With ``config.workers`` the selects fan out across the serving
+        pool's processes and evaluate concurrently; without one the
+        arrivals run through the same strategy ladder :meth:`assign`
+        uses. Picks are bit-identical to calling :meth:`assign` per
+        worker in order, either way.
+
+        Args:
+            worker_ids: the arriving workers (duplicates allowed; each
+                occurrence is served independently).
+            k: HIT size override applied to every arrival.
+
+        Returns:
+            One task-id list per worker id, order preserved.
+        """
+        if self._incremental is None:
+            raise ValidationError("system not prepared; call prepare()")
+        arrivals = []
+        for worker_id in worker_ids:
+            self._seed_from_shared(worker_id)
+            answered = self.database.answers.tasks_answered_by(
+                worker_id
+            )
+            quality = self.quality_store.blended_quality(worker_id)
+            arrivals.append((quality, answered))
+        return self._assigner.assign_many(
+            self._incremental.arena, arrivals, k=k
+        )
+
     def submit(self, answer: Answer) -> None:
         """Ingest an answer: store it, update TI incrementally, and
         re-run the full iterative TI every z submissions."""
@@ -625,7 +797,8 @@ class DocsSystem:
             # flush failed — nothing is dropped, the event is just not
             # durable yet. Serve on, degraded.
             self._enter_degraded("journal flush during submit", exc)
-        self._apply_answer(answer)
+        with self._arena_write():
+            self._apply_answer(answer)
         self._maybe_auto_snapshot()
 
     def _apply_answer(self, answer: Answer) -> None:
@@ -641,7 +814,8 @@ class DocsSystem:
 
     def finalize(self) -> Dict[int, int]:
         """Final full TI; returns task id -> inferred truth."""
-        result = self._run_full_inference()
+        with self._arena_write():
+            result = self._run_full_inference()
         truths = result.truths() if result is not None else {}
         complete: Dict[int, int] = {}
         for task in self.database.tasks():
@@ -872,16 +1046,23 @@ class DocsSystem:
 
         A degraded campaign whose final snapshot still fails raises
         instead of closing: silently releasing the connection would
-        drop the buffered (accepted but not yet durable) events.
+        drop the buffered (accepted but not yet durable) events — and
+        the parallel serving plane stays up, so the still-degraded
+        campaign keeps serving.
+
+        With ``config.workers`` the close also stops the serving pool
+        and unlinks the shared-memory arena (after the durability
+        work, which reads the arena buffers) — so even an in-memory
+        campaign with workers must be closed to release ``/dev/shm``.
         """
-        if self._db is None or not hasattr(self._db, "close"):
-            return
-        if (
-            getattr(self._db, "journal", None) is not None
-            and not getattr(self._db, "closed", False)
-        ):
-            self.snapshot()
-        self._db.close()
+        if self._db is not None and hasattr(self._db, "close"):
+            if (
+                getattr(self._db, "journal", None) is not None
+                and not getattr(self._db, "closed", False)
+            ):
+                self.snapshot()
+            self._db.close()
+        self._shutdown_parallel()
 
     @classmethod
     def resume(
@@ -921,8 +1102,10 @@ class DocsSystem:
                 campaign ran on.
             config: configuration for the resumed system; must match
                 the original run's inference knobs (``rerun_interval``,
-                ``default_quality``, ``ti_max_iterations``) for the
-                replay to reproduce it exactly.
+                ``default_quality``, ``ti_max_iterations`` — and
+                ``workers``, whose rerun shard count fixes the full
+                TI's floating-point accumulation order) for the replay
+                to reproduce it exactly.
             kb: optional knowledge base, re-attached to the ingest
                 pipeline so :meth:`add_tasks` can link *new* task texts
                 after the resume. Without it, added tasks must carry
@@ -961,6 +1144,7 @@ class DocsSystem:
             busy_timeout_ms=cfg.busy_timeout_ms,
             retry=system._commit_retry_policy(),
         )
+        shared_arena: Optional[SharedStateArena] = None
         try:
             tasks = db.tasks_in_ingest_order()
             if not tasks:
@@ -994,13 +1178,19 @@ class DocsSystem:
             store = WorkerQualityStore(
                 m, default_quality=cfg.default_quality
             )
-            incremental = IncrementalTruthInference(store)
+            shared_arena = system._make_arena(m)
+            incremental = IncrementalTruthInference(
+                store, arena=shared_arena
+            )
             linker = (
                 EntityLinker(kb, top_c=cfg.top_c)
                 if kb is not None
                 else None
             )
-            pipeline = IngestPipeline(db, incremental, linker)
+            pipeline = IngestPipeline(
+                db, incremental, linker,
+                link_workers=system._link_workers(),
+            )
             pipeline.ingest(tasks, store=False)
             db.answers.bind_row_resolver(incremental.arena.global_row)
 
@@ -1060,6 +1250,9 @@ class DocsSystem:
         except Exception:
             db.close()
             system._db = None
+            system._detach_pool()
+            if shared_arena is not None:
+                shared_arena.close()
             raise
         return system
 
@@ -1092,7 +1285,8 @@ class DocsSystem:
     def _install_snapshot(self, snapshot: CampaignSnapshot) -> None:
         """Overlay a validated snapshot onto the freshly registered
         system (arena rows, worker model, bootstrap + export state)."""
-        self._incremental.arena.load_hot_state(snapshot.groups)
+        with self._arena_write():
+            self._incremental.arena.load_hot_state(snapshot.groups)
         for worker_id, stats in snapshot.workers.items():
             self._store.set(worker_id, stats.quality, stats.weight)
         self._golden_qualities = {
@@ -1249,8 +1443,14 @@ class DocsSystem:
         initial = dict(self._golden_qualities)
         # The append-only log already holds the solver's index arrays;
         # no answer re-indexing or domain-vector re-stacking per re-run.
-        result = ti.infer_from_log(self._log, initial_qualities=initial)
-        self._incremental.resync_from_arena_result(result)
+        result = ti.infer_from_log(
+            self._log,
+            initial_qualities=initial,
+            shards=self._rerun_shards(),
+        )
+        self._incremental.resync_from_arena_result(
+            result, precision=self._config.serve_resync_precision
+        )
         self._export_to_shared(result)
         return result
 

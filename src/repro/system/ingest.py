@@ -98,6 +98,10 @@ class IngestPipeline:
             precomputed ``domain_vector``.
         estimator: optional DVE estimator; built over ``linker`` and the
             arena's taxonomy size when omitted (and a linker exists).
+        link_workers: fork this many processes for stage 1
+            (:meth:`repro.linking.EntityLinker.link_batch` chunks the
+            batch, children inherit the candidate cache copy-on-write
+            and ship back what they computed). 0/1 links in-process.
     """
 
     def __init__(
@@ -106,11 +110,13 @@ class IngestPipeline:
         incremental: IncrementalTruthInference,
         linker: Optional[EntityLinker] = None,
         estimator: Optional[DomainVectorEstimator] = None,
+        link_workers: int = 0,
     ):
         self._db = database
         self._incremental = incremental
         self._linker = linker
         self._estimator = estimator
+        self._link_workers = link_workers
         if estimator is None and linker is not None:
             self._estimator = DomainVectorEstimator(
                 linker, incremental.arena.num_domains
@@ -193,7 +199,9 @@ class IngestPipeline:
             )
         tic = time.perf_counter()
         entity_lists = (
-            self._linker.link_batch([t.text for t in pending])
+            self._linker.link_batch(
+                [t.text for t in pending], workers=self._link_workers
+            )
             if pending
             else []
         )

@@ -1,0 +1,409 @@
+"""Multi-process serving pool over a shared-memory arena.
+
+The serving plane's scale-out layer: N forked worker processes, each
+holding its own :class:`repro.core.serving.AssignmentIndex` attached to
+the owner's :class:`repro.core.shared_arena.SharedStateArena`, serve
+assignment selections concurrently. The division of labour follows the
+plane split the single-process engine already enforces:
+
+- **Owner (this process)** keeps every id-keyed structure — task and
+  worker registries, answer history, quality store — and performs *all*
+  arena writes. It translates an arrival into the select-level request
+  the index understands (quality vector, take, excluded/eligible *rows*,
+  candidate count), round-robins requests across workers, and maps the
+  returned rows back to task ids.
+- **Workers** hold no ids at all: they compute Eq. 8 benefits over the
+  shared buffers and maintain their private benefit columns (optionally
+  placed in parent-owned shared-memory slots — see
+  :class:`repro.core.serving.SharedMemoryColumnAllocator`). Each
+  worker's index is exact, so any worker serves any arrival and the
+  pick is **bit-identical** to the single-process oracle at every
+  worker count.
+
+**Coherence = epochs + quiesce.** Workers inherit the arena's per-row
+write epochs through shared memory; on each request a worker first
+follows structural growth (:meth:`SharedStateArena.refresh_attachment`,
+one shared load when nothing grew) and then lets its index repair
+exactly the rows whose epoch advanced past its cached stamps — the
+same invalidation protocol the in-process index uses, now across
+address spaces. Epochs order *values*, not bytes, so the owner never
+mutates the arena while a request might be reading it. The pool runs a
+three-state machine:
+
+    SERVING ──owner calls write_section()──► QUIESCING
+    QUIESCING ──every worker acks the barrier──► WRITING
+    WRITING ──owner's write block exits──► SERVING
+
+``QUIESCING`` drains: a barrier token is queued behind any in-flight
+requests on every worker's request queue, and the owner waits for all
+acks — once they arrive, every worker is parked in a queue read, with
+no arena access in flight. The owner's public API is synchronous
+(requests are dispatched and collected inside one call), so the barrier
+is cheap: one token round-trip per worker, no request can straddle it.
+
+**Failure model.** A worker that dies (injected ``CrashPoint`` at
+``parallel.worker.serve``, OOM-kill) surfaces as
+:class:`repro.errors.ServingPoolError` on the owner; the assignment
+path catches it, detaches the pool, and keeps serving single-process —
+graceful degradation, identical picks, reduced throughput. Workers
+never create shared-memory segments (arenas and column slots are
+parent-created pre-fork), so a killed worker cannot orphan one; a
+killed owner is mopped up by the stdlib resource tracker (see
+:mod:`repro.core.shared_arena`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.serving import (
+    DEFAULT_BUCKET_GRANULARITY,
+    DEFAULT_FRONTIER_SIZE,
+    DEFAULT_MAX_BUCKETS,
+    AssignmentIndex,
+    SharedMemoryColumnAllocator,
+)
+from repro.core.shared_arena import SharedStateArena
+from repro.errors import ServingPoolError, ValidationError
+
+#: Column-allocator slot capacity in rows; columns over pools larger
+#: than this fall back to worker-heap arrays (still correct, still
+#: private — just not in parent-owned memory).
+DEFAULT_COLUMN_SLOT_ROWS = 1 << 17
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_INTERVAL = 0.25
+
+#: One select-level request: (quality, take, excluded_rows,
+#: eligible_rows, available) — exactly AssignmentIndex.select's
+#: signature, rows not ids.
+SelectRequest = Tuple[
+    np.ndarray, int, Set[int], Optional[Set[int]], int
+]
+
+
+def _serving_worker(
+    arena: SharedStateArena,
+    worker_index: int,
+    requests,
+    results,
+    allocator: Optional[SharedMemoryColumnAllocator],
+    bucket_granularity: float,
+    frontier_size: int,
+    max_buckets: int,
+) -> None:
+    """Worker loop: attach, serve selects, ack barriers, die loudly.
+
+    An injected crash (``parallel.worker.serve``) — or any other
+    unexpected error — kills the process like a real fault would; the
+    owner sees a dead worker, not an exception message. Per-request
+    validation errors do not exist at this layer: the owner validated
+    the request before translating it to rows.
+    """
+    from repro.platform import faults
+
+    arena.become_worker()
+    index = AssignmentIndex(
+        arena,
+        bucket_granularity=bucket_granularity,
+        frontier_size=frontier_size,
+        max_buckets=max_buckets,
+        allocator=allocator,
+    )
+    try:
+        while True:
+            message = requests.get()
+            if message is None:
+                return
+            kind = message[0]
+            if kind == "barrier":
+                results.put(
+                    ("ack", message[1], worker_index, index.stats())
+                )
+                continue
+            _, request_id, quality, take, excluded, eligible, available = (
+                message
+            )
+            faults.fire("parallel.worker.serve")
+            arena.refresh_attachment()
+            rows = index.select(
+                quality, take, excluded, eligible, available
+            )
+            results.put(("rows", request_id, worker_index, rows))
+    except BaseException:
+        # Dead pipe-wise, not just exception-wise: the parent's
+        # liveness probe is the failure signal, matching a real kill.
+        os._exit(1)
+
+
+class ServingPool:
+    """N forked serving workers over one shared arena.
+
+    Args:
+        arena: the owner's shared arena; workers inherit it via fork.
+        num_workers: worker process count (>= 1).
+        bucket_granularity / frontier_size / max_buckets: per-worker
+            :class:`~repro.core.serving.AssignmentIndex` tuning, same
+            defaults as single-process serving.
+        shared_columns: place worker benefit columns in parent-owned
+            shared-memory slots (default). Off, columns live on worker
+            heaps.
+        column_slot_rows: row capacity per column slot.
+
+    Raises:
+        ValidationError: bad worker count, or a platform without the
+            ``fork`` start method (the pool inherits arena mappings and
+            index state through fork; there is no spawn path).
+    """
+
+    def __init__(
+        self,
+        arena: SharedStateArena,
+        num_workers: int,
+        *,
+        bucket_granularity: float = DEFAULT_BUCKET_GRANULARITY,
+        frontier_size: int = DEFAULT_FRONTIER_SIZE,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+        shared_columns: bool = True,
+        column_slot_rows: int = DEFAULT_COLUMN_SLOT_ROWS,
+    ):
+        if num_workers < 1:
+            raise ValidationError("num_workers must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ValidationError(
+                "ServingPool requires the fork start method"
+            )
+        self._arena = arena
+        self._closed = False
+        self._next_id = 0
+        self._round_robin = 0
+        self._state = "serving"
+        # Workers must never write shared buffers, and the lazy entropy
+        # refresh is a write: hand the workers a fully refreshed arena
+        # so their refresh scans find nothing dirty.
+        arena.refresh_entropies()
+        context = multiprocessing.get_context("fork")
+        self._requests = [
+            context.SimpleQueue() for _ in range(num_workers)
+        ]
+        self._results = context.Queue()
+        self._allocators: List[Optional[SharedMemoryColumnAllocator]] = []
+        for _ in range(num_workers):
+            self._allocators.append(
+                SharedMemoryColumnAllocator(
+                    column_slot_rows, max_buckets
+                )
+                if shared_columns
+                else None
+            )
+        self._processes = []
+        for worker_index in range(num_workers):
+            process = context.Process(
+                target=_serving_worker,
+                args=(
+                    arena,
+                    worker_index,
+                    self._requests[worker_index],
+                    self._results,
+                    self._allocators[worker_index],
+                    bucket_granularity,
+                    frontier_size,
+                    max_buckets,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+
+    @property
+    def arena(self) -> SharedStateArena:
+        """The shared arena the pool serves from."""
+        return self._arena
+
+    @property
+    def num_workers(self) -> int:
+        """Live worker process count at construction."""
+        return len(self._processes)
+
+    @property
+    def state(self) -> str:
+        """The coherence state machine: serving / quiescing / writing."""
+        return self._state
+
+    # -- serving -----------------------------------------------------------
+
+    def select(
+        self,
+        quality: np.ndarray,
+        take: int,
+        excluded_rows: Set[int],
+        eligible_rows: Optional[Set[int]],
+        available: int,
+    ) -> List[int]:
+        """One select, served by the next worker in round-robin order."""
+        return self.select_many(
+            [(quality, take, excluded_rows, eligible_rows, available)]
+        )[0]
+
+    def select_many(
+        self, requests: Sequence[SelectRequest]
+    ) -> List[List[int]]:
+        """Fan a batch of selects across the workers, order-preserving.
+
+        Requests are dispatched round-robin and collected by request
+        id, so the result list aligns with the input regardless of
+        completion order. Every pick is bit-identical to the
+        single-process index — which worker served it cannot matter.
+
+        Raises:
+            ServingPoolError: the pool is closed, mid-write, or a
+                worker died while holding a request.
+        """
+        self._ensure_serving()
+        if not requests:
+            return []
+        pending: Dict[int, int] = {}
+        for position, request in enumerate(requests):
+            request_id = self._next_id
+            self._next_id += 1
+            worker = self._round_robin
+            self._round_robin = (
+                self._round_robin + 1
+            ) % len(self._processes)
+            self._requests[worker].put(("select", request_id) + tuple(request))
+            pending[request_id] = position
+        out: List[Optional[List[int]]] = [None] * len(requests)
+        while pending:
+            message = self._collect()
+            if message[0] != "rows":  # pragma: no cover - protocol guard
+                raise ServingPoolError(
+                    f"unexpected worker message {message[0]!r}"
+                )
+            _, request_id, _, rows = message
+            out[pending.pop(request_id)] = rows
+        return out  # type: ignore[return-value]
+
+    def _collect(self):
+        """One result-queue read with liveness checks while waiting."""
+        while True:
+            try:
+                return self._results.get(timeout=_POLL_INTERVAL)
+            except queue_mod.Empty:
+                self._check_alive()
+
+    def _check_alive(self) -> None:
+        dead = [
+            index
+            for index, process in enumerate(self._processes)
+            if not process.is_alive()
+        ]
+        if dead:
+            raise ServingPoolError(
+                f"serving worker(s) {dead} died; pool is broken "
+                "(degrade to single-process serving)"
+            )
+
+    def _ensure_serving(self) -> None:
+        if self._closed:
+            raise ServingPoolError("serving pool is closed")
+        if self._state != "serving":
+            raise ServingPoolError(
+                f"serving pool is {self._state}; selects are only legal "
+                "in the serving state"
+            )
+
+    # -- coherence barrier -------------------------------------------------
+
+    def quiesce(self) -> List[Dict[str, int]]:
+        """Drain every worker and park them at their request queues.
+
+        Queues one barrier token per worker behind any in-flight work
+        and waits for all acks. On return no worker is touching the
+        arena, and none will until the next request is dispatched.
+
+        Returns:
+            Each worker's index stats (the ack payload) — aggregate
+            serving telemetry for benches and tests.
+
+        Raises:
+            ServingPoolError: a worker died before acking.
+        """
+        self._ensure_serving()
+        self._state = "quiescing"
+        try:
+            for worker, request_queue in enumerate(self._requests):
+                request_queue.put(("barrier", worker))
+            stats: List[Optional[Dict[str, int]]] = (
+                [None] * len(self._processes)
+            )
+            outstanding = len(self._processes)
+            while outstanding:
+                message = self._collect()
+                if message[0] != "ack":  # pragma: no cover - guard
+                    raise ServingPoolError(
+                        f"unexpected worker message {message[0]!r}"
+                    )
+                _, _, worker_index, worker_stats = message
+                stats[worker_index] = worker_stats
+                outstanding -= 1
+            return stats  # type: ignore[return-value]
+        finally:
+            if self._state == "quiescing":
+                self._state = "serving"
+
+    @contextmanager
+    def write_section(self) -> Iterator[None]:
+        """The writer-side barrier: quiesce, let the owner write, resume.
+
+        Everything that mutates the arena — incremental submits,
+        ``grow`` blocks, full-TI resyncs, snapshot overlays — runs
+        inside this context. On exit the pool refreshes the arena's
+        entropies on the owner's side before reopening serving, so
+        workers never find dirty rows to recompute — worker indices
+        only ever *read* shared buffers.
+        """
+        self.quiesce()
+        self._state = "writing"
+        try:
+            yield
+        finally:
+            self._arena.refresh_entropies()
+            self._state = "serving"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and unlink the column segments. Idempotent.
+
+        The arena is *not* closed — it belongs to the system, which
+        keeps serving single-process after the pool is gone.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for request_queue in self._requests:
+            try:
+                request_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hang guard
+                process.terminate()
+                process.join(timeout=5.0)
+        for allocator in self._allocators:
+            if allocator is not None:
+                allocator.close()
+        self._results.close()
+
+    def __enter__(self) -> "ServingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,392 @@
+"""SharedStateArena equivalence and leak-safety suite.
+
+The shared arena's contract is *bit-identity*: a
+:class:`repro.core.shared_arena.SharedStateArena` fed the same
+operations as a heap :class:`repro.core.arena.StateArena` must hold
+byte-for-byte equal buffers at every step — across geometric growth
+(segment re-maps), incremental submits, full-TI resyncs, and snapshot
+overlays — because the serving pool's exactness guarantee reduces to
+it. The leak tests pin the ``/dev/shm`` hygiene story: clean close
+unlinks everything, and no segment outlives its owner uncollected.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.arena import AnswerLog, StateArena
+from repro.core.incremental import IncrementalTruthInference
+from repro.core.quality_store import WorkerQualityStore
+from repro.core.shared_arena import MAX_GROUPS, SharedStateArena
+from repro.core.truth_inference import TruthInference
+from repro.core.types import Answer, Task
+from repro.errors import ValidationError
+from repro.utils.rng import make_rng
+
+M_DOMAINS = 4
+NUM_WORKERS = 5
+
+
+def shm_segments(prefix="docs"):
+    """Live /dev/shm entries created by this test session."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return [f for f in os.listdir("/dev/shm") if f.startswith(prefix)]
+
+
+def _make_tasks(rng, count, base_id=0):
+    return [
+        Task(
+            task_id=base_id + i,
+            text=f"task {base_id + i}",
+            num_choices=int(rng.integers(2, 5)),
+            domain_vector=rng.dirichlet(np.ones(M_DOMAINS)),
+            ground_truth=1,
+        )
+        for i in range(count)
+    ]
+
+
+def _make_store(rng):
+    store = WorkerQualityStore(M_DOMAINS)
+    for j in range(NUM_WORKERS):
+        store.set(
+            f"w{j}",
+            rng.uniform(0.4, 0.95, size=M_DOMAINS),
+            np.full(M_DOMAINS, 2.0),
+        )
+    return store
+
+
+def _paired_engines(seed, count):
+    """(heap engine, shared engine) fed identical construction."""
+    rng_a = make_rng(seed)
+    rng_b = make_rng(seed)
+    heap = IncrementalTruthInference(_make_store(rng_a))
+    shared = IncrementalTruthInference(
+        _make_store(rng_b), arena=SharedStateArena(M_DOMAINS)
+    )
+    heap.register_tasks(_make_tasks(make_rng(seed + 1), count))
+    shared.register_tasks(_make_tasks(make_rng(seed + 1), count))
+    return heap, shared
+
+
+def assert_buffers_identical(heap: StateArena, shared: StateArena):
+    """Every numeric buffer equals its heap twin, byte for byte."""
+    assert len(heap) == len(shared)
+    assert heap.task_ids() == shared.task_ids()
+    np.testing.assert_array_equal(
+        heap.domain_matrix(), shared.domain_matrix()
+    )
+    np.testing.assert_array_equal(
+        heap.choice_counts(), shared.choice_counts()
+    )
+    heap_groups = {g.ell: g for g in heap.iter_groups()}
+    shared_groups = {g.ell: g for g in shared.iter_groups()}
+    assert set(heap_groups) == set(shared_groups)
+    for ell, hg in heap_groups.items():
+        sg = shared_groups[ell]
+        n = hg.count
+        assert sg.count == n
+        for buf in ("R", "M", "S", "logN", "global_rows", "dirty"):
+            np.testing.assert_array_equal(
+                getattr(hg, buf)[:n],
+                getattr(sg, buf)[:n],
+                err_msg=f"group ell={ell} buffer {buf}",
+            )
+
+
+def assert_arenas_identical(heap: StateArena, shared: StateArena):
+    """Buffers plus the write-epoch machinery — full state identity."""
+    assert_buffers_identical(heap, shared)
+    np.testing.assert_array_equal(
+        heap.row_epochs(), shared.row_epochs()
+    )
+    assert heap.write_clock == shared.write_clock
+
+
+def assert_numeric_state_identical(reference, attached):
+    """Attachment identity: attached arenas serve only the numeric read
+    paths (group buffers, epochs, clock) — the id-keyed registration
+    maps are owner-side Python state and stay empty."""
+    assert len(reference) == len(attached)
+    np.testing.assert_array_equal(
+        reference.row_epochs(), attached.row_epochs()
+    )
+    assert reference.write_clock == attached.write_clock
+    ref_groups = {g.ell: g for g in reference.iter_groups()}
+    att_groups = {g.ell: g for g in attached.iter_groups()}
+    assert set(ref_groups) == set(att_groups)
+    for ell, rg in ref_groups.items():
+        ag = att_groups[ell]
+        n = rg.count
+        assert ag.count == n
+        for buf in ("R", "M", "S", "logN", "H", "global_rows", "dirty"):
+            np.testing.assert_array_equal(
+                getattr(rg, buf)[:n],
+                getattr(ag, buf)[:n],
+                err_msg=f"group ell={ell} buffer {buf}",
+            )
+
+
+class TestConstructionAndGrowth:
+    def test_rejects_bad_num_domains(self):
+        with pytest.raises(ValidationError):
+            SharedStateArena(0)
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_equal_after_bulk_registration(self, seed):
+        heap, shared = _paired_engines(seed, count=40)
+        try:
+            assert_arenas_identical(heap.arena, shared.arena)
+        finally:
+            shared.arena.close()
+
+    def test_growth_remaps_and_stays_identical(self):
+        """Push both arenas through several geometric doublings; the
+        shared one re-maps segments (generation bumps) and must stay
+        byte-identical."""
+        heap, shared = _paired_engines(7, count=10)
+        try:
+            gen_before = shared.arena.generation
+            for batch in range(4):
+                tasks = _make_tasks(
+                    make_rng(100 + batch), 150, base_id=1000 + 1000 * batch
+                )
+                heap.register_tasks(tasks)
+                shared.register_tasks(
+                    _make_tasks(
+                        make_rng(100 + batch),
+                        150,
+                        base_id=1000 + 1000 * batch,
+                    )
+                )
+            assert shared.arena.generation > gen_before
+            assert_arenas_identical(heap.arena, shared.arena)
+        finally:
+            shared.arena.close()
+
+    def test_stale_views_survive_growth(self):
+        """A row view handed out before growth keeps reading the old
+        (retired) segment without crashing — heap-arena semantics."""
+        shared = SharedStateArena(M_DOMAINS)
+        try:
+            engine = IncrementalTruthInference(
+                WorkerQualityStore(M_DOMAINS), arena=shared
+            )
+            engine.register_tasks(_make_tasks(make_rng(1), 4))
+            view = shared.view(0)
+            before = view.s.copy()
+            engine.register_tasks(
+                _make_tasks(make_rng(2), 500, base_id=100)
+            )
+            np.testing.assert_array_equal(view.s, before)
+        finally:
+            shared.close()
+
+    def test_group_slot_limit_is_enforced(self):
+        shared = SharedStateArena(2)
+        try:
+            with pytest.raises(ValidationError, match="choice counts"):
+                for ell in range(2, 2 + MAX_GROUPS + 1):
+                    shared.grow(
+                        [
+                            Task(
+                                task_id=ell,
+                                text="t",
+                                num_choices=ell,
+                                domain_vector=np.array([0.5, 0.5]),
+                            )
+                        ]
+                    )
+        finally:
+            shared.close()
+
+
+def _drive_stream(engine, seed, steps=60, log=None):
+    """A deterministic submit stream over the engine's arena.
+
+    Skips (worker, task) pairs already drawn — a worker answers a task
+    at most once — so identical seeds produce identical streams.
+    """
+    rng = make_rng(seed)
+    task_ids = engine.arena.task_ids()
+    seen = set()
+    for step in range(steps):
+        task_id = int(task_ids[int(rng.integers(len(task_ids)))])
+        worker = f"w{int(rng.integers(NUM_WORKERS))}"
+        if (worker, task_id) in seen:
+            continue
+        seen.add((worker, task_id))
+        ell = engine.arena.view(task_id).num_choices
+        choice = int(rng.integers(1, ell + 1))
+        answer = Answer(worker, task_id, choice)
+        engine.submit(answer)
+        if log is not None:
+            log.append(answer)
+
+
+class TestOperationEquivalence:
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_incremental_submits(self, seed):
+        heap, shared = _paired_engines(seed, count=30)
+        try:
+            _drive_stream(heap, seed + 50)
+            _drive_stream(shared, seed + 50)
+            assert_arenas_identical(heap.arena, shared.arena)
+        finally:
+            shared.arena.close()
+
+    @pytest.mark.parametrize("seed", [9])
+    def test_full_ti_resync(self, seed):
+        heap, shared = _paired_engines(seed, count=25)
+        try:
+            ti = TruthInference(max_iterations=10)
+            for engine in (heap, shared):
+                log = AnswerLog(engine.arena)
+                _drive_stream(engine, seed + 80, steps=60, log=log)
+                result = ti.infer_from_log(log)
+                engine.resync_from_arena_result(result)
+            assert_arenas_identical(heap.arena, shared.arena)
+        finally:
+            shared.arena.close()
+
+    def test_snapshot_overlay(self):
+        """export_hot_state from one kind of arena loads into the other
+        bit-identically — resume does not care where buffers live."""
+        heap, shared = _paired_engines(13, count=20)
+        try:
+            _drive_stream(heap, 99)
+            exported = heap.arena.export_hot_state()
+            assert shared.arena.check_hot_state(exported) is None
+            shared.arena.load_hot_state(exported)
+            # The overlay stamps fresh epochs (it does not replay the
+            # source's write history), so identity covers buffers only.
+            assert_buffers_identical(heap.arena, shared.arena)
+        finally:
+            shared.arena.close()
+
+
+class TestAttachment:
+    def test_attach_sees_owner_state(self):
+        heap, shared = _paired_engines(17, count=15)
+        attached = None
+        try:
+            _drive_stream(shared, 17)
+            shared.arena.refresh_entropies()
+            attached = SharedStateArena.attach(shared.arena.base_name)
+            assert not attached.is_owner
+            assert_numeric_state_identical(shared.arena, attached)
+        finally:
+            if attached is not None:
+                attached.close()
+            shared.arena.close()
+
+    def test_attach_follows_growth(self):
+        heap, shared = _paired_engines(19, count=10)
+        attached = None
+        try:
+            attached = SharedStateArena.attach(shared.arena.base_name)
+            engine_tasks = _make_tasks(make_rng(3), 400, base_id=500)
+            shared.register_tasks(engine_tasks)
+            heap.register_tasks(_make_tasks(make_rng(3), 400, base_id=500))
+            attached.refresh_attachment()
+            assert attached.generation == shared.arena.generation
+            assert_numeric_state_identical(shared.arena, attached)
+            assert_buffers_identical(heap.arena, shared.arena)
+        finally:
+            if attached is not None:
+                attached.close()
+            shared.arena.close()
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            name="docstest-foreign-ctrl", create=True, size=4096
+        )
+        try:
+            with pytest.raises(ValidationError, match="control block"):
+                SharedStateArena.attach("docstest-foreign")
+        finally:
+            shm.unlink()
+            shm.close()
+
+
+class TestLeakSafety:
+    def test_clean_close_unlinks_everything(self):
+        shared = SharedStateArena(M_DOMAINS)
+        base = shared.base_name
+        engine = IncrementalTruthInference(
+            WorkerQualityStore(M_DOMAINS), arena=shared
+        )
+        engine.register_tasks(_make_tasks(make_rng(2), 300))
+        assert shm_segments(base)
+        shared.close()
+        assert shm_segments(base) == []
+        shared.close()  # idempotent
+
+    def test_growth_does_not_accumulate_segments(self):
+        """Superseded segments are unlinked at growth time, not close
+        time — a long campaign holds one live segment per buffer."""
+        shared = SharedStateArena(M_DOMAINS)
+        try:
+            engine = IncrementalTruthInference(
+                WorkerQualityStore(M_DOMAINS), arena=shared
+            )
+            for batch in range(4):
+                engine.register_tasks(
+                    _make_tasks(make_rng(batch), 200, base_id=1000 * batch)
+                )
+            live = shm_segments(shared.base_name)
+            # ctrl + one global + one segment per choice group.
+            groups = len(list(shared.iter_groups()))
+            assert len(live) == 2 + groups
+            assert sorted(live) == shared.segment_names()
+        finally:
+            shared.close()
+
+    def test_killed_owner_leaves_no_segments_behind(self, tmp_path):
+        """SIGKILL the owning process; the stdlib resource tracker must
+        reap every segment it registered."""
+        script = tmp_path / "owner.py"
+        script.write_text(
+            """
+import os, signal, sys
+sys.path.insert(0, {src!r})
+import numpy as np
+from repro.core.shared_arena import SharedStateArena
+from repro.core.types import Task
+
+arena = SharedStateArena(3, base_name="docskill-" + str(os.getpid()))
+arena.grow([
+    Task(task_id=i, text="t", num_choices=2,
+         domain_vector=np.array([0.5, 0.3, 0.2]))
+    for i in range(200)
+])
+print(arena.base_name, flush=True)
+os.kill(os.getpid(), signal.SIGKILL)
+""".format(
+                src=os.path.join(os.getcwd(), "src")
+            )
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == -9
+        base = proc.stdout.strip().split()[-1]
+        # The tracker reaps asynchronously after the process dies; give
+        # it a moment before declaring a leak.
+        import time
+
+        for _ in range(50):
+            if not shm_segments(base):
+                break
+            time.sleep(0.1)
+        assert shm_segments(base) == []

@@ -49,8 +49,16 @@ MATRIX = {
 }
 
 #: Points whose crash semantics need a dedicated scenario instead of
-#: the kill-mid-campaign template.
-DEDICATED = {"db.connect", "worker_store.apply_delta"}
+#: the kill-mid-campaign template. The ``parallel.*`` points fire in
+#: forked children and degrade, not crash — their scenarios live in
+#: ``tests/system/test_parallel.py``.
+DEDICATED = {
+    "db.connect",
+    "worker_store.apply_delta",
+    "parallel.worker.serve",
+    "parallel.rerun.shard",
+    "parallel.link.worker",
+}
 
 
 def test_matrix_covers_every_fault_point():
