@@ -1,0 +1,494 @@
+"""Open-loop traffic generator for the HTTP service plane.
+
+Measures what a serving system is judged by: requests/s sustained and
+p50/p99 end-to-end latency under **open-loop** load — arrivals fire on
+a fixed clock regardless of how fast responses come back, so queueing
+delay is visible instead of hidden by a closed loop's self-throttling.
+
+Three phases against one in-process server (real sockets, stdlib
+HTTP):
+
+1. **Open loop** — a Poisson-ish fixed-rate mix of assignment requests
+   and answer submits from a pool of bootstrapped workers.
+2. **Burst** — the scheduler is paused and a concurrent volley lands
+   on the bounded queue, provoking 429 + Retry-After deterministically.
+3. **Conservation** — after drain + checkpoint, every 2xx-acked answer
+   must sit in the journal's committed rows (zero accepted-answer
+   loss), and nothing may have answered 5xx at any point.
+
+Results merge into BENCH_perf.json under a "service" section with
+host metadata. Usage:
+
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke  # CI gate
+    PYTHONPATH=src python benchmarks/bench_service.py          # full run
+
+The smoke gates follow the PR 7 convention: hard correctness gates
+(zero 5xx, zero accepted loss, 429s present, >= 1 req/s) always arm;
+latency targets arm only on >= 2-core hosts — a 1-core container
+timeshares client, event loop, and scheduler threads, so its tail
+latency measures the GIL, not the service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets import make_dataset  # noqa: E402
+from repro.service import (  # noqa: E402
+    DocsService,
+    InThreadServer,
+    ServiceConfig,
+)
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+
+def machine_metadata() -> Dict[str, object]:
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+    }
+
+
+class Client:
+    def __init__(self, base_url: str):
+        self.base_url = base_url
+
+    def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict, Dict[str, str]]:
+        data = (
+            json.dumps(body).encode("utf-8")
+            if body is not None
+            else None
+        )
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method
+        )
+        if data is not None:
+            req.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return (
+                    resp.status,
+                    json.loads(resp.read()),
+                    dict(resp.headers),
+                )
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read()), dict(err.headers)
+
+
+def percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def run_bench(
+    rate: float,
+    duration: float,
+    workers: int,
+    tasks_per_domain: int,
+    queue_limit: int,
+    burst_size: int,
+) -> Dict[str, object]:
+    tmp = tempfile.mkdtemp(prefix="bench-service-")
+    app = DocsService(
+        ServiceConfig(db_dir=tmp, queue_limit=queue_limit)
+    )
+    server = InThreadServer(app).start()
+    client = Client(server.base_url)
+    dataset = make_dataset(
+        "4d", seed=17, tasks_per_domain=tasks_per_domain
+    )
+    try:
+        return _run_phases(
+            app,
+            client,
+            dataset,
+            rate=rate,
+            duration=duration,
+            workers=workers,
+            tasks_per_domain=tasks_per_domain,
+            queue_limit=queue_limit,
+            burst_size=burst_size,
+        )
+    finally:
+        server.stop()
+
+
+def _run_phases(
+    app,
+    client,
+    dataset,
+    *,
+    rate,
+    duration,
+    workers,
+    tasks_per_domain,
+    queue_limit,
+    burst_size,
+) -> Dict[str, object]:
+    # ---- setup: one campaign, a pool of pre-tested workers ---------
+    status, created, _ = client.request(
+        "POST",
+        "/campaigns",
+        {
+            "name": "bench",
+            "dataset": "4d",
+            "seed": 17,
+            "storage": "sqlite",
+            "config": {"golden_count": 4, "hit_size": 4,
+                       "rerun_interval": 200},
+            "dataset_overrides": {
+                "tasks_per_domain": tasks_per_domain
+            },
+        },
+    )
+    assert status == 201, created
+    worker_ids = [f"bench-w{i}" for i in range(workers)]
+    _, golden, _ = client.request("GET", "/campaigns/bench/golden")
+    golden_answers = [
+        {
+            "task_id": task_id,
+            "choice": dataset.task_by_id(task_id).ground_truth,
+        }
+        for task_id in golden["golden_task_ids"]
+    ]
+    for worker_id in worker_ids:
+        status, body, _ = client.request(
+            "POST",
+            f"/campaigns/bench/workers/{worker_id}/bootstrap",
+            {"answers": golden_answers},
+        )
+        assert status == 200, body
+
+    # Pre-plan each worker's answerable tasks so submits never collide
+    # with the at-most-once constraint.
+    all_task_ids = [t.task_id for t in dataset.tasks]
+    pools = {w: list(all_task_ids) for w in worker_ids}
+    pool_lock = threading.Lock()
+
+    results_lock = threading.Lock()
+    samples: Dict[str, List[float]] = {"assign": [], "submit": []}
+    statuses: Dict[int, int] = {}
+    acked_pairs: List[Tuple[str, int]] = []
+
+    def record(kind: str, status: int, elapsed: float, extra=None):
+        with results_lock:
+            statuses[status] = statuses.get(status, 0) + 1
+            if status == 200:
+                samples[kind].append(elapsed)
+                if kind == "submit" and extra is not None:
+                    acked_pairs.append(extra)
+
+    rng = np.random.default_rng(23)
+
+    def one_request(index: int) -> None:
+        worker_id = worker_ids[index % len(worker_ids)]
+        if rng_choices[index]:
+            start = time.perf_counter()
+            status, body, _ = client.request(
+                "GET",
+                f"/campaigns/bench/workers/{worker_id}"
+                "/assignment?k=4",
+            )
+            record("assign", status, time.perf_counter() - start)
+        else:
+            with pool_lock:
+                if not pools[worker_id]:
+                    return
+                task_id = pools[worker_id].pop()
+            payload = {
+                "worker_id": worker_id,
+                "task_id": task_id,
+                "choice": int(1 + (task_id + index) % 2),
+            }
+            start = time.perf_counter()
+            status, body, _ = client.request(
+                "POST", "/campaigns/bench/answers", payload
+            )
+            record(
+                "submit",
+                status,
+                time.perf_counter() - start,
+                extra=(worker_id, task_id),
+            )
+            if status != 200:
+                # 429 etc: the task was refused, put it back.
+                with pool_lock:
+                    pools[worker_id].append(task_id)
+
+    # ---- phase 1: open loop ----------------------------------------
+    total = int(rate * duration)
+    rng_choices = rng.random(total) < 0.6  # 60% assigns, 40% submits
+    interval = 1.0 / rate
+    pool = ThreadPoolExecutor(max_workers=32)
+    t0 = time.perf_counter()
+    futures = []
+    for index in range(total):
+        target = t0 + index * interval
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        futures.append(pool.submit(one_request, index))
+    for future in futures:
+        future.result(timeout=120)
+    elapsed = time.perf_counter() - t0
+    pool.shutdown()
+
+    # ---- phase 2: burst against a paused consumer ------------------
+    app.scheduler.pause()
+    burst_results: List[int] = []
+    burst_lock = threading.Lock()
+
+    def burst_submit(worker_id: str, task_id: int) -> None:
+        status, body, _ = client.request(
+            "POST",
+            "/campaigns/bench/answers",
+            {"worker_id": worker_id, "task_id": task_id, "choice": 1},
+        )
+        with burst_lock:
+            burst_results.append(status)
+        if status == 200:
+            with results_lock:
+                acked_pairs.append((worker_id, task_id))
+        else:
+            with pool_lock:
+                pools[worker_id].append(task_id)
+
+    burst_threads = []
+    for i in range(burst_size):
+        worker_id = worker_ids[i % len(worker_ids)]
+        with pool_lock:
+            if not pools[worker_id]:
+                continue
+            task_id = pools[worker_id].pop()
+        burst_threads.append(
+            threading.Thread(
+                target=burst_submit, args=(worker_id, task_id)
+            )
+        )
+    for thread in burst_threads:
+        thread.start()
+    time.sleep(0.5)
+    max_depth_under_burst = app.scheduler.depth()
+    app.scheduler.resume_consumer()
+    for thread in burst_threads:
+        thread.join(timeout=60)
+    burst_429 = sum(1 for s in burst_results if s == 429)
+
+    # ---- phase 3: conservation -------------------------------------
+    status, body, _ = client.request(
+        "POST", "/campaigns/bench/checkpoint"
+    )
+    assert status == 200, body
+    system = app._campaigns["bench"].system
+    journal = system.database.journal
+
+    def read_committed():
+        rows = journal.committed_answers_through(
+            journal.last_committed_seq
+        )
+        return {(w, t) for _s, _r, t, w, _c in rows}
+
+    committed = app.scheduler.submit_request(
+        "control", None, run=read_committed, force=True
+    ).result(timeout=60)
+    acked = set(acked_pairs)
+    lost = acked - committed
+    phantom = committed - acked
+
+    metrics = app.scheduler.metrics()
+    five_xx = sum(
+        count for code, count in statuses.items() if code >= 500
+    )
+    completed = sum(
+        count for code, count in statuses.items() if code < 500
+    )
+    return {
+        "benchmark": "open_loop_http_service",
+        "workload": (
+            f"{total} open-loop arrivals at {rate:.0f}/s "
+            f"(60/40 assign/submit mix, {workers} workers, "
+            f"queue_limit={queue_limit}) + a {burst_size}-wide "
+            "paused-consumer burst; sqlite campaign, coalesced "
+            "journal flushes"
+        ),
+        "machine": machine_metadata(),
+        "offered_rate_per_s": rate,
+        "achieved_rate_per_s": completed / elapsed,
+        "open_loop_seconds": elapsed,
+        "requests": total,
+        "status_counts": {str(k): v for k, v in
+                          sorted(statuses.items())},
+        "responses_5xx": five_xx,
+        "assign_p50_ms": percentile(samples["assign"], 50) * 1e3,
+        "assign_p99_ms": percentile(samples["assign"], 99) * 1e3,
+        "submit_p50_ms": percentile(samples["submit"], 50) * 1e3,
+        "submit_p99_ms": percentile(samples["submit"], 99) * 1e3,
+        "burst": {
+            "size": len(burst_threads),
+            "rejected_429": burst_429,
+            "depth_under_burst": max_depth_under_burst,
+            "queue_limit": queue_limit,
+        },
+        "queue_max_depth": metrics["max_depth"],
+        "scheduler_submit_batches": metrics["batches"]["submit"],
+        "acked_answers": len(acked),
+        "committed_answers": len(committed),
+        "acked_lost": len(lost),
+        "phantom_committed": len(phantom),
+    }
+
+
+def gate(summary: Dict[str, object], smoke: bool) -> List[str]:
+    failures = []
+    if summary["responses_5xx"]:
+        failures.append(
+            f"{summary['responses_5xx']} responses were 5xx; the "
+            "service must degrade, not error"
+        )
+    if summary["acked_lost"]:
+        failures.append(
+            f"{summary['acked_lost']} acked answers missing from the "
+            "committed journal — accepted-answer loss"
+        )
+    if summary["burst"]["rejected_429"] < 1:
+        failures.append(
+            "the paused-consumer burst produced no 429s — "
+            "backpressure never engaged"
+        )
+    if (
+        summary["burst"]["depth_under_burst"]
+        > summary["burst"]["queue_limit"]
+    ):
+        failures.append("queue depth exceeded its limit under burst")
+    if summary["achieved_rate_per_s"] < 1.0:
+        failures.append(
+            f"achieved rate {summary['achieved_rate_per_s']:.2f}/s "
+            "below the 1 req/s floor"
+        )
+    cpu = os.cpu_count() or 1
+    if cpu >= 2:
+        # Latency targets only where client, event loop, and
+        # scheduler aren't timesharing one core.
+        if summary["assign_p99_ms"] > 500.0:
+            failures.append(
+                f"assign p99 {summary['assign_p99_ms']:.1f} ms over "
+                "the 500 ms target on a multi-core host"
+            )
+    return failures
+
+
+def merge_into(out_path: Path, summary: Dict[str, object]) -> None:
+    payload: Dict[str, object] = {}
+    if out_path.exists():
+        payload = json.loads(out_path.read_text())
+    payload["service"] = summary
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI run: ~30s of traffic, gates on, no file write",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop arrival rate (req/s)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="open-loop phase length (seconds)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help="full-mode output path (default: repo BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rate = args.rate or 25.0
+        duration = args.duration or 30.0
+        summary = run_bench(
+            rate=rate,
+            duration=duration,
+            workers=6,
+            tasks_per_domain=60,
+            queue_limit=32,
+            burst_size=64,
+        )
+    else:
+        rate = args.rate or 50.0
+        duration = args.duration or 60.0
+        summary = run_bench(
+            rate=rate,
+            duration=duration,
+            workers=8,
+            tasks_per_domain=150,
+            queue_limit=64,
+            burst_size=128,
+        )
+
+    print(
+        f"open loop: {summary['requests']} requests at "
+        f"{summary['offered_rate_per_s']:.0f}/s offered, "
+        f"{summary['achieved_rate_per_s']:.1f}/s achieved"
+    )
+    print(
+        f"assign latency p50={summary['assign_p50_ms']:.1f} ms "
+        f"p99={summary['assign_p99_ms']:.1f} ms; submit "
+        f"p50={summary['submit_p50_ms']:.1f} ms "
+        f"p99={summary['submit_p99_ms']:.1f} ms"
+    )
+    print(
+        f"burst: {summary['burst']['rejected_429']} x 429 of "
+        f"{summary['burst']['size']} (depth "
+        f"{summary['burst']['depth_under_burst']}/"
+        f"{summary['burst']['queue_limit']})"
+    )
+    print(
+        f"conservation: {summary['acked_answers']} acked == "
+        f"{summary['committed_answers']} committed "
+        f"(lost={summary['acked_lost']}, "
+        f"phantom={summary['phantom_committed']}); "
+        f"5xx={summary['responses_5xx']}"
+    )
+
+    failures = gate(summary, smoke=args.smoke)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    if not args.smoke:
+        merge_into(args.out, summary)
+        print(f"merged 'service' section into {args.out}")
+    print("service bench ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,10 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "## Parallel serving plane",
         "SharedStateArena",
         "ServingPool",
+        "## Service plane",
+        "RequestScheduler",
+        "Retry-After",
+        "/healthz",
     ),
     "docs/api.md": (
         "worker_store",
@@ -59,6 +63,11 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "check-db",
         "RetryPolicy",
         "SchemaVersionError",
+        "## HTTP service",
+        "repro serve",
+        "### Endpoints",
+        "### HTTP error mapping",
+        "429",
     ),
     "docs/performance.md": (
         "## Resume",
@@ -67,6 +76,8 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "AssignmentIndex",
         "## Parallel serving plane",
         "ServingPool",
+        "## Service plane: open-loop HTTP latency",
+        "bench_service",
     ),
 }
 

@@ -15,6 +15,10 @@ Commands:
 - ``check-db`` — integrity-check a campaign database: journal CRC
   validation, snapshot checksum, and a salvage dry-run (``--salvage``
   actually truncates a torn tail to the last consistent batch).
+- ``serve`` — run the asyncio HTTP service: campaign lifecycle, task
+  upload, assignment, and answer submission over the network, with a
+  bounded arrival queue (429 backpressure) and coalesced journal
+  flushes. ``--resume`` reopens every campaign in ``--db-dir``.
 """
 
 from __future__ import annotations
@@ -172,6 +176,64 @@ def _build_parser() -> argparse.ArgumentParser:
             "truncate a torn journal tail back to the last consistent "
             "batch (IRREVERSIBLE: drops the rows the dry-run reports; "
             "committed consistent batches are never touched)"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "serve DOCS campaigns over HTTP (stdlib asyncio; see "
+            "docs/api.md for the endpoint table)"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 picks a free one and prints it)",
+    )
+    serve.add_argument(
+        "--db-dir",
+        default=None,
+        help=(
+            "directory for campaign databases and the shared worker "
+            "store; omitted = everything in memory"
+        ),
+    )
+    serve.add_argument(
+        "--worker-db",
+        default=None,
+        help=(
+            "shared worker-store path (default: <db-dir>/workers.db)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=128,
+        help=(
+            "bounded arrival-queue capacity; beyond it requests get "
+            "429 + Retry-After"
+        ),
+    )
+    serve.add_argument(
+        "--coalesce-max",
+        type=int,
+        default=64,
+        help=(
+            "max requests drained per scheduling round (submit "
+            "batch size per journal flush)"
+        ),
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reopen every campaign whose <name>.meta.json sidecar "
+            "lives in --db-dir before accepting traffic"
         ),
     )
 
@@ -493,6 +555,77 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from repro.platform import faults
+    from repro.service import DocsService, ServiceConfig, ServiceServer
+
+    fault_spec = os.environ.get("REPRO_SERVE_FAULT")
+    if fault_spec:
+        # "<point>[:<skip>]" — arm a simulated kill at a named fault
+        # point (the kill-and-resume test plants one mid-load); the
+        # process dies there like a SIGKILL would.
+        point, _, skip_text = fault_spec.partition(":")
+        faults.active().arm(point, "crash", skip=int(skip_text or 0))
+
+    if args.db_dir:
+        os.makedirs(args.db_dir, exist_ok=True)
+    config = ServiceConfig(
+        queue_limit=args.queue_limit,
+        coalesce_max=args.coalesce_max,
+        db_dir=args.db_dir,
+        worker_db=args.worker_db,
+    )
+
+    def _die(crash: BaseException) -> None:
+        # Emulate SIGKILL at the armed point: no flush, no cleanup,
+        # no atexit — the crash-safety matrix's assumptions exactly.
+        print(f"fatal (simulated kill): {crash}", file=sys.stderr,
+              flush=True)
+        os._exit(137)
+
+    app = DocsService(config, on_fatal=_die)
+    # Start the scheduler before resuming: SQLite connections are
+    # thread-affine, so campaigns must be reopened on the thread that
+    # will serve them.
+    app.start()
+    if args.resume:
+        resumed = app.resume_campaigns()
+        print(f"resumed campaigns: {resumed}", flush=True)
+
+    server = ServiceServer(app, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port}",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:
+                pass
+        await stop.wait()
+        await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    app.stop()
+    print(
+        "server stopped; campaigns checkpointed and closed",
+        flush=True,
+    )
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "run": _cmd_run,
@@ -501,6 +634,7 @@ _COMMANDS = {
     "compare-ti": _cmd_compare_ti,
     "compare-ota": _cmd_compare_ota,
     "check-db": _cmd_check_db,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

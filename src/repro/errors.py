@@ -88,9 +88,51 @@ class ServingPoolError(ReproError):
     """
 
 
-class UnknownWorkerError(ReproError, KeyError):
-    """A worker id was not found in the quality store."""
+class UnknownWorkerError(ValidationError, KeyError):
+    """A worker id was not found where a known worker was required.
+
+    A :class:`ValidationError` (so one ``except`` clause covers every
+    bad-input failure, and the HTTP service maps it to 404) that also
+    remains a ``KeyError`` for callers of the historical lookup
+    surface. The message names the id and the remediation instead of
+    ``KeyError``'s bare ``'<id>'`` repr.
+
+    Attributes:
+        worker_id: the id that failed to resolve.
+    """
+
+    def __init__(self, worker_id: str, context: str = ""):
+        detail = f" {context}" if context else ""
+        # Bypass KeyError.__str__ (which reprs the single argument) by
+        # storing the full message as the sole argument.
+        super().__init__(
+            f"unknown worker id {worker_id!r}{detail}"
+        )
+        self.worker_id = worker_id
+
+    def __str__(self) -> str:
+        return self.args[0]
 
 
-class UnknownTaskError(ReproError, KeyError):
-    """A task id was not found in the task table."""
+class UnknownTaskError(ValidationError, KeyError):
+    """A task id was not found in the task table.
+
+    Like :class:`UnknownWorkerError`: a :class:`ValidationError` first
+    (the HTTP service maps it to 404), a ``KeyError`` for
+    compatibility, with a message naming the id rather than
+    ``KeyError``'s bare repr.
+
+    Attributes:
+        task_id: the id that failed to resolve.
+    """
+
+    def __init__(self, task_id, context: str = ""):
+        detail = f" {context}" if context else ""
+        super().__init__(
+            f"unknown task id {task_id!r}{detail}; the task was never "
+            "ingested — check the id, or add it with add_tasks()"
+        )
+        self.task_id = task_id
+
+    def __str__(self) -> str:
+        return self.args[0]

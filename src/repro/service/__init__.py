@@ -1,0 +1,35 @@
+"""DOCS as a service: the network-facing serving plane.
+
+Three layers, strictly separated:
+
+- :mod:`repro.service.scheduler` — the bounded arrival queue and its
+  single consumer thread (backpressure, coalescing, durable acks).
+- :mod:`repro.service.app` — campaign registry and endpoint semantics
+  over :class:`~repro.system.DocsSystem`, transport-free.
+- :mod:`repro.service.http` — the asyncio stdlib HTTP/1.1 front end.
+"""
+
+from repro.service.app import (
+    ConflictError,
+    DocsService,
+    ServiceConfig,
+    UnknownCampaignError,
+)
+from repro.service.http import InThreadServer, ServiceServer
+from repro.service.scheduler import (
+    QueueFullError,
+    RequestScheduler,
+    SchedulerStopped,
+)
+
+__all__ = [
+    "ConflictError",
+    "DocsService",
+    "ServiceConfig",
+    "UnknownCampaignError",
+    "InThreadServer",
+    "ServiceServer",
+    "QueueFullError",
+    "RequestScheduler",
+    "SchedulerStopped",
+]

@@ -1,0 +1,915 @@
+"""The service application: campaigns, endpoint semantics, scheduling.
+
+:class:`DocsService` is transport-free — it knows nothing about HTTP
+parsing. Every public endpoint method is called from the event loop and
+must not block: it either answers immediately (``/healthz``,
+``/metricsz`` — these must stay responsive when the queue is full,
+which is the whole point of a health endpoint) or enqueues work on the
+:class:`~repro.service.scheduler.RequestScheduler` and returns the
+``Future`` the HTTP layer awaits. The scheduler thread is the only
+thread that ever touches a :class:`~repro.system.DocsSystem`.
+
+Multi-tenancy follows the PR 4 model: every campaign attaches the one
+service-wide shared :class:`SqliteWorkerQualityStore` (when taxonomy
+sizes agree), so a worker who passed the golden pre-test in any
+campaign skips it in the next.
+
+Error contract (mirrors the library's ``ReproError`` discipline — the
+message always names the remediation):
+
+====================================  ======  ==============
+exception                             status  body ``type``
+====================================  ======  ==============
+``UnknownCampaignError`` / worker /   404     ``not_found``
+task
+``ConflictError``                     409     ``conflict``
+``QueueFullError``                    429     ``queue_full``
+``ValidationError`` (and other        400     ``validation``
+``ReproError``)
+``SchedulerStopped``                  503     ``unavailable``
+anything else                         500     ``internal``
+====================================  ======  ==============
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import re
+import sqlite3
+from concurrent.futures import Future
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import Answer, Task
+from repro.datasets import DATASET_NAMES, make_dataset
+from repro.errors import (
+    ReproError,
+    UnknownTaskError,
+    UnknownWorkerError,
+    ValidationError,
+)
+from repro.platform.sqlite_storage import SqliteWorkerQualityStore
+from repro.service.scheduler import (
+    QueueFullError,
+    RequestScheduler,
+    SchedulerStopped,
+)
+from repro.system import DocsConfig, DocsSystem
+
+__all__ = [
+    "ConflictError",
+    "UnknownCampaignError",
+    "ServiceConfig",
+    "DocsService",
+]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: DocsConfig fields a campaign creation request may override. A
+#: whitelist, so a typo'd knob is a 400 naming the field instead of a
+#: silently ignored key.
+_CONFIG_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(DocsConfig)
+)
+
+#: Response body for one HTTP request: (status, body, headers).
+ServiceResponse = Tuple[int, Dict[str, object], List[Tuple[str, str]]]
+
+
+class ConflictError(ReproError):
+    """The request is valid but contradicts current state (HTTP 409)."""
+
+
+class UnknownCampaignError(ValidationError, KeyError):
+    """A campaign name did not resolve (HTTP 404)."""
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"unknown campaign {name!r}; list campaigns with "
+            "GET /campaigns or create one with POST /campaigns"
+        )
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs (campaign inference knobs live per-campaign).
+
+    Attributes:
+        queue_limit: bounded arrival-queue capacity; beyond it requests
+            are refused with 429.
+        coalesce_max: max requests drained per scheduling round — the
+            batch-size cap for submit coalescing and assign fan-out.
+        retry_after: the ``Retry-After`` hint (seconds) on 429s.
+        db_dir: directory for campaign SQLite files and the shared
+            worker store; ``None`` serves everything in memory.
+        worker_db: shared worker-store path override; defaults to
+            ``<db_dir>/workers.db`` when ``db_dir`` is set, else an
+            in-process in-memory store.
+    """
+
+    queue_limit: int = 128
+    coalesce_max: int = 64
+    retry_after: float = 0.05
+    db_dir: Optional[str] = None
+    worker_db: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.queue_limit < 1:
+            raise ValidationError("queue_limit must be >= 1")
+        if self.coalesce_max < 1:
+            raise ValidationError("coalesce_max must be >= 1")
+        if self.retry_after <= 0:
+            raise ValidationError("retry_after must be > 0")
+
+
+class _Campaign:
+    """Registry entry: one requester campaign (scheduler-thread only)."""
+
+    def __init__(
+        self,
+        name: str,
+        system: DocsSystem,
+        dataset_name: str,
+        seed: int,
+        shared_store: bool,
+        path: Optional[str],
+    ):
+        self.name = name
+        self.system = system
+        self.dataset_name = dataset_name
+        self.seed = seed
+        self.shared_store = shared_store
+        self.path = path
+        self.accepted_answers = 0
+
+    def summary(self) -> Dict[str, object]:
+        status = self.system.durability_status()
+        return {
+            "name": self.name,
+            "dataset": self.dataset_name,
+            "seed": self.seed,
+            "storage": self.system.storage,
+            "path": self.path,
+            "shared_store": self.shared_store,
+            "tasks": len(self.system.database.tasks()),
+            "golden_count": len(self.system.golden_task_ids()),
+            "accepted_answers": self.accepted_answers,
+            "durability": status,
+        }
+
+
+class DocsService:
+    """The DOCS serving plane: campaigns behind one request scheduler."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        on_fatal: Optional[Callable[[BaseException], None]] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self._campaigns: Dict[str, _Campaign] = {}
+        self._shared_store: Optional[SqliteWorkerQualityStore] = None
+        self.scheduler = RequestScheduler(
+            queue_limit=self.config.queue_limit,
+            coalesce_max=self.config.coalesce_max,
+            retry_after=self.config.retry_after,
+            executors={
+                "submit": self._execute_submit_batch,
+                "assign": self._execute_assign_batch,
+            },
+            on_fatal=on_fatal,
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.scheduler.start()
+        self._started = True
+
+    def stop(self, drain: bool = True) -> None:
+        """Drain the queue, checkpoint and close every campaign.
+
+        SQLite connections are thread-affine, and every campaign was
+        opened on the scheduler thread — so the close runs there too,
+        as a final (capacity-exempt) control item processed during the
+        drain. Only when the scheduler is already dead (a simulated
+        kill, or ``drain=False``) does the caller close best-effort.
+        """
+        closed = False
+        if self._started:
+            future: Optional["Future[object]"] = None
+            try:
+                future = self.scheduler.submit_request(
+                    "control", None, run=self._close_all, force=True
+                )
+            except ReproError:
+                pass  # already stopping; fall through to best-effort
+            self.scheduler.stop(drain=drain)
+            if future is not None:
+                try:
+                    future.result(timeout=5.0)
+                    closed = True
+                except BaseException:  # noqa: BLE001 — best-effort next
+                    pass
+            self._started = False
+        if not closed:
+            self._close_all(best_effort=True)
+
+    def _close_all(self, best_effort: bool = False) -> None:
+        for campaign in self._campaigns.values():
+            try:
+                try:
+                    campaign.system.checkpoint()
+                except (ReproError, sqlite3.Error):
+                    pass  # degraded campaigns close as-is
+                campaign.system.close()
+            except Exception:  # noqa: BLE001
+                if not best_effort:
+                    raise
+        self._campaigns.clear()
+
+    def resume_campaigns(self) -> List[str]:
+        """Reopen every campaign whose sidecar lives in ``db_dir``.
+
+        ``repro serve --resume`` calls this before accepting traffic:
+        each ``<name>.meta.json`` names the dataset (regenerated
+        deterministically from its seed for the knowledge base) and the
+        config the campaign ran under, and the hot state is rebuilt by
+        :meth:`DocsSystem.resume` — snapshot plus journal tail,
+        bit-identical to the last flush. With the scheduler running,
+        the reopen executes on its thread (SQLite connections are
+        thread-affine and all later access happens there).
+        """
+        if self.config.db_dir is None:
+            return []
+        if self._started:
+            future = self.scheduler.submit_request(
+                "control", None, run=self._resume_all, force=True
+            )
+            return future.result()  # type: ignore[return-value]
+        return self._resume_all()
+
+    def _resume_all(self) -> List[str]:
+        resumed = []
+        for entry in sorted(os.listdir(self.config.db_dir)):
+            if not entry.endswith(".meta.json"):
+                continue
+            with open(
+                os.path.join(self.config.db_dir, entry),
+                encoding="utf-8",
+            ) as handle:
+                meta = json.load(handle)
+            name = meta["name"]
+            dataset = make_dataset(
+                meta["dataset"],
+                seed=meta["seed"],
+                **meta.get("dataset_overrides", {}),
+            )
+            config = DocsConfig(**meta["config"])
+            store = self._store_for(len(dataset.taxonomy))
+            system = DocsSystem.resume(
+                meta["path"],
+                config=config,
+                kb=dataset.kb,
+                worker_store=store,
+            )
+            self._campaigns[name] = _Campaign(
+                name=name,
+                system=system,
+                dataset_name=meta["dataset"],
+                seed=meta["seed"],
+                shared_store=store is not None,
+                path=meta["path"],
+            )
+            resumed.append(name)
+        return resumed
+
+    def _store_for(
+        self, num_domains: int
+    ) -> Optional[SqliteWorkerQualityStore]:
+        """The service-wide shared worker store, opened on first use.
+
+        The store's taxonomy size is fixed by the first campaign; a
+        later campaign with a different taxonomy runs without the
+        shared model (reflected as ``"shared_store": false``) rather
+        than failing — cross-campaign transfer only makes sense over
+        one taxonomy anyway.
+        """
+        if self._shared_store is None:
+            path = self.config.worker_db
+            if path is None and self.config.db_dir is not None:
+                path = os.path.join(self.config.db_dir, "workers.db")
+            self._shared_store = SqliteWorkerQualityStore(
+                num_domains, path=path or ":memory:"
+            )
+            return self._shared_store
+        if self._shared_store.num_domains != num_domains:
+            return None
+        return self._shared_store
+
+    # ------------------------------------------------------------------
+    # direct (unqueued) endpoints — must work when the queue is full
+    # ------------------------------------------------------------------
+
+    def health(self) -> ServiceResponse:
+        degraded = [
+            name
+            for name, campaign in self._campaigns.items()
+            if campaign.system.durability_status().get("degraded")
+        ]
+        body = {
+            "status": "degraded" if degraded else "ok",
+            "campaigns": len(self._campaigns),
+            "degraded_campaigns": sorted(degraded),
+            "queue": {
+                "depth": self.scheduler.depth(),
+                "limit": self.scheduler.queue_limit,
+            },
+        }
+        return 200, body, []
+
+    def metrics(self) -> ServiceResponse:
+        body = {
+            "scheduler": self.scheduler.metrics(),
+            "campaigns": {
+                name: campaign.accepted_answers
+                for name, campaign in self._campaigns.items()
+            },
+        }
+        return 200, body, []
+
+    # ------------------------------------------------------------------
+    # queued endpoints — each returns a Future the HTTP layer awaits
+    # ------------------------------------------------------------------
+
+    def _control(
+        self, run: Callable[[], ServiceResponse]
+    ) -> "Future[object]":
+        return self.scheduler.submit_request("control", None, run=run)
+
+    def _campaign(self, name: str) -> _Campaign:
+        try:
+            return self._campaigns[name]
+        except KeyError:
+            raise UnknownCampaignError(name) from None
+
+    def list_campaigns(self) -> "Future[object]":
+        def run() -> ServiceResponse:
+            body = {
+                "campaigns": [
+                    self._campaigns[name].summary()
+                    for name in sorted(self._campaigns)
+                ]
+            }
+            return 200, body, []
+
+        return self._control(run)
+
+    def create_campaign(self, payload: object) -> "Future[object]":
+        body = _require_object(payload, "campaign creation body")
+        name = _require_str(body, "name")
+        if not _NAME_RE.match(name):
+            raise ValidationError(
+                f"invalid campaign name {name!r}; use 1-64 characters "
+                "from [A-Za-z0-9_.-], starting alphanumeric"
+            )
+        dataset_name = _require_str(body, "dataset")
+        if dataset_name not in DATASET_NAMES:
+            raise ValidationError(
+                f"unknown dataset {dataset_name!r}; expected one of "
+                f"{DATASET_NAMES}"
+            )
+        seed = int(body.get("seed", 0))
+        overrides = _require_object(
+            body.get("config", {}), "config overrides"
+        )
+        unknown = sorted(set(overrides) - _CONFIG_FIELDS)
+        if unknown:
+            raise ValidationError(
+                f"unknown config field(s) {unknown}; valid fields: "
+                f"{sorted(_CONFIG_FIELDS)}"
+            )
+        dataset_overrides = _require_object(
+            body.get("dataset_overrides", {}), "dataset_overrides"
+        )
+        storage = body.get(
+            "storage",
+            "sqlite" if self.config.db_dir is not None else "memory",
+        )
+        if storage not in ("memory", "sqlite"):
+            raise ValidationError(
+                f"unknown storage {storage!r}; expected 'memory' or "
+                "'sqlite'"
+            )
+        if storage == "sqlite" and self.config.db_dir is None:
+            raise ValidationError(
+                "sqlite storage needs the server started with --db-dir"
+            )
+
+        def run() -> ServiceResponse:
+            if name in self._campaigns:
+                raise ConflictError(
+                    f"campaign {name!r} already exists; pick another "
+                    "name, or DELETE /campaigns/" + name + " first"
+                )
+            config = DocsConfig(**overrides)
+            dataset = make_dataset(
+                dataset_name, seed=seed, **dataset_overrides
+            )
+            store = self._store_for(len(dataset.taxonomy))
+            path = None
+            if storage == "sqlite":
+                path = os.path.join(
+                    self.config.db_dir, f"{name}.db"
+                )
+                if os.path.exists(path):
+                    raise ConflictError(
+                        f"campaign database {path!r} already exists; "
+                        "restart the server with --resume to reopen "
+                        "it, or remove the file"
+                    )
+            system = DocsSystem(
+                config,
+                storage=storage,
+                path=path,
+                worker_store=store,
+            )
+            system.prepare(dataset)
+            campaign = _Campaign(
+                name=name,
+                system=system,
+                dataset_name=dataset_name,
+                seed=seed,
+                shared_store=store is not None,
+                path=path,
+            )
+            self._campaigns[name] = campaign
+            if path is not None:
+                self._write_sidecar(
+                    campaign, dict(overrides), dataset_overrides
+                )
+            body_out = campaign.summary()
+            body_out["golden_task_ids"] = system.golden_task_ids()
+            return 201, body_out, []
+
+        return self._control(run)
+
+    def _write_sidecar(
+        self,
+        campaign: _Campaign,
+        config_overrides: Dict[str, object],
+        dataset_overrides: Dict[str, object],
+    ) -> None:
+        meta = {
+            "name": campaign.name,
+            "dataset": campaign.dataset_name,
+            "seed": campaign.seed,
+            "dataset_overrides": dataset_overrides,
+            "config": dataclasses.asdict(campaign.system.config),
+            "path": campaign.path,
+        }
+        sidecar = os.path.join(
+            self.config.db_dir, f"{campaign.name}.meta.json"
+        )
+        with open(sidecar, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2)
+
+    def get_campaign(self, name: str) -> "Future[object]":
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            body = campaign.summary()
+            body["hot_state_digest"] = (
+                campaign.system.hot_state_digest()
+            )
+            return 200, body, []
+
+        return self._control(run)
+
+    def delete_campaign(self, name: str) -> "Future[object]":
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            try:
+                campaign.system.checkpoint()
+            except (ReproError, sqlite3.Error):
+                pass  # closing anyway; files keep their last flush
+            campaign.system.close()
+            del self._campaigns[name]
+            return 200, {"name": name, "closed": True}, []
+
+        return self._control(run)
+
+    def add_tasks(self, name: str, payload: object) -> "Future[object]":
+        body = _require_object(payload, "task upload body")
+        raw_tasks = body.get("tasks")
+        if not isinstance(raw_tasks, list) or not raw_tasks:
+            raise ValidationError(
+                "task upload body needs a non-empty 'tasks' list"
+            )
+        tasks = [_parse_task(raw, index) for index, raw in
+                 enumerate(raw_tasks)]
+
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            report = campaign.system.add_tasks(tasks)
+            body_out = {
+                "campaign": name,
+                "ingested": report.tasks,
+                "linked": report.linked,
+                "entities": report.entities,
+                "total_tasks": len(campaign.system.database.tasks()),
+            }
+            return 201, body_out, []
+
+        return self._control(run)
+
+    def golden(self, name: str) -> "Future[object]":
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            return (
+                200,
+                {
+                    "campaign": name,
+                    "golden_task_ids": (
+                        campaign.system.golden_task_ids()
+                    ),
+                },
+                [],
+            )
+
+        return self._control(run)
+
+    def bootstrap(
+        self, name: str, worker_id: str, payload: object
+    ) -> "Future[object]":
+        body = _require_object(payload, "bootstrap body")
+        raw = body.get("answers")
+        if not isinstance(raw, list):
+            raise ValidationError(
+                "bootstrap body needs an 'answers' list of "
+                "{task_id, choice} objects covering the golden tasks"
+            )
+        parsed = []
+        for index, item in enumerate(raw):
+            obj = _require_object(item, f"answers[{index}]")
+            parsed.append(
+                (
+                    _require_int(obj, "task_id", f"answers[{index}]"),
+                    _require_int(obj, "choice", f"answers[{index}]"),
+                )
+            )
+
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            if not campaign.system.needs_bootstrap(worker_id):
+                raise ConflictError(
+                    f"worker {worker_id!r} is already bootstrapped in "
+                    f"campaign {name!r} (directly, or via the shared "
+                    "worker store); request an assignment instead"
+                )
+            answers = [
+                Answer(worker_id, task_id, choice)
+                for task_id, choice in parsed
+            ]
+            campaign.system.bootstrap(worker_id, answers)
+            return (
+                200,
+                {
+                    "campaign": name,
+                    "worker_id": worker_id,
+                    "bootstrapped": True,
+                },
+                [],
+            )
+
+        return self._control(run)
+
+    def worker_info(
+        self, name: str, worker_id: str
+    ) -> "Future[object]":
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            system = campaign.system
+            needs = system.needs_bootstrap(worker_id)
+            quality = system.quality_store.blended_quality(worker_id)
+            answered = system.database.answers.tasks_answered_by(
+                worker_id
+            )
+            return (
+                200,
+                {
+                    "campaign": name,
+                    "worker_id": worker_id,
+                    "needs_bootstrap": needs,
+                    "quality": _jsonable(quality),
+                    "tasks_answered": len(answered),
+                },
+                [],
+            )
+
+        return self._control(run)
+
+    def assign(
+        self, name: str, worker_id: str, k: Optional[int]
+    ) -> "Future[object]":
+        if k is not None and k < 1:
+            raise ValidationError("k must be >= 1 when given")
+        return self.scheduler.submit_request(
+            "assign", worker_id, group_key=(name, k)
+        )
+
+    def submit(self, name: str, payload: object) -> "Future[object]":
+        body = _require_object(payload, "answer body")
+        worker_id = _require_str(body, "worker_id")
+        task_id = _require_int(body, "task_id")
+        choice = _require_int(body, "choice")
+        answer = Answer(worker_id, task_id, choice)
+        return self.scheduler.submit_request(
+            "submit", answer, group_key=name
+        )
+
+    def truths(self, name: str) -> "Future[object]":
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            truths = campaign.system.current_truths()
+            return (
+                200,
+                {
+                    "campaign": name,
+                    "truths": {str(t): v for t, v in truths.items()},
+                },
+                [],
+            )
+
+        return self._control(run)
+
+    def truth(self, name: str, task_id: int) -> "Future[object]":
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            truths = campaign.system.current_truths()
+            if task_id not in truths:
+                raise UnknownTaskError(
+                    task_id, context=f"in campaign {name!r}"
+                )
+            return (
+                200,
+                {
+                    "campaign": name,
+                    "task_id": task_id,
+                    "truth": truths[task_id],
+                },
+                [],
+            )
+
+        return self._control(run)
+
+    def durability(self, name: str) -> "Future[object]":
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            status = dict(campaign.system.durability_status())
+            status["campaign"] = name
+            return 200, status, []
+
+        return self._control(run)
+
+    def checkpoint(self, name: str) -> "Future[object]":
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            try:
+                flushed = campaign.system.checkpoint()
+            except sqlite3.Error as exc:
+                raise ConflictError(
+                    f"checkpoint failed; campaign {name!r} remains "
+                    f"degraded and keeps serving (cause: {exc}). Fix "
+                    "the storage and POST the checkpoint again — "
+                    "buffered answers commit then."
+                ) from exc
+            return (
+                200,
+                {"campaign": name, "flushed": flushed},
+                [],
+            )
+
+        return self._control(run)
+
+    def finalize(self, name: str) -> "Future[object]":
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            truths = campaign.system.finalize()
+            return (
+                200,
+                {
+                    "campaign": name,
+                    "truths": {str(t): v for t, v in truths.items()},
+                },
+                [],
+            )
+
+        return self._control(run)
+
+    # ------------------------------------------------------------------
+    # batch executors (scheduler thread)
+    # ------------------------------------------------------------------
+
+    def _execute_submit_batch(
+        self, group_key: Hashable, payloads: List[object]
+    ) -> List[object]:
+        """Apply a coalesced run of submits, then flush the journal
+        once — the batch's shared durability point. A per-item failure
+        (unknown task, duplicate answer) fails that item alone; the
+        rest of the batch still commits."""
+        name = group_key
+        campaign = self._campaign(name)
+        results: List[object] = []
+        accepted = 0
+        for answer in payloads:
+            try:
+                campaign.system.submit(answer)
+            except ReproError as exc:
+                results.append(exc)
+                continue
+            accepted += 1
+            results.append(None)  # placeholder until flush
+        campaign.accepted_answers += accepted
+        campaign.system.flush_journal()
+        status = campaign.system.durability_status()
+        durable = bool(
+            status.get("mode") == "durable"
+            and not status.get("degraded")
+        )
+        for index, result in enumerate(results):
+            if result is None:
+                answer = payloads[index]
+                results[index] = (
+                    200,
+                    {
+                        "campaign": name,
+                        "worker_id": answer.worker_id,
+                        "task_id": answer.task_id,
+                        "accepted": True,
+                        "durable": durable,
+                    },
+                    [],
+                )
+        return results
+
+    def _execute_assign_batch(
+        self, group_key: Hashable, payloads: List[object]
+    ) -> List[object]:
+        """Serve a coalesced run of same-``k`` arrivals as one
+        ``assign_many`` — with a serving pool configured the selects
+        fan out across its processes inside one quiesce section."""
+        name, k = group_key
+        campaign = self._campaign(name)
+        try:
+            hits = campaign.system.assign_many(payloads, k=k)
+        except UnknownWorkerError:
+            # One unbootstrapped worker must not fail the whole batch:
+            # fall back to per-worker assigns so each id gets its own
+            # success or 404.
+            results: List[object] = []
+            for worker_id in payloads:
+                try:
+                    hit = campaign.system.assign(worker_id, k)
+                except ReproError as exc:
+                    results.append(exc)
+                else:
+                    results.append(_assign_body(name, worker_id, hit))
+            return results
+        return [
+            _assign_body(name, worker_id, hit)
+            for worker_id, hit in zip(payloads, hits)
+        ]
+
+    # ------------------------------------------------------------------
+    # error mapping
+    # ------------------------------------------------------------------
+
+    def map_exception(
+        self, exc: BaseException
+    ) -> Optional[ServiceResponse]:
+        """Exception -> (status, error body, headers); None = reraise."""
+        if isinstance(exc, QueueFullError):
+            retry = str(max(1, math.ceil(exc.retry_after)))
+            return (
+                429,
+                _error_body("queue_full", str(exc)),
+                [("Retry-After", retry)],
+            )
+        if isinstance(
+            exc,
+            (
+                UnknownCampaignError,
+                UnknownWorkerError,
+                UnknownTaskError,
+            ),
+        ):
+            return 404, _error_body("not_found", str(exc)), []
+        if isinstance(exc, ConflictError):
+            return 409, _error_body("conflict", str(exc)), []
+        if isinstance(exc, SchedulerStopped):
+            return 503, _error_body("unavailable", str(exc)), []
+        if isinstance(exc, ReproError):
+            return 400, _error_body("validation", str(exc)), []
+        return None
+
+
+def _assign_body(
+    name: str, worker_id: str, hit: List[int]
+) -> ServiceResponse:
+    return (
+        200,
+        {
+            "campaign": name,
+            "worker_id": worker_id,
+            "task_ids": list(hit),
+        },
+        [],
+    )
+
+
+def _error_body(kind: str, message: str) -> Dict[str, object]:
+    return {"error": {"type": kind, "message": message}}
+
+
+def _require_object(value: object, what: str) -> Dict[str, object]:
+    if not isinstance(value, dict):
+        raise ValidationError(
+            f"{what} must be a JSON object, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _require_str(body: Dict[str, object], field: str) -> str:
+    value = body.get(field)
+    if not isinstance(value, str) or not value:
+        raise ValidationError(
+            f"missing or non-string field {field!r}; send it as a "
+            "JSON string"
+        )
+    return value
+
+
+def _require_int(
+    body: Dict[str, object], field: str, where: str = "body"
+) -> int:
+    value = body.get(field)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(
+            f"missing or non-integer field {field!r} in {where}; "
+            "send it as a JSON integer"
+        )
+    return value
+
+
+def _parse_task(raw: object, index: int) -> Task:
+    body = _require_object(raw, f"tasks[{index}]")
+    task_id = _require_int(body, "task_id", f"tasks[{index}]")
+    text = _require_str(body, "text")
+    num_choices = _require_int(body, "num_choices", f"tasks[{index}]")
+    vector = body.get("domain_vector")
+    domain_vector = None
+    if vector is not None:
+        if not isinstance(vector, list):
+            raise ValidationError(
+                f"tasks[{index}].domain_vector must be a list of "
+                "floats (or omitted, to run entity linking + DVE)"
+            )
+        domain_vector = np.asarray(vector, dtype=np.float64)
+    ground_truth = body.get("ground_truth")
+    if ground_truth is not None and (
+        isinstance(ground_truth, bool)
+        or not isinstance(ground_truth, int)
+    ):
+        raise ValidationError(
+            f"tasks[{index}].ground_truth must be an integer choice"
+        )
+    return Task(
+        task_id=task_id,
+        text=text,
+        num_choices=num_choices,
+        domain_vector=domain_vector,
+        ground_truth=ground_truth,
+    )
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, np.ndarray):
+        return [float(x) for x in value]
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    return value

@@ -1,0 +1,375 @@
+"""A dependency-free asyncio HTTP/1.1 front end for the DOCS service.
+
+Hand-rolled on ``asyncio.start_server`` because the container ships no
+web framework — and the protocol surface the service needs (JSON in,
+JSON out, keep-alive, a handful of routes) is small enough that a
+framework would mostly add moving parts. Connection handlers do no
+work themselves: they parse, hand the request to
+:class:`~repro.service.app.DocsService`, and await the scheduler
+future. The event loop therefore stays responsive — ``/healthz``
+answers while the arrival queue is refusing work with 429s.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ValidationError
+from repro.service.app import DocsService, ServiceResponse, _error_body
+
+__all__ = ["ServiceServer", "InThreadServer"]
+
+#: Request body cap — large enough for a bulk task upload, small
+#: enough that one client cannot balloon server memory.
+MAX_BODY = 8 * 1024 * 1024
+MAX_HEADER_LINE = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+Handler = Callable[..., object]
+
+
+def _routes() -> List[Tuple[str, "re.Pattern[str]", Handler]]:
+    camp = r"/campaigns/(?P<name>[^/]+)"
+    return [
+        ("GET", re.compile(r"^/healthz$"),
+         lambda app, m, q, b: app.health()),
+        ("GET", re.compile(r"^/metricsz$"),
+         lambda app, m, q, b: app.metrics()),
+        ("GET", re.compile(r"^/campaigns$"),
+         lambda app, m, q, b: app.list_campaigns()),
+        ("POST", re.compile(r"^/campaigns$"),
+         lambda app, m, q, b: app.create_campaign(b)),
+        ("GET", re.compile(f"^{camp}$"),
+         lambda app, m, q, b: app.get_campaign(m["name"])),
+        ("DELETE", re.compile(f"^{camp}$"),
+         lambda app, m, q, b: app.delete_campaign(m["name"])),
+        ("POST", re.compile(f"^{camp}/tasks$"),
+         lambda app, m, q, b: app.add_tasks(m["name"], b)),
+        ("GET", re.compile(f"^{camp}/golden$"),
+         lambda app, m, q, b: app.golden(m["name"])),
+        ("POST", re.compile(
+            f"^{camp}/workers/(?P<wid>[^/]+)/bootstrap$"),
+         lambda app, m, q, b: app.bootstrap(m["name"], m["wid"], b)),
+        ("GET", re.compile(
+            f"^{camp}/workers/(?P<wid>[^/]+)/assignment$"),
+         lambda app, m, q, b: app.assign(
+             m["name"], m["wid"], _query_k(q))),
+        ("GET", re.compile(f"^{camp}/workers/(?P<wid>[^/]+)$"),
+         lambda app, m, q, b: app.worker_info(m["name"], m["wid"])),
+        ("POST", re.compile(f"^{camp}/answers$"),
+         lambda app, m, q, b: app.submit(m["name"], b)),
+        ("GET", re.compile(f"^{camp}/truths/(?P<tid>-?\\d+)$"),
+         lambda app, m, q, b: app.truth(m["name"], int(m["tid"]))),
+        ("GET", re.compile(f"^{camp}/truths$"),
+         lambda app, m, q, b: app.truths(m["name"])),
+        ("GET", re.compile(f"^{camp}/durability$"),
+         lambda app, m, q, b: app.durability(m["name"])),
+        ("POST", re.compile(f"^{camp}/checkpoint$"),
+         lambda app, m, q, b: app.checkpoint(m["name"])),
+        ("POST", re.compile(f"^{camp}/finalize$"),
+         lambda app, m, q, b: app.finalize(m["name"])),
+    ]
+
+
+def _query_k(query: Dict[str, List[str]]) -> Optional[int]:
+    values = query.get("k")
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        raise ValidationError(
+            f"query parameter k must be an integer, got {values[0]!r}"
+        ) from None
+
+
+class ServiceServer:
+    """The asyncio server; owns the listening socket, not the app."""
+
+    def __init__(
+        self,
+        app: DocsService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._routes = _routes()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                method, path, headers, payload = request
+                status, body, extra = await self._dispatch(
+                    method, path, payload
+                )
+                keep = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                self._write_response(
+                    writer, status, body, extra, keep
+                )
+                await writer.drain()
+                if not keep:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[Tuple[str, str, Dict[str, str], Optional[object]]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+        if len(parts) != 3:
+            self._write_response(
+                writer,
+                400,
+                _error_body(
+                    "validation",
+                    "malformed request line; expected "
+                    "'METHOD /path HTTP/1.1'",
+                ),
+                [],
+                keep=False,
+            )
+            await writer.drain()
+            return None
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if len(raw) > MAX_HEADER_LINE:
+                return None
+            text = raw.decode("latin-1").rstrip("\r\n")
+            if not text:
+                break
+            key, _, value = text.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY:
+            self._write_response(
+                writer,
+                413,
+                _error_body(
+                    "validation",
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY}-byte cap; split the upload into "
+                    "smaller batches",
+                ),
+                [],
+                keep=False,
+            )
+            await writer.drain()
+            return None
+        payload: Optional[object] = None
+        if length:
+            raw_body = await reader.readexactly(length)
+            try:
+                payload = json.loads(raw_body)
+            except json.JSONDecodeError as exc:
+                payload = _Unparseable(str(exc))
+        return method, target, headers, payload
+
+    async def _dispatch(
+        self, method: str, target: str, payload: Optional[object]
+    ) -> ServiceResponse:
+        split = urlsplit(target)
+        path = split.path
+        query = parse_qs(split.query)
+        matched_other_method: List[str] = []
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if not match:
+                continue
+            if route_method != method:
+                matched_other_method.append(route_method)
+                continue
+            if isinstance(payload, _Unparseable):
+                return (
+                    400,
+                    _error_body(
+                        "validation",
+                        "request body is not valid JSON: "
+                        + payload.reason,
+                    ),
+                    [],
+                )
+            try:
+                result = handler(
+                    self.app, match.groupdict(), query, payload
+                )
+                if isinstance(result, Future):
+                    result = await asyncio.wrap_future(result)
+            except BaseException as exc:  # noqa: BLE001 — mapped below
+                mapped = self.app.map_exception(exc)
+                if mapped is None:
+                    return (
+                        500,
+                        _error_body(
+                            "internal",
+                            f"unhandled {type(exc).__name__}: {exc}",
+                        ),
+                        [],
+                    )
+                return mapped
+            return result  # type: ignore[return-value]
+        if matched_other_method:
+            return (
+                405,
+                _error_body(
+                    "validation",
+                    f"{method} is not supported on {path}; use "
+                    + " or ".join(sorted(set(matched_other_method))),
+                ),
+                [("Allow", ", ".join(sorted(set(matched_other_method))))],
+            )
+        return (
+            404,
+            _error_body(
+                "not_found",
+                f"no route for {method} {path}; see docs/api.md for "
+                "the endpoint table",
+            ),
+            [],
+        )
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Dict[str, object],
+        extra: List[Tuple[str, str]],
+        keep: bool,
+    ) -> None:
+        encoded = json.dumps(body).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(encoded)}",
+            f"Connection: {'keep-alive' if keep else 'close'}",
+        ]
+        lines.extend(f"{k}: {v}" for k, v in extra)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + encoded)
+
+
+class _Unparseable:
+    """Marker for a body that arrived but failed JSON decoding."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+
+
+class InThreadServer:
+    """Run a :class:`ServiceServer` on a background event loop.
+
+    The shape tests and the bench harness use: the caller keeps the
+    :class:`DocsService` handle (to pause the scheduler, reach into a
+    campaign's journal, arm fault points) while real HTTP flows over a
+    real socket.
+    """
+
+    def __init__(
+        self,
+        app: DocsService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.app = app
+        self.server = ServiceServer(app, host=host, port=port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    def start(self) -> "InThreadServer":
+        self.app.start()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("HTTP server failed to start in 10s")
+        return self
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.app.stop()

@@ -1,0 +1,434 @@
+"""The request scheduler: a bounded queue between HTTP and the arena.
+
+The service's concurrency model is deliberately asymmetric. Any number
+of asyncio connection handlers *enqueue* work; exactly **one**
+scheduler thread *executes* it against the campaign systems. That
+single thread is the sole writer the arena ever sees, so HTTP
+concurrency can never violate the single-writer invariant the
+:class:`~repro.system.parallel.ServingPool` state machine protects —
+the quiesce/write sections run, as always, from one thread.
+
+Three properties fall out of the queue discipline:
+
+``Backpressure``
+    The arrival queue is bounded. When it is full the enqueue fails
+    *immediately* with :class:`QueueFullError` — the HTTP layer turns
+    that into ``429 Too Many Requests`` with a ``Retry-After`` hint.
+    Work is refused at the door, never silently dropped after
+    acceptance: an enqueued request always resolves.
+
+``Coalescing``
+    The scheduler drains up to ``coalesce_max`` queued items at a time
+    and executes *contiguous runs* with the same group key as one
+    batch: concurrent submits to a campaign become one
+    ``journal.flush()``; concurrent assignment requests with the same
+    ``k`` become one ``assign_many`` fan-out over the serving pool.
+    Contiguity keeps ordering trivial — items are never reordered, so
+    two submits from the same worker are applied in arrival order.
+
+``Durable ack``
+    A submit future resolves only after the batch executor returns,
+    and the submit executor flushes the journal before returning — by
+    the time a client sees 200, the answer is on disk (or the campaign
+    is explicitly degraded, which the response body says).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from concurrent.futures import Future
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.platform.faults import CrashPoint
+
+__all__ = [
+    "QueueFullError",
+    "SchedulerStopped",
+    "RequestScheduler",
+]
+
+#: Request kinds the scheduler understands. ``submit`` and ``assign``
+#: are batchable through registered executors; ``control`` items carry
+#: their own closure and never coalesce.
+KINDS = ("submit", "assign", "control")
+
+#: Ring size for per-kind latency samples — big enough for stable
+#: p99 estimates over a bench run, bounded so a long-lived server
+#: never grows without limit.
+_LATENCY_RING = 8192
+
+
+class QueueFullError(ReproError):
+    """The arrival queue is at capacity; the request was refused.
+
+    Carries the ``retry_after`` hint (seconds) the HTTP layer surfaces
+    as a ``Retry-After`` header. Refusal happens at enqueue time —
+    nothing about the request was executed or stored.
+    """
+
+    def __init__(self, depth: int, limit: int, retry_after: float):
+        super().__init__(
+            f"arrival queue full ({depth}/{limit} requests queued); "
+            f"retry after {retry_after:.2f}s — the service is applying "
+            "backpressure, not failing"
+        )
+        self.retry_after = retry_after
+
+
+class SchedulerStopped(ReproError):
+    """Work was submitted to (or stranded in) a stopped scheduler."""
+
+
+@dataclass
+class _Item:
+    kind: str
+    group_key: Optional[Hashable]
+    payload: object
+    future: "Future[object]"
+    enqueued: float
+    run: Optional[Callable[[], object]] = None
+
+
+@dataclass
+class _Stats:
+    """Mutable counters; read under the scheduler lock."""
+
+    enqueued: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in KINDS}
+    )
+    completed: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in KINDS}
+    )
+    errored: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in KINDS}
+    )
+    rejected: int = 0
+    batches: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in KINDS}
+    )
+    max_depth: int = 0
+
+
+BatchExecutor = Callable[[Hashable, List[object]], List[object]]
+
+
+class RequestScheduler:
+    """Single-consumer bounded queue with contiguous-run coalescing.
+
+    Args:
+        queue_limit: maximum queued (accepted, unexecuted) requests.
+        coalesce_max: maximum items drained per scheduling round; the
+            upper bound on batch size, and on how many submits share
+            one journal flush.
+        retry_after: seconds clients should wait before retrying a
+            refused request.
+        executors: batch executors keyed by kind (``submit`` /
+            ``assign``). An executor receives ``(group_key, payloads)``
+            and returns one result per payload **in order**; a result
+            that is an ``Exception`` instance fails that item alone.
+        on_fatal: called with a :class:`CrashPoint` that escaped an
+            executor — the fault harness's simulated kill. The serve
+            CLI installs ``os._exit`` here so an armed fault point
+            genuinely terminates the process mid-flight.
+    """
+
+    def __init__(
+        self,
+        queue_limit: int = 128,
+        coalesce_max: int = 64,
+        retry_after: float = 0.05,
+        executors: Optional[Dict[str, BatchExecutor]] = None,
+        on_fatal: Optional[Callable[[BaseException], None]] = None,
+    ):
+        if queue_limit < 1:
+            raise ReproError("queue_limit must be >= 1")
+        if coalesce_max < 1:
+            raise ReproError("coalesce_max must be >= 1")
+        self.queue_limit = queue_limit
+        self.coalesce_max = coalesce_max
+        self.retry_after = retry_after
+        self._executors = dict(executors or {})
+        self._on_fatal = on_fatal
+        self._queue: Deque[_Item] = deque()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._stats = _Stats()
+        self._latency: Dict[str, Deque[float]] = {
+            kind: deque(maxlen=_LATENCY_RING) for kind in KINDS
+        }
+        self._paused = False
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise SchedulerStopped("scheduler already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting work; optionally finish what was accepted.
+
+        With ``drain=True`` (the default) every already-accepted
+        request executes before the thread exits — the accepted ⇒
+        resolved contract holds through shutdown. With ``drain=False``
+        stranded items fail with :class:`SchedulerStopped`.
+        """
+        with self._cond:
+            self._stopping = True
+            if not drain:
+                stranded = list(self._queue)
+                self._queue.clear()
+            else:
+                stranded = []
+            self._paused = False
+            self._cond.notify_all()
+        for item in stranded:
+            item.future.set_exception(
+                SchedulerStopped(
+                    "scheduler stopped before the request ran; "
+                    "the request was not executed — retry against "
+                    "a live server"
+                )
+            )
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def pause(self) -> None:
+        """Hold execution (enqueues still accepted up to the limit).
+
+        A test/ops hook: pausing lets a test fill the queue
+        deterministically and observe the 429 behaviour without racing
+        the consumer; ``resume_consumer()`` releases the backlog.
+        """
+        with self._cond:
+            self._paused = True
+
+    def resume_consumer(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    def submit_request(
+        self,
+        kind: str,
+        payload: object,
+        group_key: Optional[Hashable] = None,
+        run: Optional[Callable[[], object]] = None,
+        force: bool = False,
+    ) -> "Future[object]":
+        """Enqueue one request; returns the future its handler awaits.
+
+        Raises :class:`QueueFullError` when the bounded queue is at
+        capacity and :class:`SchedulerStopped` after shutdown began.
+        The capacity check and the append are atomic — the queue depth
+        can never exceed ``queue_limit``. ``force`` bypasses the
+        capacity check (never the stop check) — reserved for internal
+        lifecycle work like the shutdown close, which must reach the
+        scheduler thread even under full load.
+        """
+        if kind not in KINDS:
+            raise ReproError(f"unknown request kind {kind!r}")
+        if kind == "control" and run is None:
+            raise ReproError("control requests need a run() closure")
+        future: "Future[object]" = Future()
+        item = _Item(
+            kind=kind,
+            group_key=group_key,
+            payload=payload,
+            future=future,
+            enqueued=time.monotonic(),
+            run=run,
+        )
+        with self._cond:
+            if self._stopping:
+                raise SchedulerStopped(
+                    "service is shutting down; no new requests accepted"
+                )
+            depth = len(self._queue)
+            if depth >= self.queue_limit and not force:
+                self._stats.rejected += 1
+                raise QueueFullError(
+                    depth, self.queue_limit, self.retry_after
+                )
+            self._queue.append(item)
+            self._stats.enqueued[kind] += 1
+            self._stats.max_depth = max(
+                self._stats.max_depth, depth + 1
+            )
+            self._cond.notify()
+        return future
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while (
+                    not self._queue or self._paused
+                ) and not self._stopping:
+                    self._cond.wait()
+                if self._stopping and not self._queue:
+                    return
+                if self._paused and not self._stopping:
+                    continue
+                batch: List[_Item] = []
+                while self._queue and len(batch) < self.coalesce_max:
+                    batch.append(self._queue.popleft())
+            try:
+                self._execute(batch)
+            except CrashPoint as crash:
+                # A simulated kill from the fault harness: fail what
+                # was in flight, then hand the crash to the installed
+                # handler (the serve CLI dies here, like a SIGKILL at
+                # the armed point). Without a handler (in-process
+                # tests) the scheduler stops and strands nothing —
+                # queued futures fail instead of hanging forever.
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(crash)
+                if self._on_fatal is not None:
+                    self._on_fatal(crash)
+                with self._cond:
+                    self._stopping = True
+                    stranded = list(self._queue)
+                    self._queue.clear()
+                for item in stranded:
+                    item.future.set_exception(crash)
+                raise
+
+    def _execute(self, batch: List[_Item]) -> None:
+        index = 0
+        while index < len(batch):
+            item = batch[index]
+            if item.kind == "control":
+                self._execute_control(item)
+                index += 1
+                continue
+            group = [item]
+            while (
+                index + len(group) < len(batch)
+                and batch[index + len(group)].kind == item.kind
+                and batch[index + len(group)].group_key
+                == item.group_key
+            ):
+                group.append(batch[index + len(group)])
+            self._execute_group(item.kind, item.group_key, group)
+            index += len(group)
+
+    def _execute_control(self, item: _Item) -> None:
+        try:
+            result = item.run()  # type: ignore[misc]
+        except CrashPoint:
+            raise
+        except BaseException as exc:  # noqa: BLE001 — fan to future
+            self._finish(item, error=exc)
+            return
+        self._finish(item, result=result)
+
+    def _execute_group(
+        self,
+        kind: str,
+        group_key: Optional[Hashable],
+        group: List[_Item],
+    ) -> None:
+        executor = self._executors.get(kind)
+        if executor is None:
+            error: BaseException = SchedulerStopped(
+                f"no executor registered for kind {kind!r}"
+            )
+            for item in group:
+                self._finish(item, error=error)
+            return
+        try:
+            results = executor(group_key, [i.payload for i in group])
+        except CrashPoint:
+            raise
+        except BaseException as exc:  # noqa: BLE001 — fan to futures
+            for item in group:
+                self._finish(item, error=exc)
+            return
+        with self._lock:
+            self._stats.batches[kind] += 1
+        for item, result in zip(group, results):
+            if isinstance(result, BaseException):
+                self._finish(item, error=result)
+            else:
+                self._finish(item, result=result)
+
+    def _finish(
+        self,
+        item: _Item,
+        result: object = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        elapsed = time.monotonic() - item.enqueued
+        with self._lock:
+            self._latency[item.kind].append(elapsed)
+            if error is None:
+                self._stats.completed[item.kind] += 1
+            else:
+                self._stats.errored[item.kind] += 1
+        if error is None:
+            item.future.set_result(result)
+        else:
+            item.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def metrics(self) -> Dict[str, object]:
+        """A point-in-time snapshot for ``/metricsz`` and the bench."""
+        with self._lock:
+            snapshot: Dict[str, object] = {
+                "queue_depth": len(self._queue),
+                "queue_limit": self.queue_limit,
+                "max_depth": self._stats.max_depth,
+                "rejected_429": self._stats.rejected,
+                "enqueued": dict(self._stats.enqueued),
+                "completed": dict(self._stats.completed),
+                "errored": dict(self._stats.errored),
+                "batches": dict(self._stats.batches),
+            }
+            latency = {}
+            for kind in KINDS:
+                samples = self._latency[kind]
+                if samples:
+                    latency[kind] = {
+                        "count": len(samples),
+                        "p50_ms": _percentile(samples, 50.0) * 1e3,
+                        "p99_ms": _percentile(samples, 99.0) * 1e3,
+                    }
+            snapshot["latency"] = latency
+        return snapshot
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = max(
+        0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1)
+    )
+    return ordered[rank]

@@ -93,6 +93,7 @@ from repro.datasets.base import CrowdDataset
 from repro.errors import (
     JournalCorruptionError,
     ServingPoolError,
+    UnknownWorkerError,
     ValidationError,
 )
 from repro.kb.knowledge_base import KnowledgeBase
@@ -635,6 +636,29 @@ class DocsSystem:
         self._seeded.add(worker_id)
         return True
 
+    def _check_bootstrapped(self, worker_id: str) -> None:
+        """Reject assignment for workers still owing the golden pre-test.
+
+        Seeding from the shared store counts as bootstrapped (the
+        stored prior plays the pre-test's role); with no golden tasks
+        every worker is assignable cold. The raise replaces the bare
+        ``KeyError`` this pre-bootstrap path used to surface: the
+        error now names the id and how to proceed, and is a
+        :class:`~repro.errors.ValidationError` the HTTP service maps
+        to 404.
+        """
+        if self.needs_bootstrap(worker_id):
+            raise UnknownWorkerError(
+                worker_id,
+                context=(
+                    "in this campaign: the worker has not completed "
+                    "the golden bootstrap pre-test — fetch "
+                    "golden_task_ids() and call bootstrap() with their "
+                    "answers first (workers known to a shared worker "
+                    "store skip the pre-test)"
+                ),
+            )
+
     def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
         """Initialise a new worker's quality from golden-task answers.
 
@@ -728,10 +752,20 @@ class DocsSystem:
         benefit columns — only rows dirtied since the worker's last
         identical-quality arrival are re-evaluated, and the picks are
         bit-identical to a full-pool evaluation.
+
+        Raises:
+            ValidationError: if the system is not prepared.
+            UnknownWorkerError: if the campaign runs a golden pre-test
+                and this worker has not completed it (and no shared
+                store knows her) — historically this pre-bootstrap path
+                surfaced as a bare ``KeyError``; it now names the id
+                and the remediation so callers (and the HTTP service,
+                which maps it to 404) can route the worker to
+                :meth:`bootstrap` first.
         """
         if self._incremental is None:
             raise ValidationError("system not prepared; call prepare()")
-        self._seed_from_shared(worker_id)
+        self._check_bootstrapped(worker_id)
         answered = self.database.answers.tasks_answered_by(worker_id)
         quality = self.quality_store.blended_quality(worker_id)
         return self._assigner.assign(
@@ -764,7 +798,7 @@ class DocsSystem:
             raise ValidationError("system not prepared; call prepare()")
         arrivals = []
         for worker_id in worker_ids:
-            self._seed_from_shared(worker_id)
+            self._check_bootstrapped(worker_id)
             answered = self.database.answers.tasks_answered_by(
                 worker_id
             )
@@ -811,6 +845,26 @@ class DocsSystem:
         if self._submissions_since_rerun >= self._config.rerun_interval:
             self._run_full_inference()
             self._submissions_since_rerun = 0
+
+    def current_truths(self) -> Dict[int, int]:
+        """Current incremental truth estimates, task id -> choice.
+
+        A read-only inspection surface (the service's ``/truths``
+        endpoint): reports what incremental TI believes *now*, without
+        the full iterative re-run :meth:`finalize` performs — so
+        calling it mid-campaign perturbs nothing.
+
+        Raises:
+            ValidationError: if the system is not prepared.
+        """
+        if self._incremental is None:
+            raise ValidationError("system not prepared; call prepare()")
+        return {
+            task.task_id: self._incremental.state(
+                task.task_id
+            ).inferred_truth()
+            for task in self.database.tasks()
+        }
 
     def finalize(self) -> Dict[int, int]:
         """Final full TI; returns task id -> inferred truth."""
@@ -867,6 +921,35 @@ class DocsSystem:
         if hasattr(db, "checkpoint"):
             return db.checkpoint()
         return 0
+
+    def flush_journal(self) -> int:
+        """Make every accepted-but-buffered event durable, without the
+        snapshot a full :meth:`checkpoint` would also write.
+
+        The HTTP service's submit coalescing acknowledges a whole batch
+        of answers behind **one** such flush — cheaper than a
+        per-answer fsync, durable by ack time, and far lighter than
+        snapshotting per batch. A failing flush degrades the campaign
+        exactly like the serving paths do (the answers stay accepted
+        and buffered; :meth:`checkpoint` recovers) rather than raising.
+
+        Returns:
+            Journal rows made durable (0 with in-memory storage, with
+            nothing pending, or when the flush failed into degraded
+            mode).
+        """
+        journal = (
+            getattr(self._db, "journal", None)
+            if self._db is not None
+            else None
+        )
+        if journal is None:
+            return 0
+        try:
+            return journal.flush()
+        except sqlite3.Error as exc:
+            self._enter_degraded("service batch flush", exc)
+            return 0
 
     def durability_status(self) -> Dict[str, object]:
         """Where this campaign's durability stands, as a plain dict.
@@ -963,6 +1046,48 @@ class DocsSystem:
                 self._enter_degraded("shared-store backlog drain", exc)
                 raise
             self._pending_shared_exports.pop(0)
+
+    def hot_state_digest(self) -> str:
+        """SHA-256 over the campaign's hot state, as a hex string.
+
+        Covers exactly the state :meth:`resume` promises to rebuild
+        bit-identically: the arena's choice-group buffers (R/M/S/logN),
+        the campaign worker model, the pristine golden qualities, the
+        bootstrapped-worker set, and the rerun cursor. Two systems
+        with equal digests will serve identical assignments and infer
+        identical truths — the kill-and-resume suites (and operators
+        comparing a resumed service against a reference) rely on this
+        instead of diffing buffers by hand.
+        """
+        if self._incremental is None:
+            raise ValidationError("system not prepared; call prepare()")
+        import hashlib
+
+        digest = hashlib.sha256()
+        arena = self._incremental.arena
+        # Settle the lazy entropy cache first: a live system with dirty
+        # rows and its freshly resumed twin must hash identically.
+        arena.refresh_entropies()
+        groups = arena.export_hot_state()
+        for ell in sorted(groups):
+            group = groups[ell]
+            digest.update(f"group:{ell}:{group.count}".encode())
+            for buffer in (group.R, group.M, group.S, group.logN):
+                digest.update(np.ascontiguousarray(buffer).tobytes())
+        store = self.quality_store
+        for worker_id in sorted(store.known_workers()):
+            stats = store.get(worker_id)
+            digest.update(worker_id.encode())
+            digest.update(stats.quality.tobytes())
+            digest.update(stats.weight.tobytes())
+        for worker_id in sorted(self._golden_qualities):
+            digest.update(worker_id.encode())
+            digest.update(self._golden_qualities[worker_id].tobytes())
+        digest.update(
+            ",".join(sorted(self._bootstrapped)).encode()
+        )
+        digest.update(str(self._submissions_since_rerun).encode())
+        return digest.hexdigest()
 
     def snapshot(self) -> int:
         """Write a compacted hot-state snapshot (journaled sqlite only).

@@ -185,6 +185,10 @@ class TestResumeEdgeCases:
         assert len(resumed.database.answers) == 0
         assert len(resumed._log) == 0
         assert resumed.golden_task_ids() == fresh.golden_task_ids()
+        for system_ in (resumed, fresh):
+            system_.bootstrap(
+                "w0", _golden_answers(system_, dataset, "w0")
+            )
         assert resumed.assign("w0", 4) == fresh.assign("w0", 4)
         resumed.close()
 

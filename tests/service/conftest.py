@@ -1,0 +1,113 @@
+"""Shared fixtures for the service suites: a live in-thread server
+speaking real HTTP over a real socket, plus a tiny JSON client."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.service import DocsService, InThreadServer, ServiceConfig
+
+
+class JsonClient:
+    """status/body/header access over urllib (stdlib only)."""
+
+    def __init__(self, base_url: str):
+        self.base_url = base_url
+
+    def request(self, method, path, body=None, raw=None):
+        data = raw
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method
+        )
+        if data is not None:
+            req.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return (
+                    resp.status,
+                    json.loads(resp.read()),
+                    dict(resp.headers),
+                )
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read()), dict(err.headers)
+
+    def get(self, path):
+        return self.request("GET", path)
+
+    def post(self, path, body=None, raw=None):
+        return self.request("POST", path, body=body, raw=raw)
+
+    def delete(self, path):
+        return self.request("DELETE", path)
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("4d", seed=11, tasks_per_domain=6)
+
+
+def start_service(tmp_path=None, **config_kwargs):
+    if tmp_path is not None:
+        config_kwargs.setdefault("db_dir", str(tmp_path))
+    app = DocsService(ServiceConfig(**config_kwargs))
+    server = InThreadServer(app).start()
+    return app, server, JsonClient(server.base_url)
+
+
+@pytest.fixture()
+def service():
+    """In-memory service: (app, client). Stops cleanly on teardown."""
+    app, server, client = start_service()
+    yield app, client
+    server.stop()
+
+
+@pytest.fixture()
+def durable_service(tmp_path):
+    """SQLite-backed service rooted in tmp_path: (app, client)."""
+    app, server, client = start_service(tmp_path=tmp_path)
+    yield app, client
+    server.stop()
+
+
+CAMPAIGN_BODY = {
+    "name": "c1",
+    "dataset": "4d",
+    "seed": 11,
+    "config": {
+        "golden_count": 4,
+        "hit_size": 3,
+        "rerun_interval": 50,
+    },
+    "dataset_overrides": {"tasks_per_domain": 6},
+}
+
+
+def create_campaign(client, **overrides):
+    body = {**CAMPAIGN_BODY, **overrides}
+    status, payload, _ = client.post("/campaigns", body)
+    assert status == 201, payload
+    return payload
+
+
+def bootstrap_worker(client, dataset, worker_id, name="c1"):
+    status, payload, _ = client.get(f"/campaigns/{name}/golden")
+    assert status == 200, payload
+    answers = [
+        {
+            "task_id": task_id,
+            "choice": dataset.task_by_id(task_id).ground_truth,
+        }
+        for task_id in payload["golden_task_ids"]
+    ]
+    status, payload, _ = client.post(
+        f"/campaigns/{name}/workers/{worker_id}/bootstrap",
+        {"answers": answers},
+    )
+    assert status == 200, payload
+    return payload

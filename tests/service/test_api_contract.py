@@ -1,0 +1,491 @@
+"""API contract: every endpoint, success and failure shapes.
+
+Response schemas are asserted field-by-field, and every error body
+must carry ``{"error": {"type", "message"}}`` with a message naming
+the remediation — the HTTP rendering of the library's ``ReproError``
+message discipline.
+"""
+
+import pytest
+
+from tests.service.conftest import bootstrap_worker, create_campaign
+
+
+def assert_error(payload, kind, *needles):
+    assert set(payload) == {"error"}
+    error = payload["error"]
+    assert set(error) == {"type", "message"}
+    assert error["type"] == kind
+    for needle in needles:
+        assert needle in error["message"], (needle, error["message"])
+
+
+class TestHealthAndMetrics:
+    def test_healthz_shape(self, service):
+        _, client = service
+        status, body, _ = client.get("/healthz")
+        assert status == 200
+        assert set(body) == {
+            "status",
+            "campaigns",
+            "degraded_campaigns",
+            "queue",
+        }
+        assert body["status"] == "ok"
+        assert body["campaigns"] == 0
+        assert body["degraded_campaigns"] == []
+        assert set(body["queue"]) == {"depth", "limit"}
+
+    def test_metricsz_shape(self, service):
+        _, client = service
+        status, body, _ = client.get("/metricsz")
+        assert status == 200
+        assert set(body) == {"scheduler", "campaigns"}
+        scheduler = body["scheduler"]
+        for key in (
+            "queue_depth",
+            "queue_limit",
+            "max_depth",
+            "rejected_429",
+            "enqueued",
+            "completed",
+            "errored",
+            "batches",
+            "latency",
+        ):
+            assert key in scheduler
+
+
+class TestCampaignLifecycle:
+    def test_create_success_schema(self, service):
+        _, client = service
+        body = create_campaign(client)
+        for key in (
+            "name",
+            "dataset",
+            "seed",
+            "storage",
+            "path",
+            "shared_store",
+            "tasks",
+            "golden_count",
+            "accepted_answers",
+            "durability",
+            "golden_task_ids",
+        ):
+            assert key in body, key
+        assert body["name"] == "c1"
+        assert body["dataset"] == "4d"
+        assert body["storage"] == "memory"
+        assert body["tasks"] == 24
+        assert body["golden_count"] == 4
+        assert len(body["golden_task_ids"]) == 4
+        assert body["accepted_answers"] == 0
+
+    def test_create_duplicate_conflict(self, service):
+        _, client = service
+        create_campaign(client)
+        status, payload, _ = client.post(
+            "/campaigns", {"name": "c1", "dataset": "4d"}
+        )
+        assert status == 409
+        assert_error(payload, "conflict", "c1", "DELETE")
+
+    def test_create_bad_name_validation(self, service):
+        _, client = service
+        status, payload, _ = client.post(
+            "/campaigns", {"name": "bad name!", "dataset": "4d"}
+        )
+        assert status == 400
+        assert_error(payload, "validation", "bad name!")
+
+    def test_create_unknown_dataset_validation(self, service):
+        _, client = service
+        status, payload, _ = client.post(
+            "/campaigns", {"name": "c2", "dataset": "nope"}
+        )
+        assert status == 400
+        assert_error(payload, "validation", "nope", "expected one of")
+
+    def test_create_unknown_config_field_validation(self, service):
+        _, client = service
+        status, payload, _ = client.post(
+            "/campaigns",
+            {
+                "name": "c2",
+                "dataset": "4d",
+                "config": {"golden_cuont": 4},
+            },
+        )
+        assert status == 400
+        assert_error(payload, "validation", "golden_cuont")
+
+    def test_create_sqlite_without_db_dir_validation(self, service):
+        _, client = service
+        status, payload, _ = client.post(
+            "/campaigns",
+            {"name": "c2", "dataset": "4d", "storage": "sqlite"},
+        )
+        assert status == 400
+        assert_error(payload, "validation", "--db-dir")
+
+    def test_list_campaigns(self, service):
+        _, client = service
+        create_campaign(client)
+        create_campaign(client, name="c2")
+        status, body, _ = client.get("/campaigns")
+        assert status == 200
+        names = [c["name"] for c in body["campaigns"]]
+        assert names == ["c1", "c2"]
+
+    def test_get_campaign_includes_digest(self, service):
+        _, client = service
+        create_campaign(client)
+        status, body, _ = client.get("/campaigns/c1")
+        assert status == 200
+        digest = body["hot_state_digest"]
+        assert isinstance(digest, str) and len(digest) == 64
+
+    def test_get_unknown_campaign_not_found(self, service):
+        _, client = service
+        status, payload, _ = client.get("/campaigns/ghost")
+        assert status == 404
+        assert_error(payload, "not_found", "ghost", "POST /campaigns")
+
+    def test_delete_then_404(self, service):
+        _, client = service
+        create_campaign(client)
+        status, body, _ = client.delete("/campaigns/c1")
+        assert status == 200
+        assert body == {"name": "c1", "closed": True}
+        status, payload, _ = client.get("/campaigns/c1")
+        assert status == 404
+
+
+class TestTaskUpload:
+    def test_add_tasks_success_schema(self, service):
+        _, client = service
+        created = create_campaign(client)
+        # Taxonomy size = the length of any worker's quality vector.
+        _, info, _ = client.get("/campaigns/c1/workers/anybody")
+        taxonomy = len(info["quality"])
+        status, body, _ = client.post(
+            "/campaigns/c1/tasks",
+            {
+                "tasks": [
+                    {
+                        "task_id": 900,
+                        "text": "uploaded over HTTP",
+                        "num_choices": 3,
+                        "domain_vector": [1.0 / taxonomy] * taxonomy,
+                    }
+                ]
+            },
+        )
+        assert status == 201, body
+        assert set(body) == {
+            "campaign",
+            "ingested",
+            "linked",
+            "entities",
+            "total_tasks",
+        }
+        assert body["ingested"] == 1
+        assert body["total_tasks"] == created["tasks"] + 1
+
+    def test_add_tasks_empty_validation(self, service):
+        _, client = service
+        create_campaign(client)
+        status, payload, _ = client.post(
+            "/campaigns/c1/tasks", {"tasks": []}
+        )
+        assert status == 400
+        assert_error(payload, "validation", "tasks")
+
+    def test_add_tasks_missing_field_validation(self, service):
+        _, client = service
+        create_campaign(client)
+        status, payload, _ = client.post(
+            "/campaigns/c1/tasks",
+            {"tasks": [{"task_id": 901, "num_choices": 2}]},
+        )
+        assert status == 400
+        assert_error(payload, "validation", "text")
+
+    def test_add_tasks_unknown_campaign(self, service):
+        _, client = service
+        status, payload, _ = client.post(
+            "/campaigns/ghost/tasks",
+            {
+                "tasks": [
+                    {"task_id": 1, "text": "x", "num_choices": 2}
+                ]
+            },
+        )
+        assert status == 404
+        assert_error(payload, "not_found", "ghost")
+
+
+class TestWorkers:
+    def test_golden_schema(self, service, dataset):
+        _, client = service
+        created = create_campaign(client)
+        status, body, _ = client.get("/campaigns/c1/golden")
+        assert status == 200
+        assert set(body) == {"campaign", "golden_task_ids"}
+        assert body["golden_task_ids"] == created["golden_task_ids"]
+
+    def test_bootstrap_success_schema(self, service, dataset):
+        _, client = service
+        create_campaign(client)
+        body = bootstrap_worker(client, dataset, "w1")
+        assert body == {
+            "campaign": "c1",
+            "worker_id": "w1",
+            "bootstrapped": True,
+        }
+
+    def test_bootstrap_twice_conflict(self, service, dataset):
+        _, client = service
+        create_campaign(client)
+        bootstrap_worker(client, dataset, "w1")
+        status, payload, _ = client.post(
+            "/campaigns/c1/workers/w1/bootstrap", {"answers": []}
+        )
+        assert status == 409
+        assert_error(payload, "conflict", "w1", "assignment")
+
+    def test_bootstrap_bad_body_validation(self, service):
+        _, client = service
+        create_campaign(client)
+        status, payload, _ = client.post(
+            "/campaigns/c1/workers/w1/bootstrap",
+            {"answers": [{"task_id": "one", "choice": 1}]},
+        )
+        assert status == 400
+        assert_error(payload, "validation", "task_id")
+
+    def test_worker_info_schema(self, service, dataset):
+        _, client = service
+        create_campaign(client)
+        bootstrap_worker(client, dataset, "w1")
+        status, body, _ = client.get("/campaigns/c1/workers/w1")
+        assert status == 200
+        assert set(body) == {
+            "campaign",
+            "worker_id",
+            "needs_bootstrap",
+            "quality",
+            "tasks_answered",
+        }
+        assert body["needs_bootstrap"] is False
+        assert isinstance(body["quality"], list)
+        assert all(0.0 <= q <= 1.0 for q in body["quality"])
+
+    def test_assignment_success_schema(self, service, dataset):
+        _, client = service
+        create_campaign(client)
+        bootstrap_worker(client, dataset, "w1")
+        status, body, _ = client.get(
+            "/campaigns/c1/workers/w1/assignment?k=3"
+        )
+        assert status == 200
+        assert set(body) == {"campaign", "worker_id", "task_ids"}
+        assert body["worker_id"] == "w1"
+        assert len(body["task_ids"]) == 3
+
+    def test_assignment_unknown_worker_not_found(self, service):
+        _, client = service
+        create_campaign(client)
+        status, payload, _ = client.get(
+            "/campaigns/c1/workers/ghost/assignment?k=3"
+        )
+        assert status == 404
+        assert_error(payload, "not_found", "ghost", "bootstrap")
+
+    def test_assignment_bad_k_validation(self, service, dataset):
+        _, client = service
+        create_campaign(client)
+        bootstrap_worker(client, dataset, "w1")
+        status, payload, _ = client.get(
+            "/campaigns/c1/workers/w1/assignment?k=zero"
+        )
+        assert status == 400
+        assert_error(payload, "validation", "k")
+
+
+class TestAnswers:
+    def _prepare(self, client, dataset):
+        create_campaign(client)
+        bootstrap_worker(client, dataset, "w1")
+        status, body, _ = client.get(
+            "/campaigns/c1/workers/w1/assignment?k=3"
+        )
+        assert status == 200
+        return body["task_ids"]
+
+    def test_submit_success_schema(self, service, dataset):
+        _, client = service
+        task_ids = self._prepare(client, dataset)
+        status, body, _ = client.post(
+            "/campaigns/c1/answers",
+            {"worker_id": "w1", "task_id": task_ids[0], "choice": 1},
+        )
+        assert status == 200
+        assert set(body) == {
+            "campaign",
+            "worker_id",
+            "task_id",
+            "accepted",
+            "durable",
+        }
+        assert body["accepted"] is True
+
+    def test_submit_duplicate_validation(self, service, dataset):
+        _, client = service
+        task_ids = self._prepare(client, dataset)
+        answer = {
+            "worker_id": "w1",
+            "task_id": task_ids[0],
+            "choice": 1,
+        }
+        client.post("/campaigns/c1/answers", answer)
+        status, payload, _ = client.post(
+            "/campaigns/c1/answers", answer
+        )
+        assert status == 400
+        assert_error(payload, "validation", "already answered")
+
+    def test_submit_missing_field_validation(self, service, dataset):
+        _, client = service
+        self._prepare(client, dataset)
+        status, payload, _ = client.post(
+            "/campaigns/c1/answers", {"worker_id": "w1", "choice": 1}
+        )
+        assert status == 400
+        assert_error(payload, "validation", "task_id")
+
+    def test_submit_unknown_task_not_found(self, service, dataset):
+        _, client = service
+        self._prepare(client, dataset)
+        status, payload, _ = client.post(
+            "/campaigns/c1/answers",
+            {"worker_id": "w1", "task_id": 999999, "choice": 1},
+        )
+        assert status == 404
+        assert_error(payload, "not_found", "999999")
+
+
+class TestInspection:
+    def _drive(self, client, dataset):
+        create_campaign(client)
+        bootstrap_worker(client, dataset, "w1")
+        _, body, _ = client.get(
+            "/campaigns/c1/workers/w1/assignment?k=3"
+        )
+        for task_id in body["task_ids"]:
+            client.post(
+                "/campaigns/c1/answers",
+                {"worker_id": "w1", "task_id": task_id, "choice": 1},
+            )
+        return body["task_ids"]
+
+    def test_truths_schema(self, service, dataset):
+        _, client = service
+        self._drive(client, dataset)
+        status, body, _ = client.get("/campaigns/c1/truths")
+        assert status == 200
+        assert set(body) == {"campaign", "truths"}
+        assert len(body["truths"]) == 24
+        assert all(
+            isinstance(v, int) for v in body["truths"].values()
+        )
+
+    def test_single_truth_schema(self, service, dataset):
+        _, client = service
+        task_ids = self._drive(client, dataset)
+        status, body, _ = client.get(
+            f"/campaigns/c1/truths/{task_ids[0]}"
+        )
+        assert status == 200
+        assert body == {
+            "campaign": "c1",
+            "task_id": task_ids[0],
+            "truth": body["truth"],
+        }
+
+    def test_unknown_truth_not_found(self, service, dataset):
+        _, client = service
+        self._drive(client, dataset)
+        status, payload, _ = client.get("/campaigns/c1/truths/424242")
+        assert status == 404
+        assert_error(payload, "not_found", "424242")
+
+    def test_durability_memory_campaign(self, service, dataset):
+        _, client = service
+        create_campaign(client)
+        status, body, _ = client.get("/campaigns/c1/durability")
+        assert status == 200
+        assert body["campaign"] == "c1"
+        assert body["mode"] == "memory"
+        assert body["degraded"] is False
+
+    def test_durability_sqlite_campaign(
+        self, durable_service, dataset
+    ):
+        _, client = durable_service
+        create_campaign(client)
+        status, body, _ = client.get("/campaigns/c1/durability")
+        assert status == 200
+        assert body["mode"] == "durable"
+        assert body["degraded"] is False
+
+    def test_checkpoint_schema(self, durable_service, dataset):
+        _, client = durable_service
+        self._drive(client, dataset)
+        status, body, _ = client.post("/campaigns/c1/checkpoint")
+        assert status == 200
+        assert body["campaign"] == "c1"
+        assert body["flushed"] >= 0
+
+    def test_finalize_schema(self, service, dataset):
+        _, client = service
+        self._drive(client, dataset)
+        status, body, _ = client.post("/campaigns/c1/finalize")
+        assert status == 200
+        assert set(body) == {"campaign", "truths"}
+        assert len(body["truths"]) == 24
+
+
+class TestTransportErrors:
+    def test_unknown_route_names_docs(self, service):
+        _, client = service
+        status, payload, _ = client.get("/nope")
+        assert status == 404
+        assert_error(payload, "not_found", "docs/api.md")
+
+    def test_wrong_method_lists_allowed(self, service):
+        _, client = service
+        status, payload, headers = client.delete("/healthz")
+        assert status == 405
+        assert headers.get("Allow") == "GET"
+        assert_error(payload, "validation", "GET")
+
+    def test_malformed_json_validation(self, service):
+        _, client = service
+        status, payload, _ = client.post(
+            "/campaigns", raw=b"{not json"
+        )
+        assert status == 400
+        assert_error(payload, "validation", "not valid JSON")
+
+    @pytest.mark.parametrize(
+        "body", ["[]", "\"text\"", "3"]
+    )
+    def test_non_object_body_validation(self, service, body):
+        _, client = service
+        status, payload, _ = client.post(
+            "/campaigns", raw=body.encode()
+        )
+        assert status == 400
+        assert_error(payload, "validation", "JSON object")

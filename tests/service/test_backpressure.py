@@ -1,0 +1,289 @@
+"""Concurrency properties of the request scheduler.
+
+The three invariants the serving plane promises:
+
+1. the bounded arrival queue never exceeds its limit, no matter how
+   hard concurrent clients push;
+2. submit coalescing preserves per-worker submit order;
+3. a saturated queue refuses with 429 — and refusal is the *only*
+   way an answer is lost: every accepted (2xx-acked) answer is in the
+   journal's committed rows afterwards.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import DocsService, QueueFullError, ServiceConfig
+from repro.service.http import InThreadServer
+
+from tests.service.conftest import (
+    JsonClient,
+    bootstrap_worker,
+    create_campaign,
+)
+
+
+def _start(tmp_path=None, **kwargs):
+    config_kwargs = dict(kwargs)
+    if tmp_path is not None:
+        config_kwargs["db_dir"] = str(tmp_path)
+    app = DocsService(ServiceConfig(**config_kwargs))
+    server = InThreadServer(app).start()
+    return app, server, JsonClient(server.base_url)
+
+
+def _prepare_workers(client, dataset, workers, name="c1"):
+    create_campaign(client)
+    for worker in workers:
+        bootstrap_worker(client, dataset, worker, name=name)
+
+
+class TestBoundedQueue:
+    def test_depth_never_exceeds_limit_under_burst(self, dataset):
+        app, server, client = _start(queue_limit=8)
+        try:
+            _prepare_workers(client, dataset, ["w1"])
+            app.scheduler.pause()
+            accepted, rejected = 0, 0
+            # Far more submits than capacity, from the caller side of
+            # the queue: the atomic check-and-append must cap depth.
+            for task_id in range(100):
+                try:
+                    app.submit(
+                        "c1",
+                        {
+                            "worker_id": "w1",
+                            "task_id": task_id,
+                            "choice": 1,
+                        },
+                    )
+                except QueueFullError as err:
+                    rejected += 1
+                    assert err.retry_after > 0
+                else:
+                    accepted += 1
+                assert app.scheduler.depth() <= 8
+            assert accepted == 8
+            assert rejected == 92
+            assert app.scheduler.metrics()["max_depth"] <= 8
+            app.scheduler.resume_consumer()
+        finally:
+            server.stop()
+
+    def test_burst_of_concurrent_http_submits(self, dataset):
+        """Threaded HTTP clients: every request resolves to exactly
+        one of {2xx accepted, 4xx refused}; depth stays bounded."""
+        app, server, client = _start(queue_limit=8)
+        try:
+            _prepare_workers(client, dataset, ["w1"])
+            app.scheduler.pause()
+            results = []
+            lock = threading.Lock()
+
+            def fire(task_id):
+                status, body, headers = client.post(
+                    "/campaigns/c1/answers",
+                    {
+                        "worker_id": "w1",
+                        "task_id": task_id,
+                        "choice": 1,
+                    },
+                )
+                with lock:
+                    results.append((status, body, headers))
+
+            threads = [
+                threading.Thread(target=fire, args=(tid,))
+                for tid in range(30)
+            ]
+            for thread in threads:
+                thread.start()
+            # Let the burst land against the paused consumer, then
+            # release it so queued submits complete.
+            deadline = threading.Event()
+            deadline.wait(0.5)
+            assert app.scheduler.depth() <= 8
+            app.scheduler.resume_consumer()
+            for thread in threads:
+                thread.join(timeout=30)
+            statuses = sorted(s for s, _, _ in results)
+            assert len(results) == 30
+            assert set(statuses) <= {200, 404, 429}
+            assert statuses.count(429) >= 1
+            assert app.scheduler.metrics()["max_depth"] <= 8
+            for status, body, headers in results:
+                if status == 429:
+                    assert "Retry-After" in headers
+                    assert body["error"]["type"] == "queue_full"
+        finally:
+            server.stop()
+
+
+class TestCoalescing:
+    def test_batches_preserve_per_worker_order(self, dataset):
+        app, server, client = _start(
+            queue_limit=256, coalesce_max=32
+        )
+        try:
+            workers = ["w1", "w2", "w3"]
+            _prepare_workers(client, dataset, workers)
+            system = app._campaigns["c1"].system
+            task_ids = [
+                t.task_id for t in system.database.tasks()
+            ]
+            app.scheduler.pause()
+            sent = {w: [] for w in workers}
+            futures = []
+            # Interleave submits across workers; each worker answers
+            # a distinct task sequence.
+            for index, task_id in enumerate(task_ids):
+                worker = workers[index % len(workers)]
+                futures.append(
+                    app.submit(
+                        "c1",
+                        {
+                            "worker_id": worker,
+                            "task_id": task_id,
+                            "choice": 1,
+                        },
+                    )
+                )
+                sent[worker].append(task_id)
+            app.scheduler.resume_consumer()
+            for future in futures:
+                status, body, _ = future.result(timeout=30)
+                assert status == 200, body
+            # Coalescing actually happened: fewer executor batches
+            # than submits.
+            batches = app.scheduler.metrics()["batches"]["submit"]
+            assert 1 <= batches < len(task_ids)
+            # And per-worker arrival order survived it.
+            for worker in workers:
+                stored = [
+                    a.task_id
+                    for a in system.database.answers.for_worker(
+                        worker
+                    )
+                ]
+                assert stored == sent[worker]
+        finally:
+            server.stop()
+
+
+class TestNoAcceptedAnswerLost:
+    def test_acked_answers_all_reach_committed_journal(
+        self, dataset, tmp_path
+    ):
+        """Saturate a tiny queue over HTTP; afterwards, every acked
+        answer must appear in ``committed_answers_through`` — 429s
+        refuse work, they never drop accepted work."""
+        app, server, client = _start(
+            tmp_path=tmp_path, queue_limit=6
+        )
+        try:
+            workers = ["w1", "w2"]
+            _prepare_workers(client, dataset, workers)
+            system = app._campaigns["c1"].system
+            task_ids = app.scheduler.submit_request(
+                "control",
+                None,
+                run=lambda: [
+                    t.task_id for t in system.database.tasks()
+                ],
+                force=True,
+            ).result(timeout=30)
+            acked = []
+            lock = threading.Lock()
+            rejected = [0]
+
+            def fire(worker, task_id):
+                status, body, _ = client.post(
+                    "/campaigns/c1/answers",
+                    {
+                        "worker_id": worker,
+                        "task_id": task_id,
+                        "choice": 1,
+                    },
+                )
+                with lock:
+                    if status == 200:
+                        assert body["accepted"] is True
+                        assert body["durable"] is True
+                        acked.append((worker, task_id))
+                    else:
+                        assert status == 429
+                        rejected[0] += 1
+
+            threads = [
+                threading.Thread(target=fire, args=(w, tid))
+                for w in workers
+                for tid in task_ids
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert len(acked) + rejected[0] == len(threads)
+            assert len(acked) >= 1  # the run did accept work
+
+            journal = system.database.journal
+
+            def read_journal():
+                # Runs on the scheduler thread — SQLite connections
+                # are thread-affine.
+                rows = journal.committed_answers_through(
+                    journal.last_committed_seq
+                )
+                return journal.pending, rows
+
+            pending, rows = app.scheduler.submit_request(
+                "control", None, run=read_journal, force=True
+            ).result(timeout=30)
+            # The ack contract: acked => already flushed; nothing
+            # should be pending once all submit futures resolved.
+            assert pending == 0
+            committed = {
+                (worker_id, task_id)
+                for _seq, _row, task_id, worker_id, _choice in rows
+            }
+            for pair in acked:
+                assert pair in committed, pair
+            # And refusals truly refused: committed real answers ==
+            # acked answers exactly.
+            assert len(committed) == len(acked)
+        finally:
+            server.stop()
+
+
+class TestHealthUnderSaturation:
+    def test_healthz_answers_while_queue_is_full(self, dataset):
+        app, server, client = _start(queue_limit=4)
+        try:
+            _prepare_workers(client, dataset, ["w1"])
+            app.scheduler.pause()
+            for task_id in range(4):
+                app.submit(
+                    "c1",
+                    {
+                        "worker_id": "w1",
+                        "task_id": task_id,
+                        "choice": 1,
+                    },
+                )
+            with pytest.raises(QueueFullError):
+                app.submit(
+                    "c1",
+                    {
+                        "worker_id": "w1",
+                        "task_id": 99,
+                        "choice": 1,
+                    },
+                )
+            # The health endpoint bypasses the queue entirely.
+            status, body, _ = client.get("/healthz")
+            assert status == 200
+            assert body["queue"] == {"depth": 4, "limit": 4}
+            app.scheduler.resume_consumer()
+        finally:
+            server.stop()

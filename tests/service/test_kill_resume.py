@@ -1,0 +1,200 @@
+"""Service kill-and-resume: a server killed mid-load must come back
+bit-identical, losing only in-flight unacked submits.
+
+The server subprocess arms a fault point from ``REPRO_SERVE_FAULT``
+(a ``<point>[:<skip>]`` spec) and dies there with ``os._exit(137)`` —
+the crash-matrix simulation of a SIGKILL inside a journal flush. The
+test then resumes the campaign twice — directly in-process, and via a
+second ``repro serve --resume`` server — and asserts both see the same
+``hot_state_digest``, every acked answer, and none of the unacked
+tail.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.system import DocsConfig, DocsSystem
+
+from tests.service.conftest import JsonClient
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    "src",
+)
+
+
+def _spawn_server(db_dir, fault=None, resume=False):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if fault:
+        env["REPRO_SERVE_FAULT"] = fault
+    else:
+        env.pop("REPRO_SERVE_FAULT", None)
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--port",
+        "0",
+        "--db-dir",
+        db_dir,
+    ]
+    if resume:
+        argv.append("--resume")
+    proc = subprocess.Popen(
+        argv,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    base_url = None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("serving on "):
+            base_url = line.split("serving on ", 1)[1].strip()
+            break
+    if base_url is None:
+        proc.kill()
+        raise RuntimeError("server did not start in 60s")
+    return proc, JsonClient(base_url)
+
+
+def _sidecar_config(db_dir, name):
+    with open(
+        os.path.join(db_dir, f"{name}.meta.json"), encoding="utf-8"
+    ) as handle:
+        meta = json.load(handle)
+    return meta
+
+
+class TestServiceKillResume:
+    def test_kill_mid_flush_resume_bit_identical(self, tmp_path):
+        db_dir = str(tmp_path)
+        dataset = make_dataset("4d", seed=13, tasks_per_domain=6)
+        # Skip the first 3 journal-flush commits, then die inside the
+        # 4th — mid-load, with acked batches behind it and an unacked
+        # one in flight.
+        proc, client = _spawn_server(
+            db_dir, fault="journal.flush.pre-commit:3"
+        )
+        acked = []
+        crashed = False
+        try:
+            status, body, _ = client.post(
+                "/campaigns",
+                {
+                    "name": "c1",
+                    "dataset": "4d",
+                    "seed": 13,
+                    "storage": "sqlite",
+                    "config": {"golden_count": 4, "hit_size": 2},
+                    "dataset_overrides": {"tasks_per_domain": 6},
+                },
+            )
+            assert status == 201, body
+            _, golden, _ = client.get("/campaigns/c1/golden")
+            answers = [
+                {
+                    "task_id": task_id,
+                    "choice": dataset.task_by_id(
+                        task_id
+                    ).ground_truth,
+                }
+                for task_id in golden["golden_task_ids"]
+            ]
+            status, body, _ = client.post(
+                "/campaigns/c1/workers/w1/bootstrap",
+                {"answers": answers},
+            )
+            assert status == 200, body
+            attempted = []
+            for round_ in range(20):
+                try:
+                    status, hit, _ = client.get(
+                        "/campaigns/c1/workers/w1/assignment?k=2"
+                    )
+                    assert status == 200
+                    for task_id in hit["task_ids"]:
+                        attempted.append(("w1", task_id))
+                        status, body, _ = client.post(
+                            "/campaigns/c1/answers",
+                            {
+                                "worker_id": "w1",
+                                "task_id": task_id,
+                                "choice": 1,
+                            },
+                        )
+                        if status == 200:
+                            acked.append(("w1", task_id))
+                except (
+                    urllib.error.URLError,
+                    ConnectionError,
+                    OSError,
+                ):
+                    crashed = True
+                    break
+            assert crashed, "server survived 20 rounds; fault unhit?"
+        finally:
+            exit_code = proc.wait(timeout=30)
+        assert exit_code == 137  # died at the armed point, not cleanly
+        assert acked, "no answer was acked before the crash"
+        assert len(acked) < len(attempted), (
+            "the crashing submit must not have been acked"
+        )
+
+        # --- in-process resume: ground truth for the comparison -----
+        meta = _sidecar_config(db_dir, "c1")
+        resumed = DocsSystem.resume(
+            meta["path"],
+            config=DocsConfig(**meta["config"]),
+            kb=dataset.kb,
+        )
+        digest_direct = resumed.hot_state_digest()
+        answers_direct = {
+            (a.worker_id, a.task_id)
+            for a in resumed.database.answers.all()
+        }
+        resumed.close()
+
+        # Every acked answer survived; the unacked tail did not.
+        for pair in acked:
+            assert pair in answers_direct, pair
+        assert answers_direct == set(acked)
+
+        # --- server resume: must match the direct resume exactly ----
+        proc2, client2 = _spawn_server(db_dir, resume=True)
+        try:
+            status, body, _ = client2.get("/campaigns/c1")
+            assert status == 200, body
+            assert body["hot_state_digest"] == digest_direct
+            status, info, _ = client2.get("/campaigns/c1/workers/w1")
+            assert status == 200
+            assert info["needs_bootstrap"] is False
+            assert info["tasks_answered"] == len(acked)
+            # The resumed server keeps serving: a fresh assignment
+            # excludes every already-answered task.
+            status, hit, _ = client2.get(
+                "/campaigns/c1/workers/w1/assignment?k=2"
+            )
+            assert status == 200
+            assert not (
+                {("w1", t) for t in hit["task_ids"]} & set(acked)
+            )
+        finally:
+            proc2.terminate()
+            proc2.wait(timeout=30)

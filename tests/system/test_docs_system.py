@@ -178,3 +178,46 @@ class TestEndToEnd:
         assert isinstance(result, CampaignResult)
         assert set(result.truths) == {t.task_id for t in dataset.tasks}
         assert 0.0 <= result.accuracy() <= 1.0
+
+
+class TestUnknownWorkerErrors:
+    """Regression: the assign family must reject an unknown worker with
+    a ValidationError naming the id — not a bare ``KeyError`` repr —
+    so the HTTP service can map it to 404 with a useful body."""
+
+    def _system(self, dataset, golden_count=6):
+        system = DocsSystem(
+            DocsConfig(golden_count=golden_count, hit_size=3)
+        )
+        system.prepare(dataset)
+        return system
+
+    def test_assign_pre_bootstrap_names_worker_and_remediation(
+        self, dataset
+    ):
+        system = self._system(dataset)
+        with pytest.raises(ValidationError) as err:
+            system.assign("ghost-worker", 3)
+        message = str(err.value)
+        assert "ghost-worker" in message
+        assert "bootstrap" in message
+        # Still a KeyError for callers of the historical surface.
+        assert isinstance(err.value, KeyError)
+
+    def test_assign_many_rejects_first_unknown_worker(self, dataset):
+        system = self._system(dataset)
+        with pytest.raises(ValidationError, match="nobody"):
+            system.assign_many(["nobody"], 3)
+
+    def test_bootstrapped_worker_passes_the_guard(self, dataset):
+        system = self._system(dataset)
+        answers = [
+            Answer("w0", tid, dataset.task_by_id(tid).ground_truth)
+            for tid in system.golden_task_ids()
+        ]
+        system.bootstrap("w0", answers)
+        assert len(system.assign("w0", 3)) == 3
+
+    def test_no_golden_pretest_means_no_guard(self, dataset):
+        system = self._system(dataset, golden_count=0)
+        assert len(system.assign("anyone", 3)) == 3
