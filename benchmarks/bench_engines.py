@@ -1,0 +1,428 @@
+"""Cross-engine arena: every registered engine on shared workloads.
+
+Runs any engine from :mod:`repro.engines` through the
+:class:`repro.platform.PlatformSimulator` campaign loop on two fixed
+workloads and reports, per engine:
+
+- **accuracy** — fraction of ground-truth tasks inferred correctly;
+- **cost** — budgeted answers consumed plus golden pre-test answers
+  (the spend the requester pays for);
+- **latency** — mean and worst-case wall time of one ``assign`` call,
+  plus end-to-end campaign wall time;
+- **unanswered** — tasks finalized without a single answer, i.e. tasks
+  whose reported truth is the engine's documented uninformed default
+  (choice 1), not an inference.
+
+Workloads:
+
+- **fig8** — the paper's end-to-end OTA comparison shape: the Item
+  dataset at paper scale, 10 answers per task, HITs of k = 3.
+- **fig7** — a golden-pre-test-heavy shape on the QA generator: a
+  larger worker pool churning through bootstrap pre-tests relative to
+  the paid budget, so golden/bootstrap cost dominates the ledger.
+
+The DOCS engine is benched **through the campaign shell**
+(``DocsSystem(DocsConfig(engine="docs"))``) — the production path —
+and, in full mode, one baseline also runs end-to-end through the
+sqlite-durable shell (journal + resume machinery live) to price the
+campaign surface for memory-only engines.
+
+Equivalence gates (``--smoke``, the CI configuration):
+
+1. DOCS through the shell issues **bit-identical HITs and truths** to
+   the brute-force ``oracle`` registry entry (full-pool Eq. 8
+   evaluation, no AssignmentIndex/ServingPool) — the refactor cannot
+   have moved a single pick.
+2. DOCS through the shell is identical to the bare ``docs`` engine —
+   hosting adds storage, never behaviour.
+3. Every registered engine completes the fig8 workload at n = 1K
+   tasks and returns a truth for every task id.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py --smoke  # CI gate
+    PYTHONPATH=src python benchmarks/bench_engines.py          # full,
+                                               # merges BENCH_engines.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
+import numpy as np
+from typing import Dict, List, Optional, Tuple
+
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.datasets import make_dataset
+from repro.engines import engine_names, make_engine
+from repro.platform.amt_sim import PlatformSimulator
+from repro.system import DocsConfig, DocsSystem
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_engines.json"
+)
+
+#: The shared campaign workloads. ``n`` is the task count the workload
+#: actually runs (recorded per point).
+WORKLOADS: Dict[str, Dict[str, object]] = {
+    "fig8": {
+        "dataset": "item",
+        "overrides": {},
+        "answers_per_task": 10,
+        "hit_size": 3,
+        "pool_size": 50,
+    },
+    "fig7": {
+        "dataset": "qa",
+        "overrides": {"num_tasks": 240},
+        "answers_per_task": 4,
+        "hit_size": 20,
+        "pool_size": 80,
+    },
+}
+
+
+def _worker_pool(dataset, pool_size: int, seed: int) -> WorkerPool:
+    active = tuple(d.taxonomy_index for d in dataset.domains)
+    return WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=pool_size,
+            num_domains=dataset.taxonomy.size,
+            active_domains=active,
+            seed=seed + 1,
+        )
+    )
+
+
+def _build_engine(
+    name: str,
+    seed: int,
+    storage: str = "memory",
+    path: Optional[str] = None,
+):
+    """A fresh engine for one campaign.
+
+    ``docs`` (and any sqlite-storage run) goes through the campaign
+    shell — the production configuration; every other name is the bare
+    registry engine.
+    """
+    if name == "docs" or storage != "memory":
+        return DocsSystem(
+            DocsConfig(seed=seed, engine=name),
+            storage=storage,
+            path=path,
+        )
+    return make_engine(name, seed=seed)
+
+
+def run_engine_campaign(
+    engine_name: str,
+    workload: str,
+    seed: int = 7,
+    storage: str = "memory",
+    path: Optional[str] = None,
+    overrides: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """One engine through one full simulated campaign.
+
+    Returns the arena row: accuracy / cost / latency / unanswered,
+    plus the HIT transcript and truths (for the equivalence gates;
+    stripped before JSON).
+    """
+    spec = dict(WORKLOADS[workload])
+    if overrides:
+        spec.update(overrides)
+    dataset = make_dataset(
+        spec["dataset"], seed=seed, **spec["overrides"]
+    )
+    pool = _worker_pool(dataset, spec["pool_size"], seed)
+    engine = _build_engine(engine_name, seed, storage=storage, path=path)
+    simulator = PlatformSimulator(
+        dataset,
+        pool,
+        answers_per_task=spec["answers_per_task"],
+        hit_size=spec["hit_size"],
+        seed=seed + 3,
+    )
+    started = time.perf_counter()
+    report = simulator.run(engine)
+    wall_seconds = time.perf_counter() - started
+    unanswered = engine.unanswered_task_ids()
+    missing = [
+        t.task_id
+        for t in dataset.tasks
+        if t.task_id not in report.truths
+    ]
+    if missing:
+        raise AssertionError(
+            f"{engine_name} on {workload}: finalize() left "
+            f"{len(missing)} task(s) without a truth (e.g. "
+            f"{missing[:5]})"
+        )
+    if isinstance(engine, DocsSystem):
+        engine.close()
+    return {
+        "engine": engine_name,
+        "workload": workload,
+        "storage": storage,
+        "dataset": spec["dataset"],
+        "num_tasks": dataset.num_tasks,
+        "accuracy": report.accuracy,
+        "paid_answers": report.total_answers,
+        "golden_answers": report.golden_answers,
+        "total_cost_answers": (
+            report.total_answers + report.golden_answers
+        ),
+        "spend_dollars": report.hit_log.total_spend(),
+        "hits_issued": len(report.hit_log),
+        "assign_mean_ms": 1e3 * report.mean_assign_seconds,
+        "assign_max_ms": 1e3 * report.max_assign_seconds,
+        "e2e_s": wall_seconds,
+        "unanswered_tasks": len(unanswered),
+        "_hits": [
+            (h.worker_id, h.task_ids) for h in report.hit_log.all()
+        ],
+        "_truths": dict(report.truths),
+    }
+
+
+def _strip_private(row: Dict[str, object]) -> Dict[str, object]:
+    return {k: v for k, v in row.items() if not k.startswith("_")}
+
+
+def check_shell_equivalence(
+    seed: int = 7, overrides: Optional[Dict[str, object]] = None
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """The refactor's bit-identity gates on the fig8 workload.
+
+    DOCS hosted by the shell vs the bare ``docs`` engine vs the
+    brute-force ``oracle``: all three must issue identical HIT
+    transcripts and finalize identical truths.
+    """
+    shell = run_engine_campaign(
+        "docs", "fig8", seed=seed, overrides=overrides
+    )
+    bare_engine = make_engine("docs", seed=seed)
+    spec = dict(WORKLOADS["fig8"])
+    if overrides:
+        spec.update(overrides)
+    dataset = make_dataset(
+        spec["dataset"], seed=seed, **spec["overrides"]
+    )
+    pool = _worker_pool(dataset, spec["pool_size"], seed)
+    report = PlatformSimulator(
+        dataset,
+        pool,
+        answers_per_task=spec["answers_per_task"],
+        hit_size=spec["hit_size"],
+        seed=seed + 3,
+    ).run(bare_engine)
+    bare = {
+        "_hits": [
+            (h.worker_id, h.task_ids) for h in report.hit_log.all()
+        ],
+        "_truths": dict(report.truths),
+    }
+    oracle = run_engine_campaign(
+        "oracle", "fig8", seed=seed, overrides=overrides
+    )
+    problems = []
+    for label, other in (("bare docs engine", bare), ("oracle", oracle)):
+        if shell["_hits"] != other["_hits"]:
+            problems.append(
+                f"shell-hosted DOCS issued different HITs than the "
+                f"{label}"
+            )
+        if shell["_truths"] != other["_truths"]:
+            problems.append(
+                f"shell-hosted DOCS finalized different truths than "
+                f"the {label}"
+            )
+    if problems:
+        raise AssertionError("; ".join(problems))
+    return shell, [_strip_private(oracle)]
+
+
+def machine_metadata() -> Dict[str, object]:
+    """What this run ran on — latency columns are meaningless
+    without it."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+    }
+
+
+def _report_row(row: Dict[str, object]) -> None:
+    tag = row["engine"]
+    if row["storage"] != "memory":
+        tag = f"{tag}+{row['storage']}"
+    print(
+        f"{row['workload']:>5s}  {tag:<16s} "
+        f"acc {100 * row['accuracy']:5.1f}%   "
+        f"cost {row['total_cost_answers']:>6d} "
+        f"(golden {row['golden_answers']:>5d})   "
+        f"assign {row['assign_mean_ms']:7.3f} ms "
+        f"(max {row['assign_max_ms']:8.2f})   "
+        f"e2e {row['e2e_s']:6.2f} s   "
+        f"unanswered {row['unanswered_tasks']}"
+    )
+
+
+def _merge_results(out: pathlib.Path, points: List[Dict[str, object]],
+                   meta: Dict[str, object]) -> None:
+    """Merge this run's rows into ``BENCH_engines.json``.
+
+    Rows are keyed by (workload, engine, storage): reruns replace their
+    own rows and leave other engines' history in place, so partial
+    sweeps accumulate into one table.
+    """
+    payload: Dict[str, object] = {
+        "benchmark": "cross_engine_arena",
+        "workloads": {
+            name: {k: v for k, v in spec.items()}
+            for name, spec in WORKLOADS.items()
+        },
+        "points": [],
+    }
+    if out.exists():
+        try:
+            payload = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            pass
+    payload.update(meta)
+
+    def key(row: Dict[str, object]) -> Tuple[str, str, str]:
+        return (
+            str(row.get("workload")),
+            str(row.get("engine")),
+            str(row.get("storage", "memory")),
+        )
+
+    merged = {key(row): row for row in payload.get("points", [])}
+    for row in points:
+        merged[key(row)] = row
+    payload["points"] = sorted(
+        merged.values(),
+        key=lambda r: (r["workload"], r["engine"], r["storage"]),
+    )
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"merged {len(points)} row(s) into {out}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI gate: shell/oracle bit-identity plus every registered "
+            "engine completing fig8 at n=1K; no JSON written"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=(
+            "full-mode output path (default: repo-root "
+            "BENCH_engines.json; merged, not overwritten)"
+        ),
+    )
+    parser.add_argument(
+        "--engines",
+        nargs="*",
+        default=None,
+        help="restrict the full sweep to these registry names",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        # Gate 1+2: shell-hosted DOCS vs bare engine vs brute oracle,
+        # bit-identical transcripts on a trimmed fig8 workload.
+        overrides = {"answers_per_task": 3, "pool_size": 20}
+        shell, _ = check_shell_equivalence(overrides=overrides)
+        _report_row(shell)
+        print(
+            "equivalence ok: shell-hosted DOCS, the bare docs engine, "
+            "and the brute-force oracle issued identical HITs and "
+            "identical truths"
+        )
+        # Gate 3: every registered engine completes fig8 at n=1K.
+        gate = {
+            "dataset": "qa",
+            "overrides": {"num_tasks": 1000},
+            "answers_per_task": 2,
+            "pool_size": 40,
+        }
+        for name in engine_names():
+            row = run_engine_campaign(
+                name, "fig8", overrides=gate
+            )
+            _report_row(row)
+        # One baseline end-to-end through the sqlite-durable shell.
+        with tempfile.TemporaryDirectory() as tmp:
+            row = run_engine_campaign(
+                "random",
+                "fig8",
+                storage="sqlite",
+                path=str(pathlib.Path(tmp) / "arena.db"),
+                overrides=gate,
+            )
+            _report_row(row)
+        print(
+            f"smoke ok: all {len(engine_names())} registered engines "
+            "completed fig8 at n=1K with full truth coverage, and a "
+            "baseline ran end-to-end through the sqlite campaign shell"
+        )
+        return 0
+
+    names = args.engines or engine_names()
+    unknown = sorted(set(names) - set(engine_names()))
+    if unknown:
+        print(
+            f"unknown engine(s) {unknown}; registered: "
+            f"{engine_names()}",
+            file=sys.stderr,
+        )
+        return 2
+    points: List[Dict[str, object]] = []
+    shell, oracle_rows = check_shell_equivalence()
+    _report_row(shell)
+    points.append(_strip_private(shell))
+    points.extend(oracle_rows)
+    for row in oracle_rows:
+        _report_row(row)
+    for workload in WORKLOADS:
+        for name in names:
+            if name in ("docs", "oracle") and workload == "fig8":
+                continue  # already recorded by the equivalence pass
+            row = run_engine_campaign(name, workload)
+            _report_row(row)
+            points.append(_strip_private(row))
+    # The campaign-shell tax for a memory-only engine: one baseline
+    # through the full sqlite-durable shell (journal + golden registry
+    # + replay-ready file).
+    with tempfile.TemporaryDirectory() as tmp:
+        row = run_engine_campaign(
+            "random",
+            "fig8",
+            storage="sqlite",
+            path=str(pathlib.Path(tmp) / "arena.db"),
+        )
+        _report_row(row)
+        points.append(_strip_private(row))
+    _merge_results(args.out, points, meta={"machine": machine_metadata()})
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ regenerated tables survive pytest's output capturing.
 """
 
 import pathlib
+import re
 
 import pytest
 
@@ -33,12 +34,29 @@ def contexts():
 
 @pytest.fixture(scope="session")
 def record_table():
-    """Writer: persist a rendered table under benchmarks/results/."""
+    """Writer: persist a rendered table under benchmarks/results/.
+
+    Byte-stable across reruns: when ``volatile`` regexes are given,
+    their matches (timing columns, which genuinely vary run to run) are
+    masked out of both the new table and the file on disk before
+    comparing — the file is rewritten only when the *non*-volatile
+    content (accuracies, counts, gammas) actually changed, so
+    ``git diff`` on benchmarks/results/ shows real regressions, not
+    wall-clock noise.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def write(name: str, content: str) -> None:
+    def write(name: str, content: str, volatile=()) -> None:
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(content + "\n")
+        new_text = content + "\n"
+
+        def mask(text: str) -> str:
+            for pattern in volatile:
+                text = re.sub(pattern, "#", text)
+            return text
+
+        if not path.exists() or mask(path.read_text()) != mask(new_text):
+            path.write_text(new_text)
         # Also echo for -s runs.
         print(f"\n{content}\n")
 

@@ -117,7 +117,11 @@ def test_fig4e_scalability(record_table, benchmark):
         lines.append(
             f"{p.num_workers:>8d}{p.num_tasks:>8d}{p.seconds:10.3f}"
         )
-    record_table("fig4e_ti_scalability", "\n".join(lines))
+    record_table(
+        "fig4e_ti_scalability",
+        "\n".join(lines),
+        volatile=(r"(?m)\s+\d+\.\d+\s*$",),
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     # Linear in n: 10K tasks takes well under the paper's 15s envelope.
     assert all(p.seconds < 15.0 for p in points)

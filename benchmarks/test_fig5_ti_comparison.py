@@ -27,7 +27,12 @@ def fig5_results(contexts):
 
 def test_fig5_report(fig5_results, record_table, benchmark):
     rendered = format_ti_comparison(list(fig5_results.values()))
-    record_table("fig5_ti_comparison", rendered)
+    record_table(
+        "fig5_ti_comparison",
+        rendered,
+        # Figure 5(b) is wall-clock; only 5(a)'s accuracies are stable.
+        volatile=(r"(?s)Figure 5\(b\).*",),
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

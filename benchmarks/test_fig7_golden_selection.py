@@ -20,8 +20,15 @@ def comparison():
 
 
 def test_fig7a_report(comparison, record_table, benchmark):
+    # greedy(s)/enum(s) are wall-clock noise; gamma (last column) is
+    # the deterministic quantity the file should diff on. The mask
+    # swallows the columns' padding too: enum times span orders of
+    # magnitude, so the float width (and with it the padding) varies
+    # run to run.
     record_table(
-        "fig7a_golden_comparison", format_golden_comparison(comparison)
+        "fig7a_golden_comparison",
+        format_golden_comparison(comparison),
+        volatile=(r"(?m)(?<=\d)\s+\d+\.\d+\s+\d+\.\d+(?=\s+\d+\.\d+$)",),
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
@@ -49,7 +56,9 @@ def test_fig7b_scalability(record_table, benchmark):
         seed=8,
     )
     record_table(
-        "fig7b_golden_scalability", format_golden_scalability(points)
+        "fig7b_golden_scalability",
+        format_golden_scalability(points),
+        volatile=(r"(?m)\s+\d+\.\d+\s*$",),
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     # Time is flat in n' for fixed m (paper: independent of n').

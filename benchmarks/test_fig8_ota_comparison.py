@@ -31,7 +31,13 @@ def fig8_results():
 
 def test_fig8_report(fig8_results, record_table, benchmark):
     rendered = format_ota_comparison(list(fig8_results.values()))
-    record_table("fig8_ota_comparison", rendered)
+    # The Figure 8(b) timing table is wall-clock noise run to run;
+    # rewrite the file only when the accuracy table actually moved.
+    record_table(
+        "fig8_ota_comparison",
+        rendered,
+        volatile=(r"(?s)Figure 8\(b\).*",),
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
@@ -87,7 +93,11 @@ def test_fig8c_scalability(record_table, benchmark):
         hit_sizes=(5, 10, 50),
         seed=11,
     )
-    record_table("fig8c_ota_scalability", format_ota_scalability(points))
+    record_table(
+        "fig8c_ota_scalability",
+        format_ota_scalability(points),
+        volatile=(r"(?m)\s+\d+\.\d+\s*$",),
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     # Paper: one assignment within 0.2s at n = 10K, independent of k.
     at_10k = [p for p in points if p.num_tasks == 10000]

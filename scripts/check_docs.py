@@ -53,9 +53,18 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "RequestScheduler",
         "Retry-After",
         "/healthz",
+        "## Engine plane",
+        "CAP_HOT_STATE",
+        "DocsEngine",
     ),
     "docs/api.md": (
         "worker_store",
+        "## `repro.engines` — the engine registry",
+        "make_engine",
+        "register_engine",
+        "UNINFORMED_DEFAULT_CHOICE",
+        "bench_engines",
+        "DocsConfig.engine",
         "snapshot",
         "resume",
         "serve_index",

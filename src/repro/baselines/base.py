@@ -5,22 +5,21 @@ Two roles appear in the evaluation:
 - :class:`TruthMethod` — offline truth inference over a fixed answer set
   (Figure 5). All methods receive the *same* collected answers and the
   same golden tasks for initialisation, as Section 6.3 prescribes.
-- Assignment engines (Figure 8) implement the
-  :class:`repro.platform.amt_sim.CrowdEngine` protocol; the common
-  bookkeeping lives in :class:`EngineBase`.
+- Assignment engines (Figure 8) implement the unified
+  :class:`repro.engines.Engine` ABC; the bookkeeping most of them share
+  lives in :class:`repro.engines.base.TableEngine` (which absorbed the
+  ``EngineBase`` that used to live here).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.types import Answer, Task
-from repro.datasets.base import CrowdDataset
 from repro.errors import ValidationError
-from repro.platform.storage import AnswerTable
 
 
 class GoldenContext:
@@ -88,94 +87,6 @@ class TruthMethod(abc.ABC):
         if counted == 0:
             raise ValidationError("nothing to score")
         return correct / counted
-
-
-class EngineBase(abc.ABC):
-    """Common engine bookkeeping: storage, worker tracking, golden set.
-
-    Subclasses implement ``_prepare``, ``_select`` and ``_finalize``; the
-    base class enforces the shared integrity rules (no repeat answers, no
-    assigning a task to a worker who answered it).
-    """
-
-    name: str = "engine"
-
-    def __init__(self) -> None:
-        self._dataset: Optional[CrowdDataset] = None
-        self._answers = AnswerTable()
-        self._bootstrapped: Set[str] = set()
-        self._golden_ids: List[int] = []
-
-    @property
-    def dataset(self) -> CrowdDataset:
-        if self._dataset is None:
-            raise ValidationError("engine not prepared; call prepare()")
-        return self._dataset
-
-    @property
-    def answers(self) -> AnswerTable:
-        return self._answers
-
-    # -- CrowdEngine protocol -------------------------------------------
-
-    def prepare(self, dataset: CrowdDataset) -> None:
-        self._dataset = dataset
-        self._answers = AnswerTable()
-        self._bootstrapped = set()
-        self._golden_ids = []
-        self._prepare(dataset)
-
-    def golden_task_ids(self) -> List[int]:
-        return list(self._golden_ids)
-
-    def needs_bootstrap(self, worker_id: str) -> bool:
-        return bool(self._golden_ids) and worker_id not in self._bootstrapped
-
-    def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
-        self._bootstrapped.add(worker_id)
-        self._bootstrap(worker_id, answers)
-
-    def assign(self, worker_id: str, k: int) -> List[int]:
-        if self._dataset is None:
-            raise ValidationError("engine not prepared; call prepare()")
-        if k < 1:
-            raise ValidationError(f"k must be >= 1: {k}")
-        answered = self._answers.tasks_answered_by(worker_id)
-        return self._select(worker_id, k, answered)
-
-    def submit(self, answer: Answer) -> None:
-        self._answers.insert(answer)
-        self._ingest(answer)
-
-    def finalize(self) -> Dict[int, int]:
-        truths = self._finalize()
-        # Tasks that never received an answer still need a verdict; the
-        # uninformed default is the first choice.
-        for task in self.dataset.tasks:
-            truths.setdefault(task.task_id, 1)
-        return truths
-
-    # -- subclass hooks --------------------------------------------------
-
-    @abc.abstractmethod
-    def _prepare(self, dataset: CrowdDataset) -> None:
-        """Engine-specific setup (DVE, topic fitting, state init)."""
-
-    def _bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
-        """Ingest golden-task answers for a new worker (default: no-op)."""
-
-    @abc.abstractmethod
-    def _select(
-        self, worker_id: str, k: int, answered: Set[int]
-    ) -> List[int]:
-        """Pick up to k tasks the worker has not answered."""
-
-    def _ingest(self, answer: Answer) -> None:
-        """Engine-specific per-answer update (default: no-op)."""
-
-    @abc.abstractmethod
-    def _finalize(self) -> Dict[int, int]:
-        """Produce final truths."""
 
 
 def empirical_vote_distribution(

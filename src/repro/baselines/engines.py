@@ -20,16 +20,11 @@ DOCS itself lives in :class:`repro.system.DocsSystem`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
 import numpy as np
 
-from repro.baselines.base import (
-    EngineBase,
-    GoldenContext,
-    empirical_vote_distribution,
-    majority_choice,
-)
+from repro.baselines.base import GoldenContext, majority_choice
 from repro.baselines.dawid_skene import DawidSkene
 from repro.baselines.icrowd import ICrowdTruth
 from repro.core.arena import StateArena
@@ -39,14 +34,14 @@ from repro.core.quality_store import WorkerQualityStore
 from repro.core.truth_inference import TruthInference
 from repro.core.types import Answer, Task
 from repro.datasets.base import CrowdDataset
-from repro.errors import ValidationError
+from repro.engines.base import TableEngine
 from repro.linking import EntityLinker
-from repro.utils.math import entropy_unchecked, safe_log
+from repro.utils.math import safe_log
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.topk import top_k_indices
 
 
-class RandomBaselineEngine(EngineBase):
+class RandomBaselineEngine(TableEngine):
     """Random assignment + majority vote ("Baseline" in Figure 8)."""
 
     name = "Baseline"
@@ -72,7 +67,7 @@ class RandomBaselineEngine(EngineBase):
         return _majority_truths(self.dataset.tasks, self._answers)
 
 
-class AskItEngine(EngineBase):
+class AskItEngine(TableEngine):
     """AskIt! [8]: assign the k most uncertain tasks, infer with MV.
 
     Uncertainty is the entropy of the Laplace-smoothed empirical vote
@@ -115,7 +110,7 @@ class AskItEngine(EngineBase):
         return _majority_truths(self.dataset.tasks, self._answers)
 
 
-class ICrowdEngine(EngineBase):
+class ICrowdEngine(TableEngine):
     """iCrowd [18]: assign where the worker is strongest, evenly.
 
     Workers' per-domain accuracies are tracked against iCrowd's own
@@ -206,7 +201,7 @@ class ICrowdEngine(EngineBase):
         )
 
 
-class QascaEngine(EngineBase):
+class QascaEngine(TableEngine):
     """QASCA [54]: assign by expected accuracy improvement.
 
     Maintains per-task truth posteriors under a scalar-confusion DS-style
@@ -325,7 +320,7 @@ class QascaEngine(EngineBase):
         )
 
 
-class DMaxEngine(EngineBase):
+class DMaxEngine(TableEngine):
     """D-Max: DOCS's TI with pure domain-match assignment.
 
     Selects the k tasks maximising ``sum_k r_ik q^w_k`` — the worker's
@@ -369,6 +364,16 @@ class DMaxEngine(EngineBase):
         self._golden_truths = {
             tid: self._tasks[tid].ground_truth for tid in self._golden_ids
         }
+
+    def needs_bootstrap(self, worker_id: str) -> bool:
+        # Workers already present in the quality store (e.g. domain
+        # experts a caller seeded directly) have a quality model and
+        # skip the pre-test — the same rule DocsEngine applies to
+        # shared-store workers.
+        return (
+            super().needs_bootstrap(worker_id)
+            and worker_id not in self._store
+        )
 
     def _bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
         self._store.initialize_from_golden(

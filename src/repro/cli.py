@@ -8,6 +8,9 @@ Commands:
   (``--store sqlite --db PATH`` persists it), or ``--resume`` a
   persisted campaign from its database file.
 - ``datasets`` — list the built-in dataset generators with their sizes.
+- ``engines`` — list the registered inference engines (the names
+  ``run --engine``, ``DocsConfig.engine``, and the service's campaign
+  ``engine`` field accept).
 - ``detect`` — run DVE over a dataset and report domain-detection
   accuracy.
 - ``compare-ti`` — the Figure 5 comparison on one dataset.
@@ -141,8 +144,28 @@ def _build_parser() -> argparse.ArgumentParser:
             "campaign's quality estimates merge back into it"
         ),
     )
+    run.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help=(
+            "inference engine the campaign shell hosts (see 'repro "
+            "engines'; default: docs). Engines without the hot-state "
+            "capability run memory-only inference behind the same "
+            "campaign surface"
+        ),
+    )
 
     sub.add_parser("datasets", help="list built-in datasets")
+
+    sub.add_parser(
+        "engines",
+        help=(
+            "list registered inference engines (usable with run "
+            "--engine, DocsConfig.engine, and the service's campaign "
+            "'engine' field)"
+        ),
+    )
 
     detect = sub.add_parser(
         "detect", help="DVE domain-detection accuracy on a dataset"
@@ -296,6 +319,10 @@ def _cmd_run(args) -> int:
             config = replace(
                 config, snapshot_every_batches=args.snapshot_every
             )
+        if args.engine:
+            from dataclasses import replace
+
+            config = replace(config, engine=args.engine)
         worker_db = None
         if args.worker_db:
             # The store must be attached *during* resume so a
@@ -323,8 +350,24 @@ def _cmd_run(args) -> int:
             worker_db = SqliteWorkerQualityStore(
                 int(row[0]) // 8, path=args.worker_db
             )
+        # Engines without the hot-state capability resume by full
+        # replay through a re-prepared engine, which needs the
+        # campaign's original dataset (same generator, same seed).
+        from repro.engines import CAP_HOT_STATE, make_engine
+
+        probe = make_engine(
+            config.engine, seed=args.seed, config=config
+        )
+        hot = CAP_HOT_STATE in probe.capabilities()
         system = DocsSystem.resume(
-            args.db, config=config, worker_store=worker_db
+            args.db,
+            config=config,
+            worker_store=worker_db,
+            dataset=(
+                None
+                if hot
+                else make_dataset(args.dataset, seed=args.seed)
+            ),
         )
         truths = system.finalize()
         tasks = system.database.tasks()
@@ -341,10 +384,11 @@ def _cmd_run(args) -> int:
         print(f"rebuilt from       : {source}")
         print(f"tasks restored     : {len(tasks)}")
         print(f"answers replayed   : {len(system.database.answers)}")
-        print(
-            "workers known      : "
-            f"{len(list(system.quality_store.known_workers()))}"
-        )
+        if hot:
+            print(
+                "workers known      : "
+                f"{len(list(system.quality_store.known_workers()))}"
+            )
         if scored:
             correct = sum(
                 truths[t.task_id] == t.ground_truth for t in scored
@@ -367,6 +411,10 @@ def _cmd_run(args) -> int:
         config = replace(
             config, snapshot_every_batches=args.snapshot_every
         )
+    if args.engine:
+        from dataclasses import replace
+
+        config = replace(config, engine=args.engine)
     worker_db = None
     if args.worker_db:
         worker_db = SqliteWorkerQualityStore(
@@ -407,6 +455,15 @@ def _cmd_datasets(args) -> int:
     for name in DATASET_NAMES:
         dataset = make_dataset(name, seed=0)
         print(dataset.summary())
+    return 0
+
+
+def _cmd_engines(args) -> int:
+    from repro.engines import ENGINES
+
+    width = max(len(name) for name in ENGINES)
+    for spec in ENGINES.values():
+        print(f"{spec.name:<{width}}  {spec.summary}")
     return 0
 
 
@@ -630,6 +687,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "run": _cmd_run,
     "datasets": _cmd_datasets,
+    "engines": _cmd_engines,
     "detect": _cmd_detect,
     "compare-ti": _cmd_compare_ti,
     "compare-ota": _cmd_compare_ota,

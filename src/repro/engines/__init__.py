@@ -1,0 +1,43 @@
+"""The unified engine plane.
+
+Every inference engine — the production DOCS serving core, the paper's
+Figure 8 competitors, and new contenders — implements one abstraction:
+:class:`repro.engines.base.Engine` (prepare / golden_task_ids /
+needs_bootstrap / bootstrap / assign / submit / finalize, plus optional
+capability hooks for durability and batching). The registry maps short
+names to factories, so the simulator, the campaign shell
+(:class:`repro.system.DocsSystem` with ``DocsConfig.engine``), the CLI
+(``repro run --engine`` / ``repro engines``), the HTTP service, and the
+cross-engine arena harness (``benchmarks/bench_engines.py``) all speak
+to engines the same way.
+"""
+
+from repro.engines.base import (
+    CAP_BATCH_ASSIGN,
+    CAP_HOT_STATE,
+    CAP_LIVE_GROWTH,
+    UNINFORMED_DEFAULT_CHOICE,
+    Engine,
+    TableEngine,
+)
+from repro.engines.registry import (
+    ENGINES,
+    EngineSpec,
+    engine_names,
+    make_engine,
+    register_engine,
+)
+
+__all__ = [
+    "CAP_BATCH_ASSIGN",
+    "CAP_HOT_STATE",
+    "CAP_LIVE_GROWTH",
+    "UNINFORMED_DEFAULT_CHOICE",
+    "Engine",
+    "TableEngine",
+    "ENGINES",
+    "EngineSpec",
+    "engine_names",
+    "make_engine",
+    "register_engine",
+]

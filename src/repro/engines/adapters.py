@@ -1,0 +1,89 @@
+"""Truth-method-backed engines: offline inference behind the ABC.
+
+The Figure 5 roster (:data:`repro.baselines.TRUTH_METHODS`) is pure
+*offline* truth inference — answers in, truths out. Wrapping one in a
+:class:`TruthMethodEngine` gives it the rest of the lifecycle (random
+assignment, a golden pre-test for fairness with the engines that use
+one) so it can run under the platform simulator, through the campaign
+shell, and in the arena harness like any other registry entry. The
+assignment policy is deliberately the Figure 8 "Baseline" policy:
+differences against the ``random`` entry then isolate the inference
+method alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.baselines.base import GoldenContext
+from repro.baselines.registry import TRUTH_METHODS, make_truth_method
+from repro.datasets.base import CrowdDataset
+from repro.engines.base import TableEngine
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike, make_rng
+
+
+class TruthMethodEngine(TableEngine):
+    """Random assignment + a named offline truth-inference method.
+
+    Args:
+        method_name: a :data:`repro.baselines.TRUTH_METHODS` key
+            (``"MV"``, ``"ZC"``, ``"DS"``, ``"IC"``, ``"FC"``, ...).
+        seed: assignment RNG seed.
+        golden_count: golden tasks handed to every new worker; their
+            answers reach the method through its
+            :class:`~repro.baselines.base.GoldenContext` at finalize.
+
+    Raises:
+        ValidationError: on an unknown method name.
+    """
+
+    def __init__(
+        self,
+        method_name: str,
+        seed: SeedLike = 0,
+        golden_count: int = 20,
+    ):
+        super().__init__()
+        if method_name not in TRUTH_METHODS:
+            raise ValidationError(
+                f"unknown truth method {method_name!r}; expected one "
+                f"of {sorted(TRUTH_METHODS)}"
+            )
+        self._method_name = method_name
+        self.name = method_name
+        self._rng = make_rng(seed)
+        self._golden_count = golden_count
+
+    def _prepare(self, dataset: CrowdDataset) -> None:
+        self._task_ids = [t.task_id for t in dataset.tasks]
+        golden_pool = [
+            t.task_id for t in dataset.tasks
+            if t.ground_truth is not None
+        ]
+        self._golden_ids = golden_pool[: self._golden_count]
+        by_id = {t.task_id: t for t in dataset.tasks}
+        self._golden_truths = {
+            tid: by_id[tid].ground_truth for tid in self._golden_ids
+        }
+
+    def _select(
+        self, worker_id: str, k: int, answered: Set[int]
+    ) -> List[int]:
+        available = [
+            tid for tid in self._task_ids if tid not in answered
+        ]
+        if not available:
+            return []
+        take = min(k, len(available))
+        chosen = self._rng.choice(
+            len(available), size=take, replace=False
+        )
+        return [available[int(i)] for i in chosen]
+
+    def _finalize(self) -> Dict[int, int]:
+        method = make_truth_method(self._method_name)
+        golden = GoldenContext(self._golden_ids, self._golden_truths)
+        return method.infer_truths(
+            list(self.dataset.tasks), self._answers.all(), golden
+        )

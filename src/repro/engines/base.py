@@ -1,0 +1,287 @@
+"""The one engine abstraction every inference engine implements.
+
+Historically the repo carried three divergent "engine" notions: a
+``CrowdEngine`` protocol in :mod:`repro.platform.amt_sim`, an
+``EngineBase`` with its own bookkeeping in :mod:`repro.baselines.base`,
+and :class:`repro.system.DocsSystem`'s hard-wired kernel stack. This
+module replaces all three contracts with a single ABC:
+
+- :class:`Engine` — the lifecycle contract (prepare / golden_task_ids /
+  needs_bootstrap / bootstrap / assign / submit / finalize) plus the
+  optional capability hooks (:meth:`Engine.capabilities`,
+  :meth:`Engine.assign_many`, :meth:`Engine.current_truths`). The
+  platform simulator drives any :class:`Engine`; the campaign shell
+  (:class:`repro.system.DocsSystem`) hosts any registered engine and
+  adds durability around it.
+- :class:`TableEngine` — the shared bookkeeping most competitor engines
+  need (an :class:`repro.platform.storage.AnswerTable`, the
+  bootstrapped-worker set, the golden registry) behind template hooks
+  ``_prepare`` / ``_bootstrap`` / ``_select`` / ``_ingest`` /
+  ``_finalize``.
+
+Two integrity rules the old ``EngineBase`` missed are enforced here for
+every engine:
+
+- **Bootstrap discipline** — assigning to a worker who still owes the
+  golden pre-test raises :class:`repro.errors.UnknownWorkerError`,
+  exactly as :class:`~repro.system.DocsSystem` does.
+- **Explicit uninformed default** — a task that never received an
+  answer is finalized to :data:`UNINFORMED_DEFAULT_CHOICE` (the first
+  choice; the same lowest-index rule every tie-break in the repo uses),
+  and the affected task ids are reported through
+  :meth:`Engine.unanswered_task_ids` so accuracy comparisons between
+  engines with different coverage can account for the guesses instead
+  of silently absorbing them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.types import Answer
+from repro.datasets.base import CrowdDataset
+from repro.errors import UnknownWorkerError, ValidationError
+from repro.platform.storage import AnswerTable
+
+#: The documented verdict for tasks no worker ever answered: the first
+#: choice (1-based) — an explicit uninformed guess, not an inference.
+#: Matches the lowest-index tie-break used throughout the repo.
+UNINFORMED_DEFAULT_CHOICE = 1
+
+#: Capability: the engine can export/install a durable hot-state image
+#: (snapshots, ``hot_state_digest``); without it the campaign shell
+#: keeps the engine memory-only and resumes by replaying raw answers.
+CAP_HOT_STATE = "hot-state"
+#: Capability: :meth:`Engine.assign_many` batches arrivals natively
+#: (e.g. across a serving pool) instead of looping :meth:`Engine.assign`.
+CAP_BATCH_ASSIGN = "batch-assign"
+#: Capability: the engine accepts new tasks mid-campaign.
+CAP_LIVE_GROWTH = "live-growth"
+
+
+class Engine(abc.ABC):
+    """The lifecycle contract every inference engine implements.
+
+    Engines own their inference state; the caller (simulator, campaign
+    shell, or HTTP service) owns the crowd, the budget, the clock, and
+    any durability. Lifecycle: one :meth:`prepare`, then per worker
+    arrival an optional golden :meth:`bootstrap` (when
+    :meth:`needs_bootstrap` says so), :meth:`assign`, a
+    :meth:`submit` per collected answer, and one final
+    :meth:`finalize`.
+    """
+
+    #: Display name used in experiment tables and reports.
+    name: str = "engine"
+
+    def __init__(self) -> None:
+        #: Task ids finalized to :data:`UNINFORMED_DEFAULT_CHOICE`
+        #: because no answer ever arrived (``None`` before finalize).
+        self._unanswered: Optional[List[int]] = None
+
+    # -- the contract ----------------------------------------------------
+
+    @abc.abstractmethod
+    def prepare(self, dataset: CrowdDataset) -> None:
+        """Ingest the task set (run DVE or its equivalent). Single-shot:
+        a second call raises :class:`~repro.errors.ValidationError`."""
+
+    @abc.abstractmethod
+    def golden_task_ids(self) -> List[int]:
+        """Golden tasks assigned to each new worker ([] if unused)."""
+
+    @abc.abstractmethod
+    def needs_bootstrap(self, worker_id: str) -> bool:
+        """True if this worker has not been quality-tested yet."""
+
+    @abc.abstractmethod
+    def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        """Ingest a new worker's golden-task answers."""
+
+    @abc.abstractmethod
+    def assign(self, worker_id: str, k: int) -> List[int]:
+        """Select up to k tasks for the arriving worker.
+
+        Raises:
+            UnknownWorkerError: if the engine runs a golden pre-test
+                and this worker has not completed it (bootstrap
+                discipline).
+        """
+
+    @abc.abstractmethod
+    def submit(self, answer: Answer) -> None:
+        """Ingest one answer to an assigned task."""
+
+    @abc.abstractmethod
+    def finalize(self) -> Dict[int, int]:
+        """Inferred truth (1-based choice) per task id, covering every
+        task — unanswered tasks get :data:`UNINFORMED_DEFAULT_CHOICE`
+        and are recorded for :meth:`unanswered_task_ids`."""
+
+    # -- capability hooks ------------------------------------------------
+
+    def capabilities(self) -> frozenset:
+        """Optional capabilities (``CAP_*`` constants) the host may use.
+
+        The campaign shell consults this instead of type checks: an
+        engine without :data:`CAP_HOT_STATE` runs memory-only (raw
+        answers journaled, resume = replay); one without
+        :data:`CAP_BATCH_ASSIGN` has arrivals served one by one.
+        """
+        return frozenset()
+
+    def assign_many(
+        self, worker_ids: Sequence[str], k: int
+    ) -> List[List[int]]:
+        """One HIT per arriving worker (default: loop :meth:`assign`).
+
+        Engines advertising :data:`CAP_BATCH_ASSIGN` override this with
+        a genuinely batched implementation; picks must stay identical
+        to per-worker :meth:`assign` calls in order.
+        """
+        return [self.assign(worker_id, k) for worker_id in worker_ids]
+
+    def current_truths(self) -> Dict[int, int]:
+        """Live truth estimates without finalizing (optional).
+
+        The default raises: most engines only infer at finalize time.
+        """
+        raise ValidationError(
+            f"engine {self.name!r} does not expose live truth "
+            "estimates; call finalize() for its inference"
+        )
+
+    def unanswered_task_ids(self) -> List[int]:
+        """Tasks finalized to the uninformed default, after finalize.
+
+        Raises:
+            ValidationError: before :meth:`finalize` has run.
+        """
+        if self._unanswered is None:
+            raise ValidationError(
+                "finalize() has not run yet; unanswered tasks are "
+                "determined when the final truths are produced"
+            )
+        return list(self._unanswered)
+
+    # -- shared enforcement ----------------------------------------------
+
+    def _require_bootstrapped(self, worker_id: str) -> None:
+        """Bootstrap discipline: reject assignment for workers still
+        owing the golden pre-test (no-op for engines without one)."""
+        if self.needs_bootstrap(worker_id):
+            raise UnknownWorkerError(
+                worker_id,
+                context=(
+                    "in this campaign: the worker has not completed "
+                    "the golden bootstrap pre-test — fetch "
+                    "golden_task_ids() and call bootstrap() with their "
+                    "answers first (workers known to a shared worker "
+                    "store skip the pre-test)"
+                ),
+            )
+
+
+class TableEngine(Engine):
+    """Common bookkeeping for table-backed engines: storage, worker
+    tracking, golden set.
+
+    Subclasses implement ``_prepare``, ``_select`` and ``_finalize``
+    (plus optional ``_bootstrap`` / ``_ingest``); this class enforces
+    the shared integrity rules — no repeat answers (the answer table's
+    at-most-once constraint), no assigning a task to a worker who
+    answered it (``_select`` receives the answered set), bootstrap
+    discipline on :meth:`assign`, single-shot :meth:`prepare`, and the
+    explicit uninformed finalize default.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._dataset: Optional[CrowdDataset] = None
+        self._answers = AnswerTable()
+        self._bootstrapped: Set[str] = set()
+        self._golden_ids: List[int] = []
+
+    @property
+    def dataset(self) -> CrowdDataset:
+        if self._dataset is None:
+            raise ValidationError("engine not prepared; call prepare()")
+        return self._dataset
+
+    @property
+    def answers(self) -> AnswerTable:
+        return self._answers
+
+    # -- Engine contract -------------------------------------------------
+
+    def prepare(self, dataset: CrowdDataset) -> None:
+        if self._dataset is not None:
+            raise ValidationError(
+                f"prepare() already ran for this {type(self).__name__}; "
+                "build a new engine for a new campaign"
+            )
+        self._dataset = dataset
+        self._prepare(dataset)
+
+    def golden_task_ids(self) -> List[int]:
+        return list(self._golden_ids)
+
+    def needs_bootstrap(self, worker_id: str) -> bool:
+        return bool(self._golden_ids) and worker_id not in self._bootstrapped
+
+    def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        self._bootstrapped.add(worker_id)
+        self._bootstrap(worker_id, answers)
+
+    def assign(self, worker_id: str, k: int) -> List[int]:
+        if self._dataset is None:
+            raise ValidationError("engine not prepared; call prepare()")
+        if k < 1:
+            raise ValidationError(f"k must be >= 1: {k}")
+        self._require_bootstrapped(worker_id)
+        answered = self._answers.tasks_answered_by(worker_id)
+        return self._select(worker_id, k, answered)
+
+    def submit(self, answer: Answer) -> None:
+        self._answers.insert(answer)
+        self._ingest(answer)
+
+    def finalize(self) -> Dict[int, int]:
+        truths = self._finalize()
+        unanswered = [
+            task.task_id
+            for task in self.dataset.tasks
+            if self._answers.count_for_task(task.task_id) == 0
+        ]
+        # Tasks that never received an answer still need a verdict; the
+        # verdict is the explicit uninformed default, and the harness
+        # reports how many there were.
+        for task_id in unanswered:
+            truths.setdefault(task_id, UNINFORMED_DEFAULT_CHOICE)
+        for task in self.dataset.tasks:
+            truths.setdefault(task.task_id, UNINFORMED_DEFAULT_CHOICE)
+        self._unanswered = sorted(unanswered)
+        return truths
+
+    # -- subclass hooks --------------------------------------------------
+
+    @abc.abstractmethod
+    def _prepare(self, dataset: CrowdDataset) -> None:
+        """Engine-specific setup (DVE, topic fitting, state init)."""
+
+    def _bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
+        """Ingest golden-task answers for a new worker (default: no-op)."""
+
+    @abc.abstractmethod
+    def _select(
+        self, worker_id: str, k: int, answered: Set[int]
+    ) -> List[int]:
+        """Pick up to k tasks the worker has not answered."""
+
+    def _ingest(self, answer: Answer) -> None:
+        """Engine-specific per-answer update (default: no-op)."""
+
+    @abc.abstractmethod
+    def _finalize(self) -> Dict[int, int]:
+        """Produce final truths for (at least) every answered task."""

@@ -1,0 +1,219 @@
+"""A NumPy-batched iterative-refit EM engine.
+
+Where the DOCS core updates posteriors *incrementally* per answer and
+re-runs its full solver every z submissions, this engine keeps the
+entire answer set in flat COO arrays (row, worker, choice) and refits
+the whole model from scratch with a vectorised EM loop — the classic
+batch-iterative inference shape. Per refit:
+
+- **E-step**: every task's log posterior accumulates, in one
+  ``np.add.at`` pass over the answer arrays, ``log q_w`` at the chosen
+  column and ``log ((1 - q_w) / (ell - 1))`` at the rest (a scalar
+  worker-accuracy confusion model).
+- **M-step**: each worker's accuracy is re-estimated as their
+  posterior-weighted agreement, ``q_w = (sum of posterior mass at the
+  worker's chosen columns + golden prior) / (answers + prior weight)``.
+
+Assignment is entropy-driven: arrivals get the k tasks whose current
+posterior is most uncertain (no per-worker domain model — the gap to
+DOCS in the arena harness measures what the domain vectors buy).
+Everything is O(answers) NumPy per refit with no Python loops over
+answers, so the engine scales to the fig7/fig8 workloads while staying
+a ~200-line reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.core.types import Answer
+from repro.datasets.base import CrowdDataset
+from repro.engines.base import TableEngine
+from repro.errors import ValidationError
+from repro.utils.math import safe_log
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.topk import top_k_indices
+
+
+class BatchedEMEngine(TableEngine):
+    """Vectorised batch-EM inference + entropy-driven assignment.
+
+    Args:
+        seed: tie-shuffle seed (present for registry uniformity; the
+            policy itself is deterministic).
+        golden_count: golden tasks per new worker; their scores become
+            each worker's accuracy prior.
+        default_accuracy: cold-start worker accuracy (and the prior's
+            pseudo-count mean).
+        refit_interval: full EM refits run every this many submitted
+            answers (and always once at finalize).
+        max_iterations: EM iteration cap per refit.
+    """
+
+    name = "Batched-EM"
+
+    def __init__(
+        self,
+        seed: SeedLike = 0,
+        golden_count: int = 20,
+        default_accuracy: float = 0.7,
+        refit_interval: int = 50,
+        max_iterations: int = 20,
+    ):
+        super().__init__()
+        if refit_interval < 1:
+            raise ValidationError("refit_interval must be >= 1")
+        if max_iterations < 1:
+            raise ValidationError("max_iterations must be >= 1")
+        if not 0.0 < default_accuracy < 1.0:
+            raise ValidationError(
+                "default_accuracy must be in (0, 1)"
+            )
+        self._rng = make_rng(seed)
+        self._golden_count = golden_count
+        self._default_accuracy = default_accuracy
+        self._refit_interval = refit_interval
+        self._max_iterations = max_iterations
+
+    # -- TableEngine hooks -----------------------------------------------
+
+    def _prepare(self, dataset: CrowdDataset) -> None:
+        self._order = [t.task_id for t in dataset.tasks]
+        self._row = {tid: i for i, tid in enumerate(self._order)}
+        self._ells = np.array(
+            [t.num_choices for t in dataset.tasks], dtype=np.int64
+        )
+        n = len(self._order)
+        ell_max = int(self._ells.max())
+        self._valid = (
+            np.arange(ell_max)[None, :] < self._ells[:, None]
+        )
+        # Uniform posteriors over each task's valid choices.
+        self._post = np.where(
+            self._valid, 1.0 / self._ells[:, None], 0.0
+        )
+        # COO answer arrays (grown per answer, refit in batch).
+        self._a_row: List[int] = []
+        self._a_worker: List[int] = []
+        self._a_choice: List[int] = []
+        self._worker_index: Dict[str, int] = {}
+        #: Per-worker accuracy prior pseudo-counts [correct, total]
+        #: (golden bootstrap fills these in).
+        self._prior: List[List[float]] = []
+        self._since_refit = 0
+
+        by_id = {t.task_id: t for t in dataset.tasks}
+        golden_pool = [
+            t.task_id for t in dataset.tasks
+            if t.ground_truth is not None
+        ]
+        self._golden_ids = golden_pool[: self._golden_count]
+        self._golden_truths = {
+            tid: by_id[tid].ground_truth for tid in self._golden_ids
+        }
+
+    def _worker_row(self, worker_id: str) -> int:
+        row = self._worker_index.get(worker_id)
+        if row is None:
+            row = len(self._prior)
+            self._worker_index[worker_id] = row
+            self._prior.append([self._default_accuracy, 1.0])
+        return row
+
+    def _bootstrap(
+        self, worker_id: str, answers: Sequence[Answer]
+    ) -> None:
+        row = self._worker_row(worker_id)
+        correct = sum(
+            1.0
+            for a in answers
+            if self._golden_truths[a.task_id] == a.choice
+        )
+        if answers:
+            self._prior[row] = [
+                correct + self._default_accuracy,
+                len(answers) + 1.0,
+            ]
+
+    def _ingest(self, answer: Answer) -> None:
+        self._a_row.append(self._row[answer.task_id])
+        self._a_worker.append(self._worker_row(answer.worker_id))
+        self._a_choice.append(answer.choice - 1)
+        self._since_refit += 1
+        if self._since_refit >= self._refit_interval:
+            self._refit()
+            self._since_refit = 0
+
+    def _select(
+        self, worker_id: str, k: int, answered: Set[int]
+    ) -> List[int]:
+        entropy = -np.sum(
+            self._post * safe_log(self._post), axis=1
+        )
+        if answered:
+            rows = [self._row[tid] for tid in answered]
+            entropy[rows] = -np.inf
+        available = int(np.sum(entropy > -np.inf))
+        if available == 0:
+            return []
+        take = min(k, available)
+        chosen = top_k_indices(entropy, take)
+        return [self._order[int(i)] for i in chosen]
+
+    def _finalize(self) -> Dict[int, int]:
+        self._refit()
+        answered_rows = set(self._a_row)
+        return {
+            self._order[row]: int(np.argmax(self._post[row])) + 1
+            for row in answered_rows
+        }
+
+    # -- the vectorised refit --------------------------------------------
+
+    def _refit(self) -> None:
+        """Rebuild posteriors and worker accuracies from all answers."""
+        if not self._a_row:
+            return
+        rows = np.asarray(self._a_row, dtype=np.int64)
+        workers = np.asarray(self._a_worker, dtype=np.int64)
+        choices = np.asarray(self._a_choice, dtype=np.int64)
+        prior = np.asarray(self._prior, dtype=float)  # (W, 2)
+        q = np.clip(
+            prior[:, 0] / prior[:, 1], 1e-3, 1.0 - 1e-3
+        )  # (W,)
+        # Answers per worker, for the M-step denominator.
+        counts = np.bincount(workers, minlength=len(q)).astype(float)
+        ell_m1 = np.maximum(self._ells[rows] - 1, 1)  # (A,)
+
+        log_uniform = np.where(
+            self._valid, -safe_log(self._ells[:, None].astype(float)), 0.0
+        )
+        post = self._post
+        for _ in range(self._max_iterations):
+            # E-step: base log-likelihood per answer spreads the
+            # "wrong" mass over every valid column of its row, then the
+            # chosen column is corrected up to log q_w — two np.add.at
+            # passes instead of a Python loop over answers.
+            log_q = np.log(q[workers])                       # (A,)
+            log_wrong = np.log((1.0 - q[workers]) / ell_m1)  # (A,)
+            log_post = log_uniform.copy()
+            row_base = np.zeros(len(self._order))
+            np.add.at(row_base, rows, log_wrong)
+            log_post += row_base[:, None]
+            np.add.at(log_post, (rows, choices), log_q - log_wrong)
+            log_post = np.where(self._valid, log_post, -np.inf)
+            log_post -= log_post.max(axis=1, keepdims=True)
+            post = np.where(self._valid, np.exp(log_post), 0.0)
+            post /= post.sum(axis=1, keepdims=True)
+            # M-step: posterior-weighted agreement + the golden prior.
+            agree = post[rows, choices]                      # (A,)
+            correct = np.zeros(len(q))
+            np.add.at(correct, workers, agree)
+            q = np.clip(
+                (correct + prior[:, 0]) / (counts + prior[:, 1]),
+                1e-3,
+                1.0 - 1e-3,
+            )
+        self._post = post

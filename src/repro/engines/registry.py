@@ -1,0 +1,224 @@
+"""The engine registry: short names -> engine factories.
+
+Every entry builds a ready-to-``prepare`` :class:`repro.engines.Engine`
+from a seed and an optional :class:`repro.system.DocsConfig`. The same
+names work everywhere an engine can be named: ``DocsConfig.engine`` (the
+campaign shell), ``repro run --engine`` / ``repro engines`` (the CLI),
+the service's campaign-create ``engine`` field, and
+``benchmarks/bench_engines.py`` (the arena harness).
+
+Factories import their engine modules lazily so the registry can be
+imported from anywhere in the package without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.engines.base import Engine
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registry entry.
+
+    Attributes:
+        name: the registry key (``repro engines`` lists these).
+        summary: one-line description for listings.
+        factory: ``factory(seed, config)`` -> a fresh engine. ``config``
+            is an optional :class:`repro.system.DocsConfig`; factories
+            that don't consume it must still accept it.
+    """
+
+    name: str
+    summary: str
+    factory: Callable[[int, Optional[object]], Engine]
+
+
+def _docs_config(seed: int, config, **overrides):
+    from dataclasses import replace
+
+    from repro.system.config import DocsConfig
+
+    base = config if config is not None else DocsConfig(seed=seed)
+    return replace(base, **overrides) if overrides else base
+
+
+def _make_docs(seed: int, config) -> Engine:
+    from repro.engines.docs import DocsEngine
+
+    return DocsEngine(_docs_config(seed, config))
+
+
+def _make_oracle(seed: int, config) -> Engine:
+    from repro.engines.docs import DocsEngine
+
+    # The retained brute-force oracle: the same DOCS kernels with the
+    # AssignmentIndex/ServingPool ladder disabled, so every arrival is
+    # a full-pool Eq. 8 evaluation. Picks must be bit-identical to the
+    # "docs" entry — the equivalence gate every serving optimisation
+    # regresses against.
+    engine = DocsEngine(
+        _docs_config(seed, config, serve_index=False, workers=0)
+    )
+    engine.name = "DOCS-oracle"
+    return engine
+
+
+def _make_random(seed: int, config) -> Engine:
+    from repro.baselines.engines import RandomBaselineEngine
+
+    return RandomBaselineEngine(seed=seed)
+
+
+def _make_askit(seed: int, config) -> Engine:
+    from repro.baselines.engines import AskItEngine
+
+    return AskItEngine()
+
+
+def _make_icrowd(seed: int, config) -> Engine:
+    from repro.baselines.engines import ICrowdEngine
+
+    return ICrowdEngine()
+
+
+def _make_qasca(seed: int, config) -> Engine:
+    from repro.baselines.engines import QascaEngine
+
+    return QascaEngine()
+
+
+def _make_dmax(seed: int, config) -> Engine:
+    from repro.baselines.engines import DMaxEngine
+
+    return DMaxEngine()
+
+
+def _make_batched_em(seed: int, config) -> Engine:
+    from repro.engines.batched import BatchedEMEngine
+
+    return BatchedEMEngine(seed=seed)
+
+
+def _truth_backed(method_name: str):
+    def factory(seed: int, config) -> Engine:
+        from repro.engines.adapters import TruthMethodEngine
+
+        return TruthMethodEngine(method_name, seed=seed)
+
+    return factory
+
+
+ENGINES: Dict[str, EngineSpec] = {
+    "docs": EngineSpec(
+        "docs",
+        "DOCS serving core: DVE + incremental TI + Eq. 8 OTA over the "
+        "arena, with the AssignmentIndex/ServingPool ladder",
+        _make_docs,
+    ),
+    "oracle": EngineSpec(
+        "oracle",
+        "brute-force DOCS oracle: identical kernels, full-pool "
+        "evaluation per arrival (the bit-identical regression oracle)",
+        _make_oracle,
+    ),
+    "batched-em": EngineSpec(
+        "batched-em",
+        "NumPy-batched iterative-refit EM: vectorised posterior/"
+        "accuracy refits over COO answer arrays, entropy-driven "
+        "assignment",
+        _make_batched_em,
+    ),
+    "random": EngineSpec(
+        "random",
+        "Figure 8 'Baseline': random assignment + majority vote",
+        _make_random,
+    ),
+    "askit": EngineSpec(
+        "askit",
+        "AskIt!: most-uncertain-first assignment + majority vote",
+        _make_askit,
+    ),
+    "icrowd": EngineSpec(
+        "icrowd",
+        "iCrowd: strongest-domain assignment under the equal-answer "
+        "constraint + weighted vote",
+        _make_icrowd,
+    ),
+    "qasca": EngineSpec(
+        "qasca",
+        "QASCA: expected-accuracy-improvement assignment + DS inference",
+        _make_qasca,
+    ),
+    "dmax": EngineSpec(
+        "dmax",
+        "D-Max ablation: DOCS TI with pure domain-match assignment",
+        _make_dmax,
+    ),
+    "mv": EngineSpec(
+        "mv",
+        "random assignment + majority-vote truth inference",
+        _truth_backed("MV"),
+    ),
+    "zc": EngineSpec(
+        "zc",
+        "random assignment + ZenCrowd (EM over scalar reliabilities)",
+        _truth_backed("ZC"),
+    ),
+    "ds": EngineSpec(
+        "ds",
+        "random assignment + Dawid-Skene confusion-matrix EM",
+        _truth_backed("DS"),
+    ),
+    "fc": EngineSpec(
+        "fc",
+        "random assignment + FaitCrowd topic-aware inference",
+        _truth_backed("FC"),
+    ),
+}
+
+
+def engine_names() -> List[str]:
+    """Registered engine names, listing order preserved."""
+    return list(ENGINES)
+
+
+def register_engine(
+    name: str,
+    factory: Callable[[int, Optional[object]], Engine],
+    summary: str = "",
+) -> None:
+    """Add (or replace) a registry entry at runtime.
+
+    Raises:
+        ValidationError: on an empty name.
+    """
+    if not name:
+        raise ValidationError("engine name must be non-empty")
+    ENGINES[name] = EngineSpec(name, summary, factory)
+
+
+def make_engine(
+    name: str, *, seed: int = 0, config: Optional[object] = None
+) -> Engine:
+    """Build a fresh engine by registry name.
+
+    Args:
+        name: a key of :data:`ENGINES`.
+        seed: seed for engines with internal randomness.
+        config: optional :class:`repro.system.DocsConfig`, consumed by
+            the DOCS-backed entries (others ignore it).
+
+    Raises:
+        ValidationError: naming the unknown engine and the valid names.
+    """
+    spec = ENGINES.get(name)
+    if spec is None:
+        raise ValidationError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{engine_names()}"
+        )
+    return spec.factory(seed, config)

@@ -16,13 +16,6 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from repro.baselines.engines import (
-    AskItEngine,
-    DMaxEngine,
-    ICrowdEngine,
-    QascaEngine,
-    RandomBaselineEngine,
-)
 from repro.core.arena import StateArena
 from repro.core.assignment import TaskAssigner
 from repro.core.types import Task
@@ -37,12 +30,16 @@ ENGINE_ORDER = ("Baseline", "AskIt!", "IC", "QASCA", "D-Max", "DOCS")
 
 
 def _engine_factories(seed: int) -> Dict[str, Callable[[], object]]:
+    # Every competitor comes out of the shared engine registry; DOCS
+    # runs through the full campaign shell, same as production.
+    from repro.engines import make_engine
+
     return {
-        "Baseline": lambda: RandomBaselineEngine(seed=seed + 91),
-        "AskIt!": AskItEngine,
-        "IC": ICrowdEngine,
-        "QASCA": QascaEngine,
-        "D-Max": DMaxEngine,
+        "Baseline": lambda: make_engine("random", seed=seed + 91),
+        "AskIt!": lambda: make_engine("askit"),
+        "IC": lambda: make_engine("icrowd"),
+        "QASCA": lambda: make_engine("qasca"),
+        "D-Max": lambda: make_engine("dmax"),
         "DOCS": lambda: DocsSystem(DocsConfig(seed=seed)),
     }
 

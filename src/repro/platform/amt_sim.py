@@ -1,19 +1,19 @@
 """The end-to-end platform interaction loop (AMT surrogate).
 
-Drives any *engine* — DOCS or a competitor — through the workflow of
-Section 6.4: workers arrive, new workers first answer the golden tasks
-(the quality pre-test of Section 5.2), then each arrival receives a HIT
-of k tasks chosen by the engine, answers them according to the simulated
-answer model, and the engine ingests the answers. The loop stops when the
-assignment budget (n tasks x answers-per-task) is spent or no further
-assignment is possible.
+Drives any :class:`repro.engines.Engine` — DOCS or a competitor —
+through the workflow of Section 6.4: workers arrive, new workers first
+answer the golden tasks (the quality pre-test of Section 5.2), then each
+arrival receives a HIT of k tasks chosen by the engine, answers them
+according to the simulated answer model, and the engine ingests the
+answers. The loop stops when the assignment budget (n tasks x
+answers-per-task) is spent or no further assignment is possible.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -27,36 +27,8 @@ from repro.platform.budget import Budget
 from repro.platform.hit import HITLog
 from repro.utils.rng import SeedLike, make_rng
 
-
-class CrowdEngine(Protocol):
-    """The protocol every assignment engine implements.
-
-    Engines own their inference state; the simulator owns the crowd, the
-    budget, and the clock.
-    """
-
-    name: str
-
-    def prepare(self, dataset: CrowdDataset) -> None:
-        """Ingest the task set (run DVE or its equivalent)."""
-
-    def golden_task_ids(self) -> List[int]:
-        """Golden tasks assigned to each new worker ([] if unused)."""
-
-    def needs_bootstrap(self, worker_id: str) -> bool:
-        """True if this worker has not been quality-tested yet."""
-
-    def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
-        """Ingest a new worker's golden-task answers."""
-
-    def assign(self, worker_id: str, k: int) -> List[int]:
-        """Select up to k tasks for the arriving worker."""
-
-    def submit(self, answer: Answer) -> None:
-        """Ingest one answer to an assigned task."""
-
-    def finalize(self) -> Dict[int, int]:
-        """Inferred truth (1-based choice) per task id."""
+if TYPE_CHECKING:  # the Engine ABC, import-cycle-free at runtime
+    from repro.engines.base import Engine
 
 
 @dataclass
@@ -118,7 +90,7 @@ class PlatformSimulator:
         self._max_hits = max_hits_per_worker
         self._seed = seed
 
-    def run(self, engine: CrowdEngine) -> SimulationReport:
+    def run(self, engine: "Engine") -> SimulationReport:
         """Simulate a full campaign with ``engine``.
 
         Returns:

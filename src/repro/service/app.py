@@ -154,6 +154,7 @@ class _Campaign:
         status = self.system.durability_status()
         return {
             "name": self.name,
+            "engine": self.system.config.engine,
             "dataset": self.dataset_name,
             "seed": self.seed,
             "storage": self.system.storage,
@@ -278,12 +279,18 @@ class DocsService:
                 **meta.get("dataset_overrides", {}),
             )
             config = DocsConfig(**meta["config"])
-            store = self._store_for(len(dataset.taxonomy))
+            hot = self._engine_is_hot(config)
+            store = (
+                self._store_for(len(dataset.taxonomy)) if hot else None
+            )
             system = DocsSystem.resume(
                 meta["path"],
                 config=config,
                 kb=dataset.kb,
                 worker_store=store,
+                # Engines without snapshots rebuild by re-preparing
+                # from the original dataset and replaying the journal.
+                dataset=None if hot else dataset,
             )
             self._campaigns[name] = _Campaign(
                 name=name,
@@ -295,6 +302,17 @@ class DocsService:
             )
             resumed.append(name)
         return resumed
+
+    @staticmethod
+    def _engine_is_hot(config: DocsConfig) -> bool:
+        """Whether the configured engine advertises hot state (and so
+        supports digests, snapshots, and the shared worker store)."""
+        from repro.engines import CAP_HOT_STATE, make_engine
+
+        probe = make_engine(
+            config.engine, seed=config.seed, config=config
+        )
+        return CAP_HOT_STATE in probe.capabilities()
 
     def _store_for(
         self, num_domains: int
@@ -401,6 +419,21 @@ class DocsService:
                 f"unknown config field(s) {unknown}; valid fields: "
                 f"{sorted(_CONFIG_FIELDS)}"
             )
+        overrides = dict(overrides)
+        if "engine" in body:
+            # Top-level shorthand for config["engine"]: pick the hosted
+            # inference engine by registry name.
+            engine_name = body["engine"]
+            if not isinstance(engine_name, str):
+                raise ValidationError("engine must be a registry name")
+            from repro.engines import engine_names
+
+            if engine_name not in engine_names():
+                raise ValidationError(
+                    f"unknown engine {engine_name!r}; registered "
+                    f"engines: {engine_names()}"
+                )
+            overrides["engine"] = engine_name
         dataset_overrides = _require_object(
             body.get("dataset_overrides", {}), "dataset_overrides"
         )
@@ -428,7 +461,13 @@ class DocsService:
             dataset = make_dataset(
                 dataset_name, seed=seed, **dataset_overrides
             )
-            store = self._store_for(len(dataset.taxonomy))
+            # Only hot-state engines can maintain the shared
+            # cross-campaign worker model; others run without it.
+            store = (
+                self._store_for(len(dataset.taxonomy))
+                if self._engine_is_hot(config)
+                else None
+            )
             path = None
             if storage == "sqlite":
                 path = os.path.join(
@@ -490,8 +529,12 @@ class DocsService:
         def run() -> ServiceResponse:
             campaign = self._campaign(name)
             body = campaign.summary()
+            # Engines without the hot-state capability have no digest;
+            # the key stays in the schema as null.
             body["hot_state_digest"] = (
                 campaign.system.hot_state_digest()
+                if self._engine_is_hot(campaign.system.config)
+                else None
             )
             return 200, body, []
 
@@ -602,7 +645,15 @@ class DocsService:
             campaign = self._campaign(name)
             system = campaign.system
             needs = system.needs_bootstrap(worker_id)
-            quality = system.quality_store.blended_quality(worker_id)
+            # Engines without the hot-state capability keep no
+            # per-domain worker model; quality reads as null.
+            quality = (
+                _jsonable(
+                    system.quality_store.blended_quality(worker_id)
+                )
+                if self._engine_is_hot(system.config)
+                else None
+            )
             answered = system.database.answers.tasks_answered_by(
                 worker_id
             )
@@ -612,7 +663,7 @@ class DocsService:
                     "campaign": name,
                     "worker_id": worker_id,
                     "needs_bootstrap": needs,
-                    "quality": _jsonable(quality),
+                    "quality": quality,
                     "tasks_answered": len(answered),
                 },
                 [],

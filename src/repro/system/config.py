@@ -85,6 +85,14 @@ class DocsConfig:
             serving index skips repairing them). ``0.0`` skips only
             bit-unchanged rows — exact; positive values trade bounded
             benefit staleness for fewer post-rerun repairs.
+        engine: registry name of the inference engine the campaign
+            shell hosts (see :mod:`repro.engines`). The default
+            ``"docs"`` is the production serving core; any other
+            registered engine (baselines, ``"batched-em"``, the
+            brute-force ``"oracle"``) runs through the same campaign
+            surface — engines without the hot-state capability run
+            memory-only, with raw answers journaled for replay-based
+            resume under sqlite storage.
         seed: seed for any internal randomness.
     """
 
@@ -107,6 +115,7 @@ class DocsConfig:
     serve_max_buckets: int = 16
     workers: int = 0
     serve_resync_precision: float = 0.0
+    engine: str = "docs"
     seed: SeedLike = 0
 
     def validate(self) -> None:
@@ -164,4 +173,8 @@ class DocsConfig:
         if self.serve_resync_precision < 0:
             raise ValidationError(
                 "serve_resync_precision must be >= 0"
+            )
+        if not self.engine or not isinstance(self.engine, str):
+            raise ValidationError(
+                "engine must be a non-empty registry name"
             )

@@ -1,25 +1,44 @@
-"""DocsSystem — the full pipeline of Figure 1 behind one facade.
+"""DocsSystem — the campaign shell of Figure 1 behind one facade.
+
+Since the engine-plane refactor this class is a *host*, not the
+inference core: the DOCS serving heart (DVE ingest, arena, incremental
+TI, Eq. 8 OTA, the AssignmentIndex/ServingPool ladder) lives in
+:class:`repro.engines.docs.DocsEngine`, one entry of the engine
+registry (:mod:`repro.engines`). ``DocsSystem`` hosts **any** registered
+engine — ``DocsConfig.engine`` names it — and layers the campaign
+surface around it: storage, the write-behind answer journal, compacted
+snapshots, graceful degradation, resume, and the shared cross-campaign
+worker store.
 
 Lifecycle (mirroring the architecture figure's numbered flows):
 
-1. ``prepare(dataset)`` — the ingest plane
-   (:class:`repro.system.ingest.IngestPipeline`): batch-link every task
-   against the KB, compute all domain vectors with the vectorised DVE,
-   bulk-store the tasks, register their arena rows, then select golden
-   tasks. ``prepare`` runs exactly once per system; a second call
-   raises.
+1. ``prepare(dataset)`` — the ingest plane: with the default ``"docs"``
+   engine, batch-link every task against the KB, compute all domain
+   vectors with the vectorised DVE, bulk-store the tasks, register
+   their arena rows, then select golden tasks. ``prepare`` runs exactly
+   once per system; a second call raises.
 2. New worker arrives -> ``bootstrap`` with her golden-task answers
    (quality pre-test, Section 5.2).
-3. Worker requests tasks -> ``assign`` (OTA: entropy-reduction benefit,
-   Theorems 2-4, linear top-k).
-4. Worker submits -> ``submit`` (incremental TI, Section 4.2), with the
-   full iterative TI re-run every z submissions.
+3. Worker requests tasks -> ``assign`` (for DOCS: OTA entropy-reduction
+   benefit, Theorems 2-4, linear top-k).
+4. Worker submits -> ``submit`` (for DOCS: incremental TI, Section 4.2,
+   with the full iterative TI re-run every z submissions).
 5. At any point after ``prepare``, ``add_tasks`` ingests *new* tasks
-   mid-campaign through the same pipeline (live task growth — the
-   streaming scenario the paper's fixed task set excludes); they join
-   the assignable pool immediately.
-6. ``finalize`` — final full TI; inferred truths returned to the
-   requester.
+   mid-campaign (engines advertising the live-growth capability).
+6. ``finalize`` — the engine's final inference; inferred truths
+   returned to the requester.
+
+**Capability-driven hosting.** The shell consults
+:meth:`repro.engines.Engine.capabilities` instead of type checks. An
+engine advertising :data:`~repro.engines.CAP_HOT_STATE` (the DOCS core
+and its brute-force oracle) gets the full durability plane below —
+snapshots, ``hot_state_digest``, snapshot-accelerated resume. Any
+other registered engine (the Figure 8 baselines, ``batched-em``) runs
+**memory-only inference** behind the same campaign surface: with
+sqlite storage its raw events (golden bootstraps, answers) still spill
+to the durable journal, and :meth:`resume` rebuilds the campaign by
+replaying them through the engine from scratch (pass the original
+``dataset=``).
 
 **Durability.** With ``storage="sqlite"`` the campaign runs on
 :class:`repro.platform.sqlite_storage.SqliteSystemDatabase`: the task
@@ -37,13 +56,13 @@ cursor exactly as they stood at the last flush.
 **Compacted snapshots.** Full replay is O(campaign length). Every
 ``config.snapshot_every_batches`` flushed journal batches — and on
 every :meth:`checkpoint` / :meth:`close` — the system also serialises
-its hot state (arena buffers, campaign worker model, golden
+the engine's hot state (arena buffers, campaign worker model, golden
 qualities, rerun cursor) into ``snapshot_*`` tables, atomically with a
 journal flush and compacted to the single newest image.
 :meth:`resume` then loads the snapshot and replays only the journal
 tail beyond its watermark — O(n + tail) instead of O(campaign). A
 missing or corrupt snapshot is never fatal: resume falls back to full
-replay.
+replay. (Hot-state engines only.)
 
 **Graceful degradation.** Durability failures on serving paths —
 exhausted lock-contention retries on a journal flush, a snapshot or
@@ -62,55 +81,41 @@ anything else (validation errors, an injected
 worker quality *in the database across requesters*. Passing
 ``worker_store=`` (typically a durable
 :class:`repro.platform.sqlite_storage.SqliteWorkerQualityStore` shared
-by many campaigns) turns that on: workers already known to the shared
-store skip the golden pre-test and enter the campaign seeded with
-their stored (quality, weight) statistics, and the campaign merges its
-own batch estimates back into the shared store — Theorem-1 deltas at
-every full-TI re-run boundary, plus each worker's golden-test estimate
-at bootstrap time.
+by many campaigns) turns that on for hot-state engines: workers
+already known to the shared store skip the golden pre-test and enter
+the campaign seeded with their stored (quality, weight) statistics,
+and the campaign merges its own batch estimates back into the shared
+store — Theorem-1 deltas at every full-TI re-run boundary, plus each
+worker's golden-test estimate at bootstrap time.
 """
 
 from __future__ import annotations
 
 import logging
-import multiprocessing
 import sqlite3
-from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.arena import AnswerLog
-from repro.core.assignment import TaskAssigner
-from repro.core.golden import select_golden_tasks
-from repro.core.incremental import IncrementalTruthInference
 from repro.core.quality_store import WorkerQualityStore
 from repro.core.serving import AssignmentIndex
-from repro.core.shared_arena import SharedStateArena
-from repro.core.truth_inference import TruthInference
 from repro.core.types import Answer, Task
 from repro.datasets.base import CrowdDataset
 from repro.errors import (
     JournalCorruptionError,
-    ServingPoolError,
-    UnknownWorkerError,
     ValidationError,
 )
 from repro.kb.knowledge_base import KnowledgeBase
-from repro.linking import EntityLinker
 from repro.platform.journal import (
     KIND_ANSWER,
     KIND_BOOTSTRAP_ANSWER,
     KIND_BOOTSTRAP_DONE,
 )
 from repro.platform.retry import RetryPolicy
-from repro.platform.sqlite_storage import (
-    CampaignSnapshot,
-    SqliteSystemDatabase,
-)
+from repro.platform.sqlite_storage import SqliteSystemDatabase
 from repro.platform.storage import SystemDatabase
 from repro.system.config import DocsConfig
-from repro.system.ingest import IngestPipeline, IngestReport
+from repro.system.ingest import IngestReport
 from repro.system.parallel import ServingPool
 
 logger = logging.getLogger(__name__)
@@ -120,19 +125,24 @@ STORAGE_MODES = ("memory", "sqlite")
 
 
 class DocsSystem:
-    """The domain-aware crowdsourcing system.
+    """The campaign shell: any registered engine behind one facade.
 
-    Implements the :class:`repro.platform.amt_sim.CrowdEngine` protocol
-    so it can be driven by :class:`repro.platform.PlatformSimulator`
-    alongside the competitor engines.
+    With the default ``config.engine == "docs"`` this is the
+    domain-aware crowdsourcing system of the paper, bit-identical to
+    the pre-refactor monolith; with any other registry name the same
+    surface hosts that engine (see the module docstring for what the
+    capability hooks change). Implements the
+    :class:`repro.engines.Engine` lifecycle, so it can be driven by
+    :class:`repro.platform.PlatformSimulator` alongside bare engines.
 
     Args:
-        config: system configuration (defaults follow the paper).
+        config: system configuration (defaults follow the paper);
+            ``config.engine`` names the hosted inference engine.
         storage: ``"memory"`` (default; fastest, nothing survives the
             process) or ``"sqlite"`` (durable: tasks, golden registry,
-            the answer journal, and compacted hot-state snapshots live
-            in one SQLite file, and the campaign can be resumed from it
-            with :meth:`resume`).
+            the answer journal, and — for hot-state engines —
+            compacted snapshots live in one SQLite file, and the
+            campaign can be resumed from it with :meth:`resume`).
         path: the SQLite database path; required with
             ``storage="sqlite"`` (pass ``":memory:"`` explicitly for an
             ephemeral throwaway database).
@@ -145,9 +155,8 @@ class DocsSystem:
             pre-test and are seeded from it; the campaign merges its
             Theorem-1 batch estimates back at re-run boundaries. The
             campaign does not own the store and never closes it.
+            Hot-state engines only.
     """
-
-    name = "DOCS"
 
     def __init__(
         self,
@@ -173,39 +182,42 @@ class DocsSystem:
         self._storage = storage
         self._path = path
         self._db: Optional[SystemDatabase] = None
-        self._incremental: Optional[IncrementalTruthInference] = None
-        self._log: Optional[AnswerLog] = None
-        self._store: Optional[WorkerQualityStore] = None
-        self._assigner = TaskAssigner(hit_size=self._config.hit_size)
-        #: The serving-plane index (built on prepare/resume when
-        #: ``config.serve_index``); row-wise invalidation rides the
-        #: arena's write epochs, so add_tasks/submit/re-runs need no
-        #: explicit hooks here.
-        self._serving_index: Optional[AssignmentIndex] = None
-        #: The multi-process serving pool (built on prepare/resume when
-        #: ``config.workers`` >= 1 over a shared-memory arena); arena
-        #: mutations quiesce it through :meth:`_arena_write`.
-        self._pool: Optional[ServingPool] = None
-        self._bootstrapped: Set[str] = set()
-        self._golden_truths: Dict[int, int] = {}
-        #: Pristine golden-bootstrap qualities: the full iterative TI is
-        #: (re)initialised from these, never from the incrementally
-        #: drifted store (Section 4.1 initialises from golden tasks).
-        self._golden_qualities: Dict[str, np.ndarray] = {}
-        self._submissions_since_rerun = 0
-        self._pipeline: Optional[IngestPipeline] = None
-        #: The shared cross-campaign worker model (None = campaign-local
-        #: qualities only, the pre-PR-4 behaviour).
-        self._shared_store = worker_store
-        #: Workers whose campaign stats were seeded from the shared store.
-        self._seeded: Set[str] = set()
-        #: Per-worker (quality, weight) last derived from a full-TI
-        #: re-run — the Theorem-1 baseline for shared-store delta
-        #: exports. Maintained even without a shared store so one can be
-        #: attached mid-campaign.
-        self._exported_log: Dict[
-            str, Tuple[np.ndarray, np.ndarray]
-        ] = {}
+
+        # The hosted inference engine (lazy import: the registry's
+        # factories reach back into repro.system).
+        from repro.engines.base import (
+            CAP_HOT_STATE,
+            CAP_LIVE_GROWTH,
+        )
+        from repro.engines.registry import make_engine
+
+        self._engine = make_engine(
+            self._config.engine,
+            seed=self._config.seed,
+            config=self._config,
+        )
+        caps = self._engine.capabilities()
+        #: Hot-state capability: the engine exposes the DocsEngine host
+        #: seam (build/rebuild, arena_write, snapshots, digests). The
+        #: shell's durability plane keys off this, never off types.
+        self._hot = CAP_HOT_STATE in caps
+        self._live_growth = CAP_LIVE_GROWTH in caps
+        if self._hot:
+            # The shell owns durable-first export ordering around the
+            # engine's full-TI re-runs.
+            self._engine.on_rerun = self._export_to_shared
+        if worker_store is not None:
+            if not self._hot:
+                raise ValidationError(
+                    f"engine {self._engine.name!r} has no hot-state "
+                    "capability and cannot maintain a shared "
+                    "cross-campaign worker store"
+                )
+            self._engine.attach_shared_store(worker_store)
+
+        #: Task id -> journal row, for engines without an arena to
+        #: resolve rows (bound to the journal with sqlite storage).
+        self._task_rows: Dict[int, int] = {}
         #: journal.flushed_batches as of the last snapshot (the
         #: auto-snapshot trigger's baseline).
         self._last_snapshot_batch = 0
@@ -227,6 +239,18 @@ class DocsSystem:
         self._pending_shared_exports: List[
             Tuple[str, np.ndarray, np.ndarray]
         ] = []
+
+    # -- identity & accessors --------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The hosted engine's display name (``"DOCS"`` by default)."""
+        return self._engine.name
+
+    @property
+    def engine(self):
+        """The hosted :class:`repro.engines.Engine` instance."""
+        return self._engine
 
     @property
     def config(self) -> DocsConfig:
@@ -252,10 +276,9 @@ class DocsSystem:
 
     @property
     def quality_store(self) -> WorkerQualityStore:
-        """The campaign-local worker model."""
-        if self._store is None:
-            raise ValidationError("system not prepared; call prepare()")
-        return self._store
+        """The campaign-local worker model (hot-state engines)."""
+        self._require_hot("a campaign worker model")
+        return self._engine.quality_store
 
     @property
     def shared_worker_store(self) -> Optional[WorkerQualityStore]:
@@ -265,15 +288,16 @@ class DocsSystem:
     @property
     def serving_index(self) -> Optional[AssignmentIndex]:
         """The serving-plane benefit index (``None`` before
-        :meth:`prepare`, or when ``config.serve_index`` is off)."""
-        return self._serving_index
+        :meth:`prepare`, when ``config.serve_index`` is off, or for
+        engines without the hot-state serving plane)."""
+        return self._engine.serving_index if self._hot else None
 
     @property
     def serving_pool(self) -> Optional[ServingPool]:
         """The multi-process serving pool (``None`` before
-        :meth:`prepare`, with ``config.workers == 0``, or after the
-        pool degraded/closed)."""
-        return self._pool
+        :meth:`prepare`, with ``config.workers == 0``, after the
+        pool degraded/closed, or for engines without one)."""
+        return self._engine.pool if self._hot else None
 
     @property
     def resume_info(self) -> Optional[Dict[str, object]]:
@@ -281,9 +305,50 @@ class DocsSystem:
 
         ``{"snapshot_seq": watermark or None, "tail_entries": n}`` —
         ``snapshot_seq`` is ``None`` when resume fell back to full
-        journal replay. ``None`` on systems that were never resumed.
+        journal replay (always, for engines without snapshots).
+        ``None`` on systems that were never resumed.
         """
         return self._resume_info
+
+    # Backward-compatible views of the engine-owned hot state (tests
+    # and the durability plane read these; the engine owns the truth).
+
+    @property
+    def _incremental(self):
+        return self._engine.incremental if self._hot else None
+
+    @property
+    def _log(self):
+        return self._engine.log if self._hot else None
+
+    @property
+    def _bootstrapped(self) -> Set[str]:
+        if self._hot:
+            return self._engine.bootstrapped
+        return getattr(self._engine, "_bootstrapped", set())
+
+    @property
+    def _exported_log(self):
+        return self._engine.exported_log if self._hot else {}
+
+    @property
+    def _submissions_since_rerun(self) -> int:
+        return (
+            self._engine.submissions_since_rerun if self._hot else 0
+        )
+
+    @property
+    def _shared_store(self) -> Optional[WorkerQualityStore]:
+        return self._engine.shared_store if self._hot else None
+
+    def _require_hot(self, what: str) -> None:
+        """Reject a hot-state-only operation for engines without the
+        capability, naming the engine and the missing surface."""
+        if not self._hot:
+            raise ValidationError(
+                f"engine {self._engine.name!r} has no hot-state "
+                f"capability and therefore no {what}"
+            )
 
     def attach_worker_store(self, worker_store: WorkerQualityStore) -> None:
         """Attach a shared cross-campaign worker model mid-campaign.
@@ -297,32 +362,26 @@ class DocsSystem:
         deltas from the attachment-time baseline onward.
 
         Raises:
-            ValidationError: if a store is already attached, or the
-                store's taxonomy size disagrees with the campaign's.
+            ValidationError: if a store is already attached, the
+                store's taxonomy size disagrees with the campaign's,
+                or the hosted engine has no hot-state capability.
         """
-        if self._shared_store is not None:
-            raise ValidationError(
-                "a shared worker store is already attached"
-            )
-        if self._incremental is not None and (
-            worker_store.num_domains
-            != self._incremental.arena.num_domains
-        ):
-            raise ValidationError(
-                f"shared worker store covers "
-                f"{worker_store.num_domains} domains but the campaign "
-                f"taxonomy has {self._incremental.arena.num_domains}"
-            )
-        self._shared_store = worker_store
+        self._require_hot("shared worker store")
+        self._engine.attach_shared_store(worker_store)
 
-    # -- CrowdEngine protocol -------------------------------------------
+    # -- Engine lifecycle (hosted) ---------------------------------------
 
     def prepare(self, dataset: CrowdDataset) -> None:
-        """Build the ingest pipeline, run it over the dataset, and
-        select golden tasks.
+        """Build the hosted engine over the dataset, persisting the
+        task catalogue and golden registry into this campaign's storage.
+
+        With a hot-state engine this runs its full ingest plane into
+        the campaign database; other engines prepare their own
+        in-memory state while the shell stores the catalogue (and, with
+        sqlite, journals every later event for replay-based resume).
 
         ``prepare`` is single-shot by design: the golden selection, the
-        worker-quality store, and the arena all key off the initial
+        worker model, and the serving state all key off the initial
         batch, so rebuilding them silently would discard campaign state.
 
         Raises:
@@ -336,196 +395,37 @@ class DocsSystem:
                 "prepare() already ran for this DocsSystem; use "
                 "add_tasks() to ingest more tasks, or build a new system"
             )
-        m = dataset.taxonomy.size
-        if self._shared_store is not None and (
-            self._shared_store.num_domains != m
-        ):
-            raise ValidationError(
-                f"shared worker store covers "
-                f"{self._shared_store.num_domains} domains but the "
-                f"dataset taxonomy has {m}"
-            )
-        linker = EntityLinker(dataset.kb, top_c=self._config.top_c)
-
-        # Build everything in locals and commit only after the ingest
-        # succeeds: a rejected dataset (e.g. duplicate ids) must leave
-        # the system un-prepared and retryable.
         db = self._make_database()
-        shared_arena = self._make_arena(m)
         try:
-            store = WorkerQualityStore(
-                m, default_quality=self._config.default_quality
-            )
-            incremental = IncrementalTruthInference(
-                store, arena=shared_arena
-            )
-            pipeline = IngestPipeline(
-                db, incremental, linker,
-                link_workers=self._link_workers(),
-            )
-            pipeline.ingest(dataset.tasks)
-
-            golden_count = min(
-                self._config.golden_count, len(dataset.tasks)
-            )
-            golden_indices = select_golden_tasks(
-                [t.domain_vector for t in dataset.tasks], golden_count
-            )
-            golden_ids = []
-            golden_truths: Dict[int, int] = {}
-            for idx in golden_indices:
-                task = dataset.tasks[idx]
-                if task.ground_truth is None:
-                    continue
-                golden_ids.append(task.task_id)
-                golden_truths[task.task_id] = task.ground_truth
-            db.mark_golden(golden_ids)
+            if self._hot:
+                self._engine.build(db, dataset)
+            else:
+                db.add_tasks(dataset.tasks)
+                self._engine.prepare(dataset)
+                db.mark_golden(self._engine.golden_task_ids())
+                self._task_rows = {
+                    t.task_id: i
+                    for i, t in enumerate(dataset.tasks)
+                }
         except Exception:
             if hasattr(db, "close"):
                 db.close()
-            if shared_arena is not None:
-                shared_arena.close()
             raise
-
         if getattr(db, "journal", None) is not None:
-            db.answers.bind_row_resolver(incremental.arena.global_row)
+            db.answers.bind_row_resolver(self._row_resolver())
         self._db = db
-        self._store = store
-        self._incremental = incremental
-        self._log = AnswerLog(incremental.arena)
-        self._pipeline = pipeline
-        self._bootstrapped = set()
-        self._golden_qualities = {}
-        self._golden_truths = golden_truths
-        self._submissions_since_rerun = 0
-        self._build_serving_index()
+        if self._hot:
+            self._engine.build_serving_plane()
 
-    def _build_serving_index(self) -> None:
-        """Stand up the AssignmentIndex over the freshly built arena.
+    def _row_resolver(self):
+        """task id -> journal row: the arena's registration row for
+        hot-state engines, the ingest position otherwise."""
+        if self._hot:
+            return self._engine.incremental.arena.global_row
+        return self._task_rows.__getitem__
 
-        Lifecycle note: this runs once per prepare/resume. Later state
-        changes — ``add_tasks`` growth blocks, per-answer incremental
-        updates, full-TI resyncs, snapshot overlays — invalidate the
-        index row-wise through the arena's write epochs, so nothing
-        else needs to call back in here.
-
-        With ``config.workers`` >= 1 (and the arena in shared memory —
-        see :meth:`_make_arena`) this also forks the
-        :class:`repro.system.parallel.ServingPool`. The owner-side
-        index stays attached as the degradation fallback: a pool whose
-        worker dies is detached on the spot and arrivals keep being
-        served single-process with identical picks.
-        """
-        if not self._config.serve_index:
-            return
-        arena = self._incremental.arena
-        self._serving_index = AssignmentIndex(
-            arena,
-            bucket_granularity=self._config.serve_bucket_granularity,
-            frontier_size=self._config.serve_frontier_size,
-            max_buckets=self._config.serve_max_buckets,
-        )
-        self._assigner.attach_index(self._serving_index)
-        if self._config.workers >= 1 and isinstance(
-            arena, SharedStateArena
-        ):
-            self._pool = ServingPool(
-                arena,
-                self._config.workers,
-                bucket_granularity=(
-                    self._config.serve_bucket_granularity
-                ),
-                frontier_size=self._config.serve_frontier_size,
-                max_buckets=self._config.serve_max_buckets,
-            )
-            self._assigner.attach_pool(self._pool)
-
-    def _make_arena(self, num_domains: int) -> Optional[SharedStateArena]:
-        """A shared-memory arena when ``config.workers`` asks for one.
-
-        Returns ``None`` — let the incremental engine build its
-        ordinary heap arena — when workers are off or the platform
-        lacks the ``fork`` start method the pool needs (logged; the
-        campaign serves single-process rather than failing).
-        """
-        if self._config.workers < 1:
-            return None
-        if "fork" not in multiprocessing.get_all_start_methods():
-            logger.warning(
-                "config.workers=%d needs the 'fork' start method, "
-                "which this platform lacks; serving single-process",
-                self._config.workers,
-            )
-            return None
-        return SharedStateArena(num_domains)
-
-    def _link_workers(self) -> int:
-        """Stage-1 ingest linking fan-out (``0`` below two workers —
-        one forked child would only add fork overhead)."""
-        workers = self._config.workers
-        return workers if workers >= 2 else 0
-
-    def _rerun_shards(self) -> int:
-        """Full-TI rerun shard count (``0`` below two workers)."""
-        workers = self._config.workers
-        return workers if workers >= 2 else 0
-
-    @contextmanager
-    def _arena_write(self) -> Iterator[None]:
-        """Run an arena mutation under the pool's writer barrier.
-
-        Without a pool — or nested inside an outer write section (a
-        full-TI resync triggered by a submit already inside one) —
-        this is a plain pass-through. A pool that cannot quiesce (a
-        worker died) is detached and closed, and the mutation proceeds
-        single-process: the write itself must happen regardless of
-        pool health.
-        """
-        pool = self._pool
-        if pool is None or pool.state != "serving":
-            yield
-            return
-        try:
-            section = pool.write_section()
-            section.__enter__()
-        except ServingPoolError as exc:
-            logger.warning(
-                "serving pool failed to quiesce (%s); detaching and "
-                "continuing single-process", exc,
-            )
-            self._detach_pool()
-            yield
-            return
-        try:
-            yield
-        finally:
-            section.__exit__(None, None, None)
-
-    def _detach_pool(self) -> None:
-        """Drop and close the serving pool (idempotent, ``None``-safe)."""
-        pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        self._assigner.attach_pool(None)
-        try:
-            pool.close()
-        except Exception:  # pragma: no cover - shutdown best effort
-            logger.exception("serving pool close failed")
-
-    def _shutdown_parallel(self) -> None:
-        """Stop the pool and unlink the shared arena. Idempotent.
-
-        Ordering matters: workers detach before the owner unlinks, so
-        no select can race the teardown. After this the system no
-        longer serves (its arena views are gone) — callers reach here
-        only through :meth:`close`.
-        """
-        self._detach_pool()
-        incremental = self._incremental
-        if incremental is not None and isinstance(
-            incremental.arena, SharedStateArena
-        ):
-            incremental.arena.close()
+    def _task_row(self, task_id: int) -> int:
+        return self._row_resolver()(task_id)
 
     def _commit_retry_policy(self) -> RetryPolicy:
         """The config-derived backoff policy for durable commits."""
@@ -556,10 +456,10 @@ class DocsSystem:
     def add_tasks(self, tasks: Sequence[Task]) -> IngestReport:
         """Ingest new tasks mid-campaign (live task growth).
 
-        Runs the same staged pipeline as :meth:`prepare` — batch
-        linking, vectorised DVE, bulk store, arena block registration —
-        so the new tasks are immediately eligible for assignment and
-        their answers flow through the same incremental/full TI as the
+        Runs the hot-state engine's staged pipeline — batch linking,
+        vectorised DVE, bulk store, arena block registration — so the
+        new tasks are immediately eligible for assignment and their
+        answers flow through the same incremental/full TI as the
         initial batch. Golden tasks and existing worker qualities are
         unchanged.
 
@@ -571,23 +471,23 @@ class DocsSystem:
             The pipeline's :class:`repro.system.ingest.IngestReport`.
 
         Raises:
-            ValidationError: if called before :meth:`prepare`, or on
+            ValidationError: if called before :meth:`prepare`, on
                 duplicate task ids (the message names the offending id;
-                deduplicate the batch or assign fresh ids).
+                deduplicate the batch or assign fresh ids), or when the
+                hosted engine does not advertise the live-growth
+                capability.
         """
-        if self._pipeline is None:
+        if not self._live_growth:
             raise ValidationError(
-                "system not prepared; call prepare() before add_tasks()"
+                f"engine {self._engine.name!r} does not advertise the "
+                "live-growth capability; its task set is fixed at "
+                "prepare()"
             )
-        # Growth re-maps arena segments; serving workers must be parked
-        # at their queues while it happens (they follow the new
-        # generation on their next request).
-        with self._arena_write():
-            return self._pipeline.ingest(tasks)
+        return self._engine.add_tasks(tasks)
 
     def golden_task_ids(self) -> List[int]:
         """Golden tasks assigned to every new worker."""
-        return self.database.golden_ids
+        return self._engine.golden_task_ids()
 
     def needs_bootstrap(self, worker_id: str) -> bool:
         """New workers are quality-tested before real assignments.
@@ -597,67 +497,7 @@ class DocsSystem:
         campaign seeded with their stored statistics (Section 4.2's
         worker model maintained across requesters).
         """
-        if self._seed_from_shared(worker_id):
-            return False
-        return (
-            bool(self._golden_truths)
-            and worker_id not in self._bootstrapped
-            and worker_id not in self.quality_store
-        )
-
-    def _seed_from_shared(self, worker_id: str) -> bool:
-        """Seed a shared-store worker into the campaign model (once).
-
-        Returns:
-            True if the worker is covered by the shared store (seeded
-            now or earlier); False if there is nothing to seed from.
-        """
-        if self._shared_store is None or self._store is None:
-            return False
-        if worker_id in self._seeded:
-            return True
-        if (
-            worker_id in self._bootstrapped
-            or worker_id in self._store
-        ):
-            # The campaign already has its own evidence for this
-            # worker; never clobber it with the shared prior.
-            return False
-        if worker_id not in self._shared_store:
-            return False
-        stats = self._shared_store.get(worker_id)
-        self._store.set(worker_id, stats.quality, stats.weight)
-        # The shared prior plays the golden-test role for full-TI
-        # (re)initialisation, exactly like a pre-test quality would.
-        self._golden_qualities[worker_id] = (
-            self._shared_store.quality_or_default(worker_id)
-        )
-        self._bootstrapped.add(worker_id)
-        self._seeded.add(worker_id)
-        return True
-
-    def _check_bootstrapped(self, worker_id: str) -> None:
-        """Reject assignment for workers still owing the golden pre-test.
-
-        Seeding from the shared store counts as bootstrapped (the
-        stored prior plays the pre-test's role); with no golden tasks
-        every worker is assignable cold. The raise replaces the bare
-        ``KeyError`` this pre-bootstrap path used to surface: the
-        error now names the id and how to proceed, and is a
-        :class:`~repro.errors.ValidationError` the HTTP service maps
-        to 404.
-        """
-        if self.needs_bootstrap(worker_id):
-            raise UnknownWorkerError(
-                worker_id,
-                context=(
-                    "in this campaign: the worker has not completed "
-                    "the golden bootstrap pre-test — fetch "
-                    "golden_task_ids() and call bootstrap() with their "
-                    "answers first (workers known to a shared worker "
-                    "store skip the pre-test)"
-                ),
-            )
+        return self._engine.needs_bootstrap(worker_id)
 
     def bootstrap(self, worker_id: str, answers: Sequence[Answer]) -> None:
         """Initialise a new worker's quality from golden-task answers.
@@ -668,11 +508,13 @@ class DocsSystem:
         journal retains the bootstrap events in its pending buffer, and
         the shared-store delta queues for :meth:`checkpoint` to drain.
         """
-        self._restore_bootstrap(worker_id, answers)
+        if self._hot:
+            self._engine.restore_bootstrap(worker_id, answers)
+        else:
+            self._engine.bootstrap(worker_id, answers)
         journal = getattr(self.database, "journal", None)
         if journal is not None:
-            arena = self._incremental.arena
-            rows = [arena.global_row(a.task_id) for a in answers]
+            rows = [self._task_row(a.task_id) for a in answers]
             try:
                 journal.record_bootstrap(worker_id, answers, rows)
             except sqlite3.Error as exc:
@@ -720,59 +562,26 @@ class DocsSystem:
                 )
         self._maybe_auto_snapshot()
 
-    def _restore_bootstrap(
-        self, worker_id: str, answers: Sequence[Answer]
-    ) -> None:
-        """Apply a golden bootstrap without journaling it (shared by
-        the live path and journal replay)."""
-        self._bootstrapped.add(worker_id)
-        if not answers:
-            return
-        domain_vectors = {
-            a.task_id: self.database.task(a.task_id).domain_vector
-            for a in answers
-        }
-        self.quality_store.initialize_from_golden(
-            worker_id,
-            {a.task_id: a.choice for a in answers},
-            self._golden_truths,
-            domain_vectors,
-        )
-        self._golden_qualities[worker_id] = (
-            self.quality_store.quality_or_default(worker_id)
-        )
-
     def assign(self, worker_id: str, k: Optional[int] = None) -> List[int]:
-        """OTA: the k highest-benefit tasks this worker has not answered.
+        """The engine's pick of up to k tasks for this arrival.
 
-        Benefits are computed directly against the arena's persistent
-        buffers; no per-arrival task state is materialised. With
-        ``config.serve_index`` (the default) the arrival is served from
-        the :class:`repro.core.serving.AssignmentIndex`'s cached
-        benefit columns — only rows dirtied since the worker's last
-        identical-quality arrival are re-evaluated, and the picks are
-        bit-identical to a full-pool evaluation.
+        With the DOCS engine this is OTA — the k highest-benefit tasks
+        the worker has not answered, served from the AssignmentIndex's
+        cached benefit columns with picks bit-identical to a full-pool
+        evaluation; other engines apply their own policy.
 
         Raises:
             ValidationError: if the system is not prepared.
             UnknownWorkerError: if the campaign runs a golden pre-test
                 and this worker has not completed it (and no shared
-                store knows her) — historically this pre-bootstrap path
-                surfaced as a bare ``KeyError``; it now names the id
-                and the remediation so callers (and the HTTP service,
-                which maps it to 404) can route the worker to
-                :meth:`bootstrap` first.
+                store knows her) — bootstrap discipline, uniform across
+                every engine; callers (and the HTTP service, which maps
+                it to 404) route the worker to :meth:`bootstrap` first.
         """
-        if self._incremental is None:
-            raise ValidationError("system not prepared; call prepare()")
-        self._check_bootstrapped(worker_id)
-        answered = self.database.answers.tasks_answered_by(worker_id)
-        quality = self.quality_store.blended_quality(worker_id)
-        return self._assigner.assign(
-            self._incremental.arena,
-            quality,
-            answered_by_worker=answered,
-            k=k,
+        if self._hot:
+            return self._engine.assign(worker_id, k)
+        return self._engine.assign(
+            worker_id, k if k is not None else self._config.hit_size
         )
 
     def assign_many(
@@ -780,11 +589,11 @@ class DocsSystem:
     ) -> List[List[int]]:
         """One HIT per arriving worker, served as a single batch.
 
-        With ``config.workers`` the selects fan out across the serving
-        pool's processes and evaluate concurrently; without one the
-        arrivals run through the same strategy ladder :meth:`assign`
-        uses. Picks are bit-identical to calling :meth:`assign` per
-        worker in order, either way.
+        With the DOCS engine and ``config.workers`` the selects fan out
+        across the serving pool's processes and evaluate concurrently;
+        engines without the batch-assign capability are served one
+        arrival at a time. Picks are identical to calling
+        :meth:`assign` per worker in order, either way.
 
         Args:
             worker_ids: the arriving workers (duplicates allowed; each
@@ -794,104 +603,90 @@ class DocsSystem:
         Returns:
             One task-id list per worker id, order preserved.
         """
-        if self._incremental is None:
-            raise ValidationError("system not prepared; call prepare()")
-        arrivals = []
-        for worker_id in worker_ids:
-            self._check_bootstrapped(worker_id)
-            answered = self.database.answers.tasks_answered_by(
-                worker_id
-            )
-            quality = self.quality_store.blended_quality(worker_id)
-            arrivals.append((quality, answered))
-        return self._assigner.assign_many(
-            self._incremental.arena, arrivals, k=k
+        if self._hot:
+            return self._engine.assign_many(worker_ids, k)
+        return self._engine.assign_many(
+            worker_ids, k if k is not None else self._config.hit_size
         )
 
     def submit(self, answer: Answer) -> None:
-        """Ingest an answer: store it, update TI incrementally, and
-        re-run the full iterative TI every z submissions."""
-        if self._incremental is None:
-            raise ValidationError("system not prepared; call prepare()")
-        # Validate against the task before touching any store, so a bad
-        # answer cannot leave the answer table, the incremental state,
-        # and the answer log disagreeing with each other.
-        ell = self._incremental.state(answer.task_id).num_choices
-        if not 1 <= answer.choice <= ell:
-            raise ValidationError(
-                f"choice {answer.choice} outside [1, {ell}] for task "
-                f"{answer.task_id}"
-            )
-        self._seed_from_shared(answer.worker_id)
-        try:
-            self.database.answers.insert(answer)
-        except sqlite3.Error as exc:
-            # The in-memory index accepted the answer and the journal
-            # retained it in the pending buffer before the batch-full
-            # flush failed — nothing is dropped, the event is just not
-            # durable yet. Serve on, degraded.
-            self._enter_degraded("journal flush during submit", exc)
-        with self._arena_write():
-            self._apply_answer(answer)
+        """Ingest an answer: store it durably and drive it through the
+        engine's inference (for DOCS: incremental TI, with the full
+        iterative re-run every z submissions)."""
+        if self._hot:
+            engine = self._engine
+            if engine.incremental is None:
+                raise ValidationError(
+                    "system not prepared; call prepare()"
+                )
+            # Validate against the task before touching any store, so a
+            # bad answer cannot leave the answer table, the incremental
+            # state, and the answer log disagreeing with each other.
+            engine.validate_choice(answer)
+            engine.seed_from_shared(answer.worker_id)
+            try:
+                self.database.answers.insert(answer)
+            except sqlite3.Error as exc:
+                # The in-memory index accepted the answer and the
+                # journal retained it in the pending buffer before the
+                # batch-full flush failed — nothing is dropped, the
+                # event is just not durable yet. Serve on, degraded.
+                self._enter_degraded("journal flush during submit", exc)
+            with engine.arena_write():
+                engine.apply_answer(answer)
+        else:
+            # The engine validates and indexes first (its own answer
+            # table enforces at-most-once); only accepted answers reach
+            # the journal.
+            self._engine.submit(answer)
+            try:
+                self.database.answers.insert(answer)
+            except sqlite3.Error as exc:
+                self._enter_degraded("journal flush during submit", exc)
         self._maybe_auto_snapshot()
 
-    def _apply_answer(self, answer: Answer) -> None:
-        """Drive one answer through the serving plane: incremental TI,
-        the answer log, and the every-z full re-run (shared by the live
-        submit path and journal replay)."""
-        self._incremental.submit(answer)
-        self._log.append(answer)
-        self._submissions_since_rerun += 1
-        if self._submissions_since_rerun >= self._config.rerun_interval:
-            self._run_full_inference()
-            self._submissions_since_rerun = 0
-
     def current_truths(self) -> Dict[int, int]:
-        """Current incremental truth estimates, task id -> choice.
+        """Current truth estimates, task id -> choice, if the engine
+        exposes them live.
 
         A read-only inspection surface (the service's ``/truths``
-        endpoint): reports what incremental TI believes *now*, without
-        the full iterative re-run :meth:`finalize` performs — so
-        calling it mid-campaign perturbs nothing.
+        endpoint): with the DOCS engine it reports what incremental TI
+        believes *now*, without the full iterative re-run
+        :meth:`finalize` performs — so calling it mid-campaign perturbs
+        nothing.
 
         Raises:
-            ValidationError: if the system is not prepared.
+            ValidationError: if the system is not prepared, or the
+                engine only infers at finalize time.
         """
-        if self._incremental is None:
-            raise ValidationError("system not prepared; call prepare()")
-        return {
-            task.task_id: self._incremental.state(
-                task.task_id
-            ).inferred_truth()
-            for task in self.database.tasks()
-        }
+        return self._engine.current_truths()
 
     def finalize(self) -> Dict[int, int]:
-        """Final full TI; returns task id -> inferred truth."""
-        with self._arena_write():
-            result = self._run_full_inference()
-        truths = result.truths() if result is not None else {}
-        complete: Dict[int, int] = {}
-        for task in self.database.tasks():
-            if task.task_id in truths:
-                complete[task.task_id] = truths[task.task_id]
-            else:
-                state = self._incremental.state(task.task_id)
-                complete[task.task_id] = state.inferred_truth()
-        return complete
+        """The engine's final inference; returns task id -> truth,
+        covering every task (unanswered tasks get the engine's
+        documented uninformed default; see
+        :meth:`unanswered_task_ids`)."""
+        return self._engine.finalize()
+
+    def unanswered_task_ids(self) -> List[int]:
+        """Tasks finalized without a single answer (after
+        :meth:`finalize`; see
+        :meth:`repro.engines.Engine.unanswered_task_ids`)."""
+        return self._engine.unanswered_task_ids()
 
     # -- durability ------------------------------------------------------
 
     def checkpoint(self) -> int:
-        """Flush the write-behind answer journal and snapshot hot state.
+        """Flush the write-behind answer journal and (for hot-state
+        engines) snapshot the hot state.
 
         Bounds the crash-loss window to zero as of this call; between
         checkpoints a crash can lose at most the unflushed tail (under
         ``config.journal_batch_size`` events). With journaled sqlite
-        storage the flush and a compacted hot-state snapshot commit in
-        one transaction, so a later :meth:`resume` loads the snapshot
-        and replays nothing. Idempotent; a no-op (0) with in-memory
-        storage.
+        storage and a hot-state engine the flush and a compacted
+        hot-state snapshot commit in one transaction, so a later
+        :meth:`resume` loads the snapshot and replays nothing.
+        Idempotent; a no-op (0) with in-memory storage.
 
         This is also the **degraded-mode recovery path**: a campaign
         that dropped to degraded mode (see :meth:`durability_status`)
@@ -911,7 +706,10 @@ class DocsSystem:
         db = self.database
         if getattr(db, "journal", None) is not None:
             try:
-                flushed = self.snapshot()
+                if self._hot:
+                    flushed = self.snapshot()
+                else:
+                    flushed = db.journal.flush()
             except sqlite3.Error as exc:
                 self._enter_degraded("checkpoint", exc)
                 raise
@@ -1051,62 +849,38 @@ class DocsSystem:
         """SHA-256 over the campaign's hot state, as a hex string.
 
         Covers exactly the state :meth:`resume` promises to rebuild
-        bit-identically: the arena's choice-group buffers (R/M/S/logN),
-        the campaign worker model, the pristine golden qualities, the
-        bootstrapped-worker set, and the rerun cursor. Two systems
-        with equal digests will serve identical assignments and infer
-        identical truths — the kill-and-resume suites (and operators
-        comparing a resumed service against a reference) rely on this
-        instead of diffing buffers by hand.
-        """
-        if self._incremental is None:
-            raise ValidationError("system not prepared; call prepare()")
-        import hashlib
+        bit-identically — see
+        :meth:`repro.engines.docs.DocsEngine.hot_state_digest`. Two
+        systems with equal digests will serve identical assignments and
+        infer identical truths.
 
-        digest = hashlib.sha256()
-        arena = self._incremental.arena
-        # Settle the lazy entropy cache first: a live system with dirty
-        # rows and its freshly resumed twin must hash identically.
-        arena.refresh_entropies()
-        groups = arena.export_hot_state()
-        for ell in sorted(groups):
-            group = groups[ell]
-            digest.update(f"group:{ell}:{group.count}".encode())
-            for buffer in (group.R, group.M, group.S, group.logN):
-                digest.update(np.ascontiguousarray(buffer).tobytes())
-        store = self.quality_store
-        for worker_id in sorted(store.known_workers()):
-            stats = store.get(worker_id)
-            digest.update(worker_id.encode())
-            digest.update(stats.quality.tobytes())
-            digest.update(stats.weight.tobytes())
-        for worker_id in sorted(self._golden_qualities):
-            digest.update(worker_id.encode())
-            digest.update(self._golden_qualities[worker_id].tobytes())
-        digest.update(
-            ",".join(sorted(self._bootstrapped)).encode()
-        )
-        digest.update(str(self._submissions_since_rerun).encode())
-        return digest.hexdigest()
+        Raises:
+            ValidationError: if the system is not prepared, or the
+                hosted engine has no hot-state capability.
+        """
+        self._require_hot("hot-state digest")
+        return self._engine.hot_state_digest()
 
     def snapshot(self) -> int:
-        """Write a compacted hot-state snapshot (journaled sqlite only).
+        """Write a compacted hot-state snapshot (journaled sqlite,
+        hot-state engines only).
 
-        Serialises the arena's choice-group buffers, the campaign
-        worker model, the pristine golden qualities, the
+        Serialises the engine's hot state — arena choice-group buffers,
+        the campaign worker model, the pristine golden qualities, the
         bootstrapped-worker set, the shared-store export baselines, and
-        the rerun cursor into the campaign file's ``snapshot_*`` tables
-        — in the same transaction as a journal flush, replacing any
-        older snapshot. :meth:`resume` then loads this image and
+        the rerun cursor — into the campaign file's ``snapshot_*``
+        tables, in the same transaction as a journal flush, replacing
+        any older snapshot. :meth:`resume` then loads this image and
         replays only the journal tail written after it.
 
         Returns:
             Journal rows made durable by the embedded flush.
 
         Raises:
-            ValidationError: if the system is not prepared, or storage
-                is not journaled sqlite (in-memory campaigns have
-                nothing durable to snapshot into).
+            ValidationError: if the system is not prepared, storage is
+                not journaled sqlite (in-memory campaigns have nothing
+                durable to snapshot into), or the hosted engine has no
+                hot state to snapshot.
         """
         db = self.database
         if getattr(db, "journal", None) is None:
@@ -1114,27 +888,8 @@ class DocsSystem:
                 "snapshots require storage='sqlite'; in-memory "
                 "campaigns have no durable file to snapshot into"
             )
-        store = self.quality_store
-        payload = CampaignSnapshot(
-            num_domains=self._incremental.arena.num_domains,
-            rerun_cursor=self._submissions_since_rerun,
-            groups=self._incremental.arena.export_hot_state(),
-            workers={
-                worker_id: store.get(worker_id)
-                for worker_id in store.known_workers()
-            },
-            golden_qualities={
-                worker_id: quality.copy()
-                for worker_id, quality in self._golden_qualities.items()
-            },
-            bootstrapped=set(self._bootstrapped),
-            exported={
-                worker_id: (quality.copy(), weight.copy())
-                for worker_id, (quality, weight) in (
-                    self._exported_log.items()
-                )
-            },
-        )
+        self._require_hot("snapshot image")
+        payload = self._engine.snapshot_payload()
         flushed = db.write_snapshot(payload)
         self._last_snapshot_batch = db.journal.flushed_batches
         if self._config.truncate_journal:
@@ -1147,7 +902,7 @@ class DocsSystem:
     def _maybe_auto_snapshot(self) -> None:
         """Snapshot when enough journal batches accrued since the last."""
         every = self._config.snapshot_every_batches
-        if every <= 0 or self._replaying:
+        if every <= 0 or self._replaying or not self._hot:
             return
         journal = getattr(self._db, "journal", None)
         if journal is None:
@@ -1162,17 +917,18 @@ class DocsSystem:
                 self._enter_degraded("auto-snapshot", exc)
 
     def close(self) -> None:
-        """Checkpoint (flush + snapshot) and release the storage
-        backend (idempotent).
+        """Checkpoint (flush + snapshot where supported) and release
+        the storage backend (idempotent).
 
         After ``close`` the campaign file holds everything needed by
-        :meth:`resume`, including a snapshot of the final hot state. A
-        no-op with in-memory storage or before :meth:`prepare`.
+        :meth:`resume` — for hot-state engines including a snapshot of
+        the final hot state. A no-op with in-memory storage or before
+        :meth:`prepare`.
 
-        A degraded campaign whose final snapshot still fails raises
-        instead of closing: silently releasing the connection would
-        drop the buffered (accepted but not yet durable) events — and
-        the parallel serving plane stays up, so the still-degraded
+        A degraded campaign whose final durable write still fails
+        raises instead of closing: silently releasing the connection
+        would drop the buffered (accepted but not yet durable) events —
+        and the parallel serving plane stays up, so the still-degraded
         campaign keeps serving.
 
         With ``config.workers`` the close also stops the serving pool
@@ -1185,9 +941,15 @@ class DocsSystem:
                 getattr(self._db, "journal", None) is not None
                 and not getattr(self._db, "closed", False)
             ):
-                self.snapshot()
+                if self._hot:
+                    self.snapshot()
+                else:
+                    self._db.journal.flush()
             self._db.close()
-        self._shutdown_parallel()
+        if self._hot:
+            self._engine.shutdown_parallel()
+
+    # -- resume ----------------------------------------------------------
 
     @classmethod
     def resume(
@@ -1197,23 +959,25 @@ class DocsSystem:
         kb: Optional[KnowledgeBase] = None,
         worker_store: Optional[WorkerQualityStore] = None,
         repair: bool = False,
+        dataset: Optional[CrowdDataset] = None,
     ) -> "DocsSystem":
         """Rebuild a sqlite-backed campaign from its database file.
 
-        Loads the task catalogue in its original arena registration
-        order, re-registers every task through the bulk-ingest plane
-        (linking and DVE are skipped — domain vectors persisted with the
-        tasks), restores the golden registry, then rebuilds the hot
-        state: if the file holds a valid snapshot, its image is loaded
-        and only the journal tail beyond its watermark is replayed —
-        O(n + tail) instead of O(campaign); otherwise (no snapshot, or
-        one that fails its checksum / shape / watermark checks, logged
-        as a warning) the whole journal replays through the same
-        bootstrap/submit code paths a live campaign uses. Either way
-        the resumed system's hot state — arena buffers, incremental-TI
-        posteriors, worker qualities, rerun cursor — is identical to
-        the original's at its last flush, and the campaign continues
-        from there: ``assign`` / ``submit`` / ``add_tasks`` /
+        With a hot-state engine (``config.engine`` of ``"docs"`` /
+        ``"oracle"``): loads the task catalogue in its original arena
+        registration order, re-registers every task through the
+        bulk-ingest plane (linking and DVE are skipped — domain vectors
+        persisted with the tasks), restores the golden registry, then
+        rebuilds the hot state: if the file holds a valid snapshot, its
+        image is loaded and only the journal tail beyond its watermark
+        is replayed — O(n + tail) instead of O(campaign); otherwise (no
+        snapshot, or one that fails its checksum / shape / watermark
+        checks, logged as a warning) the whole journal replays through
+        the same bootstrap/submit code paths a live campaign uses.
+        Either way the resumed system's hot state — arena buffers,
+        incremental-TI posteriors, worker qualities, rerun cursor — is
+        identical to the original's at its last flush, and the campaign
+        continues from there: ``assign`` / ``submit`` / ``add_tasks`` /
         ``finalize`` all work. :attr:`resume_info` records which path
         ran. One caveat scopes the identical-state guarantee: with a
         shared ``worker_store``, the *full-replay fallback* re-seeds
@@ -1222,19 +986,28 @@ class DocsSystem:
         original seed the rebuilt campaign tracks the newer prior; the
         snapshot path restores the exact seeded values.
 
+        With any other engine the campaign has no snapshot image:
+        resume re-prepares the engine from the original ``dataset``
+        (required — the catalogue alone lacks the KB/taxonomy an
+        engine's ``prepare`` needs) and replays the **entire** journal
+        — every golden bootstrap and answer — through the engine's own
+        bootstrap/submit paths, rebuilding its in-memory inference
+        state event for event.
+
         Args:
             path: the SQLite file a ``DocsSystem(storage="sqlite")``
                 campaign ran on.
             config: configuration for the resumed system; must match
-                the original run's inference knobs (``rerun_interval``,
-                ``default_quality``, ``ti_max_iterations`` — and
-                ``workers``, whose rerun shard count fixes the full
-                TI's floating-point accumulation order) for the replay
-                to reproduce it exactly.
+                the original run's engine and inference knobs
+                (``rerun_interval``, ``default_quality``,
+                ``ti_max_iterations`` — and ``workers``, whose rerun
+                shard count fixes the full TI's floating-point
+                accumulation order) for the replay to reproduce it
+                exactly.
             kb: optional knowledge base, re-attached to the ingest
                 pipeline so :meth:`add_tasks` can link *new* task texts
                 after the resume. Without it, added tasks must carry
-                precomputed domain vectors.
+                precomputed domain vectors. Hot-state engines only.
             worker_store: optional shared cross-campaign worker model
                 (see the constructor). Exports made before the crash
                 are not repeated during replay.
@@ -1248,12 +1021,16 @@ class DocsSystem:
                 :attr:`resume_info` under ``"salvage"``. Committed
                 batches are never touched; default off, because
                 truncation is irreversible.
+            dataset: the campaign's original dataset, required when the
+                configured engine has no hot-state capability (its task
+                ids must match the persisted catalogue).
 
         Returns:
             The resumed, ready-to-serve system.
 
         Raises:
-            ValidationError: if the database holds no campaign.
+            ValidationError: if the database holds no campaign, or a
+                non-hot-state engine is resumed without ``dataset``.
             JournalCorruptionError: if the journal fails its integrity
                 check (partial/corrupt final batch) and ``repair`` is
                 off — or fails it even after a salvage.
@@ -1269,7 +1046,6 @@ class DocsSystem:
             busy_timeout_ms=cfg.busy_timeout_ms,
             retry=system._commit_retry_policy(),
         )
-        shared_arena: Optional[SharedStateArena] = None
         try:
             tasks = db.tasks_in_ingest_order()
             if not tasks:
@@ -1282,79 +1058,12 @@ class DocsSystem:
             if repair:
                 salvage_report = db.journal.salvage()
             db.journal.validate()
-            missing = [
-                t.task_id for t in tasks if t.domain_vector is None
-            ]
-            if missing:
-                raise ValidationError(
-                    f"task {missing[0]} has no persisted domain vector; "
-                    "the file was not written by a DocsSystem campaign "
-                    "and cannot be resumed"
-                )
-            m = int(tasks[0].domain_vector.shape[0])
-            if worker_store is not None and (
-                worker_store.num_domains != m
-            ):
-                raise ValidationError(
-                    f"shared worker store covers "
-                    f"{worker_store.num_domains} domains but the "
-                    f"campaign taxonomy has {m}"
-                )
-            store = WorkerQualityStore(
-                m, default_quality=cfg.default_quality
-            )
-            shared_arena = system._make_arena(m)
-            incremental = IncrementalTruthInference(
-                store, arena=shared_arena
-            )
-            linker = (
-                EntityLinker(kb, top_c=cfg.top_c)
-                if kb is not None
-                else None
-            )
-            pipeline = IngestPipeline(
-                db, incremental, linker,
-                link_workers=system._link_workers(),
-            )
-            pipeline.ingest(tasks, store=False)
-            db.answers.bind_row_resolver(incremental.arena.global_row)
-
-            by_id = {t.task_id: t for t in tasks}
-            golden_truths: Dict[int, int] = {}
-            for task_id in db.golden_ids:
-                task = by_id.get(task_id)
-                if task is not None and task.ground_truth is not None:
-                    golden_truths[task_id] = task.ground_truth
-
-            system._db = db
-            system._store = store
-            system._incremental = incremental
-            system._log = AnswerLog(incremental.arena)
-            system._pipeline = pipeline
-            system._golden_truths = golden_truths
-
-            snapshot = db.load_snapshot()
-            if snapshot is not None:
-                problem = system._check_snapshot(snapshot)
-                if problem is not None:
-                    logger.warning(
-                        "snapshot at %r rejected (%s); falling back to "
-                        "full journal replay", path, problem,
-                    )
-                    snapshot = None
-            if snapshot is None and db.journal.archived_through >= 0:
-                # config.truncate_journal moved the pre-watermark rows
-                # into the archive; without a usable snapshot their
-                # serving-plane effect cannot be reproduced.
-                raise JournalCorruptionError(
-                    f"the journal at {path!r} was truncated through seq "
-                    f"{db.journal.archived_through} after a snapshot, "
-                    "but no usable snapshot remains — full replay "
-                    "cannot rebuild the truncated prefix; restore the "
-                    "file from a backup"
-                )
-            if snapshot is not None:
-                system._install_snapshot(snapshot)
+            if system._hot:
+                snapshot = system._resume_hot(db, tasks, kb)
+            else:
+                snapshot = None
+                system._resume_generic(db, tasks, dataset)
+            db.answers.bind_row_resolver(system._row_resolver())
             tail = system._replay_journal(
                 from_seq=(
                     snapshot.journal_seq if snapshot is not None else -1
@@ -1371,59 +1080,94 @@ class DocsSystem:
             if repair:
                 system._resume_info["salvage"] = salvage_report
             system._last_snapshot_batch = db.journal.flushed_batches
-            system._build_serving_index()
+            if system._hot:
+                system._engine.build_serving_plane()
         except Exception:
             db.close()
             system._db = None
-            system._detach_pool()
-            if shared_arena is not None:
-                shared_arena.close()
+            if system._hot:
+                system._engine.shutdown_parallel()
             raise
         return system
 
-    def _check_snapshot(self, snapshot: CampaignSnapshot) -> Optional[str]:
-        """Is this snapshot consistent with the catalogue and journal?
+    def _resume_hot(self, db, tasks: Sequence[Task], kb):
+        """Rebuild a hot-state engine's catalogue registration and pick
+        the resume path (snapshot tail-replay vs full replay).
 
-        Returns a human-readable problem (the caller logs it and falls
-        back to full replay), or ``None`` when the snapshot is usable.
+        Returns the snapshot to replay beyond, or ``None`` for full
+        replay.
         """
-        arena = self._incremental.arena
-        if snapshot.num_domains != arena.num_domains:
-            return (
-                f"snapshot taxonomy size {snapshot.num_domains} != "
-                f"catalogue taxonomy size {arena.num_domains}"
+        missing = [
+            t.task_id for t in tasks if t.domain_vector is None
+        ]
+        if missing:
+            raise ValidationError(
+                f"task {missing[0]} has no persisted domain vector; "
+                "the file was not written by a DocsSystem campaign "
+                "and cannot be resumed"
             )
-        last = self.database.journal.last_committed_seq
-        if snapshot.journal_seq > last:
-            return (
-                f"snapshot watermark seq {snapshot.journal_seq} is "
-                f"beyond the journal's last committed seq {last} "
-                "(journal rows were deleted after the snapshot)"
+        self._engine.rebuild(db, tasks, kb=kb)
+        self._db = db
+        snapshot = db.load_snapshot()
+        if snapshot is not None:
+            problem = self._engine.check_snapshot(
+                snapshot, db.journal.last_committed_seq
             )
-        if snapshot.rerun_cursor < 0:
-            return f"negative rerun cursor {snapshot.rerun_cursor}"
-        for worker_id, stats in snapshot.workers.items():
-            if stats.quality.shape != (arena.num_domains,):
-                return f"worker {worker_id} stats have a wrong shape"
-        return arena.check_hot_state(snapshot.groups)
+            if problem is not None:
+                logger.warning(
+                    "snapshot at %r rejected (%s); falling back to "
+                    "full journal replay", self._path, problem,
+                )
+                snapshot = None
+        if snapshot is None and db.journal.archived_through >= 0:
+            # config.truncate_journal moved the pre-watermark rows
+            # into the archive; without a usable snapshot their
+            # serving-plane effect cannot be reproduced.
+            raise JournalCorruptionError(
+                f"the journal at {self._path!r} was truncated through "
+                f"seq {db.journal.archived_through} after a snapshot, "
+                "but no usable snapshot remains — full replay "
+                "cannot rebuild the truncated prefix; restore the "
+                "file from a backup"
+            )
+        if snapshot is not None:
+            self._engine.install_snapshot(snapshot)
+        return snapshot
 
-    def _install_snapshot(self, snapshot: CampaignSnapshot) -> None:
-        """Overlay a validated snapshot onto the freshly registered
-        system (arena rows, worker model, bootstrap + export state)."""
-        with self._arena_write():
-            self._incremental.arena.load_hot_state(snapshot.groups)
-        for worker_id, stats in snapshot.workers.items():
-            self._store.set(worker_id, stats.quality, stats.weight)
-        self._golden_qualities = {
-            worker_id: quality.copy()
-            for worker_id, quality in snapshot.golden_qualities.items()
+    def _resume_generic(
+        self,
+        db,
+        tasks: Sequence[Task],
+        dataset: Optional[CrowdDataset],
+    ) -> None:
+        """Re-prepare a memory-only engine for full journal replay."""
+        if dataset is None:
+            raise ValidationError(
+                f"engine {self._engine.name!r} has no hot-state "
+                "capability; resuming it needs the campaign's original "
+                "dataset — pass dataset=..."
+            )
+        catalogue_ids = sorted(t.task_id for t in tasks)
+        dataset_ids = sorted(t.task_id for t in dataset.tasks)
+        if catalogue_ids != dataset_ids:
+            raise ValidationError(
+                "the provided dataset's task ids do not match the "
+                f"campaign catalogue at {self._path!r}; resume needs "
+                "the same dataset the campaign ran on"
+            )
+        if db.journal.archived_through >= 0:
+            raise JournalCorruptionError(
+                f"the journal at {self._path!r} was truncated through "
+                f"seq {db.journal.archived_through}, but engine "
+                f"{self._engine.name!r} resumes by full replay only — "
+                "the truncated prefix cannot be rebuilt; restore the "
+                "file from a backup"
+            )
+        self._engine.prepare(dataset)
+        self._task_rows = {
+            t.task_id: i for i, t in enumerate(tasks)
         }
-        self._bootstrapped = set(snapshot.bootstrapped)
-        self._exported_log = {
-            worker_id: (quality.copy(), weight.copy())
-            for worker_id, (quality, weight) in snapshot.exported.items()
-        }
-        self._submissions_since_rerun = snapshot.rerun_cursor
+        self._db = db
 
     def _restore_compacted(self, through_seq: int) -> None:
         """Rebuild the indexes the snapshot cannot carry, in bulk.
@@ -1482,17 +1226,19 @@ class DocsSystem:
 
         Entries with ``seq <= from_seq`` are already baked into the
         installed snapshot's numeric state and only rebuild indexes
-        (see :meth:`_restore_compacted`); entries beyond the watermark
-        replay through the same bootstrap/submit code paths a live
-        campaign uses.
+        (see :meth:`_restore_compacted`; hot-state engines only);
+        entries beyond the watermark replay through the same
+        bootstrap/submit code paths a live campaign uses.
 
         Returns:
             The number of tail entries fully re-applied.
         """
-        arena = self._incremental.arena
+        engine = self._engine
         pending_bootstrap: Dict[str, List[Answer]] = {}
         tail_entries = 0
         self._replaying = True
+        if self._hot:
+            engine.replaying = True
         try:
             if from_seq >= 0:
                 self._restore_compacted(from_seq)
@@ -1510,9 +1256,14 @@ class DocsSystem:
                     )
                 elif entry.kind == KIND_BOOTSTRAP_DONE:
                     answers = pending_bootstrap.pop(entry.worker_id, [])
-                    self._restore_bootstrap(entry.worker_id, answers)
+                    if self._hot:
+                        engine.restore_bootstrap(
+                            entry.worker_id, answers
+                        )
+                    else:
+                        engine.bootstrap(entry.worker_id, answers)
                 elif entry.kind == KIND_ANSWER:
-                    expected_row = arena.global_row(entry.task_id)
+                    expected_row = self._task_row(entry.task_id)
                     if entry.task_row != expected_row:
                         raise JournalCorruptionError(
                             f"journal entry {entry.seq}: task "
@@ -1525,15 +1276,20 @@ class DocsSystem:
                     answer = Answer(
                         entry.worker_id, entry.task_id, entry.choice
                     )
-                    # A shared-store worker's seeding is not a journal
-                    # event (the shared store is durable on its own);
-                    # re-seed here so her replayed answers use the
-                    # stored prior, as the live run did. Note the store
-                    # may have moved on since the original seed — the
-                    # snapshot path restores the exact seeded values.
-                    self._seed_from_shared(entry.worker_id)
-                    self.database.answers.restore(answer)
-                    self._apply_answer(answer)
+                    if self._hot:
+                        # A shared-store worker's seeding is not a
+                        # journal event (the shared store is durable on
+                        # its own); re-seed here so her replayed answers
+                        # use the stored prior, as the live run did.
+                        # Note the store may have moved on since the
+                        # original seed — the snapshot path restores
+                        # the exact seeded values.
+                        engine.seed_from_shared(entry.worker_id)
+                        self.database.answers.restore(answer)
+                        engine.apply_answer(answer)
+                    else:
+                        self.database.answers.restore(answer)
+                        engine.submit(answer)
                 else:
                     raise JournalCorruptionError(
                         f"journal entry {entry.seq} has unknown kind "
@@ -1542,6 +1298,8 @@ class DocsSystem:
                     )
         finally:
             self._replaying = False
+            if self._hot:
+                engine.replaying = False
         if pending_bootstrap:
             workers = ", ".join(sorted(pending_bootstrap))
             raise JournalCorruptionError(
@@ -1552,53 +1310,16 @@ class DocsSystem:
             )
         return tail_entries
 
-    # -- internals -------------------------------------------------------
-
-    def _run_full_inference(self):
-        if self._log is None or len(self._log) == 0:
-            return None
-        ti = TruthInference(
-            max_iterations=self._config.ti_max_iterations,
-            default_quality=self._config.default_quality,
-        )
-        # Initialise from the pristine golden-test qualities: warm
-        # starts from the incrementally updated store would anchor EM to
-        # the drift the incremental pass accumulates on low-weight
-        # domains.
-        initial = dict(self._golden_qualities)
-        # The append-only log already holds the solver's index arrays;
-        # no answer re-indexing or domain-vector re-stacking per re-run.
-        result = ti.infer_from_log(
-            self._log,
-            initial_qualities=initial,
-            shards=self._rerun_shards(),
-        )
-        self._incremental.resync_from_arena_result(
-            result, precision=self._config.serve_resync_precision
-        )
-        self._export_to_shared(result)
-        return result
+    # -- shared-store export (the engine's on_rerun hook) ----------------
 
     def _export_to_shared(self, result) -> None:
-        """Merge campaign evidence into the shared store (Theorem 1).
+        """Merge campaign evidence into the shared store (Theorem 1),
+        durable-first.
 
-        A full-TI re-run's per-worker (quality, weight) is the exact
-        batch estimate over this campaign's answer log. Exporting the
-        *delta* since the previous re-run — in mass form, via
-        :meth:`~repro.core.quality_store.WorkerQualityStore.apply_batch_delta`
-        — makes repeated exports telescope to exactly one export of the
-        final campaign estimate, so re-run boundaries can sync as often
-        as they like without double counting. Baselines are maintained
-        even without a shared store (and during journal replay, when
-        the original run's exports must not repeat) so a store attached
-        later starts from the right boundary.
+        The engine computes the telescoping per-worker deltas
+        (:meth:`repro.engines.docs.DocsEngine.export_deltas`); the
+        shell owns the crash-boundary ordering:
 
-        Two crash-boundary rules keep the store sane:
-
-        - a worker the store does not know receives the campaign's
-          *full cumulative* estimate, not the delta since the baseline
-          — a delta against a store that never got the base mass can
-          encode a pure revision and land out of [0, 1];
         - the journal is flushed before the first merge, so the
           evidence being exported is durable in the campaign file
           first. A crash right after the flush loses at most one
@@ -1609,9 +1330,13 @@ class DocsSystem:
           boundary is not a journal event, so if the final snapshot is
           lost (full-replay fallback) and the resumed campaign is
           finalized again, that one tail delta can repeat.
+        - while the flush (or a merge) is failing, deltas queue in the
+          degraded backlog instead of merging, so the store never sees
+          evidence the campaign file lost.
         """
+        engine = self._engine
         exporting = (
-            self._shared_store is not None and not self._replaying
+            engine.shared_store is not None and not engine.replaying
         )
         durable = True
         if exporting:
@@ -1627,46 +1352,23 @@ class DocsSystem:
                         "journal flush before shared export", exc
                     )
                     durable = False
-        for worker_row, worker_id in enumerate(result.worker_ids):
-            quality = np.asarray(
-                result.qualities[worker_row], dtype=float
-            )
-            weight = np.asarray(result.weights[worker_row], dtype=float)
-            previous = self._exported_log.get(worker_id)
-            if previous is None or (
-                exporting and worker_id not in self._shared_store
-            ):
-                # First export for this worker, or a baseline advanced
-                # before any store saw this worker (a store attached
-                # mid-campaign): ship the whole campaign estimate.
-                delta_mass = quality * weight
-                delta_u = weight.copy()
-            else:
-                prev_q, prev_u = previous
-                delta_mass = quality * weight - prev_q * prev_u
-                # Weights only grow (u_k = sum of r_k over answered
-                # tasks); clip guards floating-point drift.
-                delta_u = np.clip(weight - prev_u, 0.0, None)
-            self._exported_log[worker_id] = (
-                quality.copy(), weight.copy()
-            )
-            if exporting and (
-                np.any(delta_u > 0) or np.any(delta_mass != 0)
-            ):
-                if durable:
-                    try:
-                        self._shared_store.apply_batch_delta(
-                            worker_id, delta_mass, delta_u
-                        )
-                    except sqlite3.Error as exc:
-                        self._enter_degraded("shared-store export", exc)
-                        self._pending_shared_exports.append(
-                            (worker_id, delta_mass, delta_u)
-                        )
-                        # Queue the remaining workers too, preserving
-                        # export order against the same stuck store.
-                        durable = False
-                else:
+        for worker_id, delta_mass, delta_u in engine.export_deltas(
+            result
+        ):
+            if durable:
+                try:
+                    engine.shared_store.apply_batch_delta(
+                        worker_id, delta_mass, delta_u
+                    )
+                except sqlite3.Error as exc:
+                    self._enter_degraded("shared-store export", exc)
                     self._pending_shared_exports.append(
                         (worker_id, delta_mass, delta_u)
                     )
+                    # Queue the remaining workers too, preserving
+                    # export order against the same stuck store.
+                    durable = False
+            else:
+                self._pending_shared_exports.append(
+                    (worker_id, delta_mass, delta_u)
+                )

@@ -1,0 +1,156 @@
+"""Engine-conformance suite: every registry entry obeys the contract.
+
+Parametrized over :func:`repro.engines.engine_names`, so a newly
+registered engine is held to the same rules automatically:
+
+- ``prepare`` is single-shot;
+- bootstrap discipline — assigning to a worker who still owes the
+  golden pre-test raises :class:`~repro.errors.UnknownWorkerError`;
+- the at-most-once answer rule — a repeat (worker, task) submit raises
+  :class:`~repro.errors.ValidationError`;
+- ``assign`` never returns a task its worker already answered;
+- ``finalize`` covers every task id, resolving never-answered tasks to
+  the explicit uninformed default and reporting them through
+  ``unanswered_task_ids``.
+"""
+
+import pytest
+
+from repro.core.types import Answer
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.datasets import make_dataset
+from repro.engines import (
+    UNINFORMED_DEFAULT_CHOICE,
+    engine_names,
+    make_engine,
+)
+from repro.errors import UnknownWorkerError, ValidationError
+from repro.platform.amt_sim import PlatformSimulator
+
+ALL_ENGINES = engine_names()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset("4d", seed=11, tasks_per_domain=6)
+
+
+@pytest.fixture(scope="module")
+def pool(dataset):
+    active = tuple(d.taxonomy_index for d in dataset.domains)
+    return WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=10,
+            num_domains=dataset.taxonomy.size,
+            active_domains=active,
+            seed=12,
+        )
+    )
+
+
+def _bootstrap(engine, dataset, worker_id):
+    """Complete the golden pre-test when the engine requires one."""
+    if engine.needs_bootstrap(worker_id):
+        answers = [
+            Answer(
+                worker_id,
+                task_id,
+                dataset.task_by_id(task_id).ground_truth or 1,
+            )
+            for task_id in engine.golden_task_ids()
+        ]
+        engine.bootstrap(worker_id, answers)
+
+
+@pytest.mark.parametrize("name", ALL_ENGINES)
+class TestEngineConformance:
+    def test_prepare_is_single_shot(self, name, dataset):
+        engine = make_engine(name, seed=5)
+        engine.prepare(dataset)
+        with pytest.raises(ValidationError):
+            engine.prepare(dataset)
+
+    def test_bootstrap_discipline(self, name, dataset):
+        engine = make_engine(name, seed=5)
+        engine.prepare(dataset)
+        if engine.golden_task_ids():
+            # A fresh worker owes the golden pre-test: assignment is
+            # refused until bootstrap() ingested their answers.
+            assert engine.needs_bootstrap("w_fresh")
+            with pytest.raises(UnknownWorkerError):
+                engine.assign("w_fresh", 2)
+            _bootstrap(engine, dataset, "w_fresh")
+            assert not engine.needs_bootstrap("w_fresh")
+            engine.assign("w_fresh", 2)
+        else:
+            # No golden pre-test: workers assign straight away.
+            assert not engine.needs_bootstrap("w_fresh")
+            engine.assign("w_fresh", 2)
+
+    def test_repeat_answer_rejected(self, name, dataset):
+        engine = make_engine(name, seed=5)
+        engine.prepare(dataset)
+        _bootstrap(engine, dataset, "w0")
+        picks = engine.assign("w0", 2)
+        assert picks, f"{name} assigned nothing to a fresh worker"
+        answer = Answer("w0", picks[0], 1)
+        engine.submit(answer)
+        with pytest.raises(ValidationError):
+            engine.submit(answer)
+
+    def test_never_assigns_an_answered_task(self, name, dataset):
+        engine = make_engine(name, seed=5)
+        engine.prepare(dataset)
+        _bootstrap(engine, dataset, "w0")
+        answered = set()
+        for _ in range(dataset.num_tasks):
+            picks = engine.assign("w0", 2)
+            if not picks:
+                break
+            overlap = answered & set(picks)
+            assert not overlap, (
+                f"{name} re-assigned already-answered tasks {overlap}"
+            )
+            for task_id in picks:
+                engine.submit(Answer("w0", task_id, 1))
+                answered.add(task_id)
+        assert answered, f"{name} never assigned anything"
+
+    def test_finalize_covers_all_tasks_with_explicit_default(
+        self, name, dataset
+    ):
+        engine = make_engine(name, seed=5)
+        engine.prepare(dataset)
+        # Reporting unanswered tasks is meaningless before finalize
+        # decided them.
+        with pytest.raises(ValidationError):
+            engine.unanswered_task_ids()
+        _bootstrap(engine, dataset, "w0")
+        picks = engine.assign("w0", 1)
+        for task_id in picks:
+            engine.submit(Answer("w0", task_id, 1))
+
+        truths = engine.finalize()
+        all_ids = {t.task_id for t in dataset.tasks}
+        assert set(truths) == all_ids
+        unanswered = set(engine.unanswered_task_ids())
+        golden = set(engine.golden_task_ids())
+        # Only the single assigned task received a paid answer;
+        # everything else (modulo how the engine accounts its golden
+        # pre-test answers) was never answered and must carry the
+        # documented uninformed default.
+        assert all_ids - set(picks) - golden <= unanswered
+        assert unanswered <= all_ids - set(picks)
+        for task_id in unanswered:
+            assert truths[task_id] == UNINFORMED_DEFAULT_CHOICE
+
+    def test_full_campaign_coverage(self, name, dataset, pool):
+        engine = make_engine(name, seed=5)
+        simulator = PlatformSimulator(
+            dataset, pool, answers_per_task=2, hit_size=2, seed=13
+        )
+        report = simulator.run(engine)
+        assert set(report.truths) == {t.task_id for t in dataset.tasks}
+        assert 0.0 <= report.accuracy <= 1.0
+        for task_id in engine.unanswered_task_ids():
+            assert report.truths[task_id] == UNINFORMED_DEFAULT_CHOICE

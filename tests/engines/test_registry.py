@@ -1,0 +1,89 @@
+"""The engine registry: names, construction, and runtime registration."""
+
+import pytest
+
+from repro.engines import (
+    ENGINES,
+    engine_names,
+    make_engine,
+    register_engine,
+)
+from repro.engines.base import Engine
+from repro.errors import ValidationError
+
+CORE_ENTRIES = {
+    "docs",
+    "oracle",
+    "batched-em",
+    "random",
+    "askit",
+    "icrowd",
+    "qasca",
+    "dmax",
+    "mv",
+    "zc",
+    "ds",
+    "fc",
+}
+
+
+class TestRegistry:
+    def test_core_entries_registered(self):
+        assert CORE_ENTRIES <= set(engine_names())
+
+    def test_every_spec_has_a_summary(self):
+        for spec in ENGINES.values():
+            assert spec.summary, f"{spec.name} has no summary line"
+
+    def test_make_engine_builds_engines(self):
+        for name in engine_names():
+            engine = make_engine(name, seed=3)
+            assert isinstance(engine, Engine), name
+
+    def test_unknown_name_raises_with_valid_names(self):
+        with pytest.raises(ValidationError) as excinfo:
+            make_engine("no-such-engine")
+        message = str(excinfo.value)
+        assert "no-such-engine" in message
+        assert "docs" in message  # the error lists the registry
+
+    def test_engines_are_fresh_per_call(self):
+        assert make_engine("random") is not make_engine("random")
+
+    def test_register_engine_round_trip(self):
+        class _Probe(Engine):
+            name = "probe"
+
+            def prepare(self, dataset):
+                pass
+
+            def golden_task_ids(self):
+                return []
+
+            def needs_bootstrap(self, worker_id):
+                return False
+
+            def bootstrap(self, worker_id, answers):
+                pass
+
+            def assign(self, worker_id, k):
+                return []
+
+            def submit(self, answer):
+                pass
+
+            def finalize(self):
+                return {}
+
+        register_engine(
+            "probe", lambda seed, config: _Probe(), summary="test probe"
+        )
+        try:
+            assert "probe" in engine_names()
+            assert isinstance(make_engine("probe"), _Probe)
+        finally:
+            del ENGINES["probe"]
+
+    def test_register_engine_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            register_engine("", lambda seed, config: None)

@@ -1,0 +1,163 @@
+"""The campaign shell adds durability, never behaviour.
+
+The refactor's acceptance bar: :class:`repro.system.DocsSystem` hosting
+the ``docs`` engine must be indistinguishable — bit-identical HITs,
+truths, and resume digests — from the bare engine, and from the
+brute-force ``oracle`` registry entry (full-pool Eq. 8 evaluation with
+the serving ladder disabled). And a memory-only engine hosted by the
+sqlite shell must journal enough to resume by replay.
+"""
+
+import pytest
+
+from repro.core.types import Answer
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolConfig
+from repro.datasets import make_dataset
+from repro.engines import make_engine
+from repro.errors import ValidationError
+from repro.platform.amt_sim import PlatformSimulator
+from repro.system import DocsConfig, DocsSystem
+
+WORKERS = [f"w{i}" for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset("4d", seed=31, tasks_per_domain=8)
+
+
+def _pool(dataset, seed=7):
+    active = tuple(d.taxonomy_index for d in dataset.domains)
+    return WorkerPool.generate(
+        WorkerPoolConfig(
+            num_workers=12,
+            num_domains=dataset.taxonomy.size,
+            active_domains=active,
+            seed=seed,
+        )
+    )
+
+
+def _campaign(engine, dataset, seed=7):
+    simulator = PlatformSimulator(
+        dataset,
+        _pool(dataset, seed=seed + 1),
+        answers_per_task=3,
+        hit_size=2,
+        seed=seed + 3,
+    )
+    report = simulator.run(engine)
+    hits = [(h.worker_id, h.task_ids) for h in report.hit_log.all()]
+    return hits, dict(report.truths)
+
+
+def _golden_answers(system, dataset, worker):
+    return [
+        Answer(worker, tid, dataset.task_by_id(tid).ground_truth)
+        for tid in system.golden_task_ids()
+    ]
+
+
+def _drive(system, dataset, arrivals, start=0):
+    """Deterministic arrival script shared by the resume tests."""
+    for arrival in range(start, arrivals):
+        worker = WORKERS[arrival % len(WORKERS)]
+        if system.needs_bootstrap(worker):
+            system.bootstrap(
+                worker, _golden_answers(system, dataset, worker)
+            )
+        for task_id in system.assign(worker, 2):
+            ell = dataset.task_by_id(task_id).num_choices
+            choice = 1 + (task_id * 3 + arrival) % ell
+            system.submit(Answer(worker, task_id, choice))
+
+
+class TestShellTransparency:
+    def test_shell_hosted_docs_identical_to_bare_engine(self, dataset):
+        shell = DocsSystem(DocsConfig(seed=7))
+        bare = make_engine("docs", seed=7)
+        assert _campaign(shell, dataset) == _campaign(bare, dataset)
+
+    def test_shell_hosted_docs_identical_to_brute_oracle(self, dataset):
+        """The serving ladder (index, pool) is an optimisation: picks
+        must match a full-pool Eq. 8 evaluation bit for bit."""
+        shell = DocsSystem(DocsConfig(seed=7))
+        oracle = make_engine("oracle", seed=7)
+        assert _campaign(shell, dataset) == _campaign(oracle, dataset)
+
+    def test_configured_engine_is_reported(self):
+        assert DocsSystem(DocsConfig()).config.engine == "docs"
+        system = DocsSystem(DocsConfig(engine="random"))
+        assert system.config.engine == "random"
+        assert system.engine.name == "Baseline"
+
+
+class TestHotResumeDigest:
+    def test_killed_campaign_resumes_to_identical_digest(
+        self, dataset, tmp_path
+    ):
+        config = DocsConfig(
+            golden_count=6, rerun_interval=20, hit_size=3,
+            journal_batch_size=8,
+        )
+        path = str(tmp_path / "campaign.db")
+        system = DocsSystem(config, storage="sqlite", path=path)
+        system.prepare(dataset)
+        _drive(system, dataset, 17)
+        system.checkpoint()
+        digest = system.hot_state_digest()
+        # Simulated kill: abandoned, never closed.
+
+        resumed = DocsSystem.resume(path, config=config)
+        assert resumed.hot_state_digest() == digest
+        for worker in WORKERS:
+            assert system.assign(worker, 3) == resumed.assign(worker, 3)
+
+
+class TestGenericEngineHosting:
+    """A memory-only engine through the sqlite-durable shell."""
+
+    CONFIG = dict(seed=7, engine="random", journal_batch_size=8)
+
+    def test_baseline_campaign_survives_close_and_resume(
+        self, dataset, tmp_path
+    ):
+        path = str(tmp_path / "baseline.db")
+        system = DocsSystem(
+            DocsConfig(**self.CONFIG), storage="sqlite", path=path
+        )
+        system.prepare(dataset)
+        _drive(system, dataset, 17)
+        truths = system.finalize()
+        unanswered = system.unanswered_task_ids()
+        system.close()
+
+        resumed = DocsSystem.resume(
+            path, config=DocsConfig(**self.CONFIG), dataset=dataset
+        )
+        assert resumed.finalize() == truths
+        assert resumed.unanswered_task_ids() == unanswered
+
+    def test_resume_requires_the_dataset(self, dataset, tmp_path):
+        """Memory-only engines resume by replay: linking/DVE state is
+        not persisted, so the original dataset must be supplied."""
+        path = str(tmp_path / "baseline.db")
+        system = DocsSystem(
+            DocsConfig(**self.CONFIG), storage="sqlite", path=path
+        )
+        system.prepare(dataset)
+        _drive(system, dataset, 5)
+        system.close()
+        with pytest.raises(ValidationError):
+            DocsSystem.resume(path, config=DocsConfig(**self.CONFIG))
+
+    def test_hot_surfaces_refused_with_engine_name(self, dataset):
+        system = DocsSystem(DocsConfig(**self.CONFIG))
+        system.prepare(dataset)
+        with pytest.raises(ValidationError) as excinfo:
+            system.hot_state_digest()
+        assert "hot-state" in str(excinfo.value)
+        with pytest.raises(ValidationError):
+            system.snapshot()
+        with pytest.raises(ValidationError):
+            system.quality_store

@@ -1,0 +1,100 @@
+"""The campaign-create ``engine`` field: any registry engine over HTTP.
+
+A campaign may host any engine from :mod:`repro.engines`. Hot-state
+surfaces (digest, worker quality vectors) degrade to ``null`` for
+engines without the capability; everything else — assignment, answers,
+truths, finalize — serves identically.
+"""
+
+import pytest
+
+from tests.service.conftest import create_campaign, start_service
+
+
+@pytest.fixture()
+def service():
+    app, server, client = start_service()
+    yield app, client
+    server.stop()
+
+
+class TestEngineField:
+    def test_default_campaign_reports_docs_engine(self, service):
+        _, client = service
+        body = create_campaign(client)
+        assert body["engine"] == "docs"
+        status, body, _ = client.get("/campaigns/c1")
+        assert status == 200
+        assert body["engine"] == "docs"
+        assert isinstance(body["hot_state_digest"], str)
+
+    def test_unknown_engine_rejected_with_registry(self, service):
+        _, client = service
+        status, payload, _ = client.post(
+            "/campaigns",
+            {"name": "c2", "dataset": "4d", "engine": "nope"},
+        )
+        assert status == 400
+        message = payload["error"]["message"]
+        assert "nope" in message
+        assert "docs" in message  # the error lists registered engines
+
+    def test_non_string_engine_rejected(self, service):
+        _, client = service
+        status, payload, _ = client.post(
+            "/campaigns",
+            {"name": "c2", "dataset": "4d", "engine": 7},
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "validation"
+
+    def test_baseline_engine_campaign_end_to_end(self, service):
+        """A memory-only baseline through the full HTTP lifecycle."""
+        _, client = service
+        body = create_campaign(client, name="base", engine="random")
+        assert body["engine"] == "random"
+        # No golden pre-test: workers assign immediately.
+        assert body["golden_task_ids"] == []
+        status, body, _ = client.get("/campaigns/base")
+        assert status == 200
+        assert body["hot_state_digest"] is None
+
+        status, body, _ = client.get(
+            "/campaigns/base/workers/w0/assignment?k=3"
+        )
+        assert status == 200
+        task_ids = body["task_ids"]
+        assert task_ids
+
+        for task_id in task_ids:
+            status, body, _ = client.post(
+                "/campaigns/base/answers",
+                {"worker_id": "w0", "task_id": task_id, "choice": 1},
+            )
+            assert status == 200, body
+            assert body["accepted"] is True
+
+        status, body, _ = client.get("/campaigns/base/workers/w0")
+        assert status == 200
+        assert body["quality"] is None  # no hot worker model
+        assert body["tasks_answered"] == len(task_ids)
+
+        status, body, _ = client.post("/campaigns/base/finalize")
+        assert status == 200, body
+        assert len(body["truths"]) == 24  # every task gets a verdict
+
+    def test_duplicate_answer_still_rejected(self, service):
+        _, client = service
+        create_campaign(client, name="base", engine="random")
+        status, body, _ = client.get(
+            "/campaigns/base/workers/w0/assignment?k=1"
+        )
+        task_id = body["task_ids"][0]
+        answer = {"worker_id": "w0", "task_id": task_id, "choice": 1}
+        status, _, _ = client.post("/campaigns/base/answers", answer)
+        assert status == 200
+        status, payload, _ = client.post(
+            "/campaigns/base/answers", answer
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "validation"

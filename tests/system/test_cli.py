@@ -233,3 +233,73 @@ class TestCheckDbCommand:
         err = capsys.readouterr().err
         assert "REFUSED" in err
         assert str(SCHEMA_VERSION + 7) in err
+
+
+class TestEnginesCli:
+    def test_engines_command_lists_registry(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("docs", "oracle", "random", "batched-em"):
+            assert name in out
+
+    def test_run_with_engine(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "item",
+                "--seed", "3",
+                "--answers-per-task", "2",
+                "--hit-size", "3",
+                "--engine", "random",
+            ]
+        )
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_run_unknown_engine_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(
+                [
+                    "run",
+                    "--dataset", "item",
+                    "--seed", "3",
+                    "--engine", "not-an-engine",
+                ]
+            )
+
+    def test_run_engine_sqlite_then_resume(self, tmp_path, capsys):
+        """A memory-only engine persists raw answers and resumes by
+        replay: the CLI supplies the regenerated dataset itself."""
+        db = str(tmp_path / "campaign.db")
+        code = main(
+            [
+                "run",
+                "--dataset", "item",
+                "--seed", "3",
+                "--answers-per-task", "2",
+                "--hit-size", "3",
+                "--engine", "random",
+                "--store", "sqlite",
+                "--db", db,
+            ]
+        )
+        assert code == 0
+        assert "campaign persisted" in capsys.readouterr().out
+
+        code = main(
+            [
+                "run",
+                "--store", "sqlite",
+                "--db", db,
+                "--resume",
+                "--engine", "random",
+                "--dataset", "item",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed campaign" in out
+        assert "accuracy" in out
