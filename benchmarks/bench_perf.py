@@ -639,7 +639,8 @@ def compare_resume_at(
 
         conn = sqlite3.connect(path)
         for table in (
-            "snapshot_meta", "snapshot_groups", "snapshot_workers"
+            "snapshot_meta", "snapshot_groups", "snapshot_workers",
+            "snapshot_answer_index",
         ):
             conn.execute(f"DELETE FROM {table}")
         conn.commit()
@@ -687,6 +688,278 @@ def compare_resume_at(
         "snapshot_load_s": snapshot_seconds,
         "full_replay_s": replay_seconds,
         "speedup_resume": replay_seconds / snapshot_seconds,
+    }
+
+
+def _build_archived_campaign(
+    path: str,
+    n_tasks: int,
+    archived: int,
+    tail: int,
+    carry_index: bool,
+    seed: int = 7,
+):
+    """Write a campaign file with ``archived`` answers behind the
+    snapshot watermark and ``tail`` live journal rows after it.
+
+    The archived prefix enters the journal, the answer table, and the
+    arena log directly — skipping per-answer TI, whose cost is not what
+    the resume benchmark measures; the snapshot written by
+    ``checkpoint()`` captures exactly this state, so it is
+    self-consistent. The tail runs through real ``submit`` calls. The
+    file is then abandoned un-closed (journal flushed), so resume must
+    replay the tail rather than find a close-time snapshot covering it.
+
+    The tasks the tail lands on keep a **fixed** archived-answer
+    density (2 per task) at every archive size; the rest of the
+    archive spreads over the other tasks. Replaying a tail answer
+    re-weights every prior answerer of its task — serving-path work a
+    live campaign pays identically — so holding the tail's history
+    density constant isolates what the sweep is after: how resume cost
+    itself scales with the archived-answer count.
+
+    Returns the :class:`DocsConfig` to resume with.
+    """
+    from repro.datasets.base import CrowdDataset, DatasetDomain
+    from repro.system import DocsConfig, DocsSystem
+
+    if tail > n_tasks:
+        raise ValueError("tail must be <= n_tasks (unique pairs)")
+    rng = make_rng(seed)
+    tasks = _make_tasks(n_tasks, rng)
+    for task in tasks:
+        task.true_domain = task.task_id % NUM_DOMAINS
+    taxonomy = DomainTaxonomy(
+        tuple(f"domain{k}" for k in range(NUM_DOMAINS))
+    )
+    dataset = CrowdDataset(
+        name="bench-archive",
+        tasks=tasks,
+        kb=KnowledgeBase(taxonomy),
+        domains=[DatasetDomain("bench", "domain0", 0)],
+        task_labels=["bench"] * n_tasks,
+    )
+    config = DocsConfig(
+        golden_count=0,
+        rerun_interval=10**9,  # no full re-runs; fixed-tail cost only
+        journal_batch_size=1024,
+        snapshot_every_batches=0,
+        truncate_journal=True,
+        snapshot_carry_index=carry_index,
+    )
+    system = DocsSystem(config, storage="sqlite", path=path)
+    system.prepare(dataset)
+
+    # Every answerer is known to the quality store in a real campaign
+    # (its first submit merges it in); the snapshot's worker table must
+    # carry the synthetic answerers too, or tail replay would touch
+    # unknown workers while refreshing prior answers.
+    store = system.quality_store
+    for worker_id, quality in _seed_store(rng).items():
+        store.set(worker_id, quality, np.full(NUM_DOMAINS, 2.0))
+
+    answers = system.database.answers
+    log = system._log
+    tail_density = 2
+    rest = archived - tail * tail_density
+    if rest < 0:
+        raise ValueError("archived must cover the tail tasks' density")
+    per_task, extra = divmod(rest, n_tasks - tail)
+    if per_task + 1 > NUM_WORKERS:
+        raise ValueError("archived too large for unique worker pairs")
+    for task in tasks:
+        if task.task_id < tail:
+            count = tail_density
+        else:
+            count = per_task + (
+                1 if task.task_id - tail < extra else 0
+            )
+        for j in range(count):
+            worker = f"w{(task.task_id + j) % NUM_WORKERS}"
+            choice = 1 + (task.task_id * 3 + j) % NUM_CHOICES
+            answer = Answer(worker, task.task_id, choice)
+            answers.insert(answer)
+            log.append(answer)
+    system.checkpoint()  # snapshot + archive the prefix
+
+    for i in range(tail):
+        choice = 1 + (i * 5 + 1) % NUM_CHOICES
+        system.submit(Answer(f"t{i % NUM_WORKERS}", i, choice))
+    db = system.database
+    db.journal.flush()
+    db._conn.close()
+    db._closed = True  # simulated kill: no close-time snapshot
+    return config
+
+
+def compare_archived_resume_at(
+    n_tasks: int,
+    archived_counts: Tuple[int, ...],
+    tail: int,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Resume cost vs archived-answer count at a fixed live tail.
+
+    For each archived size, two identical campaigns are written — one
+    whose snapshot carries the serialised answer-log index
+    (``snapshot_carry_index=True``), one without — and each is resumed.
+    The index-carrying resume must take the ``index-carry`` restore
+    path (no ``committed_answers_through`` scan) and its cost must stay
+    flat as the archive grows; the index-less snapshot falls back to
+    ``archive-scan``, whose cost grows with the archive. Both resumed
+    systems must hold identical hot state and identical answer views —
+    checked on every run.
+    """
+    from repro.system import DocsSystem
+
+    points: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for archived in archived_counts:
+            point: Dict[str, object] = {
+                "num_tasks": n_tasks,
+                "archived": archived,
+                "tail": tail,
+            }
+            resumed: Dict[str, object] = {}
+            for carry in (True, False):
+                label = "carry" if carry else "scan"
+                path = str(
+                    pathlib.Path(tmp) / f"a{archived}_{label}.db"
+                )
+                config = _build_archived_campaign(
+                    path, n_tasks, archived, tail, carry, seed=seed
+                )
+                tic = time.perf_counter()
+                system = DocsSystem.resume(path, config=config)
+                wall = time.perf_counter() - tic
+                expected = "index-carry" if carry else "archive-scan"
+                got = system.resume_info["restore_path"]
+                if got != expected:
+                    raise AssertionError(
+                        f"archived={archived}: snapshot_carry_index="
+                        f"{carry} resumed via {got!r}, expected "
+                        f"{expected!r}"
+                    )
+                point[f"resume_s_{label}"] = wall
+                point[f"restore_path_{label}"] = got
+                resumed[label] = system
+            fast, slow = resumed["carry"], resumed["scan"]
+            for task_id in range(n_tasks):
+                f_state = fast._incremental.state(task_id)
+                s_state = slow._incremental.state(task_id)
+                if not np.array_equal(f_state.s, s_state.s) or (
+                    not np.array_equal(f_state.M, s_state.M)
+                ):
+                    raise AssertionError(
+                        f"archived={archived}: restore paths disagree "
+                        f"on task {task_id}"
+                    )
+            f_workers = sorted(fast.quality_store.known_workers())
+            if f_workers != sorted(slow.quality_store.known_workers()):
+                raise AssertionError(
+                    f"archived={archived}: restore paths know "
+                    "different workers"
+                )
+            # The lazily-hydrated answer views must read identically
+            # to the eagerly rebuilt ones, order included.
+            step = max(1, n_tasks // 50)
+            for task_id in range(0, n_tasks, step):
+                if fast.database.answers.for_task(task_id) != (
+                    slow.database.answers.for_task(task_id)
+                ):
+                    raise AssertionError(
+                        f"archived={archived}: answer views diverge "
+                        f"on task {task_id}"
+                    )
+            if len(fast.database.answers) != len(slow.database.answers):
+                raise AssertionError(
+                    f"archived={archived}: answer counts diverge"
+                )
+            fast.close()
+            slow.close()
+            points.append(point)
+    first, last = points[0], points[-1]
+    summary: Dict[str, object] = {
+        "num_tasks": n_tasks,
+        "tail": tail,
+        "points": points,
+        "archive_growth": (
+            last["archived"] / first["archived"]
+        ),
+        "carry_cost_ratio": (
+            last["resume_s_carry"] / first["resume_s_carry"]
+        ),
+        "scan_cost_ratio": (
+            last["resume_s_scan"] / first["resume_s_scan"]
+        ),
+    }
+    return summary
+
+
+def compare_analytics_at(
+    n_tasks: int,
+    archived: int,
+    tail: int,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """SQL-pushdown analytics vs the naive Python reference.
+
+    Builds one archived-plus-tail campaign file, then runs every
+    registered analytics query both ways. Hard failures: a result that
+    is not bit-identical to the reference, or a query plan touching
+    ``answers_archive``/``answers_log`` without a covering index.
+    """
+    from repro.analytics import QUERY_NAMES, explain_query, run_query
+    from repro.analytics.reference import run_reference
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(pathlib.Path(tmp) / "analytics.db")
+        _build_archived_campaign(
+            path, n_tasks, archived, tail, carry_index=True, seed=seed
+        )
+        db = SqliteSystemDatabase(path, journal_batch_size=256)
+        queries: Dict[str, Dict[str, object]] = {}
+        try:
+            conn = db._conn
+            for name in QUERY_NAMES:
+                uncovered = [
+                    line
+                    for line in explain_query(conn, name)
+                    if (
+                        "answers_archive" in line
+                        or "answers_log" in line
+                    )
+                    and "USING COVERING INDEX" not in line
+                ]
+                if uncovered:
+                    raise AssertionError(
+                        f"query {name!r} plan not covered: {uncovered}"
+                    )
+                tic = time.perf_counter()
+                pushed = run_query(conn, name)
+                sql_s = time.perf_counter() - tic
+                tic = time.perf_counter()
+                naive = run_reference(conn, name)
+                reference_s = time.perf_counter() - tic
+                if pushed != naive:
+                    raise AssertionError(
+                        f"query {name!r}: SQL result diverged from the "
+                        "Python reference"
+                    )
+                queries[name] = {
+                    "rows": len(pushed["rows"]),
+                    "sql_s": sql_s,
+                    "reference_s": reference_s,
+                    "speedup": reference_s / sql_s,
+                }
+        finally:
+            db.close()
+    return {
+        "num_tasks": n_tasks,
+        "archived": archived,
+        "tail": tail,
+        "answers": archived + tail,
+        "queries": queries,
     }
 
 
@@ -1084,6 +1357,32 @@ def _report_resume(summary: Dict[str, object]) -> None:
     )
 
 
+def _report_archive_resume(summary: Dict[str, object]) -> None:
+    for point in summary["points"]:
+        print(
+            f"a-resume archived={point['archived']:>7d}  "
+            f"tail={point['tail']:>5d}  "
+            f"scan {point['resume_s_scan']:7.2f} s -> "
+            f"carry {point['resume_s_carry']:6.2f} s"
+        )
+    print(
+        f"a-resume carry cost x{summary['carry_cost_ratio']:.2f} over "
+        f"x{summary['archive_growth']:.0f} archive growth "
+        f"(scan x{summary['scan_cost_ratio']:.2f})"
+    )
+
+
+def _report_analytics(summary: Dict[str, object]) -> None:
+    for name, stats in sorted(summary["queries"].items()):
+        print(
+            f"analytics {name:<16s} {summary['answers']:>7d} answers  "
+            f"reference {stats['reference_s']:7.3f} s -> "
+            f"sql {stats['sql_s']:7.3f} s   "
+            f"({stats['speedup']:.1f}x, {stats['rows']} rows, "
+            "bit-identical)"
+        )
+
+
 def _report_durability(summary: Dict[str, object]) -> None:
     print(
         f"journal n={summary['num_tasks']:>6d}  "
@@ -1139,6 +1438,26 @@ def main(argv=None) -> int:
             300, answers_per_task=2, rerun_every=150
         )
         _report_resume(resume_summary)
+        # Index-carrying resume must not grow superlinearly with the
+        # archived-answer count at a fixed tail: 10x more archived
+        # answers may cost at most half the naive 10x.
+        archive_summary = compare_archived_resume_at(
+            1000, (2000, 20000), tail=200
+        )
+        _report_archive_resume(archive_summary)
+        superlinear_bar = 0.5 * archive_summary["archive_growth"]
+        if archive_summary["carry_cost_ratio"] > superlinear_bar:
+            print(
+                f"FAIL: index-carry resume cost grew "
+                f"x{archive_summary['carry_cost_ratio']:.2f} over a "
+                f"x{archive_summary['archive_growth']:.0f} archive — "
+                "the snapshot index is not decoupling resume from "
+                "archive size",
+                file=sys.stderr,
+            )
+            return 1
+        analytics_summary = compare_analytics_at(500, 3000, 200)
+        _report_analytics(analytics_summary)
         # The serve regression bar runs at full 10K even in smoke: the
         # warm index must never be slower than brute force there.
         serve_summary = compare_serve_at(10000, arrivals=10)
@@ -1182,6 +1501,10 @@ def main(argv=None) -> int:
             "smoke ok: serving paths agree on truths, prepare paths "
             "agree on domain vectors, journaled campaign agrees with "
             "in-memory, snapshot resume agrees with full replay, "
+            "index-carry resume stays decoupled from archive size "
+            "with state identical to the archive-scan path, analytics "
+            "SQL matches the Python reference bit-for-bit on covered "
+            "plans, "
             "warm-index assign beats brute force at n=10K with "
             "identical picks, and the parallel plane (pool picks, "
             "sharded rerun, batch linking) matches its single-process "
@@ -1231,6 +1554,15 @@ def main(argv=None) -> int:
         )
         _report_resume(resume_summary)
         resume_points.append(resume_summary)
+    # Archive-heavy resume: fixed 20K-task pool and 400-answer tail,
+    # archived count swept 50K -> 500K. The index-carrying snapshot
+    # must hold resume cost flat across the sweep.
+    archive_summary = compare_archived_resume_at(
+        20000, (50000, 500000), tail=400
+    )
+    _report_archive_resume(archive_summary)
+    analytics_summary = compare_analytics_at(5000, 100000, 500)
+    _report_analytics(analytics_summary)
     serve_points = []
     for n in (1000, 10000, 100000):
         serve_summary = compare_serve_at(n)
@@ -1273,6 +1605,42 @@ def main(argv=None) -> int:
                 "vs by replaying every journal event"
             ),
             "points": resume_points,
+            "archive": {
+                "benchmark": (
+                    "index_carrying_snapshot_vs_archive_scan_resume"
+                ),
+                "workload": (
+                    "fixed task pool and live tail; archived-answer "
+                    "count swept with the snapshot either carrying "
+                    "the serialised answer-log index or not; resumed "
+                    "states verified identical across both restore "
+                    "paths"
+                ),
+                **{
+                    k: archive_summary[k]
+                    for k in (
+                        "num_tasks", "tail", "points",
+                        "archive_growth", "carry_cost_ratio",
+                        "scan_cost_ratio",
+                    )
+                },
+            },
+        },
+        "analytics": {
+            "benchmark": "sql_pushdown_vs_python_reference",
+            "workload": (
+                "archived + tail campaign file; every registered "
+                "analytics query run through the covering-index SQL "
+                "plane and the naive Python reference, results "
+                "verified bit-identical"
+            ),
+            **{
+                k: analytics_summary[k]
+                for k in (
+                    "num_tasks", "archived", "tail", "answers",
+                    "queries",
+                )
+            },
         },
         "serve": {
             "benchmark": "assignment_index_vs_brute_force_assign",
@@ -1338,6 +1706,15 @@ def main(argv=None) -> int:
         print(
             f"WARNING: 10K resume speedup "
             f"{resume_10k['speedup_resume']:.1f}x below the 5x target",
+            file=sys.stderr,
+        )
+        failed = True
+    if archive_summary["carry_cost_ratio"] > 1.2:
+        print(
+            f"WARNING: index-carry resume cost grew "
+            f"x{archive_summary['carry_cost_ratio']:.2f} over a "
+            f"x{archive_summary['archive_growth']:.0f} archive sweep "
+            "— above the 1.2x flatness target",
             file=sys.stderr,
         )
         failed = True

@@ -41,6 +41,10 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "## Durability",
         "### Compacted snapshots",
         "### Journal truncation",
+        "### Index-carrying snapshots",
+        "snapshot_answer_index",
+        "## Analytics plane",
+        "USING COVERING INDEX",
         "## Failure model & recovery",
         "### Graceful degradation",
         "FaultInjector",
@@ -70,6 +74,11 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "serve_index",
         "durability_status",
         "check-db",
+        "## `repro.analytics` — SQL-pushdown requester analytics",
+        "repro analyze",
+        "snapshot_carry_index",
+        "restore_path",
+        "analytics/{query}",
         "RetryPolicy",
         "SchemaVersionError",
         "## HTTP service",
@@ -81,6 +90,9 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
     "docs/performance.md": (
         "## Resume",
         "snapshot",
+        "### Index-carrying snapshots vs archive size",
+        "index-carry",
+        "## Analytics plane: SQL pushdown vs Python reference",
         "## Serve plane",
         "AssignmentIndex",
         "## Parallel serving plane",

@@ -1,0 +1,41 @@
+"""SQL-pushdown analytics plane over the campaign answer journal.
+
+Requester-facing analytical questions — worker accuracy trajectories,
+per-domain convergence, leaderboards, spam screens — run as indexed
+window-function SQL directly against the campaign file's
+``answers_archive`` + ``answers_log`` tables (the durable answer
+relation), with **zero Python-object hydration**: no ``Answer`` or
+``Task`` objects are built, only aggregate rows sized to the report.
+The covering indexes the queries ride are created by
+:func:`repro.platform.journal.ensure_analytics_indexes` whenever a
+journaled database opens (a versioned in-place migration for files from
+older builds).
+
+Every query has a retained naive Python reference implementation in
+:mod:`repro.analytics.reference`, and the test suite proves the SQL
+results bit-identical to it across archive/tail truncation splits.
+
+Entry points:
+
+- :func:`run_query` — dispatch by query name (the service plane's
+  ``GET /campaigns/<name>/analytics/<query>`` and the ``repro analyze``
+  CLI both land here);
+- :func:`explain_query` — the ``EXPLAIN QUERY PLAN`` rows of a query,
+  for the covering-index regression tests and ``repro analyze
+  --explain``;
+- :data:`QUERY_NAMES` — the registered query names.
+"""
+
+from repro.analytics.queries import (
+    QUERY_NAMES,
+    UnknownAnalyticsQueryError,
+    explain_query,
+    run_query,
+)
+
+__all__ = [
+    "QUERY_NAMES",
+    "UnknownAnalyticsQueryError",
+    "explain_query",
+    "run_query",
+]

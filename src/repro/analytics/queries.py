@@ -1,0 +1,490 @@
+"""The SQL-pushdown analytics queries.
+
+Every query runs against the **durable** answer relation — the
+``answers_archive`` rows moved out by journal truncation plus the
+committed ``answers_log`` rows of kind ``KIND_ANSWER`` (golden-bootstrap
+events are worker-model state, not campaign answers) — through one
+``UNION ALL`` scope that forces the per-dimension covering indexes
+(:data:`repro.platform.journal._ANALYTICS_INDEXES`) with ``INDEXED BY``.
+The heavy lifting (grouping, window functions, gaps-and-islands) happens
+inside SQLite; Python touches only the aggregate output rows, computing
+the float ratios from the SQL integer counts so results are bit-identical
+to the retained naive reference (:mod:`repro.analytics.reference`),
+which performs the same integer counting and the same float divisions.
+
+Determinism contract (shared with the reference): output rows carry an
+explicit total order (worker id / domain / rank), and every modal pick
+breaks count ties toward the smaller choice.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+
+class UnknownAnalyticsQueryError(ValidationError, KeyError):
+    """An analytics query name that is not in the registry."""
+
+    def __init__(self, name: str):
+        names = ", ".join(sorted(QUERY_NAMES))
+        super().__init__(
+            f"unknown analytics query {name!r}; available: {names}"
+        )
+        self.name = name
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message.
+        return self.args[0]
+
+
+#: The committed campaign answers, forced onto the covering indexes.
+#: Both branches select exactly the indexed columns, so the planner
+#: answers them from the index alone (``USING COVERING INDEX``); the
+#: ``kind = 0`` literal matches the partial-index predicate, which is
+#: what makes ``INDEXED BY`` legal on the log branch.
+_SCOPE_BY_WORKER = """
+    SELECT seq, task_id, worker_id, choice
+    FROM answers_archive INDEXED BY idx_answers_archive_worker
+    UNION ALL
+    SELECT seq, task_id, worker_id, choice
+    FROM answers_log INDEXED BY idx_answers_log_worker
+    WHERE kind = 0
+"""
+
+_SCOPE_BY_TASK = """
+    SELECT seq, task_id, worker_id, choice
+    FROM answers_archive INDEXED BY idx_answers_archive_task
+    UNION ALL
+    SELECT seq, task_id, worker_id, choice
+    FROM answers_log INDEXED BY idx_answers_log_task
+    WHERE kind = 0
+"""
+
+
+# -- worker-accuracy ------------------------------------------------------
+
+_WORKER_ACCURACY_SQL = f"""
+WITH scope AS ({_SCOPE_BY_WORKER}),
+stream AS (
+    -- One window sort for the whole query: the running count of
+    -- graded rows over seq DESC is exactly ROW_NUMBER() among a
+    -- worker's graded answers newest-first (their recency), without a
+    -- second pass over a graded-only subset.
+    SELECT s.worker_id AS worker_id,
+           CASE WHEN t.ground_truth IS NULL THEN NULL
+                ELSE (s.choice = t.ground_truth) END AS correct,
+           COUNT(CASE WHEN t.ground_truth IS NOT NULL THEN 1 END)
+               OVER (
+                   PARTITION BY s.worker_id ORDER BY s.seq DESC
+               ) AS recency
+    FROM scope AS s JOIN tasks AS t ON t.task_id = s.task_id
+),
+combined AS (
+    -- COUNT/SUM skip NULL ``correct`` (ungraded rows), so the overall
+    -- and graded-only aggregates collapse into ONE GROUP BY — no
+    -- second pass, no LEFT JOIN. The recency guard must re-check
+    -- gradedness: an ungraded row still carries the running graded
+    -- count of its neighbours.
+    SELECT worker_id,
+           COUNT(*) AS answered,
+           COUNT(correct) AS graded,
+           COALESCE(SUM(correct), 0) AS correct,
+           COUNT(CASE WHEN correct IS NOT NULL
+                           AND recency <= :window
+                      THEN 1 END) AS window_graded,
+           COALESCE(SUM(CASE WHEN recency <= :window
+                             THEN correct END), 0) AS window_correct
+    FROM stream GROUP BY worker_id
+)
+SELECT worker_id, answered, graded, correct,
+       window_graded, window_correct
+FROM combined ORDER BY worker_id
+"""
+
+
+def _build_worker_accuracy(opts: Dict[str, int]):
+    return _WORKER_ACCURACY_SQL, {"window": opts["window"]}
+
+
+def _shape_worker_accuracy(
+    fetched: Sequence[Tuple], opts: Dict[str, int]
+) -> List[Dict[str, object]]:
+    rows = []
+    for worker, answered, graded, correct, w_graded, w_correct in fetched:
+        rows.append({
+            "worker": worker,
+            "answered": answered,
+            "graded": graded,
+            "correct": correct,
+            "accuracy": (correct / graded) if graded else None,
+            "window_graded": w_graded,
+            "window_correct": w_correct,
+            "window_accuracy": (
+                (w_correct / w_graded) if w_graded else None
+            ),
+        })
+    return rows
+
+
+# -- convergence ----------------------------------------------------------
+
+# ``pos * 2 <= n + 1`` selects the first ceil(n / 2) answers of a task
+# (its "early half"); a task is *settled* when the early half's modal
+# choice already matches the full answer set's modal choice, and
+# *unanimous* when every answer picked the modal choice.
+_CONVERGENCE_SQL = f"""
+WITH scope AS ({_SCOPE_BY_TASK}),
+sized AS (
+    SELECT task_id, choice,
+           ROW_NUMBER() OVER (
+               PARTITION BY task_id ORDER BY seq
+           ) AS pos,
+           COUNT(*) OVER (PARTITION BY task_id) AS n
+    FROM scope
+),
+counts AS (
+    SELECT task_id, choice, COUNT(*) AS c, MAX(n) AS n
+    FROM sized GROUP BY task_id, choice
+),
+early_counts AS (
+    SELECT task_id, choice, COUNT(*) AS c
+    FROM sized WHERE pos * 2 <= n + 1
+    GROUP BY task_id, choice
+),
+-- Full-set and early-half modal picks resolve in ONE window pass over
+-- a flagged union: a join of two per-task CTEs would nest-loop over
+-- unindexed transient tables (quadratic in task count — measured 10x
+-- the whole query's runtime at 5K tasks), while this shape is one
+-- sort + one GROUP BY.
+ranked AS (
+    SELECT task_id, early, choice, c, n,
+           ROW_NUMBER() OVER (
+               PARTITION BY task_id, early
+               ORDER BY c DESC, choice ASC
+           ) AS rnk
+    FROM (
+        SELECT task_id, 0 AS early, choice, c, n FROM counts
+        UNION ALL
+        SELECT task_id, 1 AS early, choice, c, NULL AS n
+        FROM early_counts
+    )
+),
+per_task AS (
+    SELECT task_id,
+           MAX(CASE WHEN early = 0 THEN n END) AS n,
+           MAX(CASE WHEN early = 0 THEN c END) AS modal_count,
+           (MAX(CASE WHEN early = 0 THEN choice END) =
+            MAX(CASE WHEN early = 1 THEN choice END)) AS settled
+    FROM ranked WHERE rnk = 1
+    GROUP BY task_id
+),
+rollup AS (
+    SELECT COALESCE(t.true_domain, -1) AS domain,
+           COUNT(*) AS answered_tasks,
+           SUM(p.n) AS answers,
+           SUM(p.settled) AS settled,
+           SUM(p.modal_count = p.n) AS unanimous
+    FROM per_task AS p JOIN tasks AS t ON t.task_id = p.task_id
+    GROUP BY COALESCE(t.true_domain, -1)
+),
+catalogue AS (
+    SELECT COALESCE(true_domain, -1) AS domain, COUNT(*) AS tasks
+    FROM tasks GROUP BY COALESCE(true_domain, -1)
+)
+SELECT c.domain, c.tasks,
+       COALESCE(r.answered_tasks, 0), COALESCE(r.answers, 0),
+       COALESCE(r.settled, 0), COALESCE(r.unanimous, 0)
+FROM catalogue AS c LEFT JOIN rollup AS r USING (domain)
+ORDER BY c.domain
+"""
+
+
+def _build_convergence(opts: Dict[str, int]):
+    return _CONVERGENCE_SQL, {}
+
+
+def _shape_convergence(
+    fetched: Sequence[Tuple], opts: Dict[str, int]
+) -> List[Dict[str, object]]:
+    rows = []
+    for domain, tasks, answered, answers, settled, unanimous in fetched:
+        rows.append({
+            "domain": domain,
+            "tasks": tasks,
+            "answered_tasks": answered,
+            "answers": answers,
+            "mean_answers": (answers / answered) if answered else None,
+            "settled": settled,
+            "settled_rate": (settled / answered) if answered else None,
+            "unanimous": unanimous,
+            "unanimous_rate": (
+                (unanimous / answered) if answered else None
+            ),
+        })
+    return rows
+
+
+# -- leaderboard ----------------------------------------------------------
+
+# ``1.0 * correct / graded`` is IEEE-double division, identical to the
+# reference's Python ``correct / graded`` — so SQL ranking and Python
+# ranking order workers identically, ties included.
+_LEADERBOARD_SQL = f"""
+WITH scope AS ({_SCOPE_BY_WORKER}),
+graded_totals AS (
+    SELECT s.worker_id AS worker_id,
+           COUNT(*) AS graded,
+           SUM(s.choice = t.ground_truth) AS correct
+    FROM scope AS s JOIN tasks AS t ON t.task_id = s.task_id
+    WHERE t.ground_truth IS NOT NULL
+    GROUP BY s.worker_id
+),
+ranked AS (
+    SELECT worker_id, graded, correct,
+           RANK() OVER (
+               ORDER BY 1.0 * correct / graded DESC, graded DESC
+           ) AS rnk
+    FROM graded_totals WHERE graded >= :min_graded
+)
+SELECT rnk, worker_id, graded, correct FROM ranked
+ORDER BY rnk, worker_id LIMIT :limit
+"""
+
+
+def _build_leaderboard(opts: Dict[str, int]):
+    return _LEADERBOARD_SQL, {
+        "limit": opts["limit"], "min_graded": opts["min_graded"],
+    }
+
+
+def _shape_leaderboard(
+    fetched: Sequence[Tuple], opts: Dict[str, int]
+) -> List[Dict[str, object]]:
+    return [
+        {
+            "rank": rank,
+            "worker": worker,
+            "graded": graded,
+            "correct": correct,
+            "accuracy": correct / graded,
+        }
+        for rank, worker, graded, correct in fetched
+    ]
+
+
+# -- spam -----------------------------------------------------------------
+
+# Burst screen: for every run of ``window`` consecutive answers by one
+# worker, the span ``seq - LAG(seq, window - 1)`` measures how much of
+# the campaign's *global* answer stream the run occupied — a worker
+# answering faster than everyone else combined compresses it toward the
+# minimum possible ``window - 1``. Miss screen: longest consecutive run
+# of wrong graded answers, via gaps-and-islands on the per-worker row
+# number minus the wrong-only row number.
+_SPAM_SQL = f"""
+WITH scope AS ({_SCOPE_BY_WORKER}),
+stream AS (
+    -- ONE window sort carries all three screens: the LAG burst span,
+    -- graded correctness, and the gaps-and-islands group as a
+    -- difference of running counts (graded-so-far minus wrong-so-far
+    -- equals the classic rn - wrong_rn island key on wrong rows).
+    -- Separate spans/graded/islands CTEs would each sort the full
+    -- stream again.
+    SELECT s.worker_id AS worker_id,
+           s.seq - LAG(s.seq, :lag) OVER w AS span,
+           CASE WHEN t.ground_truth IS NULL THEN NULL
+                ELSE (s.choice = t.ground_truth) END AS correct,
+           COUNT(CASE WHEN t.ground_truth IS NOT NULL THEN 1 END)
+               OVER w
+             - COUNT(CASE WHEN s.choice <> t.ground_truth THEN 1 END)
+               OVER w AS grp
+    FROM scope AS s JOIN tasks AS t ON t.task_id = s.task_id
+    WINDOW w AS (PARTITION BY s.worker_id ORDER BY s.seq)
+),
+totals AS (
+    -- MIN skips NULL spans, so the burst minimum folds into the same
+    -- GROUP BY as the answer count (NULL when no span exists, exactly
+    -- the no-burst-data marker the shaper expects).
+    SELECT worker_id, COUNT(*) AS answered, MIN(span) AS min_span
+    FROM stream GROUP BY worker_id
+),
+streaks AS (
+    SELECT worker_id, MAX(cnt) AS max_streak FROM (
+        SELECT worker_id, COUNT(*) AS cnt
+        FROM stream WHERE correct = 0 GROUP BY worker_id, grp
+    ) GROUP BY worker_id
+)
+SELECT t.worker_id, t.answered, t.min_span,
+       COALESCE(s.max_streak, 0)
+FROM totals AS t
+LEFT JOIN streaks AS s USING (worker_id)
+ORDER BY t.worker_id
+"""
+
+
+def _build_spam(opts: Dict[str, int]):
+    return _SPAM_SQL, {"lag": opts["window"] - 1}
+
+
+def _shape_spam(
+    fetched: Sequence[Tuple], opts: Dict[str, int]
+) -> List[Dict[str, object]]:
+    span_limit = opts["span"]
+    streak_limit = opts["streak"]
+    rows = []
+    for worker, answered, min_span, max_streak in fetched:
+        burst = min_span is not None and min_span <= span_limit
+        miss_streak = max_streak >= streak_limit
+        rows.append({
+            "worker": worker,
+            "answered": answered,
+            "min_burst_span": min_span,
+            "max_miss_streak": max_streak,
+            "burst": burst,
+            "miss_streak": miss_streak,
+            "flagged": burst or miss_streak,
+        })
+    return rows
+
+
+def _derive_spam(opts: Dict[str, int]) -> None:
+    # Default burst threshold: the run took at most twice the minimum
+    # possible span — i.e. the worker produced at least half of the
+    # global answer stream while it lasted.
+    if opts.get("span") is None:
+        opts["span"] = 2 * (opts["window"] - 1)
+
+
+# -- registry + dispatch --------------------------------------------------
+
+#: name -> (param spec, sql builder, row shaper, opts deriver).
+#: Param spec: param name -> (default, minimum); a ``None`` default
+#: marks a parameter resolved by the deriver after parsing.
+_REGISTRY: Dict[str, Tuple] = {
+    "worker-accuracy": (
+        {"window": (20, 1)},
+        _build_worker_accuracy, _shape_worker_accuracy, None,
+    ),
+    "convergence": (
+        {},
+        _build_convergence, _shape_convergence, None,
+    ),
+    "leaderboard": (
+        {"limit": (10, 1), "min_graded": (1, 1)},
+        _build_leaderboard, _shape_leaderboard, None,
+    ),
+    "spam": (
+        {"window": (10, 2), "span": (None, 1), "streak": (5, 1)},
+        _build_spam, _shape_spam, _derive_spam,
+    ),
+}
+
+#: The registered analytics query names.
+QUERY_NAMES: Tuple[str, ...] = tuple(sorted(_REGISTRY))
+
+
+def _parse_params(
+    name: str,
+    spec: Mapping[str, Tuple[Optional[int], int]],
+    params: Optional[Mapping[str, object]],
+) -> Dict[str, Optional[int]]:
+    opts: Dict[str, Optional[int]] = {
+        key: default for key, (default, _) in spec.items()
+    }
+    for key, raw in (params or {}).items():
+        if key not in spec:
+            allowed = ", ".join(sorted(spec)) or "(none)"
+            raise ValidationError(
+                f"analytics query {name!r} has no parameter {key!r}; "
+                f"allowed: {allowed}"
+            )
+        # The service plane hands parse_qs lists; take the first value.
+        if isinstance(raw, (list, tuple)):
+            raw = raw[0] if raw else None
+        try:
+            value = int(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"analytics parameter {key!r} must be an integer, "
+                f"got {raw!r}"
+            ) from None
+        minimum = spec[key][1]
+        if value < minimum:
+            raise ValidationError(
+                f"analytics parameter {key!r} must be >= {minimum}, "
+                f"got {value}"
+            )
+        opts[key] = value
+    return opts
+
+
+def _lookup(name: str) -> Tuple:
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise UnknownAnalyticsQueryError(name)
+    return entry
+
+
+def _prepare(
+    name: str, params: Optional[Mapping[str, object]]
+) -> Tuple[str, Dict[str, int], Dict[str, int], Tuple]:
+    spec, build, shape, derive = _lookup(name)
+    opts = _parse_params(name, spec, params)
+    if derive is not None:
+        derive(opts)
+    sql, binds = build(opts)
+    return sql, binds, opts, (build, shape)
+
+
+def run_query(
+    conn: sqlite3.Connection,
+    name: str,
+    params: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Run one analytics query against a campaign database connection.
+
+    Args:
+        conn: a connection to a journaled campaign file (the covering
+            indexes are created whenever such a file is opened).
+        name: a :data:`QUERY_NAMES` entry.
+        params: optional query parameters; values may be ints, numeric
+            strings, or ``parse_qs``-style one-element lists.
+
+    Returns:
+        ``{"query": name, "params": {resolved ints}, "rows": [...]}`` —
+        plain dicts and scalars only, JSON-ready.
+
+    Raises:
+        UnknownAnalyticsQueryError: for an unregistered name.
+        ValidationError: for an unknown or malformed parameter.
+    """
+    sql, binds, opts, (_, shape) = _prepare(name, params)
+    # Window-function passes sort through temp b-trees; spilling those
+    # to disk temp files dominates query time on archive-scale inputs.
+    # temp_store is a connection-level knob that only affects where
+    # temporary structures live, never durable state.
+    (temp_store,) = conn.execute("PRAGMA temp_store").fetchone()
+    conn.execute("PRAGMA temp_store = MEMORY")
+    try:
+        fetched = conn.execute(sql, binds).fetchall()
+    finally:
+        conn.execute(f"PRAGMA temp_store = {int(temp_store)}")
+    return {"query": name, "params": opts, "rows": shape(fetched, opts)}
+
+
+def explain_query(
+    conn: sqlite3.Connection,
+    name: str,
+    params: Optional[Mapping[str, object]] = None,
+) -> List[str]:
+    """The ``EXPLAIN QUERY PLAN`` detail lines of one query.
+
+    The covering-index regression tests assert on these, and
+    ``repro analyze --explain`` prints them.
+    """
+    sql, binds, _, _ = _prepare(name, params)
+    rows = conn.execute(f"EXPLAIN QUERY PLAN {sql}", binds).fetchall()
+    return [str(row[-1]) for row in rows]

@@ -1,0 +1,244 @@
+"""Naive Python reference for the SQL-pushdown analytics queries.
+
+Each function here hydrates the full durable answer stream (archive +
+committed log, in seq order) into Python structures and computes the
+report with plain loops — exactly the object-walking cost the SQL plane
+avoids. The test suite asserts :func:`run_reference` output is
+**bit-identical** to :func:`repro.analytics.queries.run_query` for every
+query, so this module is the executable specification of the plane: all
+integer counting happens identically, and every float is produced by
+the same IEEE-double division the SQL path defers to Python (or, for
+leaderboard ranking, performs with ``1.0 * correct / graded``, which is
+the same operation).
+
+Parameter parsing and defaulting are shared with the SQL side, so the
+``params`` echo in the result dict matches too.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections import defaultdict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analytics.queries import _lookup, _parse_params
+
+
+def _scope_rows(
+    conn: sqlite3.Connection,
+) -> List[Tuple[int, int, str, int]]:
+    """The durable answers as (seq, task_id, worker_id, choice), in
+    seq order — same relation the SQL scope CTE ranges over."""
+    return conn.execute(
+        """
+        SELECT seq, task_id, worker_id, choice FROM answers_archive
+        UNION ALL
+        SELECT seq, task_id, worker_id, choice FROM answers_log
+        WHERE kind = 0
+        ORDER BY seq
+        """
+    ).fetchall()
+
+
+def _task_facts(
+    conn: sqlite3.Connection,
+) -> Dict[int, Tuple[Optional[int], Optional[int]]]:
+    """task_id -> (ground_truth, true_domain) for the whole catalogue."""
+    return {
+        task_id: (truth, domain)
+        for task_id, truth, domain in conn.execute(
+            "SELECT task_id, ground_truth, true_domain FROM tasks"
+        )
+    }
+
+
+def _ref_worker_accuracy(conn, opts):
+    window = opts["window"]
+    facts = _task_facts(conn)
+    answered: Dict[str, int] = defaultdict(int)
+    graded_runs: Dict[str, List[bool]] = defaultdict(list)
+    for _seq, task_id, worker_id, choice in _scope_rows(conn):
+        answered[worker_id] += 1
+        truth = facts[task_id][0]
+        if truth is not None:
+            graded_runs[worker_id].append(choice == truth)
+    rows = []
+    for worker in sorted(answered):
+        run = graded_runs.get(worker, [])
+        graded = len(run)
+        correct = sum(run)
+        tail = run[-window:]
+        w_graded = len(tail)
+        w_correct = sum(tail)
+        rows.append({
+            "worker": worker,
+            "answered": answered[worker],
+            "graded": graded,
+            "correct": correct,
+            "accuracy": (correct / graded) if graded else None,
+            "window_graded": w_graded,
+            "window_correct": w_correct,
+            "window_accuracy": (
+                (w_correct / w_graded) if w_graded else None
+            ),
+        })
+    return rows
+
+
+def _modal_choice(counts: Mapping[int, int]) -> int:
+    # Count ties break toward the smaller choice, as in the SQL
+    # ``ORDER BY c DESC, choice ASC`` modal pick.
+    return min(counts, key=lambda choice: (-counts[choice], choice))
+
+
+def _ref_convergence(conn, opts):
+    facts = _task_facts(conn)
+    per_task: Dict[int, List[int]] = defaultdict(list)
+    for _seq, task_id, _worker_id, choice in _scope_rows(conn):
+        per_task[task_id].append(choice)
+    stats: Dict[int, List[int]] = defaultdict(lambda: [0, 0, 0, 0])
+    for task_id, choices in per_task.items():
+        n = len(choices)
+        counts: Dict[int, int] = defaultdict(int)
+        for choice in choices:
+            counts[choice] += 1
+        modal = _modal_choice(counts)
+        early_counts: Dict[int, int] = defaultdict(int)
+        for choice in choices[: (n + 1) // 2]:
+            early_counts[choice] += 1
+        domain = facts[task_id][1]
+        entry = stats[-1 if domain is None else domain]
+        entry[0] += 1
+        entry[1] += n
+        entry[2] += _modal_choice(early_counts) == modal
+        entry[3] += counts[modal] == n
+    catalogue: Dict[int, int] = defaultdict(int)
+    for _truth, domain in facts.values():
+        catalogue[-1 if domain is None else domain] += 1
+    rows = []
+    for domain in sorted(catalogue):
+        answered, answers, settled, unanimous = stats.get(
+            domain, (0, 0, 0, 0)
+        )
+        rows.append({
+            "domain": domain,
+            "tasks": catalogue[domain],
+            "answered_tasks": answered,
+            "answers": answers,
+            "mean_answers": (answers / answered) if answered else None,
+            "settled": settled,
+            "settled_rate": (settled / answered) if answered else None,
+            "unanimous": unanimous,
+            "unanimous_rate": (
+                (unanimous / answered) if answered else None
+            ),
+        })
+    return rows
+
+
+def _graded_totals(conn) -> Dict[str, Tuple[int, int]]:
+    """worker -> (graded, correct) over the durable stream."""
+    facts = _task_facts(conn)
+    totals: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+    for _seq, task_id, worker_id, choice in _scope_rows(conn):
+        truth = facts[task_id][0]
+        if truth is not None:
+            entry = totals[worker_id]
+            entry[0] += 1
+            entry[1] += choice == truth
+    return {w: (g, c) for w, (g, c) in totals.items()}
+
+
+def _ref_leaderboard(conn, opts):
+    qualified = [
+        (worker, graded, correct)
+        for worker, (graded, correct) in _graded_totals(conn).items()
+        if graded >= opts["min_graded"]
+    ]
+    # Competition (RANK()) over (accuracy DESC, graded DESC); output
+    # order (rank, worker) as in the SQL.
+    qualified.sort(
+        key=lambda row: (-(row[2] / row[1]), -row[1], row[0])
+    )
+    rows = []
+    prev_key = None
+    rank = 0
+    for position, (worker, graded, correct) in enumerate(qualified, 1):
+        key = (correct / graded, graded)
+        if key != prev_key:
+            rank = position
+            prev_key = key
+        rows.append({
+            "rank": rank,
+            "worker": worker,
+            "graded": graded,
+            "correct": correct,
+            "accuracy": correct / graded,
+        })
+    return rows[: opts["limit"]]
+
+
+def _ref_spam(conn, opts):
+    window = opts["window"]
+    facts = _task_facts(conn)
+    seqs: Dict[str, List[int]] = defaultdict(list)
+    graded_runs: Dict[str, List[bool]] = defaultdict(list)
+    for seq, task_id, worker_id, choice in _scope_rows(conn):
+        seqs[worker_id].append(seq)
+        truth = facts[task_id][0]
+        if truth is not None:
+            graded_runs[worker_id].append(choice == truth)
+    rows = []
+    for worker in sorted(seqs):
+        run = seqs[worker]
+        min_span = None
+        if len(run) >= window:
+            min_span = min(
+                run[i + window - 1] - run[i]
+                for i in range(len(run) - window + 1)
+            )
+        max_streak = streak = 0
+        for correct in graded_runs.get(worker, []):
+            streak = 0 if correct else streak + 1
+            max_streak = max(max_streak, streak)
+        burst = min_span is not None and min_span <= opts["span"]
+        miss_streak = max_streak >= opts["streak"]
+        rows.append({
+            "worker": worker,
+            "answered": len(run),
+            "min_burst_span": min_span,
+            "max_miss_streak": max_streak,
+            "burst": burst,
+            "miss_streak": miss_streak,
+            "flagged": burst or miss_streak,
+        })
+    return rows
+
+
+_REFERENCE = {
+    "worker-accuracy": _ref_worker_accuracy,
+    "convergence": _ref_convergence,
+    "leaderboard": _ref_leaderboard,
+    "spam": _ref_spam,
+}
+
+
+def run_reference(
+    conn: sqlite3.Connection,
+    name: str,
+    params: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Naive-Python twin of :func:`repro.analytics.queries.run_query`.
+
+    Same name registry, same parameter parsing, same result shape —
+    differing only in how the rows are computed.
+    """
+    spec, _build, _shape, derive = _lookup(name)
+    opts = _parse_params(name, spec, params)
+    if derive is not None:
+        derive(opts)
+    return {
+        "query": name,
+        "params": opts,
+        "rows": _REFERENCE[name](conn, opts),
+    }

@@ -18,6 +18,10 @@ Commands:
 - ``check-db`` — integrity-check a campaign database: journal CRC
   validation, snapshot checksum, and a salvage dry-run (``--salvage``
   actually truncates a torn tail to the last consistent batch).
+- ``analyze`` — run one SQL-pushdown analytics report
+  (worker-accuracy, convergence, leaderboard, spam) over a campaign
+  database and print JSON; ``--explain`` prints the query plan
+  instead.
 - ``serve`` — run the asyncio HTTP service: campaign lifecycle, task
   upload, assignment, and answer submission over the network, with a
   bounded arrival queue (429 backpressure) and coalesced journal
@@ -199,6 +203,42 @@ def _build_parser() -> argparse.ArgumentParser:
             "truncate a torn journal tail back to the last consistent "
             "batch (IRREVERSIBLE: drops the rows the dry-run reports; "
             "committed consistent batches are never touched)"
+        ),
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help=(
+            "run a SQL-pushdown analytics report over a campaign "
+            "database (worker-accuracy, convergence, leaderboard, "
+            "spam)"
+        ),
+    )
+    analyze.add_argument(
+        "path", help="SQLite campaign database file to analyze"
+    )
+    analyze.add_argument(
+        "query",
+        help=(
+            "analytics query name; see docs/api.md for the registry "
+            "and per-query parameters"
+        ),
+    )
+    analyze.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "query parameter (repeatable), e.g. --param window=50"
+        ),
+    )
+    analyze.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "print the EXPLAIN QUERY PLAN lines instead of running "
+            "the query (covering-index sanity check)"
         ),
     )
 
@@ -683,6 +723,49 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    import json
+    import os
+
+    from repro.analytics import explain_query, run_query
+    from repro.errors import ReproError, SchemaVersionError
+    from repro.platform.sqlite_storage import SqliteSystemDatabase
+
+    if not os.path.exists(args.path):
+        print(f"no such file: {args.path}", file=sys.stderr)
+        return 2
+    params = {}
+    for item in args.param:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            print(
+                f"bad --param {item!r}; expected KEY=VALUE",
+                file=sys.stderr,
+            )
+            return 2
+        params[key] = value
+    try:
+        # Opening through the platform layer validates the schema
+        # version and runs the covering-index migration on old files.
+        db = SqliteSystemDatabase(args.path, journal_batch_size=256)
+    except SchemaVersionError as exc:
+        print(f"REFUSED — {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.explain:
+            for line in explain_query(db._conn, args.query, params):
+                print(line)
+        else:
+            result = run_query(db._conn, args.query, params)
+            print(json.dumps(result, indent=2))
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        db.close()
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "run": _cmd_run,
@@ -692,6 +775,7 @@ _COMMANDS = {
     "compare-ti": _cmd_compare_ti,
     "compare-ota": _cmd_compare_ota,
     "check-db": _cmd_check_db,
+    "analyze": _cmd_analyze,
     "serve": _cmd_serve,
     "report": _cmd_report,
 }

@@ -105,6 +105,28 @@ class GroupState:
     dirty: np.ndarray
 
 
+@dataclass
+class AnswerLogState:
+    """The :class:`AnswerLog` index columns, detached for snapshotting.
+
+    The index-carrying snapshot payload: with these columns persisted,
+    resume installs the answer log (and derives every other in-memory
+    answer index lazily from it) instead of re-reading the archived
+    journal prefix — the O(snapshot + tail) resume path.
+
+    Attributes:
+        task_rows: (n,) per-answer arena global rows, arrival order.
+        worker_rows: (n,) per-answer worker rows, aligned.
+        choices: (n,) 0-based answered choices, aligned.
+        worker_ids: worker ids by row (first-submission order).
+    """
+
+    task_rows: np.ndarray
+    worker_rows: np.ndarray
+    choices: np.ndarray
+    worker_ids: List[str]
+
+
 class ChoiceGroup:
     """The dense buffers for all tasks sharing one choice count ``l``.
 
@@ -824,6 +846,74 @@ class AnswerLog:
             if global_row not in self._answered:
                 self._answered.add(global_row)
                 self._first_order.append(global_row)
+
+    def export_state(self) -> AnswerLogState:
+        """Deep-copy the index columns (the snapshot payload).
+
+        The copies are stable against further appends, so the snapshot
+        writer can serialise them outside the arena lock.
+        """
+        return AnswerLogState(
+            task_rows=self._task_rows[: self._count].copy(),
+            worker_rows=self._worker_rows[: self._count].copy(),
+            choices=self._choices[: self._count].copy(),
+            worker_ids=list(self._worker_ids),
+        )
+
+    def install_restored(self, state: AnswerLogState) -> None:
+        """Install snapshot-carried columns into an empty log.
+
+        The index-carrying resume path: the columns land as one block
+        write and the worker-row table comes pre-assigned, so nothing
+        is per-answer Python — only the vectorised first-answer-order
+        derivation (``np.unique``) scales with the answer count.
+        Produces exactly the state :meth:`extend_restored` would when
+        fed the same answers in arrival order.
+
+        Raises:
+            ValidationError: if the log already holds answers, or the
+                columns are inconsistent with each other.
+        """
+        if self._count:
+            raise ValidationError(
+                "install_restored needs an empty answer log"
+            )
+        task_rows = np.asarray(state.task_rows, dtype=np.int64)
+        worker_rows = np.asarray(state.worker_rows, dtype=np.int64)
+        choices = np.asarray(state.choices, dtype=np.int64)
+        n = task_rows.shape[0]
+        if worker_rows.shape[0] != n or choices.shape[0] != n:
+            raise ValidationError(
+                "answer-log columns disagree on the answer count"
+            )
+        if n and (
+            int(worker_rows.min()) < 0
+            or int(worker_rows.max()) >= len(state.worker_ids)
+        ):
+            raise ValidationError(
+                "answer-log worker rows fall outside the worker table"
+            )
+        capacity = self._task_rows.shape[0]
+        while capacity < n:
+            capacity *= 2
+        for name, column in (
+            ("_task_rows", task_rows),
+            ("_worker_rows", worker_rows),
+            ("_choices", choices),
+        ):
+            buffer = np.zeros(capacity, dtype=np.int64)
+            buffer[:n] = column
+            setattr(self, name, buffer)
+        self._count = n
+        self._worker_ids = list(state.worker_ids)
+        self._worker_row = {
+            worker_id: row
+            for row, worker_id in enumerate(self._worker_ids)
+        }
+        unique_rows, first_at = np.unique(task_rows, return_index=True)
+        order = np.argsort(first_at)
+        self._first_order = [int(r) for r in unique_rows[order]]
+        self._answered = set(self._first_order)
 
     @property
     def task_rows(self) -> np.ndarray:

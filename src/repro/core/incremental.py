@@ -73,6 +73,49 @@ class IncrementalTruthInference:
         self._history: Dict[int, List[Tuple[str, int]]] = {
             task_id: [] for task_id in self._arena.task_ids()
         }
+        #: Archived prefix from an index-carrying snapshot: an object
+        #: with ``task_pairs(task_id) -> [(worker_id, choice), ...]``
+        #: (see :class:`repro.platform.storage.RestoredAnswerColumns`).
+        #: Folded into ``_history`` per task on first touch, so resume
+        #: never loops over archived answers in Python.
+        self._history_base = None
+        self._hydrated_tasks: set = set()
+
+    def install_restored_history(self, base) -> None:
+        """Adopt snapshot-carried answer columns as the archived prefix
+        of every task's answer history (lazily folded in on first
+        touch). Only legal while no history entries exist yet.
+
+        Args:
+            base: duck-typed columnar prefix exposing
+                ``task_pairs(task_id)`` in arrival order — in practice a
+                :class:`repro.platform.storage.RestoredAnswerColumns`.
+        """
+        if self._history_base is not None or any(
+            entries for entries in self._history.values()
+        ):
+            raise ValidationError(
+                "a restored history base can only be installed before "
+                "any answers are applied"
+            )
+        self._history_base = base
+
+    def _task_history(self, task_id: int) -> List[Tuple[str, int]]:
+        """The mutable history list of one registered task, with the
+        restored base's pairs folded in on first touch.
+
+        Raises:
+            KeyError: if the task was never registered (matching the
+                pre-base behaviour of ``self._history[task_id]``).
+        """
+        entries = self._history[task_id]
+        if (
+            self._history_base is not None
+            and task_id not in self._hydrated_tasks
+        ):
+            self._hydrated_tasks.add(task_id)
+            entries[:0] = self._history_base.task_pairs(task_id)
+        return entries
 
     @property
     def quality_store(self) -> WorkerQualityStore:
@@ -131,7 +174,9 @@ class IncrementalTruthInference:
 
     def answered_workers(self, task_id: int) -> List[Tuple[str, int]]:
         """(worker, choice) pairs applied to a task so far."""
-        return list(self._history.get(task_id, []))
+        if task_id not in self._history:
+            return []
+        return list(self._task_history(task_id))
 
     def restore_answers(self, answers: Sequence[Answer]) -> None:
         """Re-index answers whose numeric effect is already present.
@@ -143,6 +188,11 @@ class IncrementalTruthInference:
         every update twice. Answers must arrive in their original
         arrival order.
         """
+        if self._history_base is not None:
+            raise ValidationError(
+                "restore_answers and an installed history base are "
+                "mutually exclusive resume paths"
+            )
         history = self._history
         for answer in answers:
             entries = history.get(answer.task_id)
@@ -163,9 +213,10 @@ class IncrementalTruthInference:
                 f"choice {answer.choice} outside [1, {ell}] for task "
                 f"{answer.task_id}"
             )
+        history = self._task_history(answer.task_id)
         if any(
             worker_id == answer.worker_id
-            for worker_id, _ in self._history[answer.task_id]
+            for worker_id, _ in history
         ):
             raise ValidationError(
                 f"worker {answer.worker_id} already answered task "
@@ -205,7 +256,7 @@ class IncrementalTruthInference:
 
         # Step 2b: refresh prior answerers' contributions: replace the old
         # s~_j with the new s_j at their answered choice.
-        for worker_id, choice in self._history[answer.task_id]:
+        for worker_id, choice in history:
             stats = self._store.get(worker_id)
             delta = (s[choice - 1] - previous_s[choice - 1]) * r
             mask = stats.weight > 0
@@ -216,9 +267,7 @@ class IncrementalTruthInference:
             np.clip(updated, 0.0, 1.0, out=updated)
             self._store.set(worker_id, updated, stats.weight)
 
-        self._history[answer.task_id].append(
-            (answer.worker_id, answer.choice)
-        )
+        history.append((answer.worker_id, answer.choice))
         return self._arena.view(answer.task_id)
 
     def resync_from_full_inference(

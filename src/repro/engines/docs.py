@@ -927,9 +927,18 @@ class DocsEngine(Engine):
 
     def snapshot_payload(self) -> CampaignSnapshot:
         """The complete hot state as a snapshot image the host can
-        persist (and later hand back to :meth:`install_snapshot`)."""
+        persist (and later hand back to :meth:`install_snapshot`).
+
+        With ``config.snapshot_carry_index`` the image also carries the
+        answer log's columnar index arrays, so resume can skip the
+        archived-prefix read entirely (the index-carry path)."""
         store = self.quality_store
         return CampaignSnapshot(
+            answer_index=(
+                self._log.export_state()
+                if self._config.snapshot_carry_index
+                else None
+            ),
             num_domains=self._incremental.arena.num_domains,
             rerun_cursor=self._submissions_since_rerun,
             groups=self._incremental.arena.export_hot_state(),
@@ -976,6 +985,34 @@ class DocsEngine(Engine):
         for worker_id, stats in snapshot.workers.items():
             if stats.quality.shape != (arena.num_domains,):
                 return f"worker {worker_id} stats have a wrong shape"
+        index = snapshot.answer_index
+        if index is not None:
+            count = index.task_rows.shape[0]
+            if (
+                index.worker_rows.shape[0] != count
+                or index.choices.shape[0] != count
+            ):
+                return "answer-index columns disagree on length"
+            if count:
+                if (
+                    int(index.task_rows.min()) < 0
+                    or int(index.task_rows.max()) >= len(arena)
+                ):
+                    return (
+                        "answer index references an arena row outside "
+                        "the catalogue"
+                    )
+                if (
+                    int(index.worker_rows.min()) < 0
+                    or int(index.worker_rows.max())
+                    >= len(index.worker_ids)
+                ):
+                    return (
+                        "answer index references a worker row outside "
+                        "its worker table"
+                    )
+                if int(index.choices.min()) < 0:
+                    return "answer index holds a negative choice"
         return arena.check_hot_state(snapshot.groups)
 
     def install_snapshot(self, snapshot: CampaignSnapshot) -> None:

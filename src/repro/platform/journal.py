@@ -104,6 +104,67 @@ CREATE TABLE IF NOT EXISTS answers_archive (
 );
 """
 
+#: Covering indexes of the analytics plane (:mod:`repro.analytics`):
+#: every analytics query is answered from ``(task, seq)`` / ``(worker,
+#: seq)`` orderings over the committed answers, and each index carries
+#: the remaining referenced columns so the queries never touch the base
+#: tables. The ``answers_log`` pair is partial on ``kind = 0``
+#: (:data:`KIND_ANSWER`) — bootstrap rows are invisible to analytics and
+#: would only fatten the trees — and carries ``kind`` as a trailing
+#: column because the planner's covering-index check counts the
+#: query's ``kind = 0`` reference even though the partial-index
+#: predicate subsumes it. Creating them on open doubles as the
+#: migration for pre-analytics files.
+_ANALYTICS_INDEXES: Tuple[Tuple[str, str], ...] = (
+    (
+        "idx_answers_archive_task",
+        "CREATE INDEX idx_answers_archive_task ON answers_archive "
+        "(task_id, seq, worker_id, choice)",
+    ),
+    (
+        "idx_answers_archive_worker",
+        "CREATE INDEX idx_answers_archive_worker ON answers_archive "
+        "(worker_id, seq, task_id, choice)",
+    ),
+    (
+        "idx_answers_log_task",
+        "CREATE INDEX idx_answers_log_task ON answers_log "
+        "(task_id, seq, worker_id, choice, kind) WHERE kind = 0",
+    ),
+    (
+        "idx_answers_log_worker",
+        "CREATE INDEX idx_answers_log_worker ON answers_log "
+        "(worker_id, seq, task_id, choice, kind) WHERE kind = 0",
+    ),
+)
+
+
+def ensure_analytics_indexes(conn: sqlite3.Connection) -> bool:
+    """Create any missing analytics covering indexes (idempotent).
+
+    Runs ``ANALYZE`` when at least one index was actually created, so
+    ``sqlite_stat1`` reflects the new trees and the planner prefers
+    them on long-lived campaign files migrated in place.
+
+    Returns:
+        True when a migration happened (an index was created).
+    """
+    existing = {
+        name
+        for (name,) in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'index'"
+        )
+    }
+    created = False
+    for name, ddl in _ANALYTICS_INDEXES:
+        if name not in existing:
+            conn.execute(ddl)
+            created = True
+    if created:
+        conn.execute("ANALYZE")
+        conn.commit()
+    return created
+
 
 @dataclass(frozen=True)
 class JournalEntry:
@@ -175,6 +236,7 @@ class AnswerJournal:
         self._retry = retry if retry is not None else DEFAULT_POLICY
         self._conn.executescript(_JOURNAL_SCHEMA)
         self._conn.commit()
+        ensure_analytics_indexes(self._conn)
         self._load_cursors()
         #: (kind, task_row, task_id, worker_id, choice, ts) awaiting flush.
         self._pending: List[Tuple] = []
@@ -197,11 +259,16 @@ class AnswerJournal:
             "SELECT COALESCE(MAX(last_seq), -1), "
             "COALESCE(MAX(batch), -1) FROM journal_batches"
         ).fetchone()
-        (archived,) = self._conn.execute(
+        archived = self._archive_high_seq()
+        self._next_seq = max(int(row[0]), int(meta[0]), archived) + 1
+        self._next_batch = max(int(row[1]), int(meta[1])) + 1
+
+    def _archive_high_seq(self) -> int:
+        """Highest seq in ``answers_archive`` (-1 when never truncated)."""
+        (seq,) = self._conn.execute(
             "SELECT COALESCE(MAX(seq), -1) FROM answers_archive"
         ).fetchone()
-        self._next_seq = max(int(row[0]), int(meta[0]), int(archived)) + 1
-        self._next_batch = max(int(row[1]), int(meta[1])) + 1
+        return int(seq)
 
     @property
     def batch_size(self) -> int:
@@ -398,10 +465,7 @@ class AnswerJournal:
         ``answers_log``; their snapshot carries their effect and the
         archive carries their answer columns.
         """
-        (seq,) = self._conn.execute(
-            "SELECT COALESCE(MAX(seq), -1) FROM answers_archive"
-        ).fetchone()
-        return int(seq)
+        return self._archive_high_seq()
 
     def truncate_through(self, watermark: int) -> int:
         """Archive and drop whole batches at or below a seq watermark.
@@ -802,6 +866,13 @@ class JournaledAnswerTable:
     def restore_batch(self, answers: Sequence[Answer]) -> None:
         """Bulk re-index durable answers (snapshot-resume fast path)."""
         self._inner.restore_batch(answers)
+
+    def install_restored_base(self, base) -> None:
+        """Adopt snapshot-carried answer columns as the archived prefix
+        of the in-memory index (the index-carrying resume path; see
+        :meth:`repro.platform.storage.AnswerTable.install_restored_base`).
+        """
+        self._inner.install_restored_base(base)
 
     def checkpoint(self) -> int:
         """Flush the journal; returns rows made durable."""

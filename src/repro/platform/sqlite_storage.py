@@ -22,6 +22,7 @@ All accept a filesystem path or ``":memory:"``.
 
 from __future__ import annotations
 
+import json
 import logging
 import sqlite3
 import time
@@ -40,7 +41,7 @@ from typing import (
 
 import numpy as np
 
-from repro.core.arena import GroupState
+from repro.core.arena import AnswerLogState, GroupState
 from repro.core.types import Answer, Task
 from repro.core.quality_store import WorkerStats, _blend
 from repro.errors import (
@@ -65,7 +66,17 @@ logger = logging.getLogger(__name__)
 #: NEWER version raises :class:`repro.errors.SchemaVersionError`
 #: instead of crashing mid-decode. Files from before the stamp existed
 #: are adopted as the current version in place.
-SCHEMA_VERSION = 1
+#:
+#: History:
+#:
+#: - 1 — initial stamped layout (journal + compacted snapshots).
+#: - 2 — index-carrying snapshots: ``snapshot_answer_index`` rows fold
+#:   into the snapshot checksum. A v1 reader would see such a snapshot
+#:   as checksum-corrupt and (on a truncated journal) report the file
+#:   as unrecoverable, so writing one stamps the file as v2 and older
+#:   builds refuse it cleanly instead. Files that never carry an index
+#:   snapshot stay readable either way.
+SCHEMA_VERSION = 2
 
 _META_SCHEMA = """
 CREATE TABLE IF NOT EXISTS repro_meta (
@@ -164,6 +175,14 @@ CREATE TABLE IF NOT EXISTS snapshot_workers (
     exported_weight  BLOB,
     PRIMARY KEY (snap_id, worker_id)
 );
+CREATE TABLE IF NOT EXISTS snapshot_answer_index (
+    snap_id     INTEGER PRIMARY KEY,
+    row_count   INTEGER NOT NULL,
+    task_rows   BLOB NOT NULL,
+    worker_rows BLOB NOT NULL,
+    choices     BLOB NOT NULL,
+    worker_ids  TEXT NOT NULL
+);
 """
 
 
@@ -189,6 +208,13 @@ class CampaignSnapshot:
         bootstrapped: workers that completed (or skipped) the pre-test.
         exported: worker id -> (quality, weight) last exported to a
             shared cross-campaign store (Theorem-1 delta baseline).
+        answer_index: the ``AnswerLog``'s columnar answer arrays as of
+            the watermark (schema v2). When present, resume installs
+            them directly instead of re-reading the archived answer
+            prefix (``committed_answers_through``) — the O(snapshot +
+            tail) path. ``None`` in snapshots written with
+            ``snapshot_carry_index=False`` and in pre-v2 files, where
+            resume falls back to the archive scan.
         journal_seq: watermark; filled in by
             :meth:`SqliteSystemDatabase.write_snapshot`.
     """
@@ -202,6 +228,7 @@ class CampaignSnapshot:
     exported: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(
         default_factory=dict
     )
+    answer_index: Optional[AnswerLogState] = None
     journal_seq: int = -1
 
 
@@ -209,8 +236,14 @@ def _snapshot_crc(
     meta: Tuple[int, int, int],
     group_rows: Sequence[Tuple],
     worker_rows: Sequence[Tuple],
+    index_row: Optional[Tuple] = None,
 ) -> int:
-    """CRC-32 over a snapshot's logical content (order-normalised)."""
+    """CRC-32 over a snapshot's logical content (order-normalised).
+
+    ``index_row`` (the serialised answer-index columns, schema v2) only
+    folds in when present, so v1 snapshots without one keep verifying
+    against their stored checksum.
+    """
     crc = zlib.crc32(repr(meta).encode("utf-8"))
     for row in group_rows:
         for part in row:
@@ -224,6 +257,13 @@ def _snapshot_crc(
                 crc = zlib.crc32(bytes(part), crc)
             elif part is None:
                 crc = zlib.crc32(b"\x00none", crc)
+            else:
+                crc = zlib.crc32(repr(part).encode("utf-8"), crc)
+    if index_row is not None:
+        crc = zlib.crc32(b"\x00answer-index", crc)
+        for part in index_row:
+            if isinstance(part, (bytes, memoryview)):
+                crc = zlib.crc32(bytes(part), crc)
             else:
                 crc = zlib.crc32(repr(part).encode("utf-8"), crc)
     return crc
@@ -511,12 +551,19 @@ class SqliteSystemDatabase:
     def checkpoint(self) -> int:
         """Flush the write-behind journal (no-op in direct mode).
 
+        Also runs ``PRAGMA optimize`` so long-lived campaign files keep
+        fresh planner statistics for the analytics covering indexes —
+        the pragma re-analyzes only when SQLite judges it worthwhile,
+        so per-checkpoint cost stays negligible.
+
         Returns:
             Rows made durable by this call.
         """
         if self.journal is None:
             return 0
-        return self.journal.flush()
+        flushed = self.journal.flush()
+        self._conn.execute("PRAGMA optimize")
+        return flushed
 
     # -- compacted snapshots ---------------------------------------------
 
@@ -589,6 +636,22 @@ class SqliteSystemDatabase:
                     _encode_vector(exported[1] if exported else None),
                 )
             )
+        index_row = None
+        if snapshot.answer_index is not None:
+            index = snapshot.answer_index
+            index_row = (
+                int(index.task_rows.shape[0]),
+                np.ascontiguousarray(
+                    index.task_rows, dtype=np.int64
+                ).tobytes(),
+                np.ascontiguousarray(
+                    index.worker_rows, dtype=np.int64
+                ).tobytes(),
+                np.ascontiguousarray(
+                    index.choices, dtype=np.int64
+                ).tobytes(),
+                json.dumps(list(index.worker_ids)),
+            )
         checksum = _snapshot_crc(
             (
                 snapshot.journal_seq,
@@ -597,6 +660,7 @@ class SqliteSystemDatabase:
             ),
             group_rows,
             worker_rows,
+            index_row,
         )
         def attempt() -> int:
             try:
@@ -610,7 +674,7 @@ class SqliteSystemDatabase:
                     snap_id = int(prev) + 1
                     for table in (
                         "snapshot_meta", "snapshot_groups",
-                        "snapshot_workers",
+                        "snapshot_workers", "snapshot_answer_index",
                     ):
                         self._conn.execute(f"DELETE FROM {table}")
                     self._conn.execute(
@@ -641,6 +705,25 @@ class SqliteSystemDatabase:
                         "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                         [(snap_id,) + row for row in worker_rows],
                     )
+                    if index_row is not None:
+                        self._conn.execute(
+                            "INSERT INTO snapshot_answer_index "
+                            "(snap_id, row_count, task_rows, "
+                            "worker_rows, choices, worker_ids) "
+                            "VALUES (?, ?, ?, ?, ?, ?)",
+                            (snap_id,) + index_row,
+                        )
+                        # An index-carrying snapshot folds into the
+                        # checksum, which a v1 reader would take for
+                        # corruption — stamp the file v2 in the same
+                        # transaction so older builds refuse it
+                        # cleanly instead (see SCHEMA_VERSION).
+                        self._conn.execute(
+                            "INSERT OR REPLACE INTO repro_meta "
+                            "(key, value) VALUES "
+                            "('schema_version', ?)",
+                            (str(SCHEMA_VERSION),),
+                        )
                     return flushed
             except BaseException:
                 # Roll the write-behind cursors back in step with the
@@ -684,12 +767,38 @@ class SqliteSystemDatabase:
                 "ORDER BY worker_id",
                 (snap_id,),
             ).fetchall()
+            index_row = self._conn.execute(
+                "SELECT row_count, task_rows, worker_rows, choices, "
+                "worker_ids FROM snapshot_answer_index "
+                "WHERE snap_id = ?",
+                (snap_id,),
+            ).fetchone()
             expected = _snapshot_crc(
-                (journal_seq, m, rerun_cursor), group_rows, worker_rows
+                (journal_seq, m, rerun_cursor),
+                group_rows,
+                worker_rows,
+                index_row,
             )
             if expected != checksum:
                 raise ValidationError(
                     f"snapshot {snap_id} fails its checksum"
+                )
+            answer_index: Optional[AnswerLogState] = None
+            if index_row is not None:
+                count, task_rows, worker_rows_blob, choices, ids = (
+                    index_row
+                )
+                answer_index = AnswerLogState(
+                    task_rows=np.frombuffer(
+                        task_rows, dtype=np.int64
+                    ).reshape((count,)).copy(),
+                    worker_rows=np.frombuffer(
+                        worker_rows_blob, dtype=np.int64
+                    ).reshape((count,)).copy(),
+                    choices=np.frombuffer(
+                        choices, dtype=np.int64
+                    ).reshape((count,)).copy(),
+                    worker_ids=list(json.loads(ids)),
                 )
             groups: Dict[int, GroupState] = {}
             for ell, count, R, M, S, logN, H, dirty in group_rows:
@@ -750,6 +859,7 @@ class SqliteSystemDatabase:
             golden_qualities=golden,
             bootstrapped=bootstrapped,
             exported=exported,
+            answer_index=answer_index,
             journal_seq=journal_seq,
         )
 
@@ -759,10 +869,17 @@ class SqliteSystemDatabase:
         return self._closed
 
     def close(self) -> None:
-        """Checkpoint, then close the connection (idempotent)."""
+        """Checkpoint, then close the connection (idempotent).
+
+        Direct-write mode gets its ``PRAGMA optimize`` here (the
+        journaled mode's runs inside :meth:`checkpoint`), so every
+        campaign file leaves with current planner statistics.
+        """
         if self._closed:
             return
         self.checkpoint()
+        if self.journal is None:
+            self._conn.execute("PRAGMA optimize")
         self._conn.close()
         self._closed = True
 

@@ -21,6 +21,186 @@ from repro.errors import UnknownTaskError, ValidationError
 _EMPTY_TASK_SET: Set[int] = frozenset()  # type: ignore[assignment]
 
 
+class RestoredAnswerColumns:
+    """Columnar view of the archived answer prefix, hydrated lazily.
+
+    An index-carrying snapshot hands resume the whole pre-watermark
+    answer relation as three int64 columns in arrival order plus the
+    worker-id table — the exact arrays the ``AnswerLog`` keeps live.
+    Rebuilding ``Answer`` objects for all of them up front would put the
+    O(archive) Python loop right back into ``resume()``, so this wrapper
+    keeps the columns as-is and pays only:
+
+    - one numpy stable argsort per access dimension (task / worker), the
+      first time that dimension is grouped; and
+    - per-key ``Answer`` hydration, the first time a key is read.
+
+    Keys never touched after resume (the common case: old tasks already
+    finalized) never hydrate. Within a key, stable argsort preserves
+    arrival order, so hydrated lists are bit-identical to what a full
+    archive replay would have produced.
+    """
+
+    def __init__(
+        self,
+        task_ids: np.ndarray,
+        worker_rows: np.ndarray,
+        choices: np.ndarray,
+        worker_ids: Sequence[str],
+    ) -> None:
+        self.task_ids = np.ascontiguousarray(task_ids, dtype=np.int64)
+        self.worker_rows = np.ascontiguousarray(
+            worker_rows, dtype=np.int64
+        )
+        #: 1-based, like ``Answer.choice``.
+        self.choices = np.ascontiguousarray(choices, dtype=np.int64)
+        self.worker_ids: List[str] = list(worker_ids)
+        n = self.task_ids.shape[0]
+        if (
+            self.worker_rows.shape[0] != n
+            or self.choices.shape[0] != n
+        ):
+            raise ValidationError(
+                "restored answer columns disagree on length"
+            )
+        self._worker_row: Dict[str, int] = {
+            worker_id: row
+            for row, worker_id in enumerate(self.worker_ids)
+        }
+        # Lazy group-by state: arrival-ordered argsort per dimension
+        # plus (start, end) slices into it, built on first touch.
+        self._task_order: Optional[np.ndarray] = None
+        self._task_slices: Optional[Dict[int, Tuple[int, int]]] = None
+        self._worker_order: Optional[np.ndarray] = None
+        self._worker_slices: Optional[
+            Dict[int, Tuple[int, int]]
+        ] = None
+        # Per-key hydration caches.
+        self._task_cache: Dict[int, List[Answer]] = {}
+        self._worker_cache: Dict[str, List[Answer]] = {}
+        self._all_cache: Optional[List[Answer]] = None
+
+    @property
+    def n(self) -> int:
+        """Number of restored answers."""
+        return self.task_ids.shape[0]
+
+    @staticmethod
+    def _group(
+        keys: np.ndarray,
+    ) -> Tuple[np.ndarray, Dict[int, Tuple[int, int]]]:
+        order = np.argsort(keys, kind="stable")
+        unique, starts = np.unique(keys[order], return_index=True)
+        bounds = np.append(starts, order.shape[0])
+        slices = {
+            int(key): (int(bounds[i]), int(bounds[i + 1]))
+            for i, key in enumerate(unique)
+        }
+        return order, slices
+
+    def _task_groups(self) -> Dict[int, Tuple[int, int]]:
+        if self._task_slices is None:
+            self._task_order, self._task_slices = self._group(
+                self.task_ids
+            )
+        return self._task_slices
+
+    def _worker_groups(self) -> Dict[int, Tuple[int, int]]:
+        if self._worker_slices is None:
+            self._worker_order, self._worker_slices = self._group(
+                self.worker_rows
+            )
+        return self._worker_slices
+
+    def _hydrate(self, indexes: np.ndarray) -> List[Answer]:
+        worker_ids = self.worker_ids
+        return [
+            Answer(
+                worker_ids[self.worker_rows[i]],
+                int(self.task_ids[i]),
+                int(self.choices[i]),
+            )
+            for i in indexes
+        ]
+
+    def task_count(self, task_id: int) -> int:
+        """|V(i)| within the restored prefix — no hydration."""
+        slice_ = self._task_groups().get(task_id)
+        return 0 if slice_ is None else slice_[1] - slice_[0]
+
+    def answers_for_task(self, task_id: int) -> List[Answer]:
+        """Restored answers of one task, arrival order (copy)."""
+        cached = self._task_cache.get(task_id)
+        if cached is None:
+            slice_ = self._task_groups().get(task_id)
+            if slice_ is None:
+                cached = []
+            else:
+                assert self._task_order is not None
+                cached = self._hydrate(
+                    self._task_order[slice_[0]:slice_[1]]
+                )
+            self._task_cache[task_id] = cached
+        return list(cached)
+
+    def task_pairs(self, task_id: int) -> List[Tuple[str, int]]:
+        """(worker_id, choice) pairs of one task, arrival order."""
+        return [
+            (answer.worker_id, answer.choice)
+            for answer in self.answers_for_task(task_id)
+        ]
+
+    def has_worker(self, worker_id: str) -> bool:
+        """Whether the restored prefix holds answers by this worker."""
+        row = self._worker_row.get(worker_id)
+        return row is not None and row in self._worker_groups()
+
+    def answers_for_worker(self, worker_id: str) -> List[Answer]:
+        """Restored answers of one worker, arrival order (copy)."""
+        cached = self._worker_cache.get(worker_id)
+        if cached is None:
+            row = self._worker_row.get(worker_id)
+            slice_ = (
+                None if row is None
+                else self._worker_groups().get(row)
+            )
+            if slice_ is None:
+                cached = []
+            else:
+                assert self._worker_order is not None
+                cached = self._hydrate(
+                    self._worker_order[slice_[0]:slice_[1]]
+                )
+            self._worker_cache[worker_id] = cached
+        return list(cached)
+
+    def task_ids_for_worker(self, worker_id: str) -> List[int]:
+        """Distinct task ids answered by a worker in the prefix."""
+        row = self._worker_row.get(worker_id)
+        if row is None:
+            return []
+        slice_ = self._worker_groups().get(row)
+        if slice_ is None:
+            return []
+        assert self._worker_order is not None
+        indexes = self._worker_order[slice_[0]:slice_[1]]
+        return [int(t) for t in self.task_ids[indexes]]
+
+    def all_answers(self) -> List[Answer]:
+        """Every restored answer in arrival order (copy; hydrates)."""
+        if self._all_cache is None:
+            worker_ids = self.worker_ids
+            self._all_cache = [
+                Answer(worker_ids[row], int(task_id), int(choice))
+                for row, task_id, choice in zip(
+                    self.worker_rows.tolist(),
+                    self.task_ids.tolist(),
+                    self.choices.tolist(),
+                )
+            ]
+        return list(self._all_cache)
+
+
 class AnswerTable:
     """The answers relation: (worker_id, task_id, choice), append-only.
 
@@ -36,6 +216,42 @@ class AnswerTable:
         #: Persistent per-worker answered-task sets, so the assignment
         #: path's T(w) lookup is O(1) instead of a per-call rebuild.
         self._worker_tasks: Dict[str, Set[int]] = defaultdict(set)
+        #: Archived prefix restored from an index-carrying snapshot
+        #: (lazy; None on fresh campaigns and archive-scan resumes).
+        self._base: Optional[RestoredAnswerColumns] = None
+        #: Workers whose ``_worker_tasks`` entry already folded in the
+        #: base's answered set (only meaningful with a base installed).
+        self._hydrated_workers: Set[str] = set()
+
+    def install_restored_base(
+        self, base: RestoredAnswerColumns
+    ) -> None:
+        """Adopt the snapshot-carried answer columns as the archived
+        prefix of this table.
+
+        Only legal on an empty table (resume installs the base before
+        replaying the journal tail). Reads merge the base before live
+        appends — the base is strictly pre-watermark, so arrival order
+        is preserved without any per-answer work at install time.
+        """
+        if self._answers or self._base is not None:
+            raise ValidationError(
+                "a restored answer base can only be installed into an "
+                "empty answer table"
+            )
+        self._base = base
+
+    def _worker_set(self, worker_id: str) -> Set[int]:
+        """The mutable answered-task set of one worker, with the base's
+        tasks folded in on first touch."""
+        tasks = self._worker_tasks[worker_id]
+        if (
+            self._base is not None
+            and worker_id not in self._hydrated_workers
+        ):
+            self._hydrated_workers.add(worker_id)
+            tasks.update(self._base.task_ids_for_worker(worker_id))
+        return tasks
 
     def insert(self, answer: Answer) -> None:
         """Append one answer.
@@ -44,7 +260,8 @@ class AnswerTable:
             ValidationError: if this (worker, task) pair already exists.
         """
         key = (answer.worker_id, answer.task_id)
-        if key in self._pairs:
+        tasks = self._worker_set(answer.worker_id)
+        if key in self._pairs or answer.task_id in tasks:
             raise ValidationError(
                 f"worker {answer.worker_id} already answered task "
                 f"{answer.task_id}"
@@ -53,7 +270,7 @@ class AnswerTable:
         self._answers.append(answer)
         self._by_task[answer.task_id].append(answer)
         self._by_worker[answer.worker_id].append(answer)
-        self._worker_tasks[answer.worker_id].add(answer.task_id)
+        tasks.add(answer.task_id)
 
     def add_answers(self, answers: Sequence[Answer]) -> None:
         """Append a batch of answers atomically.
@@ -69,7 +286,10 @@ class AnswerTable:
         batch_pairs: Set[Tuple[str, int]] = set()
         for answer in answers:
             key = (answer.worker_id, answer.task_id)
-            if key in self._pairs or key in batch_pairs:
+            if (
+                key in batch_pairs
+                or self.has_answered(answer.worker_id, answer.task_id)
+            ):
                 raise ValidationError(
                     f"worker {answer.worker_id} already answered task "
                     f"{answer.task_id}"
@@ -82,6 +302,11 @@ class AnswerTable:
         """Bulk re-index answers that already satisfied the at-most-once
         constraint when first written (the resume path re-indexing the
         journal; the constraint was enforced at live insert time)."""
+        if self._base is not None:
+            raise ValidationError(
+                "restore_batch and an installed answer base are "
+                "mutually exclusive resume paths"
+            )
         for answer in answers:
             self._pairs.add((answer.worker_id, answer.task_id))
             self._answers.append(answer)
@@ -91,34 +316,61 @@ class AnswerTable:
 
     def all(self) -> List[Answer]:
         """All answers in arrival order (copy)."""
-        return list(self._answers)
+        if self._base is None:
+            return list(self._answers)
+        return self._base.all_answers() + self._answers
 
     def for_task(self, task_id: int) -> List[Answer]:
         """The answer set V(i) of one task."""
-        return list(self._by_task.get(task_id, []))
+        live = self._by_task.get(task_id, [])
+        if self._base is None:
+            return list(live)
+        return self._base.answers_for_task(task_id) + live
 
     def for_worker(self, worker_id: str) -> List[Answer]:
         """The answered set T(w) of one worker."""
-        return list(self._by_worker.get(worker_id, []))
+        live = self._by_worker.get(worker_id, [])
+        if self._base is None:
+            return list(live)
+        return self._base.answers_for_worker(worker_id) + live
 
     def tasks_answered_by(self, worker_id: str) -> Set[int]:
         """Task ids answered by a worker.
 
-        O(1): returns the maintained set, not a rebuild over the answer
-        list. The set is live — callers must treat it as read-only.
+        O(1) amortised: returns the maintained set, not a per-call
+        rebuild (with a restored base, the base's answered set folds in
+        on the worker's first touch). The set is live — callers must
+        treat it as read-only.
         """
-        return self._worker_tasks.get(worker_id, _EMPTY_TASK_SET)
+        if self._base is None:
+            return self._worker_tasks.get(worker_id, _EMPTY_TASK_SET)
+        if (
+            worker_id not in self._worker_tasks
+            and not self._base.has_worker(worker_id)
+        ):
+            return _EMPTY_TASK_SET
+        return self._worker_set(worker_id)
 
     def count_for_task(self, task_id: int) -> int:
         """|V(i)| for one task."""
-        return len(self._by_task.get(task_id, []))
+        live = len(self._by_task.get(task_id, []))
+        if self._base is None:
+            return live
+        return self._base.task_count(task_id) + live
 
     def has_answered(self, worker_id: str, task_id: int) -> bool:
         """Integrity-check helper."""
-        return (worker_id, task_id) in self._pairs
+        if (worker_id, task_id) in self._pairs:
+            return True
+        if self._base is None:
+            return False
+        return task_id in self.tasks_answered_by(worker_id)
 
     def __len__(self) -> int:
-        return len(self._answers)
+        live = len(self._answers)
+        if self._base is None:
+            return live
+        return self._base.n + live
 
 
 class SystemDatabase:

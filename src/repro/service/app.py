@@ -44,6 +44,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analytics import UnknownAnalyticsQueryError
 from repro.core.types import Answer, Task
 from repro.datasets import DATASET_NAMES, make_dataset
 from repro.errors import (
@@ -725,6 +726,28 @@ class DocsService:
 
         return self._control(run)
 
+    def analytics(
+        self,
+        name: str,
+        query: str,
+        params: Optional[Dict[str, List[str]]] = None,
+    ) -> "Future[object]":
+        """``GET /campaigns/<name>/analytics/<query>`` — run one
+        SQL-pushdown analytics report on the scheduler thread.
+
+        Read-only: the query sees the campaign's durable answer prefix
+        (everything committed by the last flush/checkpoint) and builds
+        no Python objects; query string parameters pass through to
+        :meth:`DocsSystem.analytics` untouched."""
+
+        def run() -> ServiceResponse:
+            campaign = self._campaign(name)
+            body = campaign.system.analytics(query, params)
+            body["campaign"] = name
+            return 200, body, []
+
+        return self._control(run)
+
     def durability(self, name: str) -> "Future[object]":
         def run() -> ServiceResponse:
             campaign = self._campaign(name)
@@ -864,6 +887,7 @@ class DocsService:
                 UnknownCampaignError,
                 UnknownWorkerError,
                 UnknownTaskError,
+                UnknownAnalyticsQueryError,
             ),
         ):
             return 404, _error_body("not_found", str(exc)), []

@@ -80,6 +80,8 @@ def _routes() -> List[Tuple[str, "re.Pattern[str]", Handler]]:
          lambda app, m, q, b: app.truth(m["name"], int(m["tid"]))),
         ("GET", re.compile(f"^{camp}/truths$"),
          lambda app, m, q, b: app.truths(m["name"])),
+        ("GET", re.compile(f"^{camp}/analytics/(?P<query>[^/]+)$"),
+         lambda app, m, q, b: app.analytics(m["name"], m["query"], q)),
         ("GET", re.compile(f"^{camp}/durability$"),
          lambda app, m, q, b: app.durability(m["name"])),
         ("POST", re.compile(f"^{camp}/checkpoint$"),

@@ -41,6 +41,14 @@ class DocsConfig:
             a campaign can only be resumed through a snapshot — the
             full-replay fallback needs the journal rows the truncation
             removed — so this trades the fallback for O(tail) resume.
+        snapshot_carry_index: with sqlite storage, serialise the
+            ``AnswerLog``'s per-answer index columns inside every
+            snapshot (schema v2), so ``resume()`` installs them
+            directly instead of re-reading the archived answer prefix
+            — O(snapshot + tail) regardless of campaign age
+            (``resume_info["restore_path"] == "index-carry"``).
+            Disable to write v1-shaped snapshots readable by older
+            builds; resume then falls back to the archive scan.
         busy_timeout_ms: with sqlite storage, ``PRAGMA busy_timeout``
             (and the connection-open timeout) in milliseconds — SQLite
             spin-waits this long on a held write lock below the
@@ -105,6 +113,7 @@ class DocsConfig:
     journal_batch_size: int = 256
     snapshot_every_batches: int = 16
     truncate_journal: bool = False
+    snapshot_carry_index: bool = True
     busy_timeout_ms: int = 5000
     commit_retry_attempts: int = 5
     commit_retry_base_delay: float = 0.05

@@ -113,7 +113,10 @@ from repro.platform.journal import (
 )
 from repro.platform.retry import RetryPolicy
 from repro.platform.sqlite_storage import SqliteSystemDatabase
-from repro.platform.storage import SystemDatabase
+from repro.platform.storage import (
+    RestoredAnswerColumns,
+    SystemDatabase,
+)
 from repro.system.config import DocsConfig
 from repro.system.ingest import IngestReport
 from repro.system.parallel import ServingPool
@@ -228,6 +231,11 @@ class DocsSystem:
         #: Filled by resume(): {"snapshot_seq": int | None,
         #: "tail_entries": int} (plus "salvage" under repair=True).
         self._resume_info: Optional[Dict[str, object]] = None
+        #: How the archived answer prefix was rebuilt on resume:
+        #: "index-carry" (snapshot-carried columns), "archive-scan"
+        #: (the committed_answers_through read), or None (fresh
+        #: campaign / full replay / nothing archived).
+        self._restore_path: Optional[str] = None
         #: True while durable writes are failing: answers buffer in
         #: memory (journal pending), exports queue in
         #: ``_pending_shared_exports``, serving continues.
@@ -789,6 +797,50 @@ class DocsSystem:
             "queued_exports": len(self._pending_shared_exports),
         }
 
+    def analytics(
+        self,
+        query: str,
+        params: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Run one SQL-pushdown analytics query over this campaign.
+
+        Delegates to :func:`repro.analytics.run_query` on the
+        campaign's own sqlite connection: the query ranges over the
+        **durable** answer prefix (``answers_archive`` plus committed
+        ``answers_log`` rows) through the covering analytics indexes,
+        building zero ``Answer``/``Task`` objects. Read-only — answers
+        accepted but still buffered in the journal are invisible until
+        the next flush/checkpoint, which is exactly the crash-surviving
+        view.
+
+        Args:
+            query: a :data:`repro.analytics.QUERY_NAMES` entry.
+            params: optional query parameters (ints, numeric strings,
+                or ``parse_qs``-style one-element lists).
+
+        Returns:
+            ``{"query", "params", "rows"}`` of plain JSON-ready values.
+
+        Raises:
+            ValidationError: with in-memory storage (there is no
+                durable relation to query), for an unknown query name
+                (:class:`repro.analytics.UnknownAnalyticsQueryError`),
+                or for a malformed parameter.
+        """
+        from repro.analytics import run_query
+
+        conn = (
+            getattr(self._db, "_conn", None)
+            if self._db is not None
+            else None
+        )
+        if conn is None or getattr(self._db, "journal", None) is None:
+            raise ValidationError(
+                "analytics needs journaled sqlite storage; this "
+                f"campaign uses storage={self._storage!r}"
+            )
+        return run_query(conn, query, params)
+
     def _enter_degraded(
         self, description: str, exc: BaseException
     ) -> None:
@@ -1067,7 +1119,8 @@ class DocsSystem:
             tail = system._replay_journal(
                 from_seq=(
                     snapshot.journal_seq if snapshot is not None else -1
-                )
+                ),
+                snapshot=snapshot,
             )
             system._resume_info = {
                 "snapshot_seq": (
@@ -1076,6 +1129,7 @@ class DocsSystem:
                     else None
                 ),
                 "tail_entries": tail,
+                "restore_path": system._restore_path,
             }
             if repair:
                 system._resume_info["salvage"] = salvage_report
@@ -1220,15 +1274,47 @@ class DocsSystem:
         self.database.answers.restore_batch(answers)
         self._log.extend_restored(task_rows, worker_ids, choices)
         self._incremental.restore_answers(answers)
+        self._restore_path = "archive-scan"
 
-    def _replay_journal(self, from_seq: int = -1) -> int:
+    def _restore_from_index(self, index) -> None:
+        """Install the snapshot-carried answer columns — the
+        O(snapshot + tail) resume path.
+
+        The snapshot's :class:`repro.core.arena.AnswerLogState` holds
+        the whole pre-watermark answer relation as int64 columns in
+        arrival order, so nothing here reads ``answers_archive`` or
+        ``answers_log`` and nothing loops over archived answers in
+        Python: the answer log adopts the columns as block writes, and
+        the answer table + per-task histories adopt them as a lazy
+        :class:`repro.platform.storage.RestoredAnswerColumns` base that
+        hydrates per key on first touch.
+        """
+        self._log.install_restored(index)
+        self._restore_path = "index-carry"
+        if index.task_rows.shape[0] == 0:
+            return
+        arena = self._incremental.arena
+        order = np.asarray(arena.task_ids(), dtype=np.int64)
+        columns = RestoredAnswerColumns(
+            task_ids=order[index.task_rows],
+            worker_rows=index.worker_rows,
+            choices=index.choices + 1,
+            worker_ids=index.worker_ids,
+        )
+        self.database.answers.install_restored_base(columns)
+        self._incremental.install_restored_history(columns)
+
+    def _replay_journal(self, from_seq: int = -1, snapshot=None) -> int:
         """Re-apply committed journal events in commit order.
 
         Entries with ``seq <= from_seq`` are already baked into the
-        installed snapshot's numeric state and only rebuild indexes
-        (see :meth:`_restore_compacted`; hot-state engines only);
-        entries beyond the watermark replay through the same
-        bootstrap/submit code paths a live campaign uses.
+        installed snapshot's numeric state and only rebuild indexes —
+        from the snapshot's own answer-index columns when it carries
+        them (:meth:`_restore_from_index`; no archived-prefix read), or
+        by the :meth:`_restore_compacted` archive scan for snapshots
+        written without an index (hot-state engines only). Entries
+        beyond the watermark replay through the same bootstrap/submit
+        code paths a live campaign uses.
 
         Returns:
             The number of tail entries fully re-applied.
@@ -1241,7 +1327,13 @@ class DocsSystem:
             engine.replaying = True
         try:
             if from_seq >= 0:
-                self._restore_compacted(from_seq)
+                if (
+                    snapshot is not None
+                    and snapshot.answer_index is not None
+                ):
+                    self._restore_from_index(snapshot.answer_index)
+                else:
+                    self._restore_compacted(from_seq)
             for entry in self.database.journal.replay(
                 after_seq=from_seq
             ):

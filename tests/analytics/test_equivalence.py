@@ -1,0 +1,141 @@
+"""SQL-pushdown analytics must be bit-identical to the Python reference.
+
+The property: for ANY committed answer stream and ANY journal
+truncation point — all answers archived, all live, or any split — every
+registered query returns exactly what the retained naive reference
+computes. The fixture drives the real platform layer (journaled answer
+table, ``truncate_through`` archival), so the scope union the queries
+range over is the genuine durable relation, not a mock.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import QUERY_NAMES, run_query
+from repro.analytics.reference import run_reference
+from repro.core.types import Answer, Task
+from repro.platform.sqlite_storage import SqliteSystemDatabase
+
+NUM_TASKS = 8
+NUM_CHOICES = 3
+WORKERS = [f"w{i}" for i in range(5)]
+
+# hypothesis reuses the function-scoped tmp_path across examples, so
+# database files need a per-example serial to stay fresh.
+_serial = itertools.count()
+
+
+def _make_tasks():
+    tasks = []
+    for i in range(NUM_TASKS):
+        # A mix of graded and ungraded tasks across three domains,
+        # with one domain-less task (the COALESCE(-1) rollup bucket).
+        tasks.append(
+            Task(
+                task_id=i,
+                text=f"task {i}",
+                num_choices=NUM_CHOICES,
+                ground_truth=(1 + i % NUM_CHOICES) if i % 3 else None,
+                true_domain=(i % 3) if i != 7 else None,
+            )
+        )
+    return tasks
+
+
+@st.composite
+def _answer_streams(draw):
+    """A duplicate-free answer stream plus a truncation fraction."""
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(WORKERS),
+                st.integers(0, NUM_TASKS - 1),
+            ),
+            min_size=1,
+            max_size=40,
+            unique=True,
+        )
+    )
+    answers = [
+        Answer(worker, task_id, draw(st.integers(1, NUM_CHOICES)))
+        for worker, task_id in pairs
+    ]
+    cut = draw(st.floats(0.0, 1.0))
+    return answers, cut
+
+
+def _build(path, answers, cut):
+    """Write the stream through the journal, archiving a prefix."""
+    db = SqliteSystemDatabase(path, journal_batch_size=4)
+    db.insert_tasks(_make_tasks())
+    db.answers.bind_row_resolver(lambda task_id: task_id)
+    for answer in answers:
+        db.answers.insert(answer)
+    db.journal.flush()
+    watermark = int(cut * len(answers)) - 1
+    if watermark >= 0:
+        db.journal.truncate_through(watermark)
+    return db
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(stream=_answer_streams())
+def test_sql_matches_reference_across_truncation(tmp_path, stream):
+    answers, cut = stream
+    db = _build(str(tmp_path / f"eq{next(_serial)}.db"), answers, cut)
+    try:
+        for name in QUERY_NAMES:
+            assert run_query(db._conn, name) == run_reference(
+                db._conn, name
+            ), name
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize(
+    "cut", [0.0, 0.5, 1.0], ids=["all-live", "split", "all-archived"]
+)
+@pytest.mark.parametrize(
+    "params_by_query",
+    [
+        {},
+        {
+            "worker-accuracy": {"window": 1},
+            "leaderboard": {"limit": 2, "min_graded": 2},
+            "spam": {"window": 2, "span": 100, "streak": 1},
+        },
+    ],
+    ids=["defaults", "tight-params"],
+)
+def test_fixed_stream_boundaries(tmp_path, cut, params_by_query):
+    """Deterministic spot checks at the three canonical splits, with
+    default and non-default parameters."""
+    answers = [
+        Answer(WORKERS[(i + j) % len(WORKERS)], i % NUM_TASKS, 1 + (i * j) % NUM_CHOICES)
+        for j in range(3)
+        for i in range(j, NUM_TASKS, 1)
+        if (i + j) % 4  # leave some tasks thin
+    ]
+    seen = set()
+    answers = [
+        a
+        for a in answers
+        if (a.worker_id, a.task_id) not in seen
+        and not seen.add((a.worker_id, a.task_id))
+    ]
+    db = _build(str(tmp_path / "fixed.db"), answers, cut)
+    try:
+        for name in QUERY_NAMES:
+            params = params_by_query.get(name)
+            assert run_query(db._conn, name, params) == run_reference(
+                db._conn, name, params
+            ), name
+    finally:
+        db.close()

@@ -1,0 +1,176 @@
+"""Analytics plane unit contracts: registry, parameters, query plans.
+
+The EXPLAIN QUERY PLAN regression tests pin the plane's whole point:
+every touch of ``answers_archive`` / ``answers_log`` must be answered
+from a covering index (``USING COVERING INDEX`` in the plan), never a
+base-table scan — the zero-hydration guarantee at the SQLite level.
+"""
+
+import pytest
+
+from repro.analytics import (
+    QUERY_NAMES,
+    UnknownAnalyticsQueryError,
+    explain_query,
+    run_query,
+)
+from repro.core.types import Answer, Task
+from repro.errors import ValidationError
+from repro.platform.journal import ensure_analytics_indexes
+from repro.platform.sqlite_storage import SqliteSystemDatabase
+
+
+@pytest.fixture()
+def db(tmp_path):
+    database = SqliteSystemDatabase(
+        str(tmp_path / "plans.db"), journal_batch_size=4
+    )
+    database.insert_tasks(
+        [
+            Task(
+                task_id=i,
+                text=f"t{i}",
+                num_choices=2,
+                ground_truth=1 if i % 2 else None,
+                true_domain=i % 2,
+            )
+            for i in range(6)
+        ]
+    )
+    database.answers.bind_row_resolver(lambda task_id: task_id)
+    for i in range(6):
+        for j in range(3):
+            database.answers.insert(
+                Answer(f"w{j}", i, 1 + (i + j) % 2)
+            )
+    database.journal.flush()
+    database.journal.truncate_through(8)  # split archive vs live
+    yield database
+    database.close()
+
+
+class TestRegistry:
+    def test_query_names_sorted_and_complete(self):
+        assert QUERY_NAMES == (
+            "convergence", "leaderboard", "spam", "worker-accuracy",
+        )
+
+    def test_unknown_query_names_alternatives(self, db):
+        with pytest.raises(UnknownAnalyticsQueryError) as excinfo:
+            run_query(db._conn, "nope")
+        message = str(excinfo.value)
+        assert "nope" in message
+        assert "leaderboard" in message
+        # KeyError.__str__ would wrap the message in quotes.
+        assert not message.startswith("'")
+
+    def test_unknown_query_is_validation_and_key_error(self):
+        assert issubclass(UnknownAnalyticsQueryError, ValidationError)
+        assert issubclass(UnknownAnalyticsQueryError, KeyError)
+
+
+class TestParameters:
+    def test_unknown_parameter_rejected(self, db):
+        with pytest.raises(ValidationError, match="nope"):
+            run_query(db._conn, "leaderboard", {"nope": 1})
+
+    def test_non_integer_parameter_rejected(self, db):
+        with pytest.raises(ValidationError, match="window"):
+            run_query(db._conn, "worker-accuracy", {"window": "abc"})
+
+    def test_below_minimum_rejected(self, db):
+        with pytest.raises(ValidationError, match=">= 1"):
+            run_query(db._conn, "leaderboard", {"limit": 0})
+        with pytest.raises(ValidationError, match=">= 2"):
+            run_query(db._conn, "spam", {"window": 1})
+
+    def test_parse_qs_lists_accepted(self, db):
+        direct = run_query(db._conn, "worker-accuracy", {"window": 5})
+        listed = run_query(
+            db._conn, "worker-accuracy", {"window": ["5"]}
+        )
+        assert direct == listed
+        assert direct["params"] == {"window": 5}
+
+    def test_spam_span_defaults_from_window(self, db):
+        result = run_query(db._conn, "spam", {"window": 4})
+        assert result["params"]["span"] == 6  # 2 * (window - 1)
+        explicit = run_query(
+            db._conn, "spam", {"window": 4, "span": 6}
+        )
+        assert result == explicit
+
+    def test_convergence_takes_no_parameters(self, db):
+        with pytest.raises(ValidationError, match="no parameter"):
+            run_query(db._conn, "convergence", {"window": 3})
+
+
+class TestQueryPlans:
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_answer_tables_read_via_covering_indexes(self, db, name):
+        uncovered = [
+            line
+            for line in explain_query(db._conn, name)
+            if ("answers_archive" in line or "answers_log" in line)
+            and "USING COVERING INDEX" not in line
+        ]
+        assert not uncovered, uncovered
+
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_plans_name_the_analytics_indexes(self, db, name):
+        plans = "\n".join(explain_query(db._conn, name))
+        assert "idx_answers_archive_" in plans
+        assert "idx_answers_log_" in plans
+
+
+class TestIndexMigration:
+    def test_reopen_creates_missing_indexes(self, tmp_path):
+        """A pre-analytics file (indexes dropped) is migrated in place
+        on the next open, and the plans recover."""
+        path = str(tmp_path / "old.db")
+        db = SqliteSystemDatabase(path, journal_batch_size=4)
+        db.insert_tasks(
+            [Task(task_id=0, text="t", num_choices=2, ground_truth=1)]
+        )
+        db.answers.bind_row_resolver(lambda task_id: task_id)
+        db.answers.insert(Answer("w0", 0, 1))
+        for name in (
+            "idx_answers_archive_task",
+            "idx_answers_archive_worker",
+            "idx_answers_log_task",
+            "idx_answers_log_worker",
+        ):
+            db._conn.execute(f"DROP INDEX {name}")
+        db._conn.commit()
+        db.close()
+
+        reopened = SqliteSystemDatabase(path, journal_batch_size=4)
+        try:
+            assert not ensure_analytics_indexes(reopened._conn)
+            for name in QUERY_NAMES:
+                assert all(
+                    "USING COVERING INDEX" in line
+                    for line in explain_query(reopened._conn, name)
+                    if "answers_archive" in line
+                    or "answers_log" in line
+                )
+        finally:
+            reopened.close()
+
+
+class TestResultShape:
+    def test_results_are_json_plain(self, db):
+        import json
+
+        for name in QUERY_NAMES:
+            result = run_query(db._conn, name)
+            assert set(result) == {"query", "params", "rows"}
+            json.dumps(result)  # no numpy scalars, no objects
+
+    def test_leaderboard_competition_ranking(self, db):
+        rows = run_query(db._conn, "leaderboard")["rows"]
+        assert [row["rank"] for row in rows] == sorted(
+            row["rank"] for row in rows
+        )
+        for row in rows:
+            assert row["accuracy"] == row["correct"] / row["graded"]

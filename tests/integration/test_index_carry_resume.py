@@ -1,0 +1,170 @@
+"""Index-carrying snapshots: O(snapshot + tail) resume, same answers.
+
+Two campaigns run the identical script against truncated journals —
+one snapshotting with ``snapshot_carry_index=True`` (the v2 format
+that serialises the answer-log index columns), one with ``False``
+(the pre-v2 layout, standing in for snapshots written before the
+feature existed). Resume must pick ``index-carry`` for the first and
+fall back to the ``archive-scan`` path for the second, and the two
+resumed systems must be bit-identical — to each other and to a
+campaign that never stopped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Answer
+from repro.datasets import make_dataset
+from repro.system import DocsConfig, DocsSystem
+
+WORKERS = [f"w{i}" for i in range(6)]
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("4d", seed=47, tasks_per_domain=8)
+
+
+def _config(carry=True):
+    return DocsConfig(
+        golden_count=6,
+        rerun_interval=20,
+        hit_size=3,
+        journal_batch_size=8,
+        truncate_journal=True,
+        snapshot_carry_index=carry,
+    )
+
+
+def _golden_answers(system, dataset, worker):
+    return [
+        Answer(worker, tid, dataset.task_by_id(tid).ground_truth)
+        for tid in system.golden_task_ids()
+    ]
+
+
+def _drive(system, dataset, arrivals, start=0):
+    for arrival in range(start, arrivals):
+        worker = WORKERS[arrival % len(WORKERS)]
+        if system.needs_bootstrap(worker):
+            system.bootstrap(
+                worker, _golden_answers(system, dataset, worker)
+            )
+        for task_id in system.assign(worker, 2):
+            ell = dataset.task_by_id(task_id).num_choices
+            choice = 1 + (task_id * 3 + arrival) % ell
+            system.submit(Answer(worker, task_id, choice))
+
+
+def _fingerprint(system):
+    states = {
+        tid: (
+            system._incremental.state(tid).s.copy(),
+            system._incremental.state(tid).M.copy(),
+        )
+        for tid in system.database.task_ids()
+    }
+    qualities = {
+        w: system.quality_store.get(w)
+        for w in sorted(system.quality_store.known_workers())
+    }
+    return states, qualities
+
+
+def _assert_same_state(left, right):
+    l_states, l_quals = _fingerprint(left)
+    r_states, r_quals = _fingerprint(right)
+    assert set(l_states) == set(r_states)
+    for tid in l_states:
+        assert np.array_equal(l_states[tid][0], r_states[tid][0]), tid
+        assert np.array_equal(l_states[tid][1], r_states[tid][1]), tid
+    assert set(l_quals) == set(r_quals)
+    for w in l_quals:
+        assert np.array_equal(l_quals[w].quality, r_quals[w].quality), w
+        assert np.array_equal(l_quals[w].weight, r_quals[w].weight), w
+    assert len(left._log) == len(right._log)
+
+
+def _killed_campaign(path, dataset, carry, kill_at, tail):
+    """Checkpoint (snapshot + journal truncation), keep serving a
+    tail, then abandon the system without closing it."""
+    system = DocsSystem(_config(carry), storage="sqlite", path=path)
+    system.prepare(dataset)
+    _drive(system, dataset, kill_at)
+    system.checkpoint()
+    archived = system.database._conn.execute(
+        "SELECT COUNT(*) FROM answers_archive"
+    ).fetchone()[0]
+    assert archived > 0, "campaign too short to archive anything"
+    _drive(system, dataset, kill_at + tail, start=kill_at)
+    system.database.journal.flush()
+    return archived
+
+
+class TestIndexCarryResume:
+    KILL_AT, TAIL, TOTAL = 17, 7, 36
+
+    @pytest.fixture()
+    def resumed_pair(self, dataset, tmp_path):
+        """The same killed campaign resumed through both restore
+        paths. Both files are resumed with the *default* (carry=True)
+        config: the restore path is a property of the snapshot in the
+        file, so the carry=False file exercises the old-snapshot
+        fallback even under new configuration."""
+        paths = {}
+        for carry in (True, False):
+            path = str(tmp_path / f"carry_{carry}.db")
+            _killed_campaign(
+                path, dataset, carry, self.KILL_AT, self.TAIL
+            )
+            paths[carry] = path
+        return {
+            carry: DocsSystem.resume(path, config=_config(True))
+            for carry, path in paths.items()
+        }
+
+    def test_restore_paths_reported(self, resumed_pair):
+        carry_info = resumed_pair[True].resume_info
+        scan_info = resumed_pair[False].resume_info
+        assert carry_info["restore_path"] == "index-carry"
+        assert scan_info["restore_path"] == "archive-scan"
+        for info in (carry_info, scan_info):
+            assert info["snapshot_seq"] is not None
+            assert info["tail_entries"] > 0
+
+    def test_restore_paths_bit_identical(self, resumed_pair):
+        _assert_same_state(resumed_pair[True], resumed_pair[False])
+        # The lazily-hydrated answer views agree too.
+        left, right = resumed_pair[True], resumed_pair[False]
+        for tid in left.database.task_ids():
+            assert left.database.answers.for_task(
+                tid
+            ) == right.database.answers.for_task(tid), tid
+
+    def test_resumed_equals_uninterrupted(
+        self, dataset, tmp_path, resumed_pair
+    ):
+        straight = DocsSystem(
+            _config(True),
+            storage="sqlite",
+            path=str(tmp_path / "straight.db"),
+        )
+        straight.prepare(dataset)
+        _drive(straight, dataset, self.TOTAL)
+
+        for system in resumed_pair.values():
+            _drive(
+                system,
+                dataset,
+                self.TOTAL,
+                start=self.KILL_AT + self.TAIL,
+            )
+            _assert_same_state(straight, system)
+            assert straight.current_truths() == system.current_truths()
+
+    def test_analytics_agree_across_restore_paths(self, resumed_pair):
+        from repro.analytics import QUERY_NAMES
+
+        left, right = resumed_pair[True], resumed_pair[False]
+        for name in QUERY_NAMES:
+            assert left.analytics(name) == right.analytics(name), name

@@ -457,6 +457,97 @@ class TestInspection:
         assert len(body["truths"]) == 24
 
 
+class TestAnalytics:
+    def _drive(self, client, dataset):
+        create_campaign(client)
+        bootstrap_worker(client, dataset, "w1")
+        _, body, _ = client.get(
+            "/campaigns/c1/workers/w1/assignment?k=3"
+        )
+        for task_id in body["task_ids"]:
+            client.post(
+                "/campaigns/c1/answers",
+                {"worker_id": "w1", "task_id": task_id, "choice": 1},
+            )
+        return body["task_ids"]
+
+    def test_analytics_success_schema(self, durable_service, dataset):
+        _, client = durable_service
+        self._drive(client, dataset)
+        status, body, _ = client.get(
+            "/campaigns/c1/analytics/leaderboard"
+        )
+        assert status == 200
+        assert set(body) == {"campaign", "query", "params", "rows"}
+        assert body["campaign"] == "c1"
+        assert body["query"] == "leaderboard"
+        assert body["params"] == {"limit": 10, "min_graded": 1}
+        assert body["rows"], "submitted answers should rank w1"
+        assert set(body["rows"][0]) == {
+            "rank", "worker", "graded", "correct", "accuracy",
+        }
+        assert body["rows"][0]["worker"] == "w1"
+
+    def test_analytics_query_params(self, durable_service, dataset):
+        _, client = durable_service
+        self._drive(client, dataset)
+        status, body, _ = client.get(
+            "/campaigns/c1/analytics/worker-accuracy?window=2"
+        )
+        assert status == 200
+        assert body["params"] == {"window": 2}
+        for row in body["rows"]:
+            assert row["window_graded"] <= 2
+
+    def test_analytics_unknown_query_not_found(
+        self, durable_service, dataset
+    ):
+        _, client = durable_service
+        self._drive(client, dataset)
+        status, payload, _ = client.get(
+            "/campaigns/c1/analytics/nope"
+        )
+        assert status == 404
+        assert_error(payload, "not_found", "nope", "leaderboard")
+
+    def test_analytics_bad_param_validation(
+        self, durable_service, dataset
+    ):
+        _, client = durable_service
+        self._drive(client, dataset)
+        status, payload, _ = client.get(
+            "/campaigns/c1/analytics/leaderboard?limit=abc"
+        )
+        assert status == 400
+        assert_error(payload, "validation", "limit")
+        status, payload, _ = client.get(
+            "/campaigns/c1/analytics/leaderboard?nope=1"
+        )
+        assert status == 400
+        assert_error(payload, "validation", "nope")
+
+    def test_analytics_unknown_campaign_not_found(
+        self, durable_service
+    ):
+        _, client = durable_service
+        status, payload, _ = client.get(
+            "/campaigns/ghost/analytics/leaderboard"
+        )
+        assert status == 404
+        assert_error(payload, "not_found", "ghost")
+
+    def test_analytics_memory_campaign_validation(
+        self, service, dataset
+    ):
+        _, client = service
+        self._drive(client, dataset)
+        status, payload, _ = client.get(
+            "/campaigns/c1/analytics/leaderboard"
+        )
+        assert status == 400
+        assert_error(payload, "validation", "sqlite")
+
+
 class TestTransportErrors:
     def test_unknown_route_names_docs(self, service):
         _, client = service
